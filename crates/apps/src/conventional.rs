@@ -1,0 +1,549 @@
+//! The *conventional* Toll Processing implementation (Figure 2(a)):
+//! key-based stream partitioning **without** concurrent state access.
+//!
+//! Section II-A uses this implementation to motivate concurrent state access:
+//! every operator keeps its state exclusive, the input stream is key-based
+//! partitioned so no two executors ever touch the same state, and the
+//! downstream `Sort & Toll Notification` operator has to *buffer and sort*
+//! tuples because it can only compute a toll after it has received the
+//! up-to-date road congestion status from `Road Speed` and `Vehicle Cnt`.
+//! The paper calls out two problems with this design, both of which this
+//! module measures:
+//!
+//! 1. **Tedious and error-prone ordering** — reports that arrive after the
+//!    buffering limit has forced an emission are evaluated against stale
+//!    congestion state ([`ConventionalReport::forced_emissions`]);
+//! 2. **State duplication** — the congestion status maintained by RS and VC
+//!    has to be repeatedly forwarded to TN
+//!    ([`ConventionalReport::forwarded_state_bytes`]).
+//!
+//! The pipeline is a real multi-threaded implementation (one thread per
+//! executor, connected by channels), not a model: the `fig02_conventional`
+//! harness runs it against the concurrent-state-access implementation
+//! (`tp` + TStream) on the same input stream.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+use crate::tp::{TpEvent, TpKind};
+
+/// Configuration of the conventional (Figure 2(a)) pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct ConventionalConfig {
+    /// Executors per operator (RS/VC stage and TN stage each get this many).
+    pub executors_per_operator: usize,
+    /// Maximum number of traffic reports a TN executor buffers per segment
+    /// while waiting for fresher congestion updates; beyond this the oldest
+    /// report is emitted against whatever state is known ("tuples arrive too
+    /// late, out of buffering limits").
+    pub buffer_limit: usize,
+    /// Channel capacity between pipeline stages.
+    pub channel_capacity: usize,
+}
+
+impl Default for ConventionalConfig {
+    fn default() -> Self {
+        ConventionalConfig {
+            executors_per_operator: 2,
+            buffer_limit: 64,
+            channel_capacity: 1024,
+        }
+    }
+}
+
+/// Message flowing from the RS/VC stage to the TN stage: the refreshed
+/// congestion status of one road segment (the "duplicated application state"
+/// of Section II-A).
+#[derive(Debug, Clone)]
+struct CongestionUpdate {
+    ts: u64,
+    segment: u64,
+    /// Updated average speed, if this update came from Road Speed.
+    speed: Option<f64>,
+    /// Updated unique-vehicle count, if this update came from Vehicle Cnt.
+    vehicles: Option<usize>,
+}
+
+impl CongestionUpdate {
+    /// Approximate wire size, used to account forwarded state volume.
+    fn wire_bytes(&self) -> u64 {
+        // ts + segment + one of (f64 speed | usize count) + tag.
+        8 + 8 + 8 + 1
+    }
+}
+
+/// A traffic report waiting inside a TN executor for fresher congestion state.
+#[derive(Debug, Clone, Copy)]
+struct PendingReport {
+    ts: u64,
+    segment: u64,
+}
+
+/// What a TN executor sends to the sink for every toll it computed.
+#[derive(Debug, Clone, Copy)]
+struct TollRecord {
+    /// Whether the toll was computed before fresher congestion state had
+    /// arrived (forced emission / late tuple).
+    forced: bool,
+}
+
+/// Result of one conventional-pipeline run.
+#[derive(Debug, Clone)]
+pub struct ConventionalReport {
+    /// Input events processed.
+    pub events: u64,
+    /// Tolls emitted (one per Toll Notification report).
+    pub tolls_emitted: u64,
+    /// Tolls that had to be emitted against stale congestion state because
+    /// the buffering limit (or end of stream) was reached first.
+    pub forced_emissions: u64,
+    /// Bytes of congestion state forwarded from RS/VC executors to TN
+    /// executors (the duplication overhead of Figure 2(a)).
+    pub forwarded_state_bytes: u64,
+    /// Congestion-update messages forwarded.
+    pub forwarded_updates: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Final per-segment average speed (merged over executors), for
+    /// equivalence checks against the concurrent implementation.
+    pub final_speeds: BTreeMap<u64, f64>,
+    /// Final per-segment unique-vehicle counts (merged over executors).
+    pub final_vehicle_counts: BTreeMap<u64, usize>,
+}
+
+impl ConventionalReport {
+    /// Throughput in thousands of events per second.
+    pub fn throughput_keps(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.events as f64 / self.elapsed.as_secs_f64() / 1_000.0
+    }
+
+    /// Fraction of tolls that were computed against possibly stale state.
+    pub fn forced_emission_ratio(&self) -> f64 {
+        if self.tolls_emitted == 0 {
+            return 0.0;
+        }
+        self.forced_emissions as f64 / self.tolls_emitted as f64
+    }
+}
+
+/// Key-based partitioning: which executor of an operator owns a segment.
+pub fn owner_of(segment: u64, executors: usize) -> usize {
+    let mut h = segment;
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^= h >> 33;
+    (h % executors.max(1) as u64) as usize
+}
+
+/// State owned exclusively by one RS/VC executor: the congestion status of
+/// its subset of segments.
+#[derive(Debug, Default)]
+struct UpstreamState {
+    speeds: HashMap<u64, f64>,
+    vehicles: HashMap<u64, HashSet<u64>>,
+}
+
+impl UpstreamState {
+    fn apply_road_speed(&mut self, segment: u64, speed: f64) -> f64 {
+        let entry = self.speeds.entry(segment).or_insert(60.0);
+        *entry = (*entry + speed) / 2.0;
+        *entry
+    }
+
+    fn apply_vehicle(&mut self, segment: u64, vehicle: u64) -> usize {
+        let set = self.vehicles.entry(segment).or_default();
+        set.insert(vehicle);
+        set.len()
+    }
+}
+
+/// State owned exclusively by one TN executor: the *copy* of the congestion
+/// status it has received so far, plus the buffered reports.
+#[derive(Debug, Default)]
+struct TnState {
+    speeds: HashMap<u64, (u64, f64)>,
+    vehicles: HashMap<u64, (u64, usize)>,
+    pending: BTreeMap<u64, PendingReport>,
+    forced: u64,
+    emitted: u64,
+}
+
+impl TnState {
+    fn update_watermark(&self, segment: u64) -> u64 {
+        let s = self.speeds.get(&segment).map(|(ts, _)| *ts).unwrap_or(0);
+        let v = self.vehicles.get(&segment).map(|(ts, _)| *ts).unwrap_or(0);
+        s.min(v)
+    }
+
+    fn toll_for(&self, segment: u64) -> i64 {
+        let speed = self.speeds.get(&segment).map(|(_, s)| *s).unwrap_or(60.0);
+        let vehicles = self.vehicles.get(&segment).map(|(_, v)| *v).unwrap_or(0) as i64;
+        if speed < 40.0 && vehicles > 5 {
+            2 * (vehicles - 5) * (vehicles - 5)
+        } else {
+            0
+        }
+    }
+
+    fn emit(&mut self, report: PendingReport, forced: bool, sink: &Sender<TollRecord>) {
+        std::hint::black_box(self.toll_for(report.segment));
+        self.emitted += 1;
+        if forced {
+            self.forced += 1;
+        }
+        let _ = sink.send(TollRecord { forced });
+    }
+
+    /// Emit every buffered report whose congestion state is now fresh enough,
+    /// then force out the oldest reports if the buffer still exceeds `limit`.
+    fn drain(&mut self, limit: usize, sink: &Sender<TollRecord>) {
+        let ready: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(ts, report)| self.update_watermark(report.segment) >= **ts)
+            .map(|(ts, _)| *ts)
+            .collect();
+        for ts in ready {
+            if let Some(report) = self.pending.remove(&ts) {
+                self.emit(report, false, sink);
+            }
+        }
+        while self.pending.len() > limit {
+            let (&ts, _) = self.pending.iter().next().expect("non-empty");
+            let report = self.pending.remove(&ts).expect("present");
+            self.emit(report, true, sink);
+        }
+    }
+
+    /// End of stream: everything still buffered goes out as a forced emission.
+    fn flush(&mut self, sink: &Sender<TollRecord>) {
+        let remaining: Vec<u64> = self.pending.keys().copied().collect();
+        for ts in remaining {
+            if let Some(report) = self.pending.remove(&ts) {
+                self.emit(report, true, sink);
+            }
+        }
+    }
+}
+
+/// Messages accepted by a TN executor.
+#[derive(Debug, Clone)]
+enum TnInput {
+    Update(CongestionUpdate),
+    Report(PendingReport),
+}
+
+/// Run the conventional pipeline over a TP event trace.
+pub fn run_conventional(events: &[TpEvent], config: ConventionalConfig) -> ConventionalReport {
+    let executors = config.executors_per_operator.max(1);
+    let started = Instant::now();
+
+    // Channels: parser -> RS/VC stage, parser/RS/VC -> TN stage, TN -> sink.
+    let mut upstream_senders: Vec<Sender<(u64, TpEvent)>> = Vec::with_capacity(executors);
+    let mut upstream_receivers: Vec<Receiver<(u64, TpEvent)>> = Vec::with_capacity(executors);
+    let mut tn_senders: Vec<Sender<TnInput>> = Vec::with_capacity(executors);
+    let mut tn_receivers: Vec<Receiver<TnInput>> = Vec::with_capacity(executors);
+    for _ in 0..executors {
+        let (tx, rx) = bounded(config.channel_capacity);
+        upstream_senders.push(tx);
+        upstream_receivers.push(rx);
+        let (tx, rx) = bounded(config.channel_capacity);
+        tn_senders.push(tx);
+        tn_receivers.push(rx);
+    }
+    let (sink_tx, sink_rx) = bounded::<TollRecord>(config.channel_capacity);
+
+    let mut forwarded_updates = 0u64;
+    let mut forwarded_state_bytes = 0u64;
+    let mut final_speeds = BTreeMap::new();
+    let mut final_vehicle_counts = BTreeMap::new();
+    let mut tolls_emitted = 0u64;
+    let mut forced_emissions = 0u64;
+
+    std::thread::scope(|scope| {
+        // ---- RS/VC stage: one executor per disjoint subset of segments.
+        let mut upstream_handles = Vec::with_capacity(executors);
+        for rx in upstream_receivers {
+            let tn_senders = tn_senders.clone();
+            upstream_handles.push(scope.spawn(move || {
+                let mut state = UpstreamState::default();
+                let mut forwarded = 0u64;
+                let mut bytes = 0u64;
+                for (ts, event) in rx.iter() {
+                    let update = match event.kind {
+                        TpKind::RoadSpeed => CongestionUpdate {
+                            ts,
+                            segment: event.segment,
+                            speed: Some(state.apply_road_speed(event.segment, event.speed)),
+                            vehicles: None,
+                        },
+                        TpKind::VehicleCnt => CongestionUpdate {
+                            ts,
+                            segment: event.segment,
+                            speed: None,
+                            vehicles: Some(state.apply_vehicle(event.segment, event.vehicle)),
+                        },
+                        TpKind::TollNotification => continue,
+                    };
+                    forwarded += 1;
+                    bytes += update.wire_bytes();
+                    let owner = owner_of(update.segment, tn_senders.len());
+                    let _ = tn_senders[owner].send(TnInput::Update(update));
+                }
+                (state, forwarded, bytes)
+            }));
+        }
+
+        // ---- TN stage: buffer, sort, and emit tolls.
+        let mut tn_handles = Vec::with_capacity(executors);
+        for rx in tn_receivers {
+            let sink_tx = sink_tx.clone();
+            let buffer_limit = config.buffer_limit;
+            tn_handles.push(scope.spawn(move || {
+                let mut state = TnState::default();
+                for input in rx.iter() {
+                    match input {
+                        TnInput::Update(update) => {
+                            if let Some(speed) = update.speed {
+                                state.speeds.insert(update.segment, (update.ts, speed));
+                            }
+                            if let Some(vehicles) = update.vehicles {
+                                state
+                                    .vehicles
+                                    .insert(update.segment, (update.ts, vehicles));
+                            }
+                        }
+                        TnInput::Report(report) => {
+                            state.pending.insert(report.ts, report);
+                        }
+                    }
+                    state.drain(buffer_limit, &sink_tx);
+                }
+                state.flush(&sink_tx);
+                (state.emitted, state.forced)
+            }));
+        }
+        drop(sink_tx);
+
+        // ---- Sink: count tolls.
+        let sink_handle = scope.spawn(move || {
+            let mut emitted = 0u64;
+            let mut forced = 0u64;
+            for toll in sink_rx.iter() {
+                emitted += 1;
+                if toll.forced {
+                    forced += 1;
+                }
+            }
+            (emitted, forced)
+        });
+
+        // ---- Parser: stamp timestamps and key-partition the stream.
+        for (ts, event) in events.iter().enumerate() {
+            let ts = ts as u64;
+            match event.kind {
+                TpKind::RoadSpeed | TpKind::VehicleCnt => {
+                    let owner = owner_of(event.segment, executors);
+                    let _ = upstream_senders[owner].send((ts, event.clone()));
+                }
+                TpKind::TollNotification => {
+                    let owner = owner_of(event.segment, executors);
+                    let _ = tn_senders[owner].send(TnInput::Report(PendingReport {
+                        ts,
+                        segment: event.segment,
+                    }));
+                }
+            }
+        }
+        drop(upstream_senders);
+
+        // RS/VC executors drain, then their TN senders close; the TN stage
+        // keeps its own clones alive until the upstream stage is done.
+        for handle in upstream_handles {
+            let (state, forwarded, bytes) = handle.join().expect("upstream executor panicked");
+            forwarded_updates += forwarded;
+            forwarded_state_bytes += bytes;
+            for (segment, speed) in state.speeds {
+                final_speeds.insert(segment, speed);
+            }
+            for (segment, vehicles) in state.vehicles {
+                final_vehicle_counts.insert(segment, vehicles.len());
+            }
+        }
+        drop(tn_senders);
+
+        for handle in tn_handles {
+            let _ = handle.join().expect("TN executor panicked");
+        }
+        let (emitted, forced) = sink_handle.join().expect("sink panicked");
+        tolls_emitted = emitted;
+        forced_emissions = forced;
+    });
+
+    ConventionalReport {
+        events: events.len() as u64,
+        tolls_emitted,
+        forced_emissions,
+        forwarded_state_bytes,
+        forwarded_updates,
+        elapsed: started.elapsed(),
+        final_speeds,
+        final_vehicle_counts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tp;
+    use crate::workload::WorkloadSpec;
+    use std::sync::Arc;
+    use tstream_core::{Engine, EngineConfig, Scheme};
+    use tstream_state::TableId;
+
+    #[test]
+    fn partitioning_is_deterministic_and_total() {
+        for executors in [1usize, 2, 3, 8] {
+            for segment in 0..tp::SEGMENTS {
+                let owner = owner_of(segment, executors);
+                assert!(owner < executors);
+                assert_eq!(owner, owner_of(segment, executors));
+            }
+        }
+    }
+
+    #[test]
+    fn every_toll_report_is_accounted_for() {
+        let spec = WorkloadSpec::default().events(3_000).seed(41);
+        let events = tp::generate(&spec);
+        let reports = events
+            .iter()
+            .filter(|e| e.kind == TpKind::TollNotification)
+            .count() as u64;
+        let report = run_conventional(&events, ConventionalConfig::default());
+        assert_eq!(report.events, 3_000);
+        assert_eq!(report.tolls_emitted, reports);
+        assert!(report.forced_emissions <= report.tolls_emitted);
+        assert!(report.throughput_keps() > 0.0);
+    }
+
+    #[test]
+    fn congestion_state_is_forwarded_for_every_update() {
+        let spec = WorkloadSpec::default().events(1_500).seed(42);
+        let events = tp::generate(&spec);
+        let updates = events
+            .iter()
+            .filter(|e| e.kind != TpKind::TollNotification)
+            .count() as u64;
+        let report = run_conventional(&events, ConventionalConfig::default());
+        assert_eq!(report.forwarded_updates, updates);
+        assert_eq!(report.forwarded_state_bytes, updates * 25);
+    }
+
+    #[test]
+    fn final_congestion_state_matches_the_concurrent_implementation() {
+        // The conventional pipeline and the concurrent-state-access
+        // implementation apply the same per-segment update functions in the
+        // same per-segment order, so their final congestion states must
+        // agree.
+        let spec = WorkloadSpec::default().events(2_000).seed(43);
+        let events = tp::generate(&spec);
+
+        let conventional = run_conventional(&events, ConventionalConfig::default());
+
+        let store = tp::build_store(&spec);
+        let app = Arc::new(tp::TollProcessing);
+        Engine::new(EngineConfig::with_executors(4).punctuation(250)).run(
+            &app,
+            &store,
+            events.clone(),
+            &Scheme::TStream,
+        );
+
+        let speed_table = store.table(TableId(tp::SPEED_TABLE));
+        for (segment, record) in speed_table.iter() {
+            let shared = record.read_committed().as_double().unwrap();
+            match conventional.final_speeds.get(&segment) {
+                Some(partitioned) => assert!(
+                    (shared - partitioned).abs() < 1e-9,
+                    "segment {segment}: shared {shared} vs partitioned {partitioned}"
+                ),
+                None => assert!(
+                    (shared - 60.0).abs() < 1e-9,
+                    "untouched segment {segment} must keep its initial speed"
+                ),
+            }
+        }
+        let count_table = store.table(TableId(tp::COUNT_TABLE));
+        for (segment, record) in count_table.iter() {
+            let shared = record.read_committed().as_set().unwrap().len();
+            let partitioned = conventional
+                .final_vehicle_counts
+                .get(&segment)
+                .copied()
+                .unwrap_or(0);
+            assert_eq!(shared, partitioned, "segment {segment}");
+        }
+    }
+
+    #[test]
+    fn tiny_buffer_limit_forces_stale_emissions() {
+        let spec = WorkloadSpec::default().events(3_000).seed(44);
+        let events = tp::generate(&spec);
+        let tight = run_conventional(
+            &events,
+            ConventionalConfig {
+                executors_per_operator: 4,
+                buffer_limit: 0,
+                channel_capacity: 64,
+            },
+        );
+        let generous = run_conventional(
+            &events,
+            ConventionalConfig {
+                executors_per_operator: 4,
+                buffer_limit: 4_096,
+                channel_capacity: 64,
+            },
+        );
+        assert!(
+            tight.forced_emissions >= generous.forced_emissions,
+            "a tighter buffer cannot produce fewer stale emissions \
+             (tight {} vs generous {})",
+            tight.forced_emissions,
+            generous.forced_emissions
+        );
+        assert_eq!(tight.tolls_emitted, generous.tolls_emitted);
+    }
+
+    #[test]
+    fn single_executor_pipeline_works() {
+        let spec = WorkloadSpec::default().events(600).seed(45);
+        let events = tp::generate(&spec);
+        let report = run_conventional(
+            &events,
+            ConventionalConfig {
+                executors_per_operator: 1,
+                buffer_limit: 16,
+                channel_capacity: 8,
+            },
+        );
+        assert_eq!(report.events, 600);
+        assert!(report.tolls_emitted > 0);
+    }
+
+    #[test]
+    fn empty_input_produces_an_empty_report() {
+        let report = run_conventional(&[], ConventionalConfig::default());
+        assert_eq!(report.events, 0);
+        assert_eq!(report.tolls_emitted, 0);
+        assert_eq!(report.forced_emissions, 0);
+        assert_eq!(report.forced_emission_ratio(), 0.0);
+        assert!(report.final_speeds.is_empty());
+    }
+}

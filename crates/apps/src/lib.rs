@@ -1,0 +1,34 @@
+//! # tstream-apps
+//!
+//! The benchmark suite of the TStream paper (Section VI-A): four
+//! applications assembled following Jim Gray's benchmark criteria, their
+//! deterministic workload generators, and a uniform runner used by the
+//! figure-regeneration harnesses.
+//!
+//! * [`gs`] — **Grep and Sum**: read or update ten records of a shared table
+//!   per event, then sum the values;
+//! * [`sl`] — **Streaming Ledger**: deposits and transfers over shared
+//!   account / asset tables, with heavy cross-state data dependencies;
+//! * [`ob`] — **Online Bidding**: bid / alter / top requests over a shared
+//!   item table with conditional updates;
+//! * [`tp`] — **Toll Processing**: the Linear Road toll query over shared
+//!   road-congestion state;
+//! * [`conventional`] — the Figure 2(a) baseline: Toll Processing with
+//!   key-based partitioning and exclusive per-executor state (no concurrent
+//!   state access), used to reproduce the Section II-A motivation;
+//! * [`workload`] — deterministic PRNG, Zipf sampler and workload parameters;
+//! * [`runner`] — (application × scheme) dispatch plus text-table helpers for
+//!   the harnesses.
+
+#![warn(missing_docs)]
+
+pub mod conventional;
+pub mod gs;
+pub mod ob;
+pub mod runner;
+pub mod sl;
+pub mod tp;
+pub mod workload;
+
+pub use runner::{run_benchmark, AppKind, RunOptions, SchemeKind};
+pub use workload::{Rng, WorkloadSpec, Zipf};

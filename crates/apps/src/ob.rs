@@ -1,0 +1,278 @@
+//! Online Bidding (OB), Section VI-A / Figure 7.
+//!
+//! A simplified online bidding system over one shared table of 10 000 items
+//! (each holding a price and a quantity).  Three request types, mixed 6:1:1:
+//!
+//! * **bid** (transaction length 1) — reduce the quantity of one item if the
+//!   bid price is at least the asking price and enough quantity is left;
+//!   otherwise the request is rejected;
+//! * **alter** (length 20) — overwrite the prices of 20 items;
+//! * **top** (length 20) — increase the quantities of 20 items.
+
+use std::sync::Arc;
+
+use tstream_core::prelude::*;
+use tstream_state::{StateError, StateStore, TableBuilder};
+use tstream_txn::TxnBuilder as Txn;
+
+use crate::workload::{Rng, WorkloadSpec, Zipf};
+
+/// Table index of the bidding item table.
+pub const ITEM_TABLE: u32 = 0;
+
+/// Initial asking price of every item.
+pub const INITIAL_PRICE: i64 = 100;
+/// Initial quantity of every item.
+pub const INITIAL_QTY: i64 = 1_000_000;
+
+/// Transaction length of alter and top requests (the paper uses 20).
+pub const LIST_LEN: usize = 20;
+
+/// One OB request.
+#[derive(Debug, Clone)]
+pub enum ObEvent {
+    /// Bid for `qty` units of `item` at `price` per unit.
+    Bid {
+        /// Item key.
+        item: u64,
+        /// Offered price.
+        price: i64,
+        /// Requested quantity.
+        qty: i64,
+    },
+    /// Modify the prices of a list of items.
+    Alter {
+        /// Item keys.
+        items: Vec<u64>,
+        /// New prices (same length as `items`).
+        prices: Vec<i64>,
+    },
+    /// Increase the quantities of a list of items.
+    Top {
+        /// Item keys.
+        items: Vec<u64>,
+        /// Added quantities (same length as `items`).
+        amounts: Vec<i64>,
+    },
+}
+
+/// The Online Bidding application (the fused Auth + Trade operator).
+#[derive(Debug, Clone, Default)]
+pub struct OnlineBidding;
+
+impl Application for OnlineBidding {
+    type Payload = ObEvent;
+
+    fn name(&self) -> &'static str {
+        "OB"
+    }
+
+    fn pre_process(&self, e: &ObEvent) -> bool {
+        // The Auth operator: reject malformed requests outright.
+        match e {
+            ObEvent::Bid { qty, price, .. } => *qty > 0 && *price > 0,
+            ObEvent::Alter { items, prices } => items.len() == prices.len(),
+            ObEvent::Top { items, amounts } => items.len() == amounts.len(),
+        }
+    }
+
+    fn read_write_set(&self, e: &ObEvent) -> ReadWriteSet {
+        let mut set = ReadWriteSet::new();
+        match e {
+            ObEvent::Bid { item, .. } => {
+                set.push(StateRef::new(ITEM_TABLE, *item), AccessMode::Write);
+            }
+            ObEvent::Alter { items, .. } | ObEvent::Top { items, .. } => {
+                for &i in items {
+                    set.push(StateRef::new(ITEM_TABLE, i), AccessMode::Write);
+                }
+            }
+        }
+        set
+    }
+
+    fn state_access(&self, e: &ObEvent, txn: &mut Txn) {
+        match e {
+            ObEvent::Bid { item, price, qty } => {
+                let (price, qty) = (*price, *qty);
+                txn.read_modify(ITEM_TABLE, *item, None, move |ctx| {
+                    let (ask, available) = ctx.current.as_pair()?;
+                    if price < ask {
+                        return Err(StateError::ConsistencyViolation(
+                            "bid price below asking price".into(),
+                        ));
+                    }
+                    if available < qty {
+                        return Err(StateError::ConsistencyViolation(
+                            "insufficient quantity".into(),
+                        ));
+                    }
+                    Ok(Value::Pair(ask, available - qty))
+                });
+            }
+            ObEvent::Alter { items, prices } => {
+                for (&item, &price) in items.iter().zip(prices) {
+                    txn.read_modify(ITEM_TABLE, item, None, move |ctx| {
+                        let (_, qty) = ctx.current.as_pair()?;
+                        if price <= 0 {
+                            return Err(StateError::ConsistencyViolation(
+                                "price must be positive".into(),
+                            ));
+                        }
+                        Ok(Value::Pair(price, qty))
+                    });
+                }
+            }
+            ObEvent::Top { items, amounts } => {
+                for (&item, &amount) in items.iter().zip(amounts) {
+                    txn.read_modify(ITEM_TABLE, item, None, move |ctx| {
+                        let (price, qty) = ctx.current.as_pair()?;
+                        Ok(Value::Pair(price, qty + amount))
+                    });
+                }
+            }
+        }
+    }
+
+    fn post_process(&self, _e: &ObEvent, blotter: &EventBlotter) -> PostAction {
+        if blotter.is_aborted() {
+            PostAction::Silent
+        } else {
+            PostAction::Emit
+        }
+    }
+}
+
+/// Build the bidding item table.
+pub fn build_store(spec: &WorkloadSpec) -> Arc<StateStore> {
+    let items = TableBuilder::new("items")
+        .extend((0..spec.keys).map(|k| (k, Value::Pair(INITIAL_PRICE, INITIAL_QTY))))
+        .build()
+        .expect("OB item table");
+    StateStore::new(vec![items]).expect("OB store")
+}
+
+/// Generate the OB input stream (bid : alter : top = 6 : 1 : 1).
+pub fn generate(spec: &WorkloadSpec) -> Vec<ObEvent> {
+    let mut rng = Rng::new(spec.seed ^ 0x0b0b);
+    let zipf = Zipf::new(spec.keys as usize, spec.skew);
+    let mut events = Vec::with_capacity(spec.events);
+    for _ in 0..spec.events {
+        let roll = rng.next_below(8);
+        if roll < 6 {
+            events.push(ObEvent::Bid {
+                item: zipf.sample(&mut rng),
+                // Mostly at or above the asking price so most bids succeed,
+                // with a small fraction of genuine rejections.
+                price: INITIAL_PRICE - 2 + rng.next_below(8) as i64,
+                qty: 1 + rng.next_below(5) as i64,
+            });
+        } else if roll == 6 {
+            let items = zipf.sample_distinct(&mut rng, LIST_LEN.min(spec.keys as usize));
+            let prices = (0..items.len())
+                .map(|_| 50 + rng.next_below(100) as i64)
+                .collect();
+            events.push(ObEvent::Alter { items, prices });
+        } else {
+            let items = zipf.sample_distinct(&mut rng, LIST_LEN.min(spec.keys as usize));
+            let amounts = (0..items.len())
+                .map(|_| 1 + rng.next_below(10) as i64)
+                .collect();
+            events.push(ObEvent::Top { items, amounts });
+        }
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tstream_core::{Engine, EngineConfig, Scheme};
+
+    #[test]
+    fn generator_respects_request_mix_and_lengths() {
+        let spec = WorkloadSpec::default().events(4_000);
+        let events = generate(&spec);
+        let bids = events
+            .iter()
+            .filter(|e| matches!(e, ObEvent::Bid { .. }))
+            .count();
+        let ratio = bids as f64 / events.len() as f64;
+        assert!((ratio - 0.75).abs() < 0.05, "bid ratio {ratio}");
+        for e in &events {
+            match e {
+                ObEvent::Alter { items, prices } => {
+                    assert_eq!(items.len(), LIST_LEN);
+                    assert_eq!(prices.len(), LIST_LEN);
+                }
+                ObEvent::Top { items, amounts } => {
+                    assert_eq!(items.len(), LIST_LEN);
+                    assert_eq!(amounts.len(), LIST_LEN);
+                }
+                ObEvent::Bid { qty, .. } => assert!(*qty > 0),
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_filtered_by_auth() {
+        let app = OnlineBidding;
+        assert!(!app.pre_process(&ObEvent::Bid {
+            item: 0,
+            price: 0,
+            qty: 1
+        }));
+        assert!(!app.pre_process(&ObEvent::Alter {
+            items: vec![1, 2],
+            prices: vec![5]
+        }));
+        assert!(app.pre_process(&ObEvent::Top {
+            items: vec![1],
+            amounts: vec![1]
+        }));
+    }
+
+    #[test]
+    fn low_bids_are_rejected_and_do_not_change_state() {
+        let spec = WorkloadSpec::default();
+        let store = build_store(&spec);
+        let app = Arc::new(OnlineBidding);
+        let engine = Engine::new(EngineConfig::with_executors(1).punctuation(10));
+        let events = vec![ObEvent::Bid {
+            item: 3,
+            price: 1, // far below the asking price of 100
+            qty: 1,
+        }];
+        let report = engine.run(&app, &store, events, &Scheme::TStream);
+        assert_eq!(report.rejected, 1);
+        assert_eq!(
+            store.record(tstream_state::TableId(ITEM_TABLE), 3).unwrap().read_committed(),
+            Value::Pair(INITIAL_PRICE, INITIAL_QTY)
+        );
+    }
+
+    #[test]
+    fn quantities_balance_across_schemes() {
+        // Total quantity = initial + tops - successful bids; all schemes must
+        // agree on the final table contents for the same input.
+        let spec = WorkloadSpec::default().events(600);
+        let events = generate(&spec);
+        let app = Arc::new(OnlineBidding);
+
+        let reference_store = build_store(&spec);
+        let reference = Engine::new(EngineConfig::with_executors(1).punctuation(100));
+        reference.run(&app, &reference_store, events.clone(), &Scheme::TStream);
+        let expected = reference_store.snapshot();
+
+        for scheme in [
+            Scheme::TStream,
+            Scheme::Eager(Arc::new(LockScheme::new())),
+            Scheme::Eager(Arc::new(PatScheme::new(8))),
+        ] {
+            let store = build_store(&spec);
+            let engine = Engine::new(EngineConfig::with_executors(4).punctuation(100));
+            let report = engine.run(&app, &store, events.clone(), &scheme);
+            assert_eq!(store.snapshot(), expected, "{} diverged", report.scheme);
+        }
+    }
+}

@@ -1,0 +1,373 @@
+//! Streaming Ledger (SL), Section VI-A / Figure 6.
+//!
+//! Modelled after the Streaming Ledger white paper the paper cites: events
+//! wire money and assets between accounts.  Two shared tables (accounts and
+//! assets, 10 000 records each) are accessed by two request types:
+//!
+//! * **Deposit** — top up one account and one asset (transaction length 2);
+//! * **Transfer** — move a balance from one (account, asset) pair to another
+//!   (transaction length 4).  The credits to the destination depend on the
+//!   source balances being sufficient, which is the heavy cross-state data
+//!   dependency the paper highlights for SL.
+//!
+//! The input stream is an even 50/50 mix of deposits and transfers with a
+//! Zipf(0.6) account distribution.
+
+use std::sync::Arc;
+
+use tstream_core::prelude::*;
+use tstream_state::{StateError, StateStore, TableBuilder};
+use tstream_txn::TxnBuilder as Txn;
+
+use crate::workload::{Rng, WorkloadSpec, Zipf};
+
+/// Table index of the account table.
+pub const ACCOUNT_TABLE: u32 = 0;
+/// Table index of the asset table.
+pub const ASSET_TABLE: u32 = 1;
+
+/// Initial balance of every account / asset record; large enough that only a
+/// small fraction of transfers is rejected for insufficient funds.
+pub const INITIAL_BALANCE: i64 = 1_000_000;
+
+/// One SL request.
+#[derive(Debug, Clone)]
+pub enum SlEvent {
+    /// Top up `account` and `asset` by `amount`.
+    Deposit {
+        /// Account key.
+        account: u64,
+        /// Asset key.
+        asset: u64,
+        /// Amount added to both.
+        amount: i64,
+    },
+    /// Transfer `amount` between account and asset pairs.
+    Transfer {
+        /// Source account.
+        src_account: u64,
+        /// Destination account.
+        dst_account: u64,
+        /// Source asset.
+        src_asset: u64,
+        /// Destination asset.
+        dst_asset: u64,
+        /// Amount moved.
+        amount: i64,
+    },
+}
+
+/// The Streaming Ledger application.
+#[derive(Debug, Clone, Default)]
+pub struct StreamingLedger;
+
+impl Application for StreamingLedger {
+    type Payload = SlEvent;
+
+    fn name(&self) -> &'static str {
+        "SL"
+    }
+
+    fn read_write_set(&self, e: &SlEvent) -> ReadWriteSet {
+        let mut set = ReadWriteSet::new();
+        match e {
+            SlEvent::Deposit { account, asset, .. } => {
+                set.push(StateRef::new(ACCOUNT_TABLE, *account), AccessMode::Write);
+                set.push(StateRef::new(ASSET_TABLE, *asset), AccessMode::Write);
+            }
+            SlEvent::Transfer {
+                src_account,
+                dst_account,
+                src_asset,
+                dst_asset,
+                ..
+            } => {
+                set.push(StateRef::new(ACCOUNT_TABLE, *src_account), AccessMode::Write);
+                set.push(StateRef::new(ACCOUNT_TABLE, *dst_account), AccessMode::Write);
+                set.push(StateRef::new(ASSET_TABLE, *src_asset), AccessMode::Write);
+                set.push(StateRef::new(ASSET_TABLE, *dst_asset), AccessMode::Write);
+                // The credits read the source balances (data dependencies).
+                set.push(StateRef::new(ACCOUNT_TABLE, *src_account), AccessMode::Read);
+                set.push(StateRef::new(ASSET_TABLE, *src_asset), AccessMode::Read);
+            }
+        }
+        set
+    }
+
+    fn state_access(&self, e: &SlEvent, txn: &mut Txn) {
+        match *e {
+            SlEvent::Deposit {
+                account,
+                asset,
+                amount,
+            } => {
+                txn.read_modify(ACCOUNT_TABLE, account, None, move |ctx| {
+                    Ok(Value::Long(ctx.current.as_long()? + amount))
+                });
+                txn.read_modify(ASSET_TABLE, asset, None, move |ctx| {
+                    Ok(Value::Long(ctx.current.as_long()? + amount))
+                });
+            }
+            SlEvent::Transfer {
+                src_account,
+                dst_account,
+                src_asset,
+                dst_asset,
+                amount,
+            } => {
+                // The transfer's condition is "the source balances, as of this
+                // transaction's timestamp, are sufficient".  The dependent
+                // credit operations are issued *before* the debits so that the
+                // eager single-version schemes (which read committed values in
+                // operation order) evaluate the condition against the same
+                // pre-transaction balances the multi-version schemes and
+                // TStream see — all schemes therefore make identical
+                // commit/abort decisions.
+                //
+                // Credit the destination account; depends on the source
+                // account balance.
+                txn.write_with(
+                    ACCOUNT_TABLE,
+                    dst_account,
+                    Some(StateRef::new(ACCOUNT_TABLE, src_account)),
+                    move |ctx| {
+                        let src = ctx.dependency.expect("transfer dependency").as_long()?;
+                        if src >= amount {
+                            Ok(Value::Long(ctx.current.as_long()? + amount))
+                        } else {
+                            Err(StateError::ConsistencyViolation(
+                                "insufficient account balance".into(),
+                            ))
+                        }
+                    },
+                );
+                // Debit the source account if it has sufficient balance.
+                txn.read_modify(ACCOUNT_TABLE, src_account, None, move |ctx| {
+                    let balance = ctx.current.as_long()?;
+                    if balance >= amount {
+                        Ok(Value::Long(balance - amount))
+                    } else {
+                        Err(StateError::ConsistencyViolation(
+                            "insufficient account balance".into(),
+                        ))
+                    }
+                });
+                // Same for the asset pair.
+                txn.write_with(
+                    ASSET_TABLE,
+                    dst_asset,
+                    Some(StateRef::new(ASSET_TABLE, src_asset)),
+                    move |ctx| {
+                        let src = ctx.dependency.expect("transfer dependency").as_long()?;
+                        if src >= amount {
+                            Ok(Value::Long(ctx.current.as_long()? + amount))
+                        } else {
+                            Err(StateError::ConsistencyViolation(
+                                "insufficient asset balance".into(),
+                            ))
+                        }
+                    },
+                );
+                txn.read_modify(ASSET_TABLE, src_asset, None, move |ctx| {
+                    let balance = ctx.current.as_long()?;
+                    if balance >= amount {
+                        Ok(Value::Long(balance - amount))
+                    } else {
+                        Err(StateError::ConsistencyViolation(
+                            "insufficient asset balance".into(),
+                        ))
+                    }
+                });
+            }
+        }
+    }
+
+    fn post_process(&self, _e: &SlEvent, blotter: &EventBlotter) -> PostAction {
+        // The updating result (success / fail) is passed to the sink.
+        if blotter.is_aborted() {
+            PostAction::Silent
+        } else {
+            PostAction::Emit
+        }
+    }
+}
+
+/// Build the account and asset tables.
+pub fn build_store(spec: &WorkloadSpec) -> Arc<StateStore> {
+    let accounts = TableBuilder::new("accounts")
+        .extend((0..spec.keys).map(|k| (k, Value::Long(INITIAL_BALANCE))))
+        .build()
+        .expect("SL account table");
+    let assets = TableBuilder::new("assets")
+        .extend((0..spec.keys).map(|k| (k, Value::Long(INITIAL_BALANCE))))
+        .build()
+        .expect("SL asset table");
+    StateStore::new(vec![accounts, assets]).expect("SL store")
+}
+
+/// Generate the SL input stream (50 % deposits, 50 % transfers).
+pub fn generate(spec: &WorkloadSpec) -> Vec<SlEvent> {
+    let mut rng = Rng::new(spec.seed ^ 0x5151);
+    let zipf = Zipf::new(spec.keys as usize, spec.skew);
+    let mut events = Vec::with_capacity(spec.events);
+    for _ in 0..spec.events {
+        let amount = 1 + rng.next_below(100) as i64;
+        if rng.chance(0.5) {
+            events.push(SlEvent::Deposit {
+                account: zipf.sample(&mut rng),
+                asset: zipf.sample(&mut rng),
+                amount,
+            });
+        } else {
+            let accounts = zipf.sample_distinct(&mut rng, 2);
+            let assets = zipf.sample_distinct(&mut rng, 2);
+            events.push(SlEvent::Transfer {
+                src_account: accounts[0],
+                dst_account: accounts[1],
+                src_asset: assets[0],
+                dst_asset: assets[1],
+                amount,
+            });
+        }
+    }
+    events
+}
+
+/// Total money in the system (accounts + assets); transfers must conserve it,
+/// deposits increase it by exactly the deposited amounts.  Used by the
+/// consistency tests.
+pub fn total_balance(store: &StateStore) -> i64 {
+    let mut total = 0i64;
+    for table in ["accounts", "assets"] {
+        let t = store.table_by_name(table).unwrap();
+        for (_, record) in t.iter() {
+            total += record.read_committed().as_long().unwrap_or(0);
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tstream_core::{Engine, EngineConfig, Scheme};
+
+    #[test]
+    fn generator_mixes_deposits_and_transfers() {
+        let spec = WorkloadSpec::default().events(2_000);
+        let events = generate(&spec);
+        let deposits = events
+            .iter()
+            .filter(|e| matches!(e, SlEvent::Deposit { .. }))
+            .count();
+        let ratio = deposits as f64 / events.len() as f64;
+        assert!((ratio - 0.5).abs() < 0.05);
+        for e in &events {
+            if let SlEvent::Transfer {
+                src_account,
+                dst_account,
+                src_asset,
+                dst_asset,
+                amount,
+            } = e
+            {
+                assert_ne!(src_account, dst_account);
+                assert_ne!(src_asset, dst_asset);
+                assert!(*amount > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn money_is_conserved_under_every_scheme() {
+        let spec = WorkloadSpec::default().events(800);
+        let events = generate(&spec);
+        // Expected total: initial + sum of committed deposit amounts; since
+        // balances start high no transfer aborts, so every deposit commits.
+        let deposit_total: i64 = events
+            .iter()
+            .map(|e| match e {
+                SlEvent::Deposit { amount, .. } => 2 * amount,
+                SlEvent::Transfer { .. } => 0,
+            })
+            .sum();
+        let initial = 2 * spec.keys as i64 * INITIAL_BALANCE;
+
+        let app = Arc::new(StreamingLedger);
+        for scheme in [
+            Scheme::TStream,
+            Scheme::Eager(Arc::new(LockScheme::new())),
+            Scheme::Eager(Arc::new(MvlkScheme::new())),
+            Scheme::Eager(Arc::new(PatScheme::new(4))),
+        ] {
+            let store = build_store(&spec);
+            let engine = Engine::new(EngineConfig::with_executors(4).punctuation(100));
+            let report = engine.run(&app, &store, events.clone(), &scheme);
+            assert_eq!(report.rejected, 0, "{}: no transfer should abort", report.scheme);
+            assert_eq!(
+                total_balance(&store),
+                initial + deposit_total,
+                "{}: money must be conserved",
+                report.scheme
+            );
+        }
+    }
+
+    #[test]
+    fn insufficient_balance_rejects_the_transfer() {
+        // A store with tiny balances forces rejections.
+        let spec = WorkloadSpec::default().events(0);
+        let accounts = TableBuilder::new("accounts")
+            .extend((0..4u64).map(|k| (k, Value::Long(1))))
+            .build()
+            .unwrap();
+        let assets = TableBuilder::new("assets")
+            .extend((0..4u64).map(|k| (k, Value::Long(1))))
+            .build()
+            .unwrap();
+        let store = StateStore::new(vec![accounts, assets]).unwrap();
+        let _ = spec;
+
+        let events = vec![SlEvent::Transfer {
+            src_account: 0,
+            dst_account: 1,
+            src_asset: 0,
+            dst_asset: 1,
+            amount: 100,
+        }];
+        let app = Arc::new(StreamingLedger);
+        let engine = Engine::new(EngineConfig::with_executors(1).punctuation(10));
+        let report = engine.run(&app, &store, events, &Scheme::TStream);
+        assert_eq!(report.rejected, 1);
+        // Nothing moved.
+        assert_eq!(total_balance(&store), 8);
+    }
+
+    #[test]
+    fn deposits_update_both_tables() {
+        let store = {
+            let accounts = TableBuilder::new("accounts")
+                .insert(0, Value::Long(0))
+                .build()
+                .unwrap();
+            let assets = TableBuilder::new("assets")
+                .insert(0, Value::Long(0))
+                .build()
+                .unwrap();
+            StateStore::new(vec![accounts, assets]).unwrap()
+        };
+        let app = Arc::new(StreamingLedger);
+        let engine = Engine::new(EngineConfig::with_executors(1).punctuation(4));
+        let events = vec![
+            SlEvent::Deposit {
+                account: 0,
+                asset: 0,
+                amount: 7,
+            };
+            3
+        ];
+        let report = engine.run(&app, &store, events, &Scheme::TStream);
+        assert_eq!(report.committed, 3);
+        assert_eq!(total_balance(&store), 42);
+    }
+}

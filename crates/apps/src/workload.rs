@@ -1,0 +1,347 @@
+//! Workload generation: deterministic PRNG, Zipf sampling and the shared
+//! workload parameters of Section VI-B.
+//!
+//! All generators are fully deterministic given a seed so every scheme is
+//! measured against byte-identical input streams, and so the
+//! schedule-equivalence tests can compare final states across schemes.
+
+/// Deterministic 64-bit PRNG (SplitMix64 seeding a xoshiro256** core).
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a PRNG from a seed.
+    pub fn new(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the xoshiro state.
+        let mut x = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Rng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next raw 64-bit value (xoshiro256**).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Multiply-shift rejection-free mapping (slight modulo bias is
+        // irrelevant at workload scale).
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Bernoulli draw.
+    pub fn chance(&mut self, probability: f64) -> bool {
+        self.next_f64() < probability
+    }
+
+    /// Sample `n` *distinct* values from `[0, bound)`.
+    pub fn distinct_below(&mut self, n: usize, bound: u64) -> Vec<u64> {
+        assert!(n as u64 <= bound, "cannot sample {n} distinct values from {bound}");
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            let candidate = self.next_below(bound);
+            if !out.contains(&candidate) {
+                out.push(candidate);
+            }
+        }
+        out
+    }
+}
+
+/// Zipf-distributed key sampler over `[0, n)`.
+///
+/// `theta = 0` degenerates to the uniform distribution; larger values skew
+/// access towards a hot set.  The paper uses 0.6 for GS/SL/OB and 0.2 for TP
+/// (Section VI-B).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for `n` keys with skew `theta`.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one key");
+        let theta = theta.max(0.0);
+        let mut weights: Vec<f64> = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in &mut weights {
+            acc += *w / total;
+            *w = acc;
+        }
+        // Guard against floating point drift in the last bucket.
+        if let Some(last) = weights.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cdf: weights }
+    }
+
+    /// Number of keys.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Sample one key.
+    pub fn sample(&self, rng: &mut Rng) -> u64 {
+        let u = rng.next_f64();
+        self.cdf.partition_point(|&c| c < u) as u64
+    }
+
+    /// Sample `count` distinct keys.
+    pub fn sample_distinct(&self, rng: &mut Rng, count: usize) -> Vec<u64> {
+        assert!(count <= self.n());
+        let mut out = Vec::with_capacity(count);
+        let mut guard = 0usize;
+        while out.len() < count {
+            let k = self.sample(rng);
+            if !out.contains(&k) {
+                out.push(k);
+            }
+            guard += 1;
+            if guard > count * 64 {
+                // Extremely skewed distributions may take long to produce
+                // distinct keys; fall back to low-key fill.
+                for k in 0..self.n() as u64 {
+                    if out.len() == count {
+                        break;
+                    }
+                    if !out.contains(&k) {
+                        out.push(k);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Workload parameters shared by the GS-style microbenchmarks
+/// (Section VI-B and the sensitivity studies of Section VI-E).
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSpec {
+    /// Number of input events to generate.
+    pub events: usize,
+    /// Number of unique keys per table.
+    pub keys: u64,
+    /// Zipf skew factor of the key access distribution.
+    pub skew: f64,
+    /// Fraction of events issuing read-only transactions.
+    pub read_ratio: f64,
+    /// Accesses per transaction ("transaction length").
+    pub txn_len: usize,
+    /// Fraction of transactions that are multi-partition.
+    pub multi_partition_ratio: f64,
+    /// Number of distinct partitions a multi-partition transaction touches.
+    pub multi_partition_len: usize,
+    /// Number of state partitions assumed by the generator (must match the
+    /// partition count handed to the PAT scheme for Figure 10).
+    pub partitions: u32,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        // The paper's defaults (Section VI-B).
+        WorkloadSpec {
+            events: 10_000,
+            keys: 10_000,
+            skew: 0.6,
+            read_ratio: 0.5,
+            txn_len: 10,
+            multi_partition_ratio: 0.25,
+            multi_partition_len: 4,
+            partitions: 4,
+            seed: 0x7575_2020,
+        }
+    }
+}
+
+impl WorkloadSpec {
+    /// Set the number of events.
+    pub fn events(mut self, events: usize) -> Self {
+        self.events = events;
+        self
+    }
+
+    /// Set the number of unique keys per table.
+    pub fn keys(mut self, keys: u64) -> Self {
+        self.keys = keys.max(1);
+        self
+    }
+
+    /// Set the Zipf skew.
+    pub fn skew(mut self, skew: f64) -> Self {
+        self.skew = skew;
+        self
+    }
+
+    /// Set the accesses per transaction ("transaction length").
+    pub fn txn_len(mut self, len: usize) -> Self {
+        self.txn_len = len.max(1);
+        self
+    }
+
+    /// Set the read ratio.
+    pub fn read_ratio(mut self, ratio: f64) -> Self {
+        self.read_ratio = ratio.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Set the multi-partition transaction ratio and length.
+    pub fn multi_partition(mut self, ratio: f64, len: usize) -> Self {
+        self.multi_partition_ratio = ratio.clamp(0.0, 1.0);
+        self.multi_partition_len = len.max(1);
+        self
+    }
+
+    /// Set the number of partitions the generator plans against.
+    pub fn partitions(mut self, partitions: u32) -> Self {
+        self.partitions = partitions.max(1);
+        self
+    }
+
+    /// Set the PRNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::new(8);
+        assert_ne!(Rng::new(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn next_below_stays_in_range() {
+        let mut rng = Rng::new(1);
+        for bound in [1u64, 2, 10, 1000] {
+            for _ in 0..1000 {
+                assert!(rng.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_sampling_has_no_duplicates() {
+        let mut rng = Rng::new(3);
+        let sample = rng.distinct_below(10, 16);
+        let mut dedup = sample.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 10);
+    }
+
+    #[test]
+    fn zipf_uniform_when_theta_zero() {
+        let zipf = Zipf::new(100, 0.0);
+        let mut rng = Rng::new(9);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..100_000 {
+            counts[zipf.sample(&mut rng) as usize] += 1;
+        }
+        let min = *counts.iter().min().unwrap() as f64;
+        let max = *counts.iter().max().unwrap() as f64;
+        assert!(max / min < 1.6, "uniform draw too skewed: {min} vs {max}");
+    }
+
+    #[test]
+    fn zipf_skews_towards_low_keys() {
+        let zipf = Zipf::new(1000, 0.9);
+        let mut rng = Rng::new(11);
+        let mut hot = 0usize;
+        let draws = 50_000;
+        for _ in 0..draws {
+            if zipf.sample(&mut rng) < 10 {
+                hot += 1;
+            }
+        }
+        // With theta=0.9 the 10 hottest keys of 1000 should attract far more
+        // than their uniform 1 % share.
+        assert!(hot as f64 / draws as f64 > 0.10);
+    }
+
+    #[test]
+    fn zipf_distinct_sampling_is_exact() {
+        let zipf = Zipf::new(50, 0.99);
+        let mut rng = Rng::new(21);
+        let sample = zipf.sample_distinct(&mut rng, 50);
+        let mut sorted = sample.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 50);
+    }
+
+    #[test]
+    fn zipf_samples_are_in_range() {
+        let zipf = Zipf::new(10, 0.6);
+        let mut rng = Rng::new(5);
+        for _ in 0..10_000 {
+            assert!(zipf.sample(&mut rng) < 10);
+        }
+    }
+
+    #[test]
+    fn spec_builder_round_trip() {
+        let spec = WorkloadSpec::default()
+            .events(123)
+            .skew(0.2)
+            .read_ratio(2.0)
+            .multi_partition(0.5, 6)
+            .partitions(0)
+            .seed(42);
+        assert_eq!(spec.events, 123);
+        assert_eq!(spec.skew, 0.2);
+        assert_eq!(spec.read_ratio, 1.0, "ratio is clamped");
+        assert_eq!(spec.multi_partition_len, 6);
+        assert_eq!(spec.partitions, 1, "partitions clamped to 1");
+        assert_eq!(spec.seed, 42);
+    }
+
+    #[test]
+    fn default_spec_matches_paper() {
+        let spec = WorkloadSpec::default();
+        assert_eq!(spec.keys, 10_000);
+        assert_eq!(spec.txn_len, 10);
+        assert_eq!(spec.skew, 0.6);
+        assert_eq!(spec.multi_partition_len, 4);
+        assert!((spec.multi_partition_ratio - 0.25).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,124 @@
+//! Ablation bench: the operation-chain container.
+//!
+//! The paper picks a concurrent skip list for operation chains
+//! (Section IV-C.1); this bench compares single-threaded and concurrent
+//! insertion plus ordered scans against the obvious alternatives: a
+//! mutex-protected `BTreeMap` and a mutex-protected `Vec` that is sorted once
+//! before scanning.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parking_lot::Mutex;
+use tstream_skiplist::ConcurrentSkipList;
+
+const SIZES: [usize; 2] = [512, 4_096];
+const THREADS: usize = 8;
+
+/// Keys arrive roughly out of order, as they do when multiple executors
+/// decompose interleaved timestamps.
+fn shuffled_keys(n: usize) -> Vec<u64> {
+    (0..n as u64).map(|i| (i * 2_654_435_761) % n as u64).collect()
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chain_insert_single_thread");
+    for &n in &SIZES {
+        let keys = shuffled_keys(n);
+        group.bench_with_input(BenchmarkId::new("skiplist", n), &keys, |b, keys| {
+            b.iter(|| {
+                let list = ConcurrentSkipList::new();
+                for &k in keys {
+                    list.insert(k, k);
+                }
+                list.len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("mutex_btreemap", n), &keys, |b, keys| {
+            b.iter(|| {
+                let map = Mutex::new(BTreeMap::new());
+                for &k in keys {
+                    map.lock().insert(k, k);
+                }
+                let len = map.lock().len();
+                len
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("mutex_vec_sort", n), &keys, |b, keys| {
+            b.iter(|| {
+                let vec = Mutex::new(Vec::new());
+                for &k in keys {
+                    vec.lock().push((k, k));
+                }
+                let mut v = vec.into_inner();
+                v.sort_unstable();
+                v.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_concurrent_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chain_insert_8_threads");
+    group.sample_size(20);
+    for &n in &SIZES {
+        group.bench_with_input(BenchmarkId::new("skiplist", n), &n, |b, &n| {
+            b.iter(|| {
+                let list = Arc::new(ConcurrentSkipList::new());
+                std::thread::scope(|s| {
+                    for t in 0..THREADS {
+                        let list = list.clone();
+                        s.spawn(move || {
+                            for i in (t..n).step_by(THREADS) {
+                                list.insert(i as u64, i as u64);
+                            }
+                        });
+                    }
+                });
+                list.len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("mutex_btreemap", n), &n, |b, &n| {
+            b.iter(|| {
+                let map = Arc::new(Mutex::new(BTreeMap::new()));
+                std::thread::scope(|s| {
+                    for t in 0..THREADS {
+                        let map = map.clone();
+                        s.spawn(move || {
+                            for i in (t..n).step_by(THREADS) {
+                                map.lock().insert(i as u64, i as u64);
+                            }
+                        });
+                    }
+                });
+                let len = map.lock().len();
+                len
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chain_ordered_scan");
+    for &n in &SIZES {
+        let list = ConcurrentSkipList::new();
+        let map = Mutex::new(BTreeMap::new());
+        for k in shuffled_keys(n) {
+            list.insert(k, k);
+            map.lock().insert(k, k);
+        }
+        group.bench_with_input(BenchmarkId::new("skiplist", n), &list, |b, list| {
+            b.iter(|| list.iter().map(|(_, v)| *v).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::new("mutex_btreemap", n), &map, |b, map| {
+            b.iter(|| map.lock().values().copied().sum::<u64>())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert, bench_concurrent_insert, bench_scan);
+criterion_main!(benches);

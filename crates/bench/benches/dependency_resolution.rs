@@ -1,0 +1,41 @@
+//! Ablation bench: chain-level round-based dependency resolution vs the
+//! fine-grained watermark scheduler, on the dependency-heavy SL workload and
+//! on the dependency-free GS workload (DESIGN.md, ablation #2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tstream_apps::runner::{run_benchmark, AppKind, RunOptions, SchemeKind};
+use tstream_apps::workload::WorkloadSpec;
+use tstream_core::{DependencyResolution, EngineConfig};
+
+const EVENTS: usize = 4_000;
+const CORES: usize = 4;
+
+fn bench_resolution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dependency_resolution");
+    group.sample_size(10);
+    for app in [AppKind::Sl, AppKind::Gs] {
+        for resolution in [DependencyResolution::FineGrained, DependencyResolution::Rounds] {
+            let label = format!("{}_{}", app.label(), resolution.label());
+            group.bench_with_input(
+                BenchmarkId::from_parameter(label),
+                &(app, resolution),
+                |b, &(app, resolution)| {
+                    b.iter(|| {
+                        let spec = WorkloadSpec::default()
+                            .events(EVENTS)
+                            .partitions(CORES as u32);
+                        let engine = EngineConfig::with_executors(CORES)
+                            .punctuation(500)
+                            .resolution(resolution);
+                        let options = RunOptions::new(spec, engine);
+                        run_benchmark(app, SchemeKind::TStream, &options).committed
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_resolution);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! `cargo bench` entry point that exercises a *quick* variant of every
+//! paper experiment, so the full benchmark harness is covered by the default
+//! bench run.  The detailed sweeps live in the `fig*` binaries
+//! (`cargo run --release -p tstream-bench --bin fig08_throughput`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tstream_apps::{AppKind, SchemeKind};
+use tstream_bench::{events_for, run_point, HarnessConfig};
+
+fn quick_figures(c: &mut Criterion) {
+    let cfg = HarnessConfig::new(true);
+    let cores = cfg.max_cores.min(8);
+
+    let mut group = c.benchmark_group("figures_quick");
+    group.sample_size(10);
+
+    // Figure 8 (headline): every app under PAT and TStream at `cores`.
+    for app in AppKind::ALL {
+        for scheme in [SchemeKind::Pat, SchemeKind::TStream] {
+            let id = format!("fig08_{}_{}", app.label(), scheme.label());
+            group.bench_function(&id, |b| {
+                b.iter(|| {
+                    run_point(app, scheme, cores, events_for(app, cores, true), 500).committed
+                })
+            });
+        }
+    }
+
+    // Figure 12: TStream at two punctuation intervals on TP.
+    for interval in [100usize, 1000] {
+        let id = format!("fig12_TP_interval_{interval}");
+        group.bench_function(&id, |b| {
+            b.iter(|| {
+                run_point(
+                    AppKind::Tp,
+                    SchemeKind::TStream,
+                    cores,
+                    events_for(AppKind::Tp, cores, true),
+                    interval,
+                )
+                .committed
+            })
+        });
+    }
+
+    // Section II-C: the order-unaware controls on GS (small point each, so the
+    // default bench run also exercises the T/O and OCC code paths).
+    for scheme in SchemeKind::ORDER_UNAWARE {
+        let id = format!("sec2c_GS_{}", scheme.label().replace('/', ""));
+        group.bench_function(&id, |b| {
+            b.iter(|| run_point(AppKind::Gs, scheme, cores, 2_000, 500).events)
+        });
+    }
+
+    // Figure 2 / Section II-A: one quick run of the conventional TP pipeline.
+    group.bench_function("fig02_conventional_TP", |b| {
+        let spec = tstream_apps::workload::WorkloadSpec::default().events(5_000);
+        let events = tstream_apps::tp::generate(&spec);
+        b.iter(|| {
+            tstream_apps::conventional::run_conventional(
+                &events,
+                tstream_apps::conventional::ConventionalConfig {
+                    executors_per_operator: cores.max(2) / 2,
+                    buffer_limit: 128,
+                    channel_capacity: 1_024,
+                },
+            )
+            .tolls_emitted
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, quick_figures);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Micro-bench of the per-transaction execution path of every scheme on a
+//! small GS workload with four executors, measuring the full engine loop
+//! (events/iteration is fixed, so lower time = higher throughput).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tstream_apps::runner::{run_benchmark, AppKind, RunOptions, SchemeKind};
+use tstream_apps::workload::WorkloadSpec;
+use tstream_core::EngineConfig;
+
+const EVENTS: usize = 4_000;
+const CORES: usize = 4;
+
+fn bench_schemes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_gs_4cores_4k_events");
+    group.sample_size(10);
+    for scheme in SchemeKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()),
+            &scheme,
+            |b, &scheme| {
+                b.iter(|| {
+                    let spec = WorkloadSpec::default()
+                        .events(EVENTS)
+                        .partitions(CORES as u32);
+                    let engine = EngineConfig::with_executors(CORES).punctuation(500);
+                    let mut options = RunOptions::new(spec, engine);
+                    options.pat_partitions = CORES as u32;
+                    run_benchmark(AppKind::Gs, scheme, &options).committed
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_apps_under_tstream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_tstream_4cores_4k_events");
+    group.sample_size(10);
+    for app in AppKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(app.label()), &app, |b, &app| {
+            b.iter(|| {
+                let spec = WorkloadSpec::default()
+                    .events(EVENTS)
+                    .partitions(CORES as u32);
+                let engine = EngineConfig::with_executors(CORES).punctuation(500);
+                let options = RunOptions::new(spec, engine);
+                run_benchmark(app, SchemeKind::TStream, &options).committed
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schemes, bench_apps_under_tstream);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Figure 14: TStream throughput under the three NUMA-aware chain placements
+//! (shared-nothing, shared-everything, shared-per-socket), with work stealing
+//! enabled for the shared configurations.
+
+use tstream_apps::runner::{render_table, run_benchmark, RunOptions};
+use tstream_apps::workload::WorkloadSpec;
+use tstream_apps::{AppKind, SchemeKind};
+use tstream_bench::{events_for, HarnessConfig};
+use tstream_core::{ChainPlacement, EngineConfig};
+use tstream_txn::NumaModel;
+
+fn run(cfg: &HarnessConfig, app: AppKind, cores: usize, placement: ChainPlacement, stealing: bool) -> f64 {
+    let events = events_for(app, cores, cfg.quick);
+    let spec = WorkloadSpec::default()
+        .events(events)
+        .partitions(cores as u32);
+    let engine = EngineConfig::with_executors(cores)
+        .punctuation(500)
+        .placement(placement)
+        .work_stealing(stealing)
+        .numa(NumaModel::paper_calibrated());
+    let mut options = RunOptions::new(spec, engine);
+    options.pat_partitions = cores as u32;
+    run_benchmark(app, SchemeKind::TStream, &options).throughput_keps()
+}
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    let cores = cfg.max_cores;
+    println!("Figure 14: TStream throughput (K txns/s) under NUMA-aware configurations ({cores} cores,");
+    println!("synthetic sockets of 10 cores, calibrated remote-access penalty)\n");
+
+    let mut rows = Vec::new();
+    for app in AppKind::ALL {
+        rows.push(vec![
+            app.label().to_string(),
+            format!("{:.1}", run(&cfg, app, cores, ChainPlacement::SharedNothing, false)),
+            format!("{:.1}", run(&cfg, app, cores, ChainPlacement::SharedEverything, true)),
+            format!("{:.1}", run(&cfg, app, cores, ChainPlacement::SharedPerSocket, true)),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["app", "shared-nothing", "shared-everything", "shared-per-socket"],
+            &rows
+        )
+    );
+
+    println!("Work-stealing ablation (shared-everything, GS): throughput with and without stealing\n");
+    let with = run(&cfg, AppKind::Gs, cores, ChainPlacement::SharedEverything, true);
+    let without = run(&cfg, AppKind::Gs, cores, ChainPlacement::SharedEverything, false);
+    println!("  with stealing:    {with:.1} K/s");
+    println!("  without stealing: {without:.1} K/s");
+    println!("\nPaper shape: shared-nothing wins for every application; work stealing helps the");
+    println!("shared configurations but does not close the gap (Section VI-F).");
+}

@@ -1,0 +1,120 @@
+//! Section II-C: why classic order-unaware concurrency controls (T/O, OCC)
+//! are unsuitable for concurrent stateful stream processing.
+//!
+//! The paper argues that timestamp-ordering either rejects transactions that
+//! must commit (violating exactly-once processing of the input stream) or,
+//! when restarted with fresh timestamps, violates the state access order
+//! (F3); OCC similarly serialises in commit order rather than event order.
+//! This harness quantifies both effects on a write-only, skewed GS workload:
+//! for every scheme it reports the fraction of rejected events and the number
+//! of state cells whose final value differs from the correct state
+//! transaction schedule (serial execution in timestamp order).
+
+use std::sync::Arc;
+
+use tstream_apps::runner::render_table;
+use tstream_apps::workload::WorkloadSpec;
+use tstream_apps::{gs, SchemeKind};
+use tstream_bench::HarnessConfig;
+use tstream_core::{Engine, EngineConfig, Scheme};
+use tstream_txn::nolock::NoLockScheme;
+use tstream_txn::occ::OccScheme;
+use tstream_txn::to::{ToPolicy, ToScheme};
+
+/// Number of table cells whose committed value differs between two snapshots.
+fn diverging_cells(
+    a: &[(String, u64, tstream_state::Value)],
+    b: &[(String, u64, tstream_state::Value)],
+) -> usize {
+    a.iter().zip(b).filter(|(x, y)| x != y).count()
+}
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    let cores = cfg.max_cores.min(16);
+    let events = if cfg.quick { 5_000 } else { 40_000 };
+
+    // Write-only, moderately skewed GS: the worst case for freshness checks,
+    // and the configuration Figure 11(b) uses for the contention study.
+    let spec = WorkloadSpec::default()
+        .events(events)
+        .read_ratio(0.0)
+        .skew(0.6);
+    let payloads = gs::generate(&spec);
+    let app = Arc::new(gs::GrepSum {
+        with_summation: false,
+    });
+
+    // Reference: serial execution in timestamp order (1 executor, any
+    // consistency-preserving scheme).  This is the "correct state transaction
+    // schedule" of Definition 2.
+    let reference_store = gs::build_store(&spec);
+    Engine::new(EngineConfig::with_executors(1).punctuation(500)).run(
+        &app,
+        &reference_store,
+        payloads.clone(),
+        &Scheme::TStream,
+    );
+    let reference = reference_store.snapshot();
+
+    println!(
+        "Section II-C: order-unaware concurrency controls on write-only GS \
+         ({events} events, skew 0.6, {cores} cores)\n"
+    );
+
+    let mut rows = Vec::new();
+    let candidates: Vec<(String, Scheme)> = vec![
+        ("TStream".into(), Scheme::TStream),
+        (
+            "T/O (reject)".into(),
+            Scheme::Eager(Arc::new(ToScheme::new(ToPolicy::Reject))),
+        ),
+        (
+            "T/O (restamp)".into(),
+            Scheme::Eager(Arc::new(ToScheme::new(ToPolicy::Restamp))),
+        ),
+        ("OCC".into(), Scheme::Eager(Arc::new(OccScheme::default()))),
+        (
+            "No-Lock".into(),
+            Scheme::Eager(Arc::new(NoLockScheme::new())),
+        ),
+    ];
+    for (label, scheme) in candidates {
+        let store = gs::build_store(&spec);
+        let engine = Engine::new(EngineConfig::with_executors(cores).punctuation(500));
+        let report = engine.run(&app, &store, payloads.clone(), &scheme);
+        let divergence = diverging_cells(&store.snapshot(), &reference);
+        rows.push(vec![
+            label,
+            format!("{:.1}", report.throughput_keps()),
+            format!("{}", report.committed),
+            format!("{}", report.rejected),
+            format!(
+                "{:.2}%",
+                100.0 * report.rejected as f64 / report.events.max(1) as f64
+            ),
+            format!("{divergence}"),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "scheme",
+                "K events/s",
+                "committed",
+                "rejected",
+                "reject %",
+                "diverging cells",
+            ],
+            &rows
+        )
+    );
+
+    println!("Paper shape: TStream commits every event and matches the serial-order state");
+    println!("exactly.  T/O with the reject policy loses a growing fraction of events under");
+    println!("contention; with the restamp policy (and with OCC / No-Lock) everything commits");
+    println!("but the final state diverges from the correct schedule — neither behaviour is");
+    println!("acceptable for stateful stream processing (Section II-C).");
+    let _ = SchemeKind::ORDER_UNAWARE; // documented entry point for library users
+}

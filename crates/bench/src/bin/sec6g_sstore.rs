@@ -1,0 +1,76 @@
+//! Section VI-G: sanity comparison against S-Store on its micro-benchmark
+//! (one stored procedure with three write operations, single core).
+//!
+//! The real S-Store binary is not available; following DESIGN.md we model its
+//! trigger-based execution style — every write is dispatched as an
+//! independent micro-task with a thread yield (context switch) in between —
+//! and compare it with the PAT scheme running inside our engine, which
+//! executes the three writes consecutively on one thread.  The paper reports
+//! ~3.6K events/s for S-Store vs ~11.7K events/s for its PAT
+//! re-implementation (about 3x).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use tstream_apps::workload::WorkloadSpec;
+use tstream_apps::{runner::RunOptions, AppKind, SchemeKind};
+use tstream_bench::HarnessConfig;
+use tstream_core::EngineConfig;
+use tstream_state::{StateStore, TableBuilder, TableId, Value};
+
+/// Simulated trigger-style execution: each of the three writes of the stored
+/// procedure is dispatched as its own task, with a context switch between
+/// tasks (S-Store's trigger chain).
+fn run_trigger_style(events: usize) -> f64 {
+    let table = TableBuilder::new("t")
+        .extend((0..1_000u64).map(|k| (k, Value::Long(0))))
+        .build()
+        .unwrap();
+    let store: Arc<StateStore> = StateStore::new(vec![table]).unwrap();
+    let start = Instant::now();
+    for i in 0..events {
+        for w in 0..3u64 {
+            let key = (i as u64 * 3 + w) % 1_000;
+            let record = store.record(TableId(0), key).unwrap();
+            record.update_committed(|v| {
+                if let Value::Long(x) = v {
+                    *x += 1;
+                }
+            });
+            // The trigger hand-off: the next write runs in a different task.
+            std::thread::yield_now();
+        }
+    }
+    events as f64 / start.elapsed().as_secs_f64() / 1_000.0
+}
+
+/// The same stored procedure (three writes per event) executed by the PAT
+/// scheme inside the engine on a single core.
+fn run_pat(events: usize) -> f64 {
+    let spec = WorkloadSpec::default()
+        .events(events)
+        .read_ratio(0.0)
+        .multi_partition(0.0, 1)
+        .partitions(1);
+    let mut spec = spec;
+    spec.txn_len = 3;
+    spec.keys = 1_000;
+    let engine = EngineConfig::with_executors(1).punctuation(500);
+    let mut options = RunOptions::new(spec, engine);
+    options.pat_partitions = 1;
+    options.gs_with_summation = false;
+    tstream_apps::run_benchmark(AppKind::Gs, SchemeKind::Pat, &options).throughput_keps()
+}
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    let events = if cfg.quick { 20_000 } else { 200_000 };
+    println!("Section VI-G: S-Store-style trigger execution vs PAT (single core, 3-write procedure)\n");
+    let trigger = run_trigger_style(events);
+    let pat = run_pat(events);
+    println!("  trigger-style (S-Store model): {trigger:.1} K events/s");
+    println!("  PAT inside this engine:        {pat:.1} K events/s");
+    println!("  ratio:                         {:.1}x", pat / trigger.max(f64::MIN_POSITIVE));
+    println!("\nPaper reference: S-Store ~3.6K events/s, re-implemented PAT ~11.7K events/s (~3x),");
+    println!("attributed to consecutive execution by one thread vs trigger dispatch overhead.");
+}

@@ -1,0 +1,28 @@
+//! Section VI-A (in-text table): fraction of time spent in compute mode on a
+//! single core for each application (the paper reports TP 39 %, SL 29 %,
+//! OB 22 %, GS 13 %).
+
+use tstream_apps::runner::render_table;
+use tstream_apps::{AppKind, SchemeKind};
+use tstream_bench::{events_for, pct, run_point, HarnessConfig};
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    println!("Section VI-A: compute-mode time share on a single core (TStream)\n");
+    let mut rows = Vec::new();
+    for app in AppKind::ALL {
+        let events = events_for(app, 1, cfg.quick);
+        let report = run_point(app, SchemeKind::TStream, 1, events, 500);
+        rows.push(vec![
+            app.label().to_string(),
+            pct(report.compute_mode_share()),
+            format!("{:.1}", report.throughput_keps()),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["app", "compute-mode share", "K events/s"], &rows)
+    );
+    println!("Paper reference: TP 39%, SL 29%, OB 22%, GS 13% — GS is the most state-access");
+    println!("bound application, TP the least.");
+}

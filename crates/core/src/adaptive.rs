@@ -1,0 +1,368 @@
+//! Adaptive tuning of the punctuation interval.
+//!
+//! The punctuation interval is TStream's main tuning knob: a larger interval
+//! exposes more parallelism among the postponed transactions (higher
+//! throughput, Figure 12(a)) but delays the events waiting for their
+//! transactions to be processed (higher worst-case latency, Figure 12(b)).
+//! The paper leaves "the estimation of the optimal punctuation interval
+//! itself to future work" (Section VI-F); this module implements a simple,
+//! fully deterministic hill-climbing controller for it, used by the
+//! `ablation_adaptive_interval` harness and the `adaptive_interval` example.
+//!
+//! The controller is deliberately engine-agnostic: callers run a benchmark
+//! (or observe a production window) at the suggested interval, feed the
+//! measured throughput and tail latency back through
+//! [`AdaptiveIntervalController::observe`], and receive the next interval to
+//! try.  Observations are a pure function of the caller's measurements, so
+//! the controller is trivially unit-testable against synthetic
+//! throughput/latency curves.
+
+use std::time::Duration;
+
+/// Static bounds and step sizes of the controller.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveConfig {
+    /// Smallest interval the controller will ever suggest.
+    pub min_interval: usize,
+    /// Largest interval the controller will ever suggest.
+    pub max_interval: usize,
+    /// Optional bound on the observed 99th-percentile latency; intervals that
+    /// violate it are treated as overshoot regardless of their throughput.
+    pub latency_bound: Option<Duration>,
+    /// Multiplicative step applied while throughput keeps improving
+    /// (e.g. 2.0 doubles the interval).
+    pub growth: f64,
+    /// Multiplicative back-off applied after an unsuccessful or
+    /// latency-violating step (e.g. 0.5 halves the distance).
+    pub shrink: f64,
+    /// Relative throughput improvement below which a step is considered
+    /// neutral (stops the search once the curve flattens).
+    pub improvement_threshold: f64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            min_interval: 25,
+            max_interval: 4_000,
+            latency_bound: None,
+            growth: 2.0,
+            shrink: 0.5,
+            improvement_threshold: 0.03,
+        }
+    }
+}
+
+/// One measured run at a suggested interval.
+#[derive(Debug, Clone, Copy)]
+pub struct IntervalObservation {
+    /// The punctuation interval the measurement was taken at.
+    pub interval: usize,
+    /// Measured throughput in thousands of events per second.
+    pub throughput_keps: f64,
+    /// Measured 99th-percentile end-to-end latency.
+    pub p99: Duration,
+}
+
+/// Which way the hill climb is currently moving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    Up,
+    Down,
+}
+
+/// Hill-climbing controller for the punctuation interval.
+#[derive(Debug, Clone)]
+pub struct AdaptiveIntervalController {
+    config: AdaptiveConfig,
+    direction: Direction,
+    /// Best latency-feasible observation so far.
+    best: Option<IntervalObservation>,
+    /// Interval the controller expects the caller to measure next.
+    next: usize,
+    /// Number of consecutive neutral steps (used to detect convergence).
+    stalled: u32,
+}
+
+impl AdaptiveIntervalController {
+    /// Create a controller starting from `initial` events per punctuation.
+    pub fn new(config: AdaptiveConfig, initial: usize) -> Self {
+        let next = initial.clamp(config.min_interval, config.max_interval);
+        AdaptiveIntervalController {
+            config,
+            direction: Direction::Up,
+            best: None,
+            next,
+            stalled: 0,
+        }
+    }
+
+    /// The interval the caller should measure next.
+    pub fn suggested_interval(&self) -> usize {
+        self.next
+    }
+
+    /// Best latency-feasible observation seen so far.
+    pub fn best(&self) -> Option<&IntervalObservation> {
+        self.best.as_ref()
+    }
+
+    /// Whether the search has stopped moving (two consecutive neutral steps
+    /// or the suggested interval pinned at a bound).
+    pub fn converged(&self) -> bool {
+        self.stalled >= 2
+    }
+
+    /// Whether an observation violates the configured latency bound.
+    pub fn violates_latency(&self, observation: &IntervalObservation) -> bool {
+        match self.config.latency_bound {
+            Some(bound) => observation.p99 > bound,
+            None => false,
+        }
+    }
+
+    fn step(&self, from: usize, direction: Direction) -> usize {
+        let factor = match direction {
+            Direction::Up => self.config.growth.max(1.0 + f64::EPSILON),
+            Direction::Down => self.config.shrink.clamp(f64::EPSILON, 1.0),
+        };
+        let stepped = ((from as f64) * factor).round() as usize;
+        let stepped = if stepped == from {
+            match direction {
+                Direction::Up => from + 1,
+                Direction::Down => from.saturating_sub(1),
+            }
+        } else {
+            stepped
+        };
+        stepped.clamp(self.config.min_interval, self.config.max_interval)
+    }
+
+    /// Feed a measurement back and receive the next interval to try.
+    pub fn observe(&mut self, observation: IntervalObservation) -> usize {
+        let feasible = !self.violates_latency(&observation);
+
+        if feasible {
+            let improved = match &self.best {
+                None => true,
+                Some(best) => {
+                    observation.throughput_keps
+                        > best.throughput_keps * (1.0 + self.config.improvement_threshold)
+                }
+            };
+            let regressed = match &self.best {
+                None => false,
+                Some(best) => {
+                    observation.throughput_keps
+                        < best.throughput_keps * (1.0 - self.config.improvement_threshold)
+                }
+            };
+            if self
+                .best
+                .map(|b| observation.throughput_keps > b.throughput_keps)
+                .unwrap_or(true)
+            {
+                self.best = Some(observation);
+            }
+            if improved {
+                self.stalled = 0;
+                // Keep moving the same way.
+            } else if regressed {
+                self.stalled = 0;
+                self.direction = match self.direction {
+                    Direction::Up => Direction::Down,
+                    Direction::Down => Direction::Up,
+                };
+            } else {
+                self.stalled += 1;
+            }
+        } else {
+            // Latency bound violated: always back off towards smaller
+            // intervals, regardless of throughput.
+            self.stalled = 0;
+            self.direction = Direction::Down;
+        }
+
+        let from = observation.interval;
+        let mut next = self.step(from, self.direction);
+        if next == from {
+            // Pinned at a bound: nothing more to explore in this direction.
+            self.stalled += 1;
+            if let Some(best) = &self.best {
+                next = best.interval;
+            }
+        }
+        self.next = next;
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic Figure 12(a)-shaped throughput curve: rises steeply, then
+    /// saturates around an optimum.
+    fn synthetic_throughput(interval: usize, optimum: f64) -> f64 {
+        let x = interval as f64;
+        1_000.0 * (x / (x + optimum))
+    }
+
+    /// Synthetic Figure 12(b)-shaped latency curve: grows with the interval.
+    fn synthetic_p99(interval: usize) -> Duration {
+        Duration::from_micros(100 + interval as u64)
+    }
+
+    fn observe_at(
+        controller: &mut AdaptiveIntervalController,
+        interval: usize,
+        optimum: f64,
+    ) -> usize {
+        controller.observe(IntervalObservation {
+            interval,
+            throughput_keps: synthetic_throughput(interval, optimum),
+            p99: synthetic_p99(interval),
+        })
+    }
+
+    #[test]
+    fn initial_interval_is_clamped_to_bounds() {
+        let cfg = AdaptiveConfig {
+            min_interval: 100,
+            max_interval: 1_000,
+            ..Default::default()
+        };
+        assert_eq!(
+            AdaptiveIntervalController::new(cfg, 5).suggested_interval(),
+            100
+        );
+        assert_eq!(
+            AdaptiveIntervalController::new(cfg, 50_000).suggested_interval(),
+            1_000
+        );
+    }
+
+    #[test]
+    fn climbs_towards_larger_intervals_while_throughput_improves() {
+        let mut controller =
+            AdaptiveIntervalController::new(AdaptiveConfig::default(), 25);
+        let first = controller.suggested_interval();
+        let second = observe_at(&mut controller, first, 500.0);
+        assert!(second > first, "throughput is still rising, so keep growing");
+        let third = observe_at(&mut controller, second, 500.0);
+        assert!(third > second);
+    }
+
+    #[test]
+    fn converges_near_the_saturation_point() {
+        let mut controller =
+            AdaptiveIntervalController::new(AdaptiveConfig::default(), 25);
+        let mut interval = controller.suggested_interval();
+        for _ in 0..32 {
+            interval = observe_at(&mut controller, interval, 400.0);
+            if controller.converged() {
+                break;
+            }
+        }
+        assert!(controller.converged(), "search must terminate");
+        let best = controller.best().expect("at least one feasible observation");
+        // The synthetic curve saturates well before the upper bound; the
+        // controller must have pushed past the steep region.
+        assert!(best.interval >= 400, "best interval {}", best.interval);
+    }
+
+    #[test]
+    fn latency_bound_caps_the_interval() {
+        let cfg = AdaptiveConfig {
+            latency_bound: Some(Duration::from_micros(100 + 600)),
+            ..Default::default()
+        };
+        let mut controller = AdaptiveIntervalController::new(cfg, 25);
+        let mut interval = controller.suggested_interval();
+        for _ in 0..32 {
+            interval = observe_at(&mut controller, interval, 10_000.0);
+        }
+        let best = controller.best().expect("feasible observation exists");
+        assert!(
+            synthetic_p99(best.interval) <= Duration::from_micros(700),
+            "best interval {} violates the latency bound",
+            best.interval
+        );
+        // And the violating observations never became "best".
+        assert!(best.interval <= 600);
+    }
+
+    #[test]
+    fn regression_reverses_the_search_direction() {
+        // A curve that peaks at 200 and then *drops*: growing past the peak
+        // must flip the direction back down.
+        let curve = |interval: usize| -> f64 {
+            let x = interval as f64;
+            1_000.0 - (x - 200.0).abs()
+        };
+        let mut controller =
+            AdaptiveIntervalController::new(AdaptiveConfig::default(), 100);
+        let mut interval = controller.suggested_interval();
+        let mut seen = Vec::new();
+        for _ in 0..16 {
+            let next = controller.observe(IntervalObservation {
+                interval,
+                throughput_keps: curve(interval),
+                p99: Duration::from_micros(1),
+            });
+            seen.push(interval);
+            if controller.converged() {
+                break;
+            }
+            interval = next;
+        }
+        let best = controller.best().unwrap();
+        assert!(
+            (100..=400).contains(&best.interval),
+            "best {} should be near the peak",
+            best.interval
+        );
+        assert!(seen.iter().any(|&i| i > best.interval || i < best.interval));
+    }
+
+    #[test]
+    fn bound_pinning_counts_as_convergence() {
+        let cfg = AdaptiveConfig {
+            min_interval: 25,
+            max_interval: 100,
+            ..Default::default()
+        };
+        let mut controller = AdaptiveIntervalController::new(cfg, 50);
+        let mut interval = controller.suggested_interval();
+        for _ in 0..8 {
+            interval = observe_at(&mut controller, interval, 1_000_000.0);
+            if controller.converged() {
+                break;
+            }
+        }
+        assert!(controller.converged());
+        assert!(controller.best().unwrap().interval <= 100);
+    }
+
+    #[test]
+    fn best_tracks_the_highest_feasible_throughput() {
+        let mut controller =
+            AdaptiveIntervalController::new(AdaptiveConfig::default(), 25);
+        controller.observe(IntervalObservation {
+            interval: 25,
+            throughput_keps: 10.0,
+            p99: Duration::from_millis(1),
+        });
+        controller.observe(IntervalObservation {
+            interval: 50,
+            throughput_keps: 30.0,
+            p99: Duration::from_millis(1),
+        });
+        controller.observe(IntervalObservation {
+            interval: 100,
+            throughput_keps: 20.0,
+            p99: Duration::from_millis(1),
+        });
+        assert_eq!(controller.best().unwrap().interval, 50);
+    }
+}

@@ -1,0 +1,663 @@
+//! Operation chains and their placement pools.
+//!
+//! During *compute mode* every postponed state transaction is decomposed into
+//! operations, and each operation is inserted into the **operation chain** of
+//! its target state: a timestamp-ordered list tied to exactly one state
+//! (Section IV-C.1, Figure 4).  Chains are backed by the concurrent skip list
+//! so multiple executors can insert simultaneously while preserving order.
+//!
+//! Chains live in **pools**; how many pools exist and which executors insert
+//! into / process which pool is decided by the NUMA-aware placement policy
+//! (Section IV-E): shared-nothing (one pool per executor), shared-everything
+//! (one global pool) or shared-per-socket (one pool per synthetic socket).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use tstream_skiplist::ConcurrentSkipList;
+use tstream_state::Timestamp;
+use tstream_stream::executor::{ExecutorId, ExecutorLayout};
+use tstream_stream::operator::StateRef;
+use tstream_txn::Operation;
+
+use crate::config::ChainPlacement;
+
+/// Ordering key of an operation within a chain: `(timestamp, op index)` —
+/// unique even if a transaction touches the same state twice.
+pub type ChainKey = (Timestamp, u32);
+
+/// Sentinel meaning "every operation of this chain has been processed".
+const FULLY_PROCESSED: u64 = u64::MAX;
+
+/// A timestamp-ordered list of operations targeting one state.
+#[derive(Debug)]
+pub struct OperationChain {
+    state: StateRef,
+    ops: ConcurrentSkipList<ChainKey, Operation>,
+    /// Set when some operation in *another* chain declares a dependency on
+    /// this chain's state — processing then keeps temporary versions so
+    /// dependent reads observe timestamp-consistent values.
+    depended_upon: AtomicBool,
+    /// States this chain's operations depend on (chain-level dependency
+    /// edges, used by the round-based scheduler).
+    dependencies: Mutex<Vec<StateRef>>,
+    /// All operations with `ts < processed_upto` have been applied.
+    /// `u64::MAX` once the whole chain is done.
+    processed_upto: AtomicU64,
+}
+
+impl OperationChain {
+    /// Creates an empty chain for `state`.
+    pub fn new(state: StateRef) -> Self {
+        OperationChain {
+            state,
+            ops: ConcurrentSkipList::new(),
+            depended_upon: AtomicBool::new(false),
+            dependencies: Mutex::new(Vec::new()),
+            processed_upto: AtomicU64::new(0),
+        }
+    }
+
+    /// The state this chain targets.
+    pub fn state(&self) -> StateRef {
+        self.state
+    }
+
+    /// Insert a decomposed operation (concurrent, lock-free).
+    pub fn insert(&self, op: Operation) {
+        let key = (op.ts, op.op_index);
+        self.ops.insert(key, op);
+    }
+
+    /// Number of operations currently in the chain.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the chain holds no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Iterate operations in timestamp order.
+    pub fn iter(&self) -> impl Iterator<Item = &Operation> {
+        self.ops.iter().map(|(_, op)| op)
+    }
+
+    /// Mark that another chain depends on this chain's state.
+    pub fn mark_depended_upon(&self) {
+        self.depended_upon.store(true, Ordering::Release);
+    }
+
+    /// Whether any other chain depends on this chain's state.
+    pub fn is_depended_upon(&self) -> bool {
+        self.depended_upon.load(Ordering::Acquire)
+    }
+
+    /// Record that this chain contains an operation depending on `dep`.
+    pub fn add_dependency(&self, dep: StateRef) {
+        let mut deps = self.dependencies.lock();
+        if !deps.contains(&dep) {
+            deps.push(dep);
+        }
+    }
+
+    /// Distinct states this chain depends on.
+    pub fn dependencies(&self) -> Vec<StateRef> {
+        self.dependencies.lock().clone()
+    }
+
+    /// Whether this chain declares any dependency.
+    pub fn has_dependencies(&self) -> bool {
+        !self.dependencies.lock().is_empty()
+    }
+
+    /// Timestamp of the latest *write* operation strictly before `ts`, if
+    /// any.  A dependent reader at `ts` must wait until this chain has
+    /// advanced past it.
+    pub fn last_write_before(&self, ts: Timestamp) -> Option<Timestamp> {
+        let mut last = None;
+        for (key, op) in self.ops.iter() {
+            if key.0 >= ts {
+                break;
+            }
+            if op.is_write() {
+                last = Some(key.0);
+            }
+        }
+        last
+    }
+
+    /// Advance the processed watermark: every operation with a strictly
+    /// smaller timestamp than `next_ts` has been applied.
+    pub fn advance_processed(&self, next_ts: Timestamp) {
+        self.processed_upto.fetch_max(next_ts, Ordering::Release);
+    }
+
+    /// Mark the whole chain processed.
+    pub fn mark_fully_processed(&self) {
+        self.processed_upto.store(FULLY_PROCESSED, Ordering::Release);
+    }
+
+    /// Whether every operation of the chain has been processed.
+    pub fn is_fully_processed(&self) -> bool {
+        self.processed_upto.load(Ordering::Acquire) == FULLY_PROCESSED
+    }
+
+    /// Current processed watermark.
+    pub fn processed_upto(&self) -> u64 {
+        self.processed_upto.load(Ordering::Acquire)
+    }
+
+    /// Spin (with yields) until every write with timestamp `< ts` in this
+    /// chain has been processed.
+    pub fn wait_writes_before(&self, ts: Timestamp) {
+        let Some(threshold) = self.last_write_before(ts) else {
+            return;
+        };
+        let mut spins = 0u32;
+        while self.processed_upto.load(Ordering::Acquire) <= threshold {
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Reset per-batch processing state (the chain itself is discarded and
+    /// rebuilt between batches; this is only used by tests and by chain
+    /// reuse experiments).
+    pub fn reset_progress(&self) {
+        self.processed_upto.store(0, Ordering::Release);
+    }
+}
+
+/// A pool of operation chains (one per state touched in the current batch).
+#[derive(Debug)]
+pub struct ChainPool {
+    shards: Vec<RwLock<HashMap<StateRef, Arc<OperationChain>>>>,
+    mask: u64,
+    /// Per-batch task list (snapshot of chains) used during processing.
+    tasks: Mutex<Vec<Arc<OperationChain>>>,
+    next_task: AtomicUsize,
+}
+
+const POOL_SHARDS: usize = 32;
+
+impl Default for ChainPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ChainPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        ChainPool {
+            shards: (0..POOL_SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+            mask: (POOL_SHARDS - 1) as u64,
+            tasks: Mutex::new(Vec::new()),
+            next_task: AtomicUsize::new(0),
+        }
+    }
+
+    #[inline]
+    fn shard_of(&self, state: StateRef) -> usize {
+        let mut h = state.key ^ ((state.table as u64) << 48);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        h ^= h >> 33;
+        (h & self.mask) as usize
+    }
+
+    /// Get (or create) the chain for `state`.
+    pub fn chain_for(&self, state: StateRef) -> Arc<OperationChain> {
+        let shard = &self.shards[self.shard_of(state)];
+        if let Some(chain) = shard.read().get(&state) {
+            return chain.clone();
+        }
+        let mut guard = shard.write();
+        guard
+            .entry(state)
+            .or_insert_with(|| Arc::new(OperationChain::new(state)))
+            .clone()
+    }
+
+    /// Get the chain for `state` if it exists.
+    pub fn get(&self, state: StateRef) -> Option<Arc<OperationChain>> {
+        self.shards[self.shard_of(state)].read().get(&state).cloned()
+    }
+
+    /// Number of chains in the pool.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Whether the pool holds no chains.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of every chain currently in the pool.
+    pub fn snapshot(&self) -> Vec<Arc<OperationChain>> {
+        let mut out = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            out.extend(shard.read().values().cloned());
+        }
+        out
+    }
+
+    /// Build the per-batch task list from the current chains (called once per
+    /// batch by the pool's processing-group leader).
+    pub fn prepare_tasks(&self) {
+        let mut tasks = self.tasks.lock();
+        tasks.clear();
+        for shard in &self.shards {
+            tasks.extend(shard.read().values().cloned());
+        }
+        // A deterministic order helps reproducibility of round-based
+        // scheduling; sort by state.
+        tasks.sort_by_key(|c| c.state());
+        self.next_task.store(0, Ordering::Release);
+    }
+
+    /// Claim the next unprocessed task (work-stealing style); `None` when the
+    /// task list is exhausted.
+    pub fn claim_next(&self) -> Option<Arc<OperationChain>> {
+        let tasks = self.tasks.lock();
+        let idx = self.next_task.fetch_add(1, Ordering::AcqRel);
+        tasks.get(idx).cloned()
+    }
+
+    /// Static share of the task list for member `member` of a processing
+    /// group of `group_size` executors (no work stealing).
+    pub fn task_slice(&self, member: usize, group_size: usize) -> Vec<Arc<OperationChain>> {
+        let tasks = self.tasks.lock();
+        tasks
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % group_size.max(1) == member)
+            .map(|(_, c)| c.clone())
+            .collect()
+    }
+
+    /// Number of tasks prepared for the current batch.
+    pub fn task_count(&self) -> usize {
+        self.tasks.lock().len()
+    }
+
+    /// Drop every chain (end of batch).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.write().clear();
+        }
+        self.tasks.lock().clear();
+        self.next_task.store(0, Ordering::Release);
+    }
+}
+
+/// The set of chain pools for a run, organised according to the placement
+/// policy, plus the routing logic from states to pools and from executors to
+/// the pools they process.
+#[derive(Debug)]
+pub struct ChainPoolSet {
+    placement: ChainPlacement,
+    layout: ExecutorLayout,
+    pools: Vec<ChainPool>,
+}
+
+/// Which pool an executor processes, which position it occupies within the
+/// group sharing that pool, and how large the group is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProcessingAssignment {
+    /// Index of the pool the executor processes.
+    pub pool: usize,
+    /// The executor's rank within the group sharing the pool.
+    pub member: usize,
+    /// Number of executors sharing the pool.
+    pub group_size: usize,
+}
+
+impl ProcessingAssignment {
+    /// Whether this executor is the group leader (rank 0), responsible for
+    /// preparing the pool's task list and clearing the pool afterwards.
+    pub fn is_leader(&self) -> bool {
+        self.member == 0
+    }
+}
+
+impl ChainPoolSet {
+    /// Creates the pools for the given placement and executor layout.
+    pub fn new(placement: ChainPlacement, layout: ExecutorLayout) -> Self {
+        let pool_count = match placement {
+            ChainPlacement::SharedNothing => layout.executors,
+            ChainPlacement::SharedEverything => 1,
+            ChainPlacement::SharedPerSocket => layout.sockets(),
+        };
+        ChainPoolSet {
+            placement,
+            layout,
+            pools: (0..pool_count.max(1)).map(|_| ChainPool::new()).collect(),
+        }
+    }
+
+    /// Placement policy in force.
+    pub fn placement(&self) -> ChainPlacement {
+        self.placement
+    }
+
+    /// All pools.
+    pub fn pools(&self) -> &[ChainPool] {
+        &self.pools
+    }
+
+    #[inline]
+    fn hash_state(state: StateRef) -> u64 {
+        let mut h = state.key ^ ((state.table as u64).rotate_left(32));
+        h ^= h >> 31;
+        h = h.wrapping_mul(0x7FB5_D329_728E_A185);
+        h ^= h >> 27;
+        h
+    }
+
+    /// Pool a state's chain lives in.
+    pub fn pool_index_for_state(&self, state: StateRef) -> usize {
+        match self.placement {
+            ChainPlacement::SharedNothing => {
+                (Self::hash_state(state) % self.layout.executors as u64) as usize
+            }
+            ChainPlacement::SharedEverything => 0,
+            ChainPlacement::SharedPerSocket => {
+                (Self::hash_state(state) % self.layout.sockets() as u64) as usize
+            }
+        }
+    }
+
+    /// Route a state to its pool.
+    pub fn route(&self, state: StateRef) -> &ChainPool {
+        &self.pools[self.pool_index_for_state(state)]
+    }
+
+    /// Get (or create) the chain for a state, wherever it lives.
+    pub fn chain_for(&self, state: StateRef) -> Arc<OperationChain> {
+        self.route(state).chain_for(state)
+    }
+
+    /// Find an existing chain for a state, wherever it lives.
+    pub fn find_chain(&self, state: StateRef) -> Option<Arc<OperationChain>> {
+        self.route(state).get(state)
+    }
+
+    /// The processing assignment of an executor.
+    pub fn assignment(&self, executor: ExecutorId) -> ProcessingAssignment {
+        match self.placement {
+            ChainPlacement::SharedNothing => ProcessingAssignment {
+                pool: executor.index() % self.pools.len(),
+                member: 0,
+                group_size: 1,
+            },
+            ChainPlacement::SharedEverything => ProcessingAssignment {
+                pool: 0,
+                member: executor.index(),
+                group_size: self.layout.executors,
+            },
+            ChainPlacement::SharedPerSocket => {
+                let socket = self.layout.socket_of(executor);
+                let member = executor.index() % self.layout.cores_per_socket;
+                let group_size = self
+                    .layout
+                    .executors_in_socket(socket)
+                    .count()
+                    .max(1);
+                ProcessingAssignment {
+                    pool: socket.min(self.pools.len() - 1),
+                    member,
+                    group_size,
+                }
+            }
+        }
+    }
+
+    /// Whether insertion of `state` by `executor` crosses a pool boundary
+    /// that the NUMA model counts as remote (used for RMA accounting during
+    /// decomposition).
+    pub fn is_remote_insert(&self, executor: ExecutorId, state: StateRef) -> bool {
+        match self.placement {
+            ChainPlacement::SharedNothing => {
+                self.pool_index_for_state(state) != executor.index() % self.pools.len()
+            }
+            ChainPlacement::SharedEverything => false,
+            ChainPlacement::SharedPerSocket => {
+                self.pool_index_for_state(state) != self.layout.socket_of(executor)
+            }
+        }
+    }
+
+    /// Total chains across all pools.
+    pub fn total_chains(&self) -> usize {
+        self.pools.iter().map(|p| p.len()).sum()
+    }
+
+    /// Drop every chain in every pool (end of batch).
+    pub fn clear_all(&self) {
+        for pool in &self.pools {
+            pool.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tstream_txn::{AccessType, EventBlotter};
+
+    fn op(ts: Timestamp, op_index: u32, table: u32, key: u64) -> Operation {
+        Operation {
+            ts,
+            op_index,
+            target: StateRef::new(table, key),
+            access: AccessType::Read,
+            dependency: None,
+            func: None,
+            blotter: EventBlotter::new(1),
+        }
+    }
+
+    #[test]
+    fn chain_keeps_operations_in_timestamp_order() {
+        let chain = OperationChain::new(StateRef::new(0, 1));
+        for ts in [5u64, 1, 9, 3] {
+            chain.insert(op(ts, 0, 0, 1));
+        }
+        let order: Vec<u64> = chain.iter().map(|o| o.ts).collect();
+        assert_eq!(order, vec![1, 3, 5, 9]);
+        assert_eq!(chain.len(), 4);
+        assert!(!chain.is_empty());
+    }
+
+    #[test]
+    fn same_transaction_can_touch_a_state_twice() {
+        let chain = OperationChain::new(StateRef::new(0, 1));
+        chain.insert(op(7, 0, 0, 1));
+        chain.insert(op(7, 1, 0, 1));
+        assert_eq!(chain.len(), 2);
+    }
+
+    #[test]
+    fn dependency_flags_and_edges() {
+        let chain = OperationChain::new(StateRef::new(0, 1));
+        assert!(!chain.is_depended_upon());
+        chain.mark_depended_upon();
+        assert!(chain.is_depended_upon());
+        chain.add_dependency(StateRef::new(1, 2));
+        chain.add_dependency(StateRef::new(1, 2));
+        assert_eq!(chain.dependencies().len(), 1);
+        assert!(chain.has_dependencies());
+    }
+
+    #[test]
+    fn last_write_before_skips_reads_and_later_ops() {
+        let chain = OperationChain::new(StateRef::new(0, 1));
+        let mut w = op(2, 0, 0, 1);
+        w.access = AccessType::Write;
+        chain.insert(w);
+        chain.insert(op(4, 0, 0, 1)); // read at ts 4
+        let mut w2 = op(6, 0, 0, 1);
+        w2.access = AccessType::ReadModify;
+        chain.insert(w2);
+        assert_eq!(chain.last_write_before(1), None);
+        assert_eq!(chain.last_write_before(5), Some(2));
+        assert_eq!(chain.last_write_before(100), Some(6));
+    }
+
+    #[test]
+    fn processed_watermark_progression() {
+        let chain = OperationChain::new(StateRef::new(0, 1));
+        let mut w = op(3, 0, 0, 1);
+        w.access = AccessType::Write;
+        chain.insert(w);
+        assert_eq!(chain.processed_upto(), 0);
+        // Nothing to wait for when there is no earlier write.
+        chain.wait_writes_before(3);
+        chain.advance_processed(4);
+        // Now a reader at ts 5 is satisfied.
+        chain.wait_writes_before(5);
+        chain.mark_fully_processed();
+        assert!(chain.is_fully_processed());
+        chain.reset_progress();
+        assert!(!chain.is_fully_processed());
+    }
+
+    #[test]
+    fn pool_creates_chains_on_demand_and_clears() {
+        let pool = ChainPool::new();
+        assert!(pool.is_empty());
+        let a = pool.chain_for(StateRef::new(0, 1));
+        let b = pool.chain_for(StateRef::new(0, 1));
+        assert!(Arc::ptr_eq(&a, &b), "same state must map to the same chain");
+        pool.chain_for(StateRef::new(0, 2));
+        assert_eq!(pool.len(), 2);
+        assert!(pool.get(StateRef::new(0, 3)).is_none());
+        pool.clear();
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn pool_task_claiming_visits_every_chain_exactly_once() {
+        let pool = ChainPool::new();
+        for k in 0..50u64 {
+            pool.chain_for(StateRef::new(0, k));
+        }
+        pool.prepare_tasks();
+        assert_eq!(pool.task_count(), 50);
+        let mut seen = Vec::new();
+        while let Some(chain) = pool.claim_next() {
+            seen.push(chain.state());
+        }
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), 50);
+    }
+
+    #[test]
+    fn static_task_slices_partition_the_pool() {
+        let pool = ChainPool::new();
+        for k in 0..10u64 {
+            pool.chain_for(StateRef::new(0, k));
+        }
+        pool.prepare_tasks();
+        let a = pool.task_slice(0, 3);
+        let b = pool.task_slice(1, 3);
+        let c = pool.task_slice(2, 3);
+        assert_eq!(a.len() + b.len() + c.len(), 10);
+    }
+
+    #[test]
+    fn concurrent_inserts_into_one_pool() {
+        let pool = Arc::new(ChainPool::new());
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let pool = pool.clone();
+                s.spawn(move || {
+                    for i in 0..500u64 {
+                        let state = StateRef::new(0, i % 20);
+                        let chain = pool.chain_for(state);
+                        chain.insert(op(t * 500 + i, 0, 0, i % 20));
+                    }
+                });
+            }
+        });
+        assert_eq!(pool.len(), 20);
+        let total: usize = pool.snapshot().iter().map(|c| c.len()).sum();
+        assert_eq!(total, 8 * 500);
+    }
+
+    #[test]
+    fn placement_routes_and_assignments() {
+        let layout = ExecutorLayout::new(20, 10);
+
+        let sn = ChainPoolSet::new(ChainPlacement::SharedNothing, layout);
+        assert_eq!(sn.pools().len(), 20);
+        let a = sn.assignment(ExecutorId(7));
+        assert_eq!(a.pool, 7);
+        assert_eq!(a.group_size, 1);
+        assert!(a.is_leader());
+
+        let se = ChainPoolSet::new(ChainPlacement::SharedEverything, layout);
+        assert_eq!(se.pools().len(), 1);
+        let a = se.assignment(ExecutorId(7));
+        assert_eq!(a.pool, 0);
+        assert_eq!(a.group_size, 20);
+        assert!(!a.is_leader());
+        assert!(se.assignment(ExecutorId(0)).is_leader());
+
+        let sps = ChainPoolSet::new(ChainPlacement::SharedPerSocket, layout);
+        assert_eq!(sps.pools().len(), 2);
+        let a = sps.assignment(ExecutorId(13));
+        assert_eq!(a.pool, 1);
+        assert_eq!(a.member, 3);
+        assert_eq!(a.group_size, 10);
+    }
+
+    #[test]
+    fn state_routing_is_stable_and_within_bounds() {
+        let layout = ExecutorLayout::new(12, 10);
+        for placement in ChainPlacement::ALL {
+            let set = ChainPoolSet::new(placement, layout);
+            for key in 0..500u64 {
+                let s = StateRef::new(1, key);
+                let p = set.pool_index_for_state(s);
+                assert!(p < set.pools().len());
+                assert_eq!(p, set.pool_index_for_state(s));
+                let chain = set.chain_for(s);
+                assert!(Arc::ptr_eq(&chain, &set.find_chain(s).unwrap()));
+            }
+            assert_eq!(set.total_chains(), 500);
+            set.clear_all();
+            assert_eq!(set.total_chains(), 0);
+        }
+    }
+
+    #[test]
+    fn remote_insert_classification() {
+        let layout = ExecutorLayout::new(20, 10);
+        let se = ChainPoolSet::new(ChainPlacement::SharedEverything, layout);
+        assert!(!se.is_remote_insert(ExecutorId(5), StateRef::new(0, 1)));
+
+        let sn = ChainPoolSet::new(ChainPlacement::SharedNothing, layout);
+        let mut remote = 0;
+        for key in 0..1000u64 {
+            if sn.is_remote_insert(ExecutorId(0), StateRef::new(0, key)) {
+                remote += 1;
+            }
+        }
+        // With 20 executor-local pools, ~95 % of states belong to other pools.
+        assert!(remote > 800);
+    }
+}

@@ -1,0 +1,194 @@
+//! Configuration of the TStream engine.
+
+use tstream_txn::NumaModel;
+
+/// How operation chains are placed over executors on a multi-socket machine
+/// (Section IV-E, "NUMA-Aware Processing", evaluated in Figure 14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChainPlacement {
+    /// One pool of operation chains per executor ("per core"); decomposed
+    /// operations are routed to a fixed executor by hashing, and each
+    /// executor processes only its own pool.  Minimises cross-core
+    /// communication; may suffer from load imbalance.
+    SharedNothing,
+    /// A single pool shared by every executor; chains are claimed dynamically
+    /// (work stealing) or split statically.
+    SharedEverything,
+    /// One pool per synthetic socket, shared by that socket's executors.
+    SharedPerSocket,
+}
+
+impl ChainPlacement {
+    /// All placements, in the order Figure 14 reports them.
+    pub const ALL: [ChainPlacement; 3] = [
+        ChainPlacement::SharedNothing,
+        ChainPlacement::SharedEverything,
+        ChainPlacement::SharedPerSocket,
+    ];
+
+    /// Label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ChainPlacement::SharedNothing => "shared-nothing",
+            ChainPlacement::SharedEverything => "shared-everything",
+            ChainPlacement::SharedPerSocket => "shared-per-socket",
+        }
+    }
+}
+
+/// How cross-chain data dependencies are resolved during state-access mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DependencyResolution {
+    /// The paper's iterative process: in every round, process in parallel all
+    /// chains whose dependencies have already been fully processed; repeat.
+    /// Falls back to fine-grained scheduling if a dependency cycle between
+    /// chains remains.
+    Rounds,
+    /// Fine-grained scheduling: every chain is processed immediately, and an
+    /// operation with a dependency waits only until the depended-upon chain
+    /// has advanced past all writes with smaller timestamps.
+    FineGrained,
+}
+
+impl DependencyResolution {
+    /// Label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DependencyResolution::Rounds => "rounds",
+            DependencyResolution::FineGrained => "fine-grained",
+        }
+    }
+}
+
+/// Configuration of the TStream execution strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct TStreamConfig {
+    /// Chain placement over executors / sockets.
+    pub placement: ChainPlacement,
+    /// Whether executors in a sharing group claim chains dynamically
+    /// (work stealing) instead of a static split.
+    pub work_stealing: bool,
+    /// Dependency-resolution strategy.
+    pub resolution: DependencyResolution,
+}
+
+impl Default for TStreamConfig {
+    fn default() -> Self {
+        // The paper's default execution configuration (Section VI-B).
+        TStreamConfig {
+            placement: ChainPlacement::SharedNothing,
+            work_stealing: false,
+            resolution: DependencyResolution::FineGrained,
+        }
+    }
+}
+
+/// Configuration of a full engine run, shared by every scheme.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Number of executor threads ("cores" in the paper's figures).
+    pub executors: usize,
+    /// Punctuation interval in events (the paper's default is 500).
+    pub punctuation_interval: usize,
+    /// Cores per synthetic socket (the paper's machine has 10).
+    pub cores_per_socket: usize,
+    /// NUMA model used for remote-access classification / delay injection.
+    pub numa: NumaModel,
+    /// TStream-specific options (ignored by eager schemes).
+    pub tstream: TStreamConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            executors: 1,
+            punctuation_interval: 500,
+            cores_per_socket: 10,
+            numa: NumaModel::disabled(),
+            tstream: TStreamConfig::default(),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Convenience constructor for the common "N executors, default rest"
+    /// case used throughout tests and benches.
+    pub fn with_executors(executors: usize) -> Self {
+        EngineConfig {
+            executors: executors.max(1),
+            ..Default::default()
+        }
+    }
+
+    /// Set the punctuation interval.
+    pub fn punctuation(mut self, interval: usize) -> Self {
+        self.punctuation_interval = interval.max(1);
+        self
+    }
+
+    /// Set the TStream chain placement.
+    pub fn placement(mut self, placement: ChainPlacement) -> Self {
+        self.tstream.placement = placement;
+        self
+    }
+
+    /// Enable or disable work stealing for shared placements.
+    pub fn work_stealing(mut self, enabled: bool) -> Self {
+        self.tstream.work_stealing = enabled;
+        self
+    }
+
+    /// Set the dependency-resolution strategy.
+    pub fn resolution(mut self, resolution: DependencyResolution) -> Self {
+        self.tstream.resolution = resolution;
+        self
+    }
+
+    /// Set the NUMA model.
+    pub fn numa(mut self, numa: NumaModel) -> Self {
+        self.numa = numa;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let cfg = EngineConfig::default();
+        assert_eq!(cfg.punctuation_interval, 500);
+        assert_eq!(cfg.cores_per_socket, 10);
+        assert_eq!(cfg.tstream.placement, ChainPlacement::SharedNothing);
+        assert!(!cfg.tstream.work_stealing);
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let cfg = EngineConfig::with_executors(8)
+            .punctuation(100)
+            .placement(ChainPlacement::SharedPerSocket)
+            .work_stealing(true)
+            .resolution(DependencyResolution::Rounds);
+        assert_eq!(cfg.executors, 8);
+        assert_eq!(cfg.punctuation_interval, 100);
+        assert_eq!(cfg.tstream.placement, ChainPlacement::SharedPerSocket);
+        assert!(cfg.tstream.work_stealing);
+        assert_eq!(cfg.tstream.resolution, DependencyResolution::Rounds);
+    }
+
+    #[test]
+    fn degenerate_values_are_clamped() {
+        let cfg = EngineConfig::with_executors(0).punctuation(0);
+        assert_eq!(cfg.executors, 1);
+        assert_eq!(cfg.punctuation_interval, 1);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(ChainPlacement::SharedNothing.label(), "shared-nothing");
+        assert_eq!(ChainPlacement::ALL.len(), 3);
+        assert_eq!(DependencyResolution::FineGrained.label(), "fine-grained");
+    }
+}

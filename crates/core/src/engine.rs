@@ -1,0 +1,567 @@
+//! The execution engine.
+//!
+//! [`Engine::run`] drives a full benchmark run: it stamps the input events,
+//! splits them into punctuation-delimited batches, round-robin shuffles each
+//! batch over the executors (Section V) and processes them under the selected
+//! scheme:
+//!
+//! * **eager schemes** (No-Lock / LOCK / MVLK / PAT) follow the coarse-grained
+//!   paradigm of the prior work: each executor fully processes one event —
+//!   pre-process, state transaction, post-process — before the next;
+//! * **TStream** follows dual-mode scheduling (Section IV-B): executors
+//!   decompose and postpone the transactions during compute mode, switch
+//!   together into state-access mode at every punctuation, process the
+//!   operation chains in parallel, then post-process the cached events.
+//!
+//! The engine measures everything the paper's figures need: throughput,
+//! end-to-end latency percentiles, the per-component time breakdown and the
+//! compute-mode / state-access-mode split.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tstream_state::checkpoint::Checkpointer;
+use tstream_state::StateStore;
+use tstream_stream::barrier::CyclicBarrier;
+use tstream_stream::event::Event;
+use tstream_stream::executor::{ExecutorId, ExecutorLayout};
+use tstream_stream::metrics::{Breakdown, Component};
+use tstream_stream::progress::ProgressController;
+use tstream_stream::sink::{LatencyStats, Sink};
+use tstream_txn::{
+    Application, EagerScheme, ExecEnv, StateTransaction, TxnBuilder, TxnDescriptor,
+};
+
+use crate::chains::ChainPoolSet;
+use crate::config::EngineConfig;
+use crate::restructure::{self, BatchAbortLog, ChainStats, RestructureContext};
+
+/// Which execution scheme a run uses.
+#[derive(Clone)]
+pub enum Scheme {
+    /// One of the baseline schemes, executed eagerly.
+    Eager(Arc<dyn EagerScheme>),
+    /// TStream's dual-mode scheduling + dynamic restructuring execution.
+    TStream,
+}
+
+impl Scheme {
+    /// Display name (matches the paper's legends).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheme::Eager(s) => s.name(),
+            Scheme::TStream => "TStream",
+        }
+    }
+}
+
+impl std::fmt::Debug for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Scheme({})", self.name())
+    }
+}
+
+/// Result of one engine run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Scheme name.
+    pub scheme: String,
+    /// Application name.
+    pub app: String,
+    /// Number of executors used.
+    pub executors: usize,
+    /// Punctuation interval used.
+    pub punctuation_interval: usize,
+    /// Total input events processed.
+    pub events: u64,
+    /// Events whose transaction committed.
+    pub committed: u64,
+    /// Events rejected because their transaction aborted.
+    pub rejected: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// End-to-end latency statistics.
+    pub latency: LatencyStats,
+    /// Aggregated per-component time breakdown (sum over executors).
+    pub breakdown: Breakdown,
+    /// Total executor time spent in compute mode (pre/post-processing).
+    pub compute_time: Duration,
+    /// Total executor time spent in state-access mode (TStream only).
+    pub state_access_time: Duration,
+    /// Chain-processing statistics (TStream only).
+    pub chain_stats: ChainStats,
+    /// Number of durability checkpoints written during the run (zero unless a
+    /// [`Checkpointer`] was attached to the engine).
+    pub checkpoints: u64,
+}
+
+impl RunReport {
+    /// Throughput in thousands of events per second (the unit of Figure 8).
+    pub fn throughput_keps(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.events as f64 / self.elapsed.as_secs_f64() / 1_000.0
+    }
+
+    /// Fraction of executor time spent in compute mode (the statistic quoted
+    /// in Section VI-A: 39 % for TP, 29 % for SL, 22 % for OB, 13 % for GS).
+    pub fn compute_mode_share(&self) -> f64 {
+        let total = self.compute_time + self.state_access_time + self.breakdown.sync;
+        if total.is_zero() {
+            return 0.0;
+        }
+        self.compute_time.as_secs_f64() / total.as_secs_f64()
+    }
+}
+
+/// Per-executor results collected at the end of a run.
+struct ExecutorResult {
+    sink: Sink,
+    breakdown: Breakdown,
+    compute_time: Duration,
+    access_time: Duration,
+    committed: u64,
+    rejected: u64,
+    chain_stats: ChainStats,
+    checkpoints: u64,
+}
+
+/// One punctuation-delimited batch, already shuffled over executors.
+struct Batch<P> {
+    per_executor: Vec<Vec<Event<P>>>,
+    descriptors: Vec<TxnDescriptor>,
+}
+
+/// The TStream / baseline execution engine.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    config: EngineConfig,
+    checkpointer: Option<Arc<Checkpointer>>,
+}
+
+impl Engine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        Engine {
+            config,
+            checkpointer: None,
+        }
+    }
+
+    /// Attach a durability checkpointer (Section IV-D): the committed state is
+    /// replicated to disk at every punctuation boundary, before the executors
+    /// resume compute mode.
+    pub fn with_checkpointer(mut self, checkpointer: Arc<Checkpointer>) -> Self {
+        self.checkpointer = Some(checkpointer);
+        self
+    }
+
+    /// The attached checkpointer, if any.
+    pub fn checkpointer(&self) -> Option<&Arc<Checkpointer>> {
+        self.checkpointer.as_ref()
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Run `payloads` through `app` on top of `store` under `scheme`.
+    pub fn run<A: Application>(
+        &self,
+        app: &Arc<A>,
+        store: &Arc<StateStore>,
+        payloads: Vec<A::Payload>,
+        scheme: &Scheme,
+    ) -> RunReport {
+        let executors = self.config.executors.max(1);
+        let layout = ExecutorLayout::new(executors, self.config.cores_per_socket);
+        let interval = self.config.punctuation_interval.max(1);
+
+        // ---- Generation (the Parser operator): stamp events, derive the
+        // determined read/write sets, split into punctuation batches and
+        // round-robin shuffle each batch over the executors.
+        let progress = ProgressController::new(interval as u64);
+        let total_events = payloads.len() as u64;
+        let mut batches: Vec<Batch<A::Payload>> = Vec::new();
+        let mut current = Batch {
+            per_executor: (0..executors).map(|_| Vec::new()).collect(),
+            descriptors: Vec::with_capacity(interval),
+        };
+        let mut in_batch = 0usize;
+        for payload in payloads {
+            let event = progress.stamp(payload);
+            current.descriptors.push(TxnDescriptor {
+                ts: event.ts,
+                rw_set: app.read_write_set(&event.payload),
+            });
+            current.per_executor[in_batch % executors].push(event);
+            in_batch += 1;
+            if in_batch == interval {
+                let _punct = progress.punctuate();
+                batches.push(std::mem::replace(
+                    &mut current,
+                    Batch {
+                        per_executor: (0..executors).map(|_| Vec::new()).collect(),
+                        descriptors: Vec::with_capacity(interval),
+                    },
+                ));
+                in_batch = 0;
+            }
+        }
+        if in_batch > 0 {
+            let _punct = progress.punctuate();
+            batches.push(current);
+        }
+
+        // ---- Shared run state.
+        let barrier = CyclicBarrier::new(executors);
+        let pools = ChainPoolSet::new(self.config.tstream.placement, layout);
+        let abort_log = BatchAbortLog::new();
+        if let Scheme::Eager(s) = scheme {
+            s.reset();
+        }
+        store.reset_sync();
+
+        // ---- Execute.
+        let started = Instant::now();
+        let results: Vec<ExecutorResult> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..executors)
+                .map(|e| {
+                    let app = app.clone();
+                    let store = store.clone();
+                    let scheme = scheme.clone();
+                    let barrier = &barrier;
+                    let pools = &pools;
+                    let abort_log = &abort_log;
+                    let batches = &batches;
+                    let config = self.config;
+                    let checkpointer = self.checkpointer.clone();
+                    scope.spawn(move || {
+                        let env = ExecEnv {
+                            executor: ExecutorId(e),
+                            layout,
+                            numa: config.numa,
+                        };
+                        match scheme {
+                            Scheme::Eager(scheme) => run_eager_executor(
+                                e,
+                                &app,
+                                &store,
+                                &scheme,
+                                env,
+                                barrier,
+                                batches,
+                                checkpointer.as_deref(),
+                            ),
+                            Scheme::TStream => run_tstream_executor(
+                                e,
+                                &app,
+                                &store,
+                                env,
+                                barrier,
+                                pools,
+                                abort_log,
+                                batches,
+                                &config,
+                                checkpointer.as_deref(),
+                            ),
+                        }
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let elapsed = started.elapsed();
+
+        // ---- Aggregate.
+        let mut breakdown = Breakdown::new();
+        let mut compute_time = Duration::ZERO;
+        let mut access_time = Duration::ZERO;
+        let mut committed = 0;
+        let mut rejected = 0;
+        let mut chain_stats = ChainStats::default();
+        let mut checkpoints = 0;
+        let mut sinks = Vec::with_capacity(results.len());
+        for r in results {
+            breakdown += r.breakdown;
+            compute_time += r.compute_time;
+            access_time += r.access_time;
+            committed += r.committed;
+            rejected += r.rejected;
+            chain_stats.merge(&r.chain_stats);
+            checkpoints += r.checkpoints;
+            sinks.push(r.sink);
+        }
+        RunReport {
+            scheme: scheme.name().to_owned(),
+            app: app.name().to_owned(),
+            executors,
+            punctuation_interval: interval,
+            events: total_events,
+            committed,
+            rejected,
+            elapsed,
+            latency: Sink::merge(sinks),
+            breakdown,
+            compute_time,
+            state_access_time: access_time,
+            chain_stats,
+            checkpoints,
+        }
+    }
+}
+
+/// Build the state transaction for one event (pre-process + state access).
+fn build_transaction<A: Application>(
+    app: &A,
+    ts: u64,
+    payload: &A::Payload,
+) -> (StateTransaction, tstream_txn::BlotterHandle) {
+    let mut builder = TxnBuilder::new(ts);
+    if app.pre_process(payload) {
+        app.state_access(payload, &mut builder);
+    }
+    builder.build()
+}
+
+/// Executor main loop for the eager (baseline) schemes.
+#[allow(clippy::too_many_arguments)]
+fn run_eager_executor<A: Application>(
+    index: usize,
+    app: &Arc<A>,
+    store: &Arc<StateStore>,
+    scheme: &Arc<dyn EagerScheme>,
+    env: ExecEnv,
+    barrier: &CyclicBarrier,
+    batches: &[Batch<A::Payload>],
+    checkpointer: Option<&Checkpointer>,
+) -> ExecutorResult {
+    let mut sink = Sink::new();
+    let mut breakdown = Breakdown::new();
+    let mut compute_time = Duration::ZERO;
+    let mut committed = 0u64;
+    let mut rejected = 0u64;
+    let mut checkpoints = 0u64;
+
+    for batch in batches {
+        // Enter the batch together; the leader registers the batch with the
+        // scheme (counter bookkeeping derived from read/write sets).
+        let (leader, waited) = barrier.wait();
+        breakdown.charge(Component::Sync, waited);
+        if leader {
+            scheme.prepare_batch(&batch.descriptors);
+        }
+        let (_, waited) = barrier.wait();
+        breakdown.charge(Component::Sync, waited);
+
+        let t_batch = Instant::now();
+        for event in &batch.per_executor[index] {
+            let arrival = Instant::now();
+            let (txn, blotter) = build_transaction(app.as_ref(), event.ts, &event.payload);
+            let outcome = scheme.execute(&txn, store, &env, &mut breakdown);
+            let _ = app.post_process(&event.payload, &blotter);
+            if outcome.is_committed() && !blotter.is_aborted() {
+                committed += 1;
+                sink.emit(arrival);
+            } else {
+                rejected += 1;
+                sink.reject();
+            }
+        }
+        compute_time += t_batch.elapsed();
+
+        // Leave the batch together; the leader runs end-of-batch work
+        // (e.g. MVLK's version garbage collection) and, if durability is
+        // enabled, replicates the committed state to disk (Section IV-D).
+        let (leader, waited) = barrier.wait();
+        breakdown.charge(Component::Sync, waited);
+        if leader {
+            scheme.end_batch(store);
+            if let Some(cp) = checkpointer {
+                let t = Instant::now();
+                if cp.checkpoint(store).is_ok() {
+                    checkpoints += 1;
+                }
+                breakdown.charge(Component::Others, t.elapsed());
+            }
+        }
+    }
+
+    ExecutorResult {
+        sink,
+        breakdown,
+        compute_time,
+        access_time: Duration::ZERO,
+        committed,
+        rejected,
+        chain_stats: ChainStats::default(),
+        checkpoints,
+    }
+}
+
+/// Executor main loop for TStream's dual-mode scheduling.
+#[allow(clippy::too_many_arguments)]
+fn run_tstream_executor<A: Application>(
+    index: usize,
+    app: &Arc<A>,
+    store: &Arc<StateStore>,
+    env: ExecEnv,
+    barrier: &CyclicBarrier,
+    pools: &ChainPoolSet,
+    abort_log: &BatchAbortLog,
+    batches: &[Batch<A::Payload>],
+    config: &EngineConfig,
+    checkpointer: Option<&Checkpointer>,
+) -> ExecutorResult {
+    let mut sink = Sink::new();
+    let mut breakdown = Breakdown::new();
+    let mut compute_time = Duration::ZERO;
+    let mut access_time = Duration::ZERO;
+    let mut committed = 0u64;
+    let mut rejected = 0u64;
+    let mut chain_stats = ChainStats::default();
+    let mut checkpoints = 0u64;
+    let assignment = pools.assignment(env.executor);
+
+    for batch in batches {
+        // ---- Compute mode: pre-process events, decompose and postpone
+        // their transactions, cache the events for post-processing.
+        let (_, waited) = barrier.wait();
+        breakdown.charge(Component::Sync, waited);
+
+        let t_compute = Instant::now();
+        let my_events = &batch.per_executor[index];
+        let mut cached: Vec<(Instant, &Event<A::Payload>, tstream_txn::BlotterHandle)> =
+            Vec::with_capacity(my_events.len());
+        for event in my_events {
+            let arrival = Instant::now();
+            let (txn, blotter) = build_transaction(app.as_ref(), event.ts, &event.payload);
+            // Dynamic transaction decomposition (Section IV-C.1): one chain
+            // insert per operation; chain-level dependency edges are recorded
+            // as we go.
+            for op in txn.ops {
+                // Cross-pool chain insertions count as remote memory accesses
+                // only when the NUMA model is enabled (they are ordinary local
+                // inserts on a single-socket machine).
+                let remote_insert =
+                    env.numa.enabled && pools.is_remote_insert(env.executor, op.target);
+                let t_insert = Instant::now();
+                let chain = pools.chain_for(op.target);
+                if let Some(dep) = op.dependency {
+                    chain.add_dependency(dep);
+                    pools.chain_for(dep).mark_depended_upon();
+                }
+                chain.insert(op);
+                let spent = t_insert.elapsed();
+                breakdown.charge(
+                    if remote_insert {
+                        Component::Rma
+                    } else {
+                        Component::Others
+                    },
+                    spent,
+                );
+            }
+            cached.push((arrival, event, blotter));
+        }
+        compute_time += t_compute.elapsed();
+
+        // ---- TXN_START: first barrier — all executors must have finished
+        // registering their postponed transactions before state access
+        // begins (Section IV-B.2).
+        let (leader, waited) = barrier.wait();
+        breakdown.charge(Component::Sync, waited);
+        if leader {
+            for pool in pools.pools() {
+                pool.prepare_tasks();
+            }
+        }
+        let (_, waited) = barrier.wait();
+        breakdown.charge(Component::Sync, waited);
+
+        // ---- State-access mode: process the operation chains in parallel.
+        let t_access = Instant::now();
+        let ctx = RestructureContext {
+            pools,
+            store,
+            env,
+            resolution: config.tstream.resolution,
+            work_stealing: config.tstream.work_stealing,
+            abort_log,
+        };
+        let (stats, versioned) = restructure::process_assigned(&ctx, assignment, &mut breakdown);
+        chain_stats.merge(&stats);
+        access_time += t_access.elapsed();
+
+        // ---- Second barrier: post-processing must not start until every
+        // postponed state access has been processed (or aborted).
+        let (_, waited) = barrier.wait();
+        breakdown.charge(Component::Sync, waited);
+
+        // Fold temporary versions of depended-upon states into the committed
+        // values (safe: all processing finished at the barrier above).
+        restructure::collapse_versioned(store, &versioned);
+
+        // ---- Multi-write abort handling (Section IV-F): if any
+        // multi-operation transaction aborted, its writes in other chains may
+        // already have been applied.  All executors synchronise once more and
+        // the leader rolls the batch back and replays it serially; the next
+        // barrier below keeps everyone else waiting until the authoritative
+        // results are in place.
+        if abort_log.replay_needed() {
+            let t_access = Instant::now();
+            let (leader, waited) = barrier.wait();
+            breakdown.charge(Component::Sync, waited);
+            if leader {
+                restructure::replay_batch_serially(store, pools, abort_log, &env, &mut breakdown);
+            }
+            access_time += t_access.elapsed();
+        }
+
+        // ---- Third barrier, then the leader recycles the chain pools (and
+        // replicates the committed state to disk when durability is enabled,
+        // Section IV-D) while the others post-process; the next batch's
+        // compute mode cannot start before the leader reaches the next
+        // batch-entry barrier.
+        let (leader, waited) = barrier.wait();
+        breakdown.charge(Component::Sync, waited);
+        if leader {
+            pools.clear_all();
+            abort_log.clear_batch();
+            if let Some(cp) = checkpointer {
+                let t = Instant::now();
+                if cp.checkpoint(store).is_ok() {
+                    checkpoints += 1;
+                }
+                breakdown.charge(Component::Others, t.elapsed());
+            }
+        }
+
+        // ---- Back in compute mode: post-process the cached events.
+        let t_post = Instant::now();
+        for (arrival, event, blotter) in cached {
+            let _ = app.post_process(&event.payload, &blotter);
+            if blotter.is_aborted() {
+                rejected += 1;
+                sink.reject();
+            } else {
+                committed += 1;
+                sink.emit(arrival);
+            }
+        }
+        compute_time += t_post.elapsed();
+    }
+
+    ExecutorResult {
+        sink,
+        breakdown,
+        compute_time,
+        access_time,
+        committed,
+        rejected,
+        chain_stats,
+        checkpoints,
+    }
+}

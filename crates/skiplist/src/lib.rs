@@ -1,0 +1,44 @@
+//! # tstream-skiplist
+//!
+//! An **insert-ordered concurrent skip list**, the data structure TStream uses
+//! to build *operation chains* (the paper adopts Java's `ConcurrentSkipList`
+//! for this purpose, Section IV-C.1).
+//!
+//! The access pattern of an operation chain is very specific and this crate is
+//! tailored to it:
+//!
+//! * **many threads insert concurrently** during *compute mode* — inserts are
+//!   lock-free (CAS on each level, no locks taken);
+//! * **one thread scans sequentially** during *state-access mode* — iteration
+//!   walks the bottom level in key order;
+//! * **no concurrent removal** — chains are only ever cleared wholesale (with
+//!   exclusive access) once a batch of transactions has been processed, so the
+//!   list does not need deletion marks or hazard pointers.
+//!
+//! The list rejects duplicate keys, which matches operation chains where the
+//! key is a globally unique `(timestamp, sequence)` pair.
+//!
+//! ```
+//! use tstream_skiplist::ConcurrentSkipList;
+//!
+//! let list: ConcurrentSkipList<u64, &str> = ConcurrentSkipList::new();
+//! list.insert(30, "c");
+//! list.insert(10, "a");
+//! list.insert(20, "b");
+//! let keys: Vec<u64> = list.iter().map(|(k, _)| *k).collect();
+//! assert_eq!(keys, vec![10, 20, 30]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod list;
+mod node;
+
+pub use list::{ConcurrentSkipList, Iter};
+
+/// Maximum tower height used by [`ConcurrentSkipList`].
+///
+/// With a branching probability of 1/2, 20 levels comfortably cover the chain
+/// sizes seen in TStream batches (a punctuation interval of a few thousand
+/// transactions produces chains of at most a few thousand operations).
+pub const MAX_HEIGHT: usize = 20;

@@ -1,0 +1,541 @@
+use std::cell::Cell;
+use std::ptr;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use crate::node::{Head, Node};
+use crate::MAX_HEIGHT;
+
+/// An insert-ordered concurrent skip list.
+///
+/// * `insert` is lock-free and may be called from many threads concurrently.
+/// * `iter`, `get`, `first_key`, `len` may run concurrently with inserts and
+///   observe a consistent prefix of the bottom level.
+/// * `clear` and `drop` require exclusive access (`&mut self`) and free all
+///   nodes; this matches TStream's batch lifecycle where chains are recycled
+///   only after a punctuation batch has been fully processed.
+///
+/// Duplicate keys are rejected: `insert` returns `false` and drops the value
+/// if the key is already present.
+pub struct ConcurrentSkipList<K, V> {
+    head: Head<K, V>,
+    len: AtomicUsize,
+    /// Per-list PRNG state used to pick tower heights (SplitMix64).
+    height_seed: AtomicU64,
+}
+
+// SAFETY: nodes are heap allocated and only freed under exclusive access; all
+// shared mutation goes through atomics.
+unsafe impl<K: Send, V: Send> Send for ConcurrentSkipList<K, V> {}
+unsafe impl<K: Send + Sync, V: Send + Sync> Sync for ConcurrentSkipList<K, V> {}
+
+thread_local! {
+    /// Thread-local salt so concurrent inserters do not fight over the shared
+    /// height seed on every call.
+    static HEIGHT_SALT: Cell<u64> = const { Cell::new(0) };
+}
+
+impl<K: Ord, V> Default for ConcurrentSkipList<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V> std::fmt::Debug for ConcurrentSkipList<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConcurrentSkipList")
+            .field("len", &self.len.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl<K: Ord, V> ConcurrentSkipList<K, V> {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        ConcurrentSkipList {
+            head: Head::new(),
+            len: AtomicUsize::new(0),
+            height_seed: AtomicU64::new(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Number of elements currently linked at the bottom level.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// Returns `true` when the list holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Draw a tower height with geometric distribution (p = 1/2).
+    fn random_height(&self) -> usize {
+        let salt = HEIGHT_SALT.with(|s| {
+            let mut v = s.get();
+            if v == 0 {
+                // Mix the shared seed exactly once per thread.
+                v = self.height_seed.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed)
+                    | 1;
+            }
+            // SplitMix64 step.
+            v = v.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = v;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            s.set(v);
+            z
+        });
+        let mut height = 1;
+        let mut bits = salt;
+        while height < MAX_HEIGHT && (bits & 1) == 1 {
+            height += 1;
+            bits >>= 1;
+        }
+        height
+    }
+
+    /// Find, for every level, the last node with key `< key` (the
+    /// predecessor) and its successor. `preds[l]` of `None` means the head.
+    ///
+    /// Returns `Err(ptr)` if a node with an equal key was found.
+    #[allow(clippy::type_complexity)]
+    fn find(
+        &self,
+        key: &K,
+    ) -> Result<([*mut Node<K, V>; MAX_HEIGHT], [*mut Node<K, V>; MAX_HEIGHT]), *mut Node<K, V>>
+    {
+        let mut preds: [*mut Node<K, V>; MAX_HEIGHT] = [ptr::null_mut(); MAX_HEIGHT];
+        let mut succs: [*mut Node<K, V>; MAX_HEIGHT] = [ptr::null_mut(); MAX_HEIGHT];
+        let mut pred: *mut Node<K, V> = ptr::null_mut(); // null == head
+        for level in (0..MAX_HEIGHT).rev() {
+            let mut curr = if pred.is_null() {
+                self.head.next(level)
+            } else {
+                // SAFETY: `pred` was read from a live link and nodes are never
+                // freed while shared references exist.
+                unsafe { (*pred).next(level) }
+            };
+            loop {
+                if curr.is_null() {
+                    break;
+                }
+                // SAFETY: as above, `curr` points to a live node.
+                let curr_ref = unsafe { &*curr };
+                match curr_ref.key.cmp(key) {
+                    std::cmp::Ordering::Less => {
+                        pred = curr;
+                        curr = curr_ref.next(level);
+                    }
+                    std::cmp::Ordering::Equal => return Err(curr),
+                    std::cmp::Ordering::Greater => break,
+                }
+            }
+            preds[level] = pred;
+            succs[level] = curr;
+        }
+        Ok((preds, succs))
+    }
+
+    #[inline]
+    fn link_slot(&self, pred: *mut Node<K, V>, level: usize) -> &std::sync::atomic::AtomicPtr<Node<K, V>> {
+        if pred.is_null() {
+            &self.head.next[level]
+        } else {
+            // SAFETY: `pred` is a live node (see `find`).
+            unsafe { &(*pred).next[level] }
+        }
+    }
+
+    /// Insert `key -> value`. Returns `true` if inserted, `false` (dropping
+    /// `value`) if the key already exists.
+    ///
+    /// Lock-free: concurrent inserters retry their CAS on contention.
+    pub fn insert(&self, key: K, value: V) -> bool {
+        let height = self.random_height();
+        let node = Box::into_raw(Node::new(key, value, height));
+        loop {
+            // SAFETY: we still own `node` exclusively until the bottom-level
+            // CAS succeeds.
+            let key_ref = unsafe { &(*node).key };
+            let (preds, succs) = match self.find(key_ref) {
+                Ok(found) => found,
+                Err(_) => {
+                    // Key already present: free our speculative node.
+                    // SAFETY: the node was never published.
+                    drop(unsafe { Box::from_raw(node) });
+                    return false;
+                }
+            };
+            // Prepare the new node's forward pointers before publication.
+            for (level, succ) in succs.iter().enumerate().take(height) {
+                // SAFETY: exclusive ownership of `node` pre-publication.
+                unsafe { (*node).next[level].store(*succ, Ordering::Relaxed) };
+            }
+            // Publish at the bottom level.
+            let slot = self.link_slot(preds[0], 0);
+            if slot
+                .compare_exchange(succs[0], node, Ordering::Release, Ordering::Acquire)
+                .is_err()
+            {
+                // Somebody raced us; retry the whole search.
+                continue;
+            }
+            self.len.fetch_add(1, Ordering::Release);
+            // Link the upper levels; failures re-run the search for fresh
+            // predecessors (duplicates are impossible now that the node is in).
+            for level in 1..height {
+                loop {
+                    // SAFETY: `node` is published but its upper levels are
+                    // still only written by us.
+                    let succ = unsafe { (*node).next[level].load(Ordering::Relaxed) };
+                    let slot = self.link_slot(preds[level], level);
+                    if slot
+                        .compare_exchange(succ, node, Ordering::Release, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        break;
+                    }
+                    // Refresh predecessors/successors for the remaining levels.
+                    // SAFETY: node is live.
+                    let key_ref = unsafe { &(*node).key };
+                    match self.find(key_ref) {
+                        // Our own node is now in the list, so `find` reports
+                        // it as "already present"; recompute the predecessor
+                        // chain manually for this level instead.
+                        Err(_) | Ok(_) => {
+                            let (p, s) = self.find_ignoring(key_ref, node);
+                            // Update the snapshot used by the outer loop.
+                            let pred = p[level];
+                            let succ_new = s[level];
+                            // SAFETY: exclusive writer of upper levels.
+                            unsafe {
+                                (*node).next[level].store(succ_new, Ordering::Relaxed);
+                            }
+                            let slot = self.link_slot(pred, level);
+                            if slot
+                                .compare_exchange(
+                                    succ_new,
+                                    node,
+                                    Ordering::Release,
+                                    Ordering::Acquire,
+                                )
+                                .is_ok()
+                            {
+                                break;
+                            }
+                            // else: retry this level again.
+                        }
+                    }
+                }
+            }
+            return true;
+        }
+    }
+
+    /// Like `find`, but treats `skip` (our own partially linked node) as
+    /// absent so that predecessors strictly before the key are returned.
+    #[allow(clippy::type_complexity)]
+    fn find_ignoring(
+        &self,
+        key: &K,
+        skip: *mut Node<K, V>,
+    ) -> ([*mut Node<K, V>; MAX_HEIGHT], [*mut Node<K, V>; MAX_HEIGHT]) {
+        let mut preds: [*mut Node<K, V>; MAX_HEIGHT] = [ptr::null_mut(); MAX_HEIGHT];
+        let mut succs: [*mut Node<K, V>; MAX_HEIGHT] = [ptr::null_mut(); MAX_HEIGHT];
+        let mut pred: *mut Node<K, V> = ptr::null_mut();
+        for level in (0..MAX_HEIGHT).rev() {
+            let mut curr = if pred.is_null() {
+                self.head.next(level)
+            } else {
+                // SAFETY: live node.
+                unsafe { (*pred).next(level) }
+            };
+            loop {
+                if curr.is_null() {
+                    break;
+                }
+                // SAFETY: live node.
+                let curr_ref = unsafe { &*curr };
+                if curr == skip {
+                    // Successor of our own node at this level.
+                    succs[level] = curr_ref.next(level);
+                    break;
+                }
+                match curr_ref.key.cmp(key) {
+                    std::cmp::Ordering::Less => {
+                        pred = curr;
+                        curr = curr_ref.next(level);
+                    }
+                    _ => break,
+                }
+            }
+            preds[level] = pred;
+            if succs[level].is_null() {
+                succs[level] = curr;
+            }
+            if succs[level] == skip {
+                // Never chain a node to itself.
+                // SAFETY: live node.
+                succs[level] = unsafe { (*skip).next(level) };
+            }
+        }
+        (preds, succs)
+    }
+
+    /// Look up a key and return a reference to its value.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        match self.find(key) {
+            // SAFETY: nodes are never freed while `&self` is held.
+            Err(node) => Some(unsafe { &(*node).value }),
+            Ok(_) => None,
+        }
+    }
+
+    /// Returns `true` if `key` is present.
+    pub fn contains(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// The smallest key currently in the list, if any.
+    pub fn first_key(&self) -> Option<&K> {
+        let first = self.head.next(0);
+        if first.is_null() {
+            None
+        } else {
+            // SAFETY: live node.
+            Some(unsafe { &(*first).key })
+        }
+    }
+
+    /// Ordered iterator over `(key, value)` pairs (bottom-level walk).
+    pub fn iter(&self) -> Iter<'_, K, V> {
+        Iter {
+            curr: self.head.next(0),
+            _list: self,
+        }
+    }
+
+    /// Remove every element. Requires exclusive access, so it cannot race
+    /// with readers or inserters.
+    pub fn clear(&mut self) {
+        let mut curr = self.head.next[0].load(Ordering::Relaxed);
+        while !curr.is_null() {
+            // SAFETY: exclusive access; every published node was allocated
+            // with `Box::into_raw` and appears exactly once on level 0.
+            let boxed = unsafe { Box::from_raw(curr) };
+            curr = boxed.next[0].load(Ordering::Relaxed);
+        }
+        for level in 0..MAX_HEIGHT {
+            self.head.next[level].store(ptr::null_mut(), Ordering::Relaxed);
+        }
+        self.len.store(0, Ordering::Release);
+    }
+
+    /// Drain the list into a sorted `Vec`, leaving it empty.
+    pub fn drain_sorted(&mut self) -> Vec<(K, V)> {
+        let mut out = Vec::with_capacity(self.len());
+        let mut curr = self.head.next[0].load(Ordering::Relaxed);
+        while !curr.is_null() {
+            // SAFETY: exclusive access, node published exactly once.
+            let boxed = unsafe { Box::from_raw(curr) };
+            curr = boxed.next[0].load(Ordering::Relaxed);
+            out.push((boxed.key, boxed.value));
+        }
+        for level in 0..MAX_HEIGHT {
+            self.head.next[level].store(ptr::null_mut(), Ordering::Relaxed);
+        }
+        self.len.store(0, Ordering::Release);
+        out
+    }
+}
+
+impl<K, V> Drop for ConcurrentSkipList<K, V> {
+    fn drop(&mut self) {
+        let mut curr = self.head.next[0].load(Ordering::Relaxed);
+        while !curr.is_null() {
+            // SAFETY: exclusive access during drop.
+            let boxed = unsafe { Box::from_raw(curr) };
+            curr = boxed.next[0].load(Ordering::Relaxed);
+            drop(boxed);
+        }
+    }
+}
+
+/// Ordered iterator returned by [`ConcurrentSkipList::iter`].
+pub struct Iter<'a, K, V> {
+    curr: *mut Node<K, V>,
+    _list: &'a ConcurrentSkipList<K, V>,
+}
+
+impl<'a, K, V> Iterator for Iter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.curr.is_null() {
+            return None;
+        }
+        // SAFETY: nodes live as long as the list borrow `'a`.
+        let node = unsafe { &*self.curr };
+        self.curr = node.next(0);
+        Some((&node.key, &node.value))
+    }
+}
+
+impl<'a, K: Ord, V> IntoIterator for &'a ConcurrentSkipList<K, V> {
+    type Item = (&'a K, &'a V);
+    type IntoIter = Iter<'a, K, V>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_iterate_in_order() {
+        let list = ConcurrentSkipList::new();
+        for k in [5u64, 1, 9, 3, 7] {
+            assert!(list.insert(k, k * 10));
+        }
+        let got: Vec<(u64, u64)> = list.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(got, vec![(1, 10), (3, 30), (5, 50), (7, 70), (9, 90)]);
+        assert_eq!(list.len(), 5);
+    }
+
+    #[test]
+    fn duplicate_keys_rejected() {
+        let list = ConcurrentSkipList::new();
+        assert!(list.insert(42u32, "a"));
+        assert!(!list.insert(42u32, "b"));
+        assert_eq!(list.len(), 1);
+        assert_eq!(list.get(&42), Some(&"a"));
+    }
+
+    #[test]
+    fn get_and_contains() {
+        let list = ConcurrentSkipList::new();
+        for k in 0..100u64 {
+            list.insert(k, k + 1);
+        }
+        assert_eq!(list.get(&50), Some(&51));
+        assert!(list.contains(&0));
+        assert!(!list.contains(&100));
+        assert_eq!(list.first_key(), Some(&0));
+    }
+
+    #[test]
+    fn empty_list_behaviour() {
+        let list: ConcurrentSkipList<u64, ()> = ConcurrentSkipList::new();
+        assert!(list.is_empty());
+        assert_eq!(list.first_key(), None);
+        assert_eq!(list.iter().count(), 0);
+        assert_eq!(list.get(&1), None);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut list = ConcurrentSkipList::new();
+        for k in 0..1000u64 {
+            list.insert(k, k);
+        }
+        assert_eq!(list.len(), 1000);
+        list.clear();
+        assert!(list.is_empty());
+        assert_eq!(list.iter().count(), 0);
+        // Re-usable after clear.
+        assert!(list.insert(7u64, 7));
+        assert_eq!(list.len(), 1);
+    }
+
+    #[test]
+    fn drain_sorted_returns_everything_in_order() {
+        let mut list = ConcurrentSkipList::new();
+        for k in [4u64, 2, 8, 6, 0] {
+            list.insert(k, format!("v{k}"));
+        }
+        let drained = list.drain_sorted();
+        assert_eq!(
+            drained.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![0, 2, 4, 6, 8]
+        );
+        assert!(list.is_empty());
+    }
+
+    #[test]
+    fn reverse_and_random_insert_orders_agree() {
+        let fwd = ConcurrentSkipList::new();
+        let rev = ConcurrentSkipList::new();
+        for k in 0..500u64 {
+            fwd.insert(k, k);
+        }
+        for k in (0..500u64).rev() {
+            rev.insert(k, k);
+        }
+        let a: Vec<u64> = fwd.iter().map(|(k, _)| *k).collect();
+        let b: Vec<u64> = rev.iter().map(|(k, _)| *k).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn concurrent_inserts_from_many_threads() {
+        let list = std::sync::Arc::new(ConcurrentSkipList::new());
+        let threads = 8;
+        let per_thread = 2_000u64;
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let list = list.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..per_thread {
+                    let key = i * threads + t;
+                    assert!(list.insert(key, key));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(list.len() as u64, threads * per_thread);
+        let mut prev = None;
+        let mut count = 0u64;
+        for (k, v) in list.iter() {
+            assert_eq!(k, v);
+            if let Some(p) = prev {
+                assert!(*k > p, "keys must be strictly increasing");
+            }
+            prev = Some(*k);
+            count += 1;
+        }
+        assert_eq!(count, threads * per_thread);
+    }
+
+    #[test]
+    fn concurrent_duplicate_contention() {
+        // All threads try to insert the same small key range; exactly one
+        // winner per key.
+        let list = std::sync::Arc::new(ConcurrentSkipList::new());
+        let threads = 8;
+        let keys = 256u64;
+        let winners = std::sync::Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let list = list.clone();
+            let winners = winners.clone();
+            handles.push(std::thread::spawn(move || {
+                for k in 0..keys {
+                    if list.insert(k, t) {
+                        winners.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(winners.load(Ordering::Relaxed) as u64, keys);
+        assert_eq!(list.len() as u64, keys);
+    }
+}

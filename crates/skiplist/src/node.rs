@@ -1,0 +1,55 @@
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+use crate::MAX_HEIGHT;
+
+/// A single tower in the skip list.
+///
+/// `next` pointers above `height - 1` are never linked and stay null.
+/// Nodes are allocated with `Box` and only ever freed while the owning list is
+/// held exclusively (`&mut self`), so readers never observe a dangling
+/// pointer.
+pub(crate) struct Node<K, V> {
+    pub(crate) key: K,
+    pub(crate) value: V,
+    /// Tower height of this node; levels `height..MAX_HEIGHT` stay unlinked.
+    #[allow(dead_code)]
+    pub(crate) height: usize,
+    pub(crate) next: [AtomicPtr<Node<K, V>>; MAX_HEIGHT],
+}
+
+impl<K, V> Node<K, V> {
+    pub(crate) fn new(key: K, value: V, height: usize) -> Box<Self> {
+        debug_assert!(height >= 1 && height <= MAX_HEIGHT);
+        Box::new(Node {
+            key,
+            value,
+            height,
+            next: std::array::from_fn(|_| AtomicPtr::new(ptr::null_mut())),
+        })
+    }
+
+    /// Load the successor at `level` with acquire ordering.
+    #[inline]
+    pub(crate) fn next(&self, level: usize) -> *mut Node<K, V> {
+        self.next[level].load(Ordering::Acquire)
+    }
+}
+
+/// Sentinel head: owns only `next` pointers, no key/value.
+pub(crate) struct Head<K, V> {
+    pub(crate) next: [AtomicPtr<Node<K, V>>; MAX_HEIGHT],
+}
+
+impl<K, V> Head<K, V> {
+    pub(crate) fn new() -> Self {
+        Head {
+            next: std::array::from_fn(|_| AtomicPtr::new(ptr::null_mut())),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn next(&self, level: usize) -> *mut Node<K, V> {
+        self.next[level].load(Ordering::Acquire)
+    }
+}

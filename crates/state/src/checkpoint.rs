@@ -1,0 +1,440 @@
+//! Durability: store snapshots and on-disk checkpoints.
+//!
+//! Section IV-D of the paper: "*Durability requires modification to state are
+//! durable.  TStream can replicate states stored in memory to disk before
+//! resuming to compute mode to satisfy durability.*"  The punctuation
+//! boundary is a natural quiescent point — every transaction of the batch has
+//! either committed or aborted, and no version chains are live — so a
+//! consistent snapshot can be taken without any coordination beyond the
+//! barriers dual-mode scheduling already uses.
+//!
+//! Two pieces live here:
+//!
+//! * [`StoreSnapshot`] — an owned, order-stable copy of every committed value
+//!   of a [`StateStore`], encodable with the [`crate::codec`] format and
+//!   restorable onto a store with the same schema;
+//! * [`Checkpointer`] — writes numbered snapshot files into a directory,
+//!   retains the most recent `retain` checkpoints, and can recover the latest
+//!   one after a crash.
+//!
+//! Checkpoints are written atomically (write to a temporary file, then
+//! rename) so a crash mid-write never leaves a truncated "latest" checkpoint.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::codec::{self, Reader};
+use crate::error::{StateError, StateResult};
+use crate::store::StateStore;
+use crate::value::Value;
+use crate::Key;
+
+/// File extension of checkpoint files.
+pub const CHECKPOINT_EXTENSION: &str = "tsnap";
+
+/// Snapshot of one table: its name and every `(key, committed value)` pair in
+/// slot order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableSnapshot {
+    /// Table name.
+    pub name: String,
+    /// Committed values in slot order.
+    pub entries: Vec<(Key, Value)>,
+}
+
+/// A consistent snapshot of every committed value of a store.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StoreSnapshot {
+    /// Per-table snapshots in table-id order.
+    pub tables: Vec<TableSnapshot>,
+}
+
+impl StoreSnapshot {
+    /// Capture the committed values of every table.
+    ///
+    /// The caller must ensure the store is quiescent (no concurrent writers);
+    /// the engine takes snapshots at the end-of-batch barrier where that holds
+    /// by construction.
+    pub fn capture(store: &StateStore) -> Self {
+        let tables = store
+            .tables()
+            .map(|(_, table)| TableSnapshot {
+                name: table.name().to_owned(),
+                entries: table.snapshot(),
+            })
+            .collect();
+        StoreSnapshot { tables }
+    }
+
+    /// Total number of records across all tables.
+    pub fn record_count(&self) -> usize {
+        self.tables.iter().map(|t| t.entries.len()).sum()
+    }
+
+    /// Encode into the `TSNAP1` binary format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.record_count() * 24);
+        out.extend_from_slice(codec::MAGIC);
+        out.extend_from_slice(&(self.tables.len() as u32).to_le_bytes());
+        for table in &self.tables {
+            codec::put_string(&mut out, &table.name);
+            out.extend_from_slice(&(table.entries.len() as u64).to_le_bytes());
+            for (key, value) in &table.entries {
+                out.extend_from_slice(&key.to_le_bytes());
+                codec::encode_value(&mut out, value);
+            }
+        }
+        out
+    }
+
+    /// Decode from the `TSNAP1` binary format.
+    pub fn decode(bytes: &[u8]) -> StateResult<Self> {
+        let mut reader = Reader::new(bytes);
+        reader.expect_magic()?;
+        let table_count = reader.u32()? as usize;
+        let mut tables = Vec::with_capacity(table_count);
+        for _ in 0..table_count {
+            let name = reader.string()?;
+            let record_count = reader.u64()? as usize;
+            let mut entries = Vec::with_capacity(record_count);
+            for _ in 0..record_count {
+                let key = reader.u64()?;
+                let value = codec::decode_value(&mut reader)?;
+                entries.push((key, value));
+            }
+            tables.push(TableSnapshot { name, entries });
+        }
+        if reader.remaining() != 0 {
+            return Err(StateError::Corrupted(format!(
+                "{} trailing bytes after snapshot",
+                reader.remaining()
+            )));
+        }
+        Ok(StoreSnapshot { tables })
+    }
+
+    /// Restore every value of this snapshot into `store`.
+    ///
+    /// The store must have the same schema (table names and keys); restoring
+    /// onto a mismatched store fails without applying a partial state.
+    pub fn restore(&self, store: &StateStore) -> StateResult<()> {
+        // Validate first so restore is all-or-nothing.
+        for table in &self.tables {
+            let id = store.table_id(&table.name)?;
+            for (key, _) in &table.entries {
+                store.record(id, *key)?;
+            }
+        }
+        for table in &self.tables {
+            let id = store.table_id(&table.name)?;
+            for (key, value) in &table.entries {
+                store.record(id, *key)?.write_committed(value.clone());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Writes and recovers on-disk checkpoints of a store.
+#[derive(Debug)]
+pub struct Checkpointer {
+    directory: PathBuf,
+    retain: usize,
+    sequence: AtomicU64,
+}
+
+impl Checkpointer {
+    /// Create a checkpointer writing into `directory`, keeping the most
+    /// recent `retain` checkpoints (older ones are pruned after every write).
+    ///
+    /// The directory is created if missing.  If it already contains
+    /// checkpoints, numbering continues after the largest existing sequence
+    /// number so recovery and further checkpointing compose.
+    pub fn new(directory: impl Into<PathBuf>, retain: usize) -> StateResult<Self> {
+        let directory = directory.into();
+        fs::create_dir_all(&directory)?;
+        let next = Self::existing_sequences(&directory)?
+            .last()
+            .map(|&(seq, _)| seq + 1)
+            .unwrap_or(0);
+        Ok(Checkpointer {
+            directory,
+            retain: retain.max(1),
+            sequence: AtomicU64::new(next),
+        })
+    }
+
+    /// Directory the checkpoints are written to.
+    pub fn directory(&self) -> &Path {
+        &self.directory
+    }
+
+    /// Number of checkpoints retained.
+    pub fn retain(&self) -> usize {
+        self.retain
+    }
+
+    /// Sequence number the next checkpoint will use.
+    pub fn next_sequence(&self) -> u64 {
+        self.sequence.load(Ordering::SeqCst)
+    }
+
+    /// Existing checkpoint files, sorted by sequence number.
+    fn existing_sequences(directory: &Path) -> StateResult<Vec<(u64, PathBuf)>> {
+        let mut found = Vec::new();
+        if !directory.exists() {
+            return Ok(found);
+        }
+        for entry in fs::read_dir(directory)? {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some(CHECKPOINT_EXTENSION) {
+                continue;
+            }
+            let stem = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or_default();
+            if let Some(seq) = stem
+                .strip_prefix("checkpoint-")
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                found.push((seq, path));
+            }
+        }
+        found.sort_by_key(|&(seq, _)| seq);
+        Ok(found)
+    }
+
+    /// Paths of all checkpoints currently on disk, oldest first.
+    pub fn list(&self) -> StateResult<Vec<PathBuf>> {
+        Ok(Self::existing_sequences(&self.directory)?
+            .into_iter()
+            .map(|(_, p)| p)
+            .collect())
+    }
+
+    fn path_for(&self, sequence: u64) -> PathBuf {
+        self.directory
+            .join(format!("checkpoint-{sequence:012}.{CHECKPOINT_EXTENSION}"))
+    }
+
+    /// Write a snapshot of `store` as the next checkpoint and prune old ones.
+    ///
+    /// Returns the path of the new checkpoint file.
+    pub fn checkpoint(&self, store: &StateStore) -> StateResult<PathBuf> {
+        self.write_snapshot(&StoreSnapshot::capture(store))
+    }
+
+    /// Write an already-captured snapshot as the next checkpoint.
+    pub fn write_snapshot(&self, snapshot: &StoreSnapshot) -> StateResult<PathBuf> {
+        let sequence = self.sequence.fetch_add(1, Ordering::SeqCst);
+        let path = self.path_for(sequence);
+        let tmp = path.with_extension("tmp");
+        fs::write(&tmp, snapshot.encode())?;
+        fs::rename(&tmp, &path)?;
+        self.prune()?;
+        Ok(path)
+    }
+
+    /// Remove all but the newest `retain` checkpoints.
+    fn prune(&self) -> StateResult<()> {
+        let existing = Self::existing_sequences(&self.directory)?;
+        if existing.len() <= self.retain {
+            return Ok(());
+        }
+        for (_, path) in &existing[..existing.len() - self.retain] {
+            fs::remove_file(path)?;
+        }
+        Ok(())
+    }
+
+    /// Load the most recent checkpoint, if any exists.
+    pub fn latest_snapshot(&self) -> StateResult<Option<StoreSnapshot>> {
+        match Self::existing_sequences(&self.directory)?.last() {
+            None => Ok(None),
+            Some((_, path)) => {
+                let bytes = fs::read(path)?;
+                Ok(Some(StoreSnapshot::decode(&bytes)?))
+            }
+        }
+    }
+
+    /// Convenience: restore the most recent checkpoint onto `store`.
+    ///
+    /// Returns `true` if a checkpoint was found and applied.
+    pub fn recover_into(&self, store: &StateStore) -> StateResult<bool> {
+        match self.latest_snapshot()? {
+            None => Ok(false),
+            Some(snapshot) => {
+                snapshot.restore(store)?;
+                Ok(true)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+    use std::sync::Arc;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "tstream-checkpoint-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_store() -> Arc<StateStore> {
+        let accounts = TableBuilder::new("accounts")
+            .extend((0..32u64).map(|k| (k, Value::Long(k as i64 * 100))))
+            .build()
+            .unwrap();
+        let speeds = TableBuilder::new("speeds")
+            .extend((0..8u64).map(|k| (k, Value::Double(60.0 + k as f64))))
+            .build()
+            .unwrap();
+        StateStore::new(vec![accounts, speeds]).unwrap()
+    }
+
+    #[test]
+    fn snapshot_encode_decode_round_trip() {
+        let store = sample_store();
+        store
+            .record(crate::TableId(0), 3)
+            .unwrap()
+            .write_committed(Value::Long(-7));
+        let snapshot = StoreSnapshot::capture(&store);
+        assert_eq!(snapshot.record_count(), 40);
+        let decoded = StoreSnapshot::decode(&snapshot.encode()).unwrap();
+        assert_eq!(decoded, snapshot);
+    }
+
+    #[test]
+    fn restore_reproduces_the_captured_state() {
+        let source = sample_store();
+        source
+            .record(crate::TableId(0), 5)
+            .unwrap()
+            .write_committed(Value::Long(555));
+        source
+            .record(crate::TableId(1), 2)
+            .unwrap()
+            .write_committed(Value::Double(12.5));
+        let snapshot = StoreSnapshot::capture(&source);
+
+        let target = sample_store();
+        snapshot.restore(&target).unwrap();
+        assert_eq!(target.snapshot(), source.snapshot());
+    }
+
+    #[test]
+    fn restore_onto_mismatched_schema_fails_without_partial_apply() {
+        let source = sample_store();
+        let snapshot = StoreSnapshot::capture(&source);
+
+        let other = StateStore::new(vec![TableBuilder::new("other")
+            .insert(0, Value::Long(1))
+            .build()
+            .unwrap()])
+        .unwrap();
+        let before = other.snapshot();
+        assert!(matches!(
+            snapshot.restore(&other),
+            Err(StateError::UnknownTable(_))
+        ));
+        assert_eq!(other.snapshot(), before, "nothing may be applied on failure");
+    }
+
+    #[test]
+    fn corrupted_bytes_are_rejected() {
+        let store = sample_store();
+        let mut bytes = StoreSnapshot::capture(&store).encode();
+        bytes.truncate(bytes.len() / 2);
+        assert!(matches!(
+            StoreSnapshot::decode(&bytes),
+            Err(StateError::Corrupted(_))
+        ));
+        assert!(matches!(
+            StoreSnapshot::decode(b"garbage"),
+            Err(StateError::Corrupted(_))
+        ));
+        let mut trailing = StoreSnapshot::capture(&store).encode();
+        trailing.push(0);
+        assert!(matches!(
+            StoreSnapshot::decode(&trailing),
+            Err(StateError::Corrupted(_))
+        ));
+    }
+
+    #[test]
+    fn checkpointer_writes_numbered_files_and_prunes() {
+        let dir = temp_dir("prune");
+        let store = sample_store();
+        let cp = Checkpointer::new(&dir, 2).unwrap();
+        for i in 0..5i64 {
+            store
+                .record(crate::TableId(0), 0)
+                .unwrap()
+                .write_committed(Value::Long(i));
+            cp.checkpoint(&store).unwrap();
+        }
+        let files = cp.list().unwrap();
+        assert_eq!(files.len(), 2, "only the two newest checkpoints remain");
+        // The latest checkpoint holds the latest value.
+        let latest = cp.latest_snapshot().unwrap().unwrap();
+        assert_eq!(latest.tables[0].entries[0].1, Value::Long(4));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_restores_the_latest_checkpoint() {
+        let dir = temp_dir("recover");
+        let store = sample_store();
+        {
+            let cp = Checkpointer::new(&dir, 4).unwrap();
+            store
+                .record(crate::TableId(0), 7)
+                .unwrap()
+                .write_committed(Value::Long(777));
+            cp.checkpoint(&store).unwrap();
+        }
+        // "Crash": a brand-new store and a brand-new checkpointer over the
+        // same directory.
+        let recovered = sample_store();
+        let cp = Checkpointer::new(&dir, 4).unwrap();
+        assert!(cp.recover_into(&recovered).unwrap());
+        assert_eq!(recovered.snapshot(), store.snapshot());
+        // Sequence numbering continues after the recovered checkpoint.
+        assert_eq!(cp.next_sequence(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_with_no_checkpoints_is_a_noop() {
+        let dir = temp_dir("empty");
+        let cp = Checkpointer::new(&dir, 1).unwrap();
+        let store = sample_store();
+        let before = store.snapshot();
+        assert!(!cp.recover_into(&store).unwrap());
+        assert_eq!(store.snapshot(), before);
+        assert!(cp.latest_snapshot().unwrap().is_none());
+        assert!(cp.list().unwrap().is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn configuration_accessors() {
+        let dir = temp_dir("config");
+        let cp = Checkpointer::new(&dir, 0).unwrap();
+        assert_eq!(cp.retain(), 1, "retention is clamped to at least one");
+        assert_eq!(cp.directory(), dir.as_path());
+        assert_eq!(cp.next_sequence(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,265 @@
+//! Binary encoding of state values and store snapshots.
+//!
+//! The durability guarantee of Section IV-D ("TStream can replicate states
+//! stored in memory to disk before resuming to compute mode") needs a way to
+//! serialise the committed contents of a [`crate::StateStore`].  The format is
+//! a small hand-rolled binary codec rather than a third-party serialisation
+//! framework: the value space is tiny (six variants), the format must stay
+//! stable across runs for the checkpoint/restore tests, and keeping it in-tree
+//! avoids pulling `serde` into every downstream crate.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! snapshot   := MAGIC u32:table_count table*
+//! table      := u32:name_len name_bytes u64:record_count record*
+//! record     := u64:key value
+//! value      := u8:tag payload
+//!   tag 0 = Null                      (no payload)
+//!   tag 1 = Long   i64
+//!   tag 2 = Double f64 bit pattern
+//!   tag 3 = Str    u32:len bytes (UTF-8)
+//!   tag 4 = Set    u32:len u64*   (ids sorted ascending so encoding is
+//!                                  deterministic)
+//!   tag 5 = Pair   i64 i64
+//! ```
+
+use std::collections::HashSet;
+
+use crate::error::{StateError, StateResult};
+use crate::value::Value;
+
+/// Magic prefix of every snapshot file (`TSNAP` + format version 1).
+pub const MAGIC: &[u8; 6] = b"TSNAP1";
+
+/// A cursor over an encoded byte buffer.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wrap a buffer.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Number of bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> StateResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(StateError::Corrupted(format!(
+                "unexpected end of input: needed {n} bytes, {} left",
+                self.remaining()
+            )));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> StateResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian u32.
+    pub fn u32(&mut self) -> StateResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian u64.
+    pub fn u64(&mut self) -> StateResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian i64.
+    pub fn i64(&mut self) -> StateResult<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian f64.
+    pub fn f64(&mut self) -> StateResult<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> StateResult<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| StateError::Corrupted(format!("invalid UTF-8 in string: {e}")))
+    }
+
+    /// Check and consume the snapshot magic.
+    pub fn expect_magic(&mut self) -> StateResult<()> {
+        let got = self.take(MAGIC.len())?;
+        if got != MAGIC {
+            return Err(StateError::Corrupted(
+                "missing TSNAP1 magic prefix".to_owned(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Append a length-prefixed UTF-8 string.
+pub fn put_string(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Encode one value onto the end of `out`.
+pub fn encode_value(out: &mut Vec<u8>, value: &Value) {
+    match value {
+        Value::Null => out.push(0),
+        Value::Long(v) => {
+            out.push(1);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Value::Double(v) => {
+            out.push(2);
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(3);
+            put_string(out, s);
+        }
+        Value::Set(set) => {
+            out.push(4);
+            out.extend_from_slice(&(set.len() as u32).to_le_bytes());
+            let mut ids: Vec<u64> = set.iter().copied().collect();
+            ids.sort_unstable();
+            for id in ids {
+                out.extend_from_slice(&id.to_le_bytes());
+            }
+        }
+        Value::Pair(a, b) => {
+            out.push(5);
+            out.extend_from_slice(&a.to_le_bytes());
+            out.extend_from_slice(&b.to_le_bytes());
+        }
+    }
+}
+
+/// Decode one value from the reader.
+pub fn decode_value(reader: &mut Reader<'_>) -> StateResult<Value> {
+    match reader.u8()? {
+        0 => Ok(Value::Null),
+        1 => Ok(Value::Long(reader.i64()?)),
+        2 => Ok(Value::Double(reader.f64()?)),
+        3 => Ok(Value::Str(reader.string()?)),
+        4 => {
+            let len = reader.u32()? as usize;
+            let mut set = HashSet::with_capacity(len);
+            for _ in 0..len {
+                set.insert(reader.u64()?);
+            }
+            Ok(Value::Set(set))
+        }
+        5 => Ok(Value::Pair(reader.i64()?, reader.i64()?)),
+        tag => Err(StateError::Corrupted(format!("unknown value tag {tag}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(value: &Value) -> Value {
+        let mut buf = Vec::new();
+        encode_value(&mut buf, value);
+        let mut reader = Reader::new(&buf);
+        let decoded = decode_value(&mut reader).unwrap();
+        assert_eq!(reader.remaining(), 0, "every byte must be consumed");
+        decoded
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        let samples = [
+            Value::Null,
+            Value::Long(-42),
+            Value::Long(i64::MAX),
+            Value::Double(3.25),
+            Value::Double(f64::MIN_POSITIVE),
+            Value::Str(String::new()),
+            Value::Str("hello tstream".into()),
+            Value::Set([1u64, 9, 100_000].into_iter().collect()),
+            Value::Set(HashSet::new()),
+            Value::Pair(-1, 77),
+        ];
+        for v in &samples {
+            assert_eq!(&round_trip(v), v);
+        }
+    }
+
+    #[test]
+    fn set_encoding_is_deterministic() {
+        let a: Value = Value::Set([5u64, 1, 3].into_iter().collect());
+        let b: Value = Value::Set([3u64, 5, 1].into_iter().collect());
+        let mut ea = Vec::new();
+        let mut eb = Vec::new();
+        encode_value(&mut ea, &a);
+        encode_value(&mut eb, &b);
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn truncated_input_is_reported_as_corrupted() {
+        let mut buf = Vec::new();
+        encode_value(&mut buf, &Value::Long(7));
+        buf.truncate(buf.len() - 1);
+        let mut reader = Reader::new(&buf);
+        assert!(matches!(
+            decode_value(&mut reader),
+            Err(StateError::Corrupted(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        let mut reader = Reader::new(&[250u8]);
+        assert!(matches!(
+            decode_value(&mut reader),
+            Err(StateError::Corrupted(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_utf8_is_rejected() {
+        let mut buf = vec![3u8];
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(&[0xFF, 0xFE]);
+        let mut reader = Reader::new(&buf);
+        assert!(matches!(
+            decode_value(&mut reader),
+            Err(StateError::Corrupted(_))
+        ));
+    }
+
+    #[test]
+    fn magic_is_checked() {
+        let mut reader = Reader::new(b"NOTSNAP...");
+        assert!(matches!(
+            reader.expect_magic(),
+            Err(StateError::Corrupted(_))
+        ));
+        let mut ok = Vec::new();
+        ok.extend_from_slice(MAGIC);
+        let mut reader = Reader::new(&ok);
+        assert!(reader.expect_magic().is_ok());
+    }
+
+    #[test]
+    fn strings_round_trip_through_helpers() {
+        let mut buf = Vec::new();
+        put_string(&mut buf, "road_speed");
+        let mut reader = Reader::new(&buf);
+        assert_eq!(reader.string().unwrap(), "road_speed");
+    }
+}

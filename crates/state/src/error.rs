@@ -1,0 +1,106 @@
+//! Error types for state access.
+
+use std::fmt;
+
+/// Errors raised by the state store and by state accesses executed on it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StateError {
+    /// The requested table does not exist.
+    UnknownTable(String),
+    /// The requested key is not present in the table.
+    KeyNotFound {
+        /// Table the lookup targeted.
+        table: String,
+        /// Missing key.
+        key: u64,
+    },
+    /// A value of an unexpected type was found (e.g. asked for a long, found
+    /// a set).
+    TypeMismatch {
+        /// What the caller expected.
+        expected: &'static str,
+        /// What was stored.
+        found: &'static str,
+    },
+    /// A consistency condition failed (e.g. negative road speed, insufficient
+    /// balance); the enclosing transaction must abort.
+    ConsistencyViolation(String),
+    /// The transaction was aborted (by itself or by the scheme).
+    Aborted {
+        /// Timestamp of the aborted transaction.
+        timestamp: u64,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A table was declared twice or records were inserted after sealing.
+    InvalidDefinition(String),
+    /// A filesystem operation of the durability layer failed.  The original
+    /// `std::io::Error` is stringified so the error type stays cloneable and
+    /// comparable.
+    Io(String),
+    /// A checkpoint file could not be decoded (truncated, wrong magic,
+    /// unknown value tag...).
+    Corrupted(String),
+}
+
+impl fmt::Display for StateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StateError::UnknownTable(name) => write!(f, "unknown table `{name}`"),
+            StateError::KeyNotFound { table, key } => {
+                write!(f, "key {key} not found in table `{table}`")
+            }
+            StateError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            StateError::ConsistencyViolation(msg) => {
+                write!(f, "consistency violation: {msg}")
+            }
+            StateError::Aborted { timestamp, reason } => {
+                write!(f, "transaction {timestamp} aborted: {reason}")
+            }
+            StateError::InvalidDefinition(msg) => write!(f, "invalid definition: {msg}"),
+            StateError::Io(msg) => write!(f, "durability I/O error: {msg}"),
+            StateError::Corrupted(msg) => write!(f, "corrupted checkpoint: {msg}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for StateError {
+    fn from(e: std::io::Error) -> Self {
+        StateError::Io(e.to_string())
+    }
+}
+
+impl std::error::Error for StateError {}
+
+/// Convenient result alias used throughout the state crate.
+pub type StateResult<T> = Result<T, StateError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = StateError::KeyNotFound {
+            table: "accounts".into(),
+            key: 99,
+        };
+        assert!(e.to_string().contains("accounts"));
+        assert!(e.to_string().contains("99"));
+
+        let e = StateError::TypeMismatch {
+            expected: "long",
+            found: "set",
+        };
+        assert!(e.to_string().contains("expected long"));
+
+        let e = StateError::Aborted {
+            timestamp: 7,
+            reason: "insufficient balance".into(),
+        };
+        assert!(e.to_string().contains("7"));
+        assert!(e.to_string().contains("insufficient balance"));
+    }
+}

@@ -1,0 +1,142 @@
+//! Sharded hash index mapping keys to record slots.
+//!
+//! Every state access goes through an index lookup; the paper's No-Lock
+//! analysis (Section VI-D) identifies this lookup as the dominant remaining
+//! cost once synchronisation is removed, so the reproduction keeps a real
+//! index on the access path instead of assuming dense keys.
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+
+use crate::Key;
+
+/// Default number of shards; a power of two so shard selection is a mask.
+pub const DEFAULT_SHARDS: usize = 64;
+
+/// A sharded hash index from application key to record slot.
+#[derive(Debug)]
+pub struct ShardedIndex {
+    shards: Vec<RwLock<HashMap<Key, u32>>>,
+    mask: u64,
+}
+
+impl ShardedIndex {
+    /// Creates an index with [`DEFAULT_SHARDS`] shards.
+    pub fn new() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// Creates an index with a caller-chosen shard count (rounded up to a
+    /// power of two).
+    pub fn with_shards(shards: usize) -> Self {
+        let shards = shards.max(1).next_power_of_two();
+        ShardedIndex {
+            shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            mask: (shards - 1) as u64,
+        }
+    }
+
+    #[inline]
+    fn shard_of(&self, key: Key) -> usize {
+        // Cheap avalanche so clustered keys spread across shards.
+        let mut h = key;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        h ^= h >> 33;
+        (h & self.mask) as usize
+    }
+
+    /// Insert a key → slot mapping. Returns the previous slot if the key was
+    /// already present.
+    pub fn insert(&self, key: Key, slot: u32) -> Option<u32> {
+        self.shards[self.shard_of(key)].write().insert(key, slot)
+    }
+
+    /// Look up the slot for `key`.
+    pub fn lookup(&self, key: Key) -> Option<u32> {
+        self.shards[self.shard_of(key)].read().get(&key).copied()
+    }
+
+    /// Whether the key is present.
+    pub fn contains(&self, key: Key) -> bool {
+        self.lookup(key).is_some()
+    }
+
+    /// Total number of indexed keys.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for ShardedIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn insert_and_lookup() {
+        let idx = ShardedIndex::new();
+        assert!(idx.is_empty());
+        for k in 0..1000u64 {
+            assert_eq!(idx.insert(k, k as u32), None);
+        }
+        assert_eq!(idx.len(), 1000);
+        for k in 0..1000u64 {
+            assert_eq!(idx.lookup(k), Some(k as u32));
+        }
+        assert_eq!(idx.lookup(5000), None);
+    }
+
+    #[test]
+    fn reinsert_returns_previous_slot() {
+        let idx = ShardedIndex::with_shards(4);
+        assert_eq!(idx.insert(7, 1), None);
+        assert_eq!(idx.insert(7, 2), Some(1));
+        assert_eq!(idx.lookup(7), Some(2));
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        let idx = ShardedIndex::with_shards(3);
+        // 3 rounds up to 4 shards; behaviour must still be correct.
+        for k in 0..100u64 {
+            idx.insert(k, (k * 2) as u32);
+        }
+        for k in 0..100u64 {
+            assert_eq!(idx.lookup(k), Some((k * 2) as u32));
+        }
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers() {
+        let idx = Arc::new(ShardedIndex::new());
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let idx = idx.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    let key = t * 1000 + i;
+                    idx.insert(key, key as u32);
+                    assert_eq!(idx.lookup(key), Some(key as u32));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(idx.len(), 8000);
+    }
+}

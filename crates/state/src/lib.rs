@@ -1,0 +1,56 @@
+//! # tstream-state
+//!
+//! The in-memory state store TStream runs on top of.  It plays the role the
+//! Cavalia database plays in the paper's implementation (Section V): it owns
+//! the shared mutable application state (tables of keyed records) and provides
+//! the low-level machinery every concurrency-control scheme builds on:
+//!
+//! * [`Value`] — dynamically typed cell values (64-bit integers, doubles,
+//!   short strings and hash sets, covering the state layouts of the four
+//!   benchmark applications GS / SL / OB / TP);
+//! * [`Record`] — one keyed state: the committed value, an optional committed
+//!   multi-version chain (for MVLK), a temporary per-batch version list (for
+//!   TStream's dynamic restructuring), a queued timestamp-ordered
+//!   [`lock::RecordLock`], and a write watermark;
+//! * [`Table`] / [`StateStore`] — collections of records reachable through a
+//!   sharded hash [`index`], mirroring the index-lookup cost the paper calls
+//!   out in its No-Lock analysis (Section VI-D);
+//! * [`partition`] — hash partitioning of records used by the PAT scheme;
+//! * [`codec`] / [`checkpoint`] — the durability layer of Section IV-D:
+//!   binary snapshots of the committed state, written to disk at punctuation
+//!   boundaries and recoverable after a crash.
+//!
+//! The store is deliberately scheme-agnostic: LOCK, MVLK, PAT and TStream all
+//! drive it through the same handful of primitives, which is what lets the
+//! engine swap schemes for the paper's comparisons.
+
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod codec;
+pub mod error;
+pub mod index;
+pub mod lock;
+pub mod partition;
+pub mod record;
+pub mod store;
+pub mod table;
+pub mod value;
+pub mod version;
+
+pub use checkpoint::{Checkpointer, StoreSnapshot, TableSnapshot};
+pub use error::{StateError, StateResult};
+pub use record::Record;
+pub use store::{StateStore, TableId};
+pub use table::{Table, TableBuilder};
+pub use value::Value;
+pub use version::VersionChain;
+
+/// Keys are 64-bit identifiers. Applications with string keys hash them into
+/// this space (see `tstream-apps`); the sharded index resolves them to record
+/// slots.
+pub type Key = u64;
+
+/// Transaction / event timestamps. Dense, monotonically increasing per batch,
+/// assigned by the progress controller (`tstream-stream`).
+pub type Timestamp = u64;

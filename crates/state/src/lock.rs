@@ -1,0 +1,342 @@
+//! Record-level locking primitives used by the baseline schemes.
+//!
+//! Two building blocks live here:
+//!
+//! * [`RecordLock`] — a queued shared/exclusive lock whose wait queue is
+//!   ordered by transaction timestamp.  LOCK (S2PL) and PAT insert lock
+//!   requests in timestamp order (their lockAhead / partition counters
+//!   guarantee the insertion order) and later block on the grant;
+//! * [`SeqGate`] — a monotonically increasing counter that threads can wait
+//!   on.  It implements the paper's "monotonically increasing counters": the
+//!   global lockAhead counter of LOCK, the per-partition counters of PAT and
+//!   the per-state `lwm` counters of MVLK are all `SeqGate`s.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::Timestamp;
+
+/// Locking mode requested by an operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    /// Shared (read) access.
+    Shared,
+    /// Exclusive (write) access.
+    Exclusive,
+}
+
+#[derive(Debug, Default)]
+struct LockState {
+    /// Timestamp currently holding the exclusive lock, if any.
+    exclusive: Option<Timestamp>,
+    /// Timestamps currently holding shared locks.
+    shared: BTreeSet<Timestamp>,
+    /// Requests not yet granted, ordered by timestamp.
+    waiting: BTreeMap<Timestamp, LockMode>,
+}
+
+impl LockState {
+    /// Grant every waiting request that is now compatible, in timestamp
+    /// order, stopping at the first incompatible one (so grants never jump
+    /// over an earlier conflicting request).
+    fn promote(&mut self) {
+        while let Some((&ts, &mode)) = self.waiting.iter().next() {
+            match mode {
+                LockMode::Shared => {
+                    if self.exclusive.is_some() {
+                        break;
+                    }
+                    self.shared.insert(ts);
+                    self.waiting.remove(&ts);
+                }
+                LockMode::Exclusive => {
+                    if self.exclusive.is_some() || !self.shared.is_empty() {
+                        break;
+                    }
+                    self.exclusive = Some(ts);
+                    self.waiting.remove(&ts);
+                }
+            }
+        }
+    }
+
+    fn holds(&self, ts: Timestamp) -> bool {
+        self.exclusive == Some(ts) || self.shared.contains(&ts)
+    }
+}
+
+/// A queued shared/exclusive record lock granting requests in timestamp
+/// order.
+#[derive(Debug, Default)]
+pub struct RecordLock {
+    state: Mutex<LockState>,
+    granted: Condvar,
+}
+
+impl RecordLock {
+    /// Creates an unheld lock.
+    pub fn new() -> Self {
+        RecordLock {
+            state: Mutex::new(LockState::default()),
+            granted: Condvar::new(),
+        }
+    }
+
+    /// Insert a lock request for transaction `ts` without blocking.
+    ///
+    /// The request may be granted immediately; either way, the caller later
+    /// blocks in [`RecordLock::wait_granted`] before touching the record.
+    /// Duplicate requests by the same transaction are upgraded: an exclusive
+    /// request wins over a shared one.
+    pub fn request(&self, ts: Timestamp, mode: LockMode) {
+        let mut state = self.state.lock();
+        if state.holds(ts) {
+            // Upgrade a held shared lock to an exclusive request if needed.
+            if mode == LockMode::Exclusive && state.exclusive != Some(ts) {
+                state.shared.remove(&ts);
+                state.waiting.insert(ts, LockMode::Exclusive);
+            }
+        } else {
+            match state.waiting.get(&ts) {
+                Some(LockMode::Exclusive) => {}
+                _ => {
+                    let existing = state.waiting.get(&ts).copied();
+                    let mode = match (existing, mode) {
+                        (Some(LockMode::Shared), LockMode::Exclusive) => LockMode::Exclusive,
+                        (Some(existing), _) => existing,
+                        (None, m) => m,
+                    };
+                    state.waiting.insert(ts, mode);
+                }
+            }
+        }
+        state.promote();
+        if state.holds(ts) {
+            self.granted.notify_all();
+        }
+    }
+
+    /// Block until transaction `ts`'s request has been granted.
+    pub fn wait_granted(&self, ts: Timestamp) {
+        let mut state = self.state.lock();
+        while !state.holds(ts) {
+            self.granted.wait(&mut state);
+        }
+    }
+
+    /// Returns `true` if transaction `ts` currently holds this lock.
+    pub fn is_held_by(&self, ts: Timestamp) -> bool {
+        self.state.lock().holds(ts)
+    }
+
+    /// Convenience: request and wait in one call.
+    pub fn acquire(&self, ts: Timestamp, mode: LockMode) {
+        self.request(ts, mode);
+        self.wait_granted(ts);
+    }
+
+    /// Release whatever lock transaction `ts` holds (or cancel its pending
+    /// request) and wake up waiters.
+    pub fn release(&self, ts: Timestamp) {
+        let mut state = self.state.lock();
+        if state.exclusive == Some(ts) {
+            state.exclusive = None;
+        }
+        state.shared.remove(&ts);
+        state.waiting.remove(&ts);
+        state.promote();
+        drop(state);
+        self.granted.notify_all();
+    }
+}
+
+/// A monotonically increasing counter threads can wait on.
+///
+/// This is the "monotonically increasing counter" every prior scheme in the
+/// paper synchronises on; waiting on it is exactly the *Sync* component of the
+/// paper's time breakdown (Figure 9).
+#[derive(Debug)]
+pub struct SeqGate {
+    value: Mutex<u64>,
+    changed: Condvar,
+}
+
+impl Default for SeqGate {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+impl SeqGate {
+    /// Creates a gate with the given initial value.
+    pub fn new(initial: u64) -> Self {
+        SeqGate {
+            value: Mutex::new(initial),
+            changed: Condvar::new(),
+        }
+    }
+
+    /// Current value.
+    pub fn current(&self) -> u64 {
+        *self.value.lock()
+    }
+
+    /// Block until the gate value is `>= target`.
+    pub fn wait_at_least(&self, target: u64) {
+        let mut v = self.value.lock();
+        while *v < target {
+            self.changed.wait(&mut v);
+        }
+    }
+
+    /// Block until the gate value equals `target` exactly.
+    ///
+    /// Used by LOCK's lockAhead process: the transaction with timestamp `t`
+    /// may insert its locks only when the counter reaches `t`.
+    pub fn wait_exact(&self, target: u64) {
+        let mut v = self.value.lock();
+        while *v != target {
+            self.changed.wait(&mut v);
+        }
+    }
+
+    /// Set the gate to `target` if it is larger than the current value and
+    /// wake all waiters.
+    pub fn advance_to(&self, target: u64) {
+        let mut v = self.value.lock();
+        if target > *v {
+            *v = target;
+        }
+        drop(v);
+        self.changed.notify_all();
+    }
+
+    /// Increment the gate by one and wake all waiters; returns the new value.
+    pub fn advance(&self) -> u64 {
+        let mut v = self.value.lock();
+        *v += 1;
+        let new = *v;
+        drop(v);
+        self.changed.notify_all();
+        new
+    }
+
+    /// Reset to a specific value (used between batches / runs).
+    pub fn reset(&self, value: u64) {
+        let mut v = self.value.lock();
+        *v = value;
+        drop(v);
+        self.changed.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn shared_locks_coexist() {
+        let lock = RecordLock::new();
+        lock.acquire(1, LockMode::Shared);
+        lock.acquire(2, LockMode::Shared);
+        assert!(lock.is_held_by(1));
+        assert!(lock.is_held_by(2));
+        lock.release(1);
+        lock.release(2);
+    }
+
+    #[test]
+    fn exclusive_excludes_everyone() {
+        let lock = Arc::new(RecordLock::new());
+        lock.acquire(1, LockMode::Exclusive);
+        assert!(lock.is_held_by(1));
+
+        let l2 = lock.clone();
+        let acquired = Arc::new(AtomicUsize::new(0));
+        let a2 = acquired.clone();
+        let handle = thread::spawn(move || {
+            l2.acquire(2, LockMode::Exclusive);
+            a2.store(1, Ordering::SeqCst);
+            l2.release(2);
+        });
+        thread::sleep(Duration::from_millis(30));
+        assert_eq!(acquired.load(Ordering::SeqCst), 0, "must still be blocked");
+        lock.release(1);
+        handle.join().unwrap();
+        assert_eq!(acquired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn grants_respect_timestamp_order_for_conflicts() {
+        // ts=1 holds exclusive; ts=2 (write) and ts=3 (read) wait.
+        // When 1 releases, 2 must be granted before 3.
+        let lock = Arc::new(RecordLock::new());
+        lock.acquire(1, LockMode::Exclusive);
+        lock.request(2, LockMode::Exclusive);
+        lock.request(3, LockMode::Shared);
+
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for (ts, mode) in [(2u64, LockMode::Exclusive), (3u64, LockMode::Shared)] {
+            let lock = lock.clone();
+            let order = order.clone();
+            handles.push(thread::spawn(move || {
+                lock.wait_granted(ts);
+                order.lock().push(ts);
+                thread::sleep(Duration::from_millis(10));
+                lock.release(ts);
+            }));
+            let _ = mode;
+        }
+        thread::sleep(Duration::from_millis(20));
+        lock.release(1);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*order.lock(), vec![2, 3]);
+    }
+
+    #[test]
+    fn shared_then_exclusive_upgrade() {
+        let lock = RecordLock::new();
+        lock.acquire(5, LockMode::Shared);
+        // Upgrade request from the same transaction.
+        lock.request(5, LockMode::Exclusive);
+        lock.wait_granted(5);
+        assert!(lock.is_held_by(5));
+        lock.release(5);
+        assert!(!lock.is_held_by(5));
+    }
+
+    #[test]
+    fn seq_gate_exact_and_at_least() {
+        let gate = Arc::new(SeqGate::new(0));
+        let g = gate.clone();
+        let handle = thread::spawn(move || {
+            g.wait_exact(3);
+            g.advance(); // 4
+        });
+        gate.advance(); // 1
+        gate.advance(); // 2
+        gate.advance(); // 3
+        handle.join().unwrap();
+        gate.wait_at_least(4);
+        assert_eq!(gate.current(), 4);
+        gate.reset(0);
+        assert_eq!(gate.current(), 0);
+    }
+
+    #[test]
+    fn seq_gate_advance_to_is_monotone() {
+        let gate = SeqGate::new(10);
+        gate.advance_to(5);
+        assert_eq!(gate.current(), 10);
+        gate.advance_to(12);
+        assert_eq!(gate.current(), 12);
+    }
+}

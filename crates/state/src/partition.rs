@@ -1,0 +1,97 @@
+//! Hash partitioning of application state.
+//!
+//! The PAT scheme (S-Store style, Section II-C.3) splits application state
+//! into disjoint partitions by hashing primary keys; a transaction touching
+//! several partitions is a *multi-partition transaction* and has to
+//! synchronise on every one of them.  The same partitioner is also used by
+//! TStream's shared-nothing chain placement (Section IV-E) to route operation
+//! chains to executors.
+
+use crate::Key;
+
+/// Maps keys to a fixed number of partitions by hashing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partitioner {
+    partitions: u32,
+}
+
+impl Partitioner {
+    /// Creates a partitioner over `partitions` partitions (at least one).
+    pub fn new(partitions: u32) -> Self {
+        Partitioner {
+            partitions: partitions.max(1),
+        }
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> u32 {
+        self.partitions
+    }
+
+    /// Partition of a key: a simple multiplicative hash followed by a modulo,
+    /// the "simple hashing strategy" of Section VI-E.
+    #[inline]
+    pub fn partition_of(&self, key: Key) -> u32 {
+        let mut h = key;
+        h ^= h >> 31;
+        h = h.wrapping_mul(0x7FB5_D329_728E_A185);
+        h ^= h >> 27;
+        (h % self.partitions as u64) as u32
+    }
+
+    /// Partition of a key within a specific table (tables are partitioned
+    /// independently; mixing the table id into the hash keeps same-key records
+    /// of different tables from always landing together).
+    #[inline]
+    pub fn partition_of_in_table(&self, table: u32, key: Key) -> u32 {
+        self.partition_of(key ^ ((table as u64) << 56 | (table as u64)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_is_stable_and_in_range() {
+        let p = Partitioner::new(16);
+        for key in 0..10_000u64 {
+            let a = p.partition_of(key);
+            let b = p.partition_of(key);
+            assert_eq!(a, b);
+            assert!(a < 16);
+        }
+    }
+
+    #[test]
+    fn zero_partitions_clamped_to_one() {
+        let p = Partitioner::new(0);
+        assert_eq!(p.partitions(), 1);
+        assert_eq!(p.partition_of(123), 0);
+    }
+
+    #[test]
+    fn distribution_is_roughly_balanced() {
+        let parts = 8u32;
+        let p = Partitioner::new(parts);
+        let mut counts = vec![0usize; parts as usize];
+        let n = 80_000u64;
+        for key in 0..n {
+            counts[p.partition_of(key) as usize] += 1;
+        }
+        let expected = (n / parts as u64) as f64;
+        for c in counts {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.15, "partition skew too high: {c} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn table_id_changes_placement_for_some_keys() {
+        let p = Partitioner::new(8);
+        let different = (0..1000u64)
+            .filter(|&k| p.partition_of_in_table(0, k) != p.partition_of_in_table(1, k))
+            .count();
+        assert!(different > 0, "table id must influence partitioning");
+    }
+}

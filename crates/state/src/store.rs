@@ -1,0 +1,180 @@
+//! The state store: a set of named tables shared by all executors.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::error::{StateError, StateResult};
+use crate::record::Record;
+use crate::table::Table;
+use crate::value::Value;
+use crate::Key;
+
+/// Identifier of a table inside a [`StateStore`]; cheap to copy and embed in
+/// decomposed operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TableId(pub u32);
+
+impl TableId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A collection of named tables, shared (via `Arc`) among all executors.
+///
+/// In the paper's terms this is the set of "shared mutable application
+/// states" (e.g. TP's speed table and vehicle-count table).  All concurrent
+/// access control happens *above* this layer in the scheme implementations;
+/// the store itself only offers resolution from `(table, key)` to a
+/// [`Record`].
+#[derive(Debug)]
+pub struct StateStore {
+    tables: Vec<Table>,
+    by_name: HashMap<String, TableId>,
+}
+
+impl StateStore {
+    /// Builds a store from already-built tables.
+    pub fn new(tables: Vec<Table>) -> StateResult<Arc<Self>> {
+        let mut by_name = HashMap::new();
+        for (i, t) in tables.iter().enumerate() {
+            if by_name
+                .insert(t.name().to_owned(), TableId(i as u32))
+                .is_some()
+            {
+                return Err(StateError::InvalidDefinition(format!(
+                    "duplicate table name `{}`",
+                    t.name()
+                )));
+            }
+        }
+        Ok(Arc::new(StateStore { tables, by_name }))
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Resolve a table name.
+    pub fn table_id(&self, name: &str) -> StateResult<TableId> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| StateError::UnknownTable(name.to_owned()))
+    }
+
+    /// Access a table by id.
+    pub fn table(&self, id: TableId) -> &Table {
+        &self.tables[id.index()]
+    }
+
+    /// Access a table by name.
+    pub fn table_by_name(&self, name: &str) -> StateResult<&Table> {
+        Ok(self.table(self.table_id(name)?))
+    }
+
+    /// Resolve `(table, key)` to a record.
+    pub fn record(&self, table: TableId, key: Key) -> StateResult<&Record> {
+        self.table(table).get(key)
+    }
+
+    /// Resolve `(table, slot)` to a record without an index lookup.
+    pub fn record_at(&self, table: TableId, slot: u32) -> &Record {
+        self.table(table).get_slot(slot)
+    }
+
+    /// Snapshot every table's committed values: `(table name, key, value)`.
+    pub fn snapshot(&self) -> Vec<(String, Key, Value)> {
+        let mut out = Vec::new();
+        for t in &self.tables {
+            for (k, v) in t.snapshot() {
+                out.push((t.name().to_owned(), k, v));
+            }
+        }
+        out
+    }
+
+    /// Reset per-run synchronisation state in every table.
+    pub fn reset_sync(&self) {
+        for t in &self.tables {
+            t.reset_sync();
+        }
+    }
+
+    /// Iterate over `(id, table)` pairs.
+    pub fn tables(&self) -> impl Iterator<Item = (TableId, &Table)> {
+        self.tables
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TableId(i as u32), t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+
+    fn store() -> Arc<StateStore> {
+        let speed = TableBuilder::new("speed")
+            .extend((0..10u64).map(|k| (k, Value::Double(60.0))))
+            .build()
+            .unwrap();
+        let count = TableBuilder::new("count")
+            .extend((0..10u64).map(|k| (k, Value::Set(Default::default()))))
+            .build()
+            .unwrap();
+        StateStore::new(vec![speed, count]).unwrap()
+    }
+
+    #[test]
+    fn name_resolution() {
+        let s = store();
+        assert_eq!(s.table_count(), 2);
+        let speed = s.table_id("speed").unwrap();
+        let count = s.table_id("count").unwrap();
+        assert_ne!(speed, count);
+        assert!(matches!(
+            s.table_id("nope"),
+            Err(StateError::UnknownTable(_))
+        ));
+        assert_eq!(s.table(speed).name(), "speed");
+        assert_eq!(s.table_by_name("count").unwrap().name(), "count");
+    }
+
+    #[test]
+    fn duplicate_table_names_rejected() {
+        let a = TableBuilder::new("t").build().unwrap();
+        let b = TableBuilder::new("t").build().unwrap();
+        assert!(StateStore::new(vec![a, b]).is_err());
+    }
+
+    #[test]
+    fn record_resolution_and_snapshot() {
+        let s = store();
+        let speed = s.table_id("speed").unwrap();
+        s.record(speed, 3)
+            .unwrap()
+            .write_committed(Value::Double(12.5));
+        let snap = s.snapshot();
+        assert_eq!(snap.len(), 20);
+        let entry = snap
+            .iter()
+            .find(|(t, k, _)| t == "speed" && *k == 3)
+            .unwrap();
+        assert_eq!(entry.2, Value::Double(12.5));
+    }
+
+    #[test]
+    fn record_at_bypasses_index() {
+        let s = store();
+        let speed = s.table_id("speed").unwrap();
+        let slot = s.table(speed).slot_of(7).unwrap();
+        assert_eq!(
+            s.record_at(speed, slot).read_committed(),
+            Value::Double(60.0)
+        );
+    }
+}

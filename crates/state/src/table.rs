@@ -1,0 +1,209 @@
+//! Tables: named collections of keyed records.
+
+use crate::error::{StateError, StateResult};
+use crate::index::ShardedIndex;
+use crate::record::Record;
+use crate::value::Value;
+use crate::Key;
+
+/// A named table of records.
+///
+/// Tables are built once before execution (the paper populates all application
+/// state up front, Section VI-B) and are immutable in *shape* afterwards:
+/// record values change constantly, but no records are added or removed while
+/// executors run.  This lets every scheme hold plain `&Record` references
+/// without any table-level locking.
+#[derive(Debug)]
+pub struct Table {
+    name: String,
+    records: Box<[Record]>,
+    keys: Box<[Key]>,
+    index: ShardedIndex,
+}
+
+impl Table {
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the table has no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Resolve a key to its slot through the sharded index.
+    pub fn slot_of(&self, key: Key) -> StateResult<u32> {
+        self.index
+            .lookup(key)
+            .ok_or_else(|| StateError::KeyNotFound {
+                table: self.name.clone(),
+                key,
+            })
+    }
+
+    /// Access a record by key (index lookup + slot access).
+    pub fn get(&self, key: Key) -> StateResult<&Record> {
+        let slot = self.slot_of(key)?;
+        Ok(&self.records[slot as usize])
+    }
+
+    /// Access a record directly by slot (used by schemes that pre-resolve
+    /// read/write sets, feature F2 of the paper).
+    pub fn get_slot(&self, slot: u32) -> &Record {
+        &self.records[slot as usize]
+    }
+
+    /// The application key stored at `slot`.
+    pub fn key_at(&self, slot: u32) -> Key {
+        self.keys[slot as usize]
+    }
+
+    /// Iterate over `(key, record)` pairs in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (Key, &Record)> {
+        self.keys.iter().copied().zip(self.records.iter())
+    }
+
+    /// Snapshot of committed values keyed by application key, useful for
+    /// result comparison in tests and the schedule-equivalence harness.
+    pub fn snapshot(&self) -> Vec<(Key, Value)> {
+        self.iter().map(|(k, r)| (k, r.read_committed())).collect()
+    }
+
+    /// Reset per-run synchronisation state on every record.
+    pub fn reset_sync(&self) {
+        for record in self.records.iter() {
+            record.reset_sync();
+        }
+    }
+}
+
+/// Builder used to populate a table before execution.
+#[derive(Debug, Default)]
+pub struct TableBuilder {
+    name: String,
+    entries: Vec<(Key, Value)>,
+}
+
+impl TableBuilder {
+    /// Starts building a table with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        TableBuilder {
+            name: name.into(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Adds one record.
+    pub fn insert(mut self, key: Key, value: Value) -> Self {
+        self.entries.push((key, value));
+        self
+    }
+
+    /// Adds many records from an iterator.
+    pub fn extend(mut self, entries: impl IntoIterator<Item = (Key, Value)>) -> Self {
+        self.entries.extend(entries);
+        self
+    }
+
+    /// Number of records added so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no records were added yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Finalise the table. Fails if a key occurs twice.
+    pub fn build(self) -> StateResult<Table> {
+        let index = ShardedIndex::new();
+        let mut records = Vec::with_capacity(self.entries.len());
+        let mut keys = Vec::with_capacity(self.entries.len());
+        for (slot, (key, value)) in self.entries.into_iter().enumerate() {
+            if index.insert(key, slot as u32).is_some() {
+                return Err(StateError::InvalidDefinition(format!(
+                    "duplicate key {key} in table `{}`",
+                    self.name
+                )));
+            }
+            keys.push(key);
+            records.push(Record::new(value));
+        }
+        Ok(Table {
+            name: self.name,
+            records: records.into_boxed_slice(),
+            keys: keys.into_boxed_slice(),
+            index,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Table {
+        TableBuilder::new("accounts")
+            .extend((0..100u64).map(|k| (k, Value::Long(k as i64 * 10))))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let t = sample_table();
+        assert_eq!(t.name(), "accounts");
+        assert_eq!(t.len(), 100);
+        assert_eq!(t.get(42).unwrap().read_committed(), Value::Long(420));
+        assert!(matches!(
+            t.get(1000),
+            Err(StateError::KeyNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_keys_rejected() {
+        let err = TableBuilder::new("t")
+            .insert(1, Value::Long(1))
+            .insert(1, Value::Long(2))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, StateError::InvalidDefinition(_)));
+    }
+
+    #[test]
+    fn slots_and_keys_are_consistent() {
+        let t = sample_table();
+        for key in 0..100u64 {
+            let slot = t.slot_of(key).unwrap();
+            assert_eq!(t.key_at(slot), key);
+            assert_eq!(
+                t.get_slot(slot).read_committed(),
+                Value::Long(key as i64 * 10)
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_reflects_mutations() {
+        let t = sample_table();
+        t.get(3).unwrap().write_committed(Value::Long(-1));
+        let snap = t.snapshot();
+        let (_, v) = snap.iter().find(|(k, _)| *k == 3).unwrap();
+        assert_eq!(*v, Value::Long(-1));
+    }
+
+    #[test]
+    fn empty_table_is_fine() {
+        let t = TableBuilder::new("empty").build().unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.iter().count(), 0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Multi-version value chains.
+//!
+//! Two of the schemes keep more than one version of a state value:
+//!
+//! * **MVLK** keeps committed versions so reads with a timestamp larger than
+//!   the state's `lwm` can proceed without blocking on concurrent writers
+//!   (Section II-C.2);
+//! * **TStream** keeps *temporary* versions during a batch whenever other
+//!   operation chains depend on a state, so dependent reads obtain the value
+//!   "as of" their timestamp even if the producing chain has already run ahead
+//!   (Section IV-C.2).
+//!
+//! Both uses share this `VersionChain`: an append-mostly list of
+//! `(write-timestamp, value)` entries plus a base value that represents the
+//! state before the oldest retained version.
+
+use crate::value::Value;
+use crate::Timestamp;
+
+/// A chain of versions for a single record.
+#[derive(Debug, Clone, Default)]
+pub struct VersionChain {
+    /// Versions sorted by ascending write timestamp.
+    versions: Vec<(Timestamp, Value)>,
+}
+
+impl VersionChain {
+    /// Creates an empty chain.
+    pub fn new() -> Self {
+        VersionChain {
+            versions: Vec::new(),
+        }
+    }
+
+    /// Number of retained versions.
+    pub fn len(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// Whether any versions are retained.
+    pub fn is_empty(&self) -> bool {
+        self.versions.is_empty()
+    }
+
+    /// Install a version written at `ts`.
+    ///
+    /// Timestamps normally arrive in increasing order per record (the writer
+    /// of a record processes its chain in timestamp order), but out-of-order
+    /// installs are tolerated and kept sorted so the structure is robust to
+    /// scheme-specific quirks.
+    pub fn install(&mut self, ts: Timestamp, value: Value) {
+        match self.versions.last() {
+            Some((last, _)) if *last <= ts => self.versions.push((ts, value)),
+            _ => {
+                let pos = self.versions.partition_point(|(t, _)| *t <= ts);
+                self.versions.insert(pos, (ts, value));
+            }
+        }
+    }
+
+    /// The value visible to a reader with timestamp `ts`: the version with the
+    /// largest write timestamp strictly smaller than `ts`, or `None` if every
+    /// retained version is newer (the caller then falls back to the committed
+    /// base value).
+    pub fn visible_before(&self, ts: Timestamp) -> Option<&Value> {
+        let pos = self.versions.partition_point(|(t, _)| *t < ts);
+        if pos == 0 {
+            None
+        } else {
+            Some(&self.versions[pos - 1].1)
+        }
+    }
+
+    /// The newest version, if any.
+    pub fn latest(&self) -> Option<(Timestamp, &Value)> {
+        self.versions.last().map(|(t, v)| (*t, v))
+    }
+
+    /// Remove a version previously installed at exactly `ts` (used when a
+    /// transaction aborts after some of its writes were applied).
+    pub fn remove_at(&mut self, ts: Timestamp) -> Option<Value> {
+        let pos = self.versions.iter().position(|(t, _)| *t == ts)?;
+        Some(self.versions.remove(pos).1)
+    }
+
+    /// Garbage-collect everything but the newest version and return it.
+    ///
+    /// TStream calls this when switching back to compute mode: "all versions
+    /// of a state except the latest are expired and can be safely garbage
+    /// collected" (Section IV-C.2).
+    pub fn collapse(&mut self) -> Option<(Timestamp, Value)> {
+        let last = self.versions.pop();
+        self.versions.clear();
+        last
+    }
+
+    /// Drop every retained version.
+    pub fn clear(&mut self) {
+        self.versions.clear();
+    }
+
+    /// Iterate over `(timestamp, value)` pairs in ascending timestamp order.
+    pub fn iter(&self) -> impl Iterator<Item = (Timestamp, &Value)> {
+        self.versions.iter().map(|(t, v)| (*t, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn visibility_picks_largest_smaller_timestamp() {
+        let mut chain = VersionChain::new();
+        chain.install(10, Value::Long(100));
+        chain.install(20, Value::Long(200));
+        chain.install(30, Value::Long(300));
+
+        assert_eq!(chain.visible_before(5), None);
+        assert_eq!(chain.visible_before(11), Some(&Value::Long(100)));
+        assert_eq!(chain.visible_before(20), Some(&Value::Long(100)));
+        assert_eq!(chain.visible_before(25), Some(&Value::Long(200)));
+        assert_eq!(chain.visible_before(1000), Some(&Value::Long(300)));
+    }
+
+    #[test]
+    fn out_of_order_installs_stay_sorted() {
+        let mut chain = VersionChain::new();
+        chain.install(30, Value::Long(3));
+        chain.install(10, Value::Long(1));
+        chain.install(20, Value::Long(2));
+        let ts: Vec<u64> = chain.iter().map(|(t, _)| t).collect();
+        assert_eq!(ts, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn collapse_keeps_only_latest() {
+        let mut chain = VersionChain::new();
+        chain.install(1, Value::Long(1));
+        chain.install(2, Value::Long(2));
+        let latest = chain.collapse().unwrap();
+        assert_eq!(latest, (2, Value::Long(2)));
+        assert!(chain.is_empty());
+    }
+
+    #[test]
+    fn remove_at_supports_abort_rollback() {
+        let mut chain = VersionChain::new();
+        chain.install(1, Value::Long(1));
+        chain.install(2, Value::Long(2));
+        chain.install(3, Value::Long(3));
+        assert_eq!(chain.remove_at(2), Some(Value::Long(2)));
+        assert_eq!(chain.remove_at(2), None);
+        assert_eq!(chain.len(), 2);
+        assert_eq!(chain.visible_before(3), Some(&Value::Long(1)));
+    }
+
+    #[test]
+    fn latest_and_clear() {
+        let mut chain = VersionChain::new();
+        assert!(chain.latest().is_none());
+        chain.install(7, Value::Long(70));
+        assert_eq!(chain.latest().unwrap().0, 7);
+        chain.clear();
+        assert!(chain.is_empty());
+    }
+}

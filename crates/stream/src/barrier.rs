@@ -1,0 +1,149 @@
+//! A reusable cyclic barrier.
+//!
+//! TStream adds two barriers around state-access mode (Section IV-B.2): one
+//! after `TXN_START` so state access only begins once every executor has
+//! finished registering its postponed transactions, and one before compute
+//! mode resumes so post-processing only sees fully processed state.  The
+//! paper uses Java's `CyclicBarrier`; this is the Rust equivalent, with the
+//! addition that `wait` reports how long the caller blocked so the *Sync*
+//! component of the time breakdown can be attributed precisely.
+
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+/// A reusable barrier for a fixed number of participants.
+#[derive(Debug)]
+pub struct CyclicBarrier {
+    parties: usize,
+    state: Mutex<BarrierState>,
+    cond: Condvar,
+}
+
+#[derive(Debug)]
+struct BarrierState {
+    /// Number of parties still missing in the current generation.
+    waiting: usize,
+    /// Generation counter; bumping it releases the current waiters.
+    generation: u64,
+}
+
+impl CyclicBarrier {
+    /// Creates a barrier for `parties` participants (at least one).
+    pub fn new(parties: usize) -> Self {
+        let parties = parties.max(1);
+        CyclicBarrier {
+            parties,
+            state: Mutex::new(BarrierState {
+                waiting: 0,
+                generation: 0,
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Number of participants.
+    pub fn parties(&self) -> usize {
+        self.parties
+    }
+
+    /// Wait until all parties have arrived.  Returns `(is_leader, waited)`:
+    /// the leader is the last arriver (it can perform single-threaded
+    /// housekeeping such as clearing chain pools), and `waited` is the time
+    /// spent blocked, charged to the *Sync* breakdown component.
+    pub fn wait(&self) -> (bool, Duration) {
+        let start = Instant::now();
+        let mut state = self.state.lock();
+        state.waiting += 1;
+        if state.waiting == self.parties {
+            // Last arriver: release everybody and start a new generation.
+            state.waiting = 0;
+            state.generation = state.generation.wrapping_add(1);
+            drop(state);
+            self.cond.notify_all();
+            (true, start.elapsed())
+        } else {
+            let generation = state.generation;
+            while state.generation == generation {
+                self.cond.wait(&mut state);
+            }
+            drop(state);
+            (false, start.elapsed())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn single_party_never_blocks() {
+        let b = CyclicBarrier::new(1);
+        let (leader, waited) = b.wait();
+        assert!(leader);
+        assert!(waited < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn all_threads_released_together_and_exactly_one_leader() {
+        let parties = 8;
+        let barrier = Arc::new(CyclicBarrier::new(parties));
+        let leaders = Arc::new(AtomicUsize::new(0));
+        let passed = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..parties {
+            let barrier = barrier.clone();
+            let leaders = leaders.clone();
+            let passed = passed.clone();
+            handles.push(std::thread::spawn(move || {
+                let (leader, _) = barrier.wait();
+                if leader {
+                    leaders.fetch_add(1, Ordering::SeqCst);
+                }
+                passed.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(leaders.load(Ordering::SeqCst), 1);
+        assert_eq!(passed.load(Ordering::SeqCst), parties);
+    }
+
+    #[test]
+    fn barrier_is_reusable_across_generations() {
+        let parties = 4;
+        let rounds = 50;
+        let barrier = Arc::new(CyclicBarrier::new(parties));
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..parties {
+            let barrier = barrier.clone();
+            let counter = counter.clone();
+            handles.push(std::thread::spawn(move || {
+                for round in 0..rounds {
+                    // Every thread must observe the full count of the
+                    // previous round before anyone proceeds.
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    barrier.wait();
+                    assert!(counter.load(Ordering::SeqCst) >= (round + 1) * parties);
+                    barrier.wait();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), parties * rounds);
+    }
+
+    #[test]
+    fn zero_parties_clamped_to_one() {
+        let b = CyclicBarrier::new(0);
+        assert_eq!(b.parties(), 1);
+        b.wait();
+    }
+}

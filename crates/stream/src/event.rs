@@ -1,0 +1,111 @@
+//! Events, timestamps and punctuations.
+
+use std::time::Instant;
+
+/// Event / transaction timestamps.
+///
+/// Timestamps are dense, monotonically increasing integers assigned by the
+/// [`crate::progress::ProgressController`] through a fetch-and-add, exactly as
+/// the paper does with an `AtomicInteger` (Section IV-B.3).
+pub type Timestamp = u64;
+
+/// An input event carrying an application-specific payload.
+#[derive(Debug, Clone)]
+pub struct Event<P> {
+    /// Temporal sequence number of the event (and of the state transaction it
+    /// triggers, Definition 1).
+    pub ts: Timestamp,
+    /// Wall-clock instant at which the event entered the system; end-to-end
+    /// latency is measured from here to result emission (Section VI-F).
+    pub arrival: Instant,
+    /// Application payload (e.g. a traffic report, a transfer request).
+    pub payload: P,
+}
+
+impl<P> Event<P> {
+    /// Creates an event stamped "now".
+    pub fn new(ts: Timestamp, payload: P) -> Self {
+        Event {
+            ts,
+            arrival: Instant::now(),
+            payload,
+        }
+    }
+
+    /// Map the payload, keeping timestamp and arrival time.
+    pub fn map<Q>(self, f: impl FnOnce(P) -> Q) -> Event<Q> {
+        Event {
+            ts: self.ts,
+            arrival: self.arrival,
+            payload: f(self.payload),
+        }
+    }
+}
+
+/// A punctuation: a special tuple guaranteeing that no later event carries a
+/// smaller timestamp (Table I).  TStream uses punctuations to delimit
+/// transaction batches and trigger mode switching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Punctuation {
+    /// All events issued before this punctuation have `ts < self.ts`.
+    pub ts: Timestamp,
+    /// Sequence number of the punctuation itself (0, 1, 2, ...).
+    pub seq: u64,
+}
+
+/// Either a payload-carrying event or a punctuation.
+#[derive(Debug, Clone)]
+pub enum StreamElement<P> {
+    /// A normal event.
+    Event(Event<P>),
+    /// A punctuation marker.
+    Punctuation(Punctuation),
+}
+
+impl<P> StreamElement<P> {
+    /// Timestamp of the element.
+    pub fn ts(&self) -> Timestamp {
+        match self {
+            StreamElement::Event(e) => e.ts,
+            StreamElement::Punctuation(p) => p.ts,
+        }
+    }
+
+    /// `true` for punctuation markers.
+    pub fn is_punctuation(&self) -> bool {
+        matches!(self, StreamElement::Punctuation(_))
+    }
+
+    /// Borrow the event, if this element is one.
+    pub fn as_event(&self) -> Option<&Event<P>> {
+        match self {
+            StreamElement::Event(e) => Some(e),
+            StreamElement::Punctuation(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_map_preserves_timestamp() {
+        let e = Event::new(42, 7u32);
+        let mapped = e.map(|v| v as u64 * 2);
+        assert_eq!(mapped.ts, 42);
+        assert_eq!(mapped.payload, 14);
+    }
+
+    #[test]
+    fn stream_element_accessors() {
+        let e: StreamElement<u32> = StreamElement::Event(Event::new(1, 5));
+        let p: StreamElement<u32> = StreamElement::Punctuation(Punctuation { ts: 10, seq: 0 });
+        assert!(!e.is_punctuation());
+        assert!(p.is_punctuation());
+        assert_eq!(e.ts(), 1);
+        assert_eq!(p.ts(), 10);
+        assert_eq!(e.as_event().unwrap().payload, 5);
+        assert!(p.as_event().is_none());
+    }
+}

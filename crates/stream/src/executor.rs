@@ -1,0 +1,96 @@
+//! Executor identities and thread helpers.
+//!
+//! The paper pins each executor (a Java thread) to one core and, for the
+//! NUMA experiments, groups cores into sockets of ten (the evaluation machine
+//! has 4 × 10 cores).  We reproduce the *grouping* — which drives chain
+//! placement and the modelled remote-access accounting — but do not pin
+//! threads to physical cores, because the scheduling decisions of the host
+//! are not what the experiments measure.
+
+/// Identity of one executor thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ExecutorId(pub usize);
+
+impl ExecutorId {
+    /// Raw index (0-based).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Static description of the executor layout for a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutorLayout {
+    /// Number of executor threads.
+    pub executors: usize,
+    /// Number of cores per synthetic socket (the paper's machine has 10).
+    pub cores_per_socket: usize,
+}
+
+impl ExecutorLayout {
+    /// Creates a layout; both quantities are clamped to at least one.
+    pub fn new(executors: usize, cores_per_socket: usize) -> Self {
+        ExecutorLayout {
+            executors: executors.max(1),
+            cores_per_socket: cores_per_socket.max(1),
+        }
+    }
+
+    /// Layout matching the paper's machine geometry (sockets of ten cores).
+    pub fn paper_geometry(executors: usize) -> Self {
+        Self::new(executors, 10)
+    }
+
+    /// Synthetic socket an executor belongs to.
+    pub fn socket_of(&self, executor: ExecutorId) -> usize {
+        executor.index() / self.cores_per_socket
+    }
+
+    /// Number of synthetic sockets in use.
+    pub fn sockets(&self) -> usize {
+        self.executors.div_ceil(self.cores_per_socket)
+    }
+
+    /// Executors belonging to a socket.
+    pub fn executors_in_socket(&self, socket: usize) -> impl Iterator<Item = ExecutorId> + '_ {
+        let start = socket * self.cores_per_socket;
+        let end = (start + self.cores_per_socket).min(self.executors);
+        (start..end).map(ExecutorId)
+    }
+
+    /// Iterate over all executor ids.
+    pub fn all(&self) -> impl Iterator<Item = ExecutorId> {
+        (0..self.executors).map(ExecutorId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn socket_grouping_matches_paper_geometry() {
+        let layout = ExecutorLayout::paper_geometry(24);
+        assert_eq!(layout.sockets(), 3);
+        assert_eq!(layout.socket_of(ExecutorId(0)), 0);
+        assert_eq!(layout.socket_of(ExecutorId(9)), 0);
+        assert_eq!(layout.socket_of(ExecutorId(10)), 1);
+        assert_eq!(layout.socket_of(ExecutorId(23)), 2);
+    }
+
+    #[test]
+    fn executors_in_socket_handles_partial_last_socket() {
+        let layout = ExecutorLayout::paper_geometry(12);
+        let last: Vec<usize> = layout.executors_in_socket(1).map(|e| e.index()).collect();
+        assert_eq!(last, vec![10, 11]);
+        assert_eq!(layout.all().count(), 12);
+    }
+
+    #[test]
+    fn degenerate_layouts_are_clamped() {
+        let layout = ExecutorLayout::new(0, 0);
+        assert_eq!(layout.executors, 1);
+        assert_eq!(layout.cores_per_socket, 1);
+        assert_eq!(layout.sockets(), 1);
+    }
+}

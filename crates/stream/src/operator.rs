@@ -1,0 +1,150 @@
+//! Operator-level descriptors.
+//!
+//! The paper abstracts every operator as a three-step procedure (feature
+//! **F1**) whose state accesses have *determined read/write sets* (feature
+//! **F2**): which states a transaction will touch is known from the input
+//! event alone, before any state is accessed.  This module holds the
+//! descriptor types that carry that information around — the concrete
+//! `Application` trait that user code implements lives in `tstream-txn`,
+//! which also owns the transaction model.
+
+/// Reference to one application state: a `(table, key)` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StateRef {
+    /// Index of the table in the state store.
+    pub table: u32,
+    /// Application key within the table.
+    pub key: u64,
+}
+
+impl StateRef {
+    /// Creates a state reference.
+    pub fn new(table: u32, key: u64) -> Self {
+        StateRef { table, key }
+    }
+}
+
+/// How a state in a read/write set will be accessed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessMode {
+    /// The state is only read.
+    Read,
+    /// The state is written (or read-modified).
+    Write,
+}
+
+/// The determined read/write set of one state transaction (feature **F2**).
+///
+/// Baseline schemes use it to pre-insert locks / reserve partition slots;
+/// TStream uses it to route decomposed operations to chains.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReadWriteSet {
+    entries: Vec<(StateRef, AccessMode)>,
+}
+
+impl ReadWriteSet {
+    /// An empty set (e.g. a filtered-out event that accesses no state).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a read of `state`.
+    pub fn read(mut self, state: StateRef) -> Self {
+        self.entries.push((state, AccessMode::Read));
+        self
+    }
+
+    /// Record a write of `state`.
+    pub fn write(mut self, state: StateRef) -> Self {
+        self.entries.push((state, AccessMode::Write));
+        self
+    }
+
+    /// Record an access with an explicit mode.
+    pub fn push(&mut self, state: StateRef, mode: AccessMode) {
+        self.entries.push((state, mode));
+    }
+
+    /// Number of accesses (the paper's "transaction length").
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate over `(state, mode)` pairs in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = &(StateRef, AccessMode)> {
+        self.entries.iter()
+    }
+
+    /// Distinct states written by the transaction.
+    pub fn write_set(&self) -> Vec<StateRef> {
+        let mut v: Vec<StateRef> = self
+            .entries
+            .iter()
+            .filter(|(_, m)| *m == AccessMode::Write)
+            .map(|(s, _)| *s)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Distinct states read (including read-modify) by the transaction.
+    pub fn read_set(&self) -> Vec<StateRef> {
+        let mut v: Vec<StateRef> = self
+            .entries
+            .iter()
+            .filter(|(_, m)| *m == AccessMode::Read)
+            .map(|(s, _)| *s)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// All distinct states touched.
+    pub fn touched(&self) -> Vec<StateRef> {
+        let mut v: Vec<StateRef> = self.entries.iter().map(|(s, _)| *s).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_style_construction() {
+        let set = ReadWriteSet::new()
+            .read(StateRef::new(0, 1))
+            .write(StateRef::new(1, 2))
+            .read(StateRef::new(0, 1));
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.read_set(), vec![StateRef::new(0, 1)]);
+        assert_eq!(set.write_set(), vec![StateRef::new(1, 2)]);
+        assert_eq!(set.touched().len(), 2);
+    }
+
+    #[test]
+    fn empty_set() {
+        let set = ReadWriteSet::new();
+        assert!(set.is_empty());
+        assert!(set.touched().is_empty());
+    }
+
+    #[test]
+    fn duplicates_are_deduplicated_in_sets() {
+        let mut set = ReadWriteSet::new();
+        for _ in 0..5 {
+            set.push(StateRef::new(2, 9), AccessMode::Write);
+        }
+        assert_eq!(set.len(), 5);
+        assert_eq!(set.write_set(), vec![StateRef::new(2, 9)]);
+    }
+}

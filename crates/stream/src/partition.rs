@@ -1,0 +1,121 @@
+//! Stream partitioning strategies.
+//!
+//! Conventional DSPSs avoid concurrent state access by *key-based* stream
+//! partitioning (Section II-A): every executor only ever sees the keys it
+//! owns.  TStream instead *round-robin shuffles* events across the executors
+//! of the fused operator (Section V) because any executor may access any
+//! state.  Both strategies are provided so the conventional implementation of
+//! Toll Processing (Figure 2a) can be expressed in examples and tests.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Round-robin shuffle: events are spread evenly over executors regardless of
+/// their content.
+#[derive(Debug)]
+pub struct RoundRobin {
+    executors: usize,
+    next: AtomicUsize,
+}
+
+impl RoundRobin {
+    /// Creates a shuffler over `executors` executors (at least one).
+    pub fn new(executors: usize) -> Self {
+        RoundRobin {
+            executors: executors.max(1),
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of executors.
+    pub fn executors(&self) -> usize {
+        self.executors
+    }
+
+    /// Executor for the next event.
+    pub fn next_executor(&self) -> usize {
+        self.next.fetch_add(1, Ordering::Relaxed) % self.executors
+    }
+
+    /// Deterministic assignment for the `i`-th event of a batch.
+    pub fn executor_for(&self, index: usize) -> usize {
+        index % self.executors
+    }
+
+    /// Split a batch into per-executor sub-batches preserving order.
+    pub fn split<T>(&self, items: Vec<T>) -> Vec<Vec<T>> {
+        let mut out: Vec<Vec<T>> = (0..self.executors).map(|_| Vec::new()).collect();
+        for (i, item) in items.into_iter().enumerate() {
+            out[i % self.executors].push(item);
+        }
+        out
+    }
+}
+
+/// Key-based partitioning: each executor owns a disjoint subset of keys.
+#[derive(Debug, Clone, Copy)]
+pub struct KeyPartitioner {
+    executors: usize,
+}
+
+impl KeyPartitioner {
+    /// Creates a partitioner over `executors` executors (at least one).
+    pub fn new(executors: usize) -> Self {
+        KeyPartitioner {
+            executors: executors.max(1),
+        }
+    }
+
+    /// Number of executors.
+    pub fn executors(&self) -> usize {
+        self.executors
+    }
+
+    /// Executor owning `key`.
+    pub fn executor_for(&self, key: u64) -> usize {
+        let mut h = key;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+        h ^= h >> 29;
+        (h % self.executors as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_is_balanced() {
+        let rr = RoundRobin::new(4);
+        let mut counts = [0usize; 4];
+        for _ in 0..400 {
+            counts[rr.next_executor()] += 1;
+        }
+        assert_eq!(counts, [100, 100, 100, 100]);
+    }
+
+    #[test]
+    fn round_robin_split_preserves_order_and_balance() {
+        let rr = RoundRobin::new(3);
+        let parts = rr.split((0..10).collect::<Vec<_>>());
+        assert_eq!(parts[0], vec![0, 3, 6, 9]);
+        assert_eq!(parts[1], vec![1, 4, 7]);
+        assert_eq!(parts[2], vec![2, 5, 8]);
+    }
+
+    #[test]
+    fn key_partitioning_is_stable_and_in_range() {
+        let kp = KeyPartitioner::new(7);
+        for key in 0..1000u64 {
+            let a = kp.executor_for(key);
+            assert_eq!(a, kp.executor_for(key));
+            assert!(a < 7);
+        }
+    }
+
+    #[test]
+    fn zero_executors_clamped() {
+        assert_eq!(RoundRobin::new(0).executors(), 1);
+        assert_eq!(KeyPartitioner::new(0).executors(), 1);
+    }
+}

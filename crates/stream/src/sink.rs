@@ -1,0 +1,186 @@
+//! The sink: throughput and end-to-end latency measurement.
+//!
+//! Following the paper (Section VI-F, after its reference \[37\]), end-to-end processing
+//! latency is the duration between the time an input event enters the system
+//! and the time its result is generated.  Each executor records completions
+//! into its own [`Sink`] shard (no shared counters on the hot path); shards
+//! are merged into [`LatencyStats`] when the run finishes.
+
+use std::time::{Duration, Instant};
+
+/// Per-executor completion recorder.
+#[derive(Debug, Default)]
+pub struct Sink {
+    latencies: Vec<Duration>,
+    emitted: u64,
+    rejected: u64,
+}
+
+impl Sink {
+    /// Creates an empty sink shard.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a sink shard with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Sink {
+            latencies: Vec::with_capacity(capacity),
+            emitted: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Record a successfully processed event whose arrival instant is known.
+    pub fn emit(&mut self, arrival: Instant) {
+        self.latencies.push(arrival.elapsed());
+        self.emitted += 1;
+    }
+
+    /// Record a successfully processed event with an explicit latency (used
+    /// by tests and by replayed traces).
+    pub fn emit_with_latency(&mut self, latency: Duration) {
+        self.latencies.push(latency);
+        self.emitted += 1;
+    }
+
+    /// Record a rejected event (aborted transaction surfaced to the user,
+    /// Section IV-C.2 "Handling Transaction Abort").
+    pub fn reject(&mut self) {
+        self.rejected += 1;
+    }
+
+    /// Number of emitted results.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Number of rejected events.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Merge several per-executor shards into aggregate statistics.
+    pub fn merge(shards: impl IntoIterator<Item = Sink>) -> LatencyStats {
+        let mut latencies = Vec::new();
+        let mut emitted = 0;
+        let mut rejected = 0;
+        for shard in shards {
+            emitted += shard.emitted;
+            rejected += shard.rejected;
+            latencies.extend(shard.latencies);
+        }
+        latencies.sort_unstable();
+        LatencyStats {
+            latencies,
+            emitted,
+            rejected,
+        }
+    }
+}
+
+/// Aggregated latency statistics for a run.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyStats {
+    latencies: Vec<Duration>,
+    emitted: u64,
+    rejected: u64,
+}
+
+impl LatencyStats {
+    /// Total results emitted.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Total events rejected (aborted).
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Number of recorded latency samples.
+    pub fn samples(&self) -> usize {
+        self.latencies.len()
+    }
+
+    /// Latency percentile in `0.0 ..= 100.0` (e.g. `99.0` for p99).
+    pub fn percentile(&self, pct: f64) -> Option<Duration> {
+        if self.latencies.is_empty() {
+            return None;
+        }
+        let pct = pct.clamp(0.0, 100.0);
+        let rank = ((pct / 100.0) * (self.latencies.len() - 1) as f64).round() as usize;
+        Some(self.latencies[rank])
+    }
+
+    /// Arithmetic mean latency.
+    pub fn mean(&self) -> Option<Duration> {
+        if self.latencies.is_empty() {
+            return None;
+        }
+        let total: Duration = self.latencies.iter().sum();
+        Some(total / self.latencies.len() as u32)
+    }
+
+    /// Maximum observed latency.
+    pub fn max(&self) -> Option<Duration> {
+        self.latencies.last().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_and_percentiles() {
+        let mut a = Sink::new();
+        let mut b = Sink::new();
+        for ms in 1..=50u64 {
+            a.emit_with_latency(Duration::from_millis(ms));
+        }
+        for ms in 51..=100u64 {
+            b.emit_with_latency(Duration::from_millis(ms));
+        }
+        b.reject();
+        let stats = Sink::merge([a, b]);
+        assert_eq!(stats.emitted(), 100);
+        assert_eq!(stats.rejected(), 1);
+        assert_eq!(stats.samples(), 100);
+        assert_eq!(stats.percentile(0.0), Some(Duration::from_millis(1)));
+        assert_eq!(stats.percentile(100.0), Some(Duration::from_millis(100)));
+        let p99 = stats.percentile(99.0).unwrap();
+        assert!(p99 >= Duration::from_millis(98) && p99 <= Duration::from_millis(100));
+        assert_eq!(stats.max(), Some(Duration::from_millis(100)));
+        let mean = stats.mean().unwrap();
+        assert!(mean > Duration::from_millis(49) && mean < Duration::from_millis(52));
+    }
+
+    #[test]
+    fn empty_stats_return_none() {
+        let stats = Sink::merge([]);
+        assert_eq!(stats.percentile(99.0), None);
+        assert_eq!(stats.mean(), None);
+        assert_eq!(stats.max(), None);
+        assert_eq!(stats.samples(), 0);
+    }
+
+    #[test]
+    fn emit_uses_wall_clock() {
+        let mut sink = Sink::with_capacity(1);
+        let arrival = Instant::now();
+        std::thread::sleep(Duration::from_millis(2));
+        sink.emit(arrival);
+        let stats = Sink::merge([sink]);
+        assert!(stats.max().unwrap() >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn percentile_is_clamped() {
+        let mut sink = Sink::new();
+        sink.emit_with_latency(Duration::from_millis(5));
+        let stats = Sink::merge([sink]);
+        assert_eq!(stats.percentile(150.0), Some(Duration::from_millis(5)));
+        assert_eq!(stats.percentile(-3.0), Some(Duration::from_millis(5)));
+    }
+}

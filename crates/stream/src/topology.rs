@@ -1,0 +1,243 @@
+//! A lightweight DAG description of a streaming application.
+//!
+//! TStream "expresses an application as a DAG with an API similar to that of
+//! Storm" (Section IV-A) and then *fuses* the stateful operators into a single
+//! joint operator scaled across executors (Section V).  The engine itself only
+//! executes fused operators; this module captures the logical DAG so examples
+//! and documentation can present applications the way the paper's Figure 2
+//! does, and so the fusion step is explicit and testable.
+
+use std::collections::{HashMap, HashSet};
+
+/// How events travel along an edge of the DAG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Grouping {
+    /// Round-robin shuffle (TStream's default for fused stateful operators).
+    Shuffle,
+    /// Key-based partitioning on some field (the conventional design of
+    /// Figure 2a).
+    KeyBased,
+    /// Broadcast to all executors (used for punctuations).
+    Broadcast,
+}
+
+/// A logical operator node.
+#[derive(Debug, Clone)]
+pub struct OperatorNode {
+    /// Operator name (e.g. "Road Speed").
+    pub name: String,
+    /// Requested parallelism (number of executors).
+    pub parallelism: usize,
+    /// Whether the operator accesses shared mutable state.
+    pub stateful: bool,
+}
+
+/// A logical streaming topology: operators plus directed edges.
+#[derive(Debug, Default, Clone)]
+pub struct Topology {
+    nodes: Vec<OperatorNode>,
+    by_name: HashMap<String, usize>,
+    edges: Vec<(usize, usize, Grouping)>,
+}
+
+impl Topology {
+    /// Creates an empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an operator; returns its index. Re-adding a name replaces nothing
+    /// and returns the existing index.
+    pub fn add_operator(
+        &mut self,
+        name: impl Into<String>,
+        parallelism: usize,
+        stateful: bool,
+    ) -> usize {
+        let name = name.into();
+        if let Some(&idx) = self.by_name.get(&name) {
+            return idx;
+        }
+        let idx = self.nodes.len();
+        self.by_name.insert(name.clone(), idx);
+        self.nodes.push(OperatorNode {
+            name,
+            parallelism: parallelism.max(1),
+            stateful,
+        });
+        idx
+    }
+
+    /// Connect `from` → `to` with the given grouping.
+    pub fn connect(&mut self, from: usize, to: usize, grouping: Grouping) {
+        self.edges.push((from, to, grouping));
+    }
+
+    /// Number of operators.
+    pub fn operator_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Operator by index.
+    pub fn operator(&self, idx: usize) -> &OperatorNode {
+        &self.nodes[idx]
+    }
+
+    /// Look up an operator index by name.
+    pub fn find(&self, name: &str) -> Option<usize> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Edges as `(from, to, grouping)` triples.
+    pub fn edges(&self) -> &[(usize, usize, Grouping)] {
+        &self.edges
+    }
+
+    /// Whether the graph is acyclic (DAG check via Kahn's algorithm).
+    pub fn is_acyclic(&self) -> bool {
+        let mut indegree = vec![0usize; self.nodes.len()];
+        for &(_, to, _) in &self.edges {
+            indegree[to] += 1;
+        }
+        let mut queue: Vec<usize> = indegree
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d == 0)
+            .map(|(i, _)| i)
+            .collect();
+        let mut visited = 0;
+        while let Some(n) = queue.pop() {
+            visited += 1;
+            for &(from, to, _) in &self.edges {
+                if from == n {
+                    indegree[to] -= 1;
+                    if indegree[to] == 0 {
+                        queue.push(to);
+                    }
+                }
+            }
+        }
+        visited == self.nodes.len()
+    }
+
+    /// The names of the stateful operators that TStream fuses into a single
+    /// joint operator (Section V).  The fused operator inherits the maximum
+    /// requested parallelism.
+    pub fn fuse_stateful(&self) -> FusedOperator {
+        let mut names = Vec::new();
+        let mut parallelism = 1;
+        for node in &self.nodes {
+            if node.stateful {
+                names.push(node.name.clone());
+                parallelism = parallelism.max(node.parallelism);
+            }
+        }
+        FusedOperator { names, parallelism }
+    }
+
+    /// Upstream (non-stateful) operators that remain outside the fused
+    /// operator, e.g. `Parser`.
+    pub fn unfused(&self) -> Vec<&OperatorNode> {
+        self.nodes.iter().filter(|n| !n.stateful).collect()
+    }
+
+    /// Validate that every edge endpoint exists and that names are unique.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut seen = HashSet::new();
+        for node in &self.nodes {
+            if !seen.insert(&node.name) {
+                return Err(format!("duplicate operator name `{}`", node.name));
+            }
+        }
+        for &(from, to, _) in &self.edges {
+            if from >= self.nodes.len() || to >= self.nodes.len() {
+                return Err(format!("edge ({from}, {to}) references unknown operator"));
+            }
+        }
+        if !self.is_acyclic() {
+            return Err("topology contains a cycle".to_owned());
+        }
+        Ok(())
+    }
+}
+
+/// The single joint operator produced by fusing all stateful operators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FusedOperator {
+    /// Names of the fused operators, in declaration order.
+    pub names: Vec<String>,
+    /// Parallelism of the joint operator.
+    pub parallelism: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toll_processing() -> Topology {
+        // Figure 2(b): Parser -> {RS, VC, TN} -> Sink with shared state.
+        let mut t = Topology::new();
+        let parser = t.add_operator("Parser", 2, false);
+        let rs = t.add_operator("Road Speed", 4, true);
+        let vc = t.add_operator("Vehicle Cnt", 4, true);
+        let tn = t.add_operator("Toll Notification", 4, true);
+        let sink = t.add_operator("Sink", 1, false);
+        t.connect(parser, rs, Grouping::Shuffle);
+        t.connect(parser, vc, Grouping::Shuffle);
+        t.connect(parser, tn, Grouping::Shuffle);
+        t.connect(rs, sink, Grouping::Shuffle);
+        t.connect(vc, sink, Grouping::Shuffle);
+        t.connect(tn, sink, Grouping::Shuffle);
+        t
+    }
+
+    #[test]
+    fn build_and_validate_toll_processing() {
+        let t = toll_processing();
+        assert_eq!(t.operator_count(), 5);
+        assert!(t.validate().is_ok());
+        assert!(t.is_acyclic());
+        assert_eq!(t.find("Sink"), Some(4));
+        assert_eq!(t.operator(1).name, "Road Speed");
+    }
+
+    #[test]
+    fn fusion_collects_stateful_operators() {
+        let t = toll_processing();
+        let fused = t.fuse_stateful();
+        assert_eq!(
+            fused.names,
+            vec!["Road Speed", "Vehicle Cnt", "Toll Notification"]
+        );
+        assert_eq!(fused.parallelism, 4);
+        assert_eq!(t.unfused().len(), 2);
+    }
+
+    #[test]
+    fn cycles_are_detected() {
+        let mut t = Topology::new();
+        let a = t.add_operator("A", 1, false);
+        let b = t.add_operator("B", 1, false);
+        t.connect(a, b, Grouping::Shuffle);
+        t.connect(b, a, Grouping::Shuffle);
+        assert!(!t.is_acyclic());
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn duplicate_names_resolve_to_same_node() {
+        let mut t = Topology::new();
+        let a1 = t.add_operator("A", 1, false);
+        let a2 = t.add_operator("A", 3, true);
+        assert_eq!(a1, a2);
+        assert_eq!(t.operator_count(), 1);
+    }
+
+    #[test]
+    fn bad_edges_fail_validation() {
+        let mut t = Topology::new();
+        t.add_operator("A", 1, false);
+        t.connect(0, 7, Grouping::Broadcast);
+        assert!(t.validate().is_err());
+    }
+}

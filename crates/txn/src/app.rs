@@ -1,0 +1,113 @@
+//! The application programming interface.
+//!
+//! Every benchmark application (GS, SL, OB, TP) implements [`Application`],
+//! which mirrors the user-implemented APIs of the paper (Table II): the
+//! three-step procedure of pre-process, state access, and post-process
+//! (feature **F1**), with the read/write set derivable from the input event
+//! alone (feature **F2**).
+
+use tstream_stream::operator::ReadWriteSet;
+
+use crate::blotter::EventBlotter;
+use crate::transaction::TxnBuilder;
+
+/// What happens to an event after post-processing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PostAction {
+    /// A result is emitted to the sink.
+    Emit,
+    /// The event produces no output (e.g. it only updated state).
+    Silent,
+}
+
+/// A concurrent stateful stream application expressed as a (fused)
+/// three-step operator.
+///
+/// The engine calls the methods in this order for every event:
+///
+/// 1. [`Application::pre_process`] — filter / parse; returning `false` drops
+///    the event without issuing a transaction;
+/// 2. [`Application::read_write_set`] — the determined read/write set
+///    (feature F2), used by schemes to pre-register ordering information;
+/// 3. [`Application::state_access`] — issue the event's single state
+///    transaction through the [`TxnBuilder`] (Table II's `STATE_ACCESS`);
+/// 4. [`Application::post_process`] — consume the access results recorded in
+///    the [`EventBlotter`] and produce output.
+pub trait Application: Send + Sync + 'static {
+    /// Parsed event payload.
+    type Payload: Send + Sync + Clone + 'static;
+
+    /// Application name (used in reports and figures).
+    fn name(&self) -> &'static str;
+
+    /// Pre-process / filter an event; `false` drops it.
+    fn pre_process(&self, _payload: &Self::Payload) -> bool {
+        true
+    }
+
+    /// The determined read/write set of the transaction this event triggers.
+    fn read_write_set(&self, payload: &Self::Payload) -> ReadWriteSet;
+
+    /// Issue the state transaction for this event.
+    fn state_access(&self, payload: &Self::Payload, txn: &mut TxnBuilder);
+
+    /// Post-process using the results of the state access.
+    fn post_process(&self, payload: &Self::Payload, blotter: &EventBlotter) -> PostAction;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tstream_state::Value;
+    use tstream_stream::operator::StateRef;
+
+    /// A miniature application used to exercise the trait surface.
+    struct Doubler;
+
+    impl Application for Doubler {
+        type Payload = u64;
+
+        fn name(&self) -> &'static str {
+            "doubler"
+        }
+
+        fn pre_process(&self, payload: &u64) -> bool {
+            *payload < 100
+        }
+
+        fn read_write_set(&self, payload: &u64) -> ReadWriteSet {
+            ReadWriteSet::new().write(StateRef::new(0, *payload))
+        }
+
+        fn state_access(&self, payload: &u64, txn: &mut TxnBuilder) {
+            txn.read_modify(0, *payload, None, |ctx| {
+                Ok(Value::Long(ctx.current.as_long()? * 2))
+            });
+        }
+
+        fn post_process(&self, _payload: &u64, blotter: &EventBlotter) -> PostAction {
+            if blotter.is_aborted() {
+                PostAction::Silent
+            } else {
+                PostAction::Emit
+            }
+        }
+    }
+
+    #[test]
+    fn trait_round_trip() {
+        let app = Doubler;
+        assert_eq!(app.name(), "doubler");
+        assert!(app.pre_process(&5));
+        assert!(!app.pre_process(&200), "filtered events are dropped");
+        let set = app.read_write_set(&5);
+        assert_eq!(set.len(), 1);
+        let mut builder = TxnBuilder::new(1);
+        app.state_access(&5, &mut builder);
+        let (txn, blotter) = builder.build();
+        assert_eq!(txn.len(), 1);
+        assert_eq!(app.post_process(&5, &blotter), PostAction::Emit);
+        blotter.mark_aborted("x");
+        assert_eq!(app.post_process(&5, &blotter), PostAction::Silent);
+    }
+}

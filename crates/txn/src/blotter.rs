@@ -1,0 +1,187 @@
+//! The EventBlotter: the data bridge between state access and post-processing.
+//!
+//! The paper introduces the EventBlotter (Section IV-B.1) as the thread-local
+//! auxiliary structure that tracks the parameters and results of a postponed
+//! transaction.  In this reproduction it is also the result carrier for the
+//! eager schemes, so post-processing is identical under every scheme.
+//!
+//! Under TStream the operations of one transaction can be evaluated by
+//! *different* threads (they live in different operation chains), so result
+//! slots are lock-free one-shot cells: every operation writes only its own
+//! slot.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use tstream_state::Value;
+
+/// Shared handle to an [`EventBlotter`].
+pub type BlotterHandle = Arc<EventBlotter>;
+
+/// Per-event result carrier.
+#[derive(Debug)]
+pub struct EventBlotter {
+    /// One result slot per operation of the transaction, indexed by the
+    /// operation's index within the transaction.  Slots are independent
+    /// one-shot cells (an operation only ever writes its own slot), but they
+    /// can be cleared wholesale by [`EventBlotter::reset`] when the engine
+    /// replays a batch after a multi-write abort.
+    results: Box<[Mutex<Option<Value>>]>,
+    aborted: AtomicBool,
+    abort_reason: Mutex<Option<String>>,
+}
+
+impl EventBlotter {
+    /// Creates a blotter with `ops` result slots and returns a shared handle.
+    pub fn new(ops: usize) -> BlotterHandle {
+        Arc::new(EventBlotter {
+            results: (0..ops).map(|_| Mutex::new(None)).collect(),
+            aborted: AtomicBool::new(false),
+            abort_reason: Mutex::new(None),
+        })
+    }
+
+    /// Number of result slots.
+    pub fn slots(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Record the result of operation `op_index`.  The first write wins;
+    /// subsequent writes are ignored (an operation is evaluated exactly once
+    /// per committed transaction, retries after aborts keep the first value
+    /// unless the slot was [`EventBlotter::reset`] in between).
+    pub fn record(&self, op_index: usize, value: Value) {
+        if let Some(slot) = self.results.get(op_index) {
+            let mut slot = slot.lock();
+            if slot.is_none() {
+                *slot = Some(value);
+            }
+        }
+    }
+
+    /// Read the result of operation `op_index`, if it was recorded.
+    pub fn result(&self, op_index: usize) -> Option<Value> {
+        self.results.get(op_index).and_then(|s| s.lock().clone())
+    }
+
+    /// Clear every result slot and the abort flag.
+    ///
+    /// Used by the engine before *replaying* a batch whose first pass aborted
+    /// a multi-write transaction (Section IV-F): the replay re-evaluates
+    /// every transaction of the batch against restored state, so results and
+    /// abort decisions recorded by the first pass must be discarded.
+    pub fn reset(&self) {
+        for slot in self.results.iter() {
+            *slot.lock() = None;
+        }
+        self.aborted.store(false, Ordering::Release);
+        *self.abort_reason.lock() = None;
+    }
+
+    /// Read the result of operation `op_index` as a long, defaulting to 0.
+    pub fn result_long(&self, op_index: usize) -> i64 {
+        self.result(op_index)
+            .and_then(|v| v.as_long().ok())
+            .unwrap_or(0)
+    }
+
+    /// Read the result of operation `op_index` as a double, defaulting to 0.
+    pub fn result_double(&self, op_index: usize) -> f64 {
+        self.result(op_index)
+            .and_then(|v| v.as_double().ok())
+            .unwrap_or(0.0)
+    }
+
+    /// Mark the transaction aborted; the first reason sticks.
+    pub fn mark_aborted(&self, reason: impl Into<String>) {
+        if !self.aborted.swap(true, Ordering::AcqRel) {
+            *self.abort_reason.lock() = Some(reason.into());
+        }
+    }
+
+    /// Whether the transaction was aborted.
+    pub fn is_aborted(&self) -> bool {
+        self.aborted.load(Ordering::Acquire)
+    }
+
+    /// Abort reason, if aborted.
+    pub fn abort_reason(&self) -> Option<String> {
+        self.abort_reason.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_read_results() {
+        let b = EventBlotter::new(3);
+        assert_eq!(b.slots(), 3);
+        b.record(0, Value::Long(7));
+        b.record(2, Value::Double(1.5));
+        assert_eq!(b.result(0), Some(Value::Long(7)));
+        assert_eq!(b.result(1), None);
+        assert_eq!(b.result_long(0), 7);
+        assert_eq!(b.result_double(2), 1.5);
+        assert_eq!(b.result_long(1), 0, "missing results default to zero");
+    }
+
+    #[test]
+    fn first_write_wins() {
+        let b = EventBlotter::new(1);
+        b.record(0, Value::Long(1));
+        b.record(0, Value::Long(2));
+        assert_eq!(b.result_long(0), 1);
+    }
+
+    #[test]
+    fn out_of_range_record_is_ignored() {
+        let b = EventBlotter::new(1);
+        b.record(5, Value::Long(1));
+        assert_eq!(b.result(5), None);
+    }
+
+    #[test]
+    fn reset_clears_results_and_abort_state() {
+        let b = EventBlotter::new(2);
+        b.record(0, Value::Long(1));
+        b.mark_aborted("first pass failed");
+        b.reset();
+        assert_eq!(b.result(0), None);
+        assert!(!b.is_aborted());
+        assert_eq!(b.abort_reason(), None);
+        // After a reset the slots accept fresh values again.
+        b.record(0, Value::Long(2));
+        assert_eq!(b.result_long(0), 2);
+    }
+
+    #[test]
+    fn abort_flag_and_reason() {
+        let b = EventBlotter::new(0);
+        assert!(!b.is_aborted());
+        b.mark_aborted("insufficient balance");
+        b.mark_aborted("second reason ignored");
+        assert!(b.is_aborted());
+        assert_eq!(b.abort_reason().unwrap(), "insufficient balance");
+    }
+
+    #[test]
+    fn concurrent_slot_writes_are_safe() {
+        let b = EventBlotter::new(64);
+        std::thread::scope(|s| {
+            for t in 0..8usize {
+                let b = &b;
+                s.spawn(move || {
+                    for i in (t..64).step_by(8) {
+                        b.record(i, Value::Long(i as i64));
+                    }
+                });
+            }
+        });
+        for i in 0..64 {
+            assert_eq!(b.result_long(i), i as i64);
+        }
+    }
+}

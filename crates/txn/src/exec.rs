@@ -1,0 +1,285 @@
+//! Shared operation-execution helpers.
+//!
+//! All schemes ultimately perform the same physical work per operation —
+//! resolve the target record through the table index, read the current (or
+//! timestamp-visible) value, run the user function, apply the write — and
+//! they all charge that work to the same breakdown components.  Centralising
+//! it here keeps the scheme implementations focused on *synchronisation*,
+//! which is what the paper compares.
+
+use std::time::Instant;
+
+use tstream_state::{StateError, StateResult, StateStore, TableId, Value};
+use tstream_stream::metrics::{Breakdown, Component};
+use tstream_stream::operator::StateRef;
+
+use crate::operation::Operation;
+use crate::scheme::ExecEnv;
+use crate::Timestamp;
+
+/// How values are read and written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueMode {
+    /// Single-version: read and overwrite the committed value directly
+    /// (No-Lock, LOCK, PAT).
+    Committed,
+    /// Multi-version: reads pick the version visible at the operation's
+    /// timestamp, writes install a new version; the newest version is folded
+    /// into the committed value at the end of the batch (MVLK, and TStream's
+    /// dependency handling).
+    Versioned,
+}
+
+/// Undo information for one applied write, so an aborting transaction can
+/// roll back the operations it already applied.
+#[derive(Debug)]
+pub struct UndoEntry {
+    /// Which state was written.
+    pub target: StateRef,
+    /// Committed value before the write (only meaningful in
+    /// [`ValueMode::Committed`]).
+    pub previous: Option<Value>,
+    /// Version timestamp to remove (only meaningful in
+    /// [`ValueMode::Versioned`]).
+    pub version_ts: Option<Timestamp>,
+}
+
+/// Execute a single operation.
+///
+/// On success, any applied write is appended to `undo`.  Index lookups are
+/// charged to *Others*; the state access itself is charged to *Useful*, or to
+/// *RMA* when the NUMA model classifies the target record as remote to the
+/// executor.
+pub fn execute_operation(
+    op: &Operation,
+    store: &StateStore,
+    env: &ExecEnv,
+    mode: ValueMode,
+    breakdown: &mut Breakdown,
+    undo: &mut Vec<UndoEntry>,
+) -> StateResult<()> {
+    // Index lookups (target + dependency).
+    let t_index = Instant::now();
+    let record = store.record(TableId(op.target.table), op.target.key)?;
+    let dep_record = match op.dependency {
+        Some(dep) => Some(store.record(TableId(dep.table), dep.key)?),
+        None => None,
+    };
+    breakdown.charge(Component::Others, t_index.elapsed());
+
+    // The state access itself.
+    let remote =
+        env.is_remote(op.target.key) || op.dependency.is_some_and(|d| env.is_remote(d.key));
+    let t_access = Instant::now();
+    if remote {
+        env.remote_penalty();
+    }
+    let current = match mode {
+        ValueMode::Committed => record.read_committed(),
+        ValueMode::Versioned => record.read_visible(op.ts),
+    };
+    let dep_value = dep_record.map(|r| match mode {
+        ValueMode::Committed => r.read_committed(),
+        ValueMode::Versioned => r.read_visible(op.ts),
+    });
+    let produced = op.evaluate(&current, dep_value.as_ref());
+    let outcome = match produced {
+        Ok(Some(new_value)) => {
+            match mode {
+                ValueMode::Committed => {
+                    let previous = record.write_committed(new_value);
+                    undo.push(UndoEntry {
+                        target: op.target,
+                        previous: Some(previous),
+                        version_ts: None,
+                    });
+                }
+                ValueMode::Versioned => {
+                    record.install_version(op.ts, new_value);
+                    undo.push(UndoEntry {
+                        target: op.target,
+                        previous: None,
+                        version_ts: Some(op.ts),
+                    });
+                }
+            }
+            Ok(())
+        }
+        Ok(None) => Ok(()),
+        Err(e) => Err(e),
+    };
+    let component = if remote {
+        Component::Rma
+    } else {
+        Component::Useful
+    };
+    breakdown.charge(component, t_access.elapsed());
+    outcome
+}
+
+/// Roll back previously applied writes, newest first.
+pub fn undo_all(store: &StateStore, undo: &mut Vec<UndoEntry>) {
+    while let Some(entry) = undo.pop() {
+        if let Ok(record) = store.record(TableId(entry.target.table), entry.target.key) {
+            if let Some(previous) = entry.previous {
+                record.write_committed(previous);
+            }
+            if let Some(ts) = entry.version_ts {
+                record.remove_version(ts);
+            }
+        }
+    }
+}
+
+/// Convenience wrapper: execute every operation of a transaction in issue
+/// order, rolling back on the first failure.
+///
+/// This is the body shared by the eager schemes once their synchronisation
+/// has admitted the transaction.
+pub fn execute_transaction_body(
+    ops: &[Operation],
+    store: &StateStore,
+    env: &ExecEnv,
+    mode: ValueMode,
+    breakdown: &mut Breakdown,
+) -> StateResult<()> {
+    let mut undo = Vec::with_capacity(ops.len());
+    for op in ops {
+        if let Err(e) = execute_operation(op, store, env, mode, breakdown, &mut undo) {
+            undo_all(store, &mut undo);
+            op.blotter.mark_aborted(e.to_string());
+            return Err(StateError::Aborted {
+                timestamp: op.ts,
+                reason: e.to_string(),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transaction::TxnBuilder;
+    use tstream_state::{StateStore, TableBuilder, Value};
+
+    fn store() -> std::sync::Arc<StateStore> {
+        let t = TableBuilder::new("accounts")
+            .extend((0..10u64).map(|k| (k, Value::Long(100))))
+            .build()
+            .unwrap();
+        StateStore::new(vec![t]).unwrap()
+    }
+
+    #[test]
+    fn committed_mode_reads_and_writes_in_place() {
+        let store = store();
+        let env = ExecEnv::single();
+        let mut b = Breakdown::new();
+
+        let mut txn = TxnBuilder::new(1);
+        txn.read(0, 3);
+        txn.read_modify(0, 3, None, |ctx| Ok(Value::Long(ctx.current.as_long()? + 5)));
+        let (txn, blotter) = txn.build();
+        execute_transaction_body(&txn.ops, &store, &env, ValueMode::Committed, &mut b).unwrap();
+
+        assert_eq!(blotter.result_long(0), 100);
+        assert_eq!(blotter.result_long(1), 105);
+        assert_eq!(
+            store.record(TableId(0), 3).unwrap().read_committed(),
+            Value::Long(105)
+        );
+        assert!(b.useful > std::time::Duration::ZERO);
+        assert!(b.others > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn versioned_mode_defers_commit_to_collapse() {
+        let store = store();
+        let env = ExecEnv::single();
+        let mut b = Breakdown::new();
+
+        let mut txn = TxnBuilder::new(5);
+        txn.write_value(0, 2, Value::Long(999));
+        let (txn, _) = txn.build();
+        execute_transaction_body(&txn.ops, &store, &env, ValueMode::Versioned, &mut b).unwrap();
+
+        let record = store.record(TableId(0), 2).unwrap();
+        // The committed value is untouched until collapse.
+        assert_eq!(record.read_committed(), Value::Long(100));
+        // But readers at a later timestamp see the new version.
+        assert_eq!(record.read_visible(6), Value::Long(999));
+        // Readers logically before the write still see the base value.
+        assert_eq!(record.read_visible(5), Value::Long(100));
+        record.collapse_versions();
+        assert_eq!(record.read_committed(), Value::Long(999));
+    }
+
+    #[test]
+    fn failure_rolls_back_applied_writes() {
+        let store = store();
+        let env = ExecEnv::single();
+        let mut b = Breakdown::new();
+
+        let mut txn = TxnBuilder::new(2);
+        // First write succeeds, second fails the consistency check.
+        txn.read_modify(0, 1, None, |ctx| Ok(Value::Long(ctx.current.as_long()? - 10)));
+        txn.read_modify(0, 4, None, |_ctx| {
+            Err(StateError::ConsistencyViolation("boom".into()))
+        });
+        let (txn, blotter) = txn.build();
+        let err =
+            execute_transaction_body(&txn.ops, &store, &env, ValueMode::Committed, &mut b)
+                .unwrap_err();
+        assert!(matches!(err, StateError::Aborted { .. }));
+        assert!(blotter.is_aborted());
+        // The first write was rolled back.
+        assert_eq!(
+            store.record(TableId(0), 1).unwrap().read_committed(),
+            Value::Long(100)
+        );
+    }
+
+    #[test]
+    fn missing_key_is_an_error() {
+        let store = store();
+        let env = ExecEnv::single();
+        let mut b = Breakdown::new();
+        let mut txn = TxnBuilder::new(0);
+        txn.read(0, 999);
+        let (txn, _) = txn.build();
+        let mut undo = Vec::new();
+        let err = execute_operation(
+            &txn.ops[0],
+            &store,
+            &env,
+            ValueMode::Committed,
+            &mut b,
+            &mut undo,
+        )
+        .unwrap_err();
+        assert!(matches!(err, StateError::KeyNotFound { .. }));
+    }
+
+    #[test]
+    fn dependency_value_is_passed_to_functions() {
+        let store = store();
+        store
+            .record(TableId(0), 7)
+            .unwrap()
+            .write_committed(Value::Long(1));
+        let env = ExecEnv::single();
+        let mut b = Breakdown::new();
+        let mut txn = TxnBuilder::new(3);
+        // Write key 0 to (dependency key 7's value) * 2.
+        txn.write_with(0, 0, Some(StateRef::new(0, 7)), |ctx| {
+            Ok(Value::Long(ctx.dependency.unwrap().as_long()? * 2))
+        });
+        let (txn, _) = txn.build();
+        execute_transaction_body(&txn.ops, &store, &env, ValueMode::Committed, &mut b).unwrap();
+        assert_eq!(
+            store.record(TableId(0), 0).unwrap().read_committed(),
+            Value::Long(2)
+        );
+    }
+}

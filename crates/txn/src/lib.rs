@@ -1,0 +1,57 @@
+//! # tstream-txn
+//!
+//! The *state transaction* model of the paper (Definitions 1 and 2) plus the
+//! baseline concurrency-control schemes TStream is compared against:
+//!
+//! * [`nolock::NoLockScheme`] — all synchronisation removed, the performance
+//!   upper bound of Figure 8;
+//! * [`lock_based::LockScheme`] — strict two-phase locking with a centralized
+//!   *lockAhead* counter (Wang et al., Section II-C.1);
+//! * [`mvlk::MvlkScheme`] — multi-version locking with per-state `lwm`
+//!   watermarks (Section II-C.2);
+//! * [`pat::PatScheme`] — partition-based ordering in the style of S-Store
+//!   (Section II-C.3);
+//! * [`to::ToScheme`] / [`occ::OccScheme`] — the classic order-unaware
+//!   concurrency controls the paper argues are unsuitable for stream
+//!   transactions (Section II-C discussion); used by the `sec2c` harness to
+//!   quantify that argument, not by the Figure 8 comparison.
+//!
+//! It also defines the pieces every scheme (including TStream, implemented in
+//! `tstream-core`) shares:
+//!
+//! * [`operation::Operation`] — a single decomposed state access (READ /
+//!   WRITE / READ_MODIFY with optional user function and data dependency);
+//! * [`transaction::StateTransaction`] / [`transaction::TxnBuilder`] — the set
+//!   of operations triggered by one input event;
+//! * [`blotter::EventBlotter`] — the per-event result carrier bridging state
+//!   access and post-processing;
+//! * [`app::Application`] — the three-step-procedure trait applications
+//!   implement (features F1–F3);
+//! * [`scheme::EagerScheme`] — the interface the engine drives baselines
+//!   through.
+
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod blotter;
+pub mod exec;
+pub mod lock_based;
+pub mod mvlk;
+pub mod nolock;
+pub mod occ;
+pub mod operation;
+pub mod outcome;
+pub mod pat;
+pub mod scheme;
+pub mod to;
+pub mod transaction;
+
+pub use app::{Application, PostAction};
+pub use blotter::{BlotterHandle, EventBlotter};
+pub use operation::{AccessType, OpCtx, OpFunc, Operation};
+pub use outcome::TxnOutcome;
+pub use scheme::{EagerScheme, ExecEnv, NumaModel, TxnDescriptor};
+pub use transaction::{StateTransaction, TxnBuilder};
+
+/// Re-exported timestamp type (shared with the state and stream crates).
+pub type Timestamp = tstream_state::Timestamp;

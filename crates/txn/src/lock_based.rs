@@ -1,0 +1,321 @@
+//! LOCK: strict two-phase locking with a centralized lockAhead counter.
+//!
+//! Re-implementation of the S2PL-based algorithm of Wang et al. as described
+//! in Section II-C.1 of the paper:
+//!
+//! 1. a transaction compares its timestamp against a single, monotonically
+//!    increasing counter (*lockAhead*) and may insert its locks only when the
+//!    counter reaches its timestamp — this guarantees that locks are inserted
+//!    in timestamp order and therefore granted in timestamp order for every
+//!    conflict;
+//! 2. as soon as the locks are *inserted* (not yet granted), the counter is
+//!    advanced so the next transaction can insert its own locks;
+//! 3. the transaction then blocks until each lock is granted, executes its
+//!    operations, and releases everything (strict 2PL).
+//!
+//! The single global counter is exactly the centralized contention point the
+//! paper blames for LOCK's poor scalability.
+
+use std::collections::BTreeMap;
+
+use tstream_state::lock::{LockMode, SeqGate};
+use tstream_state::{StateStore, TableId};
+use tstream_stream::metrics::{Breakdown, Component, ComponentTimer};
+use tstream_stream::operator::StateRef;
+
+use crate::exec::{execute_transaction_body, ValueMode};
+use crate::outcome::TxnOutcome;
+use crate::scheme::{EagerScheme, ExecEnv, TxnDescriptor};
+use crate::transaction::StateTransaction;
+
+/// The LOCK scheme.
+#[derive(Debug)]
+pub struct LockScheme {
+    /// The lockAhead counter: equals the timestamp of the next transaction
+    /// allowed to insert its locks.
+    lock_ahead: SeqGate,
+}
+
+impl Default for LockScheme {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LockScheme {
+    /// Creates the scheme with the counter at timestamp 0.
+    pub fn new() -> Self {
+        LockScheme {
+            lock_ahead: SeqGate::new(0),
+        }
+    }
+
+    /// Current value of the lockAhead counter (test / debug aid).
+    pub fn lock_ahead(&self) -> u64 {
+        self.lock_ahead.current()
+    }
+
+    /// Distinct states a transaction must lock, with the strongest required
+    /// mode (a write anywhere in the transaction upgrades the lock).
+    fn lock_set(txn: &StateTransaction) -> BTreeMap<StateRef, LockMode> {
+        let mut set: BTreeMap<StateRef, LockMode> = BTreeMap::new();
+        for op in &txn.ops {
+            let mode = if op.is_write() {
+                LockMode::Exclusive
+            } else {
+                LockMode::Shared
+            };
+            set.entry(op.target)
+                .and_modify(|m| {
+                    if mode == LockMode::Exclusive {
+                        *m = LockMode::Exclusive;
+                    }
+                })
+                .or_insert(mode);
+            if let Some(dep) = op.dependency {
+                set.entry(dep).or_insert(LockMode::Shared);
+            }
+        }
+        set
+    }
+}
+
+impl EagerScheme for LockScheme {
+    fn name(&self) -> &'static str {
+        "LOCK"
+    }
+
+    fn prepare_batch(&self, _batch: &[TxnDescriptor]) {
+        // LOCK needs no per-batch preparation: the single counter plus the
+        // timestamps themselves fully determine the insertion order.
+    }
+
+    fn execute(
+        &self,
+        txn: &StateTransaction,
+        store: &StateStore,
+        env: &ExecEnv,
+        breakdown: &mut Breakdown,
+    ) -> TxnOutcome {
+        let lock_set = Self::lock_set(txn);
+
+        // Sync: wait until the lockAhead counter reaches our timestamp.
+        let t = ComponentTimer::start();
+        self.lock_ahead.wait_exact(txn.ts);
+        t.stop(breakdown, Component::Sync);
+
+        // Lock: insert all lock requests (not yet granted).
+        let t = ComponentTimer::start();
+        let mut locked: Vec<&tstream_state::Record> = Vec::with_capacity(lock_set.len());
+        let mut lookup_failed = false;
+        for (state, mode) in &lock_set {
+            match store.record(TableId(state.table), state.key) {
+                Ok(record) => {
+                    record.lock().request(txn.ts, *mode);
+                    locked.push(record);
+                }
+                Err(_) => {
+                    lookup_failed = true;
+                }
+            }
+        }
+        t.stop(breakdown, Component::Lock);
+
+        // Locks inserted: immediately allow the next transaction to proceed.
+        self.lock_ahead.advance_to(txn.ts + 1);
+
+        // Sync: block until every inserted lock is granted.
+        let t = ComponentTimer::start();
+        for record in &locked {
+            record.lock().wait_granted(txn.ts);
+        }
+        t.stop(breakdown, Component::Sync);
+
+        // Execute the operations under the held locks.
+        let result = if lookup_failed {
+            txn.blotter.mark_aborted("state lookup failed");
+            TxnOutcome::aborted("state lookup failed")
+        } else {
+            match execute_transaction_body(&txn.ops, store, env, ValueMode::Committed, breakdown)
+            {
+                Ok(()) => TxnOutcome::Committed,
+                Err(e) => TxnOutcome::aborted(e.to_string()),
+            }
+        };
+
+        // Strict 2PL: release everything at the end.
+        let t = ComponentTimer::start();
+        for record in &locked {
+            record.lock().release(txn.ts);
+        }
+        t.stop(breakdown, Component::Lock);
+
+        result
+    }
+
+    fn end_batch(&self, _store: &StateStore) {}
+
+    fn reset(&self) {
+        self.lock_ahead.reset(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transaction::TxnBuilder;
+    use std::sync::Arc;
+    use tstream_state::{StateStore, TableBuilder, Value};
+    use tstream_stream::executor::{ExecutorId, ExecutorLayout};
+    use tstream_stream::operator::ReadWriteSet;
+
+    fn store(keys: u64) -> Arc<StateStore> {
+        let t = TableBuilder::new("t")
+            .extend((0..keys).map(|k| (k, Value::Long(0))))
+            .build()
+            .unwrap();
+        StateStore::new(vec![t]).unwrap()
+    }
+
+    fn increment_txn(ts: u64, key: u64) -> StateTransaction {
+        let mut b = TxnBuilder::new(ts);
+        b.read_modify(0, key, None, |ctx| {
+            Ok(Value::Long(ctx.current.as_long()? + 1))
+        });
+        b.build().0
+    }
+
+    /// Transaction that overwrites a key with its own timestamp; under a
+    /// correct schedule the final value equals the largest timestamp.
+    fn stamp_txn(ts: u64, key: u64) -> StateTransaction {
+        let mut b = TxnBuilder::new(ts);
+        b.write_value(0, key, Value::Long(ts as i64));
+        b.build().0
+    }
+
+    #[test]
+    fn concurrent_increments_are_all_applied() {
+        let store = store(4);
+        let scheme = Arc::new(LockScheme::new());
+        let txn_count = 200u64;
+        let threads = 4;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let store = store.clone();
+                let scheme = scheme.clone();
+                s.spawn(move || {
+                    let env = ExecEnv {
+                        executor: ExecutorId(t as usize),
+                        layout: ExecutorLayout::new(threads as usize, 10),
+                        numa: crate::scheme::NumaModel::disabled(),
+                    };
+                    let mut breakdown = Breakdown::new();
+                    for ts in (t..txn_count).step_by(threads as usize) {
+                        let txn = increment_txn(ts, ts % 4);
+                        assert!(scheme
+                            .execute(&txn, &store, &env, &mut breakdown)
+                            .is_committed());
+                    }
+                });
+            }
+        });
+        let total: i64 = (0..4u64)
+            .map(|k| {
+                store
+                    .record(TableId(0), k)
+                    .unwrap()
+                    .read_committed()
+                    .as_long()
+                    .unwrap()
+            })
+            .sum();
+        assert_eq!(total, txn_count as i64);
+        assert_eq!(scheme.lock_ahead(), txn_count);
+    }
+
+    #[test]
+    fn conflicting_writes_finish_in_timestamp_order() {
+        // Every transaction writes its own timestamp to the same key from
+        // many threads; the committed result must be the largest timestamp,
+        // which only happens if conflicting writes are ordered by timestamp.
+        let store = store(1);
+        let scheme = Arc::new(LockScheme::new());
+        let txn_count = 128u64;
+        let threads = 8usize;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let store = store.clone();
+                let scheme = scheme.clone();
+                s.spawn(move || {
+                    let env = ExecEnv::single();
+                    let mut breakdown = Breakdown::new();
+                    for ts in (t as u64..txn_count).step_by(threads) {
+                        let txn = stamp_txn(ts, 0);
+                        scheme.execute(&txn, &store, &env, &mut breakdown);
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            store.record(TableId(0), 0).unwrap().read_committed(),
+            Value::Long(txn_count as i64 - 1)
+        );
+    }
+
+    #[test]
+    fn breakdown_records_sync_and_lock_time() {
+        let store = store(1);
+        let scheme = LockScheme::new();
+        let env = ExecEnv::single();
+        let mut breakdown = Breakdown::new();
+        let txn = increment_txn(0, 0);
+        scheme.execute(&txn, &store, &env, &mut breakdown);
+        assert!(breakdown.total() > std::time::Duration::ZERO);
+        assert!(breakdown.useful > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn reset_rewinds_the_counter() {
+        let store = store(1);
+        let scheme = LockScheme::new();
+        let env = ExecEnv::single();
+        let mut breakdown = Breakdown::new();
+        scheme.execute(&increment_txn(0, 0), &store, &env, &mut breakdown);
+        assert_eq!(scheme.lock_ahead(), 1);
+        scheme.reset();
+        assert_eq!(scheme.lock_ahead(), 0);
+        // prepare_batch is a no-op but must be callable.
+        scheme.prepare_batch(&[TxnDescriptor {
+            ts: 0,
+            rw_set: ReadWriteSet::new(),
+        }]);
+    }
+
+    #[test]
+    fn aborted_transaction_releases_its_locks() {
+        let store = store(2);
+        let scheme = LockScheme::new();
+        let env = ExecEnv::single();
+        let mut breakdown = Breakdown::new();
+
+        let mut b = TxnBuilder::new(0);
+        b.read_modify(0, 0, None, |ctx| {
+            Ok(Value::Long(ctx.current.as_long()? + 1))
+        });
+        b.read_modify(0, 1, None, |_| {
+            Err(tstream_state::StateError::ConsistencyViolation("bad".into()))
+        });
+        let (txn, _) = b.build();
+        assert!(scheme.execute(&txn, &store, &env, &mut breakdown).is_aborted());
+        // The applied increment was rolled back.
+        assert_eq!(
+            store.record(TableId(0), 0).unwrap().read_committed(),
+            Value::Long(0)
+        );
+        // Locks were released: the next transaction can proceed.
+        let txn2 = increment_txn(1, 0);
+        assert!(scheme
+            .execute(&txn2, &store, &env, &mut breakdown)
+            .is_committed());
+    }
+}

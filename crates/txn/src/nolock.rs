@@ -1,0 +1,111 @@
+//! The No-Lock upper bound.
+//!
+//! All synchronisation is removed: transactions execute as soon as they
+//! arrive, with no ordering guarantee whatsoever.  The paper uses this as the
+//! performance upper bound in Figure 8 ("we also examine the system
+//! performance when locks are completely removed from the LOCK scheme").
+//! Results are *not* a correct state transaction schedule — that is the
+//! point.
+
+use tstream_state::StateStore;
+use tstream_stream::metrics::Breakdown;
+
+use crate::exec::{execute_transaction_body, ValueMode};
+use crate::outcome::TxnOutcome;
+use crate::scheme::{EagerScheme, ExecEnv, TxnDescriptor};
+use crate::transaction::StateTransaction;
+
+/// Scheme with every synchronisation mechanism removed.
+#[derive(Debug, Default)]
+pub struct NoLockScheme;
+
+impl NoLockScheme {
+    /// Creates the scheme.
+    pub fn new() -> Self {
+        NoLockScheme
+    }
+}
+
+impl EagerScheme for NoLockScheme {
+    fn name(&self) -> &'static str {
+        "No-Lock"
+    }
+
+    fn prepare_batch(&self, _batch: &[TxnDescriptor]) {}
+
+    fn execute(
+        &self,
+        txn: &StateTransaction,
+        store: &StateStore,
+        env: &ExecEnv,
+        breakdown: &mut Breakdown,
+    ) -> TxnOutcome {
+        match execute_transaction_body(&txn.ops, store, env, ValueMode::Committed, breakdown) {
+            Ok(()) => TxnOutcome::Committed,
+            Err(e) => TxnOutcome::aborted(e.to_string()),
+        }
+    }
+
+    fn end_batch(&self, _store: &StateStore) {}
+
+    fn reset(&self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transaction::TxnBuilder;
+    use std::sync::Arc;
+    use tstream_state::{StateStore, TableBuilder, TableId, Value};
+
+    fn store() -> Arc<StateStore> {
+        let t = TableBuilder::new("t")
+            .extend((0..4u64).map(|k| (k, Value::Long(0))))
+            .build()
+            .unwrap();
+        StateStore::new(vec![t]).unwrap()
+    }
+
+    #[test]
+    fn executes_transactions_without_blocking() {
+        let store = store();
+        let scheme = NoLockScheme::new();
+        let env = ExecEnv::single();
+        let mut breakdown = Breakdown::new();
+        for ts in 0..100u64 {
+            let mut b = TxnBuilder::new(ts);
+            b.read_modify(0, ts % 4, None, |ctx| {
+                Ok(Value::Long(ctx.current.as_long()? + 1))
+            });
+            let (txn, _) = b.build();
+            assert!(scheme
+                .execute(&txn, &store, &env, &mut breakdown)
+                .is_committed());
+        }
+        // Single-threaded execution is still correct: each key incremented 25
+        // times.
+        for k in 0..4u64 {
+            assert_eq!(
+                store.record(TableId(0), k).unwrap().read_committed(),
+                Value::Long(25)
+            );
+        }
+        assert_eq!(scheme.name(), "No-Lock");
+    }
+
+    #[test]
+    fn aborts_are_reported() {
+        let store = store();
+        let scheme = NoLockScheme::new();
+        let env = ExecEnv::single();
+        let mut breakdown = Breakdown::new();
+        let mut b = TxnBuilder::new(0);
+        b.read_modify(0, 0, None, |_| {
+            Err(tstream_state::StateError::ConsistencyViolation("no".into()))
+        });
+        let (txn, blotter) = b.build();
+        let outcome = scheme.execute(&txn, &store, &env, &mut breakdown);
+        assert!(outcome.is_aborted());
+        assert!(blotter.is_aborted());
+    }
+}

@@ -1,0 +1,50 @@
+//! Transaction outcomes.
+
+/// Result of executing one state transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnOutcome {
+    /// All operations applied.
+    Committed,
+    /// The transaction was aborted; its event is reported as "rejected" on
+    /// the output stream (Section IV-C.2).
+    Aborted {
+        /// Why the transaction aborted (e.g. a consistency violation).
+        reason: String,
+    },
+}
+
+impl TxnOutcome {
+    /// `true` for committed transactions.
+    pub fn is_committed(&self) -> bool {
+        matches!(self, TxnOutcome::Committed)
+    }
+
+    /// `true` for aborted transactions.
+    pub fn is_aborted(&self) -> bool {
+        !self.is_committed()
+    }
+
+    /// Helper constructing an aborted outcome.
+    pub fn aborted(reason: impl Into<String>) -> Self {
+        TxnOutcome::Aborted {
+            reason: reason.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_predicates() {
+        assert!(TxnOutcome::Committed.is_committed());
+        assert!(!TxnOutcome::Committed.is_aborted());
+        let a = TxnOutcome::aborted("nope");
+        assert!(a.is_aborted());
+        match a {
+            TxnOutcome::Aborted { reason } => assert_eq!(reason, "nope"),
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! State transactions and the builder applications use to issue them.
+
+use std::sync::Arc;
+
+use tstream_state::{StateResult, Value};
+use tstream_stream::operator::{AccessMode, ReadWriteSet, StateRef};
+
+use crate::blotter::{BlotterHandle, EventBlotter};
+use crate::operation::{AccessType, OpCtx, OpFunc, Operation};
+use crate::Timestamp;
+
+/// The set of state accesses triggered by processing of a single input event
+/// at an operator (Definition 1 of the paper).
+#[derive(Debug, Clone)]
+pub struct StateTransaction {
+    /// Timestamp of the triggering event.
+    pub ts: Timestamp,
+    /// Decomposed operations, in issue order.
+    pub ops: Vec<Operation>,
+    /// Result carrier shared with the triggering event.
+    pub blotter: BlotterHandle,
+}
+
+impl StateTransaction {
+    /// Transaction length (number of operations), the metric the paper's
+    /// workload descriptions use.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the transaction issues no state access at all.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Distinct states touched (targets plus declared dependencies).
+    pub fn touched_states(&self) -> Vec<StateRef> {
+        let mut v: Vec<StateRef> = self
+            .ops
+            .iter()
+            .flat_map(|op| std::iter::once(op.target).chain(op.dependency))
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// The read/write set of the transaction, derived from its operations
+    /// (dependencies count as reads).  Used by schemes that were not given a
+    /// pre-computed set.
+    pub fn read_write_set(&self) -> ReadWriteSet {
+        let mut set = ReadWriteSet::new();
+        for op in &self.ops {
+            let mode = if op.is_write() {
+                AccessMode::Write
+            } else {
+                AccessMode::Read
+            };
+            set.push(op.target, mode);
+            if let Some(dep) = op.dependency {
+                set.push(dep, AccessMode::Read);
+            }
+        }
+        set
+    }
+}
+
+/// Builder used inside an application's `STATE_ACCESS` implementation
+/// (Algorithms 2–4 of the paper) to issue the operations of one transaction.
+#[derive(Debug)]
+pub struct TxnBuilder {
+    ts: Timestamp,
+    ops: Vec<PendingOp>,
+}
+
+struct PendingOp {
+    target: StateRef,
+    access: AccessType,
+    dependency: Option<StateRef>,
+    func: Option<OpFunc>,
+}
+
+impl std::fmt::Debug for PendingOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PendingOp")
+            .field("target", &self.target)
+            .field("access", &self.access)
+            .field("dependency", &self.dependency)
+            .field("has_func", &self.func.is_some())
+            .finish()
+    }
+}
+
+impl TxnBuilder {
+    /// Starts building the transaction for the event with timestamp `ts`.
+    pub fn new(ts: Timestamp) -> Self {
+        TxnBuilder {
+            ts,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Timestamp of the transaction under construction.
+    pub fn ts(&self) -> Timestamp {
+        self.ts
+    }
+
+    /// Number of operations issued so far.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether no operations were issued yet.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// `READ(table, key)`: read a state; its value becomes available in the
+    /// blotter slot with this operation's index.  Returns the slot index.
+    pub fn read(&mut self, table: u32, key: u64) -> usize {
+        self.push(PendingOp {
+            target: StateRef::new(table, key),
+            access: AccessType::Read,
+            dependency: None,
+            func: None,
+        })
+    }
+
+    /// `WRITE(table, key, v)`: unconditionally overwrite a state.
+    pub fn write_value(&mut self, table: u32, key: u64, value: Value) -> usize {
+        self.write_with(table, key, None, move |_ctx| Ok(value.clone()))
+    }
+
+    /// `WRITE(table, key, Fun, CFun)`: overwrite a state with a computed
+    /// value; `dependency` (if any) names the state the function may consult
+    /// — a cross-chain data dependency under TStream.
+    pub fn write_with(
+        &mut self,
+        table: u32,
+        key: u64,
+        dependency: Option<StateRef>,
+        func: impl Fn(&OpCtx<'_>) -> StateResult<Value> + Send + Sync + 'static,
+    ) -> usize {
+        self.push(PendingOp {
+            target: StateRef::new(table, key),
+            access: AccessType::Write,
+            dependency,
+            func: Some(Arc::new(func)),
+        })
+    }
+
+    /// `READ_MODIFY(table, key, Fun, CFun)`: read-modify-write a state; the
+    /// produced value is also recorded in the blotter.
+    pub fn read_modify(
+        &mut self,
+        table: u32,
+        key: u64,
+        dependency: Option<StateRef>,
+        func: impl Fn(&OpCtx<'_>) -> StateResult<Value> + Send + Sync + 'static,
+    ) -> usize {
+        self.push(PendingOp {
+            target: StateRef::new(table, key),
+            access: AccessType::ReadModify,
+            dependency,
+            func: Some(Arc::new(func)),
+        })
+    }
+
+    fn push(&mut self, op: PendingOp) -> usize {
+        let idx = self.ops.len();
+        self.ops.push(op);
+        idx
+    }
+
+    /// Finish building: allocate the blotter (one result slot per operation)
+    /// and produce the transaction.
+    pub fn build(self) -> (StateTransaction, BlotterHandle) {
+        let blotter = EventBlotter::new(self.ops.len());
+        let ops = self
+            .ops
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| Operation {
+                ts: self.ts,
+                op_index: i as u32,
+                target: p.target,
+                access: p.access,
+                dependency: p.dependency,
+                func: p.func,
+                blotter: blotter.clone(),
+            })
+            .collect();
+        (
+            StateTransaction {
+                ts: self.ts,
+                ops,
+                blotter: blotter.clone(),
+            },
+            blotter,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assigns_op_indices_in_issue_order() {
+        let mut b = TxnBuilder::new(9);
+        assert!(b.is_empty());
+        let r0 = b.read(0, 1);
+        let r1 = b.write_value(1, 2, Value::Long(5));
+        let r2 = b.read_modify(0, 3, None, |ctx| Ok(Value::Long(ctx.current.as_long()? + 1)));
+        assert_eq!((r0, r1, r2), (0, 1, 2));
+        assert_eq!(b.len(), 3);
+        let (txn, blotter) = b.build();
+        assert_eq!(txn.ts, 9);
+        assert_eq!(txn.len(), 3);
+        assert_eq!(blotter.slots(), 3);
+        assert_eq!(txn.ops[1].access, AccessType::Write);
+        assert_eq!(txn.ops[2].access, AccessType::ReadModify);
+    }
+
+    #[test]
+    fn touched_states_include_dependencies() {
+        let mut b = TxnBuilder::new(0);
+        b.write_with(1, 10, Some(StateRef::new(0, 20)), |ctx| {
+            Ok(ctx.current.clone())
+        });
+        let (txn, _) = b.build();
+        let touched = txn.touched_states();
+        assert!(touched.contains(&StateRef::new(1, 10)));
+        assert!(touched.contains(&StateRef::new(0, 20)));
+    }
+
+    #[test]
+    fn derived_read_write_set_classifies_accesses() {
+        let mut b = TxnBuilder::new(0);
+        b.read(0, 1);
+        b.write_value(0, 2, Value::Long(1));
+        b.write_with(1, 3, Some(StateRef::new(0, 1)), |_| Ok(Value::Long(0)));
+        let (txn, _) = b.build();
+        let set = txn.read_write_set();
+        assert_eq!(set.write_set().len(), 2);
+        assert!(set.read_set().contains(&StateRef::new(0, 1)));
+    }
+
+    #[test]
+    fn empty_transaction_is_allowed() {
+        let (txn, blotter) = TxnBuilder::new(3).build();
+        assert!(txn.is_empty());
+        assert_eq!(blotter.slots(), 0);
+        assert!(txn.touched_states().is_empty());
+    }
+
+    #[test]
+    fn write_value_closure_produces_constant() {
+        let mut b = TxnBuilder::new(0);
+        b.write_value(0, 0, Value::Long(77));
+        let (txn, _) = b.build();
+        let out = txn.ops[0].evaluate(&Value::Long(1), None).unwrap();
+        assert_eq!(out, Some(Value::Long(77)));
+    }
+}

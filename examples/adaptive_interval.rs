@@ -1,0 +1,85 @@
+//! Adaptive punctuation-interval tuning (Section VI-F "future work").
+//!
+//! Figure 12 shows that the punctuation interval trades throughput against
+//! worst-case latency and that its optimum depends on the workload.  This
+//! example lets the hill-climbing [`AdaptiveIntervalController`] pick the
+//! interval for the Toll Processing workload under a 5 ms p99 latency bound,
+//! printing every probe it makes.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p tstream-apps --example adaptive_interval
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use tstream_apps::tp;
+use tstream_apps::workload::WorkloadSpec;
+use tstream_core::adaptive::{AdaptiveConfig, AdaptiveIntervalController, IntervalObservation};
+use tstream_core::prelude::*;
+
+/// Run TP once at the given punctuation interval and report
+/// (throughput, p99 latency).
+fn measure(events: &[tp::TpEvent], cores: usize, interval: usize) -> (f64, Duration) {
+    let spec = WorkloadSpec::default();
+    let store = tp::build_store(&spec);
+    let app = Arc::new(tp::TollProcessing);
+    let engine = Engine::new(EngineConfig::with_executors(cores).punctuation(interval));
+    let report = engine.run(&app, &store, events.to_vec(), &Scheme::TStream);
+    (
+        report.throughput_keps(),
+        report.latency.percentile(99.0).unwrap_or(Duration::ZERO),
+    )
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get().min(8))
+        .unwrap_or(4);
+    let events = tp::generate(&WorkloadSpec::default().events(40_000));
+    let latency_bound = Duration::from_millis(5);
+
+    let mut controller = AdaptiveIntervalController::new(
+        AdaptiveConfig {
+            latency_bound: Some(latency_bound),
+            ..Default::default()
+        },
+        50,
+    );
+
+    println!(
+        "Tuning the punctuation interval for TP ({cores} cores, p99 bound {:.0} ms)\n",
+        latency_bound.as_secs_f64() * 1e3
+    );
+    println!("{:>6}  {:>12}  {:>10}  {:>9}", "probe", "interval", "K events/s", "p99 ms");
+
+    let mut interval = controller.suggested_interval();
+    for probe in 1..=12 {
+        let (keps, p99) = measure(&events, cores, interval);
+        let feasible = p99 <= latency_bound;
+        println!(
+            "{probe:>6}  {interval:>12}  {keps:>10.1}  {:>9.2}{}",
+            p99.as_secs_f64() * 1e3,
+            if feasible { "" } else { "  (over latency bound)" }
+        );
+        interval = controller.observe(IntervalObservation {
+            interval,
+            throughput_keps: keps,
+            p99,
+        });
+        if controller.converged() {
+            break;
+        }
+    }
+
+    let best = controller.best().expect("at least one feasible probe");
+    println!(
+        "\nconverged: interval {} gives {:.1} K events/s at p99 {:.2} ms \
+         (paper default is 500; Figure 12 sweeps this knob by hand)",
+        best.interval,
+        best.throughput_keps,
+        best.p99.as_secs_f64() * 1e3
+    );
+}

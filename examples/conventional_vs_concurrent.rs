@@ -1,0 +1,85 @@
+//! Figure 2 side by side: the conventional key-partitioned Toll Processing
+//! pipeline (exclusive per-executor state, buffering and sorting in the toll
+//! operator) versus the concurrent-state-access implementation processed by
+//! TStream.
+//!
+//! Section II-A motivates concurrent state access with exactly this contrast:
+//! the conventional design must forward the road-congestion state between
+//! operators and either buffers aggressively or computes tolls against stale
+//! state; the shared-state design does neither.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p tstream-apps --example conventional_vs_concurrent
+//! ```
+
+use std::sync::Arc;
+
+use tstream_apps::conventional::{run_conventional, ConventionalConfig};
+use tstream_apps::tp;
+use tstream_apps::workload::WorkloadSpec;
+use tstream_core::prelude::*;
+
+fn main() {
+    let spec = WorkloadSpec::default().events(60_000);
+    let events = tp::generate(&spec);
+    let executors = 4usize;
+
+    // ---- Figure 2(a): key-based partitioning, no concurrent state access.
+    println!("Figure 2(a): conventional key-partitioned implementation");
+    for buffer_limit in [8usize, 128, 2_048] {
+        let report = run_conventional(
+            &events,
+            ConventionalConfig {
+                executors_per_operator: executors,
+                buffer_limit,
+                channel_capacity: 1_024,
+            },
+        );
+        println!(
+            "  buffer {:>5}: {:>8.1} K events/s, {:>6.1}% tolls on stale state, \
+             {:>6} KiB of congestion state forwarded",
+            buffer_limit,
+            report.throughput_keps(),
+            100.0 * report.forced_emission_ratio(),
+            report.forwarded_state_bytes / 1024,
+        );
+    }
+
+    // ---- Figure 2(b): shared mutable state, state transactions, TStream.
+    println!("\nFigure 2(b): concurrent state access under TStream");
+    let store = tp::build_store(&spec);
+    let app = Arc::new(tp::TollProcessing);
+    let engine = Engine::new(EngineConfig::with_executors(executors).punctuation(500));
+    let report = engine.run(&app, &store, events.clone(), &Scheme::TStream);
+    println!(
+        "  punctuation 500: {:>8.1} K events/s, every toll computed against the \
+         exact congestion state of its timestamp, no state forwarded",
+        report.throughput_keps()
+    );
+    println!(
+        "  p99 end-to-end latency: {:.2} ms",
+        report
+            .latency
+            .percentile(99.0)
+            .map(|d| d.as_secs_f64() * 1e3)
+            .unwrap_or(0.0)
+    );
+
+    // ---- And the same shared-state implementation under a lock-based
+    // baseline, to show why the paper does not stop at "just share the state".
+    let store = tp::build_store(&spec);
+    let report = engine.run(
+        &app,
+        &store,
+        events,
+        &Scheme::Eager(Arc::new(LockScheme::new())),
+    );
+    println!(
+        "\nSame shared-state implementation under LOCK: {:.1} K events/s — \
+         correct, but the centralized lockAhead counter throttles it;\nTStream's \
+         dual-mode scheduling and dynamic restructuring close that gap (Figure 8d).",
+        report.throughput_keps()
+    );
+}

@@ -1,0 +1,116 @@
+//! Quickstart: define a tiny concurrent stateful stream application from
+//! scratch and run it under TStream and under the LOCK baseline.
+//!
+//! The application maintains one shared table of per-user counters.  Every
+//! input event increments one user's counter and reads another user's counter
+//! — a miniature example of the concurrent state access the paper targets:
+//! every executor may touch any key, yet the results must be identical to a
+//! serial, timestamp-ordered execution.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p tstream-apps --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use tstream_core::prelude::*;
+
+/// Payload of one input event.
+#[derive(Clone)]
+struct Visit {
+    user: u64,
+    friend: u64,
+}
+
+/// The application: increment `user`'s counter, read `friend`'s counter.
+struct VisitCounter;
+
+impl Application for VisitCounter {
+    type Payload = Visit;
+
+    fn name(&self) -> &'static str {
+        "visit-counter"
+    }
+
+    fn read_write_set(&self, v: &Visit) -> ReadWriteSet {
+        ReadWriteSet::new()
+            .write(StateRef::new(0, v.user))
+            .read(StateRef::new(0, v.friend))
+    }
+
+    fn state_access(&self, v: &Visit, txn: &mut TxnBuilder) {
+        txn.read_modify(0, v.user, None, |ctx| {
+            Ok(Value::Long(ctx.current.as_long()? + 1))
+        });
+        txn.read(0, v.friend);
+    }
+
+    fn post_process(&self, _v: &Visit, blotter: &EventBlotter) -> PostAction {
+        if blotter.is_aborted() {
+            PostAction::Silent
+        } else {
+            PostAction::Emit
+        }
+    }
+}
+
+fn build_store(users: u64) -> Arc<StateStore> {
+    let table = TableBuilder::new("counters")
+        .extend((0..users).map(|k| (k, Value::Long(0))))
+        .build()
+        .expect("counter table");
+    StateStore::new(vec![table]).expect("store")
+}
+
+fn main() {
+    let users = 1_000u64;
+    let events: Vec<Visit> = (0..200_000u64)
+        .map(|i| Visit {
+            user: (i * 31) % users,
+            friend: (i * 17 + 3) % users,
+        })
+        .collect();
+
+    let executors = std::thread::available_parallelism()
+        .map(|p| p.get().min(8))
+        .unwrap_or(4);
+    let config = EngineConfig::with_executors(executors).punctuation(500);
+    let engine = Engine::new(config);
+    let app = Arc::new(VisitCounter);
+
+    println!("visit-counter: {} events, {executors} executors\n", events.len());
+    println!(
+        "{:>10}  {:>14}  {:>12}  {:>10}",
+        "scheme", "throughput", "p99 latency", "rejected"
+    );
+    for (name, scheme) in [
+        ("LOCK", Scheme::Eager(Arc::new(LockScheme::new()) as Arc<dyn tstream_txn::EagerScheme>)),
+        ("TStream", Scheme::TStream),
+    ] {
+        let store = build_store(users);
+        let report = engine.run(&app, &store, events.clone(), &scheme);
+        // Sanity: the counters must add up to exactly one increment per event.
+        let total: i64 = store
+            .table_by_name("counters")
+            .unwrap()
+            .iter()
+            .map(|(_, r)| r.read_committed().as_long().unwrap())
+            .sum();
+        assert_eq!(total, report.committed as i64);
+        println!(
+            "{:>10}  {:>10.1} K/s  {:>9.2} ms  {:>10}",
+            name,
+            report.throughput_keps(),
+            report
+                .latency
+                .percentile(99.0)
+                .map(|d| d.as_secs_f64() * 1e3)
+                .unwrap_or(0.0),
+            report.rejected
+        );
+    }
+    println!("\nBoth schemes commit every event and agree with serial execution;");
+    println!("TStream gets there without acquiring a single record lock.");
+}

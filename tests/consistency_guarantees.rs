@@ -1,0 +1,253 @@
+//! Tests for the ACID-style guarantees of Section IV-D.
+//!
+//! * **Atomicity** — all operations of a transaction between two punctuations
+//!   are executed, or none are (aborted transactions leave no partial
+//!   effects);
+//! * **Consistency** — application invariants (non-negative balances,
+//!   positive road speeds, non-negative quantities) hold after every run;
+//! * **Isolation** — concurrent execution is equivalent to some serial order
+//!   (covered in depth by `schedule_equivalence.rs`; spot-checked here);
+//! * **Durability** — out of scope (states are kept in main memory, as in the
+//!   paper).
+
+use std::sync::Arc;
+
+use tstream_apps::workload::WorkloadSpec;
+use tstream_apps::{ob, sl, SchemeKind};
+use tstream_core::{Engine, EngineConfig, Scheme};
+use tstream_state::{StateError, StateStore, TableBuilder, TableId, Value};
+use tstream_stream::operator::{AccessMode, ReadWriteSet, StateRef};
+use tstream_txn::{Application, EventBlotter, PostAction, TxnBuilder};
+
+/// An application designed to abort on demand: each event transfers between
+/// two slots but fails when the source is below the requested amount.
+#[derive(Clone)]
+struct FragileTransfer;
+
+#[derive(Clone)]
+struct FtEvent {
+    src: u64,
+    dst: u64,
+    amount: i64,
+}
+
+impl Application for FragileTransfer {
+    type Payload = FtEvent;
+
+    fn name(&self) -> &'static str {
+        "fragile-transfer"
+    }
+
+    fn read_write_set(&self, e: &FtEvent) -> ReadWriteSet {
+        let mut set = ReadWriteSet::new();
+        set.push(StateRef::new(0, e.src), AccessMode::Write);
+        set.push(StateRef::new(0, e.dst), AccessMode::Write);
+        set.push(StateRef::new(0, e.src), AccessMode::Read);
+        set
+    }
+
+    fn state_access(&self, e: &FtEvent, txn: &mut TxnBuilder) {
+        // Dependent credit first, then the debit, so every scheme evaluates
+        // the sufficiency condition against the pre-transaction source value
+        // (see the SL application for the same convention).
+        let amount = e.amount;
+        txn.write_with(0, e.dst, Some(StateRef::new(0, e.src)), move |ctx| {
+            let src = ctx.dependency.unwrap().as_long()?;
+            if src >= amount {
+                Ok(Value::Long(ctx.current.as_long()? + amount))
+            } else {
+                Err(StateError::ConsistencyViolation("insufficient".into()))
+            }
+        });
+        txn.read_modify(0, e.src, None, move |ctx| {
+            let balance = ctx.current.as_long()?;
+            if balance >= amount {
+                Ok(Value::Long(balance - amount))
+            } else {
+                Err(StateError::ConsistencyViolation("insufficient".into()))
+            }
+        });
+    }
+
+    fn post_process(&self, _e: &FtEvent, blotter: &EventBlotter) -> PostAction {
+        if blotter.is_aborted() {
+            PostAction::Silent
+        } else {
+            PostAction::Emit
+        }
+    }
+}
+
+fn tiny_store(slots: u64, balance: i64) -> Arc<StateStore> {
+    let t = TableBuilder::new("slots")
+        .extend((0..slots).map(|k| (k, Value::Long(balance))))
+        .build()
+        .unwrap();
+    StateStore::new(vec![t]).unwrap()
+}
+
+fn total(store: &StateStore) -> i64 {
+    store
+        .table(TableId(0))
+        .iter()
+        .map(|(_, r)| r.read_committed().as_long().unwrap())
+        .sum()
+}
+
+/// Atomicity: an aborted transfer must not apply its credit either, so the
+/// total is conserved even when most transfers fail, under every scheme.
+#[test]
+fn atomicity_aborted_transfers_leave_no_partial_effects() {
+    // Every transfer drains the same source slot, so only the first one fits
+    // and every later transfer must abort; any partial application (a credit
+    // without its debit, or vice versa) would change the total.
+    let events: Vec<FtEvent> = (0..400)
+        .map(|i| FtEvent {
+            src: 0,
+            dst: 1 + (i % 7),
+            amount: 10,
+        })
+        .collect();
+    let app = Arc::new(FragileTransfer);
+    for scheme in SchemeKind::CONSISTENT {
+        let store = tiny_store(8, 15);
+        let engine = Engine::new(EngineConfig::with_executors(4).punctuation(50));
+        let report = engine.run(&app, &store, events.clone(), &scheme.build(4));
+        assert!(report.rejected > 0, "{}: the workload must produce aborts", scheme.label());
+        assert_eq!(
+            total(&store),
+            8 * 15,
+            "{}: aborted transfers must not move money",
+            scheme.label()
+        );
+        // No slot may go negative.
+        for (_, record) in store.table(TableId(0)).iter() {
+            assert!(record.read_committed().as_long().unwrap() >= 0);
+        }
+    }
+}
+
+/// Consistency: SL balances never go negative, OB quantities never go
+/// negative, under concurrent execution with TStream.
+#[test]
+fn consistency_invariants_hold_after_concurrent_runs() {
+    let spec = WorkloadSpec::default().events(2_000).seed(77);
+
+    let sl_store = sl::build_store(&spec);
+    let engine = Engine::new(EngineConfig::with_executors(8).punctuation(250));
+    engine.run(
+        &Arc::new(sl::StreamingLedger),
+        &sl_store,
+        sl::generate(&spec),
+        &Scheme::TStream,
+    );
+    for table in ["accounts", "assets"] {
+        for (_, record) in sl_store.table_by_name(table).unwrap().iter() {
+            assert!(record.read_committed().as_long().unwrap() >= 0);
+        }
+    }
+
+    let ob_store = ob::build_store(&spec);
+    engine.run(
+        &Arc::new(ob::OnlineBidding),
+        &ob_store,
+        ob::generate(&spec),
+        &Scheme::TStream,
+    );
+    for (_, record) in ob_store.table_by_name("items").unwrap().iter() {
+        let (price, qty) = record.read_committed().as_pair().unwrap();
+        assert!(price > 0);
+        assert!(qty >= 0);
+    }
+}
+
+/// Isolation spot check: with a single hot key and interleaved increments of
+/// +1 and ×2, the final value depends on the exact order; all schemes must
+/// agree with the serial order.
+#[test]
+fn isolation_order_sensitive_updates_agree_with_serial_order() {
+    #[derive(Clone)]
+    enum Op {
+        Add(i64),
+        Double,
+    }
+    #[derive(Clone)]
+    struct HotKey(Op);
+    struct HotApp;
+    impl Application for HotApp {
+        type Payload = HotKey;
+        fn name(&self) -> &'static str {
+            "hot-key"
+        }
+        fn read_write_set(&self, _e: &HotKey) -> ReadWriteSet {
+            ReadWriteSet::new().write(StateRef::new(0, 0))
+        }
+        fn state_access(&self, e: &HotKey, txn: &mut TxnBuilder) {
+            match e.0 {
+                Op::Add(v) => {
+                    txn.read_modify(0, 0, None, move |ctx| {
+                        Ok(Value::Long(ctx.current.as_long()? + v))
+                    });
+                }
+                Op::Double => {
+                    txn.read_modify(0, 0, None, |ctx| {
+                        Ok(Value::Long(ctx.current.as_long()? * 2))
+                    });
+                }
+            }
+        }
+        fn post_process(&self, _e: &HotKey, _b: &EventBlotter) -> PostAction {
+            PostAction::Emit
+        }
+    }
+
+    let events: Vec<HotKey> = (0..300)
+        .map(|i| {
+            if i % 7 == 0 {
+                HotKey(Op::Double)
+            } else {
+                HotKey(Op::Add((i % 5) as i64))
+            }
+        })
+        .collect();
+    // Serial expectation.
+    let mut expected = 1i64;
+    for e in &events {
+        expected = match e.0 {
+            Op::Add(v) => expected.wrapping_add(v),
+            Op::Double => expected.wrapping_mul(2),
+        };
+    }
+
+    let app = Arc::new(HotApp);
+    for scheme in SchemeKind::CONSISTENT {
+        let store = tiny_store(1, 1);
+        let engine = Engine::new(EngineConfig::with_executors(6).punctuation(60));
+        engine.run(&app, &store, events.clone(), &scheme.build(2));
+        assert_eq!(
+            store.record(TableId(0), 0).unwrap().read_committed(),
+            Value::Long(expected),
+            "{} broke the serial order on a hot key",
+            scheme.label()
+        );
+    }
+}
+
+/// Rejected events are visible to the user through the output stream
+/// (Section IV-C.2): the number of rejections must be reported faithfully.
+#[test]
+fn rejected_events_are_reported_on_the_output_stream() {
+    let events: Vec<FtEvent> = (0..50)
+        .map(|i| FtEvent {
+            src: 0,
+            dst: 1,
+            amount: if i == 0 { 5 } else { 1_000 },
+        })
+        .collect();
+    let app = Arc::new(FragileTransfer);
+    let store = tiny_store(2, 10);
+    let engine = Engine::new(EngineConfig::with_executors(2).punctuation(10));
+    let report = engine.run(&app, &store, events, &Scheme::TStream);
+    assert_eq!(report.committed, 1, "only the first small transfer fits");
+    assert_eq!(report.rejected, 49);
+}

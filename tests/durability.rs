@@ -1,0 +1,150 @@
+//! Durability integration tests (Section IV-D).
+//!
+//! The engine replicates the committed state to disk at every punctuation
+//! boundary when a [`Checkpointer`] is attached.  These tests exercise the
+//! full path — engine run with checkpointing, crash, recovery onto a fresh
+//! store — through the public API only.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use tstream_apps::workload::WorkloadSpec;
+use tstream_apps::{gs, sl, tp};
+use tstream_core::{Engine, EngineConfig, Scheme};
+use tstream_state::{Checkpointer, StoreSnapshot};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "tstream-durability-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn engine_writes_one_checkpoint_per_punctuation_batch() {
+    let dir = temp_dir("per-batch");
+    let spec = WorkloadSpec::default().events(1_000).seed(31);
+    let store = gs::build_store(&spec);
+    let app = Arc::new(gs::GrepSum::default());
+    let checkpointer = Arc::new(Checkpointer::new(&dir, 16).unwrap());
+
+    let engine = Engine::new(EngineConfig::with_executors(4).punctuation(250))
+        .with_checkpointer(checkpointer.clone());
+    let report = engine.run(&app, &store, gs::generate(&spec), &Scheme::TStream);
+
+    // 1000 events / interval 250 = 4 punctuation batches = 4 checkpoints.
+    assert_eq!(report.checkpoints, 4);
+    assert_eq!(checkpointer.list().unwrap().len(), 4);
+
+    // The newest checkpoint equals the final committed state.
+    let latest = checkpointer.latest_snapshot().unwrap().unwrap();
+    assert_eq!(latest, StoreSnapshot::capture(&store));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn recovery_after_crash_matches_the_original_final_state() {
+    let dir = temp_dir("recovery");
+    let spec = WorkloadSpec::default().events(800).seed(32);
+    let events = tp::generate(&spec);
+    let app = Arc::new(tp::TollProcessing);
+
+    // First "process": run to completion with checkpointing enabled.
+    let original = tp::build_store(&spec);
+    {
+        let checkpointer = Arc::new(Checkpointer::new(&dir, 4).unwrap());
+        let engine = Engine::new(EngineConfig::with_executors(4).punctuation(200))
+            .with_checkpointer(checkpointer);
+        let report = engine.run(&app, &original, events.clone(), &Scheme::TStream);
+        assert_eq!(report.committed, 800);
+    }
+
+    // Second "process": recover the latest checkpoint into a fresh store.
+    let recovered = tp::build_store(&spec);
+    let checkpointer = Checkpointer::new(&dir, 4).unwrap();
+    assert!(checkpointer.recover_into(&recovered).unwrap());
+    assert_eq!(recovered.snapshot(), original.snapshot());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checkpoints_are_written_under_eager_schemes_too() {
+    let dir = temp_dir("eager");
+    let spec = WorkloadSpec::default().events(600).seed(33);
+    let store = sl::build_store(&spec);
+    let app = Arc::new(sl::StreamingLedger);
+    let checkpointer = Arc::new(Checkpointer::new(&dir, 8).unwrap());
+
+    let engine = Engine::new(EngineConfig::with_executors(3).punctuation(200))
+        .with_checkpointer(checkpointer.clone());
+    let report = engine.run(
+        &app,
+        &store,
+        sl::generate(&spec),
+        &tstream_apps::SchemeKind::Mvlk.build(4),
+    );
+    assert_eq!(report.checkpoints, 3);
+    let latest = checkpointer.latest_snapshot().unwrap().unwrap();
+    assert_eq!(latest, StoreSnapshot::capture(&store));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn retention_limit_is_honoured_across_a_run() {
+    let dir = temp_dir("retention");
+    let spec = WorkloadSpec::default().events(1_500).seed(34);
+    let store = gs::build_store(&spec);
+    let app = Arc::new(gs::GrepSum::default());
+    let checkpointer = Arc::new(Checkpointer::new(&dir, 2).unwrap());
+
+    let engine = Engine::new(EngineConfig::with_executors(2).punctuation(100))
+        .with_checkpointer(checkpointer.clone());
+    let report = engine.run(&app, &store, gs::generate(&spec), &Scheme::TStream);
+    assert_eq!(report.checkpoints, 15);
+    assert_eq!(
+        checkpointer.list().unwrap().len(),
+        2,
+        "only the configured number of checkpoints may remain on disk"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn runs_without_a_checkpointer_write_nothing() {
+    let spec = WorkloadSpec::default().events(300).seed(35);
+    let store = gs::build_store(&spec);
+    let app = Arc::new(gs::GrepSum::default());
+    let engine = Engine::new(EngineConfig::with_executors(2).punctuation(100));
+    assert!(engine.checkpointer().is_none());
+    let report = engine.run(&app, &store, gs::generate(&spec), &Scheme::TStream);
+    assert_eq!(report.checkpoints, 0);
+}
+
+#[test]
+fn checkpointing_does_not_change_results() {
+    let dir = temp_dir("equivalence");
+    let spec = WorkloadSpec::default().events(700).seed(36);
+    let events = gs::generate(&spec);
+    let app = Arc::new(gs::GrepSum::default());
+
+    let plain_store = gs::build_store(&spec);
+    Engine::new(EngineConfig::with_executors(4).punctuation(150)).run(
+        &app,
+        &plain_store,
+        events.clone(),
+        &Scheme::TStream,
+    );
+
+    let durable_store = gs::build_store(&spec);
+    let checkpointer = Arc::new(Checkpointer::new(&dir, 4).unwrap());
+    Engine::new(EngineConfig::with_executors(4).punctuation(150))
+        .with_checkpointer(checkpointer)
+        .run(&app, &durable_store, events, &Scheme::TStream);
+
+    assert_eq!(plain_store.snapshot(), durable_store.snapshot());
+    let _ = fs::remove_dir_all(&dir);
+}
