@@ -313,9 +313,7 @@ pub fn run_conventional(events: &[TpEvent], config: ConventionalConfig) -> Conve
                                 state.speeds.insert(update.segment, (update.ts, speed));
                             }
                             if let Some(vehicles) = update.vehicles {
-                                state
-                                    .vehicles
-                                    .insert(update.segment, (update.ts, vehicles));
+                                state.vehicles.insert(update.segment, (update.ts, vehicles));
                             }
                         }
                         TnInput::Report(report) => {

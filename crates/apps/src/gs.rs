@@ -209,7 +209,11 @@ pub fn generate(spec: &WorkloadSpec) -> Vec<GsEvent> {
         let writes = if rng.chance(spec.read_ratio) {
             None
         } else {
-            Some((0..keys.len()).map(|_| rng.next_below(1_000_000) as i64).collect())
+            Some(
+                (0..keys.len())
+                    .map(|_| rng.next_below(1_000_000) as i64)
+                    .collect(),
+            )
         };
         events.push(GsEvent { keys, writes });
     }
@@ -263,7 +267,11 @@ mod tests {
                 .collect();
             parts.sort_unstable();
             parts.dedup();
-            assert_eq!(parts.len(), 1, "single-partition txns must stay in one partition");
+            assert_eq!(
+                parts.len(),
+                1,
+                "single-partition txns must stay in one partition"
+            );
         }
 
         let spec = spec.multi_partition(1.0, 6);
@@ -278,7 +286,10 @@ mod tests {
             parts.dedup();
             spans.push(parts.len());
         }
-        assert!(spans.iter().all(|&s| s == 6), "multi-partition txns must span 6 partitions");
+        assert!(
+            spans.iter().all(|&s| s == 6),
+            "multi-partition txns must span 6 partitions"
+        );
     }
 
     #[test]
@@ -297,10 +308,7 @@ mod tests {
     fn gs_runs_under_tstream_and_a_baseline() {
         let spec = WorkloadSpec::default().events(600);
         let app = Arc::new(GrepSum::default());
-        for scheme in [
-            Scheme::TStream,
-            Scheme::Eager(Arc::new(LockScheme::new())),
-        ] {
+        for scheme in [Scheme::TStream, Scheme::Eager(Arc::new(LockScheme::new()))] {
             let store = build_store(&spec);
             let engine = Engine::new(EngineConfig::with_executors(4).punctuation(100));
             let report = engine.run(&app, &store, generate(&spec), &scheme);

@@ -246,7 +246,10 @@ mod tests {
         let report = engine.run(&app, &store, events, &Scheme::TStream);
         assert_eq!(report.rejected, 1);
         assert_eq!(
-            store.record(tstream_state::TableId(ITEM_TABLE), 3).unwrap().read_committed(),
+            store
+                .record(tstream_state::TableId(ITEM_TABLE), 3)
+                .unwrap()
+                .read_committed(),
             Value::Pair(INITIAL_PRICE, INITIAL_QTY)
         );
     }

@@ -82,8 +82,14 @@ impl Application for StreamingLedger {
                 dst_asset,
                 ..
             } => {
-                set.push(StateRef::new(ACCOUNT_TABLE, *src_account), AccessMode::Write);
-                set.push(StateRef::new(ACCOUNT_TABLE, *dst_account), AccessMode::Write);
+                set.push(
+                    StateRef::new(ACCOUNT_TABLE, *src_account),
+                    AccessMode::Write,
+                );
+                set.push(
+                    StateRef::new(ACCOUNT_TABLE, *dst_account),
+                    AccessMode::Write,
+                );
                 set.push(StateRef::new(ASSET_TABLE, *src_asset), AccessMode::Write);
                 set.push(StateRef::new(ASSET_TABLE, *dst_asset), AccessMode::Write);
                 // The credits read the source balances (data dependencies).
@@ -303,7 +309,11 @@ mod tests {
             let store = build_store(&spec);
             let engine = Engine::new(EngineConfig::with_executors(4).punctuation(100));
             let report = engine.run(&app, &store, events.clone(), &scheme);
-            assert_eq!(report.rejected, 0, "{}: no transfer should abort", report.scheme);
+            assert_eq!(
+                report.rejected, 0,
+                "{}: no transfer should abort",
+                report.scheme
+            );
             assert_eq!(
                 total_balance(&store),
                 initial + deposit_total,

@@ -76,9 +76,7 @@ impl Application for TollProcessing {
     fn read_write_set(&self, e: &TpEvent) -> ReadWriteSet {
         let mut set = ReadWriteSet::new();
         match e.kind {
-            TpKind::RoadSpeed => {
-                set.push(StateRef::new(SPEED_TABLE, e.segment), AccessMode::Write)
-            }
+            TpKind::RoadSpeed => set.push(StateRef::new(SPEED_TABLE, e.segment), AccessMode::Write),
             TpKind::VehicleCnt => {
                 set.push(StateRef::new(COUNT_TABLE, e.segment), AccessMode::Write)
             }
@@ -170,14 +168,21 @@ pub fn build_store(_spec: &WorkloadSpec) -> Arc<StateStore> {
 /// 100 segments with Zipf(0.2) skew.
 pub fn generate(spec: &WorkloadSpec) -> Vec<TpEvent> {
     let mut rng = Rng::new(spec.seed ^ 0x7979);
-    let zipf = Zipf::new(SEGMENTS as usize, if spec.skew == 0.6 { TP_SKEW } else { spec.skew });
+    let zipf = Zipf::new(
+        SEGMENTS as usize,
+        if spec.skew == 0.6 { TP_SKEW } else { spec.skew },
+    );
     let mut events = Vec::with_capacity(spec.events);
     let mut report = 0u64;
     while events.len() < spec.events {
         let segment = zipf.sample(&mut rng);
         let vehicle = rng.next_below(100_000);
         let speed = 20.0 + rng.next_f64() * 80.0;
-        for kind in [TpKind::RoadSpeed, TpKind::VehicleCnt, TpKind::TollNotification] {
+        for kind in [
+            TpKind::RoadSpeed,
+            TpKind::VehicleCnt,
+            TpKind::TollNotification,
+        ] {
             if events.len() == spec.events {
                 break;
             }
@@ -205,8 +210,14 @@ mod tests {
         let spec = WorkloadSpec::default().events(3_000);
         let events = generate(&spec);
         assert_eq!(events.len(), 3_000);
-        let rs = events.iter().filter(|e| e.kind == TpKind::RoadSpeed).count();
-        let vc = events.iter().filter(|e| e.kind == TpKind::VehicleCnt).count();
+        let rs = events
+            .iter()
+            .filter(|e| e.kind == TpKind::RoadSpeed)
+            .count();
+        let vc = events
+            .iter()
+            .filter(|e| e.kind == TpKind::VehicleCnt)
+            .count();
         let tn = events
             .iter()
             .filter(|e| e.kind == TpKind::TollNotification)

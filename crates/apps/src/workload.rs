@@ -61,7 +61,10 @@ impl Rng {
 
     /// Sample `n` *distinct* values from `[0, bound)`.
     pub fn distinct_below(&mut self, n: usize, bound: u64) -> Vec<u64> {
-        assert!(n as u64 <= bound, "cannot sample {n} distinct values from {bound}");
+        assert!(
+            n as u64 <= bound,
+            "cannot sample {n} distinct values from {bound}"
+        );
         let mut out = Vec::with_capacity(n);
         while out.len() < n {
             let candidate = self.next_below(bound);

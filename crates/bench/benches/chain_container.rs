@@ -19,7 +19,9 @@ const THREADS: usize = 8;
 /// Keys arrive roughly out of order, as they do when multiple executors
 /// decompose interleaved timestamps.
 fn shuffled_keys(n: usize) -> Vec<u64> {
-    (0..n as u64).map(|i| (i * 2_654_435_761) % n as u64).collect()
+    (0..n as u64)
+        .map(|i| (i * 2_654_435_761) % n as u64)
+        .collect()
 }
 
 fn bench_insert(c: &mut Criterion) {

@@ -14,7 +14,10 @@ fn bench_resolution(c: &mut Criterion) {
     let mut group = c.benchmark_group("dependency_resolution");
     group.sample_size(10);
     for app in [AppKind::Sl, AppKind::Gs] {
-        for resolution in [DependencyResolution::FineGrained, DependencyResolution::Rounds] {
+        for resolution in [
+            DependencyResolution::FineGrained,
+            DependencyResolution::Rounds,
+        ] {
             let label = format!("{}_{}", app.label(), resolution.label());
             group.bench_with_input(
                 BenchmarkId::from_parameter(label),

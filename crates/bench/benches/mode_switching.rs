@@ -47,10 +47,8 @@ fn bench_pool_recycling(c: &mut Criterion) {
             BenchmarkId::from_parameter(chains),
             &chains,
             |b, &chains| {
-                let pools = ChainPoolSet::new(
-                    ChainPlacement::SharedNothing,
-                    ExecutorLayout::new(8, 10),
-                );
+                let pools =
+                    ChainPoolSet::new(ChainPlacement::SharedNothing, ExecutorLayout::new(8, 10));
                 b.iter(|| {
                     for k in 0..chains as u64 {
                         pools.chain_for(StateRef::new(0, k));

@@ -66,7 +66,8 @@ fn main() {
             let engine = Engine::new(EngineConfig::with_executors(cores).punctuation(500));
             let report = engine.run(&app, &store, events.clone(), &scheme.build(cores as u32));
             assert_eq!(
-                report.rejected, poisoned as u64,
+                report.rejected,
+                poisoned as u64,
                 "{}: every poisoned transaction (and only those) must be rejected",
                 scheme.label()
             );

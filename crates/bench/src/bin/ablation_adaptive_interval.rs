@@ -11,19 +11,14 @@ use std::time::Duration;
 use tstream_apps::runner::{render_table, run_benchmark, AppKind, RunOptions, SchemeKind};
 use tstream_apps::workload::WorkloadSpec;
 use tstream_bench::HarnessConfig;
-use tstream_core::{
-    AdaptiveConfig, AdaptiveIntervalController, EngineConfig, IntervalObservation,
-};
+use tstream_core::{AdaptiveConfig, AdaptiveIntervalController, EngineConfig, IntervalObservation};
 
 fn measure(app: AppKind, cores: usize, events: usize, interval: usize) -> (f64, Duration) {
     let spec = WorkloadSpec::default().events(events);
     let engine = EngineConfig::with_executors(cores).punctuation(interval);
     let options = RunOptions::new(spec, engine);
     let report = run_benchmark(app, SchemeKind::TStream, &options);
-    let p99 = report
-        .latency
-        .percentile(99.0)
-        .unwrap_or(Duration::ZERO);
+    let p99 = report.latency.percentile(99.0).unwrap_or(Duration::ZERO);
     (report.throughput_keps(), p99)
 }
 

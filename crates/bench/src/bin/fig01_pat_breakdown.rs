@@ -32,7 +32,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["cores", "state access", "access overhead", "others", "K events/s"],
+            &[
+                "cores",
+                "state access",
+                "access overhead",
+                "others",
+                "K events/s"
+            ],
             &rows
         )
     );

@@ -12,8 +12,8 @@ use std::sync::Arc;
 
 use tstream_apps::conventional::{run_conventional, ConventionalConfig};
 use tstream_apps::runner::render_table;
-use tstream_apps::workload::WorkloadSpec;
 use tstream_apps::tp;
+use tstream_apps::workload::WorkloadSpec;
 use tstream_bench::HarnessConfig;
 use tstream_core::{Engine, EngineConfig, Scheme};
 

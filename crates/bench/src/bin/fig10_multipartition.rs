@@ -36,7 +36,9 @@ fn main() {
     let cfg = HarnessConfig::from_args();
     let cores = cfg.max_cores.min(16);
 
-    println!("Figure 10(a): throughput vs ratio of multi-partition txns (length 6, {cores} cores)\n");
+    println!(
+        "Figure 10(a): throughput vs ratio of multi-partition txns (length 6, {cores} cores)\n"
+    );
     let ratios: &[f64] = if cfg.quick {
         &[0.0, 0.5, 1.0]
     } else {
@@ -48,8 +50,14 @@ fn main() {
             format!("{ratio:.1}"),
             format!("{:.1}", run(&cfg, cores, ratio, 6, false, SchemeKind::Pat)),
             format!("{:.1}", run(&cfg, cores, ratio, 6, true, SchemeKind::Pat)),
-            format!("{:.1}", run(&cfg, cores, ratio, 6, false, SchemeKind::TStream)),
-            format!("{:.1}", run(&cfg, cores, ratio, 6, true, SchemeKind::TStream)),
+            format!(
+                "{:.1}",
+                run(&cfg, cores, ratio, 6, false, SchemeKind::TStream)
+            ),
+            format!(
+                "{:.1}",
+                run(&cfg, cores, ratio, 6, true, SchemeKind::TStream)
+            ),
         ]);
     }
     println!(
@@ -66,8 +74,14 @@ fn main() {
         )
     );
 
-    println!("Figure 10(b): throughput vs length of multi-partition txns (ratio 50%, {cores} cores)\n");
-    let lengths: &[usize] = if cfg.quick { &[1, 6, 10] } else { &[1, 2, 4, 6, 8, 10] };
+    println!(
+        "Figure 10(b): throughput vs length of multi-partition txns (ratio 50%, {cores} cores)\n"
+    );
+    let lengths: &[usize] = if cfg.quick {
+        &[1, 6, 10]
+    } else {
+        &[1, 2, 4, 6, 8, 10]
+    };
     let mut rows = Vec::new();
     for &len in lengths {
         let len = len.min(cores.max(1));
@@ -75,8 +89,14 @@ fn main() {
             len.to_string(),
             format!("{:.1}", run(&cfg, cores, 0.5, len, false, SchemeKind::Pat)),
             format!("{:.1}", run(&cfg, cores, 0.5, len, true, SchemeKind::Pat)),
-            format!("{:.1}", run(&cfg, cores, 0.5, len, false, SchemeKind::TStream)),
-            format!("{:.1}", run(&cfg, cores, 0.5, len, true, SchemeKind::TStream)),
+            format!(
+                "{:.1}",
+                run(&cfg, cores, 0.5, len, false, SchemeKind::TStream)
+            ),
+            format!(
+                "{:.1}",
+                run(&cfg, cores, 0.5, len, true, SchemeKind::TStream)
+            ),
         ]);
     }
     println!(

@@ -36,7 +36,9 @@ fn main() {
     let cfg = HarnessConfig::from_args();
     let cores = cfg.max_cores.min(16);
 
-    println!("Figure 11(a): GS throughput vs percentage of read requests (skew 0, {cores} cores)\n");
+    println!(
+        "Figure 11(a): GS throughput vs percentage of read requests (skew 0, {cores} cores)\n"
+    );
     let ratios: &[f64] = if cfg.quick {
         &[0.0, 0.5, 1.0]
     } else {

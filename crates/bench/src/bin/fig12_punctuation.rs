@@ -15,7 +15,9 @@ fn main() {
         &[25, 50, 100, 250, 500, 750, 1000]
     };
 
-    println!("Figure 12(a): TStream throughput (K events/s) vs punctuation interval ({cores} cores)\n");
+    println!(
+        "Figure 12(a): TStream throughput (K events/s) vs punctuation interval ({cores} cores)\n"
+    );
     let mut thr_rows = Vec::new();
     let mut lat_rows = Vec::new();
     for &interval in intervals {

@@ -9,7 +9,13 @@ use tstream_bench::{events_for, HarnessConfig};
 use tstream_core::{ChainPlacement, EngineConfig};
 use tstream_txn::NumaModel;
 
-fn run(cfg: &HarnessConfig, app: AppKind, cores: usize, placement: ChainPlacement, stealing: bool) -> f64 {
+fn run(
+    cfg: &HarnessConfig,
+    app: AppKind,
+    cores: usize,
+    placement: ChainPlacement,
+    stealing: bool,
+) -> f64 {
     let events = events_for(app, cores, cfg.quick);
     let spec = WorkloadSpec::default()
         .events(events)
@@ -27,29 +33,59 @@ fn run(cfg: &HarnessConfig, app: AppKind, cores: usize, placement: ChainPlacemen
 fn main() {
     let cfg = HarnessConfig::from_args();
     let cores = cfg.max_cores;
-    println!("Figure 14: TStream throughput (K txns/s) under NUMA-aware configurations ({cores} cores,");
+    println!(
+        "Figure 14: TStream throughput (K txns/s) under NUMA-aware configurations ({cores} cores,"
+    );
     println!("synthetic sockets of 10 cores, calibrated remote-access penalty)\n");
 
     let mut rows = Vec::new();
     for app in AppKind::ALL {
         rows.push(vec![
             app.label().to_string(),
-            format!("{:.1}", run(&cfg, app, cores, ChainPlacement::SharedNothing, false)),
-            format!("{:.1}", run(&cfg, app, cores, ChainPlacement::SharedEverything, true)),
-            format!("{:.1}", run(&cfg, app, cores, ChainPlacement::SharedPerSocket, true)),
+            format!(
+                "{:.1}",
+                run(&cfg, app, cores, ChainPlacement::SharedNothing, false)
+            ),
+            format!(
+                "{:.1}",
+                run(&cfg, app, cores, ChainPlacement::SharedEverything, true)
+            ),
+            format!(
+                "{:.1}",
+                run(&cfg, app, cores, ChainPlacement::SharedPerSocket, true)
+            ),
         ]);
     }
     println!(
         "{}",
         render_table(
-            &["app", "shared-nothing", "shared-everything", "shared-per-socket"],
+            &[
+                "app",
+                "shared-nothing",
+                "shared-everything",
+                "shared-per-socket"
+            ],
             &rows
         )
     );
 
-    println!("Work-stealing ablation (shared-everything, GS): throughput with and without stealing\n");
-    let with = run(&cfg, AppKind::Gs, cores, ChainPlacement::SharedEverything, true);
-    let without = run(&cfg, AppKind::Gs, cores, ChainPlacement::SharedEverything, false);
+    println!(
+        "Work-stealing ablation (shared-everything, GS): throughput with and without stealing\n"
+    );
+    let with = run(
+        &cfg,
+        AppKind::Gs,
+        cores,
+        ChainPlacement::SharedEverything,
+        true,
+    );
+    let without = run(
+        &cfg,
+        AppKind::Gs,
+        cores,
+        ChainPlacement::SharedEverything,
+        false,
+    );
     println!("  with stealing:    {with:.1} K/s");
     println!("  without stealing: {without:.1} K/s");
     println!("\nPaper shape: shared-nothing wins for every application; work stealing helps the");

@@ -65,12 +65,19 @@ fn run_pat(events: usize) -> f64 {
 fn main() {
     let cfg = HarnessConfig::from_args();
     let events = if cfg.quick { 20_000 } else { 200_000 };
-    println!("Section VI-G: S-Store-style trigger execution vs PAT (single core, 3-write procedure)\n");
+    println!(
+        "Section VI-G: S-Store-style trigger execution vs PAT (single core, 3-write procedure)\n"
+    );
     let trigger = run_trigger_style(events);
     let pat = run_pat(events);
     println!("  trigger-style (S-Store model): {trigger:.1} K events/s");
     println!("  PAT inside this engine:        {pat:.1} K events/s");
-    println!("  ratio:                         {:.1}x", pat / trigger.max(f64::MIN_POSITIVE));
-    println!("\nPaper reference: S-Store ~3.6K events/s, re-implemented PAT ~11.7K events/s (~3x),");
+    println!(
+        "  ratio:                         {:.1}x",
+        pat / trigger.max(f64::MIN_POSITIVE)
+    );
+    println!(
+        "\nPaper reference: S-Store ~3.6K events/s, re-implemented PAT ~11.7K events/s (~3x),"
+    );
     println!("attributed to consecutive execution by one thread vs trigger dispatch overhead.");
 }

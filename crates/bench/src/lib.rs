@@ -73,10 +73,7 @@ impl HarnessConfig {
         let mut points = vec![1usize, 2, 4, 8, 12, 16, 20, 24];
         points.retain(|&c| c <= self.max_cores);
         if self.quick {
-            points = points
-                .into_iter()
-                .filter(|&c| c == 1 || c == 4 || c == self.max_cores.min(8))
-                .collect();
+            points.retain(|&c| c == 1 || c == 4 || c == self.max_cores.min(8));
         }
         if points.is_empty() {
             points.push(1);

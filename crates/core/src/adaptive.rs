@@ -244,19 +244,20 @@ mod tests {
 
     #[test]
     fn climbs_towards_larger_intervals_while_throughput_improves() {
-        let mut controller =
-            AdaptiveIntervalController::new(AdaptiveConfig::default(), 25);
+        let mut controller = AdaptiveIntervalController::new(AdaptiveConfig::default(), 25);
         let first = controller.suggested_interval();
         let second = observe_at(&mut controller, first, 500.0);
-        assert!(second > first, "throughput is still rising, so keep growing");
+        assert!(
+            second > first,
+            "throughput is still rising, so keep growing"
+        );
         let third = observe_at(&mut controller, second, 500.0);
         assert!(third > second);
     }
 
     #[test]
     fn converges_near_the_saturation_point() {
-        let mut controller =
-            AdaptiveIntervalController::new(AdaptiveConfig::default(), 25);
+        let mut controller = AdaptiveIntervalController::new(AdaptiveConfig::default(), 25);
         let mut interval = controller.suggested_interval();
         for _ in 0..32 {
             interval = observe_at(&mut controller, interval, 400.0);
@@ -265,7 +266,9 @@ mod tests {
             }
         }
         assert!(controller.converged(), "search must terminate");
-        let best = controller.best().expect("at least one feasible observation");
+        let best = controller
+            .best()
+            .expect("at least one feasible observation");
         // The synthetic curve saturates well before the upper bound; the
         // controller must have pushed past the steep region.
         assert!(best.interval >= 400, "best interval {}", best.interval);
@@ -300,8 +303,7 @@ mod tests {
             let x = interval as f64;
             1_000.0 - (x - 200.0).abs()
         };
-        let mut controller =
-            AdaptiveIntervalController::new(AdaptiveConfig::default(), 100);
+        let mut controller = AdaptiveIntervalController::new(AdaptiveConfig::default(), 100);
         let mut interval = controller.suggested_interval();
         let mut seen = Vec::new();
         for _ in 0..16 {
@@ -322,7 +324,7 @@ mod tests {
             "best {} should be near the peak",
             best.interval
         );
-        assert!(seen.iter().any(|&i| i > best.interval || i < best.interval));
+        assert!(seen.iter().any(|&i| i != best.interval));
     }
 
     #[test]
@@ -346,8 +348,7 @@ mod tests {
 
     #[test]
     fn best_tracks_the_highest_feasible_throughput() {
-        let mut controller =
-            AdaptiveIntervalController::new(AdaptiveConfig::default(), 25);
+        let mut controller = AdaptiveIntervalController::new(AdaptiveConfig::default(), 25);
         controller.observe(IntervalObservation {
             interval: 25,
             throughput_keps: 10.0,

@@ -138,7 +138,8 @@ impl OperationChain {
 
     /// Mark the whole chain processed.
     pub fn mark_fully_processed(&self) {
-        self.processed_upto.store(FULLY_PROCESSED, Ordering::Release);
+        self.processed_upto
+            .store(FULLY_PROCESSED, Ordering::Release);
     }
 
     /// Whether every operation of the chain has been processed.
@@ -231,7 +232,10 @@ impl ChainPool {
 
     /// Get the chain for `state` if it exists.
     pub fn get(&self, state: StateRef) -> Option<Arc<OperationChain>> {
-        self.shards[self.shard_of(state)].read().get(&state).cloned()
+        self.shards[self.shard_of(state)]
+            .read()
+            .get(&state)
+            .cloned()
     }
 
     /// Number of chains in the pool.
@@ -410,11 +414,7 @@ impl ChainPoolSet {
             ChainPlacement::SharedPerSocket => {
                 let socket = self.layout.socket_of(executor);
                 let member = executor.index() % self.layout.cores_per_socket;
-                let group_size = self
-                    .layout
-                    .executors_in_socket(socket)
-                    .count()
-                    .max(1);
+                let group_size = self.layout.executors_in_socket(socket).count().max(1);
                 ProcessingAssignment {
                     pool: socket.min(self.pools.len() - 1),
                     member,

@@ -28,9 +28,7 @@ use tstream_stream::executor::{ExecutorId, ExecutorLayout};
 use tstream_stream::metrics::{Breakdown, Component};
 use tstream_stream::progress::ProgressController;
 use tstream_stream::sink::{LatencyStats, Sink};
-use tstream_txn::{
-    Application, EagerScheme, ExecEnv, StateTransaction, TxnBuilder, TxnDescriptor,
-};
+use tstream_txn::{Application, EagerScheme, ExecEnv, StateTransaction, TxnBuilder, TxnDescriptor};
 
 use crate::chains::ChainPoolSet;
 use crate::config::EngineConfig;

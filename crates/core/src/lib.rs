@@ -84,9 +84,9 @@ pub mod prelude {
     pub use tstream_state::{Checkpointer, StateStore, StoreSnapshot, Table, TableBuilder, Value};
     pub use tstream_stream::operator::{AccessMode, ReadWriteSet, StateRef};
     pub use tstream_txn::{
-        Application, EventBlotter, NumaModel, OpCtx, PostAction, TxnBuilder, TxnOutcome,
+        lock_based::LockScheme, mvlk::MvlkScheme, nolock::NoLockScheme, pat::PatScheme,
     };
     pub use tstream_txn::{
-        lock_based::LockScheme, mvlk::MvlkScheme, nolock::NoLockScheme, pat::PatScheme,
+        Application, EventBlotter, NumaModel, OpCtx, PostAction, TxnBuilder, TxnOutcome,
     };
 }

@@ -163,12 +163,11 @@ pub fn process_assigned(
     let mut undo: Vec<UndoRecord> = Vec::new();
 
     // Claim the chains this executor is responsible for.
-    let my_chains: Vec<Arc<OperationChain>> =
-        if ctx.work_stealing || assignment.group_size <= 1 {
-            std::iter::from_fn(|| pool.claim_next()).collect()
-        } else {
-            pool.task_slice(assignment.member, assignment.group_size)
-        };
+    let my_chains: Vec<Arc<OperationChain>> = if ctx.work_stealing || assignment.group_size <= 1 {
+        std::iter::from_fn(|| pool.claim_next()).collect()
+    } else {
+        pool.task_slice(assignment.member, assignment.group_size)
+    };
 
     match ctx.resolution {
         DependencyResolution::FineGrained => {
@@ -206,7 +205,7 @@ pub fn process_assigned(
                     // dependency cycle between chains or a dependency owned by
                     // another executor that is itself not finished.  Fall back
                     // to the deadlock-free cooperative scheduler for the rest.
-                    let rest: Vec<Arc<OperationChain>> = pending.drain(..).collect();
+                    let rest = std::mem::take(&mut pending);
                     process_cooperatively(ctx, &rest, &mut stats, breakdown, &mut undo);
                     break;
                 }
@@ -353,20 +352,15 @@ fn execute_chain_op(
 ) -> Result<(), StateError> {
     // Index lookups are charged to Others.
     let t_index = Instant::now();
-    let record = ctx
-        .store
-        .record(TableId(op.target.table), op.target.key)?;
+    let record = ctx.store.record(TableId(op.target.table), op.target.key)?;
     let dep_resolved = match op.dependency {
-        Some(dep) => Some((
-            dep,
-            ctx.store.record(TableId(dep.table), dep.key)?,
-        )),
+        Some(dep) => Some((dep, ctx.store.record(TableId(dep.table), dep.key)?)),
         None => None,
     };
     breakdown.charge(Component::Others, t_index.elapsed());
 
-    let remote = ctx.env.is_remote(op.target.key)
-        || op.dependency.is_some_and(|d| ctx.env.is_remote(d.key));
+    let remote =
+        ctx.env.is_remote(op.target.key) || op.dependency.is_some_and(|d| ctx.env.is_remote(d.key));
     let t_access = Instant::now();
     if remote {
         ctx.env.remote_penalty();
@@ -606,13 +600,25 @@ mod tests {
             pool.prepare_tasks();
         }
         let abort_log = BatchAbortLog::new();
-        let context = ctx(&pools, &store, &abort_log, DependencyResolution::FineGrained);
+        let context = ctx(
+            &pools,
+            &store,
+            &abort_log,
+            DependencyResolution::FineGrained,
+        );
         let mut breakdown = Breakdown::new();
-        let (stats, versioned) =
-            process_assigned(&context, pools.assignment(tstream_stream::ExecutorId(0)), &mut breakdown);
+        let (stats, versioned) = process_assigned(
+            &context,
+            pools.assignment(tstream_stream::ExecutorId(0)),
+            &mut breakdown,
+        );
         assert_eq!(stats.ops, 64);
         assert!(!abort_log.replay_needed());
-        assert_eq!(abort_log.undo_len(), 64, "one undo record per applied write");
+        assert_eq!(
+            abort_log.undo_len(),
+            64,
+            "one undo record per applied write"
+        );
         assert_eq!(stats.chains, 8);
         assert!(versioned.is_empty());
         for k in 0..8u64 {
@@ -629,7 +635,10 @@ mod tests {
         // (as of ts); interleaved txns increment key 0.  The final value of
         // key 1 is the sum of key 0's values at each transfer timestamp,
         // which is only correct if dependent reads see the right version.
-        for resolution in [DependencyResolution::FineGrained, DependencyResolution::Rounds] {
+        for resolution in [
+            DependencyResolution::FineGrained,
+            DependencyResolution::Rounds,
+        ] {
             let store = store(2);
             let layout = ExecutorLayout::new(2, 10);
             let pools = ChainPoolSet::new(ChainPlacement::SharedEverything, layout);
@@ -659,38 +668,35 @@ mod tests {
             // with work stealing, so the two chains can be walked by
             // different threads.
             let abort_log = BatchAbortLog::new();
-            let stats: Vec<(ChainStats, Vec<Arc<OperationChain>>)> =
-                std::thread::scope(|s| {
-                    let handles: Vec<_> = (0..2)
-                        .map(|e| {
-                            let pools = &pools;
-                            let abort_log = &abort_log;
-                            let store = store.clone();
-                            s.spawn(move || {
-                                let context = RestructureContext {
-                                    pools,
-                                    store: &store,
-                                    env: ExecEnv::single(),
-                                    resolution,
-                                    work_stealing: true,
-                                    abort_log,
-                                };
-                                let mut breakdown = Breakdown::new();
-                                process_assigned(
-                                    &context,
-                                    pools.assignment(tstream_stream::ExecutorId(e)),
-                                    &mut breakdown,
-                                )
-                            })
+            let stats: Vec<(ChainStats, Vec<Arc<OperationChain>>)> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..2)
+                    .map(|e| {
+                        let pools = &pools;
+                        let abort_log = &abort_log;
+                        let store = store.clone();
+                        s.spawn(move || {
+                            let context = RestructureContext {
+                                pools,
+                                store: &store,
+                                env: ExecEnv::single(),
+                                resolution,
+                                work_stealing: true,
+                                abort_log,
+                            };
+                            let mut breakdown = Breakdown::new();
+                            process_assigned(
+                                &context,
+                                pools.assignment(tstream_stream::ExecutorId(e)),
+                                &mut breakdown,
+                            )
                         })
-                        .collect();
-                    handles.into_iter().map(|h| h.join().unwrap()).collect()
-                });
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
 
-            let versioned: Vec<Arc<OperationChain>> = stats
-                .into_iter()
-                .flat_map(|(_, v)| v)
-                .collect();
+            let versioned: Vec<Arc<OperationChain>> =
+                stats.into_iter().flat_map(|(_, v)| v).collect();
             collapse_versioned(&store, &versioned);
 
             // key0 goes 10,20,30,40 at ts 0,2,4,6; transfers at ts 1,3,5,7 add
@@ -720,14 +726,21 @@ mod tests {
         b.read_modify(0, 0, None, |_| {
             Err(StateError::ConsistencyViolation("bad".into()))
         });
-        b.read_modify(0, 1, None, |ctx| Ok(Value::Long(ctx.current.as_long()? + 1)));
+        b.read_modify(0, 1, None, |ctx| {
+            Ok(Value::Long(ctx.current.as_long()? + 1))
+        });
         let (txn, blotter) = b.build();
         decompose(&pools, &txn);
         for pool in pools.pools() {
             pool.prepare_tasks();
         }
         let abort_log = BatchAbortLog::new();
-        let context = ctx(&pools, &store, &abort_log, DependencyResolution::FineGrained);
+        let context = ctx(
+            &pools,
+            &store,
+            &abort_log,
+            DependencyResolution::FineGrained,
+        );
         let mut breakdown = Breakdown::new();
         let (stats, _) = process_assigned(
             &context,
@@ -793,7 +806,12 @@ mod tests {
         }
 
         let abort_log = BatchAbortLog::new();
-        let context = ctx(&pools, &store, &abort_log, DependencyResolution::FineGrained);
+        let context = ctx(
+            &pools,
+            &store,
+            &abort_log,
+            DependencyResolution::FineGrained,
+        );
         let mut breakdown = Breakdown::new();
         process_assigned(
             &context,

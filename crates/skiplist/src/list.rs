@@ -74,7 +74,9 @@ impl<K: Ord, V> ConcurrentSkipList<K, V> {
             let mut v = s.get();
             if v == 0 {
                 // Mix the shared seed exactly once per thread.
-                v = self.height_seed.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed)
+                v = self
+                    .height_seed
+                    .fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed)
                     | 1;
             }
             // SplitMix64 step.
@@ -138,7 +140,11 @@ impl<K: Ord, V> ConcurrentSkipList<K, V> {
     }
 
     #[inline]
-    fn link_slot(&self, pred: *mut Node<K, V>, level: usize) -> &std::sync::atomic::AtomicPtr<Node<K, V>> {
+    fn link_slot(
+        &self,
+        pred: *mut Node<K, V>,
+        level: usize,
+    ) -> &std::sync::atomic::AtomicPtr<Node<K, V>> {
         if pred.is_null() {
             &self.head.next[level]
         } else {

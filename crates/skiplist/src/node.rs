@@ -20,7 +20,7 @@ pub(crate) struct Node<K, V> {
 
 impl<K, V> Node<K, V> {
     pub(crate) fn new(key: K, value: V, height: usize) -> Box<Self> {
-        debug_assert!(height >= 1 && height <= MAX_HEIGHT);
+        debug_assert!((1..=MAX_HEIGHT).contains(&height));
         Box::new(Node {
             key,
             value,

@@ -348,7 +348,11 @@ mod tests {
             snapshot.restore(&other),
             Err(StateError::UnknownTable(_))
         ));
-        assert_eq!(other.snapshot(), before, "nothing may be applied on failure");
+        assert_eq!(
+            other.snapshot(),
+            before,
+            "nothing may be applied on failure"
+        );
     }
 
     #[test]

@@ -162,10 +162,7 @@ mod tests {
         assert_eq!(t.name(), "accounts");
         assert_eq!(t.len(), 100);
         assert_eq!(t.get(42).unwrap().read_committed(), Value::Long(420));
-        assert!(matches!(
-            t.get(1000),
-            Err(StateError::KeyNotFound { .. })
-        ));
+        assert!(matches!(t.get(1000), Err(StateError::KeyNotFound { .. })));
     }
 
     #[test]

@@ -15,9 +15,10 @@ use crate::error::{StateError, StateResult};
 /// * SL — 64-bit account / asset balances;
 /// * OB — price (long) and quantity (long) pairs;
 /// * TP — average road speed (double) and a `HashSet` of vehicle ids.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub enum Value {
     /// Absent / uninitialised.
+    #[default]
     Null,
     /// 64-bit signed integer (balances, quantities, prices, counters).
     Long(i64),
@@ -30,12 +31,6 @@ pub enum Value {
     /// A pair of longs, used by OB items (price, quantity) so a single record
     /// keeps both fields like the paper's 50-byte bidding item.
     Pair(i64, i64),
-}
-
-impl Default for Value {
-    fn default() -> Self {
-        Value::Null
-    }
 }
 
 impl Value {

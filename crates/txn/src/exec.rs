@@ -179,7 +179,9 @@ mod tests {
 
         let mut txn = TxnBuilder::new(1);
         txn.read(0, 3);
-        txn.read_modify(0, 3, None, |ctx| Ok(Value::Long(ctx.current.as_long()? + 5)));
+        txn.read_modify(0, 3, None, |ctx| {
+            Ok(Value::Long(ctx.current.as_long()? + 5))
+        });
         let (txn, blotter) = txn.build();
         execute_transaction_body(&txn.ops, &store, &env, ValueMode::Committed, &mut b).unwrap();
 
@@ -223,14 +225,15 @@ mod tests {
 
         let mut txn = TxnBuilder::new(2);
         // First write succeeds, second fails the consistency check.
-        txn.read_modify(0, 1, None, |ctx| Ok(Value::Long(ctx.current.as_long()? - 10)));
+        txn.read_modify(0, 1, None, |ctx| {
+            Ok(Value::Long(ctx.current.as_long()? - 10))
+        });
         txn.read_modify(0, 4, None, |_ctx| {
             Err(StateError::ConsistencyViolation("boom".into()))
         });
         let (txn, blotter) = txn.build();
-        let err =
-            execute_transaction_body(&txn.ops, &store, &env, ValueMode::Committed, &mut b)
-                .unwrap_err();
+        let err = execute_transaction_body(&txn.ops, &store, &env, ValueMode::Committed, &mut b)
+            .unwrap_err();
         assert!(matches!(err, StateError::Aborted { .. }));
         assert!(blotter.is_aborted());
         // The first write was rolled back.

@@ -136,8 +136,7 @@ impl EagerScheme for LockScheme {
             txn.blotter.mark_aborted("state lookup failed");
             TxnOutcome::aborted("state lookup failed")
         } else {
-            match execute_transaction_body(&txn.ops, store, env, ValueMode::Committed, breakdown)
-            {
+            match execute_transaction_body(&txn.ops, store, env, ValueMode::Committed, breakdown) {
                 Ok(()) => TxnOutcome::Committed,
                 Err(e) => TxnOutcome::aborted(e.to_string()),
             }
@@ -303,10 +302,14 @@ mod tests {
             Ok(Value::Long(ctx.current.as_long()? + 1))
         });
         b.read_modify(0, 1, None, |_| {
-            Err(tstream_state::StateError::ConsistencyViolation("bad".into()))
+            Err(tstream_state::StateError::ConsistencyViolation(
+                "bad".into(),
+            ))
         });
         let (txn, _) = b.build();
-        assert!(scheme.execute(&txn, &store, &env, &mut breakdown).is_aborted());
+        assert!(scheme
+            .execute(&txn, &store, &env, &mut breakdown)
+            .is_aborted());
         // The applied increment was rolled back.
         assert_eq!(
             store.record(TableId(0), 0).unwrap().read_committed(),

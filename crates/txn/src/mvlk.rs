@@ -137,8 +137,7 @@ impl EagerScheme for MvlkScheme {
             let dep_record = match op.dependency {
                 Some(dep) => match store.record(TableId(dep.table), dep.key) {
                     Ok(r) => {
-                        let dep_prior =
-                            plan.slots.get(&dep).map(|s| s.prior_writes).unwrap_or(0);
+                        let dep_prior = plan.slots.get(&dep).map(|s| s.prior_writes).unwrap_or(0);
                         r.write_gate().wait_at_least(dep_prior);
                         Some(r)
                     }
@@ -152,8 +151,8 @@ impl EagerScheme for MvlkScheme {
             t.stop(breakdown, Component::Sync);
 
             // Evaluate against timestamp-visible values.
-            let remote = env.is_remote(op.target.key)
-                || op.dependency.is_some_and(|d| env.is_remote(d.key));
+            let remote =
+                env.is_remote(op.target.key) || op.dependency.is_some_and(|d| env.is_remote(d.key));
             let t_access = ComponentTimer::start();
             if remote {
                 env.remote_penalty();

@@ -272,7 +272,9 @@ mod tests {
         let mut breakdown = Breakdown::new();
         for ts in 0..64u64 {
             let txn = increment_txn(ts, ts % 8);
-            assert!(scheme.execute(&txn, &store, &env, &mut breakdown).is_committed());
+            assert!(scheme
+                .execute(&txn, &store, &env, &mut breakdown)
+                .is_committed());
         }
         assert_eq!(scheme.validation_failures(), 0);
         assert_eq!(scheme.retried_commits(), 0);
@@ -337,7 +339,9 @@ mod tests {
             let mut b = TxnBuilder::new(ts);
             b.write_value(0, 0, Value::Long(ts as i64));
             let (txn, _) = b.build();
-            assert!(scheme.execute(&txn, &store, &env, &mut breakdown).is_committed());
+            assert!(scheme
+                .execute(&txn, &store, &env, &mut breakdown)
+                .is_committed());
         }
         assert_eq!(
             store.record(TableId(0), 0).unwrap().read_committed(),
@@ -357,7 +361,9 @@ mod tests {
             Err(StateError::ConsistencyViolation("no".into()))
         });
         let (txn, blotter) = b.build();
-        assert!(scheme.execute(&txn, &store, &env, &mut breakdown).is_aborted());
+        assert!(scheme
+            .execute(&txn, &store, &env, &mut breakdown)
+            .is_aborted());
         assert!(blotter.is_aborted());
         assert_eq!(scheme.validation_failures(), 0);
         assert_eq!(scheme.rejections(), 1);

@@ -202,7 +202,9 @@ mod tests {
             blotter: b,
         };
         // Enough balance: the write succeeds.
-        let out = op.evaluate(&Value::Long(50), Some(&Value::Long(200))).unwrap();
+        let out = op
+            .evaluate(&Value::Long(50), Some(&Value::Long(200)))
+            .unwrap();
         assert_eq!(out, Some(Value::Long(150)));
         // Not enough: consistency violation bubbles up.
         let err = op

@@ -68,7 +68,8 @@ impl PatScheme {
 
     /// Partition of a state.
     pub fn partition_of(&self, state: StateRef) -> u32 {
-        self.partitioner.partition_of_in_table(state.table, state.key)
+        self.partitioner
+            .partition_of_in_table(state.table, state.key)
     }
 
     /// Distinct partitions touched by a read/write set, ascending.
@@ -144,11 +145,7 @@ impl EagerScheme for PatScheme {
         env: &ExecEnv,
         breakdown: &mut Breakdown,
     ) -> TxnOutcome {
-        let plan = self
-            .plans
-            .lock()
-            .remove(&txn.ts)
-            .unwrap_or_default();
+        let plan = self.plans.lock().remove(&txn.ts).unwrap_or_default();
         let lock_set = self.lock_set_by_partition(txn);
 
         // Pass each targeted partition's counter in ascending partition order,
@@ -182,8 +179,7 @@ impl EagerScheme for PatScheme {
         t.stop(breakdown, Component::Sync);
 
         let result =
-            match execute_transaction_body(&txn.ops, store, env, ValueMode::Committed, breakdown)
-            {
+            match execute_transaction_body(&txn.ops, store, env, ValueMode::Committed, breakdown) {
                 Ok(()) => TxnOutcome::Committed,
                 Err(e) => TxnOutcome::aborted(e.to_string()),
             };

@@ -316,7 +316,9 @@ mod tests {
         let mut breakdown = Breakdown::new();
         for ts in 0..50u64 {
             let txn = stamp_txn(ts, ts % 4);
-            assert!(scheme.execute(&txn, &store, &env, &mut breakdown).is_committed());
+            assert!(scheme
+                .execute(&txn, &store, &env, &mut breakdown)
+                .is_committed());
         }
         assert_eq!(scheme.conflicts(), 0);
         assert_eq!(scheme.rejections(), 0);
@@ -333,7 +335,9 @@ mod tests {
         let mut breakdown = Breakdown::new();
 
         let write = stamp_txn(2, 0);
-        assert!(scheme.execute(&write, &store, &env, &mut breakdown).is_committed());
+        assert!(scheme
+            .execute(&write, &store, &env, &mut breakdown)
+            .is_committed());
 
         let read = read_txn(1, 0);
         let outcome = scheme.execute(&read, &store, &env, &mut breakdown);
@@ -374,7 +378,9 @@ mod tests {
         b.write_value(0, 0, Value::Long(44));
         b.write_value(0, 1, Value::Long(44));
         let (txn, _) = b.build();
-        assert!(scheme.execute(&txn, &store, &env, &mut breakdown).is_aborted());
+        assert!(scheme
+            .execute(&txn, &store, &env, &mut breakdown)
+            .is_aborted());
         // The first write (key 0) must have been rolled back.
         assert_eq!(
             store.record(TableId(0), 0).unwrap().read_committed(),

@@ -211,7 +211,9 @@ mod tests {
         assert!(b.is_empty());
         let r0 = b.read(0, 1);
         let r1 = b.write_value(1, 2, Value::Long(5));
-        let r2 = b.read_modify(0, 3, None, |ctx| Ok(Value::Long(ctx.current.as_long()? + 1)));
+        let r2 = b.read_modify(0, 3, None, |ctx| {
+            Ok(Value::Long(ctx.current.as_long()? + 1))
+        });
         assert_eq!((r0, r1, r2), (0, 1, 2));
         assert_eq!(b.len(), 3);
         let (txn, blotter) = b.build();

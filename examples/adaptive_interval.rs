@@ -53,7 +53,10 @@ fn main() {
         "Tuning the punctuation interval for TP ({cores} cores, p99 bound {:.0} ms)\n",
         latency_bound.as_secs_f64() * 1e3
     );
-    println!("{:>6}  {:>12}  {:>10}  {:>9}", "probe", "interval", "K events/s", "p99 ms");
+    println!(
+        "{:>6}  {:>12}  {:>10}  {:>9}",
+        "probe", "interval", "K events/s", "p99 ms"
+    );
 
     let mut interval = controller.suggested_interval();
     for probe in 1..=12 {
@@ -62,7 +65,11 @@ fn main() {
         println!(
             "{probe:>6}  {interval:>12}  {keps:>10.1}  {:>9.2}{}",
             p99.as_secs_f64() * 1e3,
-            if feasible { "" } else { "  (over latency bound)" }
+            if feasible {
+                ""
+            } else {
+                "  (over latency bound)"
+            }
         );
         interval = controller.observe(IntervalObservation {
             interval,

@@ -20,10 +20,8 @@ use tstream_apps::{sl, SchemeKind};
 use tstream_core::prelude::*;
 
 fn main() {
-    let checkpoint_dir = std::env::temp_dir().join(format!(
-        "tstream-durable-example-{}",
-        std::process::id()
-    ));
+    let checkpoint_dir =
+        std::env::temp_dir().join(format!("tstream-durable-example-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&checkpoint_dir);
 
     // ---- Phase 1: process a ledger stream with checkpointing enabled.
@@ -43,17 +41,17 @@ fn main() {
         "  events            : {} ({} committed, {} rejected)",
         report.events, report.committed, report.rejected
     );
-    println!("  throughput        : {:.1} K events/s", report.throughput_keps());
+    println!(
+        "  throughput        : {:.1} K events/s",
+        report.throughput_keps()
+    );
     println!("  checkpoints       : {}", report.checkpoints);
     println!(
         "  on disk           : {} files under {}",
         checkpointer.list().expect("list checkpoints").len(),
         checkpoint_dir.display()
     );
-    println!(
-        "  total balance     : {}",
-        sl::total_balance(&store)
-    );
+    println!("  total balance     : {}", sl::total_balance(&store));
 
     // ---- Phase 2: "crash" — drop everything, then recover a fresh store
     // from the latest checkpoint in a new process-like context.
@@ -76,10 +74,9 @@ fn main() {
     // ---- Phase 3: keep processing new events on top of the recovered state,
     // under a baseline scheme this time (durability works for every scheme).
     let more = sl::generate(&WorkloadSpec::default().events(5_000).keys(2_000).seed(100));
-    let engine = Engine::new(EngineConfig::with_executors(4).punctuation(1_000))
-        .with_checkpointer(Arc::new(
-            Checkpointer::new(&checkpoint_dir, 4).expect("reopen for phase 3"),
-        ));
+    let engine = Engine::new(EngineConfig::with_executors(4).punctuation(1_000)).with_checkpointer(
+        Arc::new(Checkpointer::new(&checkpoint_dir, 4).expect("reopen for phase 3")),
+    );
     let report = engine.run(&app, &recovered_store, more, &SchemeKind::Mvlk.build(4));
     println!("\nphase 3: resumed processing on the recovered state (MVLK)");
     println!(

@@ -35,9 +35,7 @@ fn main() {
     );
     for interval in [100usize, 250, 500, 1000] {
         let store = ob::build_store(&spec);
-        let engine = Engine::new(
-            EngineConfig::with_executors(executors).punctuation(interval),
-        );
+        let engine = Engine::new(EngineConfig::with_executors(executors).punctuation(interval));
         let report = engine.run(&app, &store, payloads.clone(), &Scheme::TStream);
         println!(
             "{:>12}  {:>10.1} K/s  {:>9.2} ms  {:>10}",

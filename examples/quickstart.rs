@@ -80,13 +80,19 @@ fn main() {
     let engine = Engine::new(config);
     let app = Arc::new(VisitCounter);
 
-    println!("visit-counter: {} events, {executors} executors\n", events.len());
+    println!(
+        "visit-counter: {} events, {executors} executors\n",
+        events.len()
+    );
     println!(
         "{:>10}  {:>14}  {:>12}  {:>10}",
         "scheme", "throughput", "p99 latency", "rejected"
     );
     for (name, scheme) in [
-        ("LOCK", Scheme::Eager(Arc::new(LockScheme::new()) as Arc<dyn tstream_txn::EagerScheme>)),
+        (
+            "LOCK",
+            Scheme::Eager(Arc::new(LockScheme::new()) as Arc<dyn tstream_txn::EagerScheme>),
+        ),
         ("TStream", Scheme::TStream),
     ] {
         let store = build_store(users);

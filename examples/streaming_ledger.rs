@@ -47,7 +47,12 @@ fn main() {
     for kind in SchemeKind::CONSISTENT {
         let store = sl::build_store(&spec);
         let initial = sl::total_balance(&store);
-        let report = engine.run(&app, &store, payloads.clone(), &kind.build(executors as u32));
+        let report = engine.run(
+            &app,
+            &store,
+            payloads.clone(),
+            &kind.build(executors as u32),
+        );
         let total = sl::total_balance(&store);
         assert_eq!(
             total,

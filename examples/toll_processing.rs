@@ -51,10 +51,18 @@ fn main() {
     let app = Arc::new(TollProcessing);
 
     println!("\nToll Processing: {events} traffic events, {executors} executors");
-    println!("{:>10}  {:>14}  {:>12}", "scheme", "throughput", "p99 latency");
+    println!(
+        "{:>10}  {:>14}  {:>12}",
+        "scheme", "throughput", "p99 latency"
+    );
     for kind in [SchemeKind::Lock, SchemeKind::Pat, SchemeKind::TStream] {
         let store = tp::build_store(&spec);
-        let report = engine.run(&app, &store, payloads.clone(), &kind.build(executors as u32));
+        let report = engine.run(
+            &app,
+            &store,
+            payloads.clone(),
+            &kind.build(executors as u32),
+        );
         println!(
             "{:>10}  {:>10.1} K/s  {:>9.2} ms",
             kind.label(),

@@ -1,0 +1,27 @@
+//! # tstream
+//!
+//! Facade crate for the TStream reproduction (*Towards Concurrent Stateful
+//! Stream Processing on Multicore Processors*, ICDE 2020). It re-exports the
+//! workspace crates under one roof and owns the repository-level integration
+//! tests and examples.
+//!
+//! The interesting code lives in the member crates:
+//!
+//! * [`core`] — the engine: dual-mode scheduling + dynamic restructuring;
+//! * [`txn`] — state transactions and the baseline schemes (No-Lock, LOCK,
+//!   MVLK, PAT, ...);
+//! * [`state`] — tables, versioned records, locks, checkpoints;
+//! * [`stream`] — events, punctuation barriers, operators, topologies;
+//! * [`skiplist`] — the concurrent skip list backing the state indexes;
+//! * [`apps`] — the paper's four benchmark applications (GS, SL, OB, TP).
+
+#![warn(missing_docs)]
+
+pub use tstream_apps as apps;
+pub use tstream_core as core;
+pub use tstream_skiplist as skiplist;
+pub use tstream_state as state;
+pub use tstream_stream as stream;
+pub use tstream_txn as txn;
+
+pub use tstream_core::prelude;

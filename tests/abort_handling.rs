@@ -68,12 +68,14 @@ fn scarce_inventory_bids_abort_identically_under_every_scheme() {
         let engine = Engine::new(EngineConfig::with_executors(6).punctuation(200));
         let report = engine.run(&app, &store, events.clone(), &scheme.build(4));
         assert_eq!(
-            report.committed, reference_report.committed,
+            report.committed,
+            reference_report.committed,
             "{} commits differ",
             scheme.label()
         );
         assert_eq!(
-            report.rejected, reference_report.rejected,
+            report.rejected,
+            reference_report.rejected,
             "{} rejects differ",
             scheme.label()
         );

@@ -113,7 +113,11 @@ fn atomicity_aborted_transfers_leave_no_partial_effects() {
         let store = tiny_store(8, 15);
         let engine = Engine::new(EngineConfig::with_executors(4).punctuation(50));
         let report = engine.run(&app, &store, events.clone(), &scheme.build(4));
-        assert!(report.rejected > 0, "{}: the workload must produce aborts", scheme.label());
+        assert!(
+            report.rejected > 0,
+            "{}: the workload must produce aborts",
+            scheme.label()
+        );
         assert_eq!(
             total(&store),
             8 * 15,

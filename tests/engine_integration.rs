@@ -64,7 +64,8 @@ fn numa_model_classifies_remote_accesses_without_changing_results() {
     };
 
     let store_local = gs::build_store(&spec);
-    let report_local = Engine::new(base).run(&app, &store_local, payloads.clone(), &Scheme::TStream);
+    let report_local =
+        Engine::new(base).run(&app, &store_local, payloads.clone(), &Scheme::TStream);
     assert_eq!(report_local.breakdown.rma, std::time::Duration::ZERO);
 
     let mut numa_cfg = base;

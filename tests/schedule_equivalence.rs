@@ -17,10 +17,12 @@ use tstream_state::{StateStore, Value};
 
 /// Run one app serially (reference) and return the final snapshot.
 fn reference_snapshot(app: AppKind, spec: &WorkloadSpec) -> Vec<(String, u64, Value)> {
-    let mut options = RunOptions::default();
-    options.spec = *spec;
-    options.engine = EngineConfig::with_executors(1).punctuation(spec.events.max(1));
-    options.pat_partitions = spec.partitions;
+    let options = RunOptions {
+        spec: *spec,
+        engine: EngineConfig::with_executors(1).punctuation(spec.events.max(1)),
+        pat_partitions: spec.partitions,
+        ..RunOptions::default()
+    };
     snapshot_after(app, SchemeKind::Lock, &options)
 }
 
@@ -64,10 +66,12 @@ fn snapshot_after(
 
 fn assert_equivalent(app: AppKind, scheme: SchemeKind, executors: usize, spec: WorkloadSpec) {
     let reference = reference_snapshot(app, &spec);
-    let mut options = RunOptions::default();
-    options.spec = spec;
-    options.engine = EngineConfig::with_executors(executors).punctuation(100);
-    options.pat_partitions = spec.partitions;
+    let options = RunOptions {
+        spec,
+        engine: EngineConfig::with_executors(executors).punctuation(100),
+        pat_partitions: spec.partitions,
+        ..RunOptions::default()
+    };
     let got = snapshot_after(app, scheme, &options);
     assert_eq!(
         got,
@@ -117,7 +121,10 @@ fn tstream_placements_and_resolutions_are_all_correct() {
     let spec = WorkloadSpec::default().events(1_000).seed(15);
     let reference = reference_snapshot(AppKind::Sl, &spec);
     for placement in ChainPlacement::ALL {
-        for resolution in [DependencyResolution::FineGrained, DependencyResolution::Rounds] {
+        for resolution in [
+            DependencyResolution::FineGrained,
+            DependencyResolution::Rounds,
+        ] {
             for work_stealing in [false, true] {
                 let store = sl::build_store(&spec);
                 let app = Arc::new(sl::StreamingLedger);

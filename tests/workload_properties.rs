@@ -32,6 +32,11 @@ fn value_strategy() -> impl Strategy<Value = Value> {
 }
 
 proptest! {
+    // Explicitly bounded so `cargo test -q` stays within CI time; the
+    // engine-level properties below use an even smaller budget because every
+    // case spins up executor threads.
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
     /// The skip list iterates exactly the distinct inserted keys, in order,
     /// no matter what order they were inserted in.
     #[test]
@@ -202,7 +207,9 @@ impl Application for AffineApp {
     fn state_access(&self, e: &AffineEvent, txn: &mut TxnBuilder) {
         let (a, b) = (e.a, e.b);
         txn.read_modify(0, e.key, None, move |ctx| {
-            Ok(Value::Long(ctx.current.as_long()?.wrapping_mul(a).wrapping_add(b)))
+            Ok(Value::Long(
+                ctx.current.as_long()?.wrapping_mul(a).wrapping_add(b),
+            ))
         });
     }
 

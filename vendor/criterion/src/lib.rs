@@ -1,0 +1,258 @@
+//! API-compatible subset of [`criterion`](https://docs.rs/criterion),
+//! vendored because the build container has no crates.io access.
+//!
+//! Instead of criterion's statistical machinery this harness runs each
+//! benchmark for a fixed warm-up plus a sampled measurement window and prints
+//! a `name ... median ns/iter` line, which is enough for `cargo bench` to
+//! compile and produce comparable numbers offline.  The public surface
+//! (`Criterion`, `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter`, `criterion_group!`, `criterion_main!`)
+//! matches what the workspace's benches use.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising away a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    /// Median nanoseconds per iteration, recorded by [`Bencher::iter`].
+    ns_per_iter: f64,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records the median time per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed call to warm caches and (for lazy routines) allocators.
+        std_black_box(routine());
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std_black_box(routine());
+            samples.push(start.elapsed().as_nanos() as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+}
+
+/// Identifier for one parameterised benchmark case.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form, for groups benchmarking a single function.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(value: &str) -> Self {
+        BenchmarkId {
+            id: value.to_string(),
+        }
+    }
+}
+
+impl From<&String> for BenchmarkId {
+    fn from(value: &String) -> Self {
+        BenchmarkId { id: value.clone() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// The benchmark driver passed to every `criterion_group!` function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// No-op for CLI compatibility with real criterion's generated mains.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Sets the default number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.sample_size, |b| f(b));
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted and ignored: the fixed sample count bounds runtime instead.
+    pub fn measurement_time(&mut self, _: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted and ignored: the fixed sample count bounds runtime instead.
+    pub fn warm_up_time(&mut self, _: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.id), self.sample_size, |b| {
+            f(b)
+        });
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: Into<BenchmarkId>, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.id), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (printing is per-benchmark, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Name filters from the CLI (`cargo bench -- <filter>`), like real criterion.
+fn name_filters() -> &'static [String] {
+    use std::sync::OnceLock;
+    static FILTERS: OnceLock<Vec<String>> = OnceLock::new();
+    FILTERS.get_or_init(|| {
+        std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect()
+    })
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+    let filters = name_filters();
+    if !filters.is_empty() && !filters.iter().any(|fl| name.contains(fl.as_str())) {
+        return;
+    }
+    let mut bencher = Bencher {
+        ns_per_iter: 0.0,
+        sample_size,
+    };
+    let start = Instant::now();
+    f(&mut bencher);
+    println!(
+        "bench: {name:<60} {:>14.0} ns/iter (total {:.2?})",
+        bencher.ns_per_iter,
+        start.elapsed()
+    );
+}
+
+/// Collects benchmark functions into a group runner, like real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_the_closure() {
+        let mut c = Criterion::default();
+        let mut calls = 0usize;
+        c.bench_function("noop", |b| {
+            b.iter(|| calls += 1);
+        });
+        // warm-up + sample_size timed iterations
+        assert_eq!(calls, 11);
+    }
+
+    #[test]
+    fn group_runs_with_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut seen = 0u64;
+        group.bench_with_input(BenchmarkId::new("f", 7), &7u64, |b, &x| {
+            b.iter(|| seen += x);
+        });
+        group.finish();
+        assert_eq!(seen, 7 * 4);
+    }
+}

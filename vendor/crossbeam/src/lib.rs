@@ -1,0 +1,313 @@
+//! API-compatible subset of [`crossbeam`](https://docs.rs/crossbeam) backed
+//! by `std::sync`, vendored because the build container has no crates.io
+//! access.
+//!
+//! Only `crossbeam::channel` is provided, and only the MPMC surface the
+//! workspace uses: [`channel::bounded`], [`channel::unbounded`], cloneable
+//! [`channel::Sender`] / [`channel::Receiver`], blocking `send`/`recv`, and
+//! the blocking [`channel::Receiver::iter`] that terminates once every sender
+//! is dropped and the queue drains.
+
+pub mod channel {
+    //! Multi-producer multi-consumer channels.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<ChannelState<T>>,
+        /// Signalled when an item is pushed or the channel disconnects.
+        not_empty: Condvar,
+        /// Signalled when an item is popped or the channel disconnects.
+        not_full: Condvar,
+        capacity: Option<usize>,
+    }
+
+    struct ChannelState<T> {
+        items: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.pad("sending on a disconnected channel")
+        }
+    }
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.pad("receiving on an empty and disconnected channel")
+        }
+    }
+
+    /// The sending half of a channel. Cloning adds another producer.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of a channel. Cloning adds another consumer.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Creates a channel that holds at most `capacity` in-flight messages.
+    ///
+    /// Real crossbeam's `bounded(0)` is a rendezvous channel; this shim does
+    /// not implement rendezvous hand-off, so it rejects capacity 0 loudly
+    /// rather than silently changing the synchronization semantics.
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(
+            capacity > 0,
+            "bounded(0) rendezvous channels are not supported by the vendored crossbeam shim"
+        );
+        new_channel(Some(capacity))
+    }
+
+    /// Creates a channel with unbounded capacity.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        new_channel(None)
+    }
+
+    fn new_channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(ChannelState {
+                items: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        });
+        (
+            Sender {
+                shared: shared.clone(),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until there is room, then enqueues `value`. Fails only when
+        /// every receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.queue.lock().unwrap();
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                match self.shared.capacity {
+                    Some(cap) if state.items.len() >= cap => {
+                        state = self.shared.not_full.wait(state).unwrap();
+                    }
+                    _ => break,
+                }
+            }
+            state.items.push_back(value);
+            drop(state);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message is available. Fails once the channel is
+        /// empty and every sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.shared.queue.lock().unwrap();
+            loop {
+                if let Some(item) = state.items.pop_front() {
+                    drop(state);
+                    self.shared.not_full.notify_one();
+                    return Ok(item);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.shared.not_empty.wait(state).unwrap();
+            }
+        }
+
+        /// Attempts to receive without blocking.
+        pub fn try_recv(&self) -> Option<T> {
+            let mut state = self.shared.queue.lock().unwrap();
+            let item = state.items.pop_front();
+            if item.is_some() {
+                drop(state);
+                self.shared.not_full.notify_one();
+            }
+            item
+        }
+
+        /// A blocking iterator over received messages; ends when every sender
+        /// is dropped and the queue is drained.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    /// Blocking iterator returned by [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = IntoIter<T>;
+        fn into_iter(self) -> IntoIter<T> {
+            IntoIter { receiver: self }
+        }
+    }
+
+    /// Owning blocking iterator over a [`Receiver`].
+    pub struct IntoIter<T> {
+        receiver: Receiver<T>,
+    }
+
+    impl<T> Iterator for IntoIter<T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.queue.lock().unwrap().senders += 1;
+            Sender {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.queue.lock().unwrap().receivers += 1;
+            Receiver {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.queue.lock().unwrap();
+            state.senders -= 1;
+            if state.senders == 0 {
+                drop(state);
+                // Wake receivers blocked on an empty queue so they observe
+                // the disconnect.
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.queue.lock().unwrap();
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                drop(state);
+                // Wake senders blocked on a full queue so they observe the
+                // disconnect.
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.pad("Sender { .. }")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.pad("Receiver { .. }")
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_within_a_single_producer() {
+            let (tx, rx) = bounded(4);
+            for i in 0..4 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            assert_eq!(rx.iter().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        }
+
+        #[test]
+        fn iter_ends_when_all_senders_drop() {
+            let (tx, rx) = bounded(8);
+            let tx2 = tx.clone();
+            let a = std::thread::spawn(move || {
+                for i in 0..100 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let b = std::thread::spawn(move || {
+                for i in 100..200 {
+                    tx2.send(i).unwrap();
+                }
+            });
+            let got: Vec<i32> = rx.iter().collect();
+            a.join().unwrap();
+            b.join().unwrap();
+            assert_eq!(got.len(), 200);
+        }
+
+        #[test]
+        fn bounded_send_blocks_until_recv() {
+            let (tx, rx) = bounded(1);
+            tx.send(1).unwrap();
+            let handle = std::thread::spawn(move || tx.send(2).unwrap());
+            assert_eq!(rx.recv().unwrap(), 1);
+            assert_eq!(rx.recv().unwrap(), 2);
+            handle.join().unwrap();
+        }
+
+        #[test]
+        fn send_fails_after_receivers_drop() {
+            let (tx, rx) = bounded::<u32>(1);
+            drop(rx);
+            assert!(tx.send(7).is_err());
+        }
+
+        #[test]
+        fn multiple_consumers_partition_the_stream() {
+            let (tx, rx) = unbounded();
+            let rx2 = rx.clone();
+            for i in 0..50 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let h = std::thread::spawn(move || rx2.iter().count());
+            let mine = rx.iter().count();
+            let theirs = h.join().unwrap();
+            assert_eq!(mine + theirs, 50);
+        }
+    }
+}

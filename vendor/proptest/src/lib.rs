@@ -1,0 +1,532 @@
+//! API-compatible subset of [`proptest`](https://docs.rs/proptest), vendored
+//! because the build container has no crates.io access.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **Deterministic generation** — every case's RNG seed is derived from the
+//!   test name and the case index, so runs are exactly reproducible with no
+//!   seed persistence files;
+//! * **No shrinking** — a failing case reports its case index and seed and
+//!   panics with the original assertion message;
+//! * **Regex-lite strings** — `&str` strategies support the `[class]{lo,hi}`
+//!   shape (which is what real-world strategies overwhelmingly use) and fall
+//!   back to alphanumeric strings for anything fancier.
+//!
+//! The surface the workspace uses — `proptest!`, `prop_oneof!`,
+//! `prop_assert!`/`prop_assert_eq!`, `any`, `Just`, ranges, tuples,
+//! `collection::{vec, hash_set}`, `.prop_map`, `ProptestConfig::with_cases` —
+//! behaves like the real crate.
+
+use std::fmt;
+
+/// Deterministic splitmix64 generator driving all strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from an explicit seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Seed for `case` of the test named `name` (stable across runs).
+    pub fn for_case(name_hash: u64, case: u64) -> Self {
+        TestRng::new(name_hash.wrapping_add(case.wrapping_mul(0xbf58_476d_1ce4_e5b9)))
+    }
+
+    /// Next raw 64-bit value (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// FNV-1a, used to derive per-test RNG seeds from the test name.
+pub fn fnv(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// How many cases each property runs.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running exactly `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of values of type [`Strategy::Value`].
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { strategy: self, f }
+    }
+
+    /// Type-erases this strategy (used by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Box::new(self),
+        }
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T> {
+    inner: Box<dyn Strategy<Value = T>>,
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.inner.generate(rng)
+    }
+}
+
+impl<T> fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad("BoxedStrategy { .. }")
+    }
+}
+
+/// Uniform choice among type-erased alternatives; built by [`prop_oneof!`].
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union over `options` (must be non-empty).
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.options.len());
+        self.options[idx].generate(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.strategy.generate(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical whole-domain strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    /// Generates an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The whole-domain strategy for `T` (`any::<u64>()` etc.).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        marker: std::marker::PhantomData,
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T> {
+    marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),+) => {
+        $(impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        })+
+    };
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, sign-symmetric, spanning many magnitudes.
+        (rng.next_f64() - 0.5) * 2.0e18
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),+) => {
+        $(impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128 % span) as i128;
+                (self.start as i128 + offset) as $t
+            }
+        })+
+    };
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))+) => {
+        $(impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        })+
+    };
+}
+
+tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (alphabet, lo, hi) = parse_class_pattern(self)
+            .unwrap_or_else(|| (DEFAULT_ALPHABET.chars().collect(), 0, 16));
+        let len = lo + rng.below(hi - lo + 1);
+        (0..len)
+            .map(|_| alphabet[rng.below(alphabet.len())])
+            .collect()
+    }
+}
+
+const DEFAULT_ALPHABET: &str = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+
+/// Parses the `[class]{lo,hi}` regex shape; returns `None` for anything else.
+fn parse_class_pattern(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let (class, counts) = rest.split_once(']')?;
+    let counts = counts.strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = counts.split_once(',')?;
+    let (lo, hi): (usize, usize) = (lo.trim().parse().ok()?, hi.trim().parse().ok()?);
+    if hi < lo {
+        return None;
+    }
+    let chars: Vec<char> = class.chars().collect();
+    let mut alphabet = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (a, b) = (chars[i], chars[i + 2]);
+            if a > b {
+                return None;
+            }
+            alphabet.extend((a..=b).filter(|c| c.is_ascii()));
+            i += 3;
+        } else {
+            alphabet.push(chars[i]);
+            i += 1;
+        }
+    }
+    if alphabet.is_empty() {
+        None
+    } else {
+        Some((alphabet, lo, hi))
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`, `hash_set`).
+
+    use super::{Strategy, TestRng};
+    use std::collections::HashSet;
+    use std::hash::Hash;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.start + rng.below(self.size.end - self.size.start);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy producing `HashSet`s with target sizes drawn from `size`.
+    ///
+    /// Like real proptest, the set may come out smaller than the target when
+    /// the element strategy keeps producing duplicates; a bounded number of
+    /// redraws keeps generation total.
+    pub fn hash_set<S: Strategy>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+    where
+        S::Value: Eq + Hash,
+    {
+        assert!(size.start < size.end, "empty size range");
+        HashSetStrategy { element, size }
+    }
+
+    /// Strategy returned by [`hash_set`].
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for HashSetStrategy<S>
+    where
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let target = self.size.start + rng.below(self.size.end - self.size.start);
+            let mut set = HashSet::with_capacity(target);
+            let mut attempts = 0;
+            while set.len() < target && attempts < target * 4 + 8 {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+/// Defines property tests: each function parameter is drawn from its
+/// strategy for every case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = $cfg:expr;) => {};
+    (cfg = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let __name_hash = $crate::fnv(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__cfg.cases as u64 {
+                let __result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    let mut __rng = $crate::TestRng::for_case(__name_hash, __case);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    $body
+                }));
+                if let Err(panic) = __result {
+                    eprintln!(
+                        "proptest: {} failed at case {}/{} (deterministic; rerun reproduces it)",
+                        stringify!($name),
+                        __case + 1,
+                        __cfg.cases,
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+}
+
+/// Uniform choice among the listed strategies (all must yield one type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Asserts a condition inside a property (no shrinking, so this panics).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+pub mod prelude {
+    //! Everything property tests normally import.
+
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestRng, Union,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..1_000 {
+            let v = Strategy::generate(&(10u64..20), &mut rng);
+            assert!((10..20).contains(&v));
+            let s = Strategy::generate(&(-5i64..5), &mut rng);
+            assert!((-5..5).contains(&s));
+            let f = Strategy::generate(&(-1.0f64..1.0), &mut rng);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let strat = crate::collection::vec((0u64..100, any::<bool>()), 1..50);
+        let a: Vec<_> = (0..10)
+            .map(|c| Strategy::generate(&strat, &mut TestRng::for_case(42, c)))
+            .collect();
+        let b: Vec<_> = (0..10)
+            .map(|c| Strategy::generate(&strat, &mut TestRng::for_case(42, c)))
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn class_pattern_strings_match_alphabet_and_length() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-c0-1 ]{2,6}", &mut rng);
+            assert!(s.len() >= 2 && s.len() <= 6);
+            assert!(s.chars().all(|c| "abc01 ".contains(c)));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_every_alternative() {
+        let strat = prop_oneof![Just(0u8), Just(1u8), Just(2u8)];
+        let mut rng = TestRng::new(11);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[Strategy::generate(&strat, &mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn the_macro_itself_works(xs in crate::collection::vec(any::<u32>(), 0..10), flag in any::<bool>()) {
+            prop_assert!(xs.len() < 10);
+            let _ = flag;
+        }
+    }
+}
