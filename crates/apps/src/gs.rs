@@ -137,7 +137,8 @@ impl Application for GrepSum {
     }
 }
 
-/// Build the shared record table, randomly populated (Section VI-B).
+/// Build the shared record table, randomly populated (Section VI-B) and
+/// split over `spec.shards` physical shards.
 pub fn build_store(spec: &WorkloadSpec) -> Arc<StateStore> {
     let mut rng = Rng::new(spec.seed ^ 0x6060_7070);
     let table = TableBuilder::new("records")
@@ -147,9 +148,9 @@ pub fn build_store(spec: &WorkloadSpec) -> Arc<StateStore> {
                 Value::Str(encode_value(rng.next_below(1_000_000) as i64)),
             )
         }))
-        .build()
+        .build_sharded(spec.shards)
         .expect("GS record table");
-    StateStore::new(vec![table]).expect("GS store")
+    StateStore::with_shards(vec![table], spec.shards).expect("GS store")
 }
 
 /// Generate the GS input stream.

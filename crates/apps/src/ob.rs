@@ -143,13 +143,13 @@ impl Application for OnlineBidding {
     }
 }
 
-/// Build the bidding item table.
+/// Build the bidding item table, split over `spec.shards` physical shards.
 pub fn build_store(spec: &WorkloadSpec) -> Arc<StateStore> {
     let items = TableBuilder::new("items")
         .extend((0..spec.keys).map(|k| (k, Value::Pair(INITIAL_PRICE, INITIAL_QTY))))
-        .build()
+        .build_sharded(spec.shards)
         .expect("OB item table");
-    StateStore::new(vec![items]).expect("OB store")
+    StateStore::with_shards(vec![items], spec.shards).expect("OB store")
 }
 
 /// Generate the OB input stream (bid : alter : top = 6 : 1 : 1).

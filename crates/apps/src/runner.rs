@@ -159,8 +159,14 @@ impl RunOptions {
 }
 
 /// Run one (application, scheme) combination and return the report.
+///
+/// The store is built from `options.spec`, so its shard count is
+/// authoritative: the engine's `num_shards` is aligned to `spec.shards` here,
+/// keeping chain-pool routing and physical record placement in agreement
+/// (one knob — `WorkloadSpec::shards` — controls both).
 pub fn run_benchmark(app: AppKind, scheme: SchemeKind, options: &RunOptions) -> RunReport {
-    let engine = Engine::new(options.engine);
+    let engine_config = options.engine.shards(options.spec.shards as usize);
+    let engine = Engine::new(engine_config);
     let scheme = scheme.build(options.pat_partitions);
     match app {
         AppKind::Gs => {

@@ -198,17 +198,19 @@ impl Application for StreamingLedger {
     }
 }
 
-/// Build the account and asset tables.
+/// Build the account and asset tables, split over `spec.shards` physical
+/// shards.  Routing is key-only, so the account and asset records of one
+/// customer id always land on the same shard.
 pub fn build_store(spec: &WorkloadSpec) -> Arc<StateStore> {
     let accounts = TableBuilder::new("accounts")
         .extend((0..spec.keys).map(|k| (k, Value::Long(INITIAL_BALANCE))))
-        .build()
+        .build_sharded(spec.shards)
         .expect("SL account table");
     let assets = TableBuilder::new("assets")
         .extend((0..spec.keys).map(|k| (k, Value::Long(INITIAL_BALANCE))))
-        .build()
+        .build_sharded(spec.shards)
         .expect("SL asset table");
-    StateStore::new(vec![accounts, assets]).expect("SL store")
+    StateStore::with_shards(vec![accounts, assets], spec.shards).expect("SL store")
 }
 
 /// Generate the SL input stream (50 % deposits, 50 % transfers).

@@ -145,22 +145,30 @@ impl Application for TollProcessing {
     }
 }
 
-/// Build the speed and vehicle-count tables for `segments` road segments.
-pub fn build_store_with_segments(segments: u64) -> Arc<StateStore> {
+/// Build the speed and vehicle-count tables for `segments` road segments,
+/// split over `shards` physical shards.  Key-only routing keeps a segment's
+/// speed and vehicle-count records on the same shard, so a traffic report's
+/// two-table transaction stays shard-local.
+pub fn build_store_with_segments_sharded(segments: u64, shards: u32) -> Arc<StateStore> {
     let speed = TableBuilder::new("road_speed")
         .extend((0..segments).map(|k| (k, Value::Double(60.0))))
-        .build()
+        .build_sharded(shards)
         .expect("TP speed table");
     let count = TableBuilder::new("vehicle_cnt")
         .extend((0..segments).map(|k| (k, Value::Set(Default::default()))))
-        .build()
+        .build_sharded(shards)
         .expect("TP count table");
-    StateStore::new(vec![speed, count]).expect("TP store")
+    StateStore::with_shards(vec![speed, count], shards).expect("TP store")
 }
 
-/// Build the default 100-segment store.
-pub fn build_store(_spec: &WorkloadSpec) -> Arc<StateStore> {
-    build_store_with_segments(SEGMENTS)
+/// Build the speed and vehicle-count tables for `segments` road segments.
+pub fn build_store_with_segments(segments: u64) -> Arc<StateStore> {
+    build_store_with_segments_sharded(segments, 1)
+}
+
+/// Build the default 100-segment store over `spec.shards` shards.
+pub fn build_store(spec: &WorkloadSpec) -> Arc<StateStore> {
+    build_store_with_segments_sharded(SEGMENTS, spec.shards)
 }
 
 /// Generate the synthetic TP trace: each traffic report produces one RS, one

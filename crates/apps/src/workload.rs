@@ -165,6 +165,10 @@ pub struct WorkloadSpec {
     /// Number of state partitions assumed by the generator (must match the
     /// partition count handed to the PAT scheme for Figure 10).
     pub partitions: u32,
+    /// Number of physical shards the application's state store is built
+    /// over (`StateStore::with_shards`); should match the engine's
+    /// `num_shards` so chain routing and record placement agree.
+    pub shards: u32,
     /// PRNG seed.
     pub seed: u64,
 }
@@ -181,6 +185,7 @@ impl Default for WorkloadSpec {
             multi_partition_ratio: 0.25,
             multi_partition_len: 4,
             partitions: 4,
+            shards: 1,
             seed: 0x7575_2020,
         }
     }
@@ -227,6 +232,12 @@ impl WorkloadSpec {
     /// Set the number of partitions the generator plans against.
     pub fn partitions(mut self, partitions: u32) -> Self {
         self.partitions = partitions.max(1);
+        self
+    }
+
+    /// Set the number of physical state-store shards.
+    pub fn shards(mut self, shards: u32) -> Self {
+        self.shards = shards.max(1);
         self
     }
 
@@ -329,13 +340,16 @@ mod tests {
             .read_ratio(2.0)
             .multi_partition(0.5, 6)
             .partitions(0)
+            .shards(0)
             .seed(42);
         assert_eq!(spec.events, 123);
         assert_eq!(spec.skew, 0.2);
         assert_eq!(spec.read_ratio, 1.0, "ratio is clamped");
         assert_eq!(spec.multi_partition_len, 6);
         assert_eq!(spec.partitions, 1, "partitions clamped to 1");
+        assert_eq!(spec.shards, 1, "shards clamped to 1");
         assert_eq!(spec.seed, 42);
+        assert_eq!(WorkloadSpec::default().shards(8).shards, 8);
     }
 
     #[test]

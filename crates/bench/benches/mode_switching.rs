@@ -48,7 +48,7 @@ fn bench_pool_recycling(c: &mut Criterion) {
             &chains,
             |b, &chains| {
                 let pools =
-                    ChainPoolSet::new(ChainPlacement::SharedNothing, ExecutorLayout::new(8, 10));
+                    ChainPoolSet::new(ChainPlacement::SharedNothing, ExecutorLayout::new(8, 10), 8);
                 b.iter(|| {
                     for k in 0..chains as u64 {
                         pools.chain_for(StateRef::new(0, k));

@@ -20,13 +20,15 @@ use tstream_state::{StateStore, TableBuilder, TableId, Value};
 
 /// Simulated trigger-style execution: each of the three writes of the stored
 /// procedure is dispatched as its own task, with a context switch between
-/// tasks (S-Store's trigger chain).
+/// tasks (S-Store's trigger chain).  S-Store is a partitioned engine, so the
+/// model runs against the sharded store API with a single shard — the
+/// single-core configuration of the paper's comparison.
 fn run_trigger_style(events: usize) -> f64 {
     let table = TableBuilder::new("t")
         .extend((0..1_000u64).map(|k| (k, Value::Long(0))))
-        .build()
+        .build_sharded(1)
         .unwrap();
-    let store: Arc<StateStore> = StateStore::new(vec![table]).unwrap();
+    let store: Arc<StateStore> = StateStore::with_shards(vec![table], 1).unwrap();
     let start = Instant::now();
     for i in 0..events {
         for w in 0..3u64 {
@@ -51,7 +53,8 @@ fn run_pat(events: usize) -> f64 {
         .events(events)
         .read_ratio(0.0)
         .multi_partition(0.0, 1)
-        .partitions(1);
+        .partitions(1)
+        .shards(1);
     let mut spec = spec;
     spec.txn_len = 3;
     spec.keys = 1_000;

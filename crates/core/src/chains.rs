@@ -10,6 +10,14 @@
 //! into / process which pool is decided by the NUMA-aware placement policy
 //! (Section IV-E): shared-nothing (one pool per executor), shared-everything
 //! (one global pool) or shared-per-socket (one pool per synthetic socket).
+//!
+//! Pool routing is **shard-aware**: a state's pool is derived from the shard
+//! the state store assigns its key to (the same [`ShardRouter`] the store
+//! uses), so with `num_shards == pool count` every chain of a shard lands in
+//! exactly one pool — the shard's owner ([`ExecutorLayout::executor_for_shard`])
+//! — and with fewer shards than pools each shard's chains are spread over a
+//! fixed, disjoint pool subset.  `num_shards == 1` reproduces the seed's pure
+//! hash spreading.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -17,7 +25,7 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 use tstream_skiplist::ConcurrentSkipList;
-use tstream_state::Timestamp;
+use tstream_state::{ShardId, ShardRouter, Timestamp, MAX_SHARDS};
 use tstream_stream::executor::{ExecutorId, ExecutorLayout};
 use tstream_stream::operator::StateRef;
 use tstream_txn::Operation;
@@ -296,6 +304,16 @@ impl ChainPool {
         self.tasks.lock().len()
     }
 
+    /// Visit every chain currently in the pool without cloning `Arc`s (one
+    /// read lock per pool shard; used by per-shard accounting).
+    pub fn for_each_chain(&self, mut f: impl FnMut(&OperationChain)) {
+        for shard in &self.shards {
+            for chain in shard.read().values() {
+                f(chain);
+            }
+        }
+    }
+
     /// Drop every chain (end of batch).
     pub fn clear(&self) {
         for shard in &self.shards {
@@ -307,12 +325,13 @@ impl ChainPool {
 }
 
 /// The set of chain pools for a run, organised according to the placement
-/// policy, plus the routing logic from states to pools and from executors to
-/// the pools they process.
+/// policy, plus the routing logic from states to pools (through the state
+/// store's shard layer) and from executors to the pools they process.
 #[derive(Debug)]
 pub struct ChainPoolSet {
     placement: ChainPlacement,
     layout: ExecutorLayout,
+    router: ShardRouter,
     pools: Vec<ChainPool>,
 }
 
@@ -337,16 +356,21 @@ impl ProcessingAssignment {
 }
 
 impl ChainPoolSet {
-    /// Creates the pools for the given placement and executor layout.
-    pub fn new(placement: ChainPlacement, layout: ExecutorLayout) -> Self {
+    /// Creates the pools for the given placement, executor layout and state
+    /// shard count (clamped to `1..=MAX_SHARDS`; it should match the shard
+    /// count of the store the run executes against).
+    pub fn new(placement: ChainPlacement, layout: ExecutorLayout, num_shards: u32) -> Self {
         let pool_count = match placement {
             ChainPlacement::SharedNothing => layout.executors,
             ChainPlacement::SharedEverything => 1,
             ChainPlacement::SharedPerSocket => layout.sockets(),
         };
+        let router = ShardRouter::new(num_shards.clamp(1, MAX_SHARDS))
+            .expect("clamped shard count is always valid");
         ChainPoolSet {
             placement,
             layout,
+            router,
             pools: (0..pool_count.max(1)).map(|_| ChainPool::new()).collect(),
         }
     }
@@ -354,6 +378,17 @@ impl ChainPoolSet {
     /// Placement policy in force.
     pub fn placement(&self) -> ChainPlacement {
         self.placement
+    }
+
+    /// Number of state shards chains are routed by.
+    pub fn num_shards(&self) -> u32 {
+        self.router.shards()
+    }
+
+    /// The state shard owning a state's key (agrees with the store's router
+    /// for the same shard count).
+    pub fn shard_of_state(&self, state: StateRef) -> ShardId {
+        self.router.shard_of(state.key)
     }
 
     /// All pools.
@@ -370,16 +405,26 @@ impl ChainPoolSet {
         h
     }
 
-    /// Pool a state's chain lives in.
+    /// Pool a state's chain lives in: the state's shard decides.
+    ///
+    /// With at least as many shards as pools, shard `s` maps straight to pool
+    /// `s % pools` (shard-affine: one shard never splits across pools).  With
+    /// fewer shards than pools, each shard owns the disjoint pool subset
+    /// `{p | p % shards == s}` and spreads its chains over it by hash, so all
+    /// pools stay busy; one shard degenerates to the seed's pure hash
+    /// spreading.
     pub fn pool_index_for_state(&self, state: StateRef) -> usize {
-        match self.placement {
-            ChainPlacement::SharedNothing => {
-                (Self::hash_state(state) % self.layout.executors as u64) as usize
-            }
-            ChainPlacement::SharedEverything => 0,
-            ChainPlacement::SharedPerSocket => {
-                (Self::hash_state(state) % self.layout.sockets() as u64) as usize
-            }
+        if matches!(self.placement, ChainPlacement::SharedEverything) {
+            return 0;
+        }
+        let pools = self.pools.len();
+        let shards = self.router.shards() as usize;
+        let shard = self.router.shard_of(state.key).index();
+        if shards >= pools {
+            shard % pools
+        } else {
+            let candidates = (pools - shard).div_ceil(shards);
+            shard + shards * (Self::hash_state(state) % candidates as u64) as usize
         }
     }
 
@@ -442,6 +487,27 @@ impl ChainPoolSet {
     /// Total chains across all pools.
     pub fn total_chains(&self) -> usize {
         self.pools.iter().map(|p| p.len()).sum()
+    }
+
+    /// Number of chains currently routed to each state shard (summed over
+    /// pools).  The multipartition harness reports this to show the real
+    /// shard placement of a batch.
+    ///
+    /// The engine calls this once per batch, so it must stay off the measured
+    /// hot path: the single-shard (default) case is a handful of counter
+    /// reads, and the multi-shard case visits chains in place without
+    /// cloning.
+    pub fn chains_per_shard(&self) -> Vec<usize> {
+        if self.router.shards() == 1 {
+            return vec![self.total_chains()];
+        }
+        let mut counts = vec![0usize; self.router.shards() as usize];
+        for pool in &self.pools {
+            pool.for_each_chain(|chain| {
+                counts[self.router.shard_of(chain.state().key).index()] += 1;
+            });
+        }
+        counts
     }
 
     /// Drop every chain in every pool (end of batch).
@@ -602,14 +668,14 @@ mod tests {
     fn placement_routes_and_assignments() {
         let layout = ExecutorLayout::new(20, 10);
 
-        let sn = ChainPoolSet::new(ChainPlacement::SharedNothing, layout);
+        let sn = ChainPoolSet::new(ChainPlacement::SharedNothing, layout, 1);
         assert_eq!(sn.pools().len(), 20);
         let a = sn.assignment(ExecutorId(7));
         assert_eq!(a.pool, 7);
         assert_eq!(a.group_size, 1);
         assert!(a.is_leader());
 
-        let se = ChainPoolSet::new(ChainPlacement::SharedEverything, layout);
+        let se = ChainPoolSet::new(ChainPlacement::SharedEverything, layout, 1);
         assert_eq!(se.pools().len(), 1);
         let a = se.assignment(ExecutorId(7));
         assert_eq!(a.pool, 0);
@@ -617,7 +683,7 @@ mod tests {
         assert!(!a.is_leader());
         assert!(se.assignment(ExecutorId(0)).is_leader());
 
-        let sps = ChainPoolSet::new(ChainPlacement::SharedPerSocket, layout);
+        let sps = ChainPoolSet::new(ChainPlacement::SharedPerSocket, layout, 1);
         assert_eq!(sps.pools().len(), 2);
         let a = sps.assignment(ExecutorId(13));
         assert_eq!(a.pool, 1);
@@ -628,29 +694,89 @@ mod tests {
     #[test]
     fn state_routing_is_stable_and_within_bounds() {
         let layout = ExecutorLayout::new(12, 10);
-        for placement in ChainPlacement::ALL {
-            let set = ChainPoolSet::new(placement, layout);
-            for key in 0..500u64 {
-                let s = StateRef::new(1, key);
-                let p = set.pool_index_for_state(s);
-                assert!(p < set.pools().len());
-                assert_eq!(p, set.pool_index_for_state(s));
-                let chain = set.chain_for(s);
-                assert!(Arc::ptr_eq(&chain, &set.find_chain(s).unwrap()));
+        for num_shards in [1u32, 4, 32] {
+            for placement in ChainPlacement::ALL {
+                let set = ChainPoolSet::new(placement, layout, num_shards);
+                assert_eq!(set.num_shards(), num_shards);
+                for key in 0..500u64 {
+                    let s = StateRef::new(1, key);
+                    let p = set.pool_index_for_state(s);
+                    assert!(p < set.pools().len());
+                    assert_eq!(p, set.pool_index_for_state(s));
+                    let chain = set.chain_for(s);
+                    assert!(Arc::ptr_eq(&chain, &set.find_chain(s).unwrap()));
+                }
+                assert_eq!(set.total_chains(), 500);
+                assert_eq!(
+                    set.chains_per_shard().iter().sum::<usize>(),
+                    500,
+                    "per-shard counts must cover every chain"
+                );
+                set.clear_all();
+                assert_eq!(set.total_chains(), 0);
             }
-            assert_eq!(set.total_chains(), 500);
-            set.clear_all();
-            assert_eq!(set.total_chains(), 0);
         }
+    }
+
+    #[test]
+    fn shard_affine_routing_keeps_each_shard_in_one_pool() {
+        // As many shards as executor pools: shard s maps to pool s, which is
+        // exactly the pool executor s processes under shared-nothing.
+        let layout = ExecutorLayout::new(8, 10);
+        let set = ChainPoolSet::new(ChainPlacement::SharedNothing, layout, 8);
+        for key in 0..2_000u64 {
+            let state = StateRef::new(0, key);
+            let shard = set.shard_of_state(state);
+            assert_eq!(set.pool_index_for_state(state), shard.index());
+            let owner = layout.executor_for_shard(shard.0);
+            assert!(
+                !set.is_remote_insert(owner, state),
+                "the shard owner's insert must be pool-local"
+            );
+        }
+    }
+
+    #[test]
+    fn few_shards_spread_over_disjoint_pool_subsets() {
+        // 2 shards over 8 pools: shard 0 may only use even pools, shard 1
+        // only odd pools, and both subsets are actually used.
+        let layout = ExecutorLayout::new(8, 10);
+        let set = ChainPoolSet::new(ChainPlacement::SharedNothing, layout, 2);
+        let mut used = [Vec::new(), Vec::new()];
+        for key in 0..2_000u64 {
+            let state = StateRef::new(0, key);
+            let shard = set.shard_of_state(state).index();
+            let pool = set.pool_index_for_state(state);
+            assert_eq!(pool % 2, shard, "pool parity must match the shard");
+            used[shard].push(pool);
+        }
+        for pools in &mut used {
+            pools.sort_unstable();
+            pools.dedup();
+            assert!(pools.len() > 1, "a shard must spread over its pool subset");
+        }
+    }
+
+    #[test]
+    fn per_shard_chain_counts_track_routing() {
+        let layout = ExecutorLayout::new(4, 10);
+        let set = ChainPoolSet::new(ChainPlacement::SharedNothing, layout, 4);
+        let mut expected = vec![0usize; 4];
+        for key in 0..300u64 {
+            let state = StateRef::new(2, key);
+            set.chain_for(state);
+            expected[set.shard_of_state(state).index()] += 1;
+        }
+        assert_eq!(set.chains_per_shard(), expected);
     }
 
     #[test]
     fn remote_insert_classification() {
         let layout = ExecutorLayout::new(20, 10);
-        let se = ChainPoolSet::new(ChainPlacement::SharedEverything, layout);
+        let se = ChainPoolSet::new(ChainPlacement::SharedEverything, layout, 1);
         assert!(!se.is_remote_insert(ExecutorId(5), StateRef::new(0, 1)));
 
-        let sn = ChainPoolSet::new(ChainPlacement::SharedNothing, layout);
+        let sn = ChainPoolSet::new(ChainPlacement::SharedNothing, layout, 1);
         let mut remote = 0;
         for key in 0..1000u64 {
             if sn.is_remote_insert(ExecutorId(0), StateRef::new(0, key)) {

@@ -1,5 +1,7 @@
 //! Configuration of the TStream engine.
 
+use tstream_state::MAX_SHARDS;
+use tstream_stream::EventRouting;
 use tstream_txn::NumaModel;
 
 /// How operation chains are placed over executors on a multi-socket machine
@@ -92,6 +94,15 @@ pub struct EngineConfig {
     pub punctuation_interval: usize,
     /// Cores per synthetic socket (the paper's machine has 10).
     pub cores_per_socket: usize,
+    /// Number of state shards the run partitions chains (and, with
+    /// shard-affine routing, events) over.  Should match the shard count of
+    /// the [`tstream_state::StateStore`] the run executes against so chain
+    /// routing and physical record placement agree; `1` reproduces the
+    /// unsharded seed behaviour.
+    pub num_shards: usize,
+    /// How input events are assigned to executors: the paper's round-robin
+    /// shuffle, or shard-affine routing onto the owners of their key shards.
+    pub event_routing: EventRouting,
     /// NUMA model used for remote-access classification / delay injection.
     pub numa: NumaModel,
     /// TStream-specific options (ignored by eager schemes).
@@ -104,6 +115,8 @@ impl Default for EngineConfig {
             executors: 1,
             punctuation_interval: 500,
             cores_per_socket: 10,
+            num_shards: 1,
+            event_routing: EventRouting::RoundRobin,
             numa: NumaModel::disabled(),
             tstream: TStreamConfig::default(),
         }
@@ -149,6 +162,18 @@ impl EngineConfig {
         self.numa = numa;
         self
     }
+
+    /// Set the number of state shards (clamped to `1..=MAX_SHARDS`).
+    pub fn shards(mut self, num_shards: usize) -> Self {
+        self.num_shards = num_shards.clamp(1, MAX_SHARDS as usize);
+        self
+    }
+
+    /// Set the event-routing strategy.
+    pub fn event_routing(mut self, routing: EventRouting) -> Self {
+        self.event_routing = routing;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -160,6 +185,8 @@ mod tests {
         let cfg = EngineConfig::default();
         assert_eq!(cfg.punctuation_interval, 500);
         assert_eq!(cfg.cores_per_socket, 10);
+        assert_eq!(cfg.num_shards, 1, "unsharded by default, like the seed");
+        assert_eq!(cfg.event_routing, EventRouting::RoundRobin);
         assert_eq!(cfg.tstream.placement, ChainPlacement::SharedNothing);
         assert!(!cfg.tstream.work_stealing);
     }
@@ -180,9 +207,23 @@ mod tests {
 
     #[test]
     fn degenerate_values_are_clamped() {
-        let cfg = EngineConfig::with_executors(0).punctuation(0);
+        let cfg = EngineConfig::with_executors(0).punctuation(0).shards(0);
         assert_eq!(cfg.executors, 1);
         assert_eq!(cfg.punctuation_interval, 1);
+        assert_eq!(cfg.num_shards, 1);
+        assert_eq!(
+            EngineConfig::default().shards(100_000).num_shards,
+            MAX_SHARDS as usize
+        );
+    }
+
+    #[test]
+    fn shard_and_routing_builders_compose() {
+        let cfg = EngineConfig::with_executors(4)
+            .shards(8)
+            .event_routing(EventRouting::ShardAffine);
+        assert_eq!(cfg.num_shards, 8);
+        assert_eq!(cfg.event_routing, EventRouting::ShardAffine);
     }
 
     #[test]

@@ -20,12 +20,14 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use parking_lot::Mutex;
 use tstream_state::checkpoint::Checkpointer;
-use tstream_state::StateStore;
+use tstream_state::{ShardRouter, StateStore, MAX_SHARDS};
 use tstream_stream::barrier::CyclicBarrier;
 use tstream_stream::event::Event;
 use tstream_stream::executor::{ExecutorId, ExecutorLayout};
 use tstream_stream::metrics::{Breakdown, Component};
+use tstream_stream::partition::EventRouting;
 use tstream_stream::progress::ProgressController;
 use tstream_stream::sink::{LatencyStats, Sink};
 use tstream_txn::{Application, EagerScheme, ExecEnv, StateTransaction, TxnBuilder, TxnDescriptor};
@@ -88,6 +90,10 @@ pub struct RunReport {
     pub state_access_time: Duration,
     /// Chain-processing statistics (TStream only).
     pub chain_stats: ChainStats,
+    /// Operation chains routed to each state shard, summed over every batch
+    /// of the run (TStream only; all zeros under eager schemes).  Length
+    /// equals the engine's `num_shards`.
+    pub per_shard_chains: Vec<u64>,
     /// Number of durability checkpoints written during the run (zero unless a
     /// [`Checkpointer`] was attached to the engine).
     pub checkpoints: u64,
@@ -176,10 +182,15 @@ impl Engine {
         let executors = self.config.executors.max(1);
         let layout = ExecutorLayout::new(executors, self.config.cores_per_socket);
         let interval = self.config.punctuation_interval.max(1);
+        let num_shards = self.config.num_shards.clamp(1, MAX_SHARDS as usize) as u32;
+        let shard_router =
+            ShardRouter::new(num_shards).expect("clamped shard count is always valid");
 
         // ---- Generation (the Parser operator): stamp events, derive the
         // determined read/write sets, split into punctuation batches and
-        // round-robin shuffle each batch over the executors.
+        // assign each batch's events to executors — round-robin shuffled
+        // (Section V) or, with shard-affine routing, sent to the executor
+        // owning the shard of the event's primary key.
         let progress = ProgressController::new(interval as u64);
         let total_events = payloads.len() as u64;
         let mut batches: Vec<Batch<A::Payload>> = Vec::new();
@@ -190,11 +201,23 @@ impl Engine {
         let mut in_batch = 0usize;
         for payload in payloads {
             let event = progress.stamp(payload);
+            let rw_set = app.read_write_set(&event.payload);
+            let target = match self.config.event_routing {
+                EventRouting::RoundRobin => in_batch % executors,
+                EventRouting::ShardAffine => rw_set
+                    .primary()
+                    .map(|state| {
+                        layout
+                            .executor_for_shard(shard_router.shard_of(state.key).0)
+                            .index()
+                    })
+                    .unwrap_or(in_batch % executors),
+            };
             current.descriptors.push(TxnDescriptor {
                 ts: event.ts,
-                rw_set: app.read_write_set(&event.payload),
+                rw_set,
             });
-            current.per_executor[in_batch % executors].push(event);
+            current.per_executor[target].push(event);
             in_batch += 1;
             if in_batch == interval {
                 let _punct = progress.punctuate();
@@ -215,7 +238,8 @@ impl Engine {
 
         // ---- Shared run state.
         let barrier = CyclicBarrier::new(executors);
-        let pools = ChainPoolSet::new(self.config.tstream.placement, layout);
+        let pools = ChainPoolSet::new(self.config.tstream.placement, layout, num_shards);
+        let shard_chains: Mutex<Vec<u64>> = Mutex::new(vec![0; num_shards as usize]);
         let abort_log = BatchAbortLog::new();
         if let Scheme::Eager(s) = scheme {
             s.reset();
@@ -232,6 +256,7 @@ impl Engine {
                     let scheme = scheme.clone();
                     let barrier = &barrier;
                     let pools = &pools;
+                    let shard_chains = &shard_chains;
                     let abort_log = &abort_log;
                     let batches = &batches;
                     let config = self.config;
@@ -260,6 +285,7 @@ impl Engine {
                                 env,
                                 barrier,
                                 pools,
+                                shard_chains,
                                 abort_log,
                                 batches,
                                 &config,
@@ -306,6 +332,7 @@ impl Engine {
             compute_time,
             state_access_time: access_time,
             chain_stats,
+            per_shard_chains: shard_chains.into_inner(),
             checkpoints,
         }
     }
@@ -408,6 +435,7 @@ fn run_tstream_executor<A: Application>(
     env: ExecEnv,
     barrier: &CyclicBarrier,
     pools: &ChainPoolSet,
+    shard_chains: &Mutex<Vec<u64>>,
     abort_log: &BatchAbortLog,
     batches: &[Batch<A::Payload>],
     config: &EngineConfig,
@@ -474,6 +502,12 @@ fn run_tstream_executor<A: Application>(
         if leader {
             for pool in pools.pools() {
                 pool.prepare_tasks();
+            }
+            // Record the real shard placement of this batch's chains before
+            // processing starts (the pools are recycled at the batch end).
+            let mut acc = shard_chains.lock();
+            for (total, count) in acc.iter_mut().zip(pools.chains_per_shard()) {
+                *total += count as u64;
             }
         }
         let (_, waited) = barrier.wait();

@@ -75,14 +75,18 @@ pub use chains::{ChainPool, ChainPoolSet, OperationChain, ProcessingAssignment};
 pub use config::{ChainPlacement, DependencyResolution, EngineConfig, TStreamConfig};
 pub use engine::{Engine, RunReport, Scheme};
 pub use restructure::{BatchAbortLog, ChainStats, ReplayStats, RestructureContext, UndoRecord};
+pub use tstream_stream::partition::EventRouting;
 
 /// Everything a user needs to define and run a concurrent stateful stream
 /// application.
 pub mod prelude {
     pub use crate::config::{ChainPlacement, DependencyResolution, EngineConfig, TStreamConfig};
     pub use crate::engine::{Engine, RunReport, Scheme};
-    pub use tstream_state::{Checkpointer, StateStore, StoreSnapshot, Table, TableBuilder, Value};
+    pub use tstream_state::{
+        Checkpointer, ShardId, ShardRouter, StateStore, StoreSnapshot, Table, TableBuilder, Value,
+    };
     pub use tstream_stream::operator::{AccessMode, ReadWriteSet, StateRef};
+    pub use tstream_stream::partition::EventRouting;
     pub use tstream_txn::{
         lock_based::LockScheme, mvlk::MvlkScheme, nolock::NoLockScheme, pat::PatScheme,
     };

@@ -586,7 +586,7 @@ mod tests {
     fn independent_chains_apply_all_operations() {
         let store = store(8);
         let layout = ExecutorLayout::new(1, 10);
-        let pools = ChainPoolSet::new(ChainPlacement::SharedNothing, layout);
+        let pools = ChainPoolSet::new(ChainPlacement::SharedNothing, layout, 1);
 
         for ts in 0..64u64 {
             let mut b = TxnBuilder::new(ts);
@@ -641,7 +641,7 @@ mod tests {
         ] {
             let store = store(2);
             let layout = ExecutorLayout::new(2, 10);
-            let pools = ChainPoolSet::new(ChainPlacement::SharedEverything, layout);
+            let pools = ChainPoolSet::new(ChainPlacement::SharedEverything, layout, 1);
 
             // ts 0,2,4,6: key0 += 10.  ts 1,3,5,7: key1 += key0 (visible).
             for ts in 0..8u64 {
@@ -718,7 +718,7 @@ mod tests {
     fn aborted_transaction_operations_are_skipped() {
         let store = store(4);
         let layout = ExecutorLayout::new(1, 10);
-        let pools = ChainPoolSet::new(ChainPlacement::SharedNothing, layout);
+        let pools = ChainPoolSet::new(ChainPlacement::SharedNothing, layout, 1);
 
         // A two-write transaction whose first (by chain order) write fails:
         // both writes must be skipped and the event marked rejected.
@@ -777,7 +777,7 @@ mod tests {
         // its failure on key1 is discovered; the replay must erase it.
         let store = store(2);
         let layout = ExecutorLayout::new(1, 10);
-        let pools = ChainPoolSet::new(ChainPlacement::SharedNothing, layout);
+        let pools = ChainPoolSet::new(ChainPlacement::SharedNothing, layout, 1);
 
         let add = |b: &mut TxnBuilder, key: u64, delta: i64| {
             b.read_modify(0, key, None, move |ctx| {

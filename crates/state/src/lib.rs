@@ -15,7 +15,16 @@
 //! * [`Table`] / [`StateStore`] — collections of records reachable through a
 //!   sharded hash [`index`], mirroring the index-lookup cost the paper calls
 //!   out in its No-Lock analysis (Section VI-D);
-//! * [`partition`] — hash partitioning of records used by the PAT scheme;
+//! * [`shard`] — the shard layer: a [`shard::ShardRouter`] maps every key to
+//!   exactly one of `N` hash partitions, tables allocate their records
+//!   per shard (each slice with its own key index and maintenance lock, so
+//!   shard-level operations on unrelated shards never contend), and the chain
+//!   pools / stream layer reuse the same router for shard-affine executor
+//!   assignment.  `StateStore::with_shards` selects the shard count and
+//!   rejects a zero count; snapshots are key-sorted so results compare equal
+//!   across shard layouts;
+//! * [`partition`] — hash partitioning of records used by the PAT scheme and,
+//!   through [`shard::ShardRouter`], by the store's shard layer;
 //! * [`codec`] / [`checkpoint`] — the durability layer of Section IV-D:
 //!   binary snapshots of the committed state, written to disk at punctuation
 //!   boundaries and recoverable after a crash.
@@ -33,6 +42,7 @@ pub mod index;
 pub mod lock;
 pub mod partition;
 pub mod record;
+pub mod shard;
 pub mod store;
 pub mod table;
 pub mod value;
@@ -41,6 +51,7 @@ pub mod version;
 pub use checkpoint::{Checkpointer, StoreSnapshot, TableSnapshot};
 pub use error::{StateError, StateResult};
 pub use record::Record;
+pub use shard::{ShardId, ShardRouter, MAX_SHARDS};
 pub use store::{StateStore, TableId};
 pub use table::{Table, TableBuilder};
 pub use value::Value;

@@ -5,7 +5,9 @@
 //! several partitions is a *multi-partition transaction* and has to
 //! synchronise on every one of them.  The same partitioner is also used by
 //! TStream's shared-nothing chain placement (Section IV-E) to route operation
-//! chains to executors.
+//! chains to executors, and — through [`crate::shard::ShardRouter`] — by the
+//! store's physical shard layer, so the PAT partitions, the record shards and
+//! the chain-pool routing all derive from one hash function.
 
 use crate::Key;
 

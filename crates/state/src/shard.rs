@@ -1,0 +1,149 @@
+//! The shard layer: hash-partitioned ownership of application state.
+//!
+//! The seed implementation kept every table as one flat record array behind a
+//! single name index, so "partitioning" in the multi-partition experiments was
+//! simulated by the workload generator instead of being a property of the
+//! store.  This module makes partitioning physical: a [`ShardRouter`] maps
+//! every application key to exactly one shard, tables allocate one record
+//! slice per shard, and every layer above (chain pools, event routing, the
+//! figure harnesses) routes through the *same* function, so a key's shard is
+//! a single global fact rather than a per-layer convention.
+//!
+//! Routing is **key-only** on purpose: records of different tables that share
+//! a key (e.g. TP's `road_speed` and `vehicle_cnt` entries of one road
+//! segment, or SL's account/asset pair) land on the same shard, which is what
+//! makes shard-affine executor assignment cut cross-shard traffic for the
+//! paper's applications.
+
+use crate::error::{StateError, StateResult};
+use crate::partition::Partitioner;
+use crate::Key;
+
+/// Hard upper bound on the shard count.
+///
+/// The shard index is packed into the top bits of a table slot
+/// (see [`crate::table::Table`]), which reserves 8 bits for it.
+pub const MAX_SHARDS: u32 = 256;
+
+/// Identifier of one shard of the state store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ShardId(pub u32);
+
+impl ShardId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Deterministic mapping from application keys to shards.
+///
+/// A thin wrapper over the multiplicative-hash [`Partitioner`]: the router
+/// exists so that the state store, the chain pools and the stream layer all
+/// agree on one routing function (and so the shard count is validated in one
+/// place).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRouter {
+    partitioner: Partitioner,
+}
+
+impl ShardRouter {
+    /// Creates a router over `shards` shards.
+    ///
+    /// Fails with [`StateError::InvalidDefinition`] when `shards` is zero or
+    /// exceeds [`MAX_SHARDS`].
+    pub fn new(shards: u32) -> StateResult<Self> {
+        if shards == 0 {
+            return Err(StateError::InvalidDefinition(
+                "a state store needs at least one shard (num_shards == 0)".into(),
+            ));
+        }
+        if shards > MAX_SHARDS {
+            return Err(StateError::InvalidDefinition(format!(
+                "shard count {shards} exceeds the maximum of {MAX_SHARDS}"
+            )));
+        }
+        Ok(ShardRouter {
+            partitioner: Partitioner::new(shards),
+        })
+    }
+
+    /// The trivial single-shard router (the unsharded seed behaviour).
+    pub fn single() -> Self {
+        ShardRouter {
+            partitioner: Partitioner::new(1),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> u32 {
+        self.partitioner.partitions()
+    }
+
+    /// Shard owning `key`.  Every key maps to exactly one shard, and the
+    /// mapping depends only on `(key, shard count)`.
+    #[inline]
+    pub fn shard_of(&self, key: Key) -> ShardId {
+        ShardId(self.partitioner.partition_of(key))
+    }
+
+    /// Iterate over all shard ids.
+    pub fn all(&self) -> impl Iterator<Item = ShardId> {
+        (0..self.shards()).map(ShardId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_shards_is_rejected() {
+        assert!(matches!(
+            ShardRouter::new(0),
+            Err(StateError::InvalidDefinition(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_shard_count_is_rejected() {
+        assert!(ShardRouter::new(MAX_SHARDS).is_ok());
+        assert!(matches!(
+            ShardRouter::new(MAX_SHARDS + 1),
+            Err(StateError::InvalidDefinition(_))
+        ));
+    }
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        for shards in [1u32, 2, 4, 8, 256] {
+            let router = ShardRouter::new(shards).unwrap();
+            assert_eq!(router.shards(), shards);
+            for key in 0..2_000u64 {
+                let s = router.shard_of(key);
+                assert_eq!(s, router.shard_of(key), "routing must be deterministic");
+                assert!(s.0 < shards);
+            }
+        }
+    }
+
+    #[test]
+    fn single_router_maps_everything_to_shard_zero() {
+        let router = ShardRouter::single();
+        assert_eq!(router.shards(), 1);
+        for key in [0u64, 17, u64::MAX] {
+            assert_eq!(router.shard_of(key), ShardId(0));
+        }
+        assert_eq!(router.all().count(), 1);
+    }
+
+    #[test]
+    fn multi_shard_distribution_uses_every_shard() {
+        let router = ShardRouter::new(8).unwrap();
+        let mut seen = [false; 8];
+        for key in 0..10_000u64 {
+            seen[router.shard_of(key).index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all shards must receive keys");
+    }
+}

@@ -1,10 +1,12 @@
-//! The state store: a set of named tables shared by all executors.
+//! The state store: a set of named tables shared by all executors, split
+//! into hash-partitioned shards behind a routing layer.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use crate::error::{StateError, StateResult};
 use crate::record::Record;
+use crate::shard::{ShardId, ShardRouter};
 use crate::table::Table;
 use crate::value::Value;
 use crate::Key;
@@ -26,35 +28,81 @@ impl TableId {
 /// In the paper's terms this is the set of "shared mutable application
 /// states" (e.g. TP's speed table and vehicle-count table).  All concurrent
 /// access control happens *above* this layer in the scheme implementations;
-/// the store itself only offers resolution from `(table, key)` to a
-/// [`Record`].
+/// the store itself offers resolution from `(table, key)` to a [`Record`]
+/// plus the shard layer: every key is owned by exactly one shard (decided by
+/// the store's [`ShardRouter`]), every table allocates its records per
+/// shard, and the same router is reused by the chain pools and the stream
+/// layer so shard affinity is a whole-system property.
 #[derive(Debug)]
 pub struct StateStore {
     tables: Vec<Table>,
     by_name: HashMap<String, TableId>,
+    router: ShardRouter,
 }
 
 impl StateStore {
     /// Builds a store from already-built tables.
+    ///
+    /// The store's shard count is taken from the tables (the largest shard
+    /// count found, or one for an empty store); tables built with a different
+    /// shard count are resharded to match, so every table of a store always
+    /// shares one shard layout.  Fails on duplicate table names.
     pub fn new(tables: Vec<Table>) -> StateResult<Arc<Self>> {
+        let num_shards = tables.iter().map(Table::shard_count).max().unwrap_or(1);
+        Self::with_shards(tables, num_shards)
+    }
+
+    /// Builds a store whose tables are split over exactly `num_shards` hash
+    /// partitions.
+    ///
+    /// Rejects `num_shards == 0` (a store without shards could route no key)
+    /// and duplicate table names; tables built with a different shard count
+    /// are resharded to the requested layout.
+    pub fn with_shards(tables: Vec<Table>, num_shards: u32) -> StateResult<Arc<Self>> {
+        let router = ShardRouter::new(num_shards)?;
+        let mut resharded = Vec::with_capacity(tables.len());
         let mut by_name = HashMap::new();
-        for (i, t) in tables.iter().enumerate() {
-            if by_name
-                .insert(t.name().to_owned(), TableId(i as u32))
-                .is_some()
-            {
+        for table in tables {
+            let table = if table.shard_count() == num_shards {
+                table
+            } else {
+                table.reshard(num_shards)?
+            };
+            let id = TableId(resharded.len() as u32);
+            if by_name.insert(table.name().to_owned(), id).is_some() {
                 return Err(StateError::InvalidDefinition(format!(
                     "duplicate table name `{}`",
-                    t.name()
+                    table.name()
                 )));
             }
+            resharded.push(table);
         }
-        Ok(Arc::new(StateStore { tables, by_name }))
+        Ok(Arc::new(StateStore {
+            tables: resharded,
+            by_name,
+            router,
+        }))
     }
 
     /// Number of tables.
     pub fn table_count(&self) -> usize {
         self.tables.len()
+    }
+
+    /// Number of shards every table of this store is split over.
+    pub fn num_shards(&self) -> u32 {
+        self.router.shards()
+    }
+
+    /// The store's shard router.  Chain pools and event routing reuse it so
+    /// every layer agrees on which shard owns a key.
+    pub fn router(&self) -> ShardRouter {
+        self.router
+    }
+
+    /// The shard owning `key` (identical for every table of the store).
+    pub fn shard_of(&self, key: Key) -> ShardId {
+        self.router.shard_of(key)
     }
 
     /// Resolve a table name.
@@ -85,7 +133,9 @@ impl StateStore {
         self.table(table).get_slot(slot)
     }
 
-    /// Snapshot every table's committed values: `(table name, key, value)`.
+    /// Snapshot every table's committed values: `(table name, key, value)`,
+    /// each table's entries sorted by key so snapshots compare equal across
+    /// shard counts.
     pub fn snapshot(&self) -> Vec<(String, Key, Value)> {
         let mut out = Vec::new();
         for t in &self.tables {
@@ -96,7 +146,31 @@ impl StateStore {
         out
     }
 
-    /// Reset per-run synchronisation state in every table.
+    /// Snapshot the committed values resident in one shard across every
+    /// table: `(table name, key, value)`.
+    pub fn snapshot_shard(&self, shard: ShardId) -> Vec<(String, Key, Value)> {
+        let mut out = Vec::new();
+        for t in &self.tables {
+            for (k, v) in t.snapshot_shard(shard) {
+                out.push((t.name().to_owned(), k, v));
+            }
+        }
+        out
+    }
+
+    /// Number of records resident in each shard, summed over all tables.
+    /// The figure harnesses report this to show real placement balance.
+    pub fn shard_record_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_shards() as usize];
+        for t in &self.tables {
+            for shard in self.router.all() {
+                counts[shard.index()] += t.shard_len(shard);
+            }
+        }
+        counts
+    }
+
+    /// Reset per-run synchronisation state in every table, shard by shard.
     pub fn reset_sync(&self) {
         for t in &self.tables {
             t.reset_sync();
@@ -118,6 +192,10 @@ mod tests {
     use crate::table::TableBuilder;
 
     fn store() -> Arc<StateStore> {
+        store_with_shards(1)
+    }
+
+    fn store_with_shards(shards: u32) -> Arc<StateStore> {
         let speed = TableBuilder::new("speed")
             .extend((0..10u64).map(|k| (k, Value::Double(60.0))))
             .build()
@@ -126,7 +204,7 @@ mod tests {
             .extend((0..10u64).map(|k| (k, Value::Set(Default::default()))))
             .build()
             .unwrap();
-        StateStore::new(vec![speed, count]).unwrap()
+        StateStore::with_shards(vec![speed, count], shards).unwrap()
     }
 
     #[test]
@@ -149,6 +227,23 @@ mod tests {
         let a = TableBuilder::new("t").build().unwrap();
         let b = TableBuilder::new("t").build().unwrap();
         assert!(StateStore::new(vec![a, b]).is_err());
+        // Sharding must not weaken the check: the duplicate is rejected no
+        // matter how many shards the store splits the tables over.
+        let a = TableBuilder::new("t").build().unwrap();
+        let b = TableBuilder::new("t").build().unwrap();
+        assert!(matches!(
+            StateStore::with_shards(vec![a, b], 4),
+            Err(StateError::InvalidDefinition(_))
+        ));
+    }
+
+    #[test]
+    fn zero_shards_rejected() {
+        let t = TableBuilder::new("t").build().unwrap();
+        assert!(matches!(
+            StateStore::with_shards(vec![t], 0),
+            Err(StateError::InvalidDefinition(_))
+        ));
     }
 
     #[test]
@@ -176,5 +271,63 @@ mod tests {
             s.record_at(speed, slot).read_committed(),
             Value::Double(60.0)
         );
+    }
+
+    #[test]
+    fn sharded_store_routes_and_counts_records() {
+        let s = store_with_shards(4);
+        assert_eq!(s.num_shards(), 4);
+        let counts = s.shard_record_counts();
+        assert_eq!(counts.len(), 4);
+        assert_eq!(counts.iter().sum::<usize>(), 20);
+        // Every record is reachable and lives in the shard the router names.
+        let speed = s.table_id("speed").unwrap();
+        for key in 0..10u64 {
+            let shard = s.shard_of(key);
+            assert_eq!(s.table(speed).shard_of(key), shard);
+            assert!(s.table(speed).iter_shard(shard).any(|(k, _)| k == key));
+            s.record(speed, key).unwrap();
+        }
+        // Per-shard snapshots partition the full snapshot.
+        let mut merged: Vec<(String, Key, Value)> =
+            (0..4).flat_map(|i| s.snapshot_shard(ShardId(i))).collect();
+        merged.sort_by(|a, b| (&a.0, a.1).cmp(&(&b.0, b.1)));
+        let mut full = s.snapshot();
+        full.sort_by(|a, b| (&a.0, a.1).cmp(&(&b.0, b.1)));
+        assert_eq!(merged, full);
+    }
+
+    #[test]
+    fn new_reshards_mismatched_tables_to_one_layout() {
+        let a = TableBuilder::new("a")
+            .extend((0..16u64).map(|k| (k, Value::Long(k as i64))))
+            .build_sharded(4)
+            .unwrap();
+        let b = TableBuilder::new("b")
+            .extend((0..16u64).map(|k| (k, Value::Long(-(k as i64)))))
+            .build()
+            .unwrap();
+        let s = StateStore::new(vec![a, b]).unwrap();
+        assert_eq!(s.num_shards(), 4, "store adopts the largest shard count");
+        for (_, table) in s.tables() {
+            assert_eq!(table.shard_count(), 4);
+        }
+        assert_eq!(s.snapshot().len(), 32);
+    }
+
+    #[test]
+    fn snapshots_agree_across_shard_counts() {
+        let reference = store_with_shards(1);
+        reference
+            .record(TableId(0), 3)
+            .unwrap()
+            .write_committed(Value::Double(1.25));
+        for shards in [2u32, 4, 8] {
+            let s = store_with_shards(shards);
+            s.record(TableId(0), 3)
+                .unwrap()
+                .write_committed(Value::Double(1.25));
+            assert_eq!(s.snapshot(), reference.snapshot(), "{shards} shards");
+        }
     }
 }

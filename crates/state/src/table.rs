@@ -1,10 +1,42 @@
-//! Tables: named collections of keyed records.
+//! Tables: named collections of keyed records, physically grouped by shard.
+//!
+//! Since the sharding rework a table is no longer one flat record array: its
+//! records are bucketed by the store's [`ShardRouter`] into per-shard slices,
+//! each with its own key index and its own maintenance lock, so shard-level
+//! operations (sync resets, per-shard snapshots) on different shards never
+//! contend.  A *slot* still identifies a record in O(1), but now encodes the
+//! owning shard in its top bits (see [`SHARD_SHIFT`]).
+
+use parking_lot::RwLock;
 
 use crate::error::{StateError, StateResult};
 use crate::index::ShardedIndex;
 use crate::record::Record;
+use crate::shard::{ShardId, ShardRouter};
 use crate::value::Value;
 use crate::Key;
+
+/// Bits of a slot reserved for the local (within-shard) record index.
+pub const SHARD_SHIFT: u32 = 24;
+
+/// Mask extracting the local record index from a slot.
+pub const LOCAL_SLOT_MASK: u32 = (1 << SHARD_SHIFT) - 1;
+
+/// One shard's slice of a table: contiguous records plus a local key index
+/// and a maintenance lock guarding shard-level operations.
+#[derive(Debug)]
+struct TableShard {
+    records: Box<[Record]>,
+    keys: Box<[Key]>,
+    index: ShardedIndex,
+    /// Guards shard-level maintenance: [`Table::reset_sync`] (writer) and
+    /// [`Table::snapshot`] / [`Table::snapshot_shard`] (readers) exclude each
+    /// other per shard, while maintenance of unrelated shards never contends.
+    /// Record *values* are synchronised per record and the hot access paths
+    /// ([`Table::get`], [`Table::iter`]) never take this lock — they are only
+    /// valid at quiescent points, as in the seed.
+    maintenance: RwLock<()>,
+}
 
 /// A named table of records.
 ///
@@ -16,9 +48,8 @@ use crate::Key;
 #[derive(Debug)]
 pub struct Table {
     name: String,
-    records: Box<[Record]>,
-    keys: Box<[Key]>,
-    index: ShardedIndex,
+    router: ShardRouter,
+    shards: Box<[TableShard]>,
 }
 
 impl Table {
@@ -27,59 +58,129 @@ impl Table {
         &self.name
     }
 
-    /// Number of records.
+    /// Number of records across all shards.
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.shards.iter().map(|s| s.records.len()).sum()
     }
 
     /// Whether the table has no records.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.shards.iter().all(|s| s.records.is_empty())
     }
 
-    /// Resolve a key to its slot through the sharded index.
+    /// Number of shards the table is split over.
+    pub fn shard_count(&self) -> u32 {
+        self.router.shards()
+    }
+
+    /// The shard owning `key` (a pure function of the key and shard count).
+    pub fn shard_of(&self, key: Key) -> ShardId {
+        self.router.shard_of(key)
+    }
+
+    /// Number of records resident in one shard.
+    pub fn shard_len(&self, shard: ShardId) -> usize {
+        self.shards[shard.index()].records.len()
+    }
+
+    /// Resolve a key to its slot: shard routing + local index lookup.  The
+    /// returned slot encodes the shard in its top bits.
     pub fn slot_of(&self, key: Key) -> StateResult<u32> {
-        self.index
+        let shard = self.router.shard_of(key);
+        self.shards[shard.index()]
+            .index
             .lookup(key)
+            .map(|local| (shard.0 << SHARD_SHIFT) | local)
             .ok_or_else(|| StateError::KeyNotFound {
                 table: self.name.clone(),
                 key,
             })
     }
 
-    /// Access a record by key (index lookup + slot access).
+    /// Access a record by key (shard routing + index lookup + slot access).
     pub fn get(&self, key: Key) -> StateResult<&Record> {
-        let slot = self.slot_of(key)?;
-        Ok(&self.records[slot as usize])
+        Ok(self.get_slot(self.slot_of(key)?))
     }
 
     /// Access a record directly by slot (used by schemes that pre-resolve
     /// read/write sets, feature F2 of the paper).
     pub fn get_slot(&self, slot: u32) -> &Record {
-        &self.records[slot as usize]
+        let shard = (slot >> SHARD_SHIFT) as usize;
+        &self.shards[shard].records[(slot & LOCAL_SLOT_MASK) as usize]
     }
 
     /// The application key stored at `slot`.
     pub fn key_at(&self, slot: u32) -> Key {
-        self.keys[slot as usize]
+        let shard = (slot >> SHARD_SHIFT) as usize;
+        self.shards[shard].keys[(slot & LOCAL_SLOT_MASK) as usize]
     }
 
-    /// Iterate over `(key, record)` pairs in slot order.
+    /// Iterate over `(key, record)` pairs, shard by shard in local slot order.
     pub fn iter(&self) -> impl Iterator<Item = (Key, &Record)> {
-        self.keys.iter().copied().zip(self.records.iter())
+        self.shards
+            .iter()
+            .flat_map(|s| s.keys.iter().copied().zip(s.records.iter()))
     }
 
-    /// Snapshot of committed values keyed by application key, useful for
+    /// Iterate over the `(key, record)` pairs resident in one shard.
+    pub fn iter_shard(&self, shard: ShardId) -> impl Iterator<Item = (Key, &Record)> {
+        let s = &self.shards[shard.index()];
+        s.keys.iter().copied().zip(s.records.iter())
+    }
+
+    /// Snapshot of committed values keyed by application key, **sorted by
+    /// key** so snapshots of stores built with different shard counts (and
+    /// therefore different physical record orders) compare equal.  Used by
     /// result comparison in tests and the schedule-equivalence harness.
+    /// Reads shard by shard under each shard's maintenance lock.
     pub fn snapshot(&self) -> Vec<(Key, Value)> {
-        self.iter().map(|(k, r)| (k, r.read_committed())).collect()
+        let mut out: Vec<(Key, Value)> = Vec::with_capacity(self.len());
+        for shard in self.router.all() {
+            out.extend(self.snapshot_shard(shard));
+        }
+        out.sort_unstable_by_key(|(k, _)| *k);
+        out
     }
 
-    /// Reset per-run synchronisation state on every record.
+    /// Snapshot of one shard's committed values, sorted by key.  Takes the
+    /// shard's maintenance lock (shared), so concurrent snapshots of
+    /// different shards never contend with each other.
+    pub fn snapshot_shard(&self, shard: ShardId) -> Vec<(Key, Value)> {
+        let s = &self.shards[shard.index()];
+        let _guard = s.maintenance.read();
+        let mut out: Vec<(Key, Value)> = s
+            .keys
+            .iter()
+            .copied()
+            .zip(s.records.iter())
+            .map(|(k, r)| (k, r.read_committed()))
+            .collect();
+        out.sort_unstable_by_key(|(k, _)| *k);
+        out
+    }
+
+    /// Reset per-run synchronisation state on every record, shard by shard
+    /// under each shard's maintenance lock.
     pub fn reset_sync(&self) {
-        for record in self.records.iter() {
-            record.reset_sync();
+        for shard in self.shards.iter() {
+            let _guard = shard.maintenance.write();
+            for record in shard.records.iter() {
+                record.reset_sync();
+            }
         }
+    }
+
+    /// Rebuild this table's committed contents over a different shard count.
+    ///
+    /// Only valid at construction time (before executors run): per-record
+    /// synchronisation state and version chains are reset, exactly as a fresh
+    /// [`TableBuilder::build_sharded`] would produce.
+    pub fn reshard(&self, shards: u32) -> StateResult<Table> {
+        let mut builder = TableBuilder::new(self.name.clone());
+        for (key, record) in self.iter() {
+            builder = builder.insert(key, record.read_committed());
+        }
+        builder.build_sharded(shards)
     }
 }
 
@@ -121,26 +222,60 @@ impl TableBuilder {
         self.entries.is_empty()
     }
 
-    /// Finalise the table. Fails if a key occurs twice.
+    /// Finalise the table as a single shard (the unsharded seed behaviour).
+    /// Fails if a key occurs twice.
     pub fn build(self) -> StateResult<Table> {
-        let index = ShardedIndex::new();
-        let mut records = Vec::with_capacity(self.entries.len());
-        let mut keys = Vec::with_capacity(self.entries.len());
-        for (slot, (key, value)) in self.entries.into_iter().enumerate() {
-            if index.insert(key, slot as u32).is_some() {
+        self.build_with_router(ShardRouter::single())
+    }
+
+    /// Finalise the table over `shards` hash partitions.  Fails if a key
+    /// occurs twice, if `shards` is zero or exceeds
+    /// [`crate::shard::MAX_SHARDS`], or if one shard would overflow the
+    /// [`LOCAL_SLOT_MASK`] local-slot space.
+    pub fn build_sharded(self, shards: u32) -> StateResult<Table> {
+        let router = ShardRouter::new(shards)?;
+        self.build_with_router(router)
+    }
+
+    /// Finalise the table using an already-validated router.
+    pub fn build_with_router(self, router: ShardRouter) -> StateResult<Table> {
+        let shard_count = router.shards() as usize;
+        let mut records: Vec<Vec<Record>> = (0..shard_count).map(|_| Vec::new()).collect();
+        let mut keys: Vec<Vec<Key>> = (0..shard_count).map(|_| Vec::new()).collect();
+        let indexes: Vec<ShardedIndex> = (0..shard_count).map(|_| ShardedIndex::new()).collect();
+        for (key, value) in self.entries {
+            let shard = router.shard_of(key).index();
+            let local = records[shard].len() as u32;
+            if local > LOCAL_SLOT_MASK {
+                return Err(StateError::InvalidDefinition(format!(
+                    "shard {shard} of table `{}` overflows the local slot space",
+                    self.name
+                )));
+            }
+            if indexes[shard].insert(key, local).is_some() {
                 return Err(StateError::InvalidDefinition(format!(
                     "duplicate key {key} in table `{}`",
                     self.name
                 )));
             }
-            keys.push(key);
-            records.push(Record::new(value));
+            keys[shard].push(key);
+            records[shard].push(Record::new(value));
         }
+        let shards = records
+            .into_iter()
+            .zip(keys)
+            .zip(indexes)
+            .map(|((records, keys), index)| TableShard {
+                records: records.into_boxed_slice(),
+                keys: keys.into_boxed_slice(),
+                index,
+                maintenance: RwLock::new(()),
+            })
+            .collect();
         Ok(Table {
             name: self.name,
-            records: records.into_boxed_slice(),
-            keys: keys.into_boxed_slice(),
-            index,
+            router,
+            shards,
         })
     }
 }
@@ -156,11 +291,19 @@ mod tests {
             .unwrap()
     }
 
+    fn sample_sharded(shards: u32) -> Table {
+        TableBuilder::new("accounts")
+            .extend((0..100u64).map(|k| (k, Value::Long(k as i64 * 10))))
+            .build_sharded(shards)
+            .unwrap()
+    }
+
     #[test]
     fn build_and_lookup() {
         let t = sample_table();
         assert_eq!(t.name(), "accounts");
         assert_eq!(t.len(), 100);
+        assert_eq!(t.shard_count(), 1);
         assert_eq!(t.get(42).unwrap().read_committed(), Value::Long(420));
         assert!(matches!(t.get(1000), Err(StateError::KeyNotFound { .. })));
     }
@@ -173,18 +316,29 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(matches!(err, StateError::InvalidDefinition(_)));
+        // The same key always routes to the same shard, so the duplicate is
+        // caught under any shard count.
+        let err = TableBuilder::new("t")
+            .insert(1, Value::Long(1))
+            .insert(1, Value::Long(2))
+            .build_sharded(8)
+            .unwrap_err();
+        assert!(matches!(err, StateError::InvalidDefinition(_)));
     }
 
     #[test]
     fn slots_and_keys_are_consistent() {
-        let t = sample_table();
-        for key in 0..100u64 {
-            let slot = t.slot_of(key).unwrap();
-            assert_eq!(t.key_at(slot), key);
-            assert_eq!(
-                t.get_slot(slot).read_committed(),
-                Value::Long(key as i64 * 10)
-            );
+        for shards in [1u32, 2, 4, 8] {
+            let t = sample_sharded(shards);
+            for key in 0..100u64 {
+                let slot = t.slot_of(key).unwrap();
+                assert_eq!(t.key_at(slot), key);
+                assert_eq!((slot >> SHARD_SHIFT), t.shard_of(key).0);
+                assert_eq!(
+                    t.get_slot(slot).read_committed(),
+                    Value::Long(key as i64 * 10)
+                );
+            }
         }
     }
 
@@ -198,9 +352,60 @@ mod tests {
     }
 
     #[test]
+    fn snapshots_are_identical_across_shard_counts() {
+        let reference = sample_sharded(1).snapshot();
+        for shards in [2u32, 4, 8, 64] {
+            let t = sample_sharded(shards);
+            assert_eq!(t.len(), 100);
+            assert_eq!(
+                t.snapshot(),
+                reference,
+                "{shards}-shard snapshot must match the single-shard layout"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_slices_partition_the_table() {
+        let t = sample_sharded(4);
+        let mut seen: Vec<u64> = Vec::new();
+        let mut total = 0usize;
+        for shard in [0u32, 1, 2, 3].map(ShardId) {
+            total += t.shard_len(shard);
+            for (key, record) in t.iter_shard(shard) {
+                assert_eq!(t.shard_of(key), shard, "key {key} resident in wrong shard");
+                assert_eq!(record.read_committed(), Value::Long(key as i64 * 10));
+                seen.push(key);
+            }
+            let snap = t.snapshot_shard(shard);
+            assert_eq!(snap.len(), t.shard_len(shard));
+        }
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 100, "no key may be lost or duplicated");
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn reshard_preserves_committed_contents() {
+        let t = sample_sharded(2);
+        t.get(7).unwrap().write_committed(Value::Long(777));
+        let resharded = t.reshard(8).unwrap();
+        assert_eq!(resharded.shard_count(), 8);
+        assert_eq!(resharded.snapshot(), t.snapshot());
+    }
+
+    #[test]
     fn empty_table_is_fine() {
-        let t = TableBuilder::new("empty").build().unwrap();
+        let t = TableBuilder::new("empty").build_sharded(4).unwrap();
         assert!(t.is_empty());
         assert_eq!(t.iter().count(), 0);
+        assert_eq!(t.shard_count(), 4);
+    }
+
+    #[test]
+    fn zero_shards_rejected_at_build() {
+        let err = TableBuilder::new("t").build_sharded(0).unwrap_err();
+        assert!(matches!(err, StateError::InvalidDefinition(_)));
     }
 }

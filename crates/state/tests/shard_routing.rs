@@ -1,0 +1,114 @@
+//! Property-based tests for the shard layer's routing invariants:
+//!
+//! * every key maps to exactly one shard — deterministically, in range, and
+//!   with the record physically resident in exactly that shard's slice;
+//! * changing the shard count never loses or duplicates records — the same
+//!   entries built at 1/2/4/8 shards produce identical key-sorted snapshots;
+//! * `by_name` lookup agrees with sharded resolution — resolving a table by
+//!   name and a record by key yields the same record (same address) the
+//!   id-based sharded path yields.
+
+use proptest::prelude::*;
+use tstream_state::{ShardRouter, StateStore, TableBuilder, Value};
+
+/// Deduplicate generated entries by key (table keys are unique by contract).
+fn dedup_entries(entries: Vec<(u64, i64)>) -> Vec<(u64, Value)> {
+    let mut seen = std::collections::HashSet::new();
+    entries
+        .into_iter()
+        .filter(|(k, _)| seen.insert(*k))
+        .map(|(k, v)| (k, Value::Long(v)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Routing is a pure function of (key, shard count): stable, in range,
+    /// and every key of a built table is resident in exactly the shard the
+    /// router names — and in no other.
+    #[test]
+    fn every_key_maps_to_exactly_one_shard(
+        keys in proptest::collection::vec(any::<u64>(), 1..200),
+        shards in 1u32..17,
+    ) {
+        let router = ShardRouter::new(shards).unwrap();
+        let entries = dedup_entries(keys.iter().map(|&k| (k, k as i64)).collect());
+        let table = TableBuilder::new("t")
+            .extend(entries.clone())
+            .build_sharded(shards)
+            .unwrap();
+        for (key, _) in &entries {
+            let shard = router.shard_of(*key);
+            prop_assert!(shard.0 < shards);
+            prop_assert_eq!(shard, router.shard_of(*key));
+            prop_assert_eq!(shard, table.shard_of(*key));
+            // Resident in the named shard, absent from every other shard.
+            let mut owners = 0usize;
+            for candidate in router.all() {
+                let resident = table.iter_shard(candidate).any(|(k, _)| k == *key);
+                if resident {
+                    prop_assert_eq!(candidate, shard, "key resident in a foreign shard");
+                    owners += 1;
+                }
+            }
+            prop_assert_eq!(owners, 1, "every key lives in exactly one shard");
+        }
+    }
+
+    /// Re-laying out the same entries over different shard counts never loses
+    /// or duplicates a record: total count and key-sorted snapshot agree with
+    /// the single-shard layout, and per-shard record counts always sum to the
+    /// total.
+    #[test]
+    fn shard_count_changes_never_lose_or_duplicate_records(
+        entries in proptest::collection::vec((any::<u64>(), any::<i64>()), 1..300),
+    ) {
+        let entries = dedup_entries(entries);
+        let reference = TableBuilder::new("t")
+            .extend(entries.clone())
+            .build_sharded(1)
+            .unwrap();
+        for shards in [2u32, 4, 8] {
+            let table = TableBuilder::new("t")
+                .extend(entries.clone())
+                .build_sharded(shards)
+                .unwrap();
+            prop_assert_eq!(table.len(), entries.len());
+            prop_assert_eq!(table.snapshot(), reference.snapshot());
+            let per_shard: usize = (0..shards)
+                .map(|s| table.shard_len(tstream_state::ShardId(s)))
+                .sum();
+            prop_assert_eq!(per_shard, entries.len());
+        }
+    }
+
+    /// Name-based resolution and the sharded id/key path always reach the
+    /// same record, and the store-level router agrees with each table's.
+    #[test]
+    fn by_name_lookup_agrees_with_sharded_resolution(
+        keys in proptest::collection::vec(any::<u64>(), 1..150),
+        shards in 1u32..9,
+    ) {
+        let entries = dedup_entries(keys.iter().map(|&k| (k, (k as i64).wrapping_mul(3))).collect());
+        let table = TableBuilder::new("records").extend(entries.clone()).build().unwrap();
+        let store = StateStore::with_shards(vec![table], shards).unwrap();
+        prop_assert_eq!(store.num_shards(), shards);
+        let id = store.table_id("records").unwrap();
+        for (key, value) in &entries {
+            let via_name = store.table_by_name("records").unwrap().get(*key).unwrap();
+            let via_id = store.record(id, *key).unwrap();
+            prop_assert!(
+                std::ptr::eq(via_name, via_id),
+                "name-based and id-based lookup must resolve to the same record"
+            );
+            prop_assert_eq!(via_id.read_committed(), value.clone());
+            // Slot round trip through the shard-encoded slot space.
+            let slot = store.table(id).slot_of(*key).unwrap();
+            prop_assert!(std::ptr::eq(store.record_at(id, slot), via_id));
+            prop_assert_eq!(store.table(id).key_at(slot), *key);
+            // Store-level and table-level routing agree.
+            prop_assert_eq!(store.shard_of(*key), store.table(id).shard_of(*key));
+        }
+    }
+}

@@ -62,6 +62,17 @@ impl ExecutorLayout {
     pub fn all(&self) -> impl Iterator<Item = ExecutorId> {
         (0..self.executors).map(ExecutorId)
     }
+
+    /// Executor owning state shard `shard` under shard-affine assignment.
+    /// Delegates to [`crate::partition::ShardAffineRouter`] — the single
+    /// definition of the ownership function — so the engine's shard-affine
+    /// event routing and the chain pools can never disagree about which
+    /// executor owns a shard.
+    pub fn executor_for_shard(&self, shard: u32) -> ExecutorId {
+        ExecutorId(
+            crate::partition::ShardAffineRouter::new(self.executors).executor_for_shard(shard),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -92,5 +103,14 @@ mod tests {
         assert_eq!(layout.executors, 1);
         assert_eq!(layout.cores_per_socket, 1);
         assert_eq!(layout.sockets(), 1);
+    }
+
+    #[test]
+    fn shard_affine_executor_assignment_wraps() {
+        let layout = ExecutorLayout::new(3, 10);
+        assert_eq!(layout.executor_for_shard(0), ExecutorId(0));
+        assert_eq!(layout.executor_for_shard(2), ExecutorId(2));
+        assert_eq!(layout.executor_for_shard(3), ExecutorId(0));
+        assert_eq!(layout.executor_for_shard(7), ExecutorId(1));
     }
 }

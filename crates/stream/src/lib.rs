@@ -10,7 +10,8 @@
 //! * [`operator`] — the three-step operator abstraction (pre-process /
 //!   state-access / post-process, feature **F1**) and the descriptor of a
 //!   transaction's read/write set (feature **F2**);
-//! * [`partition`] — round-robin shuffle and key-based stream partitioning;
+//! * [`partition`] — round-robin shuffle, key-based stream partitioning and
+//!   shard-affine event routing onto the state store's shard layer;
 //! * [`barrier`] — a reusable cyclic barrier used for dual-mode switching;
 //! * [`executor`] — executor identities and thread helpers;
 //! * [`sink`] — throughput / end-to-end latency measurement;
@@ -36,6 +37,6 @@ pub use event::{Event, Punctuation, StreamElement, Timestamp};
 pub use executor::{ExecutorId, ExecutorLayout};
 pub use metrics::{Breakdown, Component, ComponentTimer};
 pub use operator::{AccessMode, ReadWriteSet, StateRef};
-pub use partition::{KeyPartitioner, RoundRobin};
+pub use partition::{EventRouting, KeyPartitioner, RoundRobin, ShardAffineRouter};
 pub use progress::ProgressController;
 pub use sink::{LatencyStats, Sink};

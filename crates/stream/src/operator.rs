@@ -65,6 +65,12 @@ impl ReadWriteSet {
         self.entries.push((state, mode));
     }
 
+    /// The transaction's *primary* state: the first access it declares.
+    /// Shard-affine event routing uses its key to pick the owning executor.
+    pub fn primary(&self) -> Option<StateRef> {
+        self.entries.first().map(|(s, _)| *s)
+    }
+
     /// Number of accesses (the paper's "transaction length").
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -126,6 +132,7 @@ mod tests {
             .write(StateRef::new(1, 2))
             .read(StateRef::new(0, 1));
         assert_eq!(set.len(), 3);
+        assert_eq!(set.primary(), Some(StateRef::new(0, 1)));
         assert_eq!(set.read_set(), vec![StateRef::new(0, 1)]);
         assert_eq!(set.write_set(), vec![StateRef::new(1, 2)]);
         assert_eq!(set.touched().len(), 2);
@@ -136,6 +143,7 @@ mod tests {
         let set = ReadWriteSet::new();
         assert!(set.is_empty());
         assert!(set.touched().is_empty());
+        assert_eq!(set.primary(), None);
     }
 
     #[test]

@@ -6,6 +6,15 @@
 //! of the fused operator (Section V) because any executor may access any
 //! state.  Both strategies are provided so the conventional implementation of
 //! Toll Processing (Figure 2a) can be expressed in examples and tests.
+//!
+//! Since the state store grew a physical shard layer, a third strategy sits
+//! between the two: **shard-affine routing** ([`EventRouting::ShardAffine`],
+//! [`ShardAffineRouter`]) sends each event to the executor that owns the
+//! shard of the event's primary key, so an event's chain insertions (and, for
+//! single-shard transactions, all of its state accesses) stay executor-local.
+//! The shard id itself is computed by the state layer's router — this module
+//! only maps shards onto executors, keeping the stream crate free of a state
+//! dependency.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -48,6 +57,58 @@ impl RoundRobin {
             out[i % self.executors].push(item);
         }
         out
+    }
+}
+
+/// How the engine assigns input events to executors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EventRouting {
+    /// Round-robin shuffle (the paper's default, Section V): events spread
+    /// evenly over executors regardless of content.
+    #[default]
+    RoundRobin,
+    /// Shard-affine: an event goes to the executor owning the shard of its
+    /// primary key (the first state of its determined read/write set), so
+    /// decomposed operations are inserted into executor-local chain pools.
+    /// Events without a read/write set fall back to round-robin.
+    ShardAffine,
+}
+
+impl EventRouting {
+    /// Label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventRouting::RoundRobin => "round-robin",
+            EventRouting::ShardAffine => "shard-affine",
+        }
+    }
+}
+
+/// Maps shard ids onto executors for [`EventRouting::ShardAffine`]: shard `s`
+/// is owned by executor `s % executors`, the same assignment the chain pools
+/// use, so routing an event by shard lands it on the executor that will also
+/// process the shard's chains.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardAffineRouter {
+    executors: usize,
+}
+
+impl ShardAffineRouter {
+    /// Creates a router over `executors` executors (at least one).
+    pub fn new(executors: usize) -> Self {
+        ShardAffineRouter {
+            executors: executors.max(1),
+        }
+    }
+
+    /// Number of executors.
+    pub fn executors(&self) -> usize {
+        self.executors
+    }
+
+    /// Executor owning `shard`.
+    pub fn executor_for_shard(&self, shard: u32) -> usize {
+        shard as usize % self.executors
     }
 }
 
@@ -117,5 +178,23 @@ mod tests {
     fn zero_executors_clamped() {
         assert_eq!(RoundRobin::new(0).executors(), 1);
         assert_eq!(KeyPartitioner::new(0).executors(), 1);
+        assert_eq!(ShardAffineRouter::new(0).executors(), 1);
+    }
+
+    #[test]
+    fn shard_affine_routing_is_modular_and_stable() {
+        let router = ShardAffineRouter::new(4);
+        for shard in 0..32u32 {
+            let e = router.executor_for_shard(shard);
+            assert_eq!(e, shard as usize % 4);
+            assert_eq!(e, router.executor_for_shard(shard));
+        }
+    }
+
+    #[test]
+    fn event_routing_labels() {
+        assert_eq!(EventRouting::default(), EventRouting::RoundRobin);
+        assert_eq!(EventRouting::RoundRobin.label(), "round-robin");
+        assert_eq!(EventRouting::ShardAffine.label(), "shard-affine");
     }
 }

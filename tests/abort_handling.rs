@@ -160,6 +160,58 @@ fn multi_write_abort_rolls_back_every_operation_chain() {
 }
 
 #[test]
+fn multi_write_abort_spanning_two_shards_restores_both_shards() {
+    // A poisoned Alter whose 20 writes physically span both shards of a
+    // 2-shard store: under TStream its operations live in chains routed to
+    // different shard-affine pools (possibly processed by different
+    // executors), so the abort triggers the serial batch replay.  The replay
+    // must restore the exact pre-batch state on *both* shards, verified
+    // shard by shard through the store's own per-shard snapshots.
+    let spec = WorkloadSpec::default()
+        .events(1)
+        .keys(64)
+        .seed(78)
+        .shards(2);
+    let app = Arc::new(ob::OnlineBidding);
+    let store = ob::build_store(&spec);
+    assert_eq!(store.num_shards(), 2);
+
+    let items: Vec<u64> = (0..20u64).collect();
+    let mut prices: Vec<i64> = (0..20).map(|i| 300 + i as i64).collect();
+    prices[11] = -9; // the poisoned update
+
+    // The transaction must really be a cross-shard one.
+    let mut shards_touched: Vec<u32> = items.iter().map(|&k| store.shard_of(k).0).collect();
+    shards_touched.sort_unstable();
+    shards_touched.dedup();
+    assert_eq!(
+        shards_touched,
+        vec![0, 1],
+        "the poisoned Alter must write to both shards"
+    );
+
+    let before_shard0 = store.snapshot_shard(tstream_state::ShardId(0));
+    let before_shard1 = store.snapshot_shard(tstream_state::ShardId(1));
+
+    let poisoned = vec![ob::ObEvent::Alter { items, prices }];
+    let engine = Engine::new(EngineConfig::with_executors(4).punctuation(10).shards(2));
+    let report = engine.run(&app, &store, poisoned, &Scheme::TStream);
+    assert_eq!(report.committed, 0);
+    assert_eq!(report.rejected, 1);
+
+    assert_eq!(
+        store.snapshot_shard(tstream_state::ShardId(0)),
+        before_shard0,
+        "shard 0 must be restored to its pre-batch state"
+    );
+    assert_eq!(
+        store.snapshot_shard(tstream_state::ShardId(1)),
+        before_shard1,
+        "shard 1 must be restored to its pre-batch state"
+    );
+}
+
+#[test]
 fn aborted_transaction_does_not_block_later_transactions_on_the_same_keys() {
     // A rejected Alter is followed by a valid Alter touching the same items;
     // the later transaction must commit and its values must be the final

@@ -60,7 +60,7 @@ fn numa_model_classifies_remote_accesses_without_changing_results() {
         punctuation_interval: 200,
         cores_per_socket: 4,
         numa: NumaModel::disabled(),
-        tstream: Default::default(),
+        ..Default::default()
     };
 
     let store_local = gs::build_store(&spec);
