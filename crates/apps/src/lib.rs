@@ -30,5 +30,7 @@ pub mod sl;
 pub mod tp;
 pub mod workload;
 
-pub use runner::{run_benchmark, AppKind, RunOptions, SchemeKind};
+pub use runner::{
+    run_benchmark, run_benchmark_via, AppKind, ExecutionPath, RunOptions, SchemeKind,
+};
 pub use workload::{Rng, WorkloadSpec, Zipf};

@@ -10,6 +10,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use tstream_core::{Engine, EngineConfig, RunReport, Scheme};
+use tstream_state::StateStore;
+use tstream_txn::Application;
 use tstream_txn::{
     lock_based::LockScheme,
     mvlk::MvlkScheme,
@@ -158,6 +160,34 @@ impl RunOptions {
     }
 }
 
+/// How a benchmark run is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionPath {
+    /// The streaming runtime: online batch formation pipelined onto the
+    /// engine's persistent executor pool ([`Engine::run`], which streams
+    /// the input through a `StreamSession`).
+    #[default]
+    Pipelined,
+    /// The seed's offline mode: pre-materialize every batch, then execute
+    /// with scoped per-run threads ([`Engine::run_offline`]).  Kept as the
+    /// differential baseline — results must be identical to `Pipelined`.
+    Offline,
+}
+
+fn drive<A: Application>(
+    engine: &Engine,
+    app: &Arc<A>,
+    store: &Arc<StateStore>,
+    payloads: Vec<A::Payload>,
+    scheme: &Scheme,
+    path: ExecutionPath,
+) -> RunReport {
+    match path {
+        ExecutionPath::Pipelined => engine.run(app, store, payloads, scheme),
+        ExecutionPath::Offline => engine.run_offline(app, store, payloads, scheme),
+    }
+}
+
 /// Run one (application, scheme) combination and return the report.
 ///
 /// The store is built from `options.spec`, so its shard count is
@@ -165,6 +195,18 @@ impl RunOptions {
 /// keeping chain-pool routing and physical record placement in agreement
 /// (one knob — `WorkloadSpec::shards` — controls both).
 pub fn run_benchmark(app: AppKind, scheme: SchemeKind, options: &RunOptions) -> RunReport {
+    run_benchmark_via(app, scheme, options, ExecutionPath::Pipelined)
+}
+
+/// [`run_benchmark`] with an explicit [`ExecutionPath`] — the differential
+/// tests drive the pipelined runtime and the offline baseline through this
+/// single entry point.
+pub fn run_benchmark_via(
+    app: AppKind,
+    scheme: SchemeKind,
+    options: &RunOptions,
+    path: ExecutionPath,
+) -> RunReport {
     let engine_config = options.engine.shards(options.spec.shards as usize);
     let engine = Engine::new(engine_config);
     let scheme = scheme.build(options.pat_partitions);
@@ -174,22 +216,50 @@ pub fn run_benchmark(app: AppKind, scheme: SchemeKind, options: &RunOptions) -> 
             let application = Arc::new(gs::GrepSum {
                 with_summation: options.gs_with_summation,
             });
-            engine.run(&application, &store, gs::generate(&options.spec), &scheme)
+            drive(
+                &engine,
+                &application,
+                &store,
+                gs::generate(&options.spec),
+                &scheme,
+                path,
+            )
         }
         AppKind::Sl => {
             let store = sl::build_store(&options.spec);
             let application = Arc::new(sl::StreamingLedger);
-            engine.run(&application, &store, sl::generate(&options.spec), &scheme)
+            drive(
+                &engine,
+                &application,
+                &store,
+                sl::generate(&options.spec),
+                &scheme,
+                path,
+            )
         }
         AppKind::Ob => {
             let store = ob::build_store(&options.spec);
             let application = Arc::new(ob::OnlineBidding);
-            engine.run(&application, &store, ob::generate(&options.spec), &scheme)
+            drive(
+                &engine,
+                &application,
+                &store,
+                ob::generate(&options.spec),
+                &scheme,
+                path,
+            )
         }
         AppKind::Tp => {
             let store = tp::build_store(&options.spec);
             let application = Arc::new(tp::TollProcessing);
-            engine.run(&application, &store, tp::generate(&options.spec), &scheme)
+            drive(
+                &engine,
+                &application,
+                &store,
+                tp::generate(&options.spec),
+                &scheme,
+                path,
+            )
         }
     }
 }
@@ -286,6 +356,29 @@ mod tests {
                 assert!(report.throughput_keps() > 0.0);
             }
         }
+    }
+
+    #[test]
+    fn pipelined_and_offline_paths_agree() {
+        let mut options = RunOptions::default();
+        options.spec = options.spec.events(400).seed(0x51);
+        options.engine = EngineConfig::with_executors(2).punctuation(100);
+        let pipelined = run_benchmark_via(
+            AppKind::Sl,
+            SchemeKind::TStream,
+            &options,
+            ExecutionPath::Pipelined,
+        );
+        let offline = run_benchmark_via(
+            AppKind::Sl,
+            SchemeKind::TStream,
+            &options,
+            ExecutionPath::Offline,
+        );
+        assert_eq!(pipelined.committed, offline.committed);
+        assert_eq!(pipelined.rejected, offline.rejected);
+        assert_eq!(pipelined.events, offline.events);
+        assert_eq!(ExecutionPath::default(), ExecutionPath::Pipelined);
     }
 
     #[test]

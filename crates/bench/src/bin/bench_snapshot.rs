@@ -1,0 +1,119 @@
+//! Perf-trajectory snapshot: run the Figure-8 style throughput sweep across
+//! all four applications and write the results as machine-readable JSON
+//! (`BENCH_engine.json` by default), so the repository carries a perf
+//! baseline that later PRs can diff against.
+//!
+//! ```text
+//! cargo run --release -p tstream-bench --bin bench_snapshot -- --quick
+//! cargo run --release -p tstream-bench --bin bench_snapshot -- --quick --out BENCH_engine.json
+//! ```
+
+use std::fmt::Write as _;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use tstream_apps::{AppKind, SchemeKind};
+use tstream_bench::{events_for, run_point, HarnessConfig};
+
+struct Point {
+    app: &'static str,
+    scheme: &'static str,
+    cores: usize,
+    events: u64,
+    committed: u64,
+    rejected: u64,
+    keps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    compute_share: f64,
+}
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    let out_path = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1).cloned())
+            .unwrap_or_else(|| "BENCH_engine.json".to_owned())
+    };
+
+    let mut points = Vec::new();
+    for app in AppKind::ALL {
+        for &cores in &cfg.core_sweep() {
+            let events = events_for(app, cores, cfg.quick);
+            for scheme in SchemeKind::ALL {
+                let report = run_point(app, scheme, cores, events, 500);
+                let ms = |p: f64| {
+                    report
+                        .latency
+                        .percentile(p)
+                        .map(|d| d.as_secs_f64() * 1e3)
+                        .unwrap_or(0.0)
+                };
+                eprintln!(
+                    "{:>2} cores  {:<3} {:<8} {:>9.1} K/s",
+                    cores,
+                    app.label(),
+                    scheme.label(),
+                    report.throughput_keps()
+                );
+                points.push(Point {
+                    app: app.label(),
+                    scheme: scheme.label(),
+                    cores,
+                    events: report.events,
+                    committed: report.committed,
+                    rejected: report.rejected,
+                    keps: report.throughput_keps(),
+                    p50_ms: ms(50.0),
+                    p99_ms: ms(99.0),
+                    compute_share: report.compute_mode_share(),
+                });
+            }
+        }
+    }
+
+    let unix_time = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let host_cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(
+        json,
+        "  \"benchmark\": \"fig08_throughput sweep (pipelined runtime)\","
+    );
+    let _ = writeln!(json, "  \"unit\": \"K events/s; latency ms\",");
+    let _ = writeln!(json, "  \"quick\": {},", cfg.quick);
+    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
+    let _ = writeln!(json, "  \"unix_time\": {unix_time},");
+    let _ = writeln!(json, "  \"punctuation_interval\": 500,");
+    json.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"app\": \"{}\", \"scheme\": \"{}\", \"cores\": {}, \"events\": {}, \
+             \"committed\": {}, \"rejected\": {}, \"keps\": {:.2}, \"p50_ms\": {:.3}, \
+             \"p99_ms\": {:.3}, \"compute_share\": {:.4}}}",
+            p.app,
+            p.scheme,
+            p.cores,
+            p.events,
+            p.committed,
+            p.rejected,
+            p.keps,
+            p.p50_ms,
+            p.p99_ms,
+            p.compute_share
+        );
+        json.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("writing the snapshot file");
+    println!("wrote {} benchmark points to {out_path}", points.len());
+}

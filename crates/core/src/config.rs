@@ -107,6 +107,11 @@ pub struct EngineConfig {
     pub numa: NumaModel,
     /// TStream-specific options (ignored by eager schemes).
     pub tstream: TStreamConfig,
+    /// Depth of each executor's batch queue in the pipelined runtime: how
+    /// many batches may sit between ingestion and execution per executor
+    /// before `push` blocks (backpressure).  Fixed when the engine's pool is
+    /// spawned; clamped to at least 1.
+    pub pipeline_depth: usize,
 }
 
 impl Default for EngineConfig {
@@ -119,6 +124,7 @@ impl Default for EngineConfig {
             event_routing: EventRouting::RoundRobin,
             numa: NumaModel::disabled(),
             tstream: TStreamConfig::default(),
+            pipeline_depth: 4,
         }
     }
 }
@@ -174,6 +180,13 @@ impl EngineConfig {
         self.event_routing = routing;
         self
     }
+
+    /// Set the per-executor batch queue depth of the pipelined runtime
+    /// (clamped to at least 1).
+    pub fn pipeline_depth(mut self, depth: usize) -> Self {
+        self.pipeline_depth = depth.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -187,6 +200,7 @@ mod tests {
         assert_eq!(cfg.cores_per_socket, 10);
         assert_eq!(cfg.num_shards, 1, "unsharded by default, like the seed");
         assert_eq!(cfg.event_routing, EventRouting::RoundRobin);
+        assert_eq!(cfg.pipeline_depth, 4);
         assert_eq!(cfg.tstream.placement, ChainPlacement::SharedNothing);
         assert!(!cfg.tstream.work_stealing);
     }
@@ -207,10 +221,14 @@ mod tests {
 
     #[test]
     fn degenerate_values_are_clamped() {
-        let cfg = EngineConfig::with_executors(0).punctuation(0).shards(0);
+        let cfg = EngineConfig::with_executors(0)
+            .punctuation(0)
+            .shards(0)
+            .pipeline_depth(0);
         assert_eq!(cfg.executors, 1);
         assert_eq!(cfg.punctuation_interval, 1);
         assert_eq!(cfg.num_shards, 1);
+        assert_eq!(cfg.pipeline_depth, 1);
         assert_eq!(
             EngineConfig::default().shards(100_000).num_shards,
             MAX_SHARDS as usize

@@ -1,23 +1,33 @@
 //! The execution engine.
 //!
-//! [`Engine::run`] drives a full benchmark run: it stamps the input events,
-//! splits them into punctuation-delimited batches, round-robin shuffles each
-//! batch over the executors (Section V) and processes them under the selected
-//! scheme:
+//! The engine drives input events through a three-stage pipeline:
 //!
-//! * **eager schemes** (No-Lock / LOCK / MVLK / PAT) follow the coarse-grained
-//!   paradigm of the prior work: each executor fully processes one event —
-//!   pre-process, state transaction, post-process — before the next;
-//! * **TStream** follows dual-mode scheduling (Section IV-B): executors
-//!   decompose and postpone the transactions during compute mode, switch
-//!   together into state-access mode at every punctuation, process the
-//!   operation chains in parallel, then post-process the cached events.
+//! 1. **Ingestion** — an online [`tstream_stream::source::BatchBuilder`]
+//!    stamps each event at arrival time, derives its determined read/write
+//!    set, routes it to an executor (round-robin or shard-affine) and closes
+//!    a batch at every punctuation;
+//! 2. **Execution** — a persistent pool of executor threads
+//!    ([`crate::runtime::ExecutorPool`], spawned once per engine) processes
+//!    the batches under the selected scheme:
+//!    * **eager schemes** (No-Lock / LOCK / MVLK / PAT) follow the
+//!      coarse-grained paradigm of the prior work: each executor fully
+//!      processes one event — pre-process, state transaction, post-process —
+//!      before the next;
+//!    * **TStream** follows dual-mode scheduling (Section IV-B): executors
+//!      decompose and postpone the transactions during compute mode, switch
+//!      together into state-access mode at every punctuation, process the
+//!      operation chains in parallel, then post-process the cached events;
+//! 3. **Sink** — per-executor [`Sink`] shards record completions and
+//!    end-to-end latencies, merged into the [`RunReport`].
 //!
-//! The engine measures everything the paper's figures need: throughput,
-//! end-to-end latency percentiles, the per-component time breakdown and the
-//! compute-mode / state-access-mode split.
+//! Continuous ingestion goes through [`Engine::session`] (push / flush /
+//! report); [`Engine::run`] streams a pre-collected input through a session
+//! and is what the figure harnesses use.  [`Engine::run_offline`] keeps the
+//! seed's pre-materialized, scope-per-run behaviour as a differential
+//! baseline — both paths execute the same per-batch step functions, so they
+//! must produce identical results.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
@@ -28,13 +38,15 @@ use tstream_stream::event::Event;
 use tstream_stream::executor::{ExecutorId, ExecutorLayout};
 use tstream_stream::metrics::{Breakdown, Component};
 use tstream_stream::partition::EventRouting;
-use tstream_stream::progress::ProgressController;
 use tstream_stream::sink::{LatencyStats, Sink};
+use tstream_stream::source::{BatchBuilder, SourceBatch};
 use tstream_txn::{Application, EagerScheme, ExecEnv, StateTransaction, TxnBuilder, TxnDescriptor};
 
 use crate::chains::ChainPoolSet;
 use crate::config::EngineConfig;
 use crate::restructure::{self, BatchAbortLog, ChainStats, RestructureContext};
+use crate::runtime::ExecutorPool;
+use crate::session::StreamSession;
 
 /// Which execution scheme a run uses.
 #[derive(Clone)]
@@ -61,7 +73,7 @@ impl std::fmt::Debug for Scheme {
     }
 }
 
-/// Result of one engine run.
+/// Result of one engine run (or one finished streaming session).
 #[derive(Debug, Clone)]
 pub struct RunReport {
     /// Scheme name.
@@ -78,9 +90,19 @@ pub struct RunReport {
     pub committed: u64,
     /// Events rejected because their transaction aborted.
     pub rejected: u64,
-    /// Wall-clock duration of the run.
+    /// Wall-clock duration of the run: first `push` to final flush for the
+    /// pipelined paths, execution only for [`Engine::run_offline`].
     pub elapsed: Duration,
     /// End-to-end latency statistics.
+    ///
+    /// Since the pipelined runtime, latency is measured from the instant an
+    /// event was stamped at ingestion ([`Event::arrival`] inside the
+    /// [`BatchBuilder`]) to result emission — the true event-to-sink
+    /// interval, including queueing.  The seed stamped the whole input
+    /// up front and restarted the clock at processing time, which understated
+    /// latency under backlog; `run_offline` still pre-stamps, so its reported
+    /// latencies include the materialization skew and are only meaningful
+    /// relative to each other.
     pub latency: LatencyStats,
     /// Aggregated per-component time breakdown (sum over executors).
     pub breakdown: Breakdown,
@@ -119,29 +141,369 @@ impl RunReport {
     }
 }
 
-/// Per-executor results collected at the end of a run.
-struct ExecutorResult {
-    sink: Sink,
-    breakdown: Breakdown,
-    compute_time: Duration,
-    access_time: Duration,
-    committed: u64,
-    rejected: u64,
-    chain_stats: ChainStats,
-    checkpoints: u64,
+/// Per-executor accumulators, carried across every batch of a run.
+#[derive(Default)]
+pub(crate) struct ExecutorState {
+    pub(crate) sink: Sink,
+    pub(crate) breakdown: Breakdown,
+    pub(crate) compute_time: Duration,
+    pub(crate) access_time: Duration,
+    pub(crate) committed: u64,
+    pub(crate) rejected: u64,
+    pub(crate) chain_stats: ChainStats,
+    pub(crate) checkpoints: u64,
 }
 
-/// One punctuation-delimited batch, already shuffled over executors.
-struct Batch<P> {
-    per_executor: Vec<Vec<Event<P>>>,
-    descriptors: Vec<TxnDescriptor>,
+/// One punctuation-delimited batch as the engine consumes it: events split
+/// per executor plus the transaction descriptors of the whole batch.
+pub(crate) type EngineBatch<P> = SourceBatch<P, TxnDescriptor>;
+
+/// Everything a run shares between its executors: the immutable run
+/// parameters and the cross-executor synchronisation state.  Built once per
+/// run / session; the per-batch step functions below borrow it.
+pub(crate) struct RunContext<A: Application> {
+    pub(crate) app: Arc<A>,
+    pub(crate) store: Arc<StateStore>,
+    pub(crate) scheme: Scheme,
+    pub(crate) config: EngineConfig,
+    pub(crate) layout: ExecutorLayout,
+    barrier: CyclicBarrier,
+    pools: ChainPoolSet,
+    shard_chains: Mutex<Vec<u64>>,
+    abort_log: BatchAbortLog,
+    checkpointer: Option<Arc<Checkpointer>>,
+}
+
+impl<A: Application> RunContext<A> {
+    /// Prepares the shared state of one run: resets the scheme counters and
+    /// the store's synchronisation state, and builds barrier + chain pools
+    /// for the engine's executor layout.
+    pub(crate) fn new(
+        engine: &Engine,
+        app: &Arc<A>,
+        store: &Arc<StateStore>,
+        scheme: &Scheme,
+    ) -> Self {
+        let config = engine.config;
+        let executors = config.executors.max(1);
+        let layout = ExecutorLayout::new(executors, config.cores_per_socket);
+        let num_shards = config.num_shards.clamp(1, MAX_SHARDS as usize) as u32;
+        if let Scheme::Eager(s) = scheme {
+            s.reset();
+        }
+        store.reset_sync();
+        RunContext {
+            app: app.clone(),
+            store: store.clone(),
+            scheme: scheme.clone(),
+            config,
+            layout,
+            barrier: CyclicBarrier::new(executors),
+            pools: ChainPoolSet::new(config.tstream.placement, layout, num_shards),
+            shard_chains: Mutex::new(vec![0; num_shards as usize]),
+            abort_log: BatchAbortLog::new(),
+            checkpointer: engine.checkpointer.clone(),
+        }
+    }
+
+    /// Number of executors this run uses.
+    pub(crate) fn executors(&self) -> usize {
+        self.layout.executors
+    }
+
+    /// Poison the run's barrier after a participant died: surviving
+    /// executors blocked (or about to block) in a batch step panic instead
+    /// of waiting forever for a party that will never arrive.
+    pub(crate) fn poison(&self) {
+        self.barrier.poison();
+    }
+
+    /// Process one batch on executor `index`, advancing its accumulators.
+    /// Every executor of the run must call this for every batch, in the same
+    /// order — the internal barriers keep them in lockstep, exactly like the
+    /// per-run loops of the seed engine did.
+    pub(crate) fn step(
+        &self,
+        index: usize,
+        batch: &EngineBatch<A::Payload>,
+        state: &mut ExecutorState,
+    ) {
+        let env = ExecEnv {
+            executor: ExecutorId(index),
+            layout: self.layout,
+            numa: self.config.numa,
+        };
+        match &self.scheme {
+            Scheme::Eager(scheme) => self.eager_step(scheme, index, env, batch, state),
+            Scheme::TStream => self.tstream_step(index, env, batch, state),
+        }
+    }
+
+    /// Aggregate the per-executor accumulators into the run's report.
+    pub(crate) fn aggregate(
+        &self,
+        states: Vec<ExecutorState>,
+        elapsed: Duration,
+        events: u64,
+    ) -> RunReport {
+        let mut breakdown = Breakdown::new();
+        let mut compute_time = Duration::ZERO;
+        let mut access_time = Duration::ZERO;
+        let mut committed = 0;
+        let mut rejected = 0;
+        let mut chain_stats = ChainStats::default();
+        let mut checkpoints = 0;
+        let mut sinks = Vec::with_capacity(states.len());
+        for s in states {
+            breakdown += s.breakdown;
+            compute_time += s.compute_time;
+            access_time += s.access_time;
+            committed += s.committed;
+            rejected += s.rejected;
+            chain_stats.merge(&s.chain_stats);
+            checkpoints += s.checkpoints;
+            sinks.push(s.sink);
+        }
+        RunReport {
+            scheme: self.scheme.name().to_owned(),
+            app: self.app.name().to_owned(),
+            executors: self.executors(),
+            punctuation_interval: self.config.punctuation_interval.max(1),
+            events,
+            committed,
+            rejected,
+            elapsed,
+            latency: Sink::merge(sinks),
+            breakdown,
+            compute_time,
+            state_access_time: access_time,
+            chain_stats,
+            per_shard_chains: self.shard_chains.lock().clone(),
+            checkpoints,
+        }
+    }
+
+    /// One batch of the eager (baseline) paradigm on executor `index`.
+    fn eager_step(
+        &self,
+        scheme: &Arc<dyn EagerScheme>,
+        index: usize,
+        env: ExecEnv,
+        batch: &EngineBatch<A::Payload>,
+        state: &mut ExecutorState,
+    ) {
+        // Enter the batch together; the leader registers the batch with the
+        // scheme (counter bookkeeping derived from read/write sets).
+        let (leader, waited) = self.barrier.wait();
+        state.breakdown.charge(Component::Sync, waited);
+        if leader {
+            scheme.prepare_batch(&batch.descriptors);
+        }
+        let (_, waited) = self.barrier.wait();
+        state.breakdown.charge(Component::Sync, waited);
+
+        let t_batch = Instant::now();
+        for event in &batch.per_executor[index] {
+            let (txn, blotter) = build_transaction(self.app.as_ref(), event.ts, &event.payload);
+            let outcome = scheme.execute(&txn, &self.store, &env, &mut state.breakdown);
+            let _ = self.app.post_process(&event.payload, &blotter);
+            if outcome.is_committed() && !blotter.is_aborted() {
+                state.committed += 1;
+                state.sink.emit(event.arrival);
+            } else {
+                state.rejected += 1;
+                state.sink.reject();
+            }
+        }
+        state.compute_time += t_batch.elapsed();
+
+        // Leave the batch together; the leader runs end-of-batch work
+        // (e.g. MVLK's version garbage collection) and, if durability is
+        // enabled, replicates the committed state to disk (Section IV-D).
+        let (leader, waited) = self.barrier.wait();
+        state.breakdown.charge(Component::Sync, waited);
+        if leader {
+            scheme.end_batch(&self.store);
+            if let Some(cp) = self.checkpointer.as_deref() {
+                let t = Instant::now();
+                if cp.checkpoint(&self.store).is_ok() {
+                    state.checkpoints += 1;
+                }
+                state.breakdown.charge(Component::Others, t.elapsed());
+            }
+        }
+    }
+
+    /// One batch of TStream's dual-mode scheduling on executor `index`.
+    fn tstream_step(
+        &self,
+        index: usize,
+        env: ExecEnv,
+        batch: &EngineBatch<A::Payload>,
+        state: &mut ExecutorState,
+    ) {
+        let assignment = self.pools.assignment(env.executor);
+
+        // ---- Compute mode: pre-process events, decompose and postpone
+        // their transactions, cache the events for post-processing.
+        let (_, waited) = self.barrier.wait();
+        state.breakdown.charge(Component::Sync, waited);
+
+        let t_compute = Instant::now();
+        let my_events = &batch.per_executor[index];
+        let mut cached: Vec<(&Event<A::Payload>, tstream_txn::BlotterHandle)> =
+            Vec::with_capacity(my_events.len());
+        for event in my_events {
+            let (txn, blotter) = build_transaction(self.app.as_ref(), event.ts, &event.payload);
+            // Dynamic transaction decomposition (Section IV-C.1): one chain
+            // insert per operation; chain-level dependency edges are recorded
+            // as we go.
+            for op in txn.ops {
+                // Cross-pool chain insertions count as remote memory accesses
+                // only when the NUMA model is enabled (they are ordinary local
+                // inserts on a single-socket machine).
+                let remote_insert =
+                    env.numa.enabled && self.pools.is_remote_insert(env.executor, op.target);
+                let t_insert = Instant::now();
+                let chain = self.pools.chain_for(op.target);
+                if let Some(dep) = op.dependency {
+                    chain.add_dependency(dep);
+                    self.pools.chain_for(dep).mark_depended_upon();
+                }
+                chain.insert(op);
+                let spent = t_insert.elapsed();
+                state.breakdown.charge(
+                    if remote_insert {
+                        Component::Rma
+                    } else {
+                        Component::Others
+                    },
+                    spent,
+                );
+            }
+            cached.push((event, blotter));
+        }
+        state.compute_time += t_compute.elapsed();
+
+        // ---- TXN_START: first barrier — all executors must have finished
+        // registering their postponed transactions before state access
+        // begins (Section IV-B.2).
+        let (leader, waited) = self.barrier.wait();
+        state.breakdown.charge(Component::Sync, waited);
+        if leader {
+            for pool in self.pools.pools() {
+                pool.prepare_tasks();
+            }
+            // Record the real shard placement of this batch's chains before
+            // processing starts (the pools are recycled at the batch end).
+            let mut acc = self.shard_chains.lock();
+            for (total, count) in acc.iter_mut().zip(self.pools.chains_per_shard()) {
+                *total += count as u64;
+            }
+        }
+        let (_, waited) = self.barrier.wait();
+        state.breakdown.charge(Component::Sync, waited);
+
+        // ---- State-access mode: process the operation chains in parallel.
+        let t_access = Instant::now();
+        let ctx = RestructureContext {
+            pools: &self.pools,
+            store: &self.store,
+            env,
+            resolution: self.config.tstream.resolution,
+            work_stealing: self.config.tstream.work_stealing,
+            abort_log: &self.abort_log,
+        };
+        let (stats, versioned) =
+            restructure::process_assigned(&ctx, assignment, &mut state.breakdown);
+        state.chain_stats.merge(&stats);
+        state.access_time += t_access.elapsed();
+
+        // ---- Second barrier: post-processing must not start until every
+        // postponed state access has been processed (or aborted).
+        let (_, waited) = self.barrier.wait();
+        state.breakdown.charge(Component::Sync, waited);
+
+        // Fold temporary versions of depended-upon states into the committed
+        // values (safe: all processing finished at the barrier above).
+        restructure::collapse_versioned(&self.store, &versioned);
+
+        // ---- Multi-write abort handling (Section IV-F): if any
+        // multi-operation transaction aborted, its writes in other chains may
+        // already have been applied.  All executors synchronise once more and
+        // the leader rolls the batch back and replays it serially; the next
+        // barrier below keeps everyone else waiting until the authoritative
+        // results are in place.
+        if self.abort_log.replay_needed() {
+            let t_access = Instant::now();
+            let (leader, waited) = self.barrier.wait();
+            state.breakdown.charge(Component::Sync, waited);
+            if leader {
+                restructure::replay_batch_serially(
+                    &self.store,
+                    &self.pools,
+                    &self.abort_log,
+                    &env,
+                    &mut state.breakdown,
+                );
+            }
+            state.access_time += t_access.elapsed();
+        }
+
+        // ---- Third barrier, then the leader recycles the chain pools (and
+        // replicates the committed state to disk when durability is enabled,
+        // Section IV-D) while the others post-process; the next batch's
+        // compute mode cannot start before the leader reaches the next
+        // batch-entry barrier.
+        let (leader, waited) = self.barrier.wait();
+        state.breakdown.charge(Component::Sync, waited);
+        if leader {
+            self.pools.clear_all();
+            self.abort_log.clear_batch();
+            if let Some(cp) = self.checkpointer.as_deref() {
+                let t = Instant::now();
+                if cp.checkpoint(&self.store).is_ok() {
+                    state.checkpoints += 1;
+                }
+                state.breakdown.charge(Component::Others, t.elapsed());
+            }
+        }
+
+        // ---- Back in compute mode: post-process the cached events.
+        let t_post = Instant::now();
+        for (event, blotter) in cached {
+            let _ = self.app.post_process(&event.payload, &blotter);
+            if blotter.is_aborted() {
+                state.rejected += 1;
+                state.sink.reject();
+            } else {
+                state.committed += 1;
+                state.sink.emit(event.arrival);
+            }
+        }
+        state.compute_time += t_post.elapsed();
+    }
 }
 
 /// The TStream / baseline execution engine.
+///
+/// The engine owns a persistent [`ExecutorPool`], spawned lazily on the
+/// first run/session and reused — threads are spawned **once per engine**,
+/// never per run or per batch (`runtime_threads_spawned` makes that
+/// verifiable).  Clones share the pool (and the run lease) whether they are
+/// made before or after the pool is spawned.
 #[derive(Debug, Clone)]
 pub struct Engine {
     config: EngineConfig,
     checkpointer: Option<Arc<Checkpointer>>,
+    /// The `Arc` is what clones share; the `OnceLock` is the lazy spawn.
+    /// Keeping the cell itself shared means a clone made *before* the first
+    /// run still uses the same pool as the original.
+    pool: Arc<OnceLock<ExecutorPool>>,
+    /// Serializes runs and sessions (shared by clones): concurrent runs on
+    /// one engine would interleave barrier generations and reset each
+    /// other's scheme/store synchronisation state mid-flight.
+    run_lease: Arc<Mutex<()>>,
 }
 
 impl Engine {
@@ -150,6 +512,8 @@ impl Engine {
         Engine {
             config,
             checkpointer: None,
+            pool: Arc::new(OnceLock::new()),
+            run_lease: Arc::new(Mutex::new(())),
         }
     }
 
@@ -171,7 +535,52 @@ impl Engine {
         &self.config
     }
 
+    /// The engine's persistent executor pool, spawning it on first use.
+    pub(crate) fn pool(&self) -> &ExecutorPool {
+        self.pool.get_or_init(|| {
+            ExecutorPool::new(
+                self.config.executors.max(1),
+                self.config.pipeline_depth.max(1),
+            )
+        })
+    }
+
+    /// Executor threads this engine's runtime has spawned so far: `0` before
+    /// the first run, the configured executor count from then on — however
+    /// many runs, sessions and batches the engine serves.
+    pub fn runtime_threads_spawned(&self) -> u64 {
+        self.pool.get().map(|p| p.spawned()).unwrap_or(0)
+    }
+
+    /// Acquire the engine's exclusive run lease (sessions and offline runs
+    /// serialize on it).
+    pub(crate) fn lease(&self) -> parking_lot::MutexGuard<'_, ()> {
+        self.run_lease.lock()
+    }
+
+    /// Open a streaming session: continuous ingestion through
+    /// [`StreamSession::push`] with online batch formation, pipelined onto
+    /// the persistent executor pool.
+    ///
+    /// A session holds the engine's exclusive run lease; opening a second
+    /// session (or starting [`Engine::run_offline`]) on the same engine
+    /// blocks until the first session is dropped or finished with
+    /// [`StreamSession::report`].
+    pub fn session<'e, A: Application>(
+        &'e self,
+        app: &Arc<A>,
+        store: &Arc<StateStore>,
+        scheme: &Scheme,
+    ) -> StreamSession<'e, A> {
+        StreamSession::open(self, app, store, scheme)
+    }
+
     /// Run `payloads` through `app` on top of `store` under `scheme`.
+    ///
+    /// This is a thin wrapper that streams the input through a
+    /// [`StreamSession`]: ingestion (stamping, routing, batch formation)
+    /// overlaps execution, and the executor threads come from the engine's
+    /// persistent pool.
     pub fn run<A: Application>(
         &self,
         app: &Arc<A>,
@@ -179,162 +588,101 @@ impl Engine {
         payloads: Vec<A::Payload>,
         scheme: &Scheme,
     ) -> RunReport {
+        let mut session = self.session(app, store, scheme);
+        for payload in payloads {
+            session.push(payload);
+        }
+        session.report()
+    }
+
+    /// The seed's offline execution mode, kept as a differential baseline:
+    /// pre-materialize every batch, then spawn one scoped thread per executor
+    /// that loops over the batches.  Runs the same per-batch step functions
+    /// as the pipelined path, so committed/rejected counts and final state
+    /// must be byte-identical to [`Engine::run`]; only scheduling (and hence
+    /// timing) differs.
+    pub fn run_offline<A: Application>(
+        &self,
+        app: &Arc<A>,
+        store: &Arc<StateStore>,
+        payloads: Vec<A::Payload>,
+        scheme: &Scheme,
+    ) -> RunReport {
+        // Offline runs hold the same lease as sessions: resetting the
+        // scheme/store synchronisation state under a live session on the
+        // same engine would corrupt its in-flight batches.
+        let _lease = self.lease();
+        let ctx = RunContext::new(self, app, store, scheme);
+        let total_events = payloads.len() as u64;
+        let mut builder = self.batch_builder(app);
+        let mut batches: Vec<EngineBatch<A::Payload>> = Vec::new();
+        for payload in payloads {
+            if let Some(batch) = builder.push(payload) {
+                batches.push(batch);
+            }
+        }
+        batches.extend(builder.finish());
+
+        let started = Instant::now();
+        let states: Vec<ExecutorState> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..ctx.executors())
+                .map(|e| {
+                    let ctx = &ctx;
+                    let batches = &batches;
+                    scope.spawn(move || {
+                        let mut state = ExecutorState::default();
+                        for batch in batches {
+                            ctx.step(e, batch, &mut state);
+                        }
+                        state
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        ctx.aggregate(states, started.elapsed(), total_events)
+    }
+
+    /// Build the ingestion-side batch builder for a run over `app`: dense
+    /// arrival-time stamping, the engine's routing policy applied per event,
+    /// read/write sets derived once and carried as the batch's descriptors.
+    pub(crate) fn batch_builder<A: Application>(
+        &self,
+        app: &Arc<A>,
+    ) -> BatchBuilder<A::Payload, TxnDescriptor> {
         let executors = self.config.executors.max(1);
         let layout = ExecutorLayout::new(executors, self.config.cores_per_socket);
         let interval = self.config.punctuation_interval.max(1);
         let num_shards = self.config.num_shards.clamp(1, MAX_SHARDS as usize) as u32;
         let shard_router =
             ShardRouter::new(num_shards).expect("clamped shard count is always valid");
-
-        // ---- Generation (the Parser operator): stamp events, derive the
-        // determined read/write sets, split into punctuation batches and
-        // assign each batch's events to executors — round-robin shuffled
-        // (Section V) or, with shard-affine routing, sent to the executor
-        // owning the shard of the event's primary key.
-        let progress = ProgressController::new(interval as u64);
-        let total_events = payloads.len() as u64;
-        let mut batches: Vec<Batch<A::Payload>> = Vec::new();
-        let mut current = Batch {
-            per_executor: (0..executors).map(|_| Vec::new()).collect(),
-            descriptors: Vec::with_capacity(interval),
-        };
-        let mut in_batch = 0usize;
-        for payload in payloads {
-            let event = progress.stamp(payload);
-            let rw_set = app.read_write_set(&event.payload);
-            let target = match self.config.event_routing {
-                EventRouting::RoundRobin => in_batch % executors,
-                EventRouting::ShardAffine => rw_set
-                    .primary()
-                    .map(|state| {
-                        layout
-                            .executor_for_shard(shard_router.shard_of(state.key).0)
-                            .index()
-                    })
-                    .unwrap_or(in_batch % executors),
-            };
-            current.descriptors.push(TxnDescriptor {
-                ts: event.ts,
-                rw_set,
-            });
-            current.per_executor[target].push(event);
-            in_batch += 1;
-            if in_batch == interval {
-                let _punct = progress.punctuate();
-                batches.push(std::mem::replace(
-                    &mut current,
-                    Batch {
-                        per_executor: (0..executors).map(|_| Vec::new()).collect(),
-                        descriptors: Vec::with_capacity(interval),
-                    },
-                ));
-                in_batch = 0;
-            }
-        }
-        if in_batch > 0 {
-            let _punct = progress.punctuate();
-            batches.push(current);
-        }
-
-        // ---- Shared run state.
-        let barrier = CyclicBarrier::new(executors);
-        let pools = ChainPoolSet::new(self.config.tstream.placement, layout, num_shards);
-        let shard_chains: Mutex<Vec<u64>> = Mutex::new(vec![0; num_shards as usize]);
-        let abort_log = BatchAbortLog::new();
-        if let Scheme::Eager(s) = scheme {
-            s.reset();
-        }
-        store.reset_sync();
-
-        // ---- Execute.
-        let started = Instant::now();
-        let results: Vec<ExecutorResult> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..executors)
-                .map(|e| {
-                    let app = app.clone();
-                    let store = store.clone();
-                    let scheme = scheme.clone();
-                    let barrier = &barrier;
-                    let pools = &pools;
-                    let shard_chains = &shard_chains;
-                    let abort_log = &abort_log;
-                    let batches = &batches;
-                    let config = self.config;
-                    let checkpointer = self.checkpointer.clone();
-                    scope.spawn(move || {
-                        let env = ExecEnv {
-                            executor: ExecutorId(e),
-                            layout,
-                            numa: config.numa,
-                        };
-                        match scheme {
-                            Scheme::Eager(scheme) => run_eager_executor(
-                                e,
-                                &app,
-                                &store,
-                                &scheme,
-                                env,
-                                barrier,
-                                batches,
-                                checkpointer.as_deref(),
-                            ),
-                            Scheme::TStream => run_tstream_executor(
-                                e,
-                                &app,
-                                &store,
-                                env,
-                                barrier,
-                                pools,
-                                shard_chains,
-                                abort_log,
-                                batches,
-                                &config,
-                                checkpointer.as_deref(),
-                            ),
-                        }
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        });
-        let elapsed = started.elapsed();
-
-        // ---- Aggregate.
-        let mut breakdown = Breakdown::new();
-        let mut compute_time = Duration::ZERO;
-        let mut access_time = Duration::ZERO;
-        let mut committed = 0;
-        let mut rejected = 0;
-        let mut chain_stats = ChainStats::default();
-        let mut checkpoints = 0;
-        let mut sinks = Vec::with_capacity(results.len());
-        for r in results {
-            breakdown += r.breakdown;
-            compute_time += r.compute_time;
-            access_time += r.access_time;
-            committed += r.committed;
-            rejected += r.rejected;
-            chain_stats.merge(&r.chain_stats);
-            checkpoints += r.checkpoints;
-            sinks.push(r.sink);
-        }
-        RunReport {
-            scheme: scheme.name().to_owned(),
-            app: app.name().to_owned(),
+        let routing = self.config.event_routing;
+        let app = app.clone();
+        BatchBuilder::new(
             executors,
-            punctuation_interval: interval,
-            events: total_events,
-            committed,
-            rejected,
-            elapsed,
-            latency: Sink::merge(sinks),
-            breakdown,
-            compute_time,
-            state_access_time: access_time,
-            chain_stats,
-            per_shard_chains: shard_chains.into_inner(),
-            checkpoints,
-        }
+            interval,
+            Box::new(move |event: &Event<A::Payload>, in_batch: usize| {
+                let rw_set = app.read_write_set(&event.payload);
+                let target = match routing {
+                    EventRouting::RoundRobin => in_batch % executors,
+                    EventRouting::ShardAffine => rw_set
+                        .primary()
+                        .map(|state| {
+                            layout
+                                .executor_for_shard(shard_router.shard_of(state.key).0)
+                                .index()
+                        })
+                        .unwrap_or(in_batch % executors),
+                };
+                (
+                    target,
+                    TxnDescriptor {
+                        ts: event.ts,
+                        rw_set,
+                    },
+                )
+            }),
+        )
     }
 }
 
@@ -349,251 +697,4 @@ fn build_transaction<A: Application>(
         app.state_access(payload, &mut builder);
     }
     builder.build()
-}
-
-/// Executor main loop for the eager (baseline) schemes.
-#[allow(clippy::too_many_arguments)]
-fn run_eager_executor<A: Application>(
-    index: usize,
-    app: &Arc<A>,
-    store: &Arc<StateStore>,
-    scheme: &Arc<dyn EagerScheme>,
-    env: ExecEnv,
-    barrier: &CyclicBarrier,
-    batches: &[Batch<A::Payload>],
-    checkpointer: Option<&Checkpointer>,
-) -> ExecutorResult {
-    let mut sink = Sink::new();
-    let mut breakdown = Breakdown::new();
-    let mut compute_time = Duration::ZERO;
-    let mut committed = 0u64;
-    let mut rejected = 0u64;
-    let mut checkpoints = 0u64;
-
-    for batch in batches {
-        // Enter the batch together; the leader registers the batch with the
-        // scheme (counter bookkeeping derived from read/write sets).
-        let (leader, waited) = barrier.wait();
-        breakdown.charge(Component::Sync, waited);
-        if leader {
-            scheme.prepare_batch(&batch.descriptors);
-        }
-        let (_, waited) = barrier.wait();
-        breakdown.charge(Component::Sync, waited);
-
-        let t_batch = Instant::now();
-        for event in &batch.per_executor[index] {
-            let arrival = Instant::now();
-            let (txn, blotter) = build_transaction(app.as_ref(), event.ts, &event.payload);
-            let outcome = scheme.execute(&txn, store, &env, &mut breakdown);
-            let _ = app.post_process(&event.payload, &blotter);
-            if outcome.is_committed() && !blotter.is_aborted() {
-                committed += 1;
-                sink.emit(arrival);
-            } else {
-                rejected += 1;
-                sink.reject();
-            }
-        }
-        compute_time += t_batch.elapsed();
-
-        // Leave the batch together; the leader runs end-of-batch work
-        // (e.g. MVLK's version garbage collection) and, if durability is
-        // enabled, replicates the committed state to disk (Section IV-D).
-        let (leader, waited) = barrier.wait();
-        breakdown.charge(Component::Sync, waited);
-        if leader {
-            scheme.end_batch(store);
-            if let Some(cp) = checkpointer {
-                let t = Instant::now();
-                if cp.checkpoint(store).is_ok() {
-                    checkpoints += 1;
-                }
-                breakdown.charge(Component::Others, t.elapsed());
-            }
-        }
-    }
-
-    ExecutorResult {
-        sink,
-        breakdown,
-        compute_time,
-        access_time: Duration::ZERO,
-        committed,
-        rejected,
-        chain_stats: ChainStats::default(),
-        checkpoints,
-    }
-}
-
-/// Executor main loop for TStream's dual-mode scheduling.
-#[allow(clippy::too_many_arguments)]
-fn run_tstream_executor<A: Application>(
-    index: usize,
-    app: &Arc<A>,
-    store: &Arc<StateStore>,
-    env: ExecEnv,
-    barrier: &CyclicBarrier,
-    pools: &ChainPoolSet,
-    shard_chains: &Mutex<Vec<u64>>,
-    abort_log: &BatchAbortLog,
-    batches: &[Batch<A::Payload>],
-    config: &EngineConfig,
-    checkpointer: Option<&Checkpointer>,
-) -> ExecutorResult {
-    let mut sink = Sink::new();
-    let mut breakdown = Breakdown::new();
-    let mut compute_time = Duration::ZERO;
-    let mut access_time = Duration::ZERO;
-    let mut committed = 0u64;
-    let mut rejected = 0u64;
-    let mut chain_stats = ChainStats::default();
-    let mut checkpoints = 0u64;
-    let assignment = pools.assignment(env.executor);
-
-    for batch in batches {
-        // ---- Compute mode: pre-process events, decompose and postpone
-        // their transactions, cache the events for post-processing.
-        let (_, waited) = barrier.wait();
-        breakdown.charge(Component::Sync, waited);
-
-        let t_compute = Instant::now();
-        let my_events = &batch.per_executor[index];
-        let mut cached: Vec<(Instant, &Event<A::Payload>, tstream_txn::BlotterHandle)> =
-            Vec::with_capacity(my_events.len());
-        for event in my_events {
-            let arrival = Instant::now();
-            let (txn, blotter) = build_transaction(app.as_ref(), event.ts, &event.payload);
-            // Dynamic transaction decomposition (Section IV-C.1): one chain
-            // insert per operation; chain-level dependency edges are recorded
-            // as we go.
-            for op in txn.ops {
-                // Cross-pool chain insertions count as remote memory accesses
-                // only when the NUMA model is enabled (they are ordinary local
-                // inserts on a single-socket machine).
-                let remote_insert =
-                    env.numa.enabled && pools.is_remote_insert(env.executor, op.target);
-                let t_insert = Instant::now();
-                let chain = pools.chain_for(op.target);
-                if let Some(dep) = op.dependency {
-                    chain.add_dependency(dep);
-                    pools.chain_for(dep).mark_depended_upon();
-                }
-                chain.insert(op);
-                let spent = t_insert.elapsed();
-                breakdown.charge(
-                    if remote_insert {
-                        Component::Rma
-                    } else {
-                        Component::Others
-                    },
-                    spent,
-                );
-            }
-            cached.push((arrival, event, blotter));
-        }
-        compute_time += t_compute.elapsed();
-
-        // ---- TXN_START: first barrier — all executors must have finished
-        // registering their postponed transactions before state access
-        // begins (Section IV-B.2).
-        let (leader, waited) = barrier.wait();
-        breakdown.charge(Component::Sync, waited);
-        if leader {
-            for pool in pools.pools() {
-                pool.prepare_tasks();
-            }
-            // Record the real shard placement of this batch's chains before
-            // processing starts (the pools are recycled at the batch end).
-            let mut acc = shard_chains.lock();
-            for (total, count) in acc.iter_mut().zip(pools.chains_per_shard()) {
-                *total += count as u64;
-            }
-        }
-        let (_, waited) = barrier.wait();
-        breakdown.charge(Component::Sync, waited);
-
-        // ---- State-access mode: process the operation chains in parallel.
-        let t_access = Instant::now();
-        let ctx = RestructureContext {
-            pools,
-            store,
-            env,
-            resolution: config.tstream.resolution,
-            work_stealing: config.tstream.work_stealing,
-            abort_log,
-        };
-        let (stats, versioned) = restructure::process_assigned(&ctx, assignment, &mut breakdown);
-        chain_stats.merge(&stats);
-        access_time += t_access.elapsed();
-
-        // ---- Second barrier: post-processing must not start until every
-        // postponed state access has been processed (or aborted).
-        let (_, waited) = barrier.wait();
-        breakdown.charge(Component::Sync, waited);
-
-        // Fold temporary versions of depended-upon states into the committed
-        // values (safe: all processing finished at the barrier above).
-        restructure::collapse_versioned(store, &versioned);
-
-        // ---- Multi-write abort handling (Section IV-F): if any
-        // multi-operation transaction aborted, its writes in other chains may
-        // already have been applied.  All executors synchronise once more and
-        // the leader rolls the batch back and replays it serially; the next
-        // barrier below keeps everyone else waiting until the authoritative
-        // results are in place.
-        if abort_log.replay_needed() {
-            let t_access = Instant::now();
-            let (leader, waited) = barrier.wait();
-            breakdown.charge(Component::Sync, waited);
-            if leader {
-                restructure::replay_batch_serially(store, pools, abort_log, &env, &mut breakdown);
-            }
-            access_time += t_access.elapsed();
-        }
-
-        // ---- Third barrier, then the leader recycles the chain pools (and
-        // replicates the committed state to disk when durability is enabled,
-        // Section IV-D) while the others post-process; the next batch's
-        // compute mode cannot start before the leader reaches the next
-        // batch-entry barrier.
-        let (leader, waited) = barrier.wait();
-        breakdown.charge(Component::Sync, waited);
-        if leader {
-            pools.clear_all();
-            abort_log.clear_batch();
-            if let Some(cp) = checkpointer {
-                let t = Instant::now();
-                if cp.checkpoint(store).is_ok() {
-                    checkpoints += 1;
-                }
-                breakdown.charge(Component::Others, t.elapsed());
-            }
-        }
-
-        // ---- Back in compute mode: post-process the cached events.
-        let t_post = Instant::now();
-        for (arrival, event, blotter) in cached {
-            let _ = app.post_process(&event.payload, &blotter);
-            if blotter.is_aborted() {
-                rejected += 1;
-                sink.reject();
-            } else {
-                committed += 1;
-                sink.emit(arrival);
-            }
-        }
-        compute_time += t_post.elapsed();
-    }
-
-    ExecutorResult {
-        sink,
-        breakdown,
-        compute_time,
-        access_time,
-        committed,
-        rejected,
-        chain_stats,
-        checkpoints,
-    }
 }

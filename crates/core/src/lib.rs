@@ -23,6 +23,16 @@
 //! live in `tstream-txn` and are driven by the same [`engine::Engine`], so a
 //! single [`engine::RunReport`] interface covers every figure of the paper.
 //!
+//! Execution is a three-stage pipeline: the stream crate's online
+//! `BatchBuilder` forms punctuation batches at ingestion time, a persistent
+//! [`runtime::ExecutorPool`] (threads spawned once per engine) executes them
+//! batch by batch, and per-executor sinks aggregate the report.  Continuous
+//! ingestion goes through [`session::StreamSession`]
+//! (`Engine::session()` → `push` / `flush` / `report`); `Engine::run`
+//! streams a pre-collected input through a session, and
+//! `Engine::run_offline` keeps the seed's one-shot mode as a differential
+//! baseline.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -69,12 +79,16 @@ pub mod chains;
 pub mod config;
 pub mod engine;
 pub mod restructure;
+pub mod runtime;
+pub mod session;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveIntervalController, IntervalObservation};
 pub use chains::{ChainPool, ChainPoolSet, OperationChain, ProcessingAssignment};
 pub use config::{ChainPlacement, DependencyResolution, EngineConfig, TStreamConfig};
 pub use engine::{Engine, RunReport, Scheme};
 pub use restructure::{BatchAbortLog, ChainStats, ReplayStats, RestructureContext, UndoRecord};
+pub use runtime::ExecutorPool;
+pub use session::StreamSession;
 pub use tstream_stream::partition::EventRouting;
 
 /// Everything a user needs to define and run a concurrent stateful stream
@@ -82,6 +96,7 @@ pub use tstream_stream::partition::EventRouting;
 pub mod prelude {
     pub use crate::config::{ChainPlacement, DependencyResolution, EngineConfig, TStreamConfig};
     pub use crate::engine::{Engine, RunReport, Scheme};
+    pub use crate::session::StreamSession;
     pub use tstream_state::{
         Checkpointer, ShardId, ShardRouter, StateStore, StoreSnapshot, Table, TableBuilder, Value,
     };

@@ -1,0 +1,231 @@
+//! The persistent executor pool.
+//!
+//! The seed engine spawned a fresh `thread::scope` for every run — fine for
+//! one-shot benchmarks, wrong for a long-lived runtime: sustained traffic
+//! would pay thread creation and teardown on every run, and a continuous
+//! stream has no "end of input" to scope the threads to.  This module spawns
+//! the executor threads **once per engine** and parks them between batches:
+//! each worker blocks on its own bounded job queue, and a
+//! [`crate::session::StreamSession`] feeds it one job per batch.  The bounded
+//! queues double as the pipeline's backpressure — when the executors fall
+//! behind, `push` on the session blocks instead of buffering without limit.
+//!
+//! Spawns are counted (globally and per pool) so tests can verify the
+//! "once per engine, not per run or batch" property instead of trusting it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Sender};
+
+/// Process-wide count of executor threads ever spawned by any pool.
+static THREADS_SPAWNED: AtomicU64 = AtomicU64::new(0);
+
+/// Total executor threads spawned by every pool in this process so far.
+/// Monotonic; only ever incremented by [`ExecutorPool::new`].
+pub fn threads_spawned() -> u64 {
+    THREADS_SPAWNED.load(Ordering::SeqCst)
+}
+
+/// One unit of work for one executor: process one batch (or any other
+/// closure the engine needs run on a specific executor thread).
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+#[derive(Debug)]
+struct Worker {
+    /// `None` only during teardown: dropping the sender is what tells the
+    /// thread to exit its receive loop.
+    jobs: Option<Sender<Job>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// A fixed-size pool of executor threads, spawned once and fed per-batch
+/// jobs over bounded per-executor queues.
+///
+/// Workers process their queue strictly in FIFO order, so as long as every
+/// executor is sent the batches of a session in the same order, the
+/// session's [`tstream_stream::CyclicBarrier`] keeps them in lockstep
+/// exactly as the scoped threads of the offline path do.  The pool itself is
+/// scheme- and application-agnostic: jobs are type-erased closures, so one
+/// pool serves every run of its engine regardless of payload type.
+#[derive(Debug)]
+pub struct ExecutorPool {
+    workers: Vec<Worker>,
+    spawned: AtomicU64,
+}
+
+impl ExecutorPool {
+    /// Spawns `executors` worker threads (clamped to ≥ 1), each parked on a
+    /// bounded queue of `queue_depth` jobs (clamped to ≥ 1).
+    pub fn new(executors: usize, queue_depth: usize) -> Self {
+        let executors = executors.max(1);
+        let queue_depth = queue_depth.max(1);
+        let spawned = AtomicU64::new(0);
+        let workers = (0..executors)
+            .map(|e| {
+                let (tx, rx) = bounded::<Job>(queue_depth);
+                let handle = std::thread::Builder::new()
+                    .name(format!("tstream-exec-{e}"))
+                    .spawn(move || {
+                        for job in rx.iter() {
+                            job();
+                        }
+                    })
+                    .expect("spawning an executor thread");
+                spawned.fetch_add(1, Ordering::SeqCst);
+                THREADS_SPAWNED.fetch_add(1, Ordering::SeqCst);
+                Worker {
+                    jobs: Some(tx),
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        ExecutorPool { workers, spawned }
+    }
+
+    /// Number of executor threads in the pool.
+    pub fn executors(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Threads this pool has spawned over its lifetime.  Equal to
+    /// [`ExecutorPool::executors`] forever — the property the session tests
+    /// pin down ("spawned once per engine, not per run or batch").
+    pub fn spawned(&self) -> u64 {
+        self.spawned.load(Ordering::SeqCst)
+    }
+
+    /// Enqueue a job on `executor`'s queue, blocking while the queue is full
+    /// (the pipeline's backpressure).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `executor` is out of range or the worker has already shut
+    /// down (only possible during teardown).
+    pub fn submit(&self, executor: usize, job: Job) {
+        let sent = self.workers[executor]
+            .jobs
+            .as_ref()
+            .expect("pool is shutting down")
+            .send(job);
+        assert!(sent.is_ok(), "executor thread exited with jobs outstanding");
+    }
+}
+
+impl Drop for ExecutorPool {
+    fn drop(&mut self) {
+        // Disconnect every queue first so all workers wind down together...
+        for worker in &mut self.workers {
+            worker.jobs.take();
+        }
+        // ...then join them; remaining queued jobs still run before exit.
+        for worker in &mut self.workers {
+            if let Some(handle) = worker.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn jobs_run_on_their_assigned_executor_in_fifo_order() {
+        let pool = ExecutorPool::new(2, 4);
+        let log: Arc<Mutex<Vec<(usize, usize)>>> = Arc::new(Mutex::new(Vec::new()));
+        for seq in 0..10 {
+            for e in 0..2 {
+                let log = log.clone();
+                pool.submit(
+                    e,
+                    Box::new(move || {
+                        log.lock().push((e, seq));
+                    }),
+                );
+            }
+        }
+        drop(pool); // joins; all jobs have run
+        let log = log.lock();
+        assert_eq!(log.len(), 20);
+        for e in 0..2 {
+            let seqs: Vec<usize> = log
+                .iter()
+                .filter(|(w, _)| *w == e)
+                .map(|(_, s)| *s)
+                .collect();
+            assert_eq!(
+                seqs,
+                (0..10).collect::<Vec<_>>(),
+                "executor {e} reordered jobs"
+            );
+        }
+    }
+
+    #[test]
+    fn spawn_counters_count_threads_once() {
+        let before = threads_spawned();
+        let pool = ExecutorPool::new(3, 2);
+        assert_eq!(pool.executors(), 3);
+        assert_eq!(pool.spawned(), 3);
+        assert!(threads_spawned() >= before + 3);
+        // Submitting work does not spawn anything further.
+        let hits = Arc::new(AtomicUsize::new(0));
+        for e in 0..3 {
+            for _ in 0..5 {
+                let hits = hits.clone();
+                pool.submit(
+                    e,
+                    Box::new(move || {
+                        hits.fetch_add(1, Ordering::SeqCst);
+                    }),
+                );
+            }
+        }
+        let after_submits = pool.spawned();
+        drop(pool);
+        assert_eq!(after_submits, 3);
+        assert_eq!(hits.load(Ordering::SeqCst), 15);
+    }
+
+    #[test]
+    fn bounded_queue_applies_backpressure() {
+        let pool = ExecutorPool::new(1, 1);
+        let release = Arc::new(Mutex::new(()));
+        let guard = release.lock();
+        let blocker = release.clone();
+        // First job blocks the worker; the queue (capacity 1) then fills.
+        pool.submit(
+            0,
+            Box::new(move || {
+                let _g = blocker.lock();
+            }),
+        );
+        pool.submit(0, Box::new(|| {}));
+        let t = std::time::Instant::now();
+        let pool = Arc::new(pool);
+        let p2 = pool.clone();
+        let submitter = std::thread::spawn(move || {
+            p2.submit(0, Box::new(|| {}));
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(
+            !submitter.is_finished(),
+            "third submit must block on the full queue"
+        );
+        drop(guard); // unblock the worker
+        submitter.join().unwrap();
+        assert!(t.elapsed() >= std::time::Duration::from_millis(10));
+    }
+
+    #[test]
+    fn degenerate_sizes_are_clamped() {
+        let pool = ExecutorPool::new(0, 0);
+        assert_eq!(pool.executors(), 1);
+        pool.submit(0, Box::new(|| {}));
+    }
+}

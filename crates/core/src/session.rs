@@ -1,0 +1,291 @@
+//! Streaming sessions: continuous ingestion over the persistent runtime.
+//!
+//! A [`StreamSession`] is the long-lived counterpart of [`Engine::run`]'s
+//! one-shot interface.  It connects the three pipeline stages:
+//!
+//! * **ingestion** — [`StreamSession::push`] stamps the payload at arrival
+//!   time and feeds the engine's online
+//!   [`tstream_stream::source::BatchBuilder`];
+//! * **execution** — every completed punctuation batch is dispatched to the
+//!   engine's persistent [`crate::runtime::ExecutorPool`] immediately, so
+//!   batch *k + 1* forms while batch *k* executes; the bounded per-executor
+//!   queues block `push` when the executors fall behind (backpressure);
+//! * **sink** — [`StreamSession::report`] flushes the trailing partial
+//!   batch, waits for the pool to drain, and aggregates the same
+//!   [`RunReport`] an offline run produces.
+//!
+//! A session holds the engine's exclusive run lease: sessions and offline
+//! runs of one engine serialize rather than interleaving their barrier
+//! generations or resetting each other's scheme/store state mid-flight.
+//! Results are deterministic — identical inputs produce the same committed /
+//! rejected counts and final store state as [`Engine::run_offline`], which
+//! the `session_runtime` differential suite pins down.
+
+use std::any::Any;
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex, MutexGuard};
+use tstream_state::StateStore;
+use tstream_stream::source::BatchBuilder;
+use tstream_txn::{Application, TxnDescriptor};
+
+use crate::engine::{Engine, EngineBatch, ExecutorState, RunContext, RunReport, Scheme};
+use crate::runtime::ExecutorPool;
+
+/// Payload of a panic caught on a pool worker.
+type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// Tracks finished per-executor batch jobs — and the first panic any of
+/// them raised — so `flush` can wait for the pool to drain this session's
+/// work and re-raise the failure on the caller's thread.
+#[derive(Default)]
+struct Completion {
+    state: Mutex<CompletionState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct CompletionState {
+    done: u64,
+    panic: Option<PanicPayload>,
+}
+
+impl Completion {
+    fn mark_one(&self) {
+        let mut state = self.state.lock();
+        state.done += 1;
+        drop(state);
+        self.cv.notify_all();
+    }
+
+    /// Record the first panic (later ones — typically the poisoned-barrier
+    /// panics of the sibling executors — are dropped as secondary).
+    fn record_panic(&self, payload: PanicPayload) {
+        let mut state = self.state.lock();
+        state.panic.get_or_insert(payload);
+    }
+
+    /// Wait until `target` jobs finished; returns the recorded root-cause
+    /// panic, if any, for the caller to re-raise.
+    fn wait_for(&self, target: u64) -> Option<PanicPayload> {
+        let mut state = self.state.lock();
+        while state.done < target {
+            self.cv.wait(&mut state);
+        }
+        state.panic.take()
+    }
+}
+
+/// State shared between the session handle and the jobs it dispatched:
+/// the run context plus one accumulator slot per executor.  Jobs of one
+/// executor run strictly in order on its pool thread, so each slot's mutex
+/// is uncontended — it exists to move the state into `'static` jobs, not to
+/// arbitrate access.
+struct SessionShared<A: Application> {
+    ctx: RunContext<A>,
+    slots: Vec<Mutex<ExecutorState>>,
+    completion: Completion,
+}
+
+/// A continuous-ingestion handle onto an [`Engine`].
+///
+/// ```
+/// use std::sync::Arc;
+/// use tstream_core::prelude::*;
+///
+/// struct Count;
+/// impl Application for Count {
+///     type Payload = u64;
+///     fn name(&self) -> &'static str { "count" }
+///     fn read_write_set(&self, key: &u64) -> ReadWriteSet {
+///         ReadWriteSet::new().write(StateRef::new(0, *key))
+///     }
+///     fn state_access(&self, key: &u64, txn: &mut TxnBuilder) {
+///         txn.read_modify(0, *key, None, |ctx| {
+///             Ok(Value::Long(ctx.current.as_long()? + 1))
+///         });
+///     }
+///     fn post_process(&self, _key: &u64, _b: &EventBlotter) -> PostAction {
+///         PostAction::Emit
+///     }
+/// }
+///
+/// let table = TableBuilder::new("counters")
+///     .extend((0..8u64).map(|k| (k, Value::Long(0))))
+///     .build()
+///     .unwrap();
+/// let store = StateStore::new(vec![table]).unwrap();
+/// let engine = Engine::new(EngineConfig::with_executors(2).punctuation(16));
+/// let mut session = engine.session(&Arc::new(Count), &store, &Scheme::TStream);
+/// for i in 0..64u64 {
+///     session.push(i % 8);
+/// }
+/// session.flush(); // everything pushed so far is executed
+/// let report = session.report();
+/// assert_eq!(report.committed, 64);
+/// ```
+pub struct StreamSession<'e, A: Application> {
+    pool: &'e ExecutorPool,
+    _lease: MutexGuard<'e, ()>,
+    shared: Arc<SessionShared<A>>,
+    builder: BatchBuilder<A::Payload, TxnDescriptor>,
+    started: Option<Instant>,
+    pushed: u64,
+    jobs_dispatched: u64,
+}
+
+impl<'e, A: Application> StreamSession<'e, A> {
+    pub(crate) fn open(
+        engine: &'e Engine,
+        app: &Arc<A>,
+        store: &Arc<StateStore>,
+        scheme: &Scheme,
+    ) -> Self {
+        let lease = engine.lease();
+        let pool = engine.pool();
+        let ctx = RunContext::new(engine, app, store, scheme);
+        let executors = ctx.executors();
+        StreamSession {
+            pool,
+            _lease: lease,
+            shared: Arc::new(SessionShared {
+                ctx,
+                slots: (0..executors)
+                    .map(|_| Mutex::new(ExecutorState::default()))
+                    .collect(),
+                completion: Completion::default(),
+            }),
+            builder: engine.batch_builder(app),
+            started: None,
+            pushed: 0,
+            jobs_dispatched: 0,
+        }
+    }
+
+    /// Number of executors serving this session.
+    pub fn executors(&self) -> usize {
+        self.shared.ctx.executors()
+    }
+
+    /// Events pushed so far.
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Batches handed to the executor pool so far.
+    pub fn batches_dispatched(&self) -> u64 {
+        self.jobs_dispatched / self.executors() as u64
+    }
+
+    /// Ingest one event: stamp it at arrival time, route it, and — when it
+    /// completes a punctuation batch — dispatch the batch to the executor
+    /// pool.  Blocks only when the pool's bounded queues are full
+    /// (backpressure under sustained overload).
+    pub fn push(&mut self, payload: A::Payload) {
+        if self.started.is_none() {
+            self.started = Some(Instant::now());
+        }
+        self.pushed += 1;
+        if let Some(batch) = self.builder.push(payload) {
+            self.dispatch(batch);
+        }
+    }
+
+    /// Close and dispatch the partially filled batch (if any) and block
+    /// until every dispatched batch has been fully processed.  The store
+    /// then reflects every event pushed so far; further `push` calls are
+    /// allowed and start the next batch.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first panic an executor hit while processing this
+    /// session's batches (e.g. a panicking [`Application`] method) — the
+    /// same propagation `Engine::run` gave through `thread::scope` before
+    /// the persistent pool.  The pool itself survives: the run's barrier is
+    /// poisoned so sibling executors unwind instead of waiting forever, and
+    /// the engine stays usable for new runs and sessions.
+    pub fn flush(&mut self) {
+        if let Some(batch) = self.builder.finish() {
+            self.dispatch(batch);
+        }
+        if let Some(panic) = self.shared.completion.wait_for(self.jobs_dispatched) {
+            std::panic::resume_unwind(panic);
+        }
+    }
+
+    /// Flush and aggregate the session into a [`RunReport`], releasing the
+    /// engine's run lease.  Re-raises a worker panic the way
+    /// [`StreamSession::flush`] does.
+    pub fn report(mut self) -> RunReport {
+        self.flush();
+        let elapsed = self.started.map(|s| s.elapsed()).unwrap_or(Duration::ZERO);
+        let states: Vec<ExecutorState> = self
+            .shared
+            .slots
+            .iter()
+            .map(|slot| std::mem::take(&mut *slot.lock()))
+            .collect();
+        self.shared.ctx.aggregate(states, elapsed, self.pushed)
+    }
+
+    /// Send one completed batch to every executor's queue, in executor
+    /// order.  Queues are drained independently, so a full queue only delays
+    /// this (ingestion) thread, never an executor.
+    ///
+    /// Each job catches panics from the step (application code runs inside
+    /// it): the first panic is recorded as the root cause and the run's
+    /// barrier is poisoned, so sibling executors mid-batch unwind too (their
+    /// poisoned-barrier panics are recorded only as secondary and dropped).
+    /// Every job still marks completion, which keeps `flush` finite and the
+    /// pool threads alive for the next run.
+    fn dispatch(&mut self, batch: EngineBatch<A::Payload>) {
+        let batch = Arc::new(batch);
+        for e in 0..self.executors() {
+            let shared = self.shared.clone();
+            let batch = batch.clone();
+            self.pool.submit(
+                e,
+                Box::new(move || {
+                    let step = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        let mut slot = shared.slots[e].lock();
+                        shared.ctx.step(e, &batch, &mut slot);
+                    }));
+                    if let Err(payload) = step {
+                        shared.completion.record_panic(payload);
+                        shared.ctx.poison();
+                    }
+                    shared.completion.mark_one();
+                }),
+            );
+            self.jobs_dispatched += 1;
+        }
+    }
+}
+
+impl<A: Application> Drop for StreamSession<'_, A> {
+    fn drop(&mut self) {
+        // The run lease must never be released while this session's jobs are
+        // still on the pool — the next run would reset scheme/store state
+        // under them.  Two cases:
+        //
+        // * normal drop: the session still completes — the trailing partial
+        //   batch is dispatched (push has no "provisional until punctuation"
+        //   caveat) and the pool drains.  After `report`/`flush` both steps
+        //   are no-ops.  A recorded worker panic is swallowed — observing
+        //   failures is what `flush`/`report` are for, and panicking from
+        //   `drop` would abort;
+        // * drop while unwinding: this session is being abandoned, so poison
+        //   its barrier — in-flight jobs unwind at their next barrier wait
+        //   instead of running the stream to completion — and drain before
+        //   the lease goes.  (Every job ends, panicked or not, so the wait
+        //   is finite.)
+        if std::thread::panicking() {
+            self.shared.ctx.poison();
+        } else if let Some(batch) = self.builder.finish() {
+            self.dispatch(batch);
+        }
+        let _ = self.shared.completion.wait_for(self.jobs_dispatched);
+    }
+}

@@ -26,6 +26,9 @@ struct BarrierState {
     waiting: usize,
     /// Generation counter; bumping it releases the current waiters.
     generation: u64,
+    /// Set by [`CyclicBarrier::poison`]; every current and future waiter
+    /// panics instead of blocking forever on a party that will never arrive.
+    poisoned: bool,
 }
 
 impl CyclicBarrier {
@@ -37,6 +40,7 @@ impl CyclicBarrier {
             state: Mutex::new(BarrierState {
                 waiting: 0,
                 generation: 0,
+                poisoned: false,
             }),
             cond: Condvar::new(),
         }
@@ -51,9 +55,18 @@ impl CyclicBarrier {
     /// the leader is the last arriver (it can perform single-threaded
     /// housekeeping such as clearing chain pools), and `waited` is the time
     /// spent blocked, charged to the *Sync* breakdown component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the barrier has been [`CyclicBarrier::poison`]ed — a party
+    /// died, so waiting for it would block forever.
     pub fn wait(&self) -> (bool, Duration) {
         let start = Instant::now();
         let mut state = self.state.lock();
+        assert!(
+            !state.poisoned,
+            "cyclic barrier poisoned: a participant panicked"
+        );
         state.waiting += 1;
         if state.waiting == self.parties {
             // Last arriver: release everybody and start a new generation.
@@ -66,10 +79,30 @@ impl CyclicBarrier {
             let generation = state.generation;
             while state.generation == generation {
                 self.cond.wait(&mut state);
+                assert!(
+                    !state.poisoned,
+                    "cyclic barrier poisoned: a participant panicked"
+                );
             }
             drop(state);
             (false, start.elapsed())
         }
+    }
+
+    /// Poison the barrier: wake every current waiter and make it (and every
+    /// future [`CyclicBarrier::wait`]) panic.  Called when a participant dies
+    /// mid-batch — the surviving parties would otherwise block forever on an
+    /// arrival that can never happen.
+    pub fn poison(&self) {
+        let mut state = self.state.lock();
+        state.poisoned = true;
+        drop(state);
+        self.cond.notify_all();
+    }
+
+    /// Whether the barrier has been poisoned.
+    pub fn is_poisoned(&self) -> bool {
+        self.state.lock().poisoned
     }
 }
 
@@ -145,5 +178,126 @@ mod tests {
         let b = CyclicBarrier::new(0);
         assert_eq!(b.parties(), 1);
         b.wait();
+    }
+
+    /// Regression test for the persistent executor pool: a pool reuses one
+    /// barrier for the lifetime of a session, and an executor that finishes a
+    /// batch early re-enters `wait` while slower ones may not yet have woken
+    /// from the previous generation.  The generation counter must keep the
+    /// two rounds apart — a fast re-entrant waiter must never be released by
+    /// the notification of the round it already passed.
+    #[test]
+    fn immediate_reentry_joins_the_next_generation_not_the_previous() {
+        let parties = 2;
+        let rounds = 2_000;
+        let barrier = Arc::new(CyclicBarrier::new(parties));
+        let rounds_seen = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for spin in [false, true] {
+            let barrier = barrier.clone();
+            let rounds_seen = rounds_seen.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut leads = 0usize;
+                for _ in 0..rounds {
+                    let (leader, _) = barrier.wait();
+                    if leader {
+                        leads += 1;
+                        rounds_seen.fetch_add(1, Ordering::SeqCst);
+                    }
+                    // One thread re-enters immediately; the other yields so
+                    // their arrival orders interleave across generations.
+                    if !spin {
+                        std::thread::yield_now();
+                    }
+                }
+                leads
+            }));
+        }
+        let total_leads: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total_leads, rounds, "exactly one leader per generation");
+        assert_eq!(rounds_seen.load(Ordering::SeqCst), rounds);
+    }
+
+    /// The generation counter wraps with `wrapping_add`; a barrier sitting at
+    /// `u64::MAX` generations must release the wrap-around round normally.
+    #[test]
+    fn generation_counter_wraparound_is_harmless() {
+        let barrier = Arc::new(CyclicBarrier::new(3));
+        barrier.state.lock().generation = u64::MAX;
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let barrier = barrier.clone();
+            handles.push(std::thread::spawn(move || {
+                barrier.wait();
+                barrier.wait();
+            }));
+        }
+        barrier.wait();
+        barrier.wait();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(barrier.state.lock().generation, 1, "MAX -> 0 -> 1");
+    }
+
+    /// Poisoning releases blocked waiters (as a panic) instead of leaving
+    /// them stranded, and rejects late arrivals.
+    #[test]
+    fn poison_wakes_waiters_and_rejects_late_arrivals() {
+        let barrier = Arc::new(CyclicBarrier::new(3));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let barrier = barrier.clone();
+            handles.push(std::thread::spawn(move || {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| barrier.wait())).is_err()
+            }));
+        }
+        // Give both waiters time to block, then poison instead of arriving.
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!barrier.is_poisoned());
+        barrier.poison();
+        for h in handles {
+            assert!(h.join().unwrap(), "blocked waiters must panic, not hang");
+        }
+        assert!(barrier.is_poisoned());
+        let late = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| barrier.wait()));
+        assert!(late.is_err(), "late arrivals must panic too");
+    }
+
+    /// Batch-shaped reuse: the engine passes each barrier generation with a
+    /// known phase counter.  Under uneven per-round delays, no thread may
+    /// ever observe a phase more than one round away from its own — the
+    /// failure mode a lost or double-counted generation would produce.
+    #[test]
+    fn repeated_waits_keep_all_parties_in_lockstep_phases() {
+        let parties = 4;
+        let rounds = 300;
+        let barrier = Arc::new(CyclicBarrier::new(parties));
+        let phase = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for t in 0..parties {
+            let barrier = barrier.clone();
+            let phase = phase.clone();
+            handles.push(std::thread::spawn(move || {
+                for round in 0..rounds {
+                    let (leader, _) = barrier.wait();
+                    if leader {
+                        phase.store(round + 1, Ordering::SeqCst);
+                    }
+                    if t % 2 == 0 {
+                        std::thread::yield_now();
+                    }
+                    let (_, _) = barrier.wait();
+                    // Between the two barriers of round N the phase is
+                    // exactly N + 1: the leader of round N set it, and no
+                    // thread can reach round N + 1's first barrier before
+                    // everyone passed this one.
+                    assert_eq!(phase.load(Ordering::SeqCst), round + 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
     }
 }

@@ -12,6 +12,9 @@
 //!   transaction's read/write set (feature **F2**);
 //! * [`partition`] — round-robin shuffle, key-based stream partitioning and
 //!   shard-affine event routing onto the state store's shard layer;
+//! * [`source`] — the ingestion layer: online, punctuation-delimited batch
+//!   formation ([`source::BatchBuilder`]) that stamps events at arrival time,
+//!   plus bounded source channels with backpressure;
 //! * [`barrier`] — a reusable cyclic barrier used for dual-mode switching;
 //! * [`executor`] — executor identities and thread helpers;
 //! * [`sink`] — throughput / end-to-end latency measurement;
@@ -30,6 +33,7 @@ pub mod operator;
 pub mod partition;
 pub mod progress;
 pub mod sink;
+pub mod source;
 pub mod topology;
 
 pub use barrier::CyclicBarrier;
@@ -40,3 +44,4 @@ pub use operator::{AccessMode, ReadWriteSet, StateRef};
 pub use partition::{EventRouting, KeyPartitioner, RoundRobin, ShardAffineRouter};
 pub use progress::ProgressController;
 pub use sink::{LatencyStats, Sink};
+pub use source::{bounded_source, BatchBuilder, SourceBatch, SourceHandle, SourceOutlet};

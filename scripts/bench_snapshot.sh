@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Refresh the repository's perf-trajectory baseline: run the quick
+# Figure-8-style throughput sweep across GS/SL/OB/TP under every scheme and
+# write the results to BENCH_engine.json at the repo root.
+#
+# Usage:
+#   scripts/bench_snapshot.sh            # quick sweep (CI-sized)
+#   scripts/bench_snapshot.sh --full     # full sweep (takes much longer)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+MODE="--quick"
+if [ "${1:-}" = "--full" ]; then
+    MODE=""
+fi
+
+# shellcheck disable=SC2086  # MODE is intentionally word-split (empty or one flag)
+cargo run --release -p tstream-bench --bin bench_snapshot -- $MODE --out BENCH_engine.json

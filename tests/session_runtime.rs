@@ -1,0 +1,530 @@
+//! Differential tests for the pipelined streaming runtime.
+//!
+//! The `StreamSession` path (online batch formation + persistent executor
+//! pool) and the seed's offline path (pre-materialized batches + scoped
+//! per-run threads) execute the same per-batch step functions, so for
+//! identical inputs they must produce **byte-identical** results: the same
+//! committed/rejected counts and the same key-sorted store snapshot, for
+//! every app × scheme × shard count.  These tests pin that down, plus the
+//! runtime property the refactor exists for: executor threads are spawned
+//! once per engine — never per run, session or batch.
+
+use std::sync::Arc;
+
+use tstream_apps::workload::WorkloadSpec;
+use tstream_apps::{gs, ob, sl, tp, AppKind, SchemeKind};
+use tstream_core::prelude::*;
+use tstream_core::Scheme;
+use tstream_state::Value;
+
+type Snapshot = Vec<(String, u64, Value)>;
+
+/// Shard counts exercised by the differential matrix; `TSTREAM_TEST_SHARDS`
+/// (set by the `session-smoke` CI job) forces an extra count.
+fn shard_counts() -> Vec<u32> {
+    let mut counts = vec![1, 4];
+    if let Ok(extra) = std::env::var("TSTREAM_TEST_SHARDS") {
+        if let Ok(n) = extra.trim().parse::<u32>() {
+            if n >= 1 && !counts.contains(&n) {
+                counts.push(n);
+            }
+        }
+    }
+    counts
+}
+
+/// Drive one (app, scheme) combination through the chosen path and return
+/// `(committed, rejected, key-sorted snapshot)`.
+fn run_path(
+    app: AppKind,
+    scheme: &Scheme,
+    spec: &WorkloadSpec,
+    engine_config: EngineConfig,
+    session: bool,
+) -> (u64, u64, Snapshot) {
+    fn go<A: Application>(
+        application: A,
+        store: Arc<StateStore>,
+        payloads: Vec<A::Payload>,
+        scheme: &Scheme,
+        engine_config: EngineConfig,
+        session: bool,
+    ) -> (u64, u64, Snapshot) {
+        let engine = Engine::new(engine_config);
+        let app = Arc::new(application);
+        let report = if session {
+            // The explicit streaming API: push every payload, then report.
+            let mut session = engine.session(&app, &store, scheme);
+            for payload in payloads {
+                session.push(payload);
+            }
+            session.report()
+        } else {
+            engine.run_offline(&app, &store, payloads, scheme)
+        };
+        (report.committed, report.rejected, store.snapshot())
+    }
+    match app {
+        AppKind::Gs => go(
+            gs::GrepSum::default(),
+            gs::build_store(spec),
+            gs::generate(spec),
+            scheme,
+            engine_config,
+            session,
+        ),
+        AppKind::Sl => go(
+            sl::StreamingLedger,
+            sl::build_store(spec),
+            sl::generate(spec),
+            scheme,
+            engine_config,
+            session,
+        ),
+        AppKind::Ob => go(
+            ob::OnlineBidding,
+            ob::build_store(spec),
+            ob::generate(spec),
+            scheme,
+            engine_config,
+            session,
+        ),
+        AppKind::Tp => go(
+            tp::TollProcessing,
+            tp::build_store(spec),
+            tp::generate(spec),
+            scheme,
+            engine_config,
+            session,
+        ),
+    }
+}
+
+/// TStream is compared with the full 4-executor pipeline; No-Lock — the
+/// consistency-free upper bound whose concurrent runs are deliberately racy
+/// — is compared serially (1 executor), the only configuration in which its
+/// results are deterministic (the same convention as `tests/sharding.rs`).
+fn assert_session_matches_offline(app: AppKind, kind: SchemeKind, seed: u64) {
+    let executors = match kind {
+        SchemeKind::NoLock => 1,
+        _ => 4,
+    };
+    for shards in shard_counts() {
+        let spec = WorkloadSpec::default()
+            .events(600)
+            .seed(seed)
+            .shards(shards);
+        let engine = EngineConfig::with_executors(executors)
+            .punctuation(125)
+            .shards(shards as usize);
+        let scheme = kind.build(spec.partitions);
+        let offline = run_path(app, &scheme, &spec, engine, false);
+        let streamed = run_path(app, &scheme, &spec, engine, true);
+        assert_eq!(
+            streamed.0,
+            offline.0,
+            "{} / {} on {shards} shards: committed diverged",
+            app.label(),
+            kind.label()
+        );
+        assert_eq!(
+            streamed.1,
+            offline.1,
+            "{} / {} on {shards} shards: rejected diverged",
+            app.label(),
+            kind.label()
+        );
+        assert_eq!(
+            streamed.2,
+            offline.2,
+            "{} / {} on {shards} shards: store snapshots diverged",
+            app.label(),
+            kind.label()
+        );
+    }
+}
+
+#[test]
+fn gs_session_matches_offline_under_tstream() {
+    assert_session_matches_offline(AppKind::Gs, SchemeKind::TStream, 0xF1);
+}
+
+#[test]
+fn sl_session_matches_offline_under_tstream() {
+    assert_session_matches_offline(AppKind::Sl, SchemeKind::TStream, 0xF2);
+}
+
+#[test]
+fn ob_session_matches_offline_under_tstream() {
+    assert_session_matches_offline(AppKind::Ob, SchemeKind::TStream, 0xF3);
+}
+
+#[test]
+fn tp_session_matches_offline_under_tstream() {
+    assert_session_matches_offline(AppKind::Tp, SchemeKind::TStream, 0xF4);
+}
+
+#[test]
+fn gs_session_matches_offline_under_nolock() {
+    assert_session_matches_offline(AppKind::Gs, SchemeKind::NoLock, 0xF5);
+}
+
+#[test]
+fn sl_session_matches_offline_under_nolock() {
+    assert_session_matches_offline(AppKind::Sl, SchemeKind::NoLock, 0xF6);
+}
+
+#[test]
+fn ob_session_matches_offline_under_nolock() {
+    assert_session_matches_offline(AppKind::Ob, SchemeKind::NoLock, 0xF7);
+}
+
+#[test]
+fn tp_session_matches_offline_under_nolock() {
+    assert_session_matches_offline(AppKind::Tp, SchemeKind::NoLock, 0xF8);
+}
+
+/// A tiny inline application for the runtime-behaviour tests: every event
+/// increments one of `keys` counters, so the store's sum equals the number
+/// of committed events at any flush point.
+struct Counter;
+
+impl Application for Counter {
+    type Payload = u64;
+    fn name(&self) -> &'static str {
+        "counter"
+    }
+    fn read_write_set(&self, key: &u64) -> ReadWriteSet {
+        ReadWriteSet::new().write(StateRef::new(0, *key))
+    }
+    fn state_access(&self, key: &u64, txn: &mut TxnBuilder) {
+        txn.read_modify(0, *key, None, |ctx| {
+            Ok(Value::Long(ctx.current.as_long()? + 1))
+        });
+    }
+    fn post_process(&self, _key: &u64, _b: &EventBlotter) -> PostAction {
+        PostAction::Emit
+    }
+}
+
+fn counter_store(keys: u64) -> Arc<StateStore> {
+    let table = TableBuilder::new("counters")
+        .extend((0..keys).map(|k| (k, Value::Long(0))))
+        .build()
+        .unwrap();
+    StateStore::new(vec![table]).unwrap()
+}
+
+fn counter_sum(store: &StateStore) -> i64 {
+    store
+        .table_by_name("counters")
+        .unwrap()
+        .iter()
+        .map(|(_, r)| r.read_committed().as_long().unwrap())
+        .sum()
+}
+
+/// The property the persistent pool exists for: however many runs and
+/// sessions an engine serves, its executor threads are spawned exactly once.
+#[test]
+fn executor_threads_are_spawned_once_per_engine_not_per_run_or_batch() {
+    let executors = 3usize;
+    let engine = Engine::new(EngineConfig::with_executors(executors).punctuation(50));
+    let app = Arc::new(Counter);
+    assert_eq!(
+        engine.runtime_threads_spawned(),
+        0,
+        "the pool is spawned lazily, on first use"
+    );
+
+    // Three full runs (each many batches) plus an explicit session.
+    for round in 0..3u64 {
+        let store = counter_store(16);
+        let report = engine.run(
+            &app,
+            &store,
+            (0..400).map(|i| i % 16).collect(),
+            &Scheme::TStream,
+        );
+        assert_eq!(report.committed, 400, "round {round}");
+        assert_eq!(
+            engine.runtime_threads_spawned(),
+            executors as u64,
+            "round {round}: threads must not be respawned per run"
+        );
+    }
+    let store = counter_store(16);
+    let mut session = engine.session(&app, &store, &Scheme::TStream);
+    for i in 0..200u64 {
+        session.push(i % 16);
+    }
+    let report = session.report();
+    assert_eq!(report.committed, 200);
+    assert_eq!(engine.runtime_threads_spawned(), executors as u64);
+}
+
+/// `flush` is a true synchronisation point: everything pushed so far is
+/// visible in the store, and the session keeps accepting events afterwards.
+#[test]
+fn flush_makes_all_pushed_events_visible_and_session_continues() {
+    let engine = Engine::new(EngineConfig::with_executors(2).punctuation(32));
+    let app = Arc::new(Counter);
+    let store = counter_store(8);
+    let mut session = engine.session(&app, &store, &Scheme::TStream);
+
+    // 80 events = 2.5 batches: flush must close the partial batch too.
+    for i in 0..80u64 {
+        session.push(i % 8);
+    }
+    session.flush();
+    assert_eq!(counter_sum(&store), 80, "flush drains every pushed event");
+    assert_eq!(session.pushed(), 80);
+    assert!(session.batches_dispatched() >= 3);
+
+    for i in 0..40u64 {
+        session.push(i % 8);
+    }
+    let report = session.report();
+    assert_eq!(report.committed, 120);
+    assert_eq!(report.events, 120);
+    assert_eq!(counter_sum(&store), 120);
+}
+
+/// Sessions of one engine hold an exclusive pool lease and serialize; a
+/// dropped session must leave the pool reusable.
+#[test]
+fn sequential_sessions_reuse_the_pool_cleanly() {
+    let engine = Engine::new(EngineConfig::with_executors(2).punctuation(16));
+    let app = Arc::new(Counter);
+    for _ in 0..4 {
+        let store = counter_store(4);
+        let mut session = engine.session(&app, &store, &Scheme::TStream);
+        for i in 0..50u64 {
+            session.push(i % 4);
+        }
+        // One session is reported, the next only flushed, the next dropped
+        // mid-stream: all must leave the pool in a clean state.
+        session.flush();
+        drop(session);
+        assert_eq!(counter_sum(&store), 50);
+    }
+    assert_eq!(engine.runtime_threads_spawned(), 2);
+}
+
+/// `Engine::run` is a thin wrapper over the session path, so pushing the
+/// same payloads manually must reproduce its report exactly.
+#[test]
+fn manual_session_reproduces_engine_run() {
+    let spec = WorkloadSpec::default().events(500).seed(0xAB);
+    let payloads = sl::generate(&spec);
+    let app = Arc::new(sl::StreamingLedger);
+
+    let store_run = sl::build_store(&spec);
+    let engine = Engine::new(EngineConfig::with_executors(4).punctuation(100));
+    let run_report = engine.run(&app, &store_run, payloads.clone(), &Scheme::TStream);
+
+    let store_session = sl::build_store(&spec);
+    let mut session = engine.session(&app, &store_session, &Scheme::TStream);
+    for p in payloads {
+        session.push(p);
+    }
+    let session_report = session.report();
+
+    assert_eq!(session_report.committed, run_report.committed);
+    assert_eq!(session_report.rejected, run_report.rejected);
+    assert_eq!(session_report.events, run_report.events);
+    assert_eq!(store_session.snapshot(), store_run.snapshot());
+}
+
+/// A counter variant that panics on a poison-pill payload, for the
+/// panic-propagation tests.
+struct PanickyCounter;
+
+impl Application for PanickyCounter {
+    type Payload = u64;
+    fn name(&self) -> &'static str {
+        "panicky-counter"
+    }
+    fn pre_process(&self, payload: &u64) -> bool {
+        assert!(*payload != u64::MAX, "poison pill event");
+        true
+    }
+    fn read_write_set(&self, key: &u64) -> ReadWriteSet {
+        ReadWriteSet::new().write(StateRef::new(0, *key))
+    }
+    fn state_access(&self, key: &u64, txn: &mut TxnBuilder) {
+        txn.read_modify(0, *key, None, |ctx| {
+            Ok(Value::Long(ctx.current.as_long()? + 1))
+        });
+    }
+    fn post_process(&self, _key: &u64, _b: &EventBlotter) -> PostAction {
+        PostAction::Emit
+    }
+}
+
+/// A panicking application must surface as a panic on the caller's thread
+/// (as the scoped offline path always did), not as a hang — and the
+/// engine's pool must survive and serve the next run.
+#[test]
+fn application_panic_propagates_and_pool_survives() {
+    let engine = Engine::new(EngineConfig::with_executors(2).punctuation(8));
+    let app = Arc::new(PanickyCounter);
+
+    let store = counter_store(4);
+    let mut payloads: Vec<u64> = (0..40).map(|i| i % 4).collect();
+    payloads[21] = u64::MAX; // poison pill mid-stream
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        engine.run(&app, &store, payloads, &Scheme::TStream)
+    }));
+    assert!(outcome.is_err(), "the application panic must propagate");
+
+    // The pool survived: the same engine serves a clean follow-up run.
+    let store = counter_store(4);
+    let report = engine.run(
+        &app,
+        &store,
+        (0..40).map(|i| i % 4).collect(),
+        &Scheme::TStream,
+    );
+    assert_eq!(report.committed, 40);
+    assert_eq!(counter_sum(&store), 40);
+    assert_eq!(engine.runtime_threads_spawned(), 2);
+}
+
+/// Dropping a session without flushing still executes the trailing partial
+/// batch — pushed events are never silently discarded.
+#[test]
+fn dropping_a_session_completes_the_partial_batch() {
+    let engine = Engine::new(EngineConfig::with_executors(2).punctuation(32));
+    let app = Arc::new(Counter);
+    let store = counter_store(4);
+    let mut session = engine.session(&app, &store, &Scheme::TStream);
+    for i in 0..10u64 {
+        session.push(i % 4); // well below one punctuation interval
+    }
+    drop(session);
+    assert_eq!(
+        counter_sum(&store),
+        10,
+        "drop must flush the partial batch, not discard it"
+    );
+}
+
+/// Offline runs serialize on the same engine lease as sessions, so they can
+/// be freely interleaved (sequentially) with session work.
+#[test]
+fn offline_runs_and_sessions_share_one_engine() {
+    let engine = Engine::new(EngineConfig::with_executors(2).punctuation(25));
+    let app = Arc::new(Counter);
+
+    let store = counter_store(8);
+    let offline = engine.run_offline(
+        &app,
+        &store,
+        (0..100).map(|i| i % 8).collect(),
+        &Scheme::TStream,
+    );
+    assert_eq!(offline.committed, 100);
+
+    let store = counter_store(8);
+    let mut session = engine.session(&app, &store, &Scheme::TStream);
+    for i in 0..100u64 {
+        session.push(i % 8);
+    }
+    let streamed = session.report();
+    assert_eq!(streamed.committed, 100);
+
+    // Offline runs never touch the pool; only the session spawned threads.
+    assert_eq!(engine.runtime_threads_spawned(), 2);
+}
+
+/// Engine clones share one pool (and one run lease) even when the clone is
+/// made before the pool is first spawned.
+#[test]
+fn engine_clones_share_one_pool_even_before_first_run() {
+    let engine = Engine::new(EngineConfig::with_executors(2).punctuation(25));
+    let clone = engine.clone(); // pool not spawned yet
+    let app = Arc::new(Counter);
+
+    let store = counter_store(4);
+    let report = clone.run(
+        &app,
+        &store,
+        (0..50).map(|i| i % 4).collect(),
+        &Scheme::TStream,
+    );
+    assert_eq!(report.committed, 50);
+    assert_eq!(
+        engine.runtime_threads_spawned(),
+        2,
+        "the original must see the pool its clone spawned"
+    );
+
+    let store = counter_store(4);
+    engine.run(
+        &app,
+        &store,
+        (0..50).map(|i| i % 4).collect(),
+        &Scheme::TStream,
+    );
+    assert_eq!(engine.runtime_threads_spawned(), 2);
+    assert_eq!(clone.runtime_threads_spawned(), 2);
+}
+
+/// A panic on the ingestion thread abandons the session (its barrier is
+/// poisoned and the in-flight jobs drain before the run lease is released)
+/// without wedging the engine.
+#[test]
+fn panicking_ingestion_thread_leaves_the_engine_usable() {
+    let engine = Engine::new(EngineConfig::with_executors(2).punctuation(8));
+    let app = Arc::new(Counter);
+    let store = counter_store(4);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut session = engine.session(&app, &store, &Scheme::TStream);
+        for i in 0..40u64 {
+            session.push(i % 4); // several batches in flight
+        }
+        panic!("ingestion failure");
+    }));
+    assert!(result.is_err());
+
+    // The lease was released only after the orphaned jobs drained, so the
+    // engine serves the next run (offline and pipelined) normally.
+    let store = counter_store(4);
+    let offline = engine.run_offline(
+        &app,
+        &store,
+        (0..20).map(|i| i % 4).collect(),
+        &Scheme::TStream,
+    );
+    assert_eq!(offline.committed, 20);
+    let store = counter_store(4);
+    let streamed = engine.run(
+        &app,
+        &store,
+        (0..20).map(|i| i % 4).collect(),
+        &Scheme::TStream,
+    );
+    assert_eq!(streamed.committed, 20);
+}
+
+/// Empty and single-event sessions are well-formed.
+#[test]
+fn degenerate_sessions_are_harmless() {
+    let engine = Engine::new(EngineConfig::with_executors(3).punctuation(100));
+    let app = Arc::new(Counter);
+
+    let store = counter_store(4);
+    let session = engine.session(&app, &store, &Scheme::TStream);
+    let report = session.report();
+    assert_eq!(report.events, 0);
+    assert_eq!(report.committed, 0);
+    assert_eq!(report.latency.samples(), 0);
+
+    let store = counter_store(4);
+    let mut session = engine.session(&app, &store, &Scheme::TStream);
+    session.push(1);
+    let report = session.report();
+    assert_eq!(report.committed, 1);
+    assert_eq!(counter_sum(&store), 1);
+}
