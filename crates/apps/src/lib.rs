@@ -28,9 +28,11 @@ pub mod ob;
 pub mod runner;
 pub mod sl;
 pub mod tp;
+pub mod wal;
 pub mod workload;
 
 pub use runner::{
-    run_benchmark, run_benchmark_via, AppKind, ExecutionPath, RunOptions, SchemeKind,
+    run_benchmark, run_benchmark_durable, run_benchmark_via, run_benchmark_with_snapshot, AppKind,
+    ExecutionPath, RunOptions, SchemeKind,
 };
 pub use workload::{Rng, WorkloadSpec, Zipf};

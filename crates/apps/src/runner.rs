@@ -6,11 +6,13 @@
 //! any combination through one function, plus table-formatting helpers shared
 //! by every harness.
 
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Duration;
 
 use tstream_core::{Engine, EngineConfig, RunReport, Scheme};
-use tstream_state::StateStore;
+use tstream_recovery::WalPayload;
+use tstream_state::{StateResult, StateStore, StoreSnapshot};
 use tstream_txn::Application;
 use tstream_txn::{
     lock_based::LockScheme,
@@ -188,6 +190,29 @@ fn drive<A: Application>(
     }
 }
 
+/// Drive a durable (write-ahead-logged) session over `dir`: recover whatever
+/// the directory already holds, then push `payloads[ingested..until]`.
+fn drive_durable<A: Application>(
+    engine: &Engine,
+    app: &Arc<A>,
+    store: &Arc<StateStore>,
+    payloads: Vec<A::Payload>,
+    scheme: &Scheme,
+    dir: &Path,
+    until: Option<usize>,
+) -> StateResult<RunReport>
+where
+    A::Payload: WalPayload,
+{
+    let mut session = engine.durable_session(dir, app, store, scheme)?;
+    let start = session.ingested() as usize;
+    let stop = until.unwrap_or(payloads.len()).min(payloads.len());
+    for payload in payloads.into_iter().take(stop).skip(start) {
+        session.push(payload)?;
+    }
+    session.report()
+}
+
 /// Run one (application, scheme) combination and return the report.
 ///
 /// The store is built from `options.spec`, so its shard count is
@@ -207,6 +232,30 @@ pub fn run_benchmark_via(
     options: &RunOptions,
     path: ExecutionPath,
 ) -> RunReport {
+    run_benchmark_with_snapshot(app, scheme, options, path).0
+}
+
+/// Run one (application, scheme) combination through a **durable session**
+/// over `dir` — the `--durable` / `--recover` path of the benchmark
+/// harnesses.
+///
+/// The call is self-positioning: it first recovers whatever durability state
+/// `dir` already holds (an empty directory starts a fresh log), then pushes
+/// the generated input from the first not-yet-ingested event up to `until`
+/// (exclusive; `None` = the whole input).  Calling it once with
+/// `until = Some(n)` and again with `until = None` over the same directory
+/// therefore models a crash after `n` events followed by a recovery that
+/// finishes the stream — the second report carries the *cumulative* counts.
+///
+/// Returns the report and the final key-sorted store snapshot, so harnesses
+/// can compare recovered runs byte-for-byte against uninterrupted ones.
+pub fn run_benchmark_durable(
+    app: AppKind,
+    scheme: SchemeKind,
+    options: &RunOptions,
+    dir: &Path,
+    until: Option<usize>,
+) -> StateResult<(RunReport, StoreSnapshot)> {
     let engine_config = options.engine.shards(options.spec.shards as usize);
     let engine = Engine::new(engine_config);
     let scheme = scheme.build(options.pat_partitions);
@@ -216,50 +265,128 @@ pub fn run_benchmark_via(
             let application = Arc::new(gs::GrepSum {
                 with_summation: options.gs_with_summation,
             });
-            drive(
+            let report = drive_durable(
+                &engine,
+                &application,
+                &store,
+                gs::generate(&options.spec),
+                &scheme,
+                dir,
+                until,
+            )?;
+            Ok((report, StoreSnapshot::capture(&store)))
+        }
+        AppKind::Sl => {
+            let store = sl::build_store(&options.spec);
+            let application = Arc::new(sl::StreamingLedger);
+            let report = drive_durable(
+                &engine,
+                &application,
+                &store,
+                sl::generate(&options.spec),
+                &scheme,
+                dir,
+                until,
+            )?;
+            Ok((report, StoreSnapshot::capture(&store)))
+        }
+        AppKind::Ob => {
+            let store = ob::build_store(&options.spec);
+            let application = Arc::new(ob::OnlineBidding);
+            let report = drive_durable(
+                &engine,
+                &application,
+                &store,
+                ob::generate(&options.spec),
+                &scheme,
+                dir,
+                until,
+            )?;
+            Ok((report, StoreSnapshot::capture(&store)))
+        }
+        AppKind::Tp => {
+            let store = tp::build_store(&options.spec);
+            let application = Arc::new(tp::TollProcessing);
+            let report = drive_durable(
+                &engine,
+                &application,
+                &store,
+                tp::generate(&options.spec),
+                &scheme,
+                dir,
+                until,
+            )?;
+            Ok((report, StoreSnapshot::capture(&store)))
+        }
+    }
+}
+
+/// [`run_benchmark_via`] that also returns the final key-sorted store
+/// snapshot — what the crash-recovery differential harnesses compare
+/// durable runs against.
+pub fn run_benchmark_with_snapshot(
+    app: AppKind,
+    scheme: SchemeKind,
+    options: &RunOptions,
+    path: ExecutionPath,
+) -> (RunReport, StoreSnapshot) {
+    let engine_config = options.engine.shards(options.spec.shards as usize);
+    let engine = Engine::new(engine_config);
+    let scheme = scheme.build(options.pat_partitions);
+    match app {
+        AppKind::Gs => {
+            let store = gs::build_store(&options.spec);
+            let application = Arc::new(gs::GrepSum {
+                with_summation: options.gs_with_summation,
+            });
+            let report = drive(
                 &engine,
                 &application,
                 &store,
                 gs::generate(&options.spec),
                 &scheme,
                 path,
-            )
+            );
+            (report, StoreSnapshot::capture(&store))
         }
         AppKind::Sl => {
             let store = sl::build_store(&options.spec);
             let application = Arc::new(sl::StreamingLedger);
-            drive(
+            let report = drive(
                 &engine,
                 &application,
                 &store,
                 sl::generate(&options.spec),
                 &scheme,
                 path,
-            )
+            );
+            (report, StoreSnapshot::capture(&store))
         }
         AppKind::Ob => {
             let store = ob::build_store(&options.spec);
             let application = Arc::new(ob::OnlineBidding);
-            drive(
+            let report = drive(
                 &engine,
                 &application,
                 &store,
                 ob::generate(&options.spec),
                 &scheme,
                 path,
-            )
+            );
+            (report, StoreSnapshot::capture(&store))
         }
         AppKind::Tp => {
             let store = tp::build_store(&options.spec);
             let application = Arc::new(tp::TollProcessing);
-            drive(
+            let report = drive(
                 &engine,
                 &application,
                 &store,
                 tp::generate(&options.spec),
                 &scheme,
                 path,
-            )
+            );
+            (report, StoreSnapshot::capture(&store))
         }
     }
 }

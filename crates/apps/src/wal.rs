@@ -1,0 +1,314 @@
+//! Write-ahead-log codecs for the four benchmark payload types.
+//!
+//! Durable sessions append every input event to the WAL before routing it,
+//! and recovery replays the surviving segments, so each application payload
+//! needs a stable binary encoding.  The encodings below reuse the
+//! little-endian primitives of [`tstream_state::codec`]; framing (length
+//! prefixes, seal markers) is owned by `tstream-recovery`, so these only
+//! encode their own fields.
+//!
+//! Layouts (all integers little-endian):
+//!
+//! ```text
+//! GsEvent  := u32:key_count u64:key*  u8:mode       mode 0 = read
+//!             [u32:write_count i64:write*]          mode 1 = write
+//! SlEvent  := 0x00 u64:account u64:asset i64:amount                  Deposit
+//!           | 0x01 u64:src_acct u64:dst_acct u64:src_asset
+//!                  u64:dst_asset i64:amount                          Transfer
+//! ObEvent  := 0x00 u64:item i64:price i64:qty                        Bid
+//!           | 0x01 u32:n (u64:item i64:price)*                      Alter
+//!           | 0x02 u32:n (u64:item i64:amount)*                     Top
+//! TpEvent  := u8:kind u64:segment u64:vehicle f64:speed
+//!             kind 0 = RoadSpeed, 1 = VehicleCnt, 2 = TollNotification
+//! ```
+
+use tstream_recovery::WalPayload;
+use tstream_state::codec::Reader;
+use tstream_state::{StateError, StateResult};
+
+use crate::gs::GsEvent;
+use crate::ob::ObEvent;
+use crate::sl::SlEvent;
+use crate::tp::{TpEvent, TpKind};
+
+/// Upper bound on the per-event list lengths any generator produces; a
+/// decoded length beyond it means the frame is garbage, not a giant event.
+const SANE_LIST_LEN: usize = 1 << 20;
+
+fn read_len(reader: &mut Reader<'_>, what: &str) -> StateResult<usize> {
+    let len = reader.u32()? as usize;
+    if len > SANE_LIST_LEN {
+        return Err(StateError::Corrupted(format!(
+            "unreasonable {what} length {len} in WAL event"
+        )));
+    }
+    Ok(len)
+}
+
+impl WalPayload for GsEvent {
+    fn encode_wal(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.keys.len() as u32).to_le_bytes());
+        for key in &self.keys {
+            out.extend_from_slice(&key.to_le_bytes());
+        }
+        match &self.writes {
+            None => out.push(0),
+            Some(values) => {
+                out.push(1);
+                out.extend_from_slice(&(values.len() as u32).to_le_bytes());
+                for value in values {
+                    out.extend_from_slice(&value.to_le_bytes());
+                }
+            }
+        }
+    }
+
+    fn decode_wal(reader: &mut Reader<'_>) -> StateResult<Self> {
+        let key_count = read_len(reader, "GS key list")?;
+        let mut keys = Vec::with_capacity(key_count);
+        for _ in 0..key_count {
+            keys.push(reader.u64()?);
+        }
+        let writes = match reader.u8()? {
+            0 => None,
+            1 => {
+                let write_count = read_len(reader, "GS write list")?;
+                let mut values = Vec::with_capacity(write_count);
+                for _ in 0..write_count {
+                    values.push(reader.i64()?);
+                }
+                Some(values)
+            }
+            tag => {
+                return Err(StateError::Corrupted(format!(
+                    "unknown GS event mode {tag}"
+                )))
+            }
+        };
+        Ok(GsEvent { keys, writes })
+    }
+}
+
+impl WalPayload for SlEvent {
+    fn encode_wal(&self, out: &mut Vec<u8>) {
+        match self {
+            SlEvent::Deposit {
+                account,
+                asset,
+                amount,
+            } => {
+                out.push(0);
+                out.extend_from_slice(&account.to_le_bytes());
+                out.extend_from_slice(&asset.to_le_bytes());
+                out.extend_from_slice(&amount.to_le_bytes());
+            }
+            SlEvent::Transfer {
+                src_account,
+                dst_account,
+                src_asset,
+                dst_asset,
+                amount,
+            } => {
+                out.push(1);
+                out.extend_from_slice(&src_account.to_le_bytes());
+                out.extend_from_slice(&dst_account.to_le_bytes());
+                out.extend_from_slice(&src_asset.to_le_bytes());
+                out.extend_from_slice(&dst_asset.to_le_bytes());
+                out.extend_from_slice(&amount.to_le_bytes());
+            }
+        }
+    }
+
+    fn decode_wal(reader: &mut Reader<'_>) -> StateResult<Self> {
+        match reader.u8()? {
+            0 => Ok(SlEvent::Deposit {
+                account: reader.u64()?,
+                asset: reader.u64()?,
+                amount: reader.i64()?,
+            }),
+            1 => Ok(SlEvent::Transfer {
+                src_account: reader.u64()?,
+                dst_account: reader.u64()?,
+                src_asset: reader.u64()?,
+                dst_asset: reader.u64()?,
+                amount: reader.i64()?,
+            }),
+            tag => Err(StateError::Corrupted(format!("unknown SL event tag {tag}"))),
+        }
+    }
+}
+
+impl WalPayload for ObEvent {
+    fn encode_wal(&self, out: &mut Vec<u8>) {
+        match self {
+            ObEvent::Bid { item, price, qty } => {
+                out.push(0);
+                out.extend_from_slice(&item.to_le_bytes());
+                out.extend_from_slice(&price.to_le_bytes());
+                out.extend_from_slice(&qty.to_le_bytes());
+            }
+            ObEvent::Alter { items, prices } => {
+                out.push(1);
+                encode_item_list(out, items, prices);
+            }
+            ObEvent::Top { items, amounts } => {
+                out.push(2);
+                encode_item_list(out, items, amounts);
+            }
+        }
+    }
+
+    fn decode_wal(reader: &mut Reader<'_>) -> StateResult<Self> {
+        match reader.u8()? {
+            0 => Ok(ObEvent::Bid {
+                item: reader.u64()?,
+                price: reader.i64()?,
+                qty: reader.i64()?,
+            }),
+            1 => {
+                let (items, prices) = decode_item_list(reader)?;
+                Ok(ObEvent::Alter { items, prices })
+            }
+            2 => {
+                let (items, amounts) = decode_item_list(reader)?;
+                Ok(ObEvent::Top { items, amounts })
+            }
+            tag => Err(StateError::Corrupted(format!("unknown OB event tag {tag}"))),
+        }
+    }
+}
+
+/// Encode parallel (item, value) lists.  The generator keeps them the same
+/// length; malformed pairs of different lengths (possible through the public
+/// structs, rejected by `OnlineBidding::pre_process`) are truncated to the
+/// shorter — an encode must never produce an undecodable frame.
+fn encode_item_list(out: &mut Vec<u8>, items: &[u64], values: &[i64]) {
+    let len = items.len().min(values.len());
+    out.extend_from_slice(&(len as u32).to_le_bytes());
+    for (item, value) in items.iter().zip(values) {
+        out.extend_from_slice(&item.to_le_bytes());
+        out.extend_from_slice(&value.to_le_bytes());
+    }
+}
+
+fn decode_item_list(reader: &mut Reader<'_>) -> StateResult<(Vec<u64>, Vec<i64>)> {
+    let len = read_len(reader, "OB item list")?;
+    let mut items = Vec::with_capacity(len);
+    let mut values = Vec::with_capacity(len);
+    for _ in 0..len {
+        items.push(reader.u64()?);
+        values.push(reader.i64()?);
+    }
+    Ok((items, values))
+}
+
+impl WalPayload for TpEvent {
+    fn encode_wal(&self, out: &mut Vec<u8>) {
+        out.push(match self.kind {
+            TpKind::RoadSpeed => 0,
+            TpKind::VehicleCnt => 1,
+            TpKind::TollNotification => 2,
+        });
+        out.extend_from_slice(&self.segment.to_le_bytes());
+        out.extend_from_slice(&self.vehicle.to_le_bytes());
+        out.extend_from_slice(&self.speed.to_bits().to_le_bytes());
+    }
+
+    fn decode_wal(reader: &mut Reader<'_>) -> StateResult<Self> {
+        let kind = match reader.u8()? {
+            0 => TpKind::RoadSpeed,
+            1 => TpKind::VehicleCnt,
+            2 => TpKind::TollNotification,
+            tag => {
+                return Err(StateError::Corrupted(format!(
+                    "unknown TP event kind {tag}"
+                )))
+            }
+        };
+        Ok(TpEvent {
+            kind,
+            segment: reader.u64()?,
+            vehicle: reader.u64()?,
+            speed: reader.f64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::WorkloadSpec;
+    use crate::{gs, ob, sl, tp};
+
+    fn round_trip<P: WalPayload>(payload: &P) -> P {
+        let mut buf = Vec::new();
+        payload.encode_wal(&mut buf);
+        let mut reader = Reader::new(&buf);
+        let decoded = P::decode_wal(&mut reader).expect("decodable");
+        assert_eq!(reader.remaining(), 0, "every byte must be consumed");
+        decoded
+    }
+
+    #[test]
+    fn generated_gs_events_round_trip() {
+        let spec = WorkloadSpec::default().events(200).seed(0xA1);
+        for event in gs::generate(&spec) {
+            let decoded = round_trip(&event);
+            assert_eq!(decoded.keys, event.keys);
+            assert_eq!(decoded.writes, event.writes);
+        }
+    }
+
+    #[test]
+    fn generated_sl_events_round_trip() {
+        let spec = WorkloadSpec::default().events(200).seed(0xA2);
+        for event in sl::generate(&spec) {
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            event.encode_wal(&mut a);
+            round_trip(&event).encode_wal(&mut b);
+            assert_eq!(a, b, "re-encoding the decoded event is identical");
+        }
+    }
+
+    #[test]
+    fn generated_ob_events_round_trip() {
+        let spec = WorkloadSpec::default().events(200).seed(0xA3);
+        for event in ob::generate(&spec) {
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            event.encode_wal(&mut a);
+            round_trip(&event).encode_wal(&mut b);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn generated_tp_events_round_trip() {
+        let spec = WorkloadSpec::default().events(200).seed(0xA4);
+        for event in tp::generate(&spec) {
+            let decoded = round_trip(&event);
+            assert_eq!(decoded.kind, event.kind);
+            assert_eq!(decoded.segment, event.segment);
+            assert_eq!(decoded.vehicle, event.vehicle);
+            assert_eq!(decoded.speed.to_bits(), event.speed.to_bits());
+        }
+    }
+
+    #[test]
+    fn unknown_tags_are_corrupted_not_panics() {
+        for bytes in [&[9u8][..], &[0xFF], &[]] {
+            let mut reader = Reader::new(bytes);
+            assert!(SlEvent::decode_wal(&mut reader).is_err());
+            let mut reader = Reader::new(bytes);
+            assert!(ObEvent::decode_wal(&mut reader).is_err());
+            let mut reader = Reader::new(bytes);
+            assert!(TpEvent::decode_wal(&mut reader).is_err());
+        }
+        let mut garbage = Vec::new();
+        garbage.extend_from_slice(&u32::MAX.to_le_bytes()); // absurd key count
+        let mut reader = Reader::new(&garbage);
+        assert!(matches!(
+            GsEvent::decode_wal(&mut reader),
+            Err(StateError::Corrupted(_))
+        ));
+    }
+}

@@ -3,16 +3,29 @@
 //! (`BENCH_engine.json` by default), so the repository carries a perf
 //! baseline that later PRs can diff against.
 //!
+//! Besides the throughput sweep, the snapshot records the **durability
+//! tax**: for each app, one TStream run through a durable (write-ahead
+//! logged) session — checkpoints written, WAL bytes appended, throughput —
+//! plus the time a cold [`Engine::recover`] needs to restore the checkpoint
+//! and replay the surviving segments.
+//!
 //! ```text
 //! cargo run --release -p tstream-bench --bin bench_snapshot -- --quick
 //! cargo run --release -p tstream-bench --bin bench_snapshot -- --quick --out BENCH_engine.json
 //! ```
 
 use std::fmt::Write as _;
-use std::time::{SystemTime, UNIX_EPOCH};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
-use tstream_apps::{AppKind, SchemeKind};
+use std::path::Path;
+use std::sync::Arc;
+
+use tstream_apps::workload::WorkloadSpec;
+use tstream_apps::{gs, ob, run_benchmark_durable, sl, tp, AppKind, RunOptions, SchemeKind};
 use tstream_bench::{events_for, run_point, HarnessConfig};
+use tstream_core::{Engine, EngineConfig, Scheme, WalPayload};
+use tstream_state::StateStore;
+use tstream_txn::Application;
 
 struct Point {
     app: &'static str,
@@ -25,6 +38,123 @@ struct Point {
     p50_ms: f64,
     p99_ms: f64,
     compute_share: f64,
+}
+
+struct DurabilityPoint {
+    app: &'static str,
+    events: u64,
+    checkpoints: u64,
+    wal_bytes: u64,
+    durable_keps: f64,
+    replay_ms: f64,
+}
+
+/// Time a cold recovery over `dir`: snapshot restore + WAL replay + drain.
+/// The store is built and the engine constructed *outside* the timed window,
+/// and nothing is regenerated or pushed, so the measurement is recovery work
+/// only.  `expected_events` pins losslessness.
+fn timed_recovery(app: AppKind, options: &RunOptions, dir: &Path, expected_events: u64) -> f64 {
+    fn go<A: Application>(
+        application: A,
+        store: Arc<StateStore>,
+        engine_config: EngineConfig,
+        dir: &Path,
+        expected_events: u64,
+    ) -> f64
+    where
+        A::Payload: WalPayload,
+    {
+        let engine = Engine::new(engine_config);
+        let app = Arc::new(application);
+        let t = Instant::now();
+        let mut session = engine
+            .recover(dir, &app, &store, &Scheme::TStream)
+            .expect("recovery benchmark run");
+        session.flush().expect("replay drain");
+        let elapsed = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            session.ingested(),
+            expected_events,
+            "recovery must be lossless"
+        );
+        elapsed
+    }
+    let spec = &options.spec;
+    let cfg = options.engine;
+    match app {
+        AppKind::Gs => go(
+            gs::GrepSum::default(),
+            gs::build_store(spec),
+            cfg,
+            dir,
+            expected_events,
+        ),
+        AppKind::Sl => go(
+            sl::StreamingLedger,
+            sl::build_store(spec),
+            cfg,
+            dir,
+            expected_events,
+        ),
+        AppKind::Ob => go(
+            ob::OnlineBidding,
+            ob::build_store(spec),
+            cfg,
+            dir,
+            expected_events,
+        ),
+        AppKind::Tp => go(
+            tp::TollProcessing,
+            tp::build_store(spec),
+            cfg,
+            dir,
+            expected_events,
+        ),
+    }
+}
+
+/// One durable TStream run per app (1 core, checkpoint every 3 batches so
+/// both checkpoints and surviving segments exist), then a cold, timed
+/// recovery over the same directory.
+fn durability_sweep(quick: bool) -> Vec<DurabilityPoint> {
+    let mut points = Vec::new();
+    for app in AppKind::ALL {
+        let events = events_for(app, 1, quick);
+        let spec = WorkloadSpec::default().events(events);
+        let engine = EngineConfig::with_executors(1)
+            .punctuation(500)
+            .checkpoint_every(3);
+        let options = RunOptions::new(spec, engine);
+        let dir = std::env::temp_dir().join(format!(
+            "tstream-bench-durability-{}-{}",
+            app.label(),
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (report, _) = run_benchmark_durable(app, SchemeKind::TStream, &options, &dir, None)
+            .expect("durable benchmark run");
+        let replay_ms = timed_recovery(app, &options, &dir, report.events);
+        eprintln!(
+            "durability  {:<3} {:>7} events  {:>3} checkpoints  {:>9} WAL bytes  \
+             {:>8.1} K/s  replay {:>7.2} ms",
+            app.label(),
+            report.events,
+            report.checkpoints,
+            report.wal_bytes,
+            report.throughput_keps(),
+            replay_ms
+        );
+        points.push(DurabilityPoint {
+            app: app.label(),
+            events: report.events,
+            checkpoints: report.checkpoints,
+            wal_bytes: report.wal_bytes,
+            durable_keps: report.throughput_keps(),
+            replay_ms,
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    points
 }
 
 fn main() {
@@ -73,6 +203,8 @@ fn main() {
         }
     }
 
+    let durability = durability_sweep(cfg.quick);
+
     let unix_time = SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .map(|d| d.as_secs())
@@ -111,6 +243,22 @@ fn main() {
             p.compute_share
         );
         json.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"durability\": [\n");
+    for (i, p) in durability.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"app\": \"{}\", \"scheme\": \"TStream\", \"events\": {}, \
+             \"checkpoints\": {}, \"wal_bytes\": {}, \"durable_keps\": {:.2}, \
+             \"replay_ms\": {:.3}}}",
+            p.app, p.events, p.checkpoints, p.wal_bytes, p.durable_keps, p.replay_ms
+        );
+        json.push_str(if i + 1 < durability.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
     }
     json.push_str("  ]\n}\n");
 

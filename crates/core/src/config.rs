@@ -1,5 +1,6 @@
 //! Configuration of the TStream engine.
 
+use tstream_recovery::FsyncPolicy;
 use tstream_state::MAX_SHARDS;
 use tstream_stream::EventRouting;
 use tstream_txn::NumaModel;
@@ -112,6 +113,14 @@ pub struct EngineConfig {
     /// before `push` blocks (backpressure).  Fixed when the engine's pool is
     /// spawned; clamped to at least 1.
     pub pipeline_depth: usize,
+    /// When durable sessions force WAL appends to stable storage (ignored by
+    /// non-durable runs).  The default syncs once per sealed batch.
+    pub fsync: FsyncPolicy,
+    /// A durable session writes an epoch-stamped checkpoint every
+    /// `checkpoint_every` punctuation batches (clamped to at least 1).
+    /// Between checkpoints the WAL alone carries durability, so larger
+    /// values trade recovery replay time for run-time throughput.
+    pub checkpoint_every: usize,
 }
 
 impl Default for EngineConfig {
@@ -125,6 +134,8 @@ impl Default for EngineConfig {
             numa: NumaModel::disabled(),
             tstream: TStreamConfig::default(),
             pipeline_depth: 4,
+            fsync: FsyncPolicy::default(),
+            checkpoint_every: 1,
         }
     }
 }
@@ -187,6 +198,19 @@ impl EngineConfig {
         self.pipeline_depth = depth.max(1);
         self
     }
+
+    /// Set the WAL fsync policy of durable sessions.
+    pub fn fsync(mut self, policy: FsyncPolicy) -> Self {
+        self.fsync = policy;
+        self
+    }
+
+    /// Set the checkpoint cadence of durable sessions, in punctuation
+    /// batches (clamped to at least 1).
+    pub fn checkpoint_every(mut self, batches: usize) -> Self {
+        self.checkpoint_every = batches.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -201,6 +225,8 @@ mod tests {
         assert_eq!(cfg.num_shards, 1, "unsharded by default, like the seed");
         assert_eq!(cfg.event_routing, EventRouting::RoundRobin);
         assert_eq!(cfg.pipeline_depth, 4);
+        assert_eq!(cfg.fsync, FsyncPolicy::OnSeal);
+        assert_eq!(cfg.checkpoint_every, 1);
         assert_eq!(cfg.tstream.placement, ChainPlacement::SharedNothing);
         assert!(!cfg.tstream.work_stealing);
     }
@@ -224,11 +250,17 @@ mod tests {
         let cfg = EngineConfig::with_executors(0)
             .punctuation(0)
             .shards(0)
-            .pipeline_depth(0);
+            .pipeline_depth(0)
+            .checkpoint_every(0);
         assert_eq!(cfg.executors, 1);
         assert_eq!(cfg.punctuation_interval, 1);
         assert_eq!(cfg.num_shards, 1);
         assert_eq!(cfg.pipeline_depth, 1);
+        assert_eq!(cfg.checkpoint_every, 1);
+        assert_eq!(
+            EngineConfig::default().fsync(FsyncPolicy::Always).fsync,
+            FsyncPolicy::Always
+        );
         assert_eq!(
             EngineConfig::default().shards(100_000).num_shards,
             MAX_SHARDS as usize

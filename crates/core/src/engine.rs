@@ -27,11 +27,13 @@
 //! baseline — both paths execute the same per-batch step functions, so they
 //! must produce identical results.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
-use tstream_state::checkpoint::Checkpointer;
+use tstream_recovery::DurableLog;
+use tstream_state::checkpoint::{CheckpointManifest, Checkpointer};
 use tstream_state::{ShardRouter, StateStore, MAX_SHARDS};
 use tstream_stream::barrier::CyclicBarrier;
 use tstream_stream::event::Event;
@@ -71,6 +73,22 @@ impl std::fmt::Debug for Scheme {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "Scheme({})", self.name())
     }
+}
+
+/// How a run persists state at punctuation boundaries.
+#[derive(Debug, Clone, Default)]
+pub(crate) enum Durability {
+    /// No durability: nothing is written to disk.
+    #[default]
+    None,
+    /// Legacy snapshot-only durability ([`Engine::with_checkpointer`]): the
+    /// committed state is replicated to disk every batch, but inputs are not
+    /// logged, so a crash loses everything after the last checkpoint.
+    Snapshot(Arc<Checkpointer>),
+    /// Full write-ahead durability (durable sessions): inputs are WAL-logged
+    /// before routing, epoch-stamped checkpoints truncate covered segments,
+    /// and [`Engine::recover`] restores + replays after a crash.
+    Wal(Arc<DurableLog>),
 }
 
 /// Result of one engine run (or one finished streaming session).
@@ -117,8 +135,12 @@ pub struct RunReport {
     /// equals the engine's `num_shards`.
     pub per_shard_chains: Vec<u64>,
     /// Number of durability checkpoints written during the run (zero unless a
-    /// [`Checkpointer`] was attached to the engine).
+    /// [`Checkpointer`] was attached to the engine or the run was a durable
+    /// session).
     pub checkpoints: u64,
+    /// Bytes appended to the write-ahead input log during the run (zero for
+    /// non-durable runs) — the storage side of the durability tax.
+    pub wal_bytes: u64,
 }
 
 impl RunReport {
@@ -171,7 +193,13 @@ pub(crate) struct RunContext<A: Application> {
     pools: ChainPoolSet,
     shard_chains: Mutex<Vec<u64>>,
     abort_log: BatchAbortLog,
-    checkpointer: Option<Arc<Checkpointer>>,
+    durability: Durability,
+    /// Cumulative progress of this run, published by every executor before
+    /// the durable-checkpoint barrier so the leader can stamp manifests with
+    /// exact counts (only maintained under [`Durability::Wal`]).
+    live_events: AtomicU64,
+    live_committed: AtomicU64,
+    live_rejected: AtomicU64,
 }
 
 impl<A: Application> RunContext<A> {
@@ -183,6 +211,7 @@ impl<A: Application> RunContext<A> {
         app: &Arc<A>,
         store: &Arc<StateStore>,
         scheme: &Scheme,
+        durability: Durability,
     ) -> Self {
         let config = engine.config;
         let executors = config.executors.max(1);
@@ -202,7 +231,10 @@ impl<A: Application> RunContext<A> {
             pools: ChainPoolSet::new(config.tstream.placement, layout, num_shards),
             shard_chains: Mutex::new(vec![0; num_shards as usize]),
             abort_log: BatchAbortLog::new(),
-            checkpointer: engine.checkpointer.clone(),
+            durability,
+            live_events: AtomicU64::new(0),
+            live_committed: AtomicU64::new(0),
+            live_rejected: AtomicU64::new(0),
         }
     }
 
@@ -280,7 +312,45 @@ impl<A: Application> RunContext<A> {
             chain_stats,
             per_shard_chains: self.shard_chains.lock().clone(),
             checkpoints,
+            wal_bytes: match &self.durability {
+                Durability::Wal(log) => log.wal_bytes(),
+                _ => 0,
+            },
         }
+    }
+
+    /// Durable end-of-batch bookkeeping, run by the leader once every
+    /// executor has published its per-batch result deltas: account the
+    /// batch's events, and — on the configured cadence — write an
+    /// epoch-stamped checkpoint and truncate the WAL segments it covers.
+    fn wal_leader_checkpoint(&self, batch: &EngineBatch<A::Payload>, state: &mut ExecutorState) {
+        let Durability::Wal(log) = &self.durability else {
+            return;
+        };
+        self.live_events
+            .fetch_add(batch.events() as u64, Ordering::Relaxed);
+        let epoch = log.epoch_base() + batch.punctuation.seq;
+        if !log.should_checkpoint(epoch) {
+            return;
+        }
+        let t = Instant::now();
+        let base = log.base();
+        let manifest = CheckpointManifest {
+            epoch,
+            events: base.events + self.live_events.load(Ordering::Relaxed),
+            committed: base.committed + self.live_committed.load(Ordering::Relaxed),
+            rejected: base.rejected + self.live_rejected.load(Ordering::Relaxed),
+        };
+        if log.checkpoint(&self.store, manifest).is_ok() {
+            state.checkpoints += 1;
+        }
+        state.breakdown.charge(Component::Others, t.elapsed());
+    }
+
+    /// Publish one executor's per-batch result deltas for manifest stamping.
+    fn publish_deltas(&self, committed: u64, rejected: u64) {
+        self.live_committed.fetch_add(committed, Ordering::Relaxed);
+        self.live_rejected.fetch_add(rejected, Ordering::Relaxed);
     }
 
     /// One batch of the eager (baseline) paradigm on executor `index`.
@@ -302,6 +372,8 @@ impl<A: Application> RunContext<A> {
         let (_, waited) = self.barrier.wait();
         state.breakdown.charge(Component::Sync, waited);
 
+        let committed_before = state.committed;
+        let rejected_before = state.rejected;
         let t_batch = Instant::now();
         for event in &batch.per_executor[index] {
             let (txn, blotter) = build_transaction(self.app.as_ref(), event.ts, &event.payload);
@@ -316,6 +388,14 @@ impl<A: Application> RunContext<A> {
             }
         }
         state.compute_time += t_batch.elapsed();
+        // Publish the batch's result deltas before the barrier so the leader
+        // can stamp the checkpoint manifest with exact cumulative counts.
+        if matches!(self.durability, Durability::Wal(_)) {
+            self.publish_deltas(
+                state.committed - committed_before,
+                state.rejected - rejected_before,
+            );
+        }
 
         // Leave the batch together; the leader runs end-of-batch work
         // (e.g. MVLK's version garbage collection) and, if durability is
@@ -324,12 +404,16 @@ impl<A: Application> RunContext<A> {
         state.breakdown.charge(Component::Sync, waited);
         if leader {
             scheme.end_batch(&self.store);
-            if let Some(cp) = self.checkpointer.as_deref() {
-                let t = Instant::now();
-                if cp.checkpoint(&self.store).is_ok() {
-                    state.checkpoints += 1;
+            match &self.durability {
+                Durability::None => {}
+                Durability::Snapshot(cp) => {
+                    let t = Instant::now();
+                    if cp.checkpoint(&self.store).is_ok() {
+                        state.checkpoints += 1;
+                    }
+                    state.breakdown.charge(Component::Others, t.elapsed());
                 }
-                state.breakdown.charge(Component::Others, t.elapsed());
+                Durability::Wal(_) => self.wal_leader_checkpoint(batch, state),
             }
         }
     }
@@ -460,12 +544,36 @@ impl<A: Application> RunContext<A> {
         if leader {
             self.pools.clear_all();
             self.abort_log.clear_batch();
-            if let Some(cp) = self.checkpointer.as_deref() {
+            if let Durability::Snapshot(cp) = &self.durability {
                 let t = Instant::now();
                 if cp.checkpoint(&self.store).is_ok() {
                     state.checkpoints += 1;
                 }
                 state.breakdown.charge(Component::Others, t.elapsed());
+            }
+        }
+
+        // ---- Durable sessions add one more barrier round: commit/abort
+        // outcomes are final for *every* executor only after the barrier
+        // above (the leader's serial abort replay may rewrite them), so each
+        // executor publishes its result deltas now and the leader writes the
+        // epoch-stamped checkpoint once all deltas are in.  Post-processing
+        // below happens concurrently with the leader's disk write, exactly
+        // like the legacy snapshot path.
+        if matches!(self.durability, Durability::Wal(_)) {
+            let (mut committed, mut rejected) = (0u64, 0u64);
+            for (_, blotter) in &cached {
+                if blotter.is_aborted() {
+                    rejected += 1;
+                } else {
+                    committed += 1;
+                }
+            }
+            self.publish_deltas(committed, rejected);
+            let (leader, waited) = self.barrier.wait();
+            state.breakdown.charge(Component::Sync, waited);
+            if leader {
+                self.wal_leader_checkpoint(batch, state);
             }
         }
 
@@ -558,6 +666,15 @@ impl Engine {
         self.run_lease.lock()
     }
 
+    /// The durability mode of plain (non-durable-session) runs: the legacy
+    /// snapshot checkpointer if one is attached, none otherwise.
+    pub(crate) fn legacy_durability(&self) -> Durability {
+        match &self.checkpointer {
+            Some(cp) => Durability::Snapshot(cp.clone()),
+            None => Durability::None,
+        }
+    }
+
     /// Open a streaming session: continuous ingestion through
     /// [`StreamSession::push`] with online batch formation, pipelined onto
     /// the persistent executor pool.
@@ -572,7 +689,7 @@ impl Engine {
         store: &Arc<StateStore>,
         scheme: &Scheme,
     ) -> StreamSession<'e, A> {
-        StreamSession::open(self, app, store, scheme)
+        StreamSession::open(self, app, store, scheme, self.legacy_durability())
     }
 
     /// Run `payloads` through `app` on top of `store` under `scheme`.
@@ -612,7 +729,7 @@ impl Engine {
         // scheme/store synchronisation state under a live session on the
         // same engine would corrupt its in-flight batches.
         let _lease = self.lease();
-        let ctx = RunContext::new(self, app, store, scheme);
+        let ctx = RunContext::new(self, app, store, scheme, self.legacy_durability());
         let total_events = payloads.len() as u64;
         let mut builder = self.batch_builder(app);
         let mut batches: Vec<EngineBatch<A::Payload>> = Vec::new();

@@ -77,6 +77,7 @@
 pub mod adaptive;
 pub mod chains;
 pub mod config;
+pub mod durable;
 pub mod engine;
 pub mod restructure;
 pub mod runtime;
@@ -85,20 +86,25 @@ pub mod session;
 pub use adaptive::{AdaptiveConfig, AdaptiveIntervalController, IntervalObservation};
 pub use chains::{ChainPool, ChainPoolSet, OperationChain, ProcessingAssignment};
 pub use config::{ChainPlacement, DependencyResolution, EngineConfig, TStreamConfig};
+pub use durable::DurableSession;
 pub use engine::{Engine, RunReport, Scheme};
 pub use restructure::{BatchAbortLog, ChainStats, ReplayStats, RestructureContext, UndoRecord};
 pub use runtime::ExecutorPool;
 pub use session::StreamSession;
+pub use tstream_recovery::{FsyncPolicy, WalPayload};
 pub use tstream_stream::partition::EventRouting;
 
 /// Everything a user needs to define and run a concurrent stateful stream
 /// application.
 pub mod prelude {
     pub use crate::config::{ChainPlacement, DependencyResolution, EngineConfig, TStreamConfig};
+    pub use crate::durable::DurableSession;
     pub use crate::engine::{Engine, RunReport, Scheme};
     pub use crate::session::StreamSession;
+    pub use tstream_recovery::{FsyncPolicy, RecoveryCoordinator, WalPayload};
     pub use tstream_state::{
-        Checkpointer, ShardId, ShardRouter, StateStore, StoreSnapshot, Table, TableBuilder, Value,
+        Checkpoint, CheckpointManifest, Checkpointer, ShardId, ShardRouter, StateStore,
+        StoreSnapshot, Table, TableBuilder, Value,
     };
     pub use tstream_stream::operator::{AccessMode, ReadWriteSet, StateRef};
     pub use tstream_stream::partition::EventRouting;

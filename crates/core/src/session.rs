@@ -31,7 +31,9 @@ use tstream_state::StateStore;
 use tstream_stream::source::BatchBuilder;
 use tstream_txn::{Application, TxnDescriptor};
 
-use crate::engine::{Engine, EngineBatch, ExecutorState, RunContext, RunReport, Scheme};
+use crate::engine::{
+    Durability, Engine, EngineBatch, ExecutorState, RunContext, RunReport, Scheme,
+};
 use crate::runtime::ExecutorPool;
 
 /// Payload of a panic caught on a pool worker.
@@ -142,10 +144,11 @@ impl<'e, A: Application> StreamSession<'e, A> {
         app: &Arc<A>,
         store: &Arc<StateStore>,
         scheme: &Scheme,
+        durability: Durability,
     ) -> Self {
         let lease = engine.lease();
         let pool = engine.pool();
-        let ctx = RunContext::new(engine, app, store, scheme);
+        let ctx = RunContext::new(engine, app, store, scheme, durability);
         let executors = ctx.executors();
         StreamSession {
             pool,
@@ -184,12 +187,40 @@ impl<'e, A: Application> StreamSession<'e, A> {
     /// pool.  Blocks only when the pool's bounded queues are full
     /// (backpressure under sustained overload).
     pub fn push(&mut self, payload: A::Payload) {
+        if let Some(batch) = self.ingest(payload) {
+            self.dispatch(batch);
+        }
+    }
+
+    /// Stamp and route one event *without* dispatching: the completed batch
+    /// (if this event filled the punctuation interval) is handed back to
+    /// the caller.  Durable sessions use this to seal the WAL segment
+    /// between batch completion and dispatch.
+    pub(crate) fn ingest(&mut self, payload: A::Payload) -> Option<EngineBatch<A::Payload>> {
         if self.started.is_none() {
             self.started = Some(Instant::now());
         }
         self.pushed += 1;
-        if let Some(batch) = self.builder.push(payload) {
-            self.dispatch(batch);
+        self.builder.push(payload)
+    }
+
+    /// Close and hand back the partially filled batch without dispatching
+    /// (`None` if no events are pending).
+    pub(crate) fn take_partial(&mut self) -> Option<EngineBatch<A::Payload>> {
+        self.builder.finish()
+    }
+
+    /// Dispatch a batch previously handed out by [`StreamSession::ingest`] /
+    /// [`StreamSession::take_partial`].
+    pub(crate) fn dispatch_now(&mut self, batch: EngineBatch<A::Payload>) {
+        self.dispatch(batch);
+    }
+
+    /// Block until every dispatched batch has been fully processed,
+    /// re-raising the first executor panic (see [`StreamSession::flush`]).
+    pub(crate) fn drain(&mut self) {
+        if let Some(panic) = self.shared.completion.wait_for(self.jobs_dispatched) {
+            std::panic::resume_unwind(panic);
         }
     }
 
@@ -207,12 +238,10 @@ impl<'e, A: Application> StreamSession<'e, A> {
     /// poisoned so sibling executors unwind instead of waiting forever, and
     /// the engine stays usable for new runs and sessions.
     pub fn flush(&mut self) {
-        if let Some(batch) = self.builder.finish() {
+        if let Some(batch) = self.take_partial() {
             self.dispatch(batch);
         }
-        if let Some(panic) = self.shared.completion.wait_for(self.jobs_dispatched) {
-            std::panic::resume_unwind(panic);
-        }
+        self.drain();
     }
 
     /// Flush and aggregate the session into a [`RunReport`], releasing the

@@ -1,0 +1,664 @@
+//! The recovery coordinator: glue between the WAL and the checkpoints.
+//!
+//! A durability directory has two sub-directories:
+//!
+//! ```text
+//! <root>/checkpoints/  checkpoint-000000000007.tsnap   (epoch-stamped, v2)
+//! <root>/wal/          segment-000000000014.twal       (sealed batches)
+//!                      segment-000000000015.twal.open  (active tail)
+//! ```
+//!
+//! [`RecoveryCoordinator::open`] turns that directory into a
+//! [`RecoveredState`]: the newest checkpoint (snapshot + manifest), the
+//! sealed segments *after* the checkpoint epoch that must be replayed, the
+//! unsealed tail whose events re-enter the forming batch, and a
+//! [`DurableLog`] ready for live appends.  Segments the checkpoint already
+//! covers — leftovers of a truncation the crash interrupted — are deleted on
+//! open, so recovery is idempotent: crash during recovery, open again, and
+//! the same procedure converges.
+//!
+//! [`DurableLog`] is the handle the engine holds during a run.  Two threads
+//! use it concurrently: the ingestion thread appends events and seals
+//! segments at punctuation; the executor leader writes epoch-stamped
+//! checkpoints at the end-of-batch barrier and truncates covered segments.
+//! A mutex over the WAL serializes them; truncation never touches the
+//! active segment, so ingestion is only ever blocked for the file-remove
+//! window.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use tstream_state::checkpoint::{Checkpoint, CheckpointManifest, Checkpointer};
+use tstream_state::codec::Reader;
+use tstream_state::{StateError, StateResult, StateStore, StoreSnapshot};
+
+use crate::wal::{self, FsyncPolicy, SegmentInfo, SegmentedWal, WalPayload};
+
+/// Sub-directory holding checkpoint files.
+pub const CHECKPOINT_SUBDIR: &str = "checkpoints";
+
+/// Sub-directory holding WAL segments.
+pub const WAL_SUBDIR: &str = "wal";
+
+/// File stamping the run parameters a durability directory was written with.
+pub const META_FILE: &str = "meta.tmeta";
+
+const META_MAGIC: &[u8; 5] = b"TMETA";
+const META_VERSION: u8 = 1;
+
+/// Run parameters that must stay fixed across recoveries of one directory.
+///
+/// The WAL's epoch alignment assumes one sealed segment ⇔ one punctuation
+/// batch; reopening the directory with a different punctuation interval
+/// would re-batch the replay and desynchronize epoch stamps from segment
+/// numbering, so the interval is stamped on first use and validated on
+/// every reopen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurableMeta {
+    /// Punctuation interval (events per batch) of the runs over this
+    /// directory.
+    pub punctuation_interval: u64,
+}
+
+impl DurableMeta {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        out.extend_from_slice(META_MAGIC);
+        out.push(b'0' + META_VERSION);
+        out.extend_from_slice(&self.punctuation_interval.to_le_bytes());
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> StateResult<Self> {
+        let mut reader = Reader::new(bytes);
+        reader.versioned_header(META_MAGIC, META_VERSION, "durability metadata")?;
+        Ok(DurableMeta {
+            punctuation_interval: reader.u64()?,
+        })
+    }
+}
+
+/// Tuning of a durability directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryOptions {
+    /// When the WAL forces data to stable storage.
+    pub fsync: FsyncPolicy,
+    /// Write a checkpoint every `checkpoint_every` batches (clamped to at
+    /// least 1).  Between checkpoints the WAL alone carries durability, so
+    /// larger values trade recovery replay time for run-time throughput.
+    pub checkpoint_every: u64,
+    /// How many checkpoint files to retain.
+    pub retain: usize,
+    /// Run parameters to stamp into the directory on first use and validate
+    /// on every reopen; `None` skips the check (raw-log tooling).
+    pub meta: Option<DurableMeta>,
+}
+
+impl Default for RecoveryOptions {
+    fn default() -> Self {
+        RecoveryOptions {
+            fsync: FsyncPolicy::default(),
+            checkpoint_every: 1,
+            retain: 2,
+            meta: None,
+        }
+    }
+}
+
+/// Cumulative progress restored from a checkpoint manifest; the base the
+/// recovered run's own counting starts from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveredProgress {
+    /// Input events already covered by the restored snapshot.
+    pub events: u64,
+    /// Committed transactions already covered.
+    pub committed: u64,
+    /// Rejected transactions already covered.
+    pub rejected: u64,
+}
+
+/// Everything [`RecoveryCoordinator::open`] found in a durability directory.
+#[derive(Debug)]
+pub struct RecoveredState {
+    /// Snapshot of the newest checkpoint, to be restored onto the store
+    /// before any replay.  `None` on a fresh (or checkpoint-less) directory.
+    pub snapshot: Option<StoreSnapshot>,
+    /// Sealed segments newer than the checkpoint, ascending by epoch; each
+    /// replays as exactly one punctuation batch.
+    pub sealed_segments: Vec<SegmentInfo>,
+    /// The unsealed tail segment, if the crash hit mid-batch: its complete
+    /// events re-enter the forming batch (the log keeps appending to this
+    /// very segment).
+    pub pending_segment: Option<SegmentInfo>,
+    /// The log, positioned to continue exactly where the crash stopped.
+    pub log: DurableLog,
+}
+
+/// Opens durability directories and validates their invariants.
+#[derive(Debug, Clone)]
+pub struct RecoveryCoordinator {
+    root: PathBuf,
+    options: RecoveryOptions,
+}
+
+impl RecoveryCoordinator {
+    /// Coordinator over `root` with default options.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        RecoveryCoordinator {
+            root: root.into(),
+            options: RecoveryOptions::default(),
+        }
+    }
+
+    /// Replace the options wholesale.
+    pub fn options(mut self, options: RecoveryOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Root directory of the durability state.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Stamp the run parameters on first use; reject a mismatch on reopen
+    /// (re-batching a replay with a different punctuation interval would
+    /// silently desynchronize epoch stamps from segment numbering).
+    fn stamp_or_validate_meta(&self, expected: DurableMeta) -> StateResult<()> {
+        let path = self.root.join(META_FILE);
+        match fs::read(&path) {
+            Ok(bytes) => {
+                let found = DurableMeta::decode(&bytes)?;
+                if found != expected {
+                    return Err(StateError::InvalidDefinition(format!(
+                        "durability directory {} was written with punctuation interval {}, \
+                         but the engine is configured with {}; recover with the original \
+                         interval (or use a fresh directory)",
+                        self.root.display(),
+                        found.punctuation_interval,
+                        expected.punctuation_interval
+                    )));
+                }
+                Ok(())
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                fs::create_dir_all(&self.root)?;
+                fs::write(&path, expected.encode())?;
+                Ok(())
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Open the directory: restore-able checkpoint, segments to replay, and
+    /// a live [`DurableLog`].  Works identically on a fresh directory (no
+    /// checkpoint, no segments) and after a crash at any point.
+    pub fn open(&self) -> StateResult<RecoveredState> {
+        if let Some(expected) = self.options.meta {
+            self.stamp_or_validate_meta(expected)?;
+        }
+        let checkpointer = Checkpointer::new(
+            self.root.join(CHECKPOINT_SUBDIR),
+            self.options.retain.max(1),
+        )?;
+        let latest = checkpointer.latest_checkpoint()?;
+        let (snapshot, manifest) = match latest {
+            None => (None, None),
+            Some(Checkpoint { manifest, snapshot }) => (Some(snapshot), manifest),
+        };
+        let covered_epoch: Option<u64> = manifest.map(|m| m.epoch);
+
+        // The checkpoint's covered epoch is the numbering floor: even when
+        // truncation has emptied the WAL directory, epoch numbering must
+        // resume at `covered + 1`, never restart at 0 (re-used low epochs
+        // would be mistaken for checkpoint-covered on the next recovery and
+        // silently truncated).
+        let floor = covered_epoch.map_or(0, |c| c + 1);
+        let mut wal = SegmentedWal::open(self.root.join(WAL_SUBDIR), self.options.fsync, floor)?;
+        // Finish a truncation the crash interrupted: segments the checkpoint
+        // covers are redundant.
+        if let Some(epoch) = covered_epoch {
+            wal.truncate_through(epoch)?;
+        }
+
+        let mut sealed_segments = Vec::new();
+        let mut pending_segment = None;
+        for info in wal::list_segments(wal.directory())? {
+            if covered_epoch.is_some_and(|c| info.epoch <= c) {
+                continue; // already truncated above; be tolerant of races
+            }
+            if info.sealed {
+                sealed_segments.push(info);
+            } else {
+                pending_segment = Some(info);
+            }
+        }
+        if snapshot.is_some()
+            && manifest.is_none()
+            && (!sealed_segments.is_empty() || pending_segment.is_some())
+        {
+            return Err(StateError::Corrupted(
+                "checkpoint carries no epoch manifest but WAL segments exist; \
+                 cannot tell which segments it covers"
+                    .to_owned(),
+            ));
+        }
+        // The surviving epochs must be dense: checkpoint epoch + 1, +2, ...
+        // up to the tail.  A gap means a segment vanished and replay would
+        // silently skip its events.
+        let mut expected = covered_epoch.map_or(0, |c| c + 1);
+        for info in &sealed_segments {
+            if info.epoch != expected {
+                return Err(StateError::Corrupted(format!(
+                    "WAL epoch gap: expected segment {expected}, found {}",
+                    info.epoch
+                )));
+            }
+            expected += 1;
+        }
+        if let Some(info) = &pending_segment {
+            if info.epoch != expected {
+                return Err(StateError::Corrupted(format!(
+                    "WAL epoch gap: expected tail segment {expected}, found {}",
+                    info.epoch
+                )));
+            }
+        }
+
+        let base = manifest.map_or(RecoveredProgress::default(), |m| RecoveredProgress {
+            events: m.events,
+            committed: m.committed,
+            rejected: m.rejected,
+        });
+        let epoch_base = covered_epoch.map_or(0, |c| c + 1);
+        let sealed_count = sealed_segments.len() as u64;
+        Ok(RecoveredState {
+            snapshot,
+            sealed_segments,
+            pending_segment,
+            log: DurableLog {
+                wal: Mutex::new(wal),
+                checkpointer,
+                base,
+                epoch_base,
+                checkpoint_every: self.options.checkpoint_every.max(1),
+                // Everything below this is sealed on disk: the checkpoint-
+                // covered epochs plus the surviving (dense) sealed segments.
+                sealed_below: AtomicU64::new(epoch_base + sealed_count),
+            },
+        })
+    }
+}
+
+/// The live durability handle of an engine run.
+///
+/// Appends/seals come from the ingestion thread; checkpoints and truncation
+/// from the executor leader at the end-of-batch barrier.
+#[derive(Debug)]
+pub struct DurableLog {
+    wal: Mutex<SegmentedWal>,
+    checkpointer: Checkpointer,
+    base: RecoveredProgress,
+    epoch_base: u64,
+    checkpoint_every: u64,
+    /// Exclusive upper bound of the epochs whose segments are sealed on
+    /// disk.  A checkpoint may only cover sealed epochs: stamping a manifest
+    /// for an epoch whose seal *failed* would raise the recovery floor past
+    /// an unsealed tail and brick the directory.
+    sealed_below: AtomicU64,
+}
+
+impl DurableLog {
+    /// Progress already covered by the restored checkpoint (zero on a fresh
+    /// directory).
+    pub fn base(&self) -> RecoveredProgress {
+        self.base
+    }
+
+    /// Durable epoch of the session's first batch: the session's punctuation
+    /// sequence `s` executes as durable epoch `epoch_base() + s`.
+    pub fn epoch_base(&self) -> u64 {
+        self.epoch_base
+    }
+
+    /// Whether the batch of durable epoch `epoch` should be followed by a
+    /// checkpoint (every `checkpoint_every` batches, on absolute epochs so
+    /// the cadence survives restarts).
+    pub fn should_checkpoint(&self, epoch: u64) -> bool {
+        (epoch + 1).is_multiple_of(self.checkpoint_every)
+    }
+
+    /// Append one event to the active WAL segment (creating it if needed).
+    pub fn append<P: WalPayload>(&self, payload: &P) -> StateResult<()> {
+        let mut buf = Vec::with_capacity(64);
+        payload.encode_wal(&mut buf);
+        self.wal.lock().append(&buf)
+    }
+
+    /// Seal the active segment at a punctuation boundary; returns its epoch.
+    pub fn seal(&self) -> StateResult<u64> {
+        let epoch = self.wal.lock().seal()?;
+        self.sealed_below.fetch_max(epoch + 1, Ordering::Release);
+        Ok(epoch)
+    }
+
+    /// Write an epoch-stamped checkpoint of `store` and truncate every WAL
+    /// segment the checkpoint covers.  Called by the executor leader at the
+    /// end-of-batch barrier, where the store is quiescent by construction.
+    ///
+    /// Refuses to checkpoint an epoch whose WAL segment never sealed (a
+    /// failed seal leaves the batch input only in the unsealed tail): a
+    /// manifest for it would raise the recovery floor past the tail and make
+    /// the directory unrecoverable.  The batch stays covered by a future
+    /// successful seal or by replay of the tail.
+    pub fn checkpoint(
+        &self,
+        store: &StateStore,
+        manifest: CheckpointManifest,
+    ) -> StateResult<PathBuf> {
+        let epoch = manifest.epoch;
+        let sealed_below = self.sealed_below.load(Ordering::Acquire);
+        if epoch >= sealed_below {
+            return Err(StateError::InvalidDefinition(format!(
+                "refusing to checkpoint epoch {epoch}: its WAL segment has not sealed \
+                 (sealed epochs end below {sealed_below})"
+            )));
+        }
+        let path = self.checkpointer.write_checkpoint(&Checkpoint {
+            manifest: Some(manifest),
+            snapshot: StoreSnapshot::capture(store),
+        })?;
+        // Only after the checkpoint is durably renamed may its segments go.
+        self.wal.lock().truncate_through(epoch)?;
+        Ok(path)
+    }
+
+    /// Bytes appended to the WAL through this log instance.
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal.lock().bytes_written()
+    }
+
+    /// Events sitting in the active (unsealed) segment.
+    pub fn pending_records(&self) -> u64 {
+        self.wal.lock().pending_records()
+    }
+
+    /// The underlying checkpointer (for inspection in tests and tools).
+    pub fn checkpointer(&self) -> &Checkpointer {
+        &self.checkpointer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+    use tstream_state::{TableBuilder, Value};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "tstream-coordinator-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_store() -> std::sync::Arc<StateStore> {
+        let table = TableBuilder::new("t")
+            .extend((0..8u64).map(|k| (k, Value::Long(0))))
+            .build()
+            .unwrap();
+        StateStore::new(vec![table]).unwrap()
+    }
+
+    fn append_event(log: &DurableLog, value: u64) {
+        log.append(&value).unwrap();
+    }
+
+    #[test]
+    fn fresh_directory_opens_empty() {
+        let dir = temp_dir("fresh");
+        let state = RecoveryCoordinator::new(&dir).open().unwrap();
+        assert!(state.snapshot.is_none());
+        assert!(state.sealed_segments.is_empty());
+        assert!(state.pending_segment.is_none());
+        assert_eq!(state.log.epoch_base(), 0);
+        assert_eq!(state.log.base(), RecoveredProgress::default());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_truncates_covered_segments_and_advances_the_base() {
+        let dir = temp_dir("truncate");
+        let store = sample_store();
+        let state = RecoveryCoordinator::new(&dir).open().unwrap();
+        let log = state.log;
+        for epoch in 0..3u64 {
+            append_event(&log, epoch);
+            assert_eq!(log.seal().unwrap(), epoch);
+        }
+        log.checkpoint(
+            &store,
+            CheckpointManifest {
+                epoch: 1,
+                events: 2,
+                committed: 2,
+                rejected: 0,
+            },
+        )
+        .unwrap();
+        drop(log);
+
+        // Reopen: the checkpoint covers epochs <= 1, segment 2 survives.
+        let state = RecoveryCoordinator::new(&dir).open().unwrap();
+        assert!(state.snapshot.is_some());
+        let epochs: Vec<u64> = state.sealed_segments.iter().map(|s| s.epoch).collect();
+        assert_eq!(epochs, vec![2]);
+        assert_eq!(state.log.epoch_base(), 2);
+        assert_eq!(
+            state.log.base(),
+            RecoveredProgress {
+                events: 2,
+                committed: 2,
+                rejected: 0
+            }
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pending_tail_segments_survive_reopen() {
+        let dir = temp_dir("pending");
+        {
+            let state = RecoveryCoordinator::new(&dir).open().unwrap();
+            append_event(&state.log, 1);
+            state.log.seal().unwrap();
+            append_event(&state.log, 2);
+            // crash mid-batch: no seal
+        }
+        let state = RecoveryCoordinator::new(&dir).open().unwrap();
+        assert_eq!(state.sealed_segments.len(), 1);
+        let pending = state.pending_segment.expect("tail must survive");
+        assert_eq!(pending.epoch, 1);
+        let decoded = wal::read_segment::<u64>(&pending.path).unwrap();
+        assert_eq!(decoded.events, vec![2]);
+        // And the log keeps appending to that very segment.
+        assert_eq!(state.log.pending_records(), 1);
+        append_event(&state.log, 3);
+        assert_eq!(state.log.seal().unwrap(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn epoch_gaps_are_rejected() {
+        let dir = temp_dir("gap");
+        {
+            let state = RecoveryCoordinator::new(&dir).open().unwrap();
+            for epoch in 0..3u64 {
+                append_event(&state.log, epoch);
+                state.log.seal().unwrap();
+            }
+        }
+        // Delete the middle segment: replay would silently skip its events.
+        fs::remove_file(dir.join(WAL_SUBDIR).join("segment-000000000001.twal")).unwrap();
+        assert!(matches!(
+            RecoveryCoordinator::new(&dir).open(),
+            Err(StateError::Corrupted(_))
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_cadence_follows_absolute_epochs() {
+        let dir = temp_dir("cadence");
+        let state = RecoveryCoordinator::new(&dir)
+            .options(RecoveryOptions {
+                checkpoint_every: 3,
+                ..RecoveryOptions::default()
+            })
+            .open()
+            .unwrap();
+        let decisions: Vec<bool> = (0..7).map(|e| state.log.should_checkpoint(e)).collect();
+        assert_eq!(
+            decisions,
+            vec![false, false, true, false, false, true, false]
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn epoch_numbering_survives_a_fully_truncated_wal() {
+        // checkpoint covers epoch 1 and truncation removed every segment;
+        // reopening must resume numbering at 2, not restart at 0 (restarted
+        // low epochs would be mistaken for covered and truncated on the
+        // *next* recovery).
+        let dir = temp_dir("full-truncation");
+        let store = sample_store();
+        {
+            let state = RecoveryCoordinator::new(&dir).open().unwrap();
+            for epoch in 0..2u64 {
+                append_event(&state.log, epoch);
+                state.log.seal().unwrap();
+            }
+            state
+                .log
+                .checkpoint(
+                    &store,
+                    CheckpointManifest {
+                        epoch: 1,
+                        events: 2,
+                        committed: 2,
+                        rejected: 0,
+                    },
+                )
+                .unwrap();
+        }
+        let state = RecoveryCoordinator::new(&dir).open().unwrap();
+        assert!(state.sealed_segments.is_empty());
+        assert_eq!(state.log.epoch_base(), 2);
+        append_event(&state.log, 9);
+        assert_eq!(
+            state.log.seal().unwrap(),
+            2,
+            "numbering resumes after the checkpoint"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_parameter_meta_is_stamped_and_validated() {
+        let dir = temp_dir("meta");
+        let meta = |interval: u64| {
+            RecoveryCoordinator::new(&dir).options(RecoveryOptions {
+                meta: Some(DurableMeta {
+                    punctuation_interval: interval,
+                }),
+                ..RecoveryOptions::default()
+            })
+        };
+        meta(100).open().unwrap(); // stamps
+        meta(100).open().unwrap(); // same interval: fine
+        match meta(50).open() {
+            Err(StateError::InvalidDefinition(msg)) => {
+                assert!(msg.contains("100") && msg.contains("50"), "{msg}");
+            }
+            other => panic!("expected InvalidDefinition, got {other:?}"),
+        }
+        // Tooling without meta skips the check.
+        RecoveryCoordinator::new(&dir).open().unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_manifestless_checkpoint_with_any_wal_data_is_rejected() {
+        // A legacy (v1, no-manifest) checkpoint cannot say which epochs it
+        // covers, so replaying *any* surviving WAL data on top of it —
+        // sealed segments or just the unsealed tail — could double-apply.
+        for tail_only in [false, true] {
+            let dir = temp_dir(&format!("manifestless-{tail_only}"));
+            {
+                let state = RecoveryCoordinator::new(&dir).open().unwrap();
+                append_event(&state.log, 1);
+                if !tail_only {
+                    state.log.seal().unwrap();
+                }
+                state
+                    .log
+                    .checkpointer()
+                    .write_snapshot(&StoreSnapshot::capture(&sample_store()))
+                    .unwrap();
+            }
+            assert!(
+                matches!(
+                    RecoveryCoordinator::new(&dir).open(),
+                    Err(StateError::Corrupted(_))
+                ),
+                "tail_only = {tail_only}"
+            );
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn reopen_after_interrupted_truncation_converges() {
+        let dir = temp_dir("idempotent");
+        let store = sample_store();
+        {
+            let state = RecoveryCoordinator::new(&dir).open().unwrap();
+            for epoch in 0..2u64 {
+                append_event(&state.log, epoch);
+                state.log.seal().unwrap();
+            }
+            // Checkpoint epoch 1 but "crash" before truncation finishes:
+            // write the checkpoint file directly, leaving both segments.
+            state
+                .log
+                .checkpointer()
+                .write_checkpoint(&Checkpoint {
+                    manifest: Some(CheckpointManifest {
+                        epoch: 1,
+                        events: 2,
+                        committed: 2,
+                        rejected: 0,
+                    }),
+                    snapshot: StoreSnapshot::capture(&store),
+                })
+                .unwrap();
+        }
+        let state = RecoveryCoordinator::new(&dir).open().unwrap();
+        assert!(
+            state.sealed_segments.is_empty(),
+            "covered segments are deleted on open"
+        );
+        assert_eq!(state.log.epoch_base(), 2);
+        assert!(wal::list_segments(&dir.join(WAL_SUBDIR))
+            .unwrap()
+            .is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,44 @@
+//! # tstream-recovery
+//!
+//! The crash-recovery subsystem: a segmented, punctuation-aligned
+//! **write-ahead input log** plus the coordinator that ties it to the
+//! epoch-stamped checkpoints of `tstream-state`.
+//!
+//! Section IV-D of the paper observes that the punctuation boundary is a
+//! natural quiescent point for durability: every transaction of the batch
+//! has either committed or aborted and no version chains are live.  The
+//! `Checkpointer` already snapshots the committed state there — but a
+//! snapshot alone cannot recover a *run*: every event pushed after the last
+//! checkpoint would be lost.  This crate closes that loop:
+//!
+//! * [`wal::SegmentedWal`] — input events are appended to the active WAL
+//!   segment *before* they are routed; the segment seals exactly when the
+//!   punctuation closes the batch, so one sealed segment corresponds to one
+//!   executed batch (epoch);
+//! * [`coordinator::DurableLog`] — the shared handle the engine uses: append
+//!   and seal from the ingestion thread, checkpoint-and-truncate from the
+//!   executor leader.  After a checkpoint for epoch `e` is durable, every
+//!   sealed segment with epoch `<= e` is redundant and deleted;
+//! * [`coordinator::RecoveryCoordinator`] — opens a durability directory
+//!   after a crash (or for the first time): restores the newest checkpoint,
+//!   lists the surviving segments to replay, finishes half-sealed segments,
+//!   and hands back a [`coordinator::DurableLog`] ready for live appends.
+//!
+//! Replays go through the engine's normal streaming-session path (this crate
+//! only stores and returns bytes), which is what makes recovery *exactly
+//! once*: the restored snapshot is the state after epoch `e`, replayed
+//! segments re-execute epochs `e+1..`, and re-executing from a snapshot is
+//! idempotent — crash during recovery and the same procedure converges.
+
+#![warn(missing_docs)]
+
+pub mod coordinator;
+pub mod wal;
+
+pub use coordinator::{
+    DurableLog, DurableMeta, RecoveredProgress, RecoveredState, RecoveryCoordinator,
+    RecoveryOptions,
+};
+pub use wal::{
+    list_segments, read_segment, DecodedSegment, FsyncPolicy, SegmentInfo, SegmentedWal, WalPayload,
+};

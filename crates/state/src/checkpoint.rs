@@ -8,21 +8,35 @@
 //! consistent snapshot can be taken without any coordination beyond the
 //! barriers dual-mode scheduling already uses.
 //!
-//! Two pieces live here:
+//! Three pieces live here:
 //!
 //! * [`StoreSnapshot`] — an owned, order-stable copy of every committed value
 //!   of a [`StateStore`], encodable with the [`crate::codec`] format and
 //!   restorable onto a store with the same schema;
+//! * [`CheckpointManifest`] / [`Checkpoint`] — an epoch-stamped snapshot:
+//!   the manifest records which punctuation epoch the snapshot covers and the
+//!   cumulative progress counters at that boundary, which is what lets the
+//!   recovery subsystem truncate write-ahead-log segments the checkpoint
+//!   already covers and resume result counting after a restart;
 //! * [`Checkpointer`] — writes numbered snapshot files into a directory,
 //!   retains the most recent `retain` checkpoints, and can recover the latest
 //!   one after a crash.
 //!
 //! Checkpoints are written atomically (write to a temporary file, then
 //! rename) so a crash mid-write never leaves a truncated "latest" checkpoint.
+//! Several `Checkpointer` instances (engine clones, concurrent processes in
+//! one address space) may target the same directory: sequence allocation and
+//! retention pruning serialize on a process-wide per-directory lock, so a
+//! `retain` race never double-deletes or interleaves with a write.
 
+use std::collections::HashMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use parking_lot::Mutex;
+use std::sync::Arc;
 
 use crate::codec::{self, Reader};
 use crate::error::{StateError, StateResult};
@@ -32,6 +46,92 @@ use crate::Key;
 
 /// File extension of checkpoint files.
 pub const CHECKPOINT_EXTENSION: &str = "tsnap";
+
+/// Process-wide lock per checkpoint directory: held across the sequence
+/// allocation + write and across the list+delete window of retention, so
+/// concurrent [`Checkpointer`] instances over one directory never race.
+fn directory_lock(directory: &Path) -> Arc<Mutex<()>> {
+    static LOCKS: OnceLock<Mutex<HashMap<PathBuf, Arc<Mutex<()>>>>> = OnceLock::new();
+    // Canonicalize so `dir` and `./dir` share a lock; the directory exists by
+    // the time this is called (created in `Checkpointer::new`).
+    let key = fs::canonicalize(directory).unwrap_or_else(|_| directory.to_path_buf());
+    LOCKS
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .entry(key)
+        .or_default()
+        .clone()
+}
+
+/// Progress counters a [`Checkpoint`] carries: which punctuation epoch the
+/// snapshot covers and the cumulative result counts at that boundary.
+///
+/// The epoch is the durable batch number (0-based, monotonically increasing
+/// across restarts).  After a checkpoint for epoch `e` is on disk, every
+/// write-ahead-log segment with epoch `<= e` is redundant and may be
+/// truncated; recovery restores the snapshot and replays only segments
+/// `> e`.  The counts let a recovered run report totals identical to an
+/// uninterrupted run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CheckpointManifest {
+    /// Punctuation epoch (durable batch number) this checkpoint covers.
+    pub epoch: u64,
+    /// Cumulative input events processed through `epoch`.
+    pub events: u64,
+    /// Cumulative committed transactions through `epoch`.
+    pub committed: u64,
+    /// Cumulative rejected (aborted) transactions through `epoch`.
+    pub rejected: u64,
+}
+
+/// A snapshot plus the manifest describing what it covers.
+///
+/// Encoded as snapshot format version 2 (`TSNAP2`); decoding also accepts
+/// the bare version-1 layout, which simply has no manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Epoch manifest; `None` for a version-1 file (plain snapshot).
+    pub manifest: Option<CheckpointManifest>,
+    /// The committed state.
+    pub snapshot: StoreSnapshot,
+}
+
+impl Checkpoint {
+    /// Encode: version 2 when a manifest is present, version 1 otherwise.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.snapshot.record_count() * 24);
+        match &self.manifest {
+            None => codec::put_snapshot_header(&mut out, codec::SNAPSHOT_VERSION_PLAIN),
+            Some(manifest) => {
+                codec::put_snapshot_header(&mut out, codec::SNAPSHOT_VERSION_MANIFEST);
+                out.extend_from_slice(&manifest.epoch.to_le_bytes());
+                out.extend_from_slice(&manifest.events.to_le_bytes());
+                out.extend_from_slice(&manifest.committed.to_le_bytes());
+                out.extend_from_slice(&manifest.rejected.to_le_bytes());
+            }
+        }
+        self.snapshot.encode_body(&mut out);
+        out
+    }
+
+    /// Decode either snapshot format version.
+    pub fn decode(bytes: &[u8]) -> StateResult<Self> {
+        let mut reader = Reader::new(bytes);
+        let version = reader.snapshot_version()?;
+        let manifest = if version >= codec::SNAPSHOT_VERSION_MANIFEST {
+            Some(CheckpointManifest {
+                epoch: reader.u64()?,
+                events: reader.u64()?,
+                committed: reader.u64()?,
+                rejected: reader.u64()?,
+            })
+        } else {
+            None
+        };
+        let snapshot = StoreSnapshot::decode_body(&mut reader)?;
+        Ok(Checkpoint { manifest, snapshot })
+    }
+}
 
 /// Snapshot of one table: its name and every `(key, committed value)` pair in
 /// slot order.
@@ -72,26 +172,38 @@ impl StoreSnapshot {
         self.tables.iter().map(|t| t.entries.len()).sum()
     }
 
-    /// Encode into the `TSNAP1` binary format.
+    /// Encode into the version-1 (`TSNAP1`, tables only) binary format.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(64 + self.record_count() * 24);
-        out.extend_from_slice(codec::MAGIC);
-        out.extend_from_slice(&(self.tables.len() as u32).to_le_bytes());
-        for table in &self.tables {
-            codec::put_string(&mut out, &table.name);
-            out.extend_from_slice(&(table.entries.len() as u64).to_le_bytes());
-            for (key, value) in &table.entries {
-                out.extend_from_slice(&key.to_le_bytes());
-                codec::encode_value(&mut out, value);
-            }
-        }
+        codec::put_snapshot_header(&mut out, codec::SNAPSHOT_VERSION_PLAIN);
+        self.encode_body(&mut out);
         out
     }
 
-    /// Decode from the `TSNAP1` binary format.
+    /// Encode the table section (shared by every format version).
+    pub(crate) fn encode_body(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.tables.len() as u32).to_le_bytes());
+        for table in &self.tables {
+            codec::put_string(out, &table.name);
+            out.extend_from_slice(&(table.entries.len() as u64).to_le_bytes());
+            for (key, value) in &table.entries {
+                out.extend_from_slice(&key.to_le_bytes());
+                codec::encode_value(out, value);
+            }
+        }
+    }
+
+    /// Decode a snapshot file of any supported format version, discarding
+    /// the manifest of a version-2 file (use [`Checkpoint::decode`] to keep
+    /// it).
     pub fn decode(bytes: &[u8]) -> StateResult<Self> {
-        let mut reader = Reader::new(bytes);
-        reader.expect_magic()?;
+        Ok(Checkpoint::decode(bytes)?.snapshot)
+    }
+
+    /// Decode the table section (shared by every format version); the reader
+    /// must be positioned right after the header/manifest and is required to
+    /// be fully consumed.
+    pub(crate) fn decode_body(reader: &mut Reader<'_>) -> StateResult<Self> {
         let table_count = reader.u32()? as usize;
         let mut tables = Vec::with_capacity(table_count);
         for _ in 0..table_count {
@@ -100,7 +212,7 @@ impl StoreSnapshot {
             let mut entries = Vec::with_capacity(record_count);
             for _ in 0..record_count {
                 let key = reader.u64()?;
-                let value = codec::decode_value(&mut reader)?;
+                let value = codec::decode_value(reader)?;
                 entries.push((key, value));
             }
             tables.push(TableSnapshot { name, entries });
@@ -142,6 +254,8 @@ pub struct Checkpointer {
     directory: PathBuf,
     retain: usize,
     sequence: AtomicU64,
+    /// Shared per-directory lock (see [`directory_lock`]).
+    lock: Arc<Mutex<()>>,
 }
 
 impl Checkpointer {
@@ -154,6 +268,7 @@ impl Checkpointer {
     pub fn new(directory: impl Into<PathBuf>, retain: usize) -> StateResult<Self> {
         let directory = directory.into();
         fs::create_dir_all(&directory)?;
+        let lock = directory_lock(&directory);
         let next = Self::existing_sequences(&directory)?
             .last()
             .map(|&(seq, _)| seq + 1)
@@ -162,6 +277,7 @@ impl Checkpointer {
             directory,
             retain: retain.max(1),
             sequence: AtomicU64::new(next),
+            lock,
         })
     }
 
@@ -226,36 +342,82 @@ impl Checkpointer {
         self.write_snapshot(&StoreSnapshot::capture(store))
     }
 
-    /// Write an already-captured snapshot as the next checkpoint.
+    /// Write an already-captured snapshot as the next checkpoint (format
+    /// version 1, no manifest).
     pub fn write_snapshot(&self, snapshot: &StoreSnapshot) -> StateResult<PathBuf> {
-        let sequence = self.sequence.fetch_add(1, Ordering::SeqCst);
+        self.write_bytes(snapshot.encode())
+    }
+
+    /// Write an epoch-stamped checkpoint as the next numbered file and prune
+    /// old ones.
+    pub fn write_checkpoint(&self, checkpoint: &Checkpoint) -> StateResult<PathBuf> {
+        self.write_bytes(checkpoint.encode())
+    }
+
+    /// Write an encoded checkpoint as the next numbered file, durably, and
+    /// prune old ones.
+    ///
+    /// The per-directory lock is held across sequence allocation, write and
+    /// pruning, so concurrent checkpointers over one directory (engine
+    /// clones) serialize instead of racing on file names or the retention
+    /// window.  The file is fsynced before the rename and the directory
+    /// fsynced after it: callers delete the WAL segments a checkpoint covers
+    /// as soon as this returns, so the checkpoint must actually be on stable
+    /// storage — not just in the page cache — by then.
+    fn write_bytes(&self, encoded: Vec<u8>) -> StateResult<PathBuf> {
+        use std::io::Write as _;
+
+        let _guard = self.lock.lock();
+        // Another instance over the same directory may have advanced the
+        // on-disk numbering past our local counter; never reuse a live name.
+        let on_disk_next = Self::existing_sequences(&self.directory)?
+            .last()
+            .map(|&(seq, _)| seq + 1)
+            .unwrap_or(0);
+        let sequence = self.sequence.load(Ordering::SeqCst).max(on_disk_next);
+        self.sequence.store(sequence + 1, Ordering::SeqCst);
         let path = self.path_for(sequence);
         let tmp = path.with_extension("tmp");
-        fs::write(&tmp, snapshot.encode())?;
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(&encoded)?;
+        file.sync_all()?;
+        drop(file);
         fs::rename(&tmp, &path)?;
-        self.prune()?;
+        #[cfg(unix)]
+        fs::File::open(&self.directory)?.sync_all()?;
+        self.prune_locked()?;
         Ok(path)
     }
 
-    /// Remove all but the newest `retain` checkpoints.
-    fn prune(&self) -> StateResult<()> {
+    /// Remove all but the newest `retain` checkpoints.  The caller must hold
+    /// the per-directory lock; a file already removed by a checkpointer in a
+    /// *different process* is tolerated.
+    fn prune_locked(&self) -> StateResult<()> {
         let existing = Self::existing_sequences(&self.directory)?;
         if existing.len() <= self.retain {
             return Ok(());
         }
         for (_, path) in &existing[..existing.len() - self.retain] {
-            fs::remove_file(path)?;
+            match fs::remove_file(path) {
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                other => other?,
+            }
         }
         Ok(())
     }
 
-    /// Load the most recent checkpoint, if any exists.
+    /// Load the most recent checkpoint's snapshot, if any exists.
     pub fn latest_snapshot(&self) -> StateResult<Option<StoreSnapshot>> {
+        Ok(self.latest_checkpoint()?.map(|cp| cp.snapshot))
+    }
+
+    /// Load the most recent checkpoint (manifest included), if any exists.
+    pub fn latest_checkpoint(&self) -> StateResult<Option<Checkpoint>> {
         match Self::existing_sequences(&self.directory)?.last() {
             None => Ok(None),
             Some((_, path)) => {
                 let bytes = fs::read(path)?;
-                Ok(Some(StoreSnapshot::decode(&bytes)?))
+                Ok(Some(Checkpoint::decode(&bytes)?))
             }
         }
     }
@@ -429,6 +591,110 @@ mod tests {
         assert_eq!(store.snapshot(), before);
         assert!(cp.latest_snapshot().unwrap().is_none());
         assert!(cp.list().unwrap().is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_checkpoints_round_trip_and_plain_files_stay_readable() {
+        let store = sample_store();
+        let manifest = CheckpointManifest {
+            epoch: 41,
+            events: 4_200,
+            committed: 4_100,
+            rejected: 100,
+        };
+        let checkpoint = Checkpoint {
+            manifest: Some(manifest),
+            snapshot: StoreSnapshot::capture(&store),
+        };
+        let bytes = checkpoint.encode();
+        assert_eq!(&bytes[..6], b"TSNAP2");
+        let decoded = Checkpoint::decode(&bytes).unwrap();
+        assert_eq!(decoded, checkpoint);
+        // StoreSnapshot::decode also accepts version 2 (manifest discarded).
+        assert_eq!(StoreSnapshot::decode(&bytes).unwrap(), checkpoint.snapshot);
+
+        // A version-1 file decodes with no manifest.
+        let plain = checkpoint.snapshot.encode();
+        assert_eq!(&plain[..6], b"TSNAP1");
+        let decoded = Checkpoint::decode(&plain).unwrap();
+        assert_eq!(decoded.manifest, None);
+        assert_eq!(decoded.snapshot, checkpoint.snapshot);
+    }
+
+    #[test]
+    fn checkpointer_persists_and_recovers_manifests() {
+        let dir = temp_dir("manifest");
+        let store = sample_store();
+        let cp = Checkpointer::new(&dir, 2).unwrap();
+        for epoch in 0..3u64 {
+            cp.write_checkpoint(&Checkpoint {
+                manifest: Some(CheckpointManifest {
+                    epoch,
+                    events: (epoch + 1) * 100,
+                    committed: (epoch + 1) * 90,
+                    rejected: (epoch + 1) * 10,
+                }),
+                snapshot: StoreSnapshot::capture(&store),
+            })
+            .unwrap();
+        }
+        let latest = cp.latest_checkpoint().unwrap().unwrap();
+        let manifest = latest.manifest.unwrap();
+        assert_eq!(manifest.epoch, 2);
+        assert_eq!(manifest.events, 300);
+        assert_eq!(manifest.committed, 270);
+        assert_eq!(manifest.rejected, 30);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn future_format_versions_are_rejected_not_misparsed() {
+        let mut bytes = sample_store_encoded();
+        bytes[5] = b'7'; // pretend version 7
+        assert!(matches!(
+            Checkpoint::decode(&bytes),
+            Err(StateError::UnsupportedVersion { found: 7, .. })
+        ));
+    }
+
+    fn sample_store_encoded() -> Vec<u8> {
+        StoreSnapshot::capture(&sample_store()).encode()
+    }
+
+    #[test]
+    fn concurrent_checkpointers_over_one_directory_do_not_race_on_retention() {
+        // Regression: two engine clones (separate `Checkpointer` instances)
+        // pruning the same directory used to race in the list+delete window —
+        // both would list the same victim and the loser died on NotFound.
+        // The per-directory lock serializes the whole write+prune.
+        let dir = temp_dir("race");
+        fs::create_dir_all(&dir).unwrap();
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let dir = dir.clone();
+                std::thread::spawn(move || {
+                    let store = sample_store();
+                    let cp = Checkpointer::new(&dir, 2).unwrap();
+                    for i in 0..8i64 {
+                        store
+                            .record(crate::TableId(0), 0)
+                            .unwrap()
+                            .write_committed(Value::Long(t * 100 + i));
+                        cp.checkpoint(&store).expect("no retention race");
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("no thread may panic");
+        }
+        // One more write from a fresh instance settles the directory at
+        // exactly the retention limit, and the latest file is decodable.
+        let cp = Checkpointer::new(&dir, 2).unwrap();
+        cp.checkpoint(&sample_store()).unwrap();
+        assert_eq!(cp.list().unwrap().len(), 2);
+        assert!(cp.latest_snapshot().unwrap().is_some());
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -11,7 +11,10 @@
 //! Layout (all integers little-endian):
 //!
 //! ```text
-//! snapshot   := MAGIC u32:table_count table*
+//! snapshot   := header [manifest] u32:table_count table*
+//! header     := "TSNAP" version_digit     (version 1 = tables only,
+//!                                          version 2 = manifest + tables)
+//! manifest   := u64:epoch u64:events u64:committed u64:rejected
 //! table      := u32:name_len name_bytes u64:record_count record*
 //! record     := u64:key value
 //! value      := u8:tag payload
@@ -29,8 +32,28 @@ use std::collections::HashSet;
 use crate::error::{StateError, StateResult};
 use crate::value::Value;
 
-/// Magic prefix of every snapshot file (`TSNAP` + format version 1).
-pub const MAGIC: &[u8; 6] = b"TSNAP1";
+/// Magic prefix of every snapshot file; a single ASCII-digit version byte
+/// follows it (`TSNAP1`, `TSNAP2`, ...).
+pub const SNAPSHOT_MAGIC: &[u8; 5] = b"TSNAP";
+
+/// Format version of a bare store snapshot (tables only).
+pub const SNAPSHOT_VERSION_PLAIN: u8 = 1;
+
+/// Format version of an epoch-stamped checkpoint: a
+/// [`crate::checkpoint::CheckpointManifest`] section precedes the tables.
+pub const SNAPSHOT_VERSION_MANIFEST: u8 = 2;
+
+/// Newest snapshot format version this build can decode.  Files carrying a
+/// larger version are rejected with [`StateError::UnsupportedVersion`] so a
+/// downgrade never mis-parses a newer layout as garbage.
+pub const SNAPSHOT_VERSION_MAX: u8 = SNAPSHOT_VERSION_MANIFEST;
+
+/// Append a snapshot header (`TSNAP` + ASCII version digit).
+pub fn put_snapshot_header(out: &mut Vec<u8>, version: u8) {
+    debug_assert!((1..=9).contains(&version));
+    out.extend_from_slice(SNAPSHOT_MAGIC);
+    out.push(b'0' + version);
+}
 
 /// A cursor over an encoded byte buffer.
 #[derive(Debug)]
@@ -67,6 +90,11 @@ impl<'a> Reader<'a> {
         Ok(self.take(1)?[0])
     }
 
+    /// Skip `n` bytes without interpreting them.
+    pub fn skip(&mut self, n: usize) -> StateResult<()> {
+        self.take(n).map(|_| ())
+    }
+
     /// Read a little-endian u32.
     pub fn u32(&mut self) -> StateResult<u32> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
@@ -95,15 +123,44 @@ impl<'a> Reader<'a> {
             .map_err(|e| StateError::Corrupted(format!("invalid UTF-8 in string: {e}")))
     }
 
-    /// Check and consume the snapshot magic.
-    pub fn expect_magic(&mut self) -> StateResult<()> {
-        let got = self.take(MAGIC.len())?;
-        if got != MAGIC {
-            return Err(StateError::Corrupted(
-                "missing TSNAP1 magic prefix".to_owned(),
-            ));
+    /// Check and consume a versioned header: `magic` followed by one ASCII
+    /// version digit.  Returns the version; a version newer than
+    /// `max_supported` is rejected with [`StateError::UnsupportedVersion`]
+    /// (naming `artifact`), a malformed header with
+    /// [`StateError::Corrupted`].
+    pub fn versioned_header(
+        &mut self,
+        magic: &[u8],
+        max_supported: u8,
+        artifact: &'static str,
+    ) -> StateResult<u8> {
+        let got = self.take(magic.len())?;
+        if got != magic {
+            return Err(StateError::Corrupted(format!(
+                "missing {} magic prefix",
+                String::from_utf8_lossy(magic)
+            )));
         }
-        Ok(())
+        let byte = self.u8()?;
+        if !byte.is_ascii_digit() || byte == b'0' {
+            return Err(StateError::Corrupted(format!(
+                "malformed {artifact} version byte {byte:#04x}"
+            )));
+        }
+        let version = byte - b'0';
+        if version > max_supported {
+            return Err(StateError::UnsupportedVersion {
+                artifact,
+                found: version,
+                supported: max_supported,
+            });
+        }
+        Ok(version)
+    }
+
+    /// Check and consume a snapshot header; returns the format version.
+    pub fn snapshot_version(&mut self) -> StateResult<u8> {
+        self.versioned_header(SNAPSHOT_MAGIC, SNAPSHOT_VERSION_MAX, "checkpoint")
     }
 }
 
@@ -246,13 +303,57 @@ mod tests {
     fn magic_is_checked() {
         let mut reader = Reader::new(b"NOTSNAP...");
         assert!(matches!(
-            reader.expect_magic(),
+            reader.snapshot_version(),
             Err(StateError::Corrupted(_))
         ));
         let mut ok = Vec::new();
-        ok.extend_from_slice(MAGIC);
+        put_snapshot_header(&mut ok, SNAPSHOT_VERSION_PLAIN);
         let mut reader = Reader::new(&ok);
-        assert!(reader.expect_magic().is_ok());
+        assert_eq!(reader.snapshot_version().unwrap(), 1);
+        // The version-1 header is byte-identical to the seed's `TSNAP1`
+        // magic, so existing checkpoint files stay readable.
+        assert_eq!(ok, b"TSNAP1");
+    }
+
+    #[test]
+    fn newer_versions_are_rejected_with_a_clear_error() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(SNAPSHOT_MAGIC);
+        bytes.push(b'9');
+        let mut reader = Reader::new(&bytes);
+        match reader.snapshot_version() {
+            Err(StateError::UnsupportedVersion {
+                artifact,
+                found,
+                supported,
+            }) => {
+                assert_eq!(artifact, "checkpoint");
+                assert_eq!(found, 9);
+                assert_eq!(supported, SNAPSHOT_VERSION_MAX);
+                let msg = StateError::UnsupportedVersion {
+                    artifact,
+                    found,
+                    supported,
+                }
+                .to_string();
+                assert!(msg.contains("upgrade"), "actionable message: {msg}");
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_version_bytes_are_corrupted_not_unsupported() {
+        for bad in [b'0', b'x', 0xFF] {
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(SNAPSHOT_MAGIC);
+            bytes.push(bad);
+            let mut reader = Reader::new(&bytes);
+            assert!(matches!(
+                reader.snapshot_version(),
+                Err(StateError::Corrupted(_))
+            ));
+        }
     }
 
     #[test]

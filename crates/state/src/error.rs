@@ -41,6 +41,19 @@ pub enum StateError {
     /// A checkpoint file could not be decoded (truncated, wrong magic,
     /// unknown value tag...).
     Corrupted(String),
+    /// A durability artifact (checkpoint, WAL segment) was written by a newer
+    /// format version than this build understands.  Distinguished from
+    /// [`StateError::Corrupted`] so operators see "upgrade the binary", not
+    /// "the file is broken".
+    UnsupportedVersion {
+        /// What kind of artifact carried the version (e.g. "checkpoint",
+        /// "WAL segment").
+        artifact: &'static str,
+        /// Version found in the file header.
+        found: u8,
+        /// Newest version this build can decode.
+        supported: u8,
+    },
 }
 
 impl fmt::Display for StateError {
@@ -62,6 +75,15 @@ impl fmt::Display for StateError {
             StateError::InvalidDefinition(msg) => write!(f, "invalid definition: {msg}"),
             StateError::Io(msg) => write!(f, "durability I/O error: {msg}"),
             StateError::Corrupted(msg) => write!(f, "corrupted checkpoint: {msg}"),
+            StateError::UnsupportedVersion {
+                artifact,
+                found,
+                supported,
+            } => write!(
+                f,
+                "{artifact} format version {found} is newer than the newest supported \
+                 version {supported}; upgrade this binary to read it"
+            ),
         }
     }
 }

@@ -48,7 +48,7 @@ pub mod table;
 pub mod value;
 pub mod version;
 
-pub use checkpoint::{Checkpointer, StoreSnapshot, TableSnapshot};
+pub use checkpoint::{Checkpoint, CheckpointManifest, Checkpointer, StoreSnapshot, TableSnapshot};
 pub use error::{StateError, StateResult};
 pub use record::Record;
 pub use shard::{ShardId, ShardRouter, MAX_SHARDS};

@@ -1,0 +1,145 @@
+//! Crash-replay demonstration: spawn a durable pipeline in a child process,
+//! **kill it mid-run** (the victim aborts itself after N batches, which to
+//! the durability directory is indistinguishable from `kill -9`), then
+//! recover with [`Engine::recover`] and verify the finished run is
+//! byte-identical to one that never crashed.
+//!
+//! This is the process-level counterpart of the in-process boundary sweep in
+//! `tests/recovery.rs`: here the victim really dies with batches in flight,
+//! an unsealed WAL tail on disk and no orderly shutdown of any kind.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example crash_recovery
+//! ```
+//!
+//! (The `--victim <dir>` invocation is internal — the driver spawns it.)
+
+use std::process::Command;
+use std::sync::Arc;
+
+use tstream_apps::sl;
+use tstream_apps::workload::WorkloadSpec;
+use tstream_core::prelude::*;
+
+const EVENTS: usize = 4_000;
+const INTERVAL: usize = 250;
+const CRASH_AFTER_BATCHES: u64 = 6;
+
+fn spec() -> WorkloadSpec {
+    WorkloadSpec::default()
+        .events(EVENTS)
+        .keys(2_000)
+        .seed(0xC1)
+}
+
+fn engine_config() -> EngineConfig {
+    EngineConfig::with_executors(2)
+        .punctuation(INTERVAL)
+        .checkpoint_every(3)
+}
+
+/// Child mode: ingest durably and die abruptly after N batches.
+fn victim(dir: &str) -> ! {
+    let spec = spec();
+    let events = sl::generate(&spec);
+    let store = sl::build_store(&spec);
+    let app = Arc::new(sl::StreamingLedger);
+    let engine = Engine::new(engine_config());
+    let mut session = engine
+        .durable_session(dir, &app, &store, &Scheme::TStream)
+        .expect("open durable session");
+    for event in events {
+        session.push(event).expect("durable push");
+        if session.batches_dispatched() >= CRASH_AFTER_BATCHES {
+            // Simulated power cut: no flush, no checkpoint, no Drop — the
+            // process vanishes with executor batches still in flight and a
+            // partially filled WAL tail segment on disk.
+            eprintln!(
+                "victim: aborting after {} batches ({} events ingested)",
+                session.batches_dispatched(),
+                session.ingested()
+            );
+            std::process::abort();
+        }
+    }
+    unreachable!("the victim must crash before draining the input");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--victim") {
+        victim(args.get(i + 1).expect("--victim needs a directory"));
+    }
+
+    let dir = std::env::temp_dir().join(format!("tstream-crash-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = spec();
+    let events = sl::generate(&spec);
+    let app = Arc::new(sl::StreamingLedger);
+
+    // ---- Baseline: the uninterrupted run this demo must reproduce.
+    let baseline_store = sl::build_store(&spec);
+    let baseline = Engine::new(engine_config()).run_offline(
+        &app,
+        &baseline_store,
+        events.clone(),
+        &Scheme::TStream,
+    );
+    println!(
+        "baseline : {} events, {} committed, {} rejected",
+        baseline.events, baseline.committed, baseline.rejected
+    );
+
+    // ---- Phase 1: spawn the victim and let it die mid-run.
+    let exe = std::env::current_exe().expect("own executable path");
+    let status = Command::new(&exe)
+        .arg("--victim")
+        .arg(&dir)
+        .status()
+        .expect("spawn victim process");
+    assert!(
+        !status.success(),
+        "the victim must die abnormally, got {status:?}"
+    );
+    println!("victim   : killed mid-run ({status})");
+
+    // ---- Phase 2: recover and finish the stream in this process.
+    let store = sl::build_store(&spec);
+    let engine = Engine::new(engine_config());
+    let mut session = engine
+        .recover(&dir, &app, &store, &Scheme::TStream)
+        .expect("recover the durability directory");
+    let resumed_from = session.ingested() as usize;
+    println!(
+        "recovery : restored + replayed {} events, resuming at event {}",
+        resumed_from, resumed_from
+    );
+    for event in events.into_iter().skip(resumed_from) {
+        session.push(event).expect("durable push after recovery");
+    }
+    let report = session.report().expect("final report");
+
+    // ---- Verify exactly-once: counts and state match the baseline.
+    assert_eq!(report.events, baseline.events, "event counts must match");
+    assert_eq!(
+        report.committed, baseline.committed,
+        "commit counts must match"
+    );
+    assert_eq!(
+        report.rejected, baseline.rejected,
+        "abort counts must match"
+    );
+    assert_eq!(
+        StoreSnapshot::capture(&store),
+        StoreSnapshot::capture(&baseline_store),
+        "recovered state must be byte-identical"
+    );
+    println!(
+        "recovered: {} events, {} committed, {} rejected, {} checkpoints, {} WAL bytes",
+        report.events, report.committed, report.rejected, report.checkpoints, report.wal_bytes
+    );
+    println!("crash-recovery differential holds: recovered == uninterrupted");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -11,6 +11,8 @@
 //! * [`txn`] — state transactions and the baseline schemes (No-Lock, LOCK,
 //!   MVLK, PAT, ...);
 //! * [`state`] — tables, versioned records, locks, checkpoints;
+//! * [`recovery`] — the crash-recovery subsystem: segmented write-ahead
+//!   input log and the coordinator behind `Engine::recover`;
 //! * [`stream`] — events, punctuation barriers, operators, topologies;
 //! * [`skiplist`] — the concurrent skip list backing the state indexes;
 //! * [`apps`] — the paper's four benchmark applications (GS, SL, OB, TP).
@@ -19,6 +21,7 @@
 
 pub use tstream_apps as apps;
 pub use tstream_core as core;
+pub use tstream_recovery as recovery;
 pub use tstream_skiplist as skiplist;
 pub use tstream_state as state;
 pub use tstream_stream as stream;

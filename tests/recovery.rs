@@ -1,0 +1,443 @@
+//! Crash-recovery differential tests: the tentpole guarantee of the
+//! recovery subsystem is **exactly-once results across a crash**.
+//!
+//! For every app (GS/SL/OB/TP) and shard count {1, 4}, a durable run is
+//! killed at *every* punctuation-batch boundary in turn; recovering the
+//! durability directory with [`Engine::recover`] and finishing the stream
+//! must yield a key-sorted store snapshot and cumulative commit/abort
+//! counts **byte-identical** to an uninterrupted `run_offline` over the
+//! same input.  The checkpoint cadence is deliberately sparser than one
+//! (every 2 batches) so most crash points force genuine WAL replay, not
+//! just snapshot restoration.
+//!
+//! The boundary-crash simulation pushes a batch-aligned prefix through a
+//! durable session and drops the process-local state; what remains on disk
+//! — sealed segments, epoch-stamped checkpoints, possibly an interrupted
+//! truncation — is exactly what a `kill -9` at that boundary leaves.  True
+//! process-kill coverage (abort mid-run, separate process) lives in
+//! `examples/crash_recovery.rs`, which CI runs.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use tstream_apps::workload::WorkloadSpec;
+use tstream_apps::{
+    run_benchmark_durable, run_benchmark_with_snapshot, AppKind, ExecutionPath, RunOptions,
+    SchemeKind,
+};
+use tstream_core::prelude::*;
+use tstream_recovery::{list_segments, FsyncPolicy, RecoveryCoordinator, WalPayload};
+use tstream_state::StateError;
+
+const INTERVAL: usize = 100;
+const EVENTS: usize = 500;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "tstream-recovery-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn options(shards: u32, seed: u64) -> RunOptions {
+    let spec = WorkloadSpec::default()
+        .events(EVENTS)
+        .keys(1_000)
+        .seed(seed)
+        .shards(shards);
+    let engine = EngineConfig::with_executors(2)
+        .punctuation(INTERVAL)
+        .checkpoint_every(2);
+    RunOptions::new(spec, engine)
+}
+
+/// Kill a durable run at every batch boundary; recovery must reproduce the
+/// uninterrupted run byte for byte.
+fn kill_at_every_boundary(app: AppKind, scheme: SchemeKind, shards: u32, seed: u64) {
+    let options = options(shards, seed);
+    let (baseline, baseline_snapshot) =
+        run_benchmark_with_snapshot(app, scheme, &options, ExecutionPath::Offline);
+    assert_eq!(baseline.events, EVENTS as u64);
+
+    let batches = EVENTS.div_ceil(INTERVAL);
+    for boundary in 1..batches {
+        let dir = temp_dir(&format!(
+            "boundary-{}-{}-{shards}-{boundary}",
+            app.label(),
+            scheme.label()
+        ));
+        // Phase 1: run up to the boundary, then "crash" (drop everything
+        // process-local; the durability directory is all that survives).
+        let (partial, _) =
+            run_benchmark_durable(app, scheme, &options, &dir, Some(boundary * INTERVAL))
+                .expect("durable run");
+        assert_eq!(partial.events, (boundary * INTERVAL) as u64);
+
+        // Phase 2: recover and finish the stream.
+        let (report, snapshot) =
+            run_benchmark_durable(app, scheme, &options, &dir, None).expect("recovered run");
+        let ctx = format!(
+            "{}/{} shards={shards} crash after batch {boundary}",
+            app.label(),
+            scheme.label()
+        );
+        assert_eq!(report.events, baseline.events, "events: {ctx}");
+        assert_eq!(report.committed, baseline.committed, "committed: {ctx}");
+        assert_eq!(report.rejected, baseline.rejected, "rejected: {ctx}");
+        assert_eq!(snapshot, baseline_snapshot, "snapshot: {ctx}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn gs_recovers_exactly_once_at_every_boundary() {
+    for shards in [1u32, 4] {
+        kill_at_every_boundary(AppKind::Gs, SchemeKind::TStream, shards, 0xD1);
+    }
+}
+
+#[test]
+fn sl_recovers_exactly_once_at_every_boundary() {
+    for shards in [1u32, 4] {
+        kill_at_every_boundary(AppKind::Sl, SchemeKind::TStream, shards, 0xD2);
+    }
+}
+
+#[test]
+fn ob_recovers_exactly_once_at_every_boundary() {
+    for shards in [1u32, 4] {
+        kill_at_every_boundary(AppKind::Ob, SchemeKind::TStream, shards, 0xD3);
+    }
+}
+
+#[test]
+fn tp_recovers_exactly_once_at_every_boundary() {
+    for shards in [1u32, 4] {
+        kill_at_every_boundary(AppKind::Tp, SchemeKind::TStream, shards, 0xD4);
+    }
+}
+
+#[test]
+fn recovery_works_under_an_eager_scheme_too() {
+    // The WAL is scheme-agnostic: the serial No-Lock baseline must recover
+    // just like dual-mode scheduling.
+    kill_at_every_boundary(AppKind::Sl, SchemeKind::NoLock, 1, 0xD5);
+}
+
+#[test]
+fn checkpoints_truncate_covered_wal_segments() {
+    let dir = temp_dir("truncation");
+    let options = options(1, 0xE1);
+    // checkpoint_every = 2: after the run (5 batches, last checkpoint at
+    // epoch 3), only segment 4 may survive.
+    let (report, _) =
+        run_benchmark_durable(AppKind::Gs, SchemeKind::TStream, &options, &dir, None).unwrap();
+    assert_eq!(report.events, EVENTS as u64);
+    assert_eq!(report.checkpoints, 2, "epochs 1 and 3 hit the cadence");
+    assert!(report.wal_bytes > 0, "the WAL must actually be written");
+    let segments = list_segments(&dir.join("wal")).unwrap();
+    let epochs: Vec<u64> = segments.iter().map(|s| s.epoch).collect();
+    assert_eq!(epochs, vec![4], "segments <= checkpoint epoch 3 are gone");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mid_batch_crash_replays_the_unsealed_tail() {
+    // Crash *inside* a batch: 2 sealed batches + 50 events in the unsealed
+    // tail segment.  The WAL is written directly (a session drop would seal
+    // the partial batch, which a real kill never does); recovery must feed
+    // the tail back into the forming batch and still converge with the
+    // uninterrupted run.
+    let dir = temp_dir("mid-batch");
+    let options = options(1, 0xE2);
+    let events = tstream_apps::sl::generate(&options.spec);
+    let (baseline, baseline_snapshot) = run_benchmark_with_snapshot(
+        AppKind::Sl,
+        SchemeKind::TStream,
+        &options,
+        ExecutionPath::Offline,
+    );
+    {
+        let state = RecoveryCoordinator::new(&dir).open().unwrap();
+        for (i, event) in events.iter().take(2 * INTERVAL + 50).enumerate() {
+            state.log.append(event).unwrap();
+            if (i + 1) % INTERVAL == 0 {
+                state.log.seal().unwrap();
+            }
+        }
+        // Dropped without sealing the tail: 50 events pending on disk.
+        assert_eq!(state.log.pending_records(), 50);
+    }
+
+    let store = tstream_apps::sl::build_store(&options.spec);
+    let app = Arc::new(tstream_apps::sl::StreamingLedger);
+    let engine = Engine::new(options.engine.shards(1));
+    let mut session = engine
+        .recover(&dir, &app, &store, &Scheme::TStream)
+        .expect("recover mid-batch state");
+    assert_eq!(session.ingested(), (2 * INTERVAL + 50) as u64);
+    for event in events.iter().skip(2 * INTERVAL + 50).cloned() {
+        session.push(event).unwrap();
+    }
+    let report = session.report().unwrap();
+    assert_eq!(report.events, baseline.events);
+    assert_eq!(report.committed, baseline.committed);
+    assert_eq!(report.rejected, baseline.rejected);
+    assert_eq!(StoreSnapshot::capture(&store), baseline_snapshot);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn double_crash_after_full_truncation_recovers_exactly_once() {
+    // Regression: with checkpoint_every = 1 every checkpoint truncates the
+    // whole WAL, so a recovery used to find an empty directory and restart
+    // epoch numbering at 0 — mislabelling live batches as checkpoint-covered
+    // and silently truncating them on the *second* recovery.  Crash twice
+    // and the run must still converge with the uninterrupted baseline.
+    let mut options = options(1, 0xE8);
+    options.engine = options.engine.checkpoint_every(1);
+    let (baseline, baseline_snapshot) = run_benchmark_with_snapshot(
+        AppKind::Sl,
+        SchemeKind::TStream,
+        &options,
+        ExecutionPath::Offline,
+    );
+    let dir = temp_dir("double-crash");
+    run_benchmark_durable(
+        AppKind::Sl,
+        SchemeKind::TStream,
+        &options,
+        &dir,
+        Some(INTERVAL),
+    )
+    .unwrap();
+    // First recovery runs two more batches, then "crashes" again.
+    run_benchmark_durable(
+        AppKind::Sl,
+        SchemeKind::TStream,
+        &options,
+        &dir,
+        Some(3 * INTERVAL),
+    )
+    .unwrap();
+    // Second recovery finishes the stream.
+    let (report, snapshot) =
+        run_benchmark_durable(AppKind::Sl, SchemeKind::TStream, &options, &dir, None).unwrap();
+    assert_eq!(report.events, baseline.events);
+    assert_eq!(report.committed, baseline.committed);
+    assert_eq!(report.rejected, baseline.rejected);
+    assert_eq!(snapshot, baseline_snapshot);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mid_batch_crash_after_full_truncation_recovers() {
+    // Regression companion to the epoch-floor fix: a crash mid-batch when
+    // the previous checkpoint truncated every sealed segment used to fail
+    // recovery with a spurious "open WAL segment carries epoch N, expected
+    // 0" corruption error on a perfectly healthy directory.
+    let mut options = options(1, 0xE9);
+    options.engine = options.engine.checkpoint_every(1);
+    let events = tstream_apps::sl::generate(&options.spec);
+    let (baseline, baseline_snapshot) = run_benchmark_with_snapshot(
+        AppKind::Sl,
+        SchemeKind::TStream,
+        &options,
+        ExecutionPath::Offline,
+    );
+    let dir = temp_dir("mid-batch-truncated");
+    // Two full batches, each checkpointed and truncated away.
+    run_benchmark_durable(
+        AppKind::Sl,
+        SchemeKind::TStream,
+        &options,
+        &dir,
+        Some(2 * INTERVAL),
+    )
+    .unwrap();
+    // Crash mid-batch: 30 more events reach only the WAL tail (epoch 2).
+    {
+        let state = RecoveryCoordinator::new(&dir).open().unwrap();
+        for event in events.iter().skip(2 * INTERVAL).take(30) {
+            state.log.append(event).unwrap();
+        }
+        assert_eq!(state.log.pending_records(), 30);
+    }
+    let store = tstream_apps::sl::build_store(&options.spec);
+    let app = Arc::new(tstream_apps::sl::StreamingLedger);
+    let engine = Engine::new(options.engine.shards(1));
+    let mut session = engine
+        .recover(&dir, &app, &store, &Scheme::TStream)
+        .expect("healthy directory must recover");
+    assert_eq!(session.ingested(), (2 * INTERVAL + 30) as u64);
+    for event in events.iter().skip(2 * INTERVAL + 30).cloned() {
+        session.push(event).unwrap();
+    }
+    let report = session.report().unwrap();
+    assert_eq!(report.committed, baseline.committed);
+    assert_eq!(report.rejected, baseline.rejected);
+    assert_eq!(StoreSnapshot::capture(&store), baseline_snapshot);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn reopening_with_a_different_punctuation_interval_is_rejected() {
+    // The WAL's epoch alignment assumes one sealed segment per punctuation
+    // batch; re-batching a replay with a different interval would silently
+    // desynchronize epochs, so the interval is pinned to the directory.
+    let dir = temp_dir("interval-pin");
+    let options_a = options(1, 0xEA);
+    run_benchmark_durable(
+        AppKind::Gs,
+        SchemeKind::TStream,
+        &options_a,
+        &dir,
+        Some(200),
+    )
+    .unwrap();
+    let mut options_b = options(1, 0xEA);
+    options_b.engine = options_b.engine.punctuation(INTERVAL / 2);
+    match run_benchmark_durable(AppKind::Gs, SchemeKind::TStream, &options_b, &dir, None) {
+        Err(StateError::InvalidDefinition(msg)) => {
+            assert!(msg.contains("punctuation interval"), "{msg}");
+        }
+        other => panic!("expected InvalidDefinition, got {:?}", other.map(|_| ())),
+    }
+    // The original interval still recovers fine.
+    let (report, _) =
+        run_benchmark_durable(AppKind::Gs, SchemeKind::TStream, &options_a, &dir, None).unwrap();
+    assert_eq!(report.events, EVENTS as u64);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn recovery_is_idempotent_a_crash_during_recovery_converges() {
+    let dir = temp_dir("idempotent");
+    let options = options(1, 0xE3);
+    // Crash after batch 3 (checkpoint at epoch 1, segments 2 and 3 pending).
+    run_benchmark_durable(
+        AppKind::Tp,
+        SchemeKind::TStream,
+        &options,
+        &dir,
+        Some(3 * INTERVAL),
+    )
+    .unwrap();
+    // First recovery attempt "crashes" right after open+replay: open a
+    // session, replay happens inside, then drop it without pushing the rest.
+    {
+        let store = tstream_apps::tp::build_store(&options.spec);
+        let app = Arc::new(tstream_apps::tp::TollProcessing);
+        let engine = Engine::new(options.engine.shards(1));
+        let session = engine
+            .recover(&dir, &app, &store, &Scheme::TStream)
+            .unwrap();
+        assert_eq!(session.ingested(), (3 * INTERVAL) as u64);
+        drop(session);
+    }
+    // Second recovery finishes the stream and must still match the baseline.
+    let (baseline, baseline_snapshot) = run_benchmark_with_snapshot(
+        AppKind::Tp,
+        SchemeKind::TStream,
+        &options,
+        ExecutionPath::Offline,
+    );
+    let (report, snapshot) =
+        run_benchmark_durable(AppKind::Tp, SchemeKind::TStream, &options, &dir, None).unwrap();
+    assert_eq!(report.events, baseline.events);
+    assert_eq!(report.committed, baseline.committed);
+    assert_eq!(report.rejected, baseline.rejected);
+    assert_eq!(snapshot, baseline_snapshot);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn durable_report_counts_are_cumulative_across_recovery() {
+    let dir = temp_dir("cumulative");
+    let options = options(1, 0xE4);
+    let (partial, _) =
+        run_benchmark_durable(AppKind::Ob, SchemeKind::TStream, &options, &dir, Some(200)).unwrap();
+    assert_eq!(partial.events, 200);
+    assert_eq!(partial.committed + partial.rejected, 200);
+    let (full, _) =
+        run_benchmark_durable(AppKind::Ob, SchemeKind::TStream, &options, &dir, None).unwrap();
+    assert_eq!(full.events, EVENTS as u64);
+    assert_eq!(full.committed + full.rejected, EVENTS as u64);
+    assert!(full.checkpoints >= 1);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fsync_policies_all_recover() {
+    for policy in [FsyncPolicy::Never, FsyncPolicy::OnSeal, FsyncPolicy::Always] {
+        let dir = temp_dir(&format!("fsync-{}", policy.label()));
+        let mut options = options(1, 0xE5);
+        options.engine = options.engine.fsync(policy);
+        run_benchmark_durable(AppKind::Gs, SchemeKind::TStream, &options, &dir, Some(200)).unwrap();
+        let (report, _) =
+            run_benchmark_durable(AppKind::Gs, SchemeKind::TStream, &options, &dir, None).unwrap();
+        assert_eq!(report.events, EVENTS as u64);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn wal_segments_from_the_future_are_rejected_with_a_clear_error() {
+    let dir = temp_dir("future");
+    let wal_dir = dir.join("wal");
+    fs::create_dir_all(&wal_dir).unwrap();
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"TWAL9");
+    bytes.extend_from_slice(&0u64.to_le_bytes());
+    fs::write(wal_dir.join("segment-000000000000.twal"), &bytes).unwrap();
+
+    let store = tstream_apps::gs::build_store(&options(1, 0xE6).spec);
+    let app = Arc::new(tstream_apps::gs::GrepSum::default());
+    let engine = Engine::new(EngineConfig::with_executors(1));
+    match engine.recover(&dir, &app, &store, &Scheme::TStream) {
+        Err(StateError::UnsupportedVersion {
+            artifact, found, ..
+        }) => {
+            assert_eq!(artifact, "WAL segment");
+            assert_eq!(found, 9);
+        }
+        other => panic!("expected UnsupportedVersion, got {:?}", other.map(|_| ())),
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// The WAL payload codecs are exercised end-to-end above; this pins the
+/// contract that every generated event round-trips bit-exactly (speed is a
+/// float — compared by bits).
+#[test]
+fn every_generated_payload_round_trips_through_the_wal_codec() {
+    fn assert_round_trips<P: WalPayload>(events: &[P], re_encode: impl Fn(&P, &mut Vec<u8>)) {
+        for event in events {
+            let mut encoded = Vec::new();
+            re_encode(event, &mut encoded);
+            let mut reader = tstream_state::codec::Reader::new(&encoded);
+            let decoded = P::decode_wal(&mut reader).expect("decodable");
+            assert_eq!(reader.remaining(), 0);
+            let mut re_encoded = Vec::new();
+            re_encode(&decoded, &mut re_encoded);
+            assert_eq!(encoded, re_encoded);
+        }
+    }
+    let spec = WorkloadSpec::default().events(300).seed(0xE7);
+    assert_round_trips(&tstream_apps::gs::generate(&spec), |e, out| {
+        e.encode_wal(out)
+    });
+    assert_round_trips(&tstream_apps::sl::generate(&spec), |e, out| {
+        e.encode_wal(out)
+    });
+    assert_round_trips(&tstream_apps::ob::generate(&spec), |e, out| {
+        e.encode_wal(out)
+    });
+    assert_round_trips(&tstream_apps::tp::generate(&spec), |e, out| {
+        e.encode_wal(out)
+    });
+}
