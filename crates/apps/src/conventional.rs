@@ -456,7 +456,7 @@ mod tests {
 
         let store = tp::build_store(&spec);
         let app = Arc::new(tp::TollProcessing);
-        Engine::new(EngineConfig::with_executors(4).punctuation(250)).run(
+        let _ = Engine::new(EngineConfig::with_executors(4).punctuation(250)).run(
             &app,
             &store,
             events.clone(),

@@ -32,7 +32,7 @@ pub mod wal;
 pub mod workload;
 
 pub use runner::{
-    run_benchmark, run_benchmark_durable, run_benchmark_via, run_benchmark_with_snapshot, AppKind,
-    ExecutionPath, RunOptions, SchemeKind,
+    run_benchmark, run_benchmark_concurrent, run_benchmark_durable, run_benchmark_via,
+    run_benchmark_with_snapshot, AppKind, ConcurrentRun, ExecutionPath, RunOptions, SchemeKind,
 };
 pub use workload::{Rng, WorkloadSpec, Zipf};

@@ -264,7 +264,7 @@ mod tests {
 
         let reference_store = build_store(&spec);
         let reference = Engine::new(EngineConfig::with_executors(1).punctuation(100));
-        reference.run(&app, &reference_store, events.clone(), &Scheme::TStream);
+        let _ = reference.run(&app, &reference_store, events.clone(), &Scheme::TStream);
         let expected = reference_store.snapshot();
 
         for scheme in [

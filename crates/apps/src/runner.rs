@@ -167,7 +167,7 @@ impl RunOptions {
 pub enum ExecutionPath {
     /// The streaming runtime: online batch formation pipelined onto the
     /// engine's persistent executor pool ([`Engine::run`], which streams
-    /// the input through a `StreamSession`).
+    /// the input through a `Session`).
     #[default]
     Pipelined,
     /// The seed's offline mode: pre-materialize every batch, then execute
@@ -204,7 +204,10 @@ fn drive_durable<A: Application>(
 where
     A::Payload: WalPayload,
 {
-    let mut session = engine.durable_session(dir, app, store, scheme)?;
+    let mut session = engine
+        .session_builder(app, store, scheme)
+        .durable(dir)
+        .open()?;
     let start = session.ingested() as usize;
     let stop = until.unwrap_or(payloads.len()).min(payloads.len());
     for payload in payloads.into_iter().take(stop).skip(start) {
@@ -318,6 +321,135 @@ pub fn run_benchmark_durable(
             )?;
             Ok((report, StoreSnapshot::capture(&store)))
         }
+    }
+}
+
+/// Result of one concurrent multi-session run: the per-session reports
+/// (labelled with the app they drove) plus the shared wall-clock window.
+#[derive(Debug, Clone)]
+pub struct ConcurrentRun {
+    /// One report per session, in the order of the `apps` argument.
+    pub reports: Vec<RunReport>,
+    /// Wall-clock duration from the first session opening to the last
+    /// report, shared by all sessions.
+    pub elapsed: Duration,
+}
+
+impl ConcurrentRun {
+    /// Total events across every session.
+    pub fn events(&self) -> u64 {
+        self.reports.iter().map(|r| r.events).sum()
+    }
+
+    /// Aggregate throughput over the shared wall-clock window, in thousands
+    /// of events per second.
+    pub fn aggregate_keps(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.events() as f64 / self.elapsed.as_secs_f64() / 1_000.0
+    }
+}
+
+/// Run one session **per entry of `apps`, concurrently, on one engine**:
+/// each session gets its own store, workload and scheme instance, is pushed
+/// from its own thread, and is labelled with its app, so the reports stay
+/// attributable.  The sessions multiplex over the engine's shared executor
+/// pool — this is the multi-client shape the session scheduler exists for,
+/// and what the `bench_snapshot` concurrency rows measure.
+pub fn run_benchmark_concurrent(
+    apps: &[AppKind],
+    scheme: SchemeKind,
+    options: &RunOptions,
+) -> ConcurrentRun {
+    fn session_thread<A: Application>(
+        engine: &Engine,
+        application: A,
+        store: Arc<StateStore>,
+        payloads: Vec<A::Payload>,
+        scheme: &Scheme,
+        label: &str,
+    ) -> RunReport {
+        let app = Arc::new(application);
+        let mut session = engine
+            .session_builder(&app, &store, scheme)
+            .label(label)
+            .open()
+            .expect("plain sessions cannot fail to open");
+        for payload in payloads {
+            session
+                .push(payload)
+                .expect("plain sessions cannot fail to push");
+        }
+        session
+            .report()
+            .expect("plain sessions cannot fail to report")
+    }
+
+    /// One fully prepared session run, waiting for the timed window.
+    type PreparedSession = Box<dyn FnOnce(&Engine) -> RunReport + Send>;
+
+    let engine_config = options.engine.shards(options.spec.shards as usize);
+    let engine = Engine::new(engine_config);
+    // Build every session's store, workload and scheme instance (eager
+    // schemes carry per-run counters that concurrent sessions must not
+    // share) *before* the clock starts: the shared window must measure
+    // push-to-report work only, so the aggregate rows stay comparable to
+    // the per-app throughput points.
+    let jobs: Vec<PreparedSession> = apps
+        .iter()
+        .map(|&app| {
+            let scheme = scheme.build(options.pat_partitions);
+            let label = app.label();
+            match app {
+                AppKind::Gs => {
+                    let application = gs::GrepSum {
+                        with_summation: options.gs_with_summation,
+                    };
+                    let store = gs::build_store(&options.spec);
+                    let payloads = gs::generate(&options.spec);
+                    Box::new(move |engine: &Engine| {
+                        session_thread(engine, application, store, payloads, &scheme, label)
+                    }) as PreparedSession
+                }
+                AppKind::Sl => {
+                    let store = sl::build_store(&options.spec);
+                    let payloads = sl::generate(&options.spec);
+                    Box::new(move |engine: &Engine| {
+                        session_thread(engine, sl::StreamingLedger, store, payloads, &scheme, label)
+                    })
+                }
+                AppKind::Ob => {
+                    let store = ob::build_store(&options.spec);
+                    let payloads = ob::generate(&options.spec);
+                    Box::new(move |engine: &Engine| {
+                        session_thread(engine, ob::OnlineBidding, store, payloads, &scheme, label)
+                    })
+                }
+                AppKind::Tp => {
+                    let store = tp::build_store(&options.spec);
+                    let payloads = tp::generate(&options.spec);
+                    Box::new(move |engine: &Engine| {
+                        session_thread(engine, tp::TollProcessing, store, payloads, &scheme, label)
+                    })
+                }
+            }
+        })
+        .collect();
+    let started = std::time::Instant::now();
+    let reports: Vec<RunReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .into_iter()
+            .map(|job| {
+                let engine = &engine;
+                scope.spawn(move || job(engine))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    ConcurrentRun {
+        reports,
+        elapsed: started.elapsed(),
     }
 }
 

@@ -265,7 +265,7 @@ mod tests {
         let app = Arc::new(TollProcessing);
 
         let reference_store = build_store(&spec);
-        Engine::new(EngineConfig::with_executors(1).punctuation(100)).run(
+        let _ = Engine::new(EngineConfig::with_executors(1).punctuation(100)).run(
             &app,
             &reference_store,
             events.clone(),

@@ -6,8 +6,10 @@
 //! Besides the throughput sweep, the snapshot records the **durability
 //! tax**: for each app, one TStream run through a durable (write-ahead
 //! logged) session — checkpoints written, WAL bytes appended, throughput —
-//! plus the time a cold [`Engine::recover`] needs to restore the checkpoint
-//! and replay the surviving segments.
+//! plus the time a cold recovery (`SessionBuilder::recover`) needs to
+//! restore the checkpoint and replay the surviving segments.  It also
+//! records **concurrency rows**: 2 and 4 sessions multiplexed over one
+//! engine (one app per session), with their aggregate throughput.
 //!
 //! ```text
 //! cargo run --release -p tstream-bench --bin bench_snapshot -- --quick
@@ -21,7 +23,10 @@ use std::path::Path;
 use std::sync::Arc;
 
 use tstream_apps::workload::WorkloadSpec;
-use tstream_apps::{gs, ob, run_benchmark_durable, sl, tp, AppKind, RunOptions, SchemeKind};
+use tstream_apps::{
+    gs, ob, run_benchmark_concurrent, run_benchmark_durable, sl, tp, AppKind, RunOptions,
+    SchemeKind,
+};
 use tstream_bench::{events_for, run_point, HarnessConfig};
 use tstream_core::{Engine, EngineConfig, Scheme, WalPayload};
 use tstream_state::StateStore;
@@ -38,6 +43,13 @@ struct Point {
     p50_ms: f64,
     p99_ms: f64,
     compute_share: f64,
+}
+
+struct ConcurrencyPoint {
+    sessions: usize,
+    apps: String,
+    events: u64,
+    aggregate_keps: f64,
 }
 
 struct DurabilityPoint {
@@ -68,7 +80,10 @@ fn timed_recovery(app: AppKind, options: &RunOptions, dir: &Path, expected_event
         let app = Arc::new(application);
         let t = Instant::now();
         let mut session = engine
-            .recover(dir, &app, &store, &Scheme::TStream)
+            .session_builder(&app, &store, &Scheme::TStream)
+            .durable(dir)
+            .recover()
+            .open()
             .expect("recovery benchmark run");
         session.flush().expect("replay drain");
         let elapsed = t.elapsed().as_secs_f64() * 1e3;
@@ -157,6 +172,43 @@ fn durability_sweep(quick: bool) -> Vec<DurabilityPoint> {
     points
 }
 
+/// 2- and 4-session concurrent TStream runs over one engine: one app per
+/// session (the first N of GS/SL/OB/TP), each on its own store, multiplexed
+/// over the shared executor pool.
+fn concurrency_sweep(quick: bool) -> Vec<ConcurrencyPoint> {
+    let mut points = Vec::new();
+    for n in [2usize, 4] {
+        let apps = &AppKind::ALL[..n];
+        let events = events_for(AppKind::Sl, 1, quick);
+        let spec = WorkloadSpec::default().events(events);
+        let engine = EngineConfig::with_executors(1).punctuation(500);
+        let options = RunOptions::new(spec, engine);
+        let run = run_benchmark_concurrent(apps, SchemeKind::TStream, &options);
+        let labels: Vec<&str> = apps.iter().map(|a| a.label()).collect();
+        eprintln!(
+            "concurrency {} sessions ({})  {:>8} events  {:>8.1} K/s aggregate",
+            n,
+            labels.join("+"),
+            run.events(),
+            run.aggregate_keps()
+        );
+        for report in &run.reports {
+            assert_eq!(
+                report.events, events as u64,
+                "session {:?} lost events",
+                report.label
+            );
+        }
+        points.push(ConcurrencyPoint {
+            sessions: n,
+            apps: labels.join("+"),
+            events: run.events(),
+            aggregate_keps: run.aggregate_keps(),
+        });
+    }
+    points
+}
+
 fn main() {
     let cfg = HarnessConfig::from_args();
     let out_path = {
@@ -204,6 +256,7 @@ fn main() {
     }
 
     let durability = durability_sweep(cfg.quick);
+    let concurrency = concurrency_sweep(cfg.quick);
 
     let unix_time = SystemTime::now()
         .duration_since(UNIX_EPOCH)
@@ -243,6 +296,21 @@ fn main() {
             p.compute_share
         );
         json.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"concurrency\": [\n");
+    for (i, p) in concurrency.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"sessions\": {}, \"apps\": \"{}\", \"scheme\": \"TStream\", \
+             \"events\": {}, \"aggregate_keps\": {:.2}}}",
+            p.sessions, p.apps, p.events, p.aggregate_keps
+        );
+        json.push_str(if i + 1 < concurrency.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
     }
     json.push_str("  ],\n");
     json.push_str("  \"durability\": [\n");

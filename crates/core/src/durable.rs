@@ -1,293 +1,92 @@
-//! Durable streaming sessions: crash-restartable ingestion with
-//! exactly-once results.
+//! Deprecated durable entry points, forwarding to the session builder.
 //!
-//! A [`DurableSession`] wraps the normal [`StreamSession`] with the
-//! write-ahead input log of `tstream-recovery`:
+//! Durable (write-ahead logged, crash-recoverable) sessions are a
+//! **builder mode** since the unified [`crate::builder::SessionBuilder`]
+//! API: `engine.session_builder(app, store, scheme).durable(dir).open()`
+//! replaces [`Engine::durable_session`], and appending `.recover()`
+//! replaces [`Engine::recover`].  The wrappers below keep the exact
+//! semantics of the old entry points (recover-or-create over a directory,
+//! WAL-append before routing, seal-before-dispatch, epoch-stamped
+//! checkpoints) — they are one-line forwards — but are deprecated so new
+//! code converges on the builder.
 //!
-//! * every [`DurableSession::push`] appends the encoded event to the active
-//!   WAL segment **before** routing it;
-//! * when the punctuation closes a batch, the segment **seals** (fsync per
-//!   [`crate::EngineConfig::fsync`]) *before* the batch is dispatched, so a
-//!   batch can only execute once its input is durable;
-//! * at the end-of-batch barrier the executor leader writes an
-//!   **epoch-stamped checkpoint** every [`crate::EngineConfig::checkpoint_every`]
-//!   batches and truncates the WAL segments the checkpoint covers.
-//!
-//! [`Engine::recover`] reopens a durability directory after a crash (or for
-//! the first time — a fresh directory is simply an empty log): it restores
-//! the newest checkpoint into the store, replays the surviving sealed
-//! segments through the normal session path — one segment, one batch, so
-//! batch formation and routing are identical to the original run — feeds
-//! the unsealed tail back into the forming batch, and returns a live
-//! session.  Because replay starts from the checkpointed state, it is
-//! idempotent: crash during recovery and the same procedure converges, and
-//! the recovered run's final store state and commit/abort counts are
-//! byte-identical to a run that never crashed.
+//! The mechanics of durable sessions are documented on
+//! [`crate::builder::SessionBuilder::durable`] and
+//! [`crate::builder::SessionBuilder::recover`]; the replay path lives in
+//! `builder.rs`.
 
 use std::path::Path;
 use std::sync::Arc;
 
-use tstream_recovery::{
-    read_segment, DurableLog, DurableMeta, RecoveryCoordinator, RecoveryOptions, WalPayload,
-};
+use tstream_recovery::WalPayload;
 use tstream_state::{StateResult, StateStore};
 use tstream_txn::Application;
 
-use crate::engine::{Durability, Engine, RunReport, Scheme};
-use crate::session::StreamSession;
+use crate::engine::{Engine, Scheme};
+use crate::session::Session;
 
-/// A crash-restartable [`StreamSession`]: inputs are WAL-logged before
-/// routing, state is checkpointed per epoch, and results are exactly-once
-/// across [`Engine::recover`].
-///
-/// Like the session it wraps, it holds the engine's exclusive run lease
-/// until dropped or finished with [`DurableSession::report`].
-pub struct DurableSession<'e, A: Application>
-where
-    A::Payload: WalPayload,
-{
-    /// `None` only after `report` consumed the inner session.
-    inner: Option<StreamSession<'e, A>>,
-    log: Arc<DurableLog>,
-}
-
-impl<'e, A: Application> DurableSession<'e, A>
-where
-    A::Payload: WalPayload,
-{
-    pub(crate) fn open(
-        engine: &'e Engine,
-        dir: &Path,
-        app: &Arc<A>,
-        store: &Arc<StateStore>,
-        scheme: &Scheme,
-    ) -> StateResult<Self> {
-        let config = engine.config();
-        let recovered = RecoveryCoordinator::new(dir)
-            .options(RecoveryOptions {
-                fsync: config.fsync,
-                checkpoint_every: config.checkpoint_every.max(1) as u64,
-                retain: 2,
-                // Epoch alignment assumes one segment = one punctuation
-                // batch, so the interval is pinned to the directory.
-                meta: Some(DurableMeta {
-                    punctuation_interval: config.punctuation_interval.max(1) as u64,
-                }),
-            })
-            .open()?;
-        // Restore the checkpointed state before the session resets the
-        // store's synchronisation state and replay re-executes on top.
-        if let Some(snapshot) = &recovered.snapshot {
-            snapshot.restore(store)?;
-        }
-        let log = Arc::new(recovered.log);
-        let mut inner =
-            StreamSession::open(engine, app, store, scheme, Durability::Wal(log.clone()));
-
-        // Replay surviving sealed segments through the normal path.  Every
-        // sealed segment was cut at a punctuation (or an explicit flush), so
-        // it replays as exactly one batch — forcing the partial dispatch at
-        // each segment end reproduces the original batch boundaries, and
-        // with them routing and results.  Nothing is re-appended to the WAL:
-        // these events are already durable.
-        for info in &recovered.sealed_segments {
-            let decoded = read_segment::<A::Payload>(&info.path)?;
-            for payload in decoded.events {
-                if let Some(batch) = inner.ingest(payload) {
-                    inner.dispatch_now(batch);
-                }
-            }
-            if let Some(batch) = inner.take_partial() {
-                inner.dispatch_now(batch);
-            }
-        }
-        // The unsealed tail re-enters the forming batch; the log keeps
-        // appending to that very segment, so alignment is preserved.  If the
-        // crash hit between batch completion and seal, the tail already
-        // holds a full batch: seal it now, then dispatch.
-        let mut session = DurableSession {
-            inner: Some(inner),
-            log,
-        };
-        if let Some(info) = &recovered.pending_segment {
-            let decoded = read_segment::<A::Payload>(&info.path)?;
-            for payload in decoded.events {
-                session.ingest_logged(payload)?;
-            }
-        }
-        Ok(session)
-    }
-
-    fn session(&mut self) -> &mut StreamSession<'e, A> {
-        self.inner
-            .as_mut()
-            .expect("inner session only vacates in report()")
-    }
-
-    /// Route one already-logged event, sealing + dispatching at punctuation.
-    ///
-    /// A completed batch is dispatched even when the seal fails: its events
-    /// are already routed into the run, so dropping the batch would fork the
-    /// live results away from what recovery reproduces.  The seal error is
-    /// still reported — durability is degraded (a crash would replay these
-    /// events from the unsealed tail) but results stay exactly-once.
-    fn ingest_logged(&mut self, payload: A::Payload) -> StateResult<()> {
-        let session = self.session();
-        if let Some(batch) = session.ingest(payload) {
-            let sealed = self.log.seal();
-            self.session().dispatch_now(batch);
-            sealed?;
-        }
-        Ok(())
-    }
-
-    /// Ingest one event durably: append it to the WAL, then stamp and route
-    /// it; when it completes a punctuation batch, the WAL segment seals
-    /// (made durable per the fsync policy) before the batch is dispatched.
-    ///
-    /// # Errors
-    ///
-    /// An `Err` from the WAL *append* means the event is **not** durable and
-    /// was not routed — the producer may retry it.  An `Err` from *sealing*
-    /// is reported after the completed batch was dispatched anyway (see
-    /// `ingest_logged`): the event is routed and must **not** be retried;
-    /// only its durability is degraded until the next successful seal or
-    /// checkpoint.
-    pub fn push(&mut self, payload: A::Payload) -> StateResult<()> {
-        self.log.append(&payload)?;
-        self.ingest_logged(payload)
-    }
-
-    /// Seal and dispatch the partially filled batch (if any) and block until
-    /// everything dispatched has been fully processed; the store and the
-    /// durability directory then both reflect every event pushed so far.
-    ///
-    /// Like [`DurableSession::push`], a seal failure is reported only after
-    /// the partial batch was dispatched — results never fork from the log.
-    ///
-    /// # Panics
-    ///
-    /// Re-raises executor panics like [`StreamSession::flush`].
-    pub fn flush(&mut self) -> StateResult<()> {
-        let session = self.session();
-        let sealed = match session.take_partial() {
-            Some(batch) => {
-                let sealed = self.log.seal();
-                self.session().dispatch_now(batch);
-                sealed.map(|_| ())
-            }
-            None => Ok(()),
-        };
-        self.session().drain();
-        sealed
-    }
-
-    /// Flush and aggregate into a [`RunReport`], releasing the engine's run
-    /// lease.  The report's `events` / `committed` / `rejected` are
-    /// cumulative across recovery: counts restored from the checkpoint
-    /// manifest plus everything this session replayed and processed live —
-    /// i.e. identical to an uninterrupted run over the same input.
-    pub fn report(mut self) -> StateResult<RunReport> {
-        self.flush()?;
-        let inner = self.inner.take().expect("report runs once");
-        let mut report = inner.report();
-        let base = self.log.base();
-        report.events += base.events;
-        report.committed += base.committed;
-        report.rejected += base.rejected;
-        report.wal_bytes = self.log.wal_bytes();
-        Ok(report)
-    }
-
-    /// Events this session has ingested, recovery included: the events
-    /// covered by the restored checkpoint plus everything replayed from the
-    /// WAL plus everything pushed live.  A resuming producer feeds
-    /// `input[ingested()..]`.
-    pub fn ingested(&self) -> u64 {
-        let pushed = self.inner.as_ref().map_or(0, |s| s.pushed());
-        self.log.base().events + pushed
-    }
-
-    /// Batches dispatched to the executor pool by this session (replayed
-    /// batches included; checkpoint-covered batches are not).
-    pub fn batches_dispatched(&self) -> u64 {
-        self.inner.as_ref().map_or(0, |s| s.batches_dispatched())
-    }
-
-    /// The durability log backing this session.
-    pub fn log(&self) -> &Arc<DurableLog> {
-        &self.log
-    }
-}
-
-impl<A: Application> Drop for DurableSession<'_, A>
-where
-    A::Payload: WalPayload,
-{
-    fn drop(&mut self) {
-        // Seal the partial batch before the inner session's drop dispatches
-        // it, so WAL epochs stay aligned with executed batches even on an
-        // abandoning drop.  (Best effort: on a seal error the batch still
-        // executes; the next open truncates the then-unsealed tail back into
-        // the forming batch, which only re-executes from the checkpoint —
-        // never double-applies.)
-        if let Some(inner) = self.inner.as_mut() {
-            if !std::thread::panicking() {
-                if let Some(batch) = inner.take_partial() {
-                    let _ = self.log.seal();
-                    inner.dispatch_now(batch);
-                }
-            }
-        }
-    }
-}
+/// The pre-builder name of a durable [`Session`], kept for source
+/// compatibility.  Durable sessions are ordinary [`Session`]s now — the
+/// builder's `.durable(dir)` mode — so this is a plain alias.
+#[deprecated(
+    since = "0.6.0",
+    note = "use `Engine::session_builder(..).durable(dir).open()`, which yields the unified \
+            `Session` type"
+)]
+pub type DurableSession<'e, A> = Session<'e, A>;
 
 impl Engine {
-    /// Open a **durable session** over `dir`: a streaming session whose
-    /// inputs are write-ahead logged and whose state is checkpointed with
-    /// epoch manifests, so the run can be crash-recovered with
-    /// [`Engine::recover`].
+    /// Open a **durable session** over `dir`.
     ///
-    /// On a fresh directory this starts an empty log; on a directory with
-    /// existing durability state it behaves exactly like [`Engine::recover`]
-    /// (restore + replay + resume), so callers can use one entry point for
-    /// both the `--durable` and `--recover` paths.
-    ///
-    /// `store` must be freshly built with the run's schema (and shard
-    /// count); the recovered snapshot overwrites every committed value.
+    /// Deprecated: this forwards to
+    /// [`Engine::session_builder`]`(..).durable(dir).open()` and keeps its
+    /// exact semantics — on a fresh directory it starts an empty log; on a
+    /// directory with existing durability state it restores, replays and
+    /// resumes, so one entry point serves both the `--durable` and
+    /// `--recover` paths.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `engine.session_builder(app, store, scheme).durable(dir).open()` instead"
+    )]
     pub fn durable_session<'e, A: Application>(
         &'e self,
         dir: impl AsRef<Path>,
         app: &Arc<A>,
         store: &Arc<StateStore>,
         scheme: &Scheme,
-    ) -> StateResult<DurableSession<'e, A>>
+    ) -> StateResult<Session<'e, A>>
     where
         A::Payload: WalPayload,
     {
-        DurableSession::open(self, dir.as_ref(), app, store, scheme)
+        self.session_builder(app, store, scheme).durable(dir).open()
     }
 
-    /// Recover a crashed durable run from `dir` and return the live session:
-    /// restores the newest epoch-stamped checkpoint into `store`, replays
-    /// the surviving WAL segments through the normal streaming path
-    /// (dual-mode scheduling unchanged), feeds the unsealed tail back into
-    /// the forming batch, and resumes live ingestion.
+    /// Recover a crashed durable run from `dir` and return the live session.
     ///
-    /// Recovery is idempotent — crash during recovery and calling this again
-    /// converges — and exactly-once: the recovered final state and the
-    /// cumulative counts of [`DurableSession::report`] are byte-identical to
-    /// an uninterrupted run over the same input.
+    /// Deprecated: this forwards to
+    /// [`Engine::session_builder`]`(..).durable(dir).recover().open()` and
+    /// keeps its exact semantics — restore the newest epoch-stamped
+    /// checkpoint, replay the surviving WAL segments through the normal
+    /// streaming path, feed the unsealed tail back into the forming batch,
+    /// and resume live ingestion, idempotently and exactly-once.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `engine.session_builder(app, store, scheme).durable(dir).recover().open()` \
+                instead"
+    )]
     pub fn recover<'e, A: Application>(
         &'e self,
         dir: impl AsRef<Path>,
         app: &Arc<A>,
         store: &Arc<StateStore>,
         scheme: &Scheme,
-    ) -> StateResult<DurableSession<'e, A>>
+    ) -> StateResult<Session<'e, A>>
     where
         A::Payload: WalPayload,
     {
-        self.durable_session(dir, app, store, scheme)
+        self.session_builder(app, store, scheme)
+            .durable(dir)
+            .recover()
+            .open()
     }
 }

@@ -20,12 +20,15 @@
 //! 3. **Sink** — per-executor [`Sink`] shards record completions and
 //!    end-to-end latencies, merged into the [`RunReport`].
 //!
-//! Continuous ingestion goes through [`Engine::session`] (push / flush /
-//! report); [`Engine::run`] streams a pre-collected input through a session
-//! and is what the figure harnesses use.  [`Engine::run_offline`] keeps the
-//! seed's pre-materialized, scope-per-run behaviour as a differential
-//! baseline — both paths execute the same per-batch step functions, so they
-//! must produce identical results.
+//! Continuous ingestion goes through [`Engine::session_builder`] (push /
+//! flush / report; durable, recovering, adaptive and labelled sessions are
+//! builder options).  Sessions of one engine run **concurrently**: the
+//! pool's scheduler interleaves their punctuation batches round-robin with
+//! per-session backpressure.  [`Engine::run`] streams a pre-collected input
+//! through a session and is what the figure harnesses use.
+//! [`Engine::run_offline`] keeps the seed's pre-materialized, scope-per-run
+//! behaviour as a differential baseline — both paths execute the same
+//! per-batch step functions, so they must produce identical results.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -48,7 +51,7 @@ use crate::chains::ChainPoolSet;
 use crate::config::EngineConfig;
 use crate::restructure::{self, BatchAbortLog, ChainStats, RestructureContext};
 use crate::runtime::ExecutorPool;
-use crate::session::StreamSession;
+use crate::session::Session;
 
 /// Which execution scheme a run uses.
 #[derive(Clone)]
@@ -93,11 +96,20 @@ pub(crate) enum Durability {
 
 /// Result of one engine run (or one finished streaming session).
 #[derive(Debug, Clone)]
+#[must_use = "a report carries the run's results and should be inspected"]
 pub struct RunReport {
     /// Scheme name.
     pub scheme: String,
     /// Application name.
     pub app: String,
+    /// Label of the session that produced this report (set via
+    /// [`crate::builder::SessionBuilder::label`]; `None` for unlabelled
+    /// sessions and offline runs).  Makes multi-session benchmark output
+    /// attributable.
+    pub label: Option<String>,
+    /// Number of state shards the run executed against (the engine's
+    /// `num_shards`, clamped).
+    pub shards: usize,
     /// Number of executors used.
     pub executors: usize,
     /// Punctuation interval used.
@@ -145,6 +157,7 @@ pub struct RunReport {
 
 impl RunReport {
     /// Throughput in thousands of events per second (the unit of Figure 8).
+    #[must_use]
     pub fn throughput_keps(&self) -> f64 {
         if self.elapsed.is_zero() {
             return 0.0;
@@ -154,6 +167,7 @@ impl RunReport {
 
     /// Fraction of executor time spent in compute mode (the statistic quoted
     /// in Section VI-A: 39 % for TP, 29 % for SL, 22 % for OB, 13 % for GS).
+    #[must_use]
     pub fn compute_mode_share(&self) -> f64 {
         let total = self.compute_time + self.state_access_time + self.breakdown.sync;
         if total.is_zero() {
@@ -189,6 +203,7 @@ pub(crate) struct RunContext<A: Application> {
     pub(crate) scheme: Scheme,
     pub(crate) config: EngineConfig,
     pub(crate) layout: ExecutorLayout,
+    label: Option<String>,
     barrier: CyclicBarrier,
     pools: ChainPoolSet,
     shard_chains: Mutex<Vec<u64>>,
@@ -212,6 +227,7 @@ impl<A: Application> RunContext<A> {
         store: &Arc<StateStore>,
         scheme: &Scheme,
         durability: Durability,
+        label: Option<String>,
     ) -> Self {
         let config = engine.config;
         let executors = config.executors.max(1);
@@ -227,6 +243,7 @@ impl<A: Application> RunContext<A> {
             scheme: scheme.clone(),
             config,
             layout,
+            label,
             barrier: CyclicBarrier::new(executors),
             pools: ChainPoolSet::new(config.tstream.placement, layout, num_shards),
             shard_chains: Mutex::new(vec![0; num_shards as usize]),
@@ -241,6 +258,11 @@ impl<A: Application> RunContext<A> {
     /// Number of executors this run uses.
     pub(crate) fn executors(&self) -> usize {
         self.layout.executors
+    }
+
+    /// The run's session label, if any.
+    pub(crate) fn label(&self) -> Option<&str> {
+        self.label.as_deref()
     }
 
     /// Poison the run's barrier after a participant died: surviving
@@ -299,6 +321,8 @@ impl<A: Application> RunContext<A> {
         RunReport {
             scheme: self.scheme.name().to_owned(),
             app: self.app.name().to_owned(),
+            label: self.label.clone(),
+            shards: self.config.num_shards.clamp(1, MAX_SHARDS as usize),
             executors: self.executors(),
             punctuation_interval: self.config.punctuation_interval.max(1),
             events,
@@ -597,9 +621,15 @@ impl<A: Application> RunContext<A> {
 ///
 /// The engine owns a persistent [`ExecutorPool`], spawned lazily on the
 /// first run/session and reused — threads are spawned **once per engine**,
-/// never per run or per batch (`runtime_threads_spawned` makes that
-/// verifiable).  Clones share the pool (and the run lease) whether they are
-/// made before or after the pool is spawned.
+/// never per run, session or batch (`runtime_threads_spawned` makes that
+/// verifiable).  Clones share the pool whether they are made before or
+/// after the pool is spawned.
+///
+/// Sessions ([`Engine::session_builder`]) multiplex concurrently over the
+/// pool: each session has its own barrier, accumulators and (for durable
+/// sessions) epoch counters, and the pool's scheduler interleaves their
+/// batches fairly.  Concurrent sessions must use disjoint stores and
+/// eager-scheme instances — see [`crate::session::Session`].
 #[derive(Debug, Clone)]
 pub struct Engine {
     config: EngineConfig,
@@ -608,10 +638,6 @@ pub struct Engine {
     /// Keeping the cell itself shared means a clone made *before* the first
     /// run still uses the same pool as the original.
     pool: Arc<OnceLock<ExecutorPool>>,
-    /// Serializes runs and sessions (shared by clones): concurrent runs on
-    /// one engine would interleave barrier generations and reset each
-    /// other's scheme/store synchronisation state mid-flight.
-    run_lease: Arc<Mutex<()>>,
 }
 
 impl Engine {
@@ -621,7 +647,6 @@ impl Engine {
             config,
             checkpointer: None,
             pool: Arc::new(OnceLock::new()),
-            run_lease: Arc::new(Mutex::new(())),
         }
     }
 
@@ -660,12 +685,6 @@ impl Engine {
         self.pool.get().map(|p| p.spawned()).unwrap_or(0)
     }
 
-    /// Acquire the engine's exclusive run lease (sessions and offline runs
-    /// serialize on it).
-    pub(crate) fn lease(&self) -> parking_lot::MutexGuard<'_, ()> {
-        self.run_lease.lock()
-    }
-
     /// The durability mode of plain (non-durable-session) runs: the legacy
     /// snapshot checkpointer if one is attached, none otherwise.
     pub(crate) fn legacy_durability(&self) -> Durability {
@@ -675,29 +694,33 @@ impl Engine {
         }
     }
 
-    /// Open a streaming session: continuous ingestion through
-    /// [`StreamSession::push`] with online batch formation, pipelined onto
-    /// the persistent executor pool.
+    /// Open a plain streaming session.
     ///
-    /// A session holds the engine's exclusive run lease; opening a second
-    /// session (or starting [`Engine::run_offline`]) on the same engine
-    /// blocks until the first session is dropped or finished with
-    /// [`StreamSession::report`].
+    /// Deprecated: this forwards to
+    /// [`Engine::session_builder`]`(..).open()`; use the builder directly —
+    /// it also composes durable mode, recovery, adaptive punctuation,
+    /// per-session pipeline depth and labels.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `engine.session_builder(app, store, scheme).open()` instead"
+    )]
     pub fn session<'e, A: Application>(
         &'e self,
         app: &Arc<A>,
         store: &Arc<StateStore>,
         scheme: &Scheme,
-    ) -> StreamSession<'e, A> {
-        StreamSession::open(self, app, store, scheme, self.legacy_durability())
+    ) -> Session<'e, A> {
+        self.session_builder(app, store, scheme)
+            .open()
+            .expect("plain sessions cannot fail to open")
     }
 
     /// Run `payloads` through `app` on top of `store` under `scheme`.
     ///
-    /// This is a thin wrapper that streams the input through a
-    /// [`StreamSession`]: ingestion (stamping, routing, batch formation)
-    /// overlaps execution, and the executor threads come from the engine's
-    /// persistent pool.
+    /// This is a thin wrapper that streams the input through one plain
+    /// [`Session`] built with [`Engine::session_builder`]: ingestion
+    /// (stamping, routing, batch formation) overlaps execution, and the
+    /// executor threads come from the engine's persistent pool.
     pub fn run<A: Application>(
         &self,
         app: &Arc<A>,
@@ -705,11 +728,18 @@ impl Engine {
         payloads: Vec<A::Payload>,
         scheme: &Scheme,
     ) -> RunReport {
-        let mut session = self.session(app, store, scheme);
+        let mut session = self
+            .session_builder(app, store, scheme)
+            .open()
+            .expect("plain sessions cannot fail to open");
         for payload in payloads {
-            session.push(payload);
+            session
+                .push(payload)
+                .expect("plain sessions cannot fail to push");
         }
-        session.report()
+        session
+            .report()
+            .expect("plain sessions cannot fail to report")
     }
 
     /// The seed's offline execution mode, kept as a differential baseline:
@@ -725,11 +755,11 @@ impl Engine {
         payloads: Vec<A::Payload>,
         scheme: &Scheme,
     ) -> RunReport {
-        // Offline runs hold the same lease as sessions: resetting the
-        // scheme/store synchronisation state under a live session on the
-        // same engine would corrupt its in-flight batches.
-        let _lease = self.lease();
-        let ctx = RunContext::new(self, app, store, scheme, self.legacy_durability());
+        // Offline runs never touch the pool (scoped threads); like
+        // concurrent sessions, they own the store and scheme instance they
+        // run against, so they may execute alongside sessions on other
+        // stores of the same engine.
+        let ctx = RunContext::new(self, app, store, scheme, self.legacy_durability(), None);
         let total_events = payloads.len() as u64;
         let mut builder = self.batch_builder(app);
         let mut batches: Vec<EngineBatch<A::Payload>> = Vec::new();

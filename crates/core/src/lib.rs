@@ -27,11 +27,15 @@
 //! `BatchBuilder` forms punctuation batches at ingestion time, a persistent
 //! [`runtime::ExecutorPool`] (threads spawned once per engine) executes them
 //! batch by batch, and per-executor sinks aggregate the report.  Continuous
-//! ingestion goes through [`session::StreamSession`]
-//! (`Engine::session()` → `push` / `flush` / `report`); `Engine::run`
-//! streams a pre-collected input through a session, and
-//! `Engine::run_offline` keeps the seed's one-shot mode as a differential
-//! baseline.
+//! ingestion goes through one [`session::Session`] type built with
+//! [`engine::Engine::session_builder`] → [`builder::SessionBuilder`]
+//! (`push` / `flush` / `report`; `.durable(dir)`, `.recover()`,
+//! `.adaptive_punctuation()`, `.pipeline_depth(n)` and `.label(..)` compose
+//! as builder options).  Sessions of one engine run **concurrently**: the
+//! pool's scheduler interleaves their punctuation batches round-robin with
+//! per-session backpressure.  `Engine::run` streams a pre-collected input
+//! through a session, and `Engine::run_offline` keeps the seed's one-shot
+//! mode as a differential baseline.
 //!
 //! ## Quick start
 //!
@@ -72,9 +76,10 @@
 //! assert_eq!(report.committed, 256);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod adaptive;
+pub mod builder;
 pub mod chains;
 pub mod config;
 pub mod durable;
@@ -84,12 +89,16 @@ pub mod runtime;
 pub mod session;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveIntervalController, IntervalObservation};
+pub use builder::SessionBuilder;
 pub use chains::{ChainPool, ChainPoolSet, OperationChain, ProcessingAssignment};
 pub use config::{ChainPlacement, DependencyResolution, EngineConfig, TStreamConfig};
+#[allow(deprecated)]
 pub use durable::DurableSession;
 pub use engine::{Engine, RunReport, Scheme};
 pub use restructure::{BatchAbortLog, ChainStats, ReplayStats, RestructureContext, UndoRecord};
 pub use runtime::ExecutorPool;
+pub use session::Session;
+#[allow(deprecated)]
 pub use session::StreamSession;
 pub use tstream_recovery::{FsyncPolicy, WalPayload};
 pub use tstream_stream::partition::EventRouting;
@@ -97,9 +106,13 @@ pub use tstream_stream::partition::EventRouting;
 /// Everything a user needs to define and run a concurrent stateful stream
 /// application.
 pub mod prelude {
+    pub use crate::builder::SessionBuilder;
     pub use crate::config::{ChainPlacement, DependencyResolution, EngineConfig, TStreamConfig};
+    #[allow(deprecated)]
     pub use crate::durable::DurableSession;
     pub use crate::engine::{Engine, RunReport, Scheme};
+    pub use crate::session::Session;
+    #[allow(deprecated)]
     pub use crate::session::StreamSession;
     pub use tstream_recovery::{FsyncPolicy, RecoveryCoordinator, WalPayload};
     pub use tstream_state::{

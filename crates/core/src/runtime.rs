@@ -1,4 +1,4 @@
-//! The persistent executor pool.
+//! The persistent executor pool and its session-multiplexing scheduler.
 //!
 //! The seed engine spawned a fresh `thread::scope` for every run — fine for
 //! one-shot benchmarks, wrong for a long-lived runtime: sustained traffic
@@ -6,17 +6,39 @@
 //! stream has no "end of input" to scope the threads to.  This module spawns
 //! the executor threads **once per engine** and parks them between batches:
 //! each worker blocks on its own bounded job queue, and a
-//! [`crate::session::StreamSession`] feeds it one job per batch.  The bounded
+//! [`crate::session::Session`] feeds it one job per batch.  The bounded
 //! queues double as the pipeline's backpressure — when the executors fall
 //! behind, `push` on the session blocks instead of buffering without limit.
 //!
-//! Spawns are counted (globally and per pool) so tests can verify the
-//! "once per engine, not per run or batch" property instead of trusting it.
+//! On top of the raw queues sits a small **scheduler** that lets several
+//! sessions share one pool concurrently:
+//!
+//! * each open session registers a bounded *staging queue* of completed
+//!   punctuation batches (its own `pipeline_depth`), so a slow session
+//!   backpressures **its own** producer without stalling its siblings;
+//! * staged batches are *injected* into the executor queues one batch at a
+//!   time, round-robin across sessions — fair interleaving at punctuation
+//!   granularity;
+//! * a batch is always injected **atomically**: its per-executor jobs reach
+//!   every executor queue before any job of the next batch.  Combined with
+//!   the strict per-queue FIFO order this keeps each session's
+//!   [`tstream_stream::CyclicBarrier`] in lockstep and makes cross-session
+//!   barrier deadlock impossible — every executor observes the same global
+//!   batch order.
+//!
+//! There is no dedicated scheduler thread: whichever ingestion thread has
+//! work drives the injection (a single *injector* role, handed off under the
+//! scheduler lock), so opening M sessions spawns exactly zero additional
+//! threads.  Spawns are counted (globally and per pool) so tests can verify
+//! the "once per engine, not per run or batch" property instead of trusting
+//! it.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{bounded, Sender};
+use parking_lot::{Condvar, Mutex};
 
 /// Process-wide count of executor threads ever spawned by any pool.
 static THREADS_SPAWNED: AtomicU64 = AtomicU64::new(0);
@@ -39,6 +61,80 @@ struct Worker {
     handle: Option<JoinHandle<()>>,
 }
 
+/// One punctuation batch staged for injection: exactly one job per executor,
+/// indexed by executor.
+pub(crate) type BatchJobs = Vec<Job>;
+
+/// Identifies one registered session inside a pool's scheduler.  Obtained
+/// from [`ExecutorPool::register_session`]; never reused within a pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SessionToken(u64);
+
+/// One session's bounded staging queue of completed batches.
+struct SessionSlot {
+    token: u64,
+    staged: VecDeque<BatchJobs>,
+    capacity: usize,
+}
+
+/// Shared scheduler state: the registered sessions and the injector role.
+#[derive(Default)]
+struct SchedulerState {
+    slots: Vec<SessionSlot>,
+    next_token: u64,
+    /// Round-robin position: index of the slot the next injection scan
+    /// starts at.
+    cursor: usize,
+    /// Whether some thread currently holds the injector role (is pushing a
+    /// popped batch into the executor queues outside the lock).
+    injecting: bool,
+}
+
+impl SchedulerState {
+    fn slot_mut(&mut self, token: SessionToken) -> &mut SessionSlot {
+        self.slots
+            .iter_mut()
+            .find(|s| s.token == token.0)
+            .expect("session token is registered")
+    }
+
+    /// Pop the next staged batch in round-robin session order.
+    fn pop_next(&mut self) -> Option<BatchJobs> {
+        let n = self.slots.len();
+        for i in 0..n {
+            let idx = (self.cursor + i) % n;
+            if let Some(jobs) = self.slots[idx].staged.pop_front() {
+                self.cursor = (idx + 1) % n;
+                return Some(jobs);
+            }
+        }
+        None
+    }
+}
+
+/// The session-multiplexing scheduler (see the module docs).
+#[derive(Default)]
+struct Scheduler {
+    state: Mutex<SchedulerState>,
+    /// Signalled whenever injection progresses: a batch was popped (staging
+    /// space freed) or the injector role was released.
+    progress: Condvar,
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.lock();
+        f.debug_struct("Scheduler")
+            .field("sessions", &state.slots.len())
+            .field(
+                "staged",
+                &state.slots.iter().map(|s| s.staged.len()).sum::<usize>(),
+            )
+            .field("injecting", &state.injecting)
+            .finish()
+    }
+}
+
 /// A fixed-size pool of executor threads, spawned once and fed per-batch
 /// jobs over bounded per-executor queues.
 ///
@@ -48,10 +144,15 @@ struct Worker {
 /// exactly as the scoped threads of the offline path do.  The pool itself is
 /// scheme- and application-agnostic: jobs are type-erased closures, so one
 /// pool serves every run of its engine regardless of payload type.
+///
+/// Concurrent sessions go through the pool's scheduler
+/// (`register_session` / `stage` / `drain_staged`, crate-private), which
+/// interleaves their batches fairly and injects each batch atomically.
 #[derive(Debug)]
 pub struct ExecutorPool {
     workers: Vec<Worker>,
     spawned: AtomicU64,
+    scheduler: Scheduler,
 }
 
 impl ExecutorPool {
@@ -80,7 +181,138 @@ impl ExecutorPool {
                 }
             })
             .collect();
-        ExecutorPool { workers, spawned }
+        ExecutorPool {
+            workers,
+            spawned,
+            scheduler: Scheduler::default(),
+        }
+    }
+
+    /// Register a session with the scheduler: it gets a staging queue of
+    /// `capacity` batches (clamped to ≥ 1) — the session's private
+    /// backpressure bound.
+    pub(crate) fn register_session(&self, capacity: usize) -> SessionToken {
+        let mut state = self.scheduler.state.lock();
+        let token = state.next_token;
+        state.next_token += 1;
+        state.slots.push(SessionSlot {
+            token,
+            staged: VecDeque::new(),
+            capacity: capacity.max(1),
+        });
+        SessionToken(token)
+    }
+
+    /// Remove a session from the scheduler.  Any still-staged batches are
+    /// injected first — a session never vanishes with work half-submitted.
+    pub(crate) fn unregister_session(&self, token: SessionToken) {
+        self.drain_staged(token);
+        let mut state = self.scheduler.state.lock();
+        state.slots.retain(|s| s.token != token.0);
+        let n = state.slots.len();
+        state.cursor = if n == 0 { 0 } else { state.cursor % n };
+    }
+
+    /// Number of sessions currently registered with the scheduler.
+    pub fn open_sessions(&self) -> usize {
+        self.scheduler.state.lock().slots.len()
+    }
+
+    /// Test-only view of the scheduler: `(batches staged across all
+    /// sessions, injector role held)`.
+    #[cfg(test)]
+    fn scheduler_snapshot(&self) -> (usize, bool) {
+        let state = self.scheduler.state.lock();
+        (
+            state.slots.iter().map(|s| s.staged.len()).sum(),
+            state.injecting,
+        )
+    }
+
+    /// Stage one completed batch (`jobs[e]` is executor `e`'s share) for
+    /// injection.  Blocks only while **this session's** staging queue is
+    /// full — the per-session backpressure; other sessions stage freely in
+    /// the meantime.
+    pub(crate) fn stage(&self, token: SessionToken, jobs: BatchJobs) {
+        assert_eq!(jobs.len(), self.executors(), "one job per executor");
+        let mut jobs = Some(jobs);
+        loop {
+            {
+                let mut state = self.scheduler.state.lock();
+                let full = {
+                    let slot = state.slot_mut(token);
+                    slot.staged.len() >= slot.capacity
+                };
+                if !full {
+                    let slot = state.slot_mut(token);
+                    slot.staged.push_back(jobs.take().unwrap());
+                } else if state.injecting {
+                    // Someone else is injecting; it will free staging space
+                    // (or release the injector role) and signal progress.
+                    self.scheduler.progress.wait(&mut state);
+                    continue;
+                }
+                // else: full and nobody injecting — take the injector role
+                // ourselves below to free space.
+            }
+            if jobs.is_none() {
+                break;
+            }
+            self.pump();
+        }
+        self.pump();
+    }
+
+    /// Inject every staged batch of `token`'s session into the executor
+    /// queues (driving other sessions' batches along the way, as injection
+    /// is strictly round-robin).  On return the session's staging queue is
+    /// empty; its jobs may still be executing.
+    pub(crate) fn drain_staged(&self, token: SessionToken) {
+        loop {
+            self.pump();
+            let mut state = self.scheduler.state.lock();
+            let empty = state.slot_mut(token).staged.is_empty();
+            if empty {
+                return;
+            }
+            if !state.injecting {
+                // The injector finished between our pump and the lock;
+                // re-enter pump and drive the rest ourselves.
+                continue;
+            }
+            self.scheduler.progress.wait(&mut state);
+        }
+    }
+
+    /// Drive the injector role: pop staged batches round-robin across
+    /// sessions and push their jobs into the executor queues, until nothing
+    /// is staged or another thread holds the role.  At most one thread
+    /// injects at a time, so batches enter every executor queue in one
+    /// global order — the property the per-session barriers rely on.
+    fn pump(&self) {
+        loop {
+            let jobs = {
+                let mut state = self.scheduler.state.lock();
+                if state.injecting {
+                    return;
+                }
+                let Some(jobs) = state.pop_next() else {
+                    return;
+                };
+                state.injecting = true;
+                jobs
+            };
+            // Staging space was freed by the pop: let blocked stagers in.
+            self.scheduler.progress.notify_all();
+            for (executor, job) in jobs.into_iter().enumerate() {
+                // May block on a full executor queue (pipeline
+                // backpressure); executors drain independently, so this
+                // always makes progress.
+                self.submit(executor, job);
+            }
+            self.scheduler.state.lock().injecting = false;
+            self.scheduler.progress.notify_all();
+        }
     }
 
     /// Number of executor threads in the pool.
@@ -227,5 +459,157 @@ mod tests {
         let pool = ExecutorPool::new(0, 0);
         assert_eq!(pool.executors(), 1);
         pool.submit(0, Box::new(|| {}));
+    }
+
+    #[test]
+    fn sessions_register_and_unregister() {
+        let pool = ExecutorPool::new(1, 2);
+        assert_eq!(pool.open_sessions(), 0);
+        let a = pool.register_session(2);
+        let b = pool.register_session(2);
+        assert_ne!(a, b, "tokens are unique");
+        assert_eq!(pool.open_sessions(), 2);
+        pool.unregister_session(a);
+        assert_eq!(pool.open_sessions(), 1);
+        pool.unregister_session(b);
+        assert_eq!(pool.open_sessions(), 0);
+    }
+
+    /// Build a one-executor batch that appends `id` to `log` when it runs.
+    fn marker(log: &Arc<Mutex<Vec<&'static str>>>, id: &'static str) -> BatchJobs {
+        let log = log.clone();
+        vec![Box::new(move || log.lock().push(id))]
+    }
+
+    /// Block executor 0 until `release` flips, then fill its depth-1 queue,
+    /// so the next injection blocks and everything staged afterwards piles
+    /// up in the scheduler.
+    fn gate_executor(pool: &ExecutorPool, release: &Arc<AtomicUsize>, filler: Job) {
+        let flag = release.clone();
+        pool.submit(
+            0,
+            Box::new(move || {
+                while flag.load(Ordering::SeqCst) == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+            }),
+        );
+        pool.submit(0, filler);
+    }
+
+    /// Wait until one thread holds the injector role with `staged` batches
+    /// still queued behind it.
+    fn await_injector(pool: &ExecutorPool, staged: usize) {
+        while pool.scheduler_snapshot() != (staged, true) {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn staged_batches_interleave_round_robin_across_sessions() {
+        // One executor, queue depth 1: the injection *order* becomes
+        // observable once the worker is gated.
+        let pool = Arc::new(ExecutorPool::new(1, 1));
+        let log: Arc<Mutex<Vec<&'static str>>> = Arc::new(Mutex::new(Vec::new()));
+        let release = Arc::new(AtomicUsize::new(0));
+        let log2 = log.clone();
+        gate_executor(
+            &pool,
+            &release,
+            Box::new(move || log2.lock().push("filler")),
+        );
+
+        let a = pool.register_session(3);
+        let b = pool.register_session(3);
+        // The first stage on `a` becomes the injector and blocks on the full
+        // executor queue; it then drives *all* later injections round-robin.
+        let p2 = pool.clone();
+        let a1 = marker(&log, "a1");
+        let injector = std::thread::spawn(move || p2.stage(a, a1));
+        await_injector(&pool, 0); // a1 popped, injector stuck in submit
+        for jobs in [marker(&log, "a2"), marker(&log, "a3")] {
+            pool.stage(a, jobs);
+        }
+        for jobs in [marker(&log, "b1"), marker(&log, "b2"), marker(&log, "b3")] {
+            pool.stage(b, jobs);
+        }
+        assert!(!injector.is_finished(), "injector must be backpressured");
+
+        release.store(1, Ordering::SeqCst); // unblock the worker
+        injector.join().unwrap();
+        pool.drain_staged(a);
+        pool.drain_staged(b);
+        pool.unregister_session(a);
+        pool.unregister_session(b);
+        while log.lock().len() < 7 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(
+            *log.lock(),
+            vec!["filler", "a1", "b1", "a2", "b2", "a3", "b3"],
+            "batches must interleave fairly, one per session per turn"
+        );
+    }
+
+    #[test]
+    fn a_backpressured_session_does_not_block_its_siblings() {
+        let pool = Arc::new(ExecutorPool::new(1, 1));
+        let release = Arc::new(AtomicUsize::new(0));
+        gate_executor(&pool, &release, Box::new(|| {}));
+
+        let a = pool.register_session(1);
+        let b = pool.register_session(4);
+        let ran_b = Arc::new(AtomicUsize::new(0));
+
+        // Session A's stage becomes the injector and blocks on the executor
+        // queue.
+        let p2 = pool.clone();
+        let stuck = std::thread::spawn(move || p2.stage(a, vec![Box::new(|| {})]));
+        await_injector(&pool, 0);
+        assert!(!stuck.is_finished());
+
+        // Session B keeps staging without blocking: its own queue has room.
+        let t = std::time::Instant::now();
+        for _ in 0..3 {
+            let hits = ran_b.clone();
+            pool.stage(
+                b,
+                vec![Box::new(move || {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                })],
+            );
+        }
+        assert!(
+            t.elapsed() < std::time::Duration::from_millis(200),
+            "B's staging must not wait for A's injection"
+        );
+
+        release.store(1, Ordering::SeqCst);
+        stuck.join().unwrap();
+        pool.drain_staged(b);
+        pool.unregister_session(a);
+        pool.unregister_session(b);
+        while ran_b.load(Ordering::SeqCst) < 3 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn unregister_injects_leftover_staged_batches() {
+        let pool = ExecutorPool::new(1, 4);
+        let token = pool.register_session(4);
+        let hits = Arc::new(AtomicUsize::new(0));
+        for _ in 0..3 {
+            let h = hits.clone();
+            pool.stage(
+                token,
+                vec![Box::new(move || {
+                    h.fetch_add(1, Ordering::SeqCst);
+                })],
+            );
+        }
+        pool.unregister_session(token);
+        drop(pool); // joins the worker: every staged job must have run
+        assert_eq!(hits.load(Ordering::SeqCst), 3);
     }
 }

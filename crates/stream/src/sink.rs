@@ -60,6 +60,21 @@ impl Sink {
         self.rejected
     }
 
+    /// Latency percentile over the samples recorded so far, without
+    /// consuming the sink (adaptive punctuation observes this between
+    /// batches).  Sorts a copy of the samples — not free; callers should
+    /// sample it at batch granularity, not per event.
+    pub fn percentile_so_far(&self, pct: f64) -> Option<Duration> {
+        if self.latencies.is_empty() {
+            return None;
+        }
+        let mut sorted = self.latencies.clone();
+        sorted.sort_unstable();
+        let pct = pct.clamp(0.0, 100.0);
+        let rank = ((pct / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        Some(sorted[rank])
+    }
+
     /// Merge several per-executor shards into aggregate statistics.
     pub fn merge(shards: impl IntoIterator<Item = Sink>) -> LatencyStats {
         let mut latencies = Vec::new();

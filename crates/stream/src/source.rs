@@ -104,6 +104,14 @@ impl<P, D> BatchBuilder<P, D> {
         self.interval
     }
 
+    /// Change the punctuation interval (clamped to ≥ 1).  Takes effect
+    /// immediately: if the forming batch already holds at least `interval`
+    /// events, the next [`BatchBuilder::push`] closes it.  Used by adaptive
+    /// punctuation tuning, which retunes the interval between batches.
+    pub fn set_interval(&mut self, interval: usize) {
+        self.interval = interval.max(1);
+    }
+
     /// Events stamped so far (the progress controller's high watermark).
     pub fn stamped(&self) -> u64 {
         self.progress.high_watermark()
@@ -127,7 +135,9 @@ impl<P, D> BatchBuilder<P, D> {
         self.descriptors.push(descriptor);
         self.per_executor[target % self.executors].push(event);
         self.in_batch += 1;
-        if self.in_batch == self.interval {
+        // `>=`, not `==`: a shrinking adaptive interval may undercut an
+        // already larger forming batch.
+        if self.in_batch >= self.interval {
             Some(self.emit())
         } else {
             None

@@ -1,7 +1,7 @@
 //! Crash-replay demonstration: spawn a durable pipeline in a child process,
 //! **kill it mid-run** (the victim aborts itself after N batches, which to
 //! the durability directory is indistinguishable from `kill -9`), then
-//! recover with [`Engine::recover`] and verify the finished run is
+//! recover with `SessionBuilder::recover` and verify the finished run is
 //! byte-identical to one that never crashed.
 //!
 //! This is the process-level counterpart of the in-process boundary sweep in
@@ -48,7 +48,10 @@ fn victim(dir: &str) -> ! {
     let app = Arc::new(sl::StreamingLedger);
     let engine = Engine::new(engine_config());
     let mut session = engine
-        .durable_session(dir, &app, &store, &Scheme::TStream)
+        .session_builder(&app, &store, &Scheme::TStream)
+        .durable(dir)
+        .label("victim")
+        .open()
         .expect("open durable session");
     for event in events {
         session.push(event).expect("durable push");
@@ -109,7 +112,11 @@ fn main() {
     let store = sl::build_store(&spec);
     let engine = Engine::new(engine_config());
     let mut session = engine
-        .recover(&dir, &app, &store, &Scheme::TStream)
+        .session_builder(&app, &store, &Scheme::TStream)
+        .durable(&dir)
+        .recover()
+        .label("survivor")
+        .open()
         .expect("recover the durability directory");
     let resumed_from = session.ingested() as usize;
     println!(

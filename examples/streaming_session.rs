@@ -4,7 +4,7 @@
 //! events, this one runs the engine the way a live deployment would: producer
 //! threads feed a **bounded source channel** (backpressure instead of an
 //! unbounded buffer), the ingestion loop pushes each payload into a
-//! `StreamSession` — which stamps it at arrival time, forms punctuation
+//! `Session` — which stamps it at arrival time, forms punctuation
 //! batches online and pipelines them onto the engine's **persistent executor
 //! pool** — and a mid-stream `flush` shows the session acting as a real
 //! synchronisation point.
@@ -95,17 +95,21 @@ fn main() {
     }
     drop(handle); // the outlet drains once every producer finishes
 
-    let mut session = engine.session(&app, &store, &Scheme::TStream);
+    let mut session = engine
+        .session_builder(&app, &store, &Scheme::TStream)
+        .label("deposits-live")
+        .open()
+        .expect("plain session");
     let mut ingested = 0u64;
     let halfway = producers * per_producer / 2;
     let mut checked_halfway = false;
     for payload in outlet.iter() {
-        session.push(payload);
+        session.push(payload).expect("plain push");
         ingested += 1;
         if !checked_halfway && ingested >= halfway {
             // A flush is a real synchronisation point: everything pushed so
             // far is committed and visible before ingestion continues.
-            session.flush();
+            session.flush().expect("plain flush");
             let sum: i64 = store
                 .table_by_name("accounts")
                 .unwrap()
@@ -123,7 +127,7 @@ fn main() {
     for t in producer_threads {
         t.join().unwrap();
     }
-    let report = session.report();
+    let report = session.report().expect("plain report");
 
     let total: i64 = store
         .table_by_name("accounts")

@@ -12,7 +12,8 @@
 //!   MVLK, PAT, ...);
 //! * [`state`] — tables, versioned records, locks, checkpoints;
 //! * [`recovery`] — the crash-recovery subsystem: segmented write-ahead
-//!   input log and the coordinator behind `Engine::recover`;
+//!   input log and the coordinator behind the session builder's
+//!   `.durable(dir).recover()` mode;
 //! * [`stream`] — events, punctuation barriers, operators, topologies;
 //! * [`skiplist`] — the concurrent skip list backing the state indexes;
 //! * [`apps`] — the paper's four benchmark applications (GS, SL, OB, TP).

@@ -139,7 +139,7 @@ fn consistency_invariants_hold_after_concurrent_runs() {
 
     let sl_store = sl::build_store(&spec);
     let engine = Engine::new(EngineConfig::with_executors(8).punctuation(250));
-    engine.run(
+    let _ = engine.run(
         &Arc::new(sl::StreamingLedger),
         &sl_store,
         sl::generate(&spec),
@@ -152,7 +152,7 @@ fn consistency_invariants_hold_after_concurrent_runs() {
     }
 
     let ob_store = ob::build_store(&spec);
-    engine.run(
+    let _ = engine.run(
         &Arc::new(ob::OnlineBidding),
         &ob_store,
         ob::generate(&spec),
@@ -227,7 +227,7 @@ fn isolation_order_sensitive_updates_agree_with_serial_order() {
     for scheme in SchemeKind::CONSISTENT {
         let store = tiny_store(1, 1);
         let engine = Engine::new(EngineConfig::with_executors(6).punctuation(60));
-        engine.run(&app, &store, events.clone(), &scheme.build(2));
+        let _ = engine.run(&app, &store, events.clone(), &scheme.build(2));
         assert_eq!(
             store.record(TableId(0), 0).unwrap().read_committed(),
             Value::Long(expected),

@@ -132,7 +132,7 @@ fn checkpointing_does_not_change_results() {
     let app = Arc::new(gs::GrepSum::default());
 
     let plain_store = gs::build_store(&spec);
-    Engine::new(EngineConfig::with_executors(4).punctuation(150)).run(
+    let _ = Engine::new(EngineConfig::with_executors(4).punctuation(150)).run(
         &app,
         &plain_store,
         events.clone(),
@@ -141,7 +141,7 @@ fn checkpointing_does_not_change_results() {
 
     let durable_store = gs::build_store(&spec);
     let checkpointer = Arc::new(Checkpointer::new(&dir, 4).unwrap());
-    Engine::new(EngineConfig::with_executors(4).punctuation(150))
+    let _ = Engine::new(EngineConfig::with_executors(4).punctuation(150))
         .with_checkpointer(checkpointer)
         .run(&app, &durable_store, events, &Scheme::TStream);
 

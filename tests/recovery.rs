@@ -177,7 +177,10 @@ fn mid_batch_crash_replays_the_unsealed_tail() {
     let app = Arc::new(tstream_apps::sl::StreamingLedger);
     let engine = Engine::new(options.engine.shards(1));
     let mut session = engine
-        .recover(&dir, &app, &store, &Scheme::TStream)
+        .session_builder(&app, &store, &Scheme::TStream)
+        .durable(&dir)
+        .recover()
+        .open()
         .expect("recover mid-batch state");
     assert_eq!(session.ingested(), (2 * INTERVAL + 50) as u64);
     for event in events.iter().skip(2 * INTERVAL + 50).cloned() {
@@ -207,7 +210,7 @@ fn double_crash_after_full_truncation_recovers_exactly_once() {
         ExecutionPath::Offline,
     );
     let dir = temp_dir("double-crash");
-    run_benchmark_durable(
+    let _ = run_benchmark_durable(
         AppKind::Sl,
         SchemeKind::TStream,
         &options,
@@ -216,7 +219,7 @@ fn double_crash_after_full_truncation_recovers_exactly_once() {
     )
     .unwrap();
     // First recovery runs two more batches, then "crashes" again.
-    run_benchmark_durable(
+    let _ = run_benchmark_durable(
         AppKind::Sl,
         SchemeKind::TStream,
         &options,
@@ -251,7 +254,7 @@ fn mid_batch_crash_after_full_truncation_recovers() {
     );
     let dir = temp_dir("mid-batch-truncated");
     // Two full batches, each checkpointed and truncated away.
-    run_benchmark_durable(
+    let _ = run_benchmark_durable(
         AppKind::Sl,
         SchemeKind::TStream,
         &options,
@@ -271,7 +274,10 @@ fn mid_batch_crash_after_full_truncation_recovers() {
     let app = Arc::new(tstream_apps::sl::StreamingLedger);
     let engine = Engine::new(options.engine.shards(1));
     let mut session = engine
-        .recover(&dir, &app, &store, &Scheme::TStream)
+        .session_builder(&app, &store, &Scheme::TStream)
+        .durable(&dir)
+        .recover()
+        .open()
         .expect("healthy directory must recover");
     assert_eq!(session.ingested(), (2 * INTERVAL + 30) as u64);
     for event in events.iter().skip(2 * INTERVAL + 30).cloned() {
@@ -291,7 +297,7 @@ fn reopening_with_a_different_punctuation_interval_is_rejected() {
     // desynchronize epochs, so the interval is pinned to the directory.
     let dir = temp_dir("interval-pin");
     let options_a = options(1, 0xEA);
-    run_benchmark_durable(
+    let _ = run_benchmark_durable(
         AppKind::Gs,
         SchemeKind::TStream,
         &options_a,
@@ -319,7 +325,7 @@ fn recovery_is_idempotent_a_crash_during_recovery_converges() {
     let dir = temp_dir("idempotent");
     let options = options(1, 0xE3);
     // Crash after batch 3 (checkpoint at epoch 1, segments 2 and 3 pending).
-    run_benchmark_durable(
+    let _ = run_benchmark_durable(
         AppKind::Tp,
         SchemeKind::TStream,
         &options,
@@ -334,7 +340,10 @@ fn recovery_is_idempotent_a_crash_during_recovery_converges() {
         let app = Arc::new(tstream_apps::tp::TollProcessing);
         let engine = Engine::new(options.engine.shards(1));
         let session = engine
-            .recover(&dir, &app, &store, &Scheme::TStream)
+            .session_builder(&app, &store, &Scheme::TStream)
+            .durable(&dir)
+            .recover()
+            .open()
             .unwrap();
         assert_eq!(session.ingested(), (3 * INTERVAL) as u64);
         drop(session);
@@ -377,7 +386,8 @@ fn fsync_policies_all_recover() {
         let dir = temp_dir(&format!("fsync-{}", policy.label()));
         let mut options = options(1, 0xE5);
         options.engine = options.engine.fsync(policy);
-        run_benchmark_durable(AppKind::Gs, SchemeKind::TStream, &options, &dir, Some(200)).unwrap();
+        let _ = run_benchmark_durable(AppKind::Gs, SchemeKind::TStream, &options, &dir, Some(200))
+            .unwrap();
         let (report, _) =
             run_benchmark_durable(AppKind::Gs, SchemeKind::TStream, &options, &dir, None).unwrap();
         assert_eq!(report.events, EVENTS as u64);
@@ -398,7 +408,12 @@ fn wal_segments_from_the_future_are_rejected_with_a_clear_error() {
     let store = tstream_apps::gs::build_store(&options(1, 0xE6).spec);
     let app = Arc::new(tstream_apps::gs::GrepSum::default());
     let engine = Engine::new(EngineConfig::with_executors(1));
-    match engine.recover(&dir, &app, &store, &Scheme::TStream) {
+    match engine
+        .session_builder(&app, &store, &Scheme::TStream)
+        .durable(&dir)
+        .recover()
+        .open()
+    {
         Err(StateError::UnsupportedVersion {
             artifact, found, ..
         }) => {

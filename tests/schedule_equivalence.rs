@@ -40,25 +40,25 @@ fn snapshot_after(
         AppKind::Gs => {
             let store = gs::build_store(&options.spec);
             let application = Arc::new(gs::GrepSum::default());
-            engine.run(&application, &store, gs::generate(&options.spec), &built);
+            let _ = engine.run(&application, &store, gs::generate(&options.spec), &built);
             store.snapshot()
         }
         AppKind::Sl => {
             let store = sl::build_store(&options.spec);
             let application = Arc::new(sl::StreamingLedger);
-            engine.run(&application, &store, sl::generate(&options.spec), &built);
+            let _ = engine.run(&application, &store, sl::generate(&options.spec), &built);
             store.snapshot()
         }
         AppKind::Ob => {
             let store = ob::build_store(&options.spec);
             let application = Arc::new(ob::OnlineBidding);
-            engine.run(&application, &store, ob::generate(&options.spec), &built);
+            let _ = engine.run(&application, &store, ob::generate(&options.spec), &built);
             store.snapshot()
         }
         AppKind::Tp => {
             let store = tp::build_store(&options.spec);
             let application = Arc::new(tp::TollProcessing);
-            engine.run(&application, &store, tp::generate(&options.spec), &built);
+            let _ = engine.run(&application, &store, tp::generate(&options.spec), &built);
             store.snapshot()
         }
     }
@@ -135,7 +135,7 @@ fn tstream_placements_and_resolutions_are_all_correct() {
                         .resolution(resolution)
                         .work_stealing(work_stealing),
                 );
-                engine.run(&app, &store, sl::generate(&spec), &Scheme::TStream);
+                let _ = engine.run(&app, &store, sl::generate(&spec), &Scheme::TStream);
                 assert_eq!(
                     store.snapshot(),
                     reference,

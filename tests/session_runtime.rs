@@ -1,6 +1,6 @@
 //! Differential tests for the pipelined streaming runtime.
 //!
-//! The `StreamSession` path (online batch formation + persistent executor
+//! The `Session` path (online batch formation + persistent executor
 //! pool) and the seed's offline path (pre-materialized batches + scoped
 //! per-run threads) execute the same per-batch step functions, so for
 //! identical inputs they must produce **byte-identical** results: the same
@@ -54,11 +54,11 @@ fn run_path(
         let app = Arc::new(application);
         let report = if session {
             // The explicit streaming API: push every payload, then report.
-            let mut session = engine.session(&app, &store, scheme);
+            let mut session = engine.session_builder(&app, &store, scheme).open().unwrap();
             for payload in payloads {
-                session.push(payload);
+                session.push(payload).unwrap();
             }
-            session.report()
+            session.report().unwrap()
         } else {
             engine.run_offline(&app, &store, payloads, scheme)
         };
@@ -254,11 +254,14 @@ fn executor_threads_are_spawned_once_per_engine_not_per_run_or_batch() {
         );
     }
     let store = counter_store(16);
-    let mut session = engine.session(&app, &store, &Scheme::TStream);
+    let mut session = engine
+        .session_builder(&app, &store, &Scheme::TStream)
+        .open()
+        .unwrap();
     for i in 0..200u64 {
-        session.push(i % 16);
+        session.push(i % 16).unwrap();
     }
-    let report = session.report();
+    let report = session.report().unwrap();
     assert_eq!(report.committed, 200);
     assert_eq!(engine.runtime_threads_spawned(), executors as u64);
 }
@@ -270,41 +273,47 @@ fn flush_makes_all_pushed_events_visible_and_session_continues() {
     let engine = Engine::new(EngineConfig::with_executors(2).punctuation(32));
     let app = Arc::new(Counter);
     let store = counter_store(8);
-    let mut session = engine.session(&app, &store, &Scheme::TStream);
+    let mut session = engine
+        .session_builder(&app, &store, &Scheme::TStream)
+        .open()
+        .unwrap();
 
     // 80 events = 2.5 batches: flush must close the partial batch too.
     for i in 0..80u64 {
-        session.push(i % 8);
+        session.push(i % 8).unwrap();
     }
-    session.flush();
+    session.flush().unwrap();
     assert_eq!(counter_sum(&store), 80, "flush drains every pushed event");
     assert_eq!(session.pushed(), 80);
     assert!(session.batches_dispatched() >= 3);
 
     for i in 0..40u64 {
-        session.push(i % 8);
+        session.push(i % 8).unwrap();
     }
-    let report = session.report();
+    let report = session.report().unwrap();
     assert_eq!(report.committed, 120);
     assert_eq!(report.events, 120);
     assert_eq!(counter_sum(&store), 120);
 }
 
-/// Sessions of one engine hold an exclusive pool lease and serialize; a
-/// dropped session must leave the pool reusable.
+/// Sessions of one engine register with the pool's scheduler and
+/// unregister on drop; a dropped session must leave the pool reusable.
 #[test]
 fn sequential_sessions_reuse_the_pool_cleanly() {
     let engine = Engine::new(EngineConfig::with_executors(2).punctuation(16));
     let app = Arc::new(Counter);
     for _ in 0..4 {
         let store = counter_store(4);
-        let mut session = engine.session(&app, &store, &Scheme::TStream);
+        let mut session = engine
+            .session_builder(&app, &store, &Scheme::TStream)
+            .open()
+            .unwrap();
         for i in 0..50u64 {
-            session.push(i % 4);
+            session.push(i % 4).unwrap();
         }
         // One session is reported, the next only flushed, the next dropped
         // mid-stream: all must leave the pool in a clean state.
-        session.flush();
+        session.flush().unwrap();
         drop(session);
         assert_eq!(counter_sum(&store), 50);
     }
@@ -324,11 +333,14 @@ fn manual_session_reproduces_engine_run() {
     let run_report = engine.run(&app, &store_run, payloads.clone(), &Scheme::TStream);
 
     let store_session = sl::build_store(&spec);
-    let mut session = engine.session(&app, &store_session, &Scheme::TStream);
+    let mut session = engine
+        .session_builder(&app, &store_session, &Scheme::TStream)
+        .open()
+        .unwrap();
     for p in payloads {
-        session.push(p);
+        session.push(p).unwrap();
     }
-    let session_report = session.report();
+    let session_report = session.report().unwrap();
 
     assert_eq!(session_report.committed, run_report.committed);
     assert_eq!(session_report.rejected, run_report.rejected);
@@ -398,9 +410,12 @@ fn dropping_a_session_completes_the_partial_batch() {
     let engine = Engine::new(EngineConfig::with_executors(2).punctuation(32));
     let app = Arc::new(Counter);
     let store = counter_store(4);
-    let mut session = engine.session(&app, &store, &Scheme::TStream);
+    let mut session = engine
+        .session_builder(&app, &store, &Scheme::TStream)
+        .open()
+        .unwrap();
     for i in 0..10u64 {
-        session.push(i % 4); // well below one punctuation interval
+        session.push(i % 4).unwrap(); // well below one punctuation interval
     }
     drop(session);
     assert_eq!(
@@ -410,8 +425,8 @@ fn dropping_a_session_completes_the_partial_batch() {
     );
 }
 
-/// Offline runs serialize on the same engine lease as sessions, so they can
-/// be freely interleaved (sequentially) with session work.
+/// Offline runs and sessions share one engine freely: offline runs never
+/// touch the pool, and each path owns the store it runs against.
 #[test]
 fn offline_runs_and_sessions_share_one_engine() {
     let engine = Engine::new(EngineConfig::with_executors(2).punctuation(25));
@@ -427,18 +442,21 @@ fn offline_runs_and_sessions_share_one_engine() {
     assert_eq!(offline.committed, 100);
 
     let store = counter_store(8);
-    let mut session = engine.session(&app, &store, &Scheme::TStream);
+    let mut session = engine
+        .session_builder(&app, &store, &Scheme::TStream)
+        .open()
+        .unwrap();
     for i in 0..100u64 {
-        session.push(i % 8);
+        session.push(i % 8).unwrap();
     }
-    let streamed = session.report();
+    let streamed = session.report().unwrap();
     assert_eq!(streamed.committed, 100);
 
     // Offline runs never touch the pool; only the session spawned threads.
     assert_eq!(engine.runtime_threads_spawned(), 2);
 }
 
-/// Engine clones share one pool (and one run lease) even when the clone is
+/// Engine clones share one pool (and one scheduler) even when the clone is
 /// made before the pool is first spawned.
 #[test]
 fn engine_clones_share_one_pool_even_before_first_run() {
@@ -461,7 +479,7 @@ fn engine_clones_share_one_pool_even_before_first_run() {
     );
 
     let store = counter_store(4);
-    engine.run(
+    let _ = engine.run(
         &app,
         &store,
         (0..50).map(|i| i % 4).collect(),
@@ -472,7 +490,7 @@ fn engine_clones_share_one_pool_even_before_first_run() {
 }
 
 /// A panic on the ingestion thread abandons the session (its barrier is
-/// poisoned and the in-flight jobs drain before the run lease is released)
+/// poisoned and the in-flight jobs drain before the session unregisters)
 /// without wedging the engine.
 #[test]
 fn panicking_ingestion_thread_leaves_the_engine_usable() {
@@ -480,16 +498,19 @@ fn panicking_ingestion_thread_leaves_the_engine_usable() {
     let app = Arc::new(Counter);
     let store = counter_store(4);
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        let mut session = engine.session(&app, &store, &Scheme::TStream);
+        let mut session = engine
+            .session_builder(&app, &store, &Scheme::TStream)
+            .open()
+            .unwrap();
         for i in 0..40u64 {
-            session.push(i % 4); // several batches in flight
+            session.push(i % 4).unwrap(); // several batches in flight
         }
         panic!("ingestion failure");
     }));
     assert!(result.is_err());
 
-    // The lease was released only after the orphaned jobs drained, so the
-    // engine serves the next run (offline and pipelined) normally.
+    // The session unregistered only after the orphaned jobs drained, so
+    // the engine serves the next run (offline and pipelined) normally.
     let store = counter_store(4);
     let offline = engine.run_offline(
         &app,
@@ -515,16 +536,22 @@ fn degenerate_sessions_are_harmless() {
     let app = Arc::new(Counter);
 
     let store = counter_store(4);
-    let session = engine.session(&app, &store, &Scheme::TStream);
-    let report = session.report();
+    let session = engine
+        .session_builder(&app, &store, &Scheme::TStream)
+        .open()
+        .unwrap();
+    let report = session.report().unwrap();
     assert_eq!(report.events, 0);
     assert_eq!(report.committed, 0);
     assert_eq!(report.latency.samples(), 0);
 
     let store = counter_store(4);
-    let mut session = engine.session(&app, &store, &Scheme::TStream);
-    session.push(1);
-    let report = session.report();
+    let mut session = engine
+        .session_builder(&app, &store, &Scheme::TStream)
+        .open()
+        .unwrap();
+    session.push(1).unwrap();
+    let report = session.report().unwrap();
     assert_eq!(report.committed, 1);
     assert_eq!(counter_sum(&store), 1);
 }

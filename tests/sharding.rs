@@ -45,7 +45,7 @@ fn snapshot_after(
     match app {
         AppKind::Gs => {
             let store = gs::build_store(spec);
-            engine.run(
+            let _ = engine.run(
                 &Arc::new(gs::GrepSum::default()),
                 &store,
                 gs::generate(spec),
@@ -55,7 +55,7 @@ fn snapshot_after(
         }
         AppKind::Sl => {
             let store = sl::build_store(spec);
-            engine.run(
+            let _ = engine.run(
                 &Arc::new(sl::StreamingLedger),
                 &store,
                 sl::generate(spec),
@@ -65,7 +65,7 @@ fn snapshot_after(
         }
         AppKind::Ob => {
             let store = ob::build_store(spec);
-            engine.run(
+            let _ = engine.run(
                 &Arc::new(ob::OnlineBidding),
                 &store,
                 ob::generate(spec),
@@ -75,7 +75,7 @@ fn snapshot_after(
         }
         AppKind::Tp => {
             let store = tp::build_store(spec);
-            engine.run(
+            let _ = engine.run(
                 &Arc::new(tp::TollProcessing),
                 &store,
                 tp::generate(spec),
