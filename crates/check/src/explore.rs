@@ -1,0 +1,204 @@
+//! Depth-first schedule exploration with a preemption bound, and seed
+//! replay of individual schedules.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::sched::run_once;
+
+/// A bounded model-checking configuration.
+///
+/// The defaults (preemption bound 2, 200k-schedule budget) complete in
+/// seconds for the protocol models in [`crate::models`] while covering every
+/// interleaving reachable with up to two preemptive context switches — the
+/// bound at which, empirically (CHESS), almost all real concurrency bugs
+/// already manifest.
+#[derive(Debug, Clone)]
+pub struct Model {
+    preemption_bound: usize,
+    max_schedules: u64,
+}
+
+impl Default for Model {
+    fn default() -> Self {
+        Model {
+            preemption_bound: 2,
+            max_schedules: 200_000,
+        }
+    }
+}
+
+/// Statistics of a completed exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Report {
+    /// Number of schedules executed.
+    pub schedules: u64,
+    /// Whether the state space (within the preemption bound) was fully
+    /// explored.  `false` only when the schedule budget ran out.
+    pub complete: bool,
+}
+
+/// A failing schedule: what went wrong and the seed that replays it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Dot-separated branch choices; feed to [`Model::replay`].
+    pub seed: String,
+    /// The assertion or deadlock message.
+    pub message: String,
+    /// Schedules executed before this one failed.
+    pub schedules: u64,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "model violation after {} schedule(s): {}\n  replay seed: {}\n  \
+             (reproduce with Model::replay(\"{}\", model_fn))",
+            self.schedules, self.message, self.seed, self.seed
+        )
+    }
+}
+
+impl std::error::Error for Violation {}
+
+fn seed_string(path: &[(u8, u8)]) -> String {
+    if path.is_empty() {
+        return "-".to_owned();
+    }
+    path.iter()
+        .map(|&(c, _)| c.to_string())
+        .collect::<Vec<_>>()
+        .join(".")
+}
+
+fn parse_seed(seed: &str) -> Vec<u8> {
+    if seed == "-" || seed.is_empty() {
+        return Vec::new();
+    }
+    seed.split('.')
+        .map(|part| {
+            part.parse::<u8>()
+                .unwrap_or_else(|_| panic!("malformed schedule seed component `{part}`"))
+        })
+        .collect()
+}
+
+/// The deepest not-yet-exhausted branch point determines the next schedule:
+/// replay every choice above it, take its next alternative, default below.
+fn next_prefix(mut path: Vec<(u8, u8)>) -> Option<Vec<u8>> {
+    while let Some((chosen, alternatives)) = path.pop() {
+        if chosen + 1 < alternatives {
+            let mut prefix: Vec<u8> = path.iter().map(|&(c, _)| c).collect();
+            prefix.push(chosen + 1);
+            return Some(prefix);
+        }
+    }
+    None
+}
+
+impl Model {
+    /// A model with the default bounds.
+    pub fn new() -> Self {
+        Model::default()
+    }
+
+    /// Sets the preemption bound: the maximum number of context switches
+    /// away from a thread that could have continued, per schedule.  Forced
+    /// switches (the running thread blocked or finished) are always free, so
+    /// every model still runs to completion at bound 0.
+    pub fn preemption_bound(mut self, bound: usize) -> Self {
+        self.preemption_bound = bound;
+        self
+    }
+
+    /// Sets the schedule budget after which exploration reports
+    /// `complete: false` instead of running unbounded.
+    pub fn max_schedules(mut self, budget: u64) -> Self {
+        self.max_schedules = budget.max(1);
+        self
+    }
+
+    /// Explores every schedule of `f` within the bounds.
+    ///
+    /// Returns the exploration [`Report`] on success, or the first
+    /// [`Violation`] (with its replay seed) on failure.  Use this form in
+    /// self-tests that *expect* a buggy protocol to fail.
+    pub fn try_check<F>(&self, f: F) -> Result<Report, Violation>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        let mut prefix = Vec::new();
+        let mut schedules = 0u64;
+        loop {
+            let outcome = run_once(Arc::clone(&f), prefix, self.preemption_bound);
+            schedules += 1;
+            if let Some(message) = outcome.failure {
+                return Err(Violation {
+                    seed: seed_string(&outcome.path),
+                    message,
+                    schedules,
+                });
+            }
+            match next_prefix(outcome.path) {
+                None => {
+                    return Ok(Report {
+                        schedules,
+                        complete: true,
+                    })
+                }
+                Some(next) => prefix = next,
+            }
+            if schedules >= self.max_schedules {
+                return Ok(Report {
+                    schedules,
+                    complete: false,
+                });
+            }
+        }
+    }
+
+    /// Explores every schedule of `f` and panics on the first violation
+    /// (printing its replay seed) or if the schedule budget was exhausted
+    /// before the bounded state space was covered — an *exhaustive* check
+    /// must never silently under-explore.
+    pub fn check<F>(&self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        match self.try_check(f) {
+            Ok(report) => {
+                assert!(
+                    report.complete,
+                    "exploration budget of {} schedules exhausted before the \
+                     bounded state space was covered; raise max_schedules or \
+                     simplify the model",
+                    self.max_schedules
+                );
+                report
+            }
+            Err(violation) => panic!("{violation}"),
+        }
+    }
+
+    /// Replays exactly one schedule from a printed seed.
+    ///
+    /// Returns `Err` with the reproduced [`Violation`] if that schedule
+    /// still fails, `Ok(())` if it now passes (e.g. after a fix).
+    pub fn replay<F>(&self, seed: &str, f: F) -> Result<(), Violation>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        let outcome = run_once(f, parse_seed(seed), self.preemption_bound);
+        match outcome.failure {
+            Some(message) => Err(Violation {
+                seed: seed_string(&outcome.path),
+                message,
+                schedules: 1,
+            }),
+            None => Ok(()),
+        }
+    }
+}

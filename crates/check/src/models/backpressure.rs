@@ -1,0 +1,122 @@
+//! Model of a per-session backpressure queue: the bounded staging channel a
+//! session's ingestion thread pushes completed punctuation batches into and
+//! the injector drains (and, in the same shape, the bounded per-executor job
+//! queues of `ExecutorPool`).
+//!
+//! Checked properties: the bound is never exceeded, nothing is lost or
+//! reordered, and neither side wedges (a lost wakeup surfaces as a detected
+//! deadlock).
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crate::sync::{Condvar, Mutex};
+use crate::thread;
+
+/// Which variant of the bounded queue to model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueVariant {
+    /// The shipped shape: state under one mutex, `not_full` / `not_empty`
+    /// condvars, wait loops re-checking their predicate.
+    Correct,
+    /// `push` checks the bound with `if` instead of `while`: a woken
+    /// producer pushes without re-checking and overfills the queue when the
+    /// wakeup raced another producer — the classic check-then-act bug.
+    IfInsteadOfWhile,
+    /// `pop` forgets to signal `not_full`: a producer blocked on a full
+    /// queue sleeps forever once the consumer drains it — lost wakeup,
+    /// detected as a deadlock.
+    PopWithoutNotify,
+}
+
+/// A bounded FIFO with blocking push/pop (see [`QueueVariant`]).
+pub struct ModelQueue {
+    variant: QueueVariant,
+    capacity: usize,
+    state: Mutex<VecDeque<u32>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+impl ModelQueue {
+    /// A queue bounded to `capacity` items.
+    pub fn new(capacity: usize, variant: QueueVariant) -> Self {
+        ModelQueue {
+            variant,
+            capacity: capacity.max(1),
+            state: Mutex::new(VecDeque::new()),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// Blocking push; asserts the bound (the backpressure contract).
+    pub fn push(&self, item: u32) {
+        let mut q = self.state.lock();
+        if self.variant == QueueVariant::IfInsteadOfWhile {
+            if q.len() >= self.capacity {
+                self.not_full.wait(&mut q);
+            }
+        } else {
+            while q.len() >= self.capacity {
+                self.not_full.wait(&mut q);
+            }
+        }
+        assert!(
+            q.len() < self.capacity,
+            "bounded queue overfilled: backpressure bound violated"
+        );
+        q.push_back(item);
+        drop(q);
+        self.not_empty.notify_one();
+    }
+
+    /// Blocking pop.
+    pub fn pop(&self) -> u32 {
+        let mut q = self.state.lock();
+        while q.is_empty() {
+            self.not_empty.wait(&mut q);
+        }
+        let item = q.pop_front().expect("non-empty after wait");
+        drop(q);
+        if self.variant != QueueVariant::PopWithoutNotify {
+            self.not_full.notify_one();
+        }
+        item
+    }
+}
+
+/// Scenario: `producers` producer threads push `items_each` items through a
+/// capacity-1 queue; the root thread consumes them all.  Checks the bound
+/// on every push, FIFO order per producer on the consumer side, and
+/// completion (a lost wakeup deadlocks and is reported by the checker).
+pub fn producer_consumer_scenario(producers: usize, items_each: u32, variant: QueueVariant) {
+    let queue = Arc::new(ModelQueue::new(1, variant));
+    let handles: Vec<_> = (0..producers)
+        .map(|p| {
+            let queue = Arc::clone(&queue);
+            thread::spawn(move || {
+                for i in 0..items_each {
+                    queue.push(p as u32 * 1_000 + i);
+                }
+            })
+        })
+        .collect();
+    let total = producers as u32 * items_each;
+    let mut last_per_producer = vec![None::<u32>; producers];
+    for _ in 0..total {
+        let item = queue.pop();
+        let producer = (item / 1_000) as usize;
+        let seq = item % 1_000;
+        if let Some(prev) = last_per_producer[producer] {
+            assert!(
+                seq > prev,
+                "items of one producer were reordered: {seq} after {prev}"
+            );
+        }
+        last_per_producer[producer] = Some(seq);
+    }
+    for h in handles {
+        h.join();
+    }
+}

@@ -1,0 +1,214 @@
+//! Model of `tstream_stream::CyclicBarrier`: generation-counted reusable
+//! barrier with poison, plus two deliberately buggy variants the checker
+//! must catch.
+
+use crate::sync::{Condvar, Mutex};
+
+/// Which variant of the barrier protocol to model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BarrierVariant {
+    /// The shipped protocol: a generation counter separates rounds, and
+    /// waiters re-check the poison flag every time they wake.
+    Correct,
+    /// The classic broken barrier: waiters block on `waiting != 0` with no
+    /// generation counter.  A party that laps the barrier and re-arrives
+    /// before a slow waiter wakes re-raises `waiting`, sending the slow
+    /// waiter back to sleep on a round that already completed — deadlock.
+    NoGeneration,
+    /// The poison-ordering bug: `wait` checks the poison flag only on
+    /// entry, not after waking.  A poison delivered *while* a party is
+    /// blocked wakes it, it sees an unchanged generation, and it goes back
+    /// to sleep forever — the exact lost-wakeup the production code's
+    /// post-wake re-check (`barrier.rs`) exists to prevent.
+    PoisonCheckOnEntryOnly,
+}
+
+#[derive(Debug)]
+struct BarrierState {
+    waiting: usize,
+    generation: u64,
+    poisoned: bool,
+}
+
+/// A model cyclic barrier (see [`BarrierVariant`] for the protocol knobs).
+#[derive(Debug)]
+pub struct ModelBarrier {
+    parties: usize,
+    variant: BarrierVariant,
+    state: Mutex<BarrierState>,
+    cond: Condvar,
+}
+
+impl ModelBarrier {
+    /// A barrier for `parties` participants running `variant`.
+    pub fn new(parties: usize, variant: BarrierVariant) -> Self {
+        Self::with_generation(parties, variant, 0)
+    }
+
+    /// Like [`ModelBarrier::new`] but starting at an arbitrary generation —
+    /// used to model the `u64::MAX` wraparound round.
+    pub fn with_generation(parties: usize, variant: BarrierVariant, generation: u64) -> Self {
+        ModelBarrier {
+            parties: parties.max(1),
+            variant,
+            state: Mutex::new(BarrierState {
+                waiting: 0,
+                generation,
+                poisoned: false,
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Wait for all parties; returns whether this caller was the leader
+    /// (the last arriver).  Mirrors the production `CyclicBarrier::wait`
+    /// minus the timing attribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the barrier is poisoned (in the variants that check).
+    pub fn wait(&self) -> bool {
+        let mut state = self.state.lock();
+        assert!(!state.poisoned, "cyclic barrier poisoned");
+        state.waiting += 1;
+        if state.waiting == self.parties {
+            state.waiting = 0;
+            state.generation = state.generation.wrapping_add(1);
+            drop(state);
+            self.cond.notify_all();
+            true
+        } else if self.variant == BarrierVariant::NoGeneration {
+            // Broken: "the round is over when nobody is waiting" confuses
+            // this round's completion with the next round's arrivals.
+            while state.waiting != 0 {
+                self.cond.wait(&mut state);
+                if self.variant != BarrierVariant::PoisonCheckOnEntryOnly {
+                    assert!(!state.poisoned, "cyclic barrier poisoned");
+                }
+            }
+            false
+        } else {
+            let generation = state.generation;
+            while state.generation == generation {
+                self.cond.wait(&mut state);
+                if self.variant != BarrierVariant::PoisonCheckOnEntryOnly {
+                    assert!(!state.poisoned, "cyclic barrier poisoned");
+                }
+            }
+            false
+        }
+    }
+
+    /// Poison the barrier: wake every waiter and make every current and
+    /// future `wait` panic instead of blocking on a dead participant.
+    pub fn poison(&self) {
+        let mut state = self.state.lock();
+        state.poisoned = true;
+        drop(state);
+        self.cond.notify_all();
+    }
+
+    /// Whether the barrier is poisoned.
+    pub fn is_poisoned(&self) -> bool {
+        self.state.lock().poisoned
+    }
+}
+
+/// Scenario: `parties` threads cross the barrier `rounds` times, with a
+/// shared phase counter asserting lockstep — between round `n`'s two
+/// crossings every thread observes exactly the phase the round-`n` leader
+/// published, and exactly one leader emerges per generation.
+///
+/// With [`BarrierVariant::NoGeneration`] the checker finds the
+/// re-entrancy deadlock; the correct variant passes exhaustively.
+pub fn lockstep_scenario(parties: usize, rounds: usize, variant: BarrierVariant) {
+    use crate::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    let barrier = Arc::new(ModelBarrier::new(parties, variant));
+    let phase = Arc::new(AtomicUsize::new(0));
+    let leaders = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..parties.saturating_sub(1))
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            let phase = Arc::clone(&phase);
+            let leaders = Arc::clone(&leaders);
+            crate::thread::spawn(move || run_party(&barrier, &phase, &leaders, rounds))
+        })
+        .collect();
+    run_party(&barrier, &phase, &leaders, rounds);
+    for h in handles {
+        h.join();
+    }
+    assert_eq!(
+        leaders.load(Ordering::SeqCst),
+        rounds,
+        "exactly one leader per generation"
+    );
+    assert_eq!(phase.load(Ordering::SeqCst), rounds, "all rounds completed");
+}
+
+fn run_party(
+    barrier: &ModelBarrier,
+    phase: &crate::sync::atomic::AtomicUsize,
+    leaders: &crate::sync::atomic::AtomicUsize,
+    rounds: usize,
+) {
+    use crate::sync::atomic::Ordering;
+    for round in 0..rounds {
+        if barrier.wait() {
+            leaders.fetch_add(1, Ordering::SeqCst);
+            phase.store(round + 1, Ordering::SeqCst);
+        }
+        let seen = phase.load(Ordering::SeqCst);
+        assert!(
+            seen == round || seen == round + 1,
+            "phase {seen} observed in round {round}: a waiter escaped its generation"
+        );
+        barrier.wait();
+        assert_eq!(
+            phase.load(Ordering::SeqCst),
+            round + 1,
+            "between round {round}'s two crossings the leader's phase must be visible"
+        );
+    }
+}
+
+/// Scenario: the generation counter sits at `u64::MAX` and must release the
+/// wraparound round like any other.
+pub fn wraparound_scenario(variant: BarrierVariant) {
+    use std::sync::Arc;
+
+    let barrier = Arc::new(ModelBarrier::with_generation(2, variant, u64::MAX));
+    let b2 = Arc::clone(&barrier);
+    let t = crate::thread::spawn(move || {
+        b2.wait();
+        b2.wait();
+    });
+    barrier.wait();
+    barrier.wait();
+    t.join();
+}
+
+/// Scenario: one party dies instead of arriving and poisons the barrier
+/// while the other is (or is about to be) blocked.  Every schedule must end
+/// with the waiter *waking and panicking* — in the
+/// [`BarrierVariant::PoisonCheckOnEntryOnly`] variant the wake is lost and
+/// the checker reports the deadlock.
+pub fn poison_scenario(variant: BarrierVariant) {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::Arc;
+
+    let barrier = Arc::new(ModelBarrier::new(2, variant));
+    let b2 = Arc::clone(&barrier);
+    let waiter =
+        crate::thread::spawn(move || catch_unwind(AssertUnwindSafe(|| b2.wait())).is_err());
+    barrier.poison();
+    assert!(
+        waiter.join(),
+        "a blocked waiter must observe the poison as a panic, not hang"
+    );
+    assert!(barrier.is_poisoned());
+    let late = catch_unwind(AssertUnwindSafe(|| barrier.wait()));
+    assert!(late.is_err(), "late arrivals must panic too");
+}

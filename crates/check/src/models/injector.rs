@@ -1,0 +1,245 @@
+//! Model of the `ExecutorPool` session-multiplexing scheduler
+//! (`crates/core/src/runtime.rs`): bounded per-session staging queues, the
+//! single-injector role handed off under the scheduler lock, and atomic
+//! batch injection.
+//!
+//! The checked invariant is the one PR 5's no-deadlock argument rests on:
+//! **every batch's jobs reach all executor queues before any later batch's**
+//! — equivalently, each executor queue observes the same global injection
+//! order, which is what keeps every session's `CyclicBarrier` in lockstep
+//! and makes cross-session barrier deadlock impossible.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crate::sync::{Condvar, Mutex};
+use crate::thread;
+
+/// Which variant of the injector protocol to model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectorVariant {
+    /// The shipped protocol.
+    Correct,
+    /// Drops the `injecting` flag: any thread with staged work injects
+    /// immediately, so two batches' per-executor pushes can interleave and
+    /// the executor queues diverge — the atomicity violation.
+    NoInjectorRole,
+    /// `pump` makes progress (pops staged batches, releases the injector
+    /// role) without ever signalling `progress`: a stager parked on its
+    /// full staging queue misses the wakeup and sleeps forever — the
+    /// lost-notify deadlock one careless edit away from the real `pump`.
+    PumpWithoutProgressNotify,
+}
+
+/// One staged batch: identified globally, destined for every executor.
+type BatchId = u32;
+
+struct Slot {
+    token: usize,
+    staged: VecDeque<BatchId>,
+    capacity: usize,
+}
+
+struct SchedState {
+    slots: Vec<Slot>,
+    cursor: usize,
+    injecting: bool,
+}
+
+/// Executor-side observation used to check the atomic-injection invariant.
+struct ExecState {
+    /// Global order in which batch injections started.
+    injection_order: Vec<BatchId>,
+    /// Jobs each executor queue has received, in arrival order.
+    queues: Vec<Vec<BatchId>>,
+}
+
+/// The model scheduler (see [`InjectorVariant`]).
+pub struct ModelPool {
+    variant: InjectorVariant,
+    state: Mutex<SchedState>,
+    progress: Condvar,
+    exec: Mutex<ExecState>,
+    executors: usize,
+}
+
+impl ModelPool {
+    /// A pool with `executors` executor queues and no registered sessions.
+    pub fn new(executors: usize, variant: InjectorVariant) -> Self {
+        ModelPool {
+            variant,
+            state: Mutex::new(SchedState {
+                slots: Vec::new(),
+                cursor: 0,
+                injecting: false,
+            }),
+            progress: Condvar::new(),
+            exec: Mutex::new(ExecState {
+                injection_order: Vec::new(),
+                queues: vec![Vec::new(); executors],
+            }),
+            executors,
+        }
+    }
+
+    /// Register a session with a staging queue of `capacity` batches.
+    pub fn register_session(&self, capacity: usize) -> usize {
+        let mut state = self.state.lock();
+        let token = state.slots.len();
+        state.slots.push(Slot {
+            token,
+            staged: VecDeque::new(),
+            capacity: capacity.max(1),
+        });
+        token
+    }
+
+    /// Stage one batch, blocking (per-session backpressure) while this
+    /// session's staging queue is full.  Mirrors `ExecutorPool::stage`.
+    pub fn stage(&self, token: usize, batch: BatchId) {
+        let mut batch = Some(batch);
+        loop {
+            {
+                let mut state = self.state.lock();
+                let slot = state
+                    .slots
+                    .iter_mut()
+                    .find(|s| s.token == token)
+                    .expect("session registered");
+                if slot.staged.len() < slot.capacity {
+                    slot.staged.push_back(batch.take().expect("staged once"));
+                } else if state.injecting {
+                    self.progress.wait(&mut state);
+                    continue;
+                }
+            }
+            if batch.is_none() {
+                break;
+            }
+            self.pump();
+        }
+        self.pump();
+    }
+
+    /// Inject every staged batch of `token`'s session (driving other
+    /// sessions' batches along the way).  Mirrors
+    /// `ExecutorPool::drain_staged`.
+    pub fn drain_staged(&self, token: usize) {
+        loop {
+            self.pump();
+            let mut state = self.state.lock();
+            let empty = state
+                .slots
+                .iter()
+                .find(|s| s.token == token)
+                .expect("session registered")
+                .staged
+                .is_empty();
+            if empty {
+                return;
+            }
+            if !state.injecting {
+                continue;
+            }
+            self.progress.wait(&mut state);
+        }
+    }
+
+    /// Drive the injector role (mirrors `ExecutorPool::pump`): pop staged
+    /// batches round-robin and push each batch's job to every executor
+    /// queue, asserting the atomic-injection invariant on every push.
+    fn pump(&self) {
+        loop {
+            let batch = {
+                let mut state = self.state.lock();
+                if self.variant != InjectorVariant::NoInjectorRole && state.injecting {
+                    return;
+                }
+                let Some(batch) = Self::pop_next(&mut state) else {
+                    return;
+                };
+                state.injecting = true;
+                batch
+            };
+            if self.variant != InjectorVariant::PumpWithoutProgressNotify {
+                // Staging space was freed by the pop: let blocked stagers in.
+                self.progress.notify_all();
+            }
+            {
+                let mut exec = self.exec.lock();
+                exec.injection_order.push(batch);
+            }
+            for e in 0..self.executors {
+                // An executor-queue push can block on backpressure in the
+                // real pool; model the preemption window it opens.
+                thread::yield_now();
+                let mut exec = self.exec.lock();
+                exec.queues[e].push(batch);
+                let seen = exec.queues[e].len();
+                assert_eq!(
+                    exec.queues[e][..],
+                    exec.injection_order[..seen],
+                    "executor {e} observed a batch order diverging from the \
+                     global injection order: batch injection was not atomic"
+                );
+            }
+            self.state.lock().injecting = false;
+            if self.variant != InjectorVariant::PumpWithoutProgressNotify {
+                self.progress.notify_all();
+            }
+        }
+    }
+
+    fn pop_next(state: &mut SchedState) -> Option<BatchId> {
+        let n = state.slots.len();
+        for i in 0..n {
+            let idx = (state.cursor + i) % n;
+            if let Some(batch) = state.slots[idx].staged.pop_front() {
+                state.cursor = (idx + 1) % n;
+                return Some(batch);
+            }
+        }
+        None
+    }
+
+    /// Post-run audit: every executor queue received every injected batch
+    /// in the one global order.
+    pub fn assert_all_delivered(&self, expected_batches: usize) {
+        let exec = self.exec.lock();
+        assert_eq!(exec.injection_order.len(), expected_batches);
+        for (e, queue) in exec.queues.iter().enumerate() {
+            assert_eq!(
+                queue[..],
+                exec.injection_order[..],
+                "executor {e} missed or reordered batches"
+            );
+        }
+    }
+}
+
+/// Scenario: two sessions staged from two threads over `executors` executor
+/// queues, `batches_per_session` batches each with staging capacity 1 (so
+/// the backpressure path and the injector hand-off are both exercised),
+/// then drained.  The atomic-injection invariant is asserted on every push
+/// and the delivery audit at the end; a wedged hand-off surfaces as a
+/// detected deadlock.
+pub fn handoff_scenario(executors: usize, batches_per_session: u32, variant: InjectorVariant) {
+    let pool = Arc::new(ModelPool::new(executors, variant));
+    let a = pool.register_session(1);
+    let b = pool.register_session(1);
+    let p2 = Arc::clone(&pool);
+    let t = thread::spawn(move || {
+        for batch in 0..batches_per_session {
+            p2.stage(b, 100 + batch);
+        }
+        p2.drain_staged(b);
+    });
+    for batch in 0..batches_per_session {
+        pool.stage(a, batch);
+    }
+    pool.drain_staged(a);
+    t.join();
+    pool.drain_staged(a);
+    pool.drain_staged(b);
+    pool.assert_all_delivered(2 * batches_per_session as usize);
+}

@@ -1,0 +1,150 @@
+//! Model of the WAL writer's seal/poison protocol and the
+//! checkpoint-after-seal ordering (`crates/recovery`): a segment seal that
+//! fails must poison the writer (no further appends, no new segment), and a
+//! checkpoint must never cover an epoch whose seal has not durably
+//! completed — otherwise recovery's floor is raised past an unsealed tail
+//! and replay forks from the results already reported live.
+
+use std::sync::Arc;
+
+use crate::sync::Mutex;
+use crate::thread;
+
+/// Which variant of the WAL protocol to model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalVariant {
+    /// The shipped ordering: an epoch is published to the checkpointer only
+    /// after its seal marker is durably written, and a failed seal poisons
+    /// the writer before anything is published.
+    Correct,
+    /// Publishes the sealed epoch *before* the seal marker write completes
+    /// (e.g. bumping the in-memory counter first "to keep it close to the
+    /// increment").  A concurrently running checkpointer can then stamp a
+    /// manifest covering an epoch whose seal subsequently fails.
+    PublishBeforeSealCompletes,
+    /// A failed seal reports the error but forgets to poison the writer, so
+    /// later appends land in a segment after the torn tail — exactly the
+    /// state crash recovery cannot reproduce.
+    SealFailureWithoutPoison,
+}
+
+#[derive(Debug, Default)]
+struct WalState {
+    /// Highest epoch whose seal marker is durably on disk.
+    durable_sealed: u64,
+    /// Highest epoch advertised to the checkpointer.
+    published_sealed: u64,
+    /// Set when a seal fails: the writer refuses further appends.
+    poisoned: bool,
+    /// Highest epoch a checkpoint manifest claims to cover.
+    checkpointed: u64,
+}
+
+/// The model WAL writer + checkpointer gate (see [`WalVariant`]).
+pub struct ModelWal {
+    variant: WalVariant,
+    state: Mutex<WalState>,
+}
+
+impl ModelWal {
+    /// A fresh writer at epoch 0.
+    pub fn new(variant: WalVariant) -> Self {
+        ModelWal {
+            variant,
+            state: Mutex::new(WalState::default()),
+        }
+    }
+
+    /// Append an event frame to the open segment.  Returns whether the
+    /// append was accepted; a poisoned writer must refuse.
+    pub fn append(&self) -> bool {
+        let state = self.state.lock();
+        !state.poisoned
+    }
+
+    /// Seal the current segment as `epoch`.  `fail` injects a write error
+    /// at the marker write (the disk-full / torn-write case PR 4 hardened
+    /// against).  Returns whether the seal succeeded.
+    pub fn seal(&self, epoch: u64, fail: bool) -> bool {
+        if self.variant == WalVariant::PublishBeforeSealCompletes {
+            // Buggy: advertise the epoch before the marker is durable.
+            let mut state = self.state.lock();
+            if state.poisoned {
+                return false;
+            }
+            state.published_sealed = epoch;
+        }
+        // The marker write happens outside the state lock (it is real I/O in
+        // production); the lock drop is the window a checkpoint can race into.
+        {
+            let mut state = self.state.lock();
+            if state.poisoned {
+                return false;
+            }
+            if fail {
+                if self.variant != WalVariant::SealFailureWithoutPoison {
+                    state.poisoned = true;
+                }
+                return false;
+            }
+            state.durable_sealed = epoch;
+            if self.variant != WalVariant::PublishBeforeSealCompletes {
+                state.published_sealed = epoch;
+            }
+        }
+        true
+    }
+
+    /// The checkpointer: stamp a manifest covering the newest advertised
+    /// epoch.  The invariant checked is the production gate — a manifest
+    /// must never raise the recovery floor past an unsealed tail.
+    pub fn checkpoint(&self) {
+        let mut state = self.state.lock();
+        let epoch = state.published_sealed;
+        if epoch > state.checkpointed {
+            assert!(
+                epoch <= state.durable_sealed,
+                "checkpoint covers epoch {epoch} but only {} is durably \
+                 sealed: recovery floor raised past an unsealed tail",
+                state.durable_sealed
+            );
+            state.checkpointed = epoch;
+        }
+    }
+}
+
+/// Scenario: an ingestion thread seals epoch 1, then appends into epoch 2
+/// whose seal fails, while the root thread checkpoints concurrently.
+/// Checks, across every interleaving: checkpoints only ever cover durably
+/// sealed epochs, and after the failed seal the writer is poisoned (the
+/// next append is refused and a retried seal does not resurrect the
+/// segment).
+pub fn seal_failure_scenario(variant: WalVariant) {
+    let wal = Arc::new(ModelWal::new(variant));
+    let w2 = Arc::clone(&wal);
+    let ingest = thread::spawn(move || {
+        assert!(w2.append(), "fresh writer accepts appends");
+        assert!(w2.seal(1, false), "healthy seal succeeds");
+        assert!(w2.append(), "writer stays open after a healthy seal");
+        assert!(!w2.seal(2, true), "injected seal failure reports the error");
+        assert!(
+            !w2.append(),
+            "append accepted after a failed seal: the writer must be poisoned"
+        );
+        assert!(
+            !w2.seal(2, false),
+            "a poisoned writer must not seal a new segment until reopened"
+        );
+    });
+    // The checkpointer races the ingestion thread; every interleaving of
+    // these probes against the seal steps is explored.
+    wal.checkpoint();
+    wal.checkpoint();
+    ingest.join();
+    wal.checkpoint();
+    let state = wal.state.lock();
+    assert!(
+        state.checkpointed <= state.durable_sealed,
+        "final manifest covers an unsealed epoch"
+    );
+}

@@ -1,0 +1,499 @@
+//! The controlled scheduler: one model thread runs at a time, every visible
+//! operation is a yield point, and every scheduling decision is recorded so a
+//! schedule can be replayed byte-for-byte from its seed.
+//!
+//! Model threads are real OS threads, but the controller's token (`current`)
+//! ensures exactly one executes between yield points — a schedule (the
+//! sequence of branch-point choices) therefore fully determines the
+//! execution, which is what makes depth-first exploration and seed replay
+//! possible.
+
+use std::panic;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Panic payload used to unwind model threads when a run is torn down after
+/// a violation.  Never treated as a model failure.
+pub(crate) struct AbortRun;
+
+/// Scheduling status of one model thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Can be scheduled.
+    Runnable,
+    /// Waiting to acquire the mutex with this object id.
+    BlockedMutex(usize),
+    /// Waiting for a notification on the condvar with this object id.
+    BlockedCondvar(usize),
+    /// Waiting for the thread with this id to finish.
+    BlockedJoin(usize),
+    /// Ran to completion (or unwound during teardown).
+    Finished,
+}
+
+/// Everything the scheduler knows about the current run.
+struct State {
+    threads: Vec<Status>,
+    /// Thread holding the execution token.
+    current: usize,
+    /// Whether each registered mutex is currently held.
+    mutexes: Vec<bool>,
+    /// Number of registered condvars (they carry no state beyond their id).
+    condvars: usize,
+    /// Prescribed branch-point choices (the schedule prefix being explored
+    /// or replayed); decisions beyond the prefix default to choice 0.
+    prefix: Vec<u8>,
+    /// `(chosen, alternatives)` for every branch point reached this run.
+    path: Vec<(u8, u8)>,
+    /// Remaining preemption budget (CHESS-style bound).
+    preemptions_left: usize,
+    /// First failure observed (assertion panic or deadlock).
+    failure: Option<String>,
+    /// Set after a failure: every thread unwinds at its next yield point.
+    abort: bool,
+    /// Registered threads that have not finished yet.
+    live: usize,
+}
+
+/// The per-run scheduler shared by every model thread of one execution.
+pub(crate) struct Controller {
+    state: Mutex<State>,
+    /// Signalled on every scheduling change; threads wait here for the token.
+    turn: Condvar,
+    /// Signalled when the last live thread finishes.
+    done: Condvar,
+    /// OS handles of spawned model threads, joined by the run driver.
+    os_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// Result of driving one schedule to completion.
+pub(crate) struct RunOutcome {
+    /// Branch-point decisions taken, for backtracking and seed printing.
+    pub path: Vec<(u8, u8)>,
+    /// The violation message, if the schedule failed.
+    pub failure: Option<String>,
+}
+
+impl Controller {
+    pub(crate) fn new(prefix: Vec<u8>, preemption_bound: usize) -> Self {
+        Controller {
+            state: Mutex::new(State {
+                threads: Vec::new(),
+                current: 0,
+                mutexes: Vec::new(),
+                condvars: 0,
+                prefix,
+                path: Vec::new(),
+                preemptions_left: preemption_bound,
+                failure: None,
+                abort: false,
+                live: 0,
+            }),
+            turn: Condvar::new(),
+            done: Condvar::new(),
+            os_handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Register a new model thread (Runnable, scheduled later); returns its id.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = self.lock();
+        let id = st.threads.len();
+        assert!(id < 64, "model uses more than 64 threads");
+        st.threads.push(Status::Runnable);
+        st.live += 1;
+        id
+    }
+
+    /// Register a mutex object; returns its id.
+    pub(crate) fn register_mutex(&self) -> usize {
+        let mut st = self.lock();
+        let id = st.mutexes.len();
+        st.mutexes.push(false);
+        id
+    }
+
+    /// Register a condvar object; returns its id.
+    pub(crate) fn register_condvar(&self) -> usize {
+        let mut st = self.lock();
+        let id = st.condvars;
+        st.condvars += 1;
+        id
+    }
+
+    pub(crate) fn track_os_handle(&self, handle: std::thread::JoinHandle<()>) {
+        self.os_handles
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(handle);
+    }
+
+    /// Record (or follow) a branch point with `n` alternatives.
+    fn choose(st: &mut State, n: u8) -> u8 {
+        debug_assert!(n > 1, "single-candidate points are not branch points");
+        let pos = st.path.len();
+        let c = if pos < st.prefix.len() {
+            let c = st.prefix[pos];
+            assert!(
+                c < n,
+                "schedule prefix chose alternative {c} of {n} at branch point \
+                 {pos}: the model is nondeterministic outside its sync shims"
+            );
+            c
+        } else {
+            0
+        };
+        st.path.push((c, n));
+        c
+    }
+
+    /// Pick the next thread to run.  `preemptive` means `from` could have
+    /// continued (so switching away spends preemption budget); a forced
+    /// switch (the caller blocked or finished) costs nothing.  Detects
+    /// deadlock when nothing can run but live threads remain.
+    fn switch(&self, st: &mut State, from: usize, preemptive: bool) {
+        if st.abort {
+            return;
+        }
+        let enabled: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, Status::Runnable))
+            .map(|(i, _)| i)
+            .collect();
+        if enabled.is_empty() {
+            if st.live > 0 {
+                let msg = Self::describe_deadlock(st);
+                st.failure.get_or_insert(msg);
+                st.abort = true;
+                self.turn.notify_all();
+            }
+            return;
+        }
+        let candidates: Vec<usize> = if preemptive {
+            debug_assert!(enabled.contains(&from));
+            if st.preemptions_left == 0 {
+                vec![from]
+            } else {
+                // `from` first: the zero-choice default schedule runs each
+                // thread as far as it can go, minimizing context switches.
+                std::iter::once(from)
+                    .chain(enabled.iter().copied().filter(|&t| t != from))
+                    .collect()
+            }
+        } else {
+            enabled
+        };
+        let next = if candidates.len() == 1 {
+            candidates[0]
+        } else {
+            candidates[Self::choose(st, candidates.len() as u8) as usize]
+        };
+        if preemptive && next != from {
+            st.preemptions_left -= 1;
+        }
+        st.current = next;
+        self.turn.notify_all();
+    }
+
+    fn describe_deadlock(st: &State) -> String {
+        let mut parts = Vec::new();
+        for (i, s) in st.threads.iter().enumerate() {
+            match s {
+                Status::Runnable => parts.push(format!("thread {i} runnable")),
+                Status::BlockedMutex(m) => {
+                    parts.push(format!("thread {i} blocked acquiring mutex #{m}"))
+                }
+                Status::BlockedCondvar(c) => {
+                    parts.push(format!("thread {i} blocked waiting on condvar #{c}"))
+                }
+                Status::BlockedJoin(t) => {
+                    parts.push(format!("thread {i} blocked joining thread {t}"))
+                }
+                Status::Finished => {}
+            }
+        }
+        format!(
+            "deadlock: no thread can make progress ({})",
+            parts.join(", ")
+        )
+    }
+
+    /// Block until this thread holds the token and is runnable.  Unwinds
+    /// with [`AbortRun`] if the run is being torn down.
+    fn wait_my_turn<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, State>,
+        t: usize,
+    ) -> MutexGuard<'a, State> {
+        loop {
+            if st.abort {
+                drop(st);
+                panic::panic_any(AbortRun);
+            }
+            if st.current == t && st.threads[t] == Status::Runnable {
+                return st;
+            }
+            st = self.turn.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// The yield point placed before every visible operation: offer the
+    /// scheduler a chance to preempt this thread.
+    pub(crate) fn yield_point(&self, t: usize) {
+        let mut st = self.lock();
+        if st.abort {
+            drop(st);
+            panic::panic_any(AbortRun);
+        }
+        self.switch(&mut st, t, true);
+        let _st = self.wait_my_turn(st, t);
+    }
+
+    /// First scheduling of a thread: wait for the token without yielding.
+    pub(crate) fn first_turn(&self, t: usize) {
+        let st = self.lock();
+        let _st = self.wait_my_turn(st, t);
+    }
+
+    /// Acquire mutex `m` (yield point; blocks while held).
+    pub(crate) fn acquire_mutex(&self, t: usize, m: usize) {
+        self.yield_point(t);
+        let mut st = self.lock();
+        loop {
+            if !st.mutexes[m] {
+                st.mutexes[m] = true;
+                return;
+            }
+            st.threads[t] = Status::BlockedMutex(m);
+            self.switch(&mut st, t, false);
+            st = self.wait_my_turn(st, t);
+        }
+    }
+
+    /// Release mutex `m`, making contenders runnable.  Never a yield point
+    /// and never panics: it runs from guard `Drop` (possibly during unwind).
+    pub(crate) fn release_mutex(&self, _t: usize, m: usize) {
+        let mut st = self.lock();
+        st.mutexes[m] = false;
+        for s in st.threads.iter_mut() {
+            if *s == Status::BlockedMutex(m) {
+                *s = Status::Runnable;
+            }
+        }
+        self.turn.notify_all();
+    }
+
+    /// Atomically release mutex `m` and wait on condvar `cv`, then reacquire
+    /// `m` once notified.  The scheduler-level mutex is held again on return.
+    pub(crate) fn condvar_wait(&self, t: usize, cv: usize, m: usize) {
+        // Yield *before* the atomic release-and-sleep so other threads can
+        // be interleaved ahead of it (the missed-wakeup window).
+        self.yield_point(t);
+        let mut st = self.lock();
+        st.mutexes[m] = false;
+        for s in st.threads.iter_mut() {
+            if *s == Status::BlockedMutex(m) {
+                *s = Status::Runnable;
+            }
+        }
+        st.threads[t] = Status::BlockedCondvar(cv);
+        self.switch(&mut st, t, false);
+        st = self.wait_my_turn(st, t);
+        // Notified: reacquire the mutex.
+        loop {
+            if !st.mutexes[m] {
+                st.mutexes[m] = true;
+                return;
+            }
+            st.threads[t] = Status::BlockedMutex(m);
+            self.switch(&mut st, t, false);
+            st = self.wait_my_turn(st, t);
+        }
+    }
+
+    /// Wake every waiter of condvar `cv` (yield point).
+    pub(crate) fn notify_all(&self, t: usize, cv: usize) {
+        self.yield_point(t);
+        let mut st = self.lock();
+        for s in st.threads.iter_mut() {
+            if *s == Status::BlockedCondvar(cv) {
+                *s = Status::Runnable;
+            }
+        }
+        self.turn.notify_all();
+    }
+
+    /// Wake one waiter of condvar `cv` (yield point); *which* waiter is a
+    /// scheduling decision, so every wake order is explored.
+    pub(crate) fn notify_one(&self, t: usize, cv: usize) {
+        self.yield_point(t);
+        let mut st = self.lock();
+        let waiters: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == Status::BlockedCondvar(cv))
+            .map(|(i, _)| i)
+            .collect();
+        if waiters.is_empty() {
+            return; // notifications are not queued (lost-wakeup semantics)
+        }
+        let woken = if waiters.len() == 1 {
+            waiters[0]
+        } else {
+            waiters[Self::choose(&mut st, waiters.len() as u8) as usize]
+        };
+        st.threads[woken] = Status::Runnable;
+        self.turn.notify_all();
+    }
+
+    /// Block until `target` finishes.
+    pub(crate) fn join_thread(&self, t: usize, target: usize) {
+        let mut st = self.lock();
+        if st.abort {
+            drop(st);
+            panic::panic_any(AbortRun);
+        }
+        while st.threads[target] != Status::Finished {
+            st.threads[t] = Status::BlockedJoin(target);
+            self.switch(&mut st, t, false);
+            st = self.wait_my_turn(st, t);
+        }
+    }
+
+    /// Mark `t` finished, wake its joiners and hand the token onwards.
+    pub(crate) fn finish_thread(&self, t: usize) {
+        let mut st = self.lock();
+        st.threads[t] = Status::Finished;
+        st.live -= 1;
+        for s in st.threads.iter_mut() {
+            if *s == Status::BlockedJoin(t) {
+                *s = Status::Runnable;
+            }
+        }
+        if st.live == 0 {
+            self.done.notify_all();
+            self.turn.notify_all();
+        } else {
+            self.switch(&mut st, t, false);
+        }
+    }
+
+    /// Record a violation (first one wins) and tear the run down.
+    pub(crate) fn fail(&self, t: usize, message: String) {
+        let mut st = self.lock();
+        st.failure.get_or_insert(format!("thread {t}: {message}"));
+        st.abort = true;
+        self.turn.notify_all();
+        self.done.notify_all();
+    }
+
+    /// Block until every registered thread has finished.
+    fn wait_done(&self) {
+        let mut st = self.lock();
+        while st.live > 0 {
+            st = self.done.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread context: how the sync/thread shims find their scheduler.
+// ---------------------------------------------------------------------------
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+pub(crate) struct Ctx {
+    pub(crate) ctrl: Arc<Controller>,
+    pub(crate) id: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// Run `f` with the current model-thread context.
+///
+/// # Panics
+///
+/// Panics when called outside a model run — the shims only work under
+/// [`crate::Model::check`].
+pub(crate) fn with_ctx<R>(f: impl FnOnce(&Ctx) -> R) -> R {
+    CTX.with(|ctx| {
+        let ctx = ctx.borrow();
+        let ctx = ctx.as_ref().expect(
+            "tstream-check sync primitive used outside Model::check \
+             (model code must run inside the controlled scheduler)",
+        );
+        f(ctx)
+    })
+}
+
+/// Body of every model OS thread: install the context, wait to be scheduled,
+/// run the payload, and report the outcome to the controller.
+pub(crate) fn thread_main(ctrl: Arc<Controller>, id: usize, body: impl FnOnce()) {
+    CTX.with(|ctx| {
+        *ctx.borrow_mut() = Some(Ctx {
+            ctrl: Arc::clone(&ctrl),
+            id,
+        })
+    });
+    ctrl.first_turn(id);
+    let result = panic::catch_unwind(panic::AssertUnwindSafe(body));
+    CTX.with(|ctx| *ctx.borrow_mut() = None);
+    match result {
+        Ok(()) => {}
+        Err(payload) if payload.is::<AbortRun>() => {}
+        Err(payload) => ctrl.fail(id, payload_message(payload.as_ref())),
+    }
+    ctrl.finish_thread(id);
+}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
+
+/// Drive one schedule: run the model closure as thread 0 under a fresh
+/// controller, wait for every model thread to finish, and collect the
+/// decision path and any failure.
+pub(crate) fn run_once(
+    f: Arc<dyn Fn() + Send + Sync>,
+    prefix: Vec<u8>,
+    preemption_bound: usize,
+) -> RunOutcome {
+    let ctrl = Arc::new(Controller::new(prefix, preemption_bound));
+    let root = ctrl.register_thread();
+    debug_assert_eq!(root, 0);
+    let c2 = Arc::clone(&ctrl);
+    let driver = std::thread::Builder::new()
+        .name("check-0".into())
+        .spawn(move || thread_main(c2, 0, move || f()))
+        .expect("spawning the model root thread");
+    ctrl.wait_done();
+    let _ = driver.join();
+    for handle in ctrl
+        .os_handles
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .drain(..)
+    {
+        let _ = handle.join();
+    }
+    let st = ctrl.lock();
+    RunOutcome {
+        path: st.path.clone(),
+        failure: st.failure.clone(),
+    }
+}

@@ -1,0 +1,249 @@
+//! Shimmed synchronization primitives for model code.
+//!
+//! API-compatible with the vendored `parking_lot` subset the runtime uses
+//! (`lock()` returns the guard, `Condvar::wait` takes `&mut MutexGuard`), so
+//! protocol models read like the production code they model.  Every
+//! operation is a yield point of the controlled scheduler; the primitives
+//! only work inside [`crate::Model::check`].
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync;
+
+use crate::sched::with_ctx;
+
+/// A model mutex.  Exclusion is enforced by the controlled scheduler; the
+/// inner `std` mutex only carries the data and is never contended.
+pub struct Mutex<T> {
+    id: usize,
+    data: sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex registered with the current model run.
+    ///
+    /// # Panics
+    ///
+    /// Panics outside [`crate::Model::check`].
+    pub fn new(value: T) -> Self {
+        Mutex {
+            id: with_ctx(|c| c.ctrl.register_mutex()),
+            data: sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquires the mutex (a scheduler yield point; blocks while held).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        with_ctx(|c| c.ctrl.acquire_mutex(c.id, self.id));
+        MutexGuard {
+            owner: self,
+            raw: Some(take_data_lock(&self.data)),
+        }
+    }
+}
+
+/// Takes the never-contended inner data lock.  `Poisoned` is expected when
+/// a model-level panic (e.g. a modeled barrier poison the scenario catches
+/// with `catch_unwind`) unwound through an earlier guard; only `WouldBlock`
+/// would mean the scheduler admitted two holders, which is a checker bug.
+fn take_data_lock<T>(data: &sync::Mutex<T>) -> sync::MutexGuard<'_, T> {
+    match data.try_lock() {
+        Ok(guard) => guard,
+        Err(sync::TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+        Err(sync::TryLockError::WouldBlock) => {
+            panic!("scheduler admitted two holders to one mutex")
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mutex").field("id", &self.id).finish()
+    }
+}
+
+/// Guard returned by [`Mutex::lock`].  Holds an `Option` internally so
+/// [`Condvar::wait`] can release and re-take the underlying data lock.
+pub struct MutexGuard<'a, T> {
+    owner: &'a Mutex<T>,
+    raw: Option<sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.raw.as_deref().expect("guard taken during wait")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.raw.as_deref_mut().expect("guard taken during wait")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the data lock before the scheduler-level release so the
+        // next holder's `try_lock` cannot race it.
+        self.raw = None;
+        with_ctx(|c| c.ctrl.release_mutex(c.id, self.owner.id));
+    }
+}
+
+/// A model condition variable with `parking_lot`-shaped `wait`.
+pub struct Condvar {
+    id: usize,
+}
+
+impl Condvar {
+    /// Creates a condvar registered with the current model run.
+    ///
+    /// # Panics
+    ///
+    /// Panics outside [`crate::Model::check`].
+    pub fn new() -> Self {
+        Condvar {
+            id: with_ctx(|c| c.ctrl.register_condvar()),
+        }
+    }
+
+    /// Releases the guard's mutex and blocks until notified, then
+    /// reacquires.  A yield point; the release-and-sleep is atomic with
+    /// respect to the modeled schedule, exactly like the real primitive.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let raw = guard.raw.take().expect("guard taken during wait");
+        drop(raw);
+        with_ctx(|c| c.ctrl.condvar_wait(c.id, self.id, guard.owner.id));
+        guard.raw = Some(take_data_lock(&guard.owner.data));
+    }
+
+    /// Wakes every current waiter (a yield point).  Notifications are not
+    /// queued: with no waiter this is a no-op, so lost-wakeup bugs in the
+    /// modeled protocol are faithfully reproduced.
+    pub fn notify_all(&self) {
+        with_ctx(|c| c.ctrl.notify_all(c.id, self.id));
+    }
+
+    /// Wakes one waiter (a yield point).  Which waiter wakes is a scheduling
+    /// decision, so exploration covers every wake order.
+    pub fn notify_one(&self) {
+        with_ctx(|c| c.ctrl.notify_one(c.id, self.id));
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad("Condvar { .. }")
+    }
+}
+
+/// Shimmed atomics: every access is a yield point with sequentially
+/// consistent semantics (the ordering argument is accepted for signature
+/// compatibility but the model always explores SeqCst interleavings).
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use crate::sched::with_ctx;
+
+    fn yield_point() {
+        with_ctx(|c| c.ctrl.yield_point(c.id));
+    }
+
+    macro_rules! model_atomic {
+        ($(#[$doc:meta])* $name:ident, $std:ident, $ty:ty) => {
+            $(#[$doc])*
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: std::sync::atomic::$std,
+            }
+
+            impl $name {
+                /// Creates the atomic (not itself a yield point).
+                pub const fn new(value: $ty) -> Self {
+                    $name {
+                        inner: std::sync::atomic::$std::new(value),
+                    }
+                }
+
+                /// Loads the value (yield point).
+                pub fn load(&self, _order: Ordering) -> $ty {
+                    yield_point();
+                    self.inner.load(Ordering::SeqCst)
+                }
+
+                /// Stores a value (yield point).
+                pub fn store(&self, value: $ty, _order: Ordering) {
+                    yield_point();
+                    self.inner.store(value, Ordering::SeqCst)
+                }
+
+                /// Swaps the value (yield point).
+                pub fn swap(&self, value: $ty, _order: Ordering) -> $ty {
+                    yield_point();
+                    self.inner.swap(value, Ordering::SeqCst)
+                }
+
+                /// Compare-and-exchange (yield point).
+                pub fn compare_exchange(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    _success: Ordering,
+                    _failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    yield_point();
+                    self.inner
+                        .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+                }
+            }
+        };
+    }
+
+    model_atomic!(
+        /// Model counterpart of [`std::sync::atomic::AtomicUsize`].
+        AtomicUsize,
+        AtomicUsize,
+        usize
+    );
+    model_atomic!(
+        /// Model counterpart of [`std::sync::atomic::AtomicU64`].
+        AtomicU64,
+        AtomicU64,
+        u64
+    );
+    model_atomic!(
+        /// Model counterpart of [`std::sync::atomic::AtomicBool`].
+        AtomicBool,
+        AtomicBool,
+        bool
+    );
+
+    macro_rules! model_fetch_ops {
+        ($name:ident, $ty:ty) => {
+            impl $name {
+                /// Adds to the value, returning the previous one (yield point).
+                pub fn fetch_add(&self, value: $ty, _order: Ordering) -> $ty {
+                    yield_point();
+                    self.inner.fetch_add(value, Ordering::SeqCst)
+                }
+
+                /// Subtracts from the value, returning the previous one
+                /// (yield point).
+                pub fn fetch_sub(&self, value: $ty, _order: Ordering) -> $ty {
+                    yield_point();
+                    self.inner.fetch_sub(value, Ordering::SeqCst)
+                }
+            }
+        };
+    }
+
+    model_fetch_ops!(AtomicUsize, usize);
+    model_fetch_ops!(AtomicU64, u64);
+}

@@ -1,0 +1,81 @@
+//! Shimmed threading for model code: spawn and join model threads that run
+//! under the controlled scheduler.
+
+use std::sync::{Arc, Mutex};
+
+use crate::sched::{thread_main, with_ctx, Controller};
+
+/// Spawns a new model thread running `f` under the current model's
+/// scheduler.
+///
+/// The thread becomes runnable immediately but only executes when the
+/// scheduler hands it the token; spawning itself is not a yield point (a
+/// fresh thread's first action is ordered by the spawner's next visible
+/// operation, exactly as with real threads whose start is unobservable).
+///
+/// # Panics
+///
+/// Panics outside [`crate::Model::check`].
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    with_ctx(|c| {
+        let ctrl = Arc::clone(&c.ctrl);
+        let id = ctrl.register_thread();
+        let result: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+        let slot = Arc::clone(&result);
+        let c2 = Arc::clone(&ctrl);
+        let os = std::thread::Builder::new()
+            .name(format!("check-{id}"))
+            .spawn(move || {
+                thread_main(c2, id, move || {
+                    let value = f();
+                    *slot.lock().unwrap_or_else(|p| p.into_inner()) = Some(value);
+                })
+            })
+            .expect("spawning a model thread");
+        ctrl.track_os_handle(os);
+        JoinHandle { ctrl, id, result }
+    })
+}
+
+/// Explicit yield point: lets the scheduler preempt here even though no
+/// shared operation happens.  Useful to model busy-wait loops.
+pub fn yield_now() {
+    with_ctx(|c| c.ctrl.yield_point(c.id));
+}
+
+/// Handle to a spawned model thread.
+pub struct JoinHandle<T> {
+    ctrl: Arc<Controller>,
+    id: usize,
+    result: Arc<Mutex<Option<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks until the thread finishes and returns its result.
+    ///
+    /// A panic in the target thread is a model violation recorded by the
+    /// scheduler; this run is then torn down, so `join` never observes it.
+    pub fn join(self) -> T {
+        with_ctx(|c| self.ctrl.join_thread(c.id, self.id));
+        self.result
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .take()
+            .expect("joined thread finished without a result")
+    }
+
+    /// The model-thread id (0 is the root closure), for labeling.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinHandle").field("id", &self.id).finish()
+    }
+}

@@ -45,8 +45,9 @@
 
 use std::collections::HashSet;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 
+use parking_lot::Mutex;
 use tstream_recovery::{
     read_segment, DurableLog, DurableMeta, RecoveryCoordinator, RecoveryOptions, WalPayload,
 };
@@ -82,7 +83,7 @@ impl DurableDirGuard {
         // normalization) sees the real path.
         std::fs::create_dir_all(dir)?;
         let canonical = dir.canonicalize()?;
-        let mut open = open_durable_dirs().lock().expect("durable-dir registry");
+        let mut open = open_durable_dirs().lock();
         if !open.insert(canonical.clone()) {
             return Err(StateError::InvalidDefinition(format!(
                 "durability directory {} already has a live durable session in this process; \
@@ -96,7 +97,7 @@ impl DurableDirGuard {
 
 impl Drop for DurableDirGuard {
     fn drop(&mut self) {
-        let mut open = open_durable_dirs().lock().expect("durable-dir registry");
+        let mut open = open_durable_dirs().lock();
         open.remove(&self.0);
     }
 }

@@ -153,6 +153,16 @@ pub struct ExecutorPool {
     workers: Vec<Worker>,
     spawned: AtomicU64,
     scheduler: Scheduler,
+    /// Debug-only audit of atomic batch injection: batches injected so far,
+    /// and per-executor deliveries.  The single-injector protocol implies
+    /// `delivered[e] == injected_batches` at the moment batch
+    /// `injected_batches` pushes to executor `e`; `pump` asserts exactly
+    /// that, so any future edit that lets two injections interleave fails
+    /// fast in debug builds instead of corrupting barrier lockstep.
+    #[cfg(debug_assertions)]
+    injected_batches: AtomicU64,
+    #[cfg(debug_assertions)]
+    delivered: Vec<AtomicU64>,
 }
 
 impl ExecutorPool {
@@ -185,6 +195,10 @@ impl ExecutorPool {
             workers,
             spawned,
             scheduler: Scheduler::default(),
+            #[cfg(debug_assertions)]
+            injected_batches: AtomicU64::new(0),
+            #[cfg(debug_assertions)]
+            delivered: (0..executors).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
@@ -304,7 +318,17 @@ impl ExecutorPool {
             };
             // Staging space was freed by the pop: let blocked stagers in.
             self.scheduler.progress.notify_all();
+            #[cfg(debug_assertions)]
+            let batch_seq = self.injected_batches.fetch_add(1, Ordering::SeqCst);
             for (executor, job) in jobs.into_iter().enumerate() {
+                #[cfg(debug_assertions)]
+                debug_assert_eq!(
+                    self.delivered[executor].fetch_add(1, Ordering::SeqCst),
+                    batch_seq,
+                    "batch injection interleaved: executor {executor} received \
+                     another batch's jobs mid-injection (single-injector \
+                     invariant broken)"
+                );
                 // May block on a full executor queue (pipeline
                 // backpressure); executors drain independently, so this
                 // always makes progress.
@@ -361,6 +385,10 @@ impl Drop for ExecutorPool {
 
 #[cfg(test)]
 mod tests {
+    // These tests probe real timing (blocked-thread interleavings), so
+    // they sleep deliberately; the workspace-wide sleep ban targets
+    // production code.
+    #![allow(clippy::disallowed_methods)]
     use super::*;
     use parking_lot::Mutex;
     use std::sync::atomic::AtomicUsize;

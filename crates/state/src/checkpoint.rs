@@ -236,6 +236,17 @@ impl StoreSnapshot {
             let id = store.table_id(&table.name)?;
             for (key, _) in &table.entries {
                 store.record(id, *key)?;
+                // Route stability across snapshot/restore: the store-level
+                // router (reused by chain pools and event routing) and the
+                // table's own router must agree on every restored key, or a
+                // recovered record would live on a different shard than the
+                // one live routing consults.
+                debug_assert_eq!(
+                    store.shard_of(*key),
+                    store.table(id).shard_of(*key),
+                    "shard routing diverged between store and table {} for key {key}",
+                    table.name
+                );
             }
         }
         for table in &self.tables {

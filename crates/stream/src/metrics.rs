@@ -166,6 +166,10 @@ pub fn timed<R>(breakdown: &mut Breakdown, component: Component, f: impl FnOnce(
 
 #[cfg(test)]
 mod tests {
+    // These tests probe real timing (blocked-thread interleavings), so
+    // they sleep deliberately; the workspace-wide sleep ban targets
+    // production code.
+    #![allow(clippy::disallowed_methods)]
     use super::*;
 
     #[test]

@@ -145,6 +145,10 @@ impl LatencyStats {
 
 #[cfg(test)]
 mod tests {
+    // These tests probe real timing (blocked-thread interleavings), so
+    // they sleep deliberately; the workspace-wide sleep ban targets
+    // production code.
+    #![allow(clippy::disallowed_methods)]
     use super::*;
 
     #[test]

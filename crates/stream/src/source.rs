@@ -229,6 +229,10 @@ pub fn bounded_source<T>(capacity: usize) -> (SourceHandle<T>, SourceOutlet<T>) 
 
 #[cfg(test)]
 mod tests {
+    // These tests probe real timing (blocked-thread interleavings), so
+    // they sleep deliberately; the workspace-wide sleep ban targets
+    // production code.
+    #![allow(clippy::disallowed_methods)]
     use super::*;
 
     fn round_robin_builder(executors: usize, interval: usize) -> BatchBuilder<u64, u64> {

@@ -9,14 +9,22 @@
 //! deliberately swallowed: a panicking holder does not turn every later
 //! `lock()` into an error, matching parking_lot semantics.
 
+pub mod lock_order;
+
 use std::fmt;
 use std::ops::{Deref, DerefMut};
+#[cfg(feature = "lock-order")]
+use std::sync::atomic::AtomicU64;
 use std::sync::{self, TryLockError};
 use std::time::Duration;
 
 /// A mutual exclusion primitive. `lock()` returns the guard directly.
 #[derive(Default)]
 pub struct Mutex<T: ?Sized> {
+    /// Lazily assigned [`lock_order`] id (0 = unassigned); must precede
+    /// `inner`, which is the unsized tail when `T: !Sized`.
+    #[cfg(feature = "lock-order")]
+    order_id: AtomicU64,
     inner: sync::Mutex<T>,
 }
 
@@ -25,6 +33,8 @@ pub struct Mutex<T: ?Sized> {
 /// Holds an `Option` internally so [`Condvar::wait`] can temporarily take the
 /// underlying std guard out and put the reacquired one back.
 pub struct MutexGuard<'a, T: ?Sized> {
+    #[cfg(feature = "lock-order")]
+    order_id: u64,
     raw: Option<sync::MutexGuard<'a, T>>,
 }
 
@@ -32,6 +42,8 @@ impl<T> Mutex<T> {
     /// Creates a new mutex.
     pub const fn new(value: T) -> Self {
         Mutex {
+            #[cfg(feature = "lock-order")]
+            order_id: AtomicU64::new(0),
             inner: sync::Mutex::new(value),
         }
     }
@@ -47,23 +59,34 @@ impl<T> Mutex<T> {
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the mutex, blocking until it is available.
+    #[track_caller]
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        #[cfg(feature = "lock-order")]
+        let order_id = lock_order::on_acquire(&self.order_id, false);
         let raw = match self.inner.lock() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
         };
-        MutexGuard { raw: Some(raw) }
+        MutexGuard {
+            #[cfg(feature = "lock-order")]
+            order_id,
+            raw: Some(raw),
+        }
     }
 
     /// Attempts to acquire the mutex without blocking.
+    #[track_caller]
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.inner.try_lock() {
-            Ok(g) => Some(MutexGuard { raw: Some(g) }),
-            Err(TryLockError::Poisoned(poisoned)) => Some(MutexGuard {
-                raw: Some(poisoned.into_inner()),
-            }),
-            Err(TryLockError::WouldBlock) => None,
-        }
+        let raw = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+            Err(TryLockError::WouldBlock) => return None,
+        };
+        Some(MutexGuard {
+            #[cfg(feature = "lock-order")]
+            order_id: lock_order::on_acquire_try(&self.order_id, false),
+            raw: Some(raw),
+        })
     }
 
     /// Returns a mutable reference to the underlying data (requires `&mut`).
@@ -97,6 +120,13 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     }
 }
 
+#[cfg(feature = "lock-order")]
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        lock_order::on_release(self.order_id);
+    }
+}
+
 /// A condition variable whose `wait` reacquires through a `&mut MutexGuard`,
 /// matching parking_lot's signature.
 #[derive(Default)]
@@ -113,17 +143,25 @@ impl Condvar {
     }
 
     /// Blocks until notified, releasing the guard's mutex while waiting.
+    #[track_caller]
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        #[cfg(feature = "lock-order")]
+        lock_order::on_wait_release(guard.order_id);
         let raw = guard.raw.take().expect("guard taken during wait");
         let raw = match self.inner.wait(raw) {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
         };
         guard.raw = Some(raw);
+        #[cfg(feature = "lock-order")]
+        lock_order::on_reacquire(guard.order_id);
     }
 
     /// Like [`Condvar::wait`] with a timeout; returns `true` if it timed out.
+    #[track_caller]
     pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: Duration) -> bool {
+        #[cfg(feature = "lock-order")]
+        lock_order::on_wait_release(guard.order_id);
         let raw = guard.raw.take().expect("guard taken during wait");
         let (raw, result) = match self.inner.wait_timeout(raw, timeout) {
             Ok((g, r)) => (g, r),
@@ -133,6 +171,8 @@ impl Condvar {
             }
         };
         guard.raw = Some(raw);
+        #[cfg(feature = "lock-order")]
+        lock_order::on_reacquire(guard.order_id);
         result.timed_out()
     }
 
@@ -156,16 +196,24 @@ impl fmt::Debug for Condvar {
 /// A reader-writer lock. `read()`/`write()` return the guards directly.
 #[derive(Default)]
 pub struct RwLock<T: ?Sized> {
+    /// Lazily assigned [`lock_order`] id (0 = unassigned); must precede
+    /// `inner`, which is the unsized tail when `T: !Sized`.
+    #[cfg(feature = "lock-order")]
+    order_id: AtomicU64,
     inner: sync::RwLock<T>,
 }
 
 /// Shared-access guard returned by [`RwLock::read`].
 pub struct RwLockReadGuard<'a, T: ?Sized> {
+    #[cfg(feature = "lock-order")]
+    order_id: u64,
     raw: sync::RwLockReadGuard<'a, T>,
 }
 
 /// Exclusive-access guard returned by [`RwLock::write`].
 pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    #[cfg(feature = "lock-order")]
+    order_id: u64,
     raw: sync::RwLockWriteGuard<'a, T>,
 }
 
@@ -173,6 +221,8 @@ impl<T> RwLock<T> {
     /// Creates a new reader-writer lock.
     pub const fn new(value: T) -> Self {
         RwLock {
+            #[cfg(feature = "lock-order")]
+            order_id: AtomicU64::new(0),
             inner: sync::RwLock::new(value),
         }
     }
@@ -188,43 +238,65 @@ impl<T> RwLock<T> {
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquires shared access, blocking until available.
+    #[track_caller]
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        #[cfg(feature = "lock-order")]
+        let order_id = lock_order::on_acquire(&self.order_id, true);
         let raw = match self.inner.read() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
         };
-        RwLockReadGuard { raw }
+        RwLockReadGuard {
+            #[cfg(feature = "lock-order")]
+            order_id,
+            raw,
+        }
     }
 
     /// Acquires exclusive access, blocking until available.
+    #[track_caller]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        #[cfg(feature = "lock-order")]
+        let order_id = lock_order::on_acquire(&self.order_id, false);
         let raw = match self.inner.write() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
         };
-        RwLockWriteGuard { raw }
+        RwLockWriteGuard {
+            #[cfg(feature = "lock-order")]
+            order_id,
+            raw,
+        }
     }
 
     /// Attempts shared access without blocking.
+    #[track_caller]
     pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
-        match self.inner.try_read() {
-            Ok(g) => Some(RwLockReadGuard { raw: g }),
-            Err(TryLockError::Poisoned(p)) => Some(RwLockReadGuard {
-                raw: p.into_inner(),
-            }),
-            Err(TryLockError::WouldBlock) => None,
-        }
+        let raw = match self.inner.try_read() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(TryLockError::WouldBlock) => return None,
+        };
+        Some(RwLockReadGuard {
+            #[cfg(feature = "lock-order")]
+            order_id: lock_order::on_acquire_try(&self.order_id, true),
+            raw,
+        })
     }
 
     /// Attempts exclusive access without blocking.
+    #[track_caller]
     pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
-        match self.inner.try_write() {
-            Ok(g) => Some(RwLockWriteGuard { raw: g }),
-            Err(TryLockError::Poisoned(p)) => Some(RwLockWriteGuard {
-                raw: p.into_inner(),
-            }),
-            Err(TryLockError::WouldBlock) => None,
-        }
+        let raw = match self.inner.try_write() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(TryLockError::WouldBlock) => return None,
+        };
+        Some(RwLockWriteGuard {
+            #[cfg(feature = "lock-order")]
+            order_id: lock_order::on_acquire_try(&self.order_id, false),
+            raw,
+        })
     }
 
     /// Returns a mutable reference to the underlying data (requires `&mut`).
@@ -262,6 +334,20 @@ impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
 impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
         &mut self.raw
+    }
+}
+
+#[cfg(feature = "lock-order")]
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        lock_order::on_release(self.order_id);
+    }
+}
+
+#[cfg(feature = "lock-order")]
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        lock_order::on_release(self.order_id);
     }
 }
 
@@ -321,5 +407,94 @@ mod tests {
         })
         .join();
         assert_eq!(*m.lock(), 0);
+    }
+
+    /// The seeded ABBA deadlock: nest A→B once, then attempt B→A.  The
+    /// tracker must refuse the second nesting *before blocking* and name
+    /// all four acquisition sites — the pair being attempted and the pair
+    /// that established the original order.
+    #[test]
+    #[cfg(feature = "lock-order")]
+    fn abba_lock_order_violation_names_both_sites() {
+        let a = Mutex::new(());
+        let b = Mutex::new(());
+
+        // Establish the legal order: B acquired while A is held.  Each
+        // line!() names the acquisition on the line right below it.
+        let a_first_line = line!() + 1;
+        let _guard_a = a.lock();
+        let b_nested_line = line!() + 1;
+        let guard_b = b.lock();
+        drop(guard_b);
+        drop(_guard_a);
+
+        // Attempt the reverse order; the tracker must panic on `a.lock()`.
+        let mut b_first_line = 0;
+        let mut a_blocked_line = 0;
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            b_first_line = line!() + 1;
+            let _guard_b = b.lock();
+            a_blocked_line = line!() + 1;
+            let _guard_a = a.lock();
+        }));
+        let payload = result.expect_err("the ABBA order must be refused");
+        let message = payload
+            .downcast_ref::<String>()
+            .expect("lock-order panics carry a formatted message");
+
+        assert!(
+            message.contains("lock-order violation"),
+            "unexpected message: {message}"
+        );
+        // The sites of the attempted (reversed) nesting...
+        let here = file!();
+        assert!(
+            message.contains(&format!("{here}:{a_blocked_line}:")),
+            "blocked acquisition site missing from: {message}"
+        );
+        assert!(
+            message.contains(&format!("{here}:{b_first_line}:")),
+            "held-lock acquisition site missing from: {message}"
+        );
+        // ...and the sites that established the original A→B order.
+        assert!(
+            message.contains(&format!("{here}:{a_first_line}:")),
+            "original held site missing from: {message}"
+        );
+        assert!(
+            message.contains(&format!("{here}:{b_nested_line}:")),
+            "original nested site missing from: {message}"
+        );
+    }
+
+    #[test]
+    #[cfg(feature = "lock-order")]
+    fn recursive_acquisition_is_refused_before_it_wedges() {
+        let m = Mutex::new(());
+        let _held = m.lock();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| drop(m.lock())));
+        let payload = result.expect_err("self-deadlock must be refused");
+        let message = payload
+            .downcast_ref::<String>()
+            .expect("lock-order panics carry a formatted message");
+        assert!(
+            message.contains("recursive acquisition"),
+            "unexpected message: {message}"
+        );
+    }
+
+    #[test]
+    #[cfg(feature = "lock-order")]
+    fn lock_order_tracker_is_live_and_counts_edges() {
+        assert!(lock_order::enabled());
+        let outer = Mutex::new(());
+        let inner = Mutex::new(());
+        let before = lock_order::edges_recorded();
+        let _o = outer.lock();
+        let _i = inner.lock();
+        assert!(
+            lock_order::edges_recorded() > before,
+            "nesting two fresh locks must record a new edge"
+        );
     }
 }

@@ -1,0 +1,235 @@
+//! Opt-in lock-order tracking (feature `lock-order`).
+//!
+//! With the feature enabled (the workspace turns it on for test builds via
+//! the root crate's dev-dependencies; release builds never compile it), every
+//! blocking `lock()` / `read()` / `write()` records an edge in a global
+//! acquisition graph: *holding L1 while acquiring L2* adds `L1 → L2`.  Before
+//! the edge is added, a reverse path `L2 →* L1` is searched; finding one
+//! means two call sites disagree about the order these locks nest in — the
+//! classic ABBA deadlock, reported as a panic **naming both acquisition
+//! sites** (the current pair and the previously recorded pair) before the
+//! process can actually wedge.  Recursive acquisition of one lock by one
+//! thread is reported the same way.
+//!
+//! `try_lock` / `try_read` / `try_write` successes are pushed on the held
+//! stack (so edges *from* them are tracked: holding a try-acquired lock
+//! while blocking on another can still deadlock) but are never flagged as
+//! acquisitions themselves — a failed `try_*` backs off instead of blocking,
+//! so no cycle through that edge can wedge.
+//!
+//! [`Condvar::wait`](crate::Condvar::wait) releases the guard's lock for the
+//! duration of the wait and re-records the acquisition on wakeup, so locks
+//! held *across* a wait keep their ordering constraints while the waited-on
+//! lock itself does not pin a stale edge.
+
+/// Whether lock-order tracking is compiled in.
+pub const fn enabled() -> bool {
+    cfg!(feature = "lock-order")
+}
+
+/// Number of distinct acquisition-order edges recorded so far (0 when the
+/// `lock-order` feature is off).  Tests use this to assert the tracker is
+/// actually wired in, not silently compiled out.
+#[cfg(not(feature = "lock-order"))]
+pub fn edges_recorded() -> usize {
+    0
+}
+
+#[cfg(feature = "lock-order")]
+pub use imp::edges_recorded;
+
+#[cfg(feature = "lock-order")]
+pub(crate) use imp::{on_acquire, on_acquire_try, on_reacquire, on_release, on_wait_release};
+
+#[cfg(feature = "lock-order")]
+mod imp {
+    use std::cell::RefCell;
+    use std::collections::{HashMap, HashSet};
+    use std::panic::Location;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Mutex, OnceLock};
+
+    type Site = &'static Location<'static>;
+
+    /// The sites that first established an ordering edge: where the held
+    /// lock had been acquired, and where the second lock was acquired on
+    /// top of it.
+    struct Edge {
+        held_site: Site,
+        acquired_site: Site,
+    }
+
+    #[derive(Default)]
+    struct Graph {
+        /// `edges[a][b]` exists when some thread acquired `b` holding `a`.
+        edges: HashMap<u64, HashMap<u64, Edge>>,
+        count: usize,
+    }
+
+    fn graph() -> &'static Mutex<Graph> {
+        static GRAPH: OnceLock<Mutex<Graph>> = OnceLock::new();
+        GRAPH.get_or_init(Mutex::default)
+    }
+
+    fn graph_lock() -> std::sync::MutexGuard<'static, Graph> {
+        graph()
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Lock ids are assigned lazily on first acquisition because
+    /// `Mutex::new` is `const`; slot value 0 means unassigned.
+    static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+    fn lock_id(slot: &AtomicU64) -> u64 {
+        let id = slot.load(Ordering::Relaxed);
+        if id != 0 {
+            return id;
+        }
+        let fresh = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        match slot.compare_exchange(0, fresh, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => fresh,
+            Err(existing) => existing,
+        }
+    }
+
+    struct HeldLock {
+        id: u64,
+        site: Site,
+        shared: bool,
+    }
+
+    thread_local! {
+        /// Locks this thread currently holds, in acquisition order.
+        static HELD: RefCell<Vec<HeldLock>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Number of distinct acquisition-order edges recorded so far.
+    pub fn edges_recorded() -> usize {
+        graph_lock().count
+    }
+
+    /// A blocking acquisition: recursion check, cycle check, edge
+    /// recording, held-stack push — in that order, all *before* the caller
+    /// blocks, so a would-be deadlock is a panic rather than a hang.
+    /// `shared` is true for `RwLock::read` (read-after-read recursion is
+    /// legal; any recursion involving an exclusive side is not).
+    #[track_caller]
+    pub(crate) fn on_acquire(slot: &AtomicU64, shared: bool) -> u64 {
+        acquire(lock_id(slot), shared)
+    }
+
+    /// [`on_acquire`] for a lock whose id is already known — the
+    /// `Condvar::wait` wakeup path, where only the guard (not the lock) is
+    /// in scope.  Condvars only pair with mutexes, hence exclusive.
+    #[track_caller]
+    pub(crate) fn on_reacquire(id: u64) {
+        acquire(id, false);
+    }
+
+    #[track_caller]
+    fn acquire(id: u64, shared: bool) -> u64 {
+        let site = Location::caller();
+        HELD.with(|held| {
+            let held = held.borrow();
+            if let Some(first) = held.iter().find(|h| h.id == id && !(h.shared && shared)) {
+                panic!(
+                    "lock-order violation: recursive acquisition of lock #{id} at \
+                     {site} (already held since {})",
+                    first.site
+                );
+            }
+            if held.is_empty() {
+                return;
+            }
+            let mut g = graph_lock();
+            let g = &mut *g;
+            for h in held.iter() {
+                if h.id == id {
+                    // Read-after-read of one lock: no ordering edge.
+                    continue;
+                }
+                if let Some((via, edge)) = find_reverse_path(g, id, h.id) {
+                    panic!(
+                        "lock-order violation (potential deadlock): acquiring lock \
+                         #{id} at {site} while holding lock #{} acquired at \
+                         {}, but the reverse order is already established: \
+                         lock #{id} was held (acquired at {}) when lock #{via} was \
+                         acquired at {}",
+                        h.id, h.site, edge.held_site, edge.acquired_site
+                    );
+                }
+                if let std::collections::hash_map::Entry::Vacant(slot) =
+                    g.edges.entry(h.id).or_default().entry(id)
+                {
+                    slot.insert(Edge {
+                        held_site: h.site,
+                        acquired_site: site,
+                    });
+                    g.count += 1;
+                }
+            }
+        });
+        HELD.with(|held| held.borrow_mut().push(HeldLock { id, site, shared }));
+        id
+    }
+
+    /// A successful `try_*` acquisition: pushed on the held stack (edges
+    /// *from* it matter) but never checked or recorded as an edge target —
+    /// a failed try backs off instead of blocking.
+    #[track_caller]
+    pub(crate) fn on_acquire_try(slot: &AtomicU64, shared: bool) -> u64 {
+        let id = lock_id(slot);
+        let site = Location::caller();
+        HELD.with(|held| held.borrow_mut().push(HeldLock { id, site, shared }));
+        id
+    }
+
+    /// Guard drop: remove the most recent held entry for `id`.  Guards can
+    /// be dropped out of acquisition order, hence the reverse search.
+    pub(crate) fn on_release(id: u64) {
+        // `try_with`: a guard owned by e.g. a static can be dropped after
+        // this thread's TLS is gone; losing that pop is harmless.
+        let _ = HELD.try_with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(pos) = held.iter().rposition(|h| h.id == id) {
+                held.remove(pos);
+            }
+        });
+    }
+
+    /// `Condvar::wait` releases the guard's lock while sleeping; the
+    /// reacquisition on wakeup goes back through [`on_acquire`] so an
+    /// order inversion against locks held across the wait is still caught.
+    pub(crate) fn on_wait_release(id: u64) {
+        on_release(id);
+    }
+
+    /// Is `to` reachable from `from`?  On success returns the first hop of
+    /// a witness path: the direct successor `via` and the recorded sites of
+    /// the `from → via` edge (for the panic message).
+    fn find_reverse_path(g: &Graph, from: u64, to: u64) -> Option<(u64, &Edge)> {
+        let out = g.edges.get(&from)?;
+        if let Some(edge) = out.get(&to) {
+            return Some((to, edge));
+        }
+        for (&via, edge) in out {
+            if reaches(g, via, to, &mut HashSet::from([from])) {
+                return Some((via, edge));
+            }
+        }
+        None
+    }
+
+    fn reaches(g: &Graph, from: u64, to: u64, visited: &mut HashSet<u64>) -> bool {
+        if from == to {
+            return true;
+        }
+        if !visited.insert(from) {
+            return false;
+        }
+        g.edges
+            .get(&from)
+            .is_some_and(|out| out.keys().any(|&n| reaches(g, n, to, visited)))
+    }
+}
