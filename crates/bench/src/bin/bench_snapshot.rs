@@ -28,7 +28,7 @@ use tstream_apps::{
     SchemeKind,
 };
 use tstream_bench::{events_for, run_point, HarnessConfig};
-use tstream_core::{Engine, EngineConfig, Scheme, WalPayload};
+use tstream_core::{Engine, EngineConfig, FsyncPolicy, Scheme, WalPayload};
 use tstream_state::StateStore;
 use tstream_txn::Application;
 
@@ -54,6 +54,12 @@ struct ConcurrencyPoint {
 
 struct DurabilityPoint {
     app: &'static str,
+    /// WAL fsync policy label of this run (all rows run under `Always`, the
+    /// strictest policy — the one the group-commit window pays for).
+    fsync: &'static str,
+    /// Group-commit window in events: `1` reproduces the pre-group-commit
+    /// per-event sync (the "before" row), the default window is the "after".
+    group_window: u64,
     events: u64,
     checkpoints: u64,
     wal_bytes: u64,
@@ -128,46 +134,61 @@ fn timed_recovery(app: AppKind, options: &RunOptions, dir: &Path, expected_event
     }
 }
 
-/// One durable TStream run per app (1 core, checkpoint every 3 batches so
-/// both checkpoints and surviving segments exist), then a cold, timed
-/// recovery over the same directory.
+/// Two durable TStream runs per app under `FsyncPolicy::Always` (1 core,
+/// checkpoint every 3 batches so both checkpoints and surviving segments
+/// exist), then a cold, timed recovery over each directory.
+///
+/// The two rows bracket the group-commit change: a window of **1 event**
+/// reproduces the old per-event `sync_data` tax (one fsync per append —
+/// the "before"), while the default window amortizes the sync over the
+/// whole group (the "after").  Both rows run under `Always`, the policy
+/// whose ack contract the window actually covers.
 fn durability_sweep(quick: bool) -> Vec<DurabilityPoint> {
+    let default_window = EngineConfig::default().group_window_events;
     let mut points = Vec::new();
     for app in AppKind::ALL {
-        let events = events_for(app, 1, quick);
-        let spec = WorkloadSpec::default().events(events);
-        let engine = EngineConfig::with_executors(1)
-            .punctuation(500)
-            .checkpoint_every(3);
-        let options = RunOptions::new(spec, engine);
-        let dir = std::env::temp_dir().join(format!(
-            "tstream-bench-durability-{}-{}",
-            app.label(),
-            std::process::id()
-        ));
-        let _ = std::fs::remove_dir_all(&dir);
-        let (report, _) = run_benchmark_durable(app, SchemeKind::TStream, &options, &dir, None)
-            .expect("durable benchmark run");
-        let replay_ms = timed_recovery(app, &options, &dir, report.events);
-        eprintln!(
-            "durability  {:<3} {:>7} events  {:>3} checkpoints  {:>9} WAL bytes  \
-             {:>8.1} K/s  replay {:>7.2} ms",
-            app.label(),
-            report.events,
-            report.checkpoints,
-            report.wal_bytes,
-            report.throughput_keps(),
-            replay_ms
-        );
-        points.push(DurabilityPoint {
-            app: app.label(),
-            events: report.events,
-            checkpoints: report.checkpoints,
-            wal_bytes: report.wal_bytes,
-            durable_keps: report.throughput_keps(),
-            replay_ms,
-        });
-        let _ = std::fs::remove_dir_all(&dir);
+        for window in [1u64, default_window] {
+            let events = events_for(app, 1, quick);
+            let spec = WorkloadSpec::default().events(events);
+            let engine = EngineConfig::with_executors(1)
+                .punctuation(500)
+                .checkpoint_every(3)
+                .fsync(FsyncPolicy::Always)
+                .group_window(window, if window == 1 { 1 } else { 32 * 1024 });
+            let options = RunOptions::new(spec, engine);
+            let dir = std::env::temp_dir().join(format!(
+                "tstream-bench-durability-{}-w{}-{}",
+                app.label(),
+                window,
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let (report, _) = run_benchmark_durable(app, SchemeKind::TStream, &options, &dir, None)
+                .expect("durable benchmark run");
+            let replay_ms = timed_recovery(app, &options, &dir, report.events);
+            eprintln!(
+                "durability  {:<3} always/w{:<4} {:>7} events  {:>3} checkpoints  \
+                 {:>9} WAL bytes  {:>8.1} K/s  replay {:>7.2} ms",
+                app.label(),
+                window,
+                report.events,
+                report.checkpoints,
+                report.wal_bytes,
+                report.throughput_keps(),
+                replay_ms
+            );
+            points.push(DurabilityPoint {
+                app: app.label(),
+                fsync: "always",
+                group_window: window,
+                events: report.events,
+                checkpoints: report.checkpoints,
+                wal_bytes: report.wal_bytes,
+                durable_keps: report.throughput_keps(),
+                replay_ms,
+            });
+            let _ = std::fs::remove_dir_all(&dir);
+        }
     }
     points
 }
@@ -317,10 +338,17 @@ fn main() {
     for (i, p) in durability.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{\"app\": \"{}\", \"scheme\": \"TStream\", \"events\": {}, \
-             \"checkpoints\": {}, \"wal_bytes\": {}, \"durable_keps\": {:.2}, \
-             \"replay_ms\": {:.3}}}",
-            p.app, p.events, p.checkpoints, p.wal_bytes, p.durable_keps, p.replay_ms
+            "    {{\"app\": \"{}\", \"scheme\": \"TStream\", \"fsync\": \"{}\", \
+             \"group_window\": {}, \"events\": {}, \"checkpoints\": {}, \"wal_bytes\": {}, \
+             \"durable_keps\": {:.2}, \"replay_ms\": {:.3}}}",
+            p.app,
+            p.fsync,
+            p.group_window,
+            p.events,
+            p.checkpoints,
+            p.wal_bytes,
+            p.durable_keps,
+            p.replay_ms
         );
         json.push_str(if i + 1 < durability.len() {
             ",\n"

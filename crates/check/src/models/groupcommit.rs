@@ -1,0 +1,183 @@
+//! Model of the WAL group-commit ack pipeline
+//! (`DurableLog::submit_window` / `drain_in_flight` / `seal` in
+//! `crates/recovery/src/coordinator.rs`): the ingestion thread buffers
+//! frames and hands full windows to the WAL-writer thread, with at most one
+//! window in flight; an event counts as acked-durable only once its
+//! covering window's sync completed; and a seal must drain the pipeline
+//! before the marker lands, or event frames would sit *behind* the seal
+//! marker — a tail layout crash recovery cannot parse.
+
+use std::sync::Arc;
+
+use crate::sync::{Condvar, Mutex};
+use crate::thread;
+
+/// Which variant of the group-commit pipeline to model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupCommitVariant {
+    /// The shipped ordering: submit drains the previous window first, acks
+    /// only what the writer has durably committed, and seal drains the
+    /// whole pipeline before the marker is written.
+    Correct,
+    /// Acks a window's events at submission time, before the writer's
+    /// sync completed — a crash between submit and commit then loses events
+    /// the caller was told are durable.
+    AckOnSubmit,
+    /// Skips the drain before submitting the next window, putting two
+    /// windows in flight at once — their `write` calls can interleave on
+    /// the shared segment file.
+    SubmitWithoutDrain,
+    /// Writes the seal marker without draining the in-flight window, so the
+    /// writer appends event frames *behind* the marker.
+    SealWithoutDrain,
+}
+
+#[derive(Debug, Default)]
+struct GroupState {
+    /// Windows handed to the writer.
+    submitted: u64,
+    /// Windows the writer has durably committed (write + sync done).
+    completed: u64,
+    /// Events covered by committed windows — what a crash preserves.
+    durable_events: u64,
+    /// Events the ingestion side has reported as acked-durable.
+    acked_events: u64,
+    /// Event counts of windows queued for the writer, oldest first.
+    queue: Vec<u64>,
+    /// Set once the seal marker is written.
+    sealed: bool,
+}
+
+/// The model pipeline (see [`GroupCommitVariant`]).
+pub struct ModelGroupCommit {
+    variant: GroupCommitVariant,
+    state: Mutex<GroupState>,
+    cv: Condvar,
+}
+
+impl ModelGroupCommit {
+    /// A fresh pipeline with nothing in flight.
+    pub fn new(variant: GroupCommitVariant) -> Self {
+        ModelGroupCommit {
+            variant,
+            state: Mutex::new(GroupState::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Wait until every submitted window has committed.  The returned guard
+    /// keeps the state locked so the caller's follow-up (ack, submit, seal)
+    /// is atomic with the drained observation — mirroring how the
+    /// production code holds the progress mutex across the check.
+    fn drain(&self) -> crate::sync::MutexGuard<'_, GroupState> {
+        let mut state = self.state.lock();
+        while state.completed < state.submitted {
+            self.cv.wait(&mut state);
+        }
+        state
+    }
+
+    /// Hand a full window of `events` frames to the writer thread.
+    pub fn submit_window(&self, events: u64) {
+        let mut state = if self.variant == GroupCommitVariant::SubmitWithoutDrain {
+            self.state.lock()
+        } else {
+            let mut drained = self.drain();
+            // Everything the writer committed is now safely synced: the
+            // events of every drained window may be acked.
+            drained.acked_events = drained.durable_events;
+            drained
+        };
+        if self.variant == GroupCommitVariant::AckOnSubmit {
+            // Buggy: tell the caller the window is durable before the
+            // writer has even seen it.
+            state.acked_events += events;
+        }
+        state.submitted += 1;
+        state.queue.push(events);
+        assert!(
+            state.submitted - state.completed <= 1,
+            "two group-commit windows in flight at once: their segment \
+             writes can interleave"
+        );
+        self.cv.notify_all();
+    }
+
+    /// Seal the segment: drain the pipeline, then write the marker and ack
+    /// the remainder.
+    pub fn seal(&self) {
+        let mut state = if self.variant == GroupCommitVariant::SealWithoutDrain {
+            self.state.lock()
+        } else {
+            self.drain()
+        };
+        state.sealed = true;
+        // The seal's own sync covers every frame already on the file.
+        state.acked_events = state.durable_events;
+        self.cv.notify_all();
+    }
+
+    /// The WAL-writer thread: commit `windows` windows, in order.
+    pub fn writer_loop(&self, windows: u64) {
+        for _ in 0..windows {
+            let mut state = self.state.lock();
+            while state.queue.is_empty() {
+                self.cv.wait(&mut state);
+            }
+            let events = state.queue.remove(0);
+            assert!(
+                !state.sealed,
+                "window committed after the seal marker: event frames land \
+                 behind the marker and recovery cannot parse the tail"
+            );
+            state.durable_events += events;
+            state.completed += 1;
+            self.cv.notify_all();
+        }
+    }
+
+    /// The crash probe: at any instant, every acked event must already be
+    /// covered by a completed (synced) window.
+    pub fn probe(&self) {
+        let state = self.state.lock();
+        assert!(
+            state.acked_events <= state.durable_events,
+            "{} events acked but only {} durable: an ack preceded the \
+             covering group sync",
+            state.acked_events,
+            state.durable_events
+        );
+    }
+}
+
+/// Scenario: the ingestion thread pushes two full windows and seals, the
+/// WAL-writer thread commits them, and the root thread probes the crash
+/// invariant throughout.  Checks, across every interleaving: at most one
+/// window is in flight, acks never outrun the covering sync, and no frame
+/// commits behind the seal marker.
+pub fn group_commit_scenario(variant: GroupCommitVariant) {
+    let log = Arc::new(ModelGroupCommit::new(variant));
+    let writer = {
+        let log = Arc::clone(&log);
+        thread::spawn(move || log.writer_loop(2))
+    };
+    let ingest = {
+        let log = Arc::clone(&log);
+        thread::spawn(move || {
+            log.submit_window(2);
+            log.submit_window(3);
+            log.seal();
+        })
+    };
+    // The probe races both threads; every interleaving against the ack and
+    // commit steps is explored.
+    log.probe();
+    log.probe();
+    ingest.join();
+    writer.join();
+    log.probe();
+    let state = log.state.lock();
+    assert_eq!(state.durable_events, 5, "both windows committed");
+    assert_eq!(state.acked_events, 5, "the seal acked the full segment");
+    assert!(state.sealed);
+}

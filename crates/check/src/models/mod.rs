@@ -14,8 +14,10 @@
 //! | [`injector`] | `ExecutorPool` scheduler (`crates/core/src/runtime.rs`) | atomic batch injection: every batch reaches all executor queues before any later batch |
 //! | [`backpressure`] | per-session staging queues | bounded staging never overfills and never wedges |
 //! | [`wal`] | `SegmentedWal` seal/poison + `Checkpointer` gating | checkpoints never cover an unsealed epoch; appends refused after seal failure |
+//! | [`groupcommit`] | `DurableLog` group-commit pipeline (`crates/recovery/src/coordinator.rs`) | one window in flight; acks never outrun the covering sync; seal drains before the marker |
 
 pub mod backpressure;
 pub mod barrier;
+pub mod groupcommit;
 pub mod injector;
 pub mod wal;

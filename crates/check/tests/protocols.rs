@@ -12,6 +12,7 @@ use tstream_check::models::backpressure::{producer_consumer_scenario, QueueVaria
 use tstream_check::models::barrier::{
     lockstep_scenario, poison_scenario, wraparound_scenario, BarrierVariant,
 };
+use tstream_check::models::groupcommit::{group_commit_scenario, GroupCommitVariant};
 use tstream_check::models::injector::{handoff_scenario, InjectorVariant};
 use tstream_check::models::wal::{seal_failure_scenario, WalVariant};
 use tstream_check::Model;
@@ -181,6 +182,57 @@ fn wal_seal_failure_without_poison_accepts_appends_past_the_torn_tail() {
         .expect_err("an unpoisoned writer must accept the forbidden append");
     assert!(
         violation.message.contains("the writer must be poisoned"),
+        "unexpected violation: {violation}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// WAL group-commit ack pipeline (crates/recovery/src/coordinator.rs)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn group_commit_ack_pipeline_passes_exhaustively() {
+    let report = Model::new()
+        .preemption_bound(2)
+        .check(|| group_commit_scenario(GroupCommitVariant::Correct));
+    assert!(report.complete);
+    assert!(report.schedules > 10, "the scenario must actually branch");
+}
+
+#[test]
+fn group_commit_ack_on_submit_loses_events_to_a_crash() {
+    let violation = Model::new()
+        .preemption_bound(2)
+        .try_check(|| group_commit_scenario(GroupCommitVariant::AckOnSubmit))
+        .expect_err("a probe racing the early ack must catch it");
+    assert!(
+        violation
+            .message
+            .contains("an ack preceded the covering group sync"),
+        "unexpected violation: {violation}"
+    );
+}
+
+#[test]
+fn group_commit_without_backpressure_overlaps_segment_writes() {
+    let violation = Model::new()
+        .preemption_bound(2)
+        .try_check(|| group_commit_scenario(GroupCommitVariant::SubmitWithoutDrain))
+        .expect_err("two windows in flight must trip the overlap guard");
+    assert!(
+        violation.message.contains("windows in flight at once"),
+        "unexpected violation: {violation}"
+    );
+}
+
+#[test]
+fn group_commit_seal_without_drain_buries_frames_behind_the_marker() {
+    let violation = Model::new()
+        .preemption_bound(2)
+        .try_check(|| group_commit_scenario(GroupCommitVariant::SealWithoutDrain))
+        .expect_err("an undrained seal must let a frame land behind the marker");
+    assert!(
+        violation.message.contains("behind the marker"),
         "unexpected violation: {violation}"
     );
 }

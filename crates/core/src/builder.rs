@@ -347,6 +347,7 @@ fn open_durable<'e, A: Application>(
             meta: Some(DurableMeta {
                 punctuation_interval: config.punctuation_interval.max(1) as u64,
             }),
+            group: config.group_commit(),
         })
         .open()?;
     // Restore the checkpointed state before the session resets the store's
@@ -354,7 +355,11 @@ fn open_durable<'e, A: Application>(
     if let Some(snapshot) = &recovered.snapshot {
         snapshot.restore(store)?;
     }
-    let log = Arc::new(recovered.log);
+    let mut log = recovered.log;
+    // Full group-commit windows flush on the engine's spawn-once WAL-writer
+    // thread instead of the ingestion thread.
+    log.attach_group_executor(Arc::new(engine.pool().wal_writer()));
+    let log = Arc::new(log);
     let mut session = Session::open(
         engine,
         app,
@@ -374,7 +379,10 @@ fn open_durable<'e, A: Application>(
     // replays as exactly one batch — forcing the partial dispatch at each
     // segment end reproduces the original batch boundaries, and with them
     // routing and results.  Nothing is re-appended to the WAL: these events
-    // are already durable.
+    // are already durable.  Replay mode excludes these batches from latency
+    // sampling and adaptive observations: their arrival instants are
+    // re-ingestion times, not original arrivals.
+    session.set_replay(true);
     for info in &recovered.sealed_segments {
         for payload in (hooks.read)(&info.path)? {
             if let Some(batch) = session.ingest(payload) {
@@ -388,12 +396,15 @@ fn open_durable<'e, A: Application>(
     // The unsealed tail re-enters the forming batch; the log keeps
     // appending to that very segment, so alignment is preserved.  If the
     // crash hit between batch completion and seal, the tail already holds a
-    // full batch: it seals now, then dispatches.
+    // full batch: it seals now, then dispatches.  Tail events keep the
+    // replay taint sticky: the mixed batch that live pushes later complete
+    // is excluded from sampling as a whole.
     if let Some(info) = &recovered.pending_segment {
         for payload in (hooks.read)(&info.path)? {
             session.ingest_logged(payload)?;
         }
     }
+    session.set_replay(false);
     Ok(session)
 }
 

@@ -183,9 +183,27 @@ impl OperationChain {
     pub fn reset_progress(&self) {
         self.processed_upto.store(0, Ordering::Release);
     }
+
+    /// Rebind a recycled chain to a new state, wiping every trace of the
+    /// previous batch.  Exclusive access (the pool holds the only `Arc`)
+    /// makes every reset a plain store — no synchronisation.
+    fn reset_for(&mut self, state: StateRef) {
+        self.state = state;
+        self.ops.clear();
+        *self.depended_upon.get_mut() = false;
+        self.dependencies.get_mut().clear();
+        *self.processed_upto.get_mut() = 0;
+    }
 }
 
 /// A pool of operation chains (one per state touched in the current batch).
+///
+/// Chains are **arena-recycled** across batches: `clear` returns every chain
+/// nothing else still references to a free list instead of dropping it, and
+/// `chain_for` rebinds a recycled chain (skip-list nodes' allocations and
+/// the dependency vector's capacity included) before allocating a fresh one.
+/// On the steady-state hot path a batch touching the same working set as the
+/// last one allocates nothing.
 #[derive(Debug)]
 pub struct ChainPool {
     shards: Vec<RwLock<HashMap<StateRef, Arc<OperationChain>>>>,
@@ -193,9 +211,16 @@ pub struct ChainPool {
     /// Per-batch task list (snapshot of chains) used during processing.
     tasks: Mutex<Vec<Arc<OperationChain>>>,
     next_task: AtomicUsize,
+    /// Recycled chains awaiting reuse (bounded by [`FREE_LIST_CAP`]).
+    free: Mutex<Vec<Arc<OperationChain>>>,
 }
 
 const POOL_SHARDS: usize = 32;
+
+/// Upper bound on recycled chains retained per pool: enough to cover a
+/// punctuation batch touching thousands of distinct states, small enough
+/// that an outlier batch cannot pin its peak footprint forever.
+const FREE_LIST_CAP: usize = 4096;
 
 impl Default for ChainPool {
     fn default() -> Self {
@@ -213,6 +238,7 @@ impl ChainPool {
             mask: (POOL_SHARDS - 1) as u64,
             tasks: Mutex::new(Vec::new()),
             next_task: AtomicUsize::new(0),
+            free: Mutex::new(Vec::new()),
         }
     }
 
@@ -225,7 +251,8 @@ impl ChainPool {
         (h & self.mask) as usize
     }
 
-    /// Get (or create) the chain for `state`.
+    /// Get (or create) the chain for `state`, preferring a recycled chain
+    /// over a fresh allocation.
     pub fn chain_for(&self, state: StateRef) -> Arc<OperationChain> {
         let shard = &self.shards[self.shard_of(state)];
         if let Some(chain) = shard.read().get(&state) {
@@ -234,8 +261,29 @@ impl ChainPool {
         let mut guard = shard.write();
         guard
             .entry(state)
-            .or_insert_with(|| Arc::new(OperationChain::new(state)))
+            .or_insert_with(|| self.allocate(state))
             .clone()
+    }
+
+    /// Pop a recycled chain and rebind it, or allocate a fresh one.
+    fn allocate(&self, state: StateRef) -> Arc<OperationChain> {
+        let mut free = self.free.lock();
+        while let Some(mut chain) = free.pop() {
+            if let Some(slot) = Arc::get_mut(&mut chain) {
+                slot.reset_for(state);
+                return chain;
+            }
+            // Still pinned by a stale external reference: unsafe to reuse,
+            // let it drop.  `clear` checks the count before recycling, so
+            // this arm is defensive only.
+        }
+        drop(free);
+        Arc::new(OperationChain::new(state))
+    }
+
+    /// Recycled chains currently waiting for reuse.
+    pub fn free_chains(&self) -> usize {
+        self.free.lock().len()
     }
 
     /// Get the chain for `state` if it exists.
@@ -314,13 +362,27 @@ impl ChainPool {
         }
     }
 
-    /// Drop every chain (end of batch).
+    /// Recycle every chain (end of batch): chains nothing else references
+    /// go back to the free list for the next batch; the rest (e.g. versioned
+    /// chains an executor still holds) drop normally.
     pub fn clear(&self) {
-        for shard in &self.shards {
-            shard.write().clear();
-        }
+        // The task list holds `Arc` clones — drop them first or every chain
+        // would look externally pinned.
         self.tasks.lock().clear();
         self.next_task.store(0, Ordering::Release);
+        // Drain the shards before touching the free list: `chain_for` locks
+        // shard-then-free-list, so holding the free list across a shard lock
+        // would invert the order.
+        let mut drained = Vec::new();
+        for shard in &self.shards {
+            drained.extend(shard.write().drain().map(|(_, chain)| chain));
+        }
+        let mut free = self.free.lock();
+        for chain in drained {
+            if free.len() < FREE_LIST_CAP && Arc::strong_count(&chain) == 1 {
+                free.push(chain);
+            }
+        }
     }
 }
 
@@ -612,6 +674,43 @@ mod tests {
         assert!(pool.get(StateRef::new(0, 3)).is_none());
         pool.clear();
         assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn cleared_chains_are_recycled_with_state_wiped() {
+        let pool = ChainPool::new();
+        let chain = pool.chain_for(StateRef::new(0, 7));
+        chain.insert(op(3, 0, 0, 7));
+        chain.mark_depended_upon();
+        chain.add_dependency(StateRef::new(0, 9));
+        chain.advance_processed(4);
+        let recycled_ptr = Arc::as_ptr(&chain);
+        drop(chain); // the pool must hold the only reference to recycle
+        pool.prepare_tasks();
+        pool.clear();
+        assert_eq!(pool.free_chains(), 1);
+
+        // The next batch's chain for a *different* state reuses the arena
+        // slot, fully reset.
+        let reused = pool.chain_for(StateRef::new(1, 42));
+        assert_eq!(Arc::as_ptr(&reused), recycled_ptr, "arena reuse");
+        assert_eq!(reused.state(), StateRef::new(1, 42));
+        assert!(reused.is_empty());
+        assert!(!reused.is_depended_upon());
+        assert!(!reused.has_dependencies());
+        assert_eq!(reused.processed_upto(), 0);
+        assert_eq!(pool.free_chains(), 0);
+    }
+
+    #[test]
+    fn externally_pinned_chains_are_not_recycled() {
+        let pool = ChainPool::new();
+        let held = pool.chain_for(StateRef::new(0, 1)); // keep an Arc alive
+        pool.chain_for(StateRef::new(0, 2));
+        pool.clear();
+        assert_eq!(pool.free_chains(), 1, "only the unpinned chain recycles");
+        assert!(held.is_empty(), "the held chain is untouched");
+        assert_eq!(held.state(), StateRef::new(0, 1));
     }
 
     #[test]

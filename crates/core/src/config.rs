@@ -1,6 +1,6 @@
 //! Configuration of the TStream engine.
 
-use tstream_recovery::FsyncPolicy;
+use tstream_recovery::{FsyncPolicy, GroupCommitConfig};
 use tstream_state::MAX_SHARDS;
 use tstream_stream::EventRouting;
 use tstream_txn::NumaModel;
@@ -121,6 +121,15 @@ pub struct EngineConfig {
     /// Between checkpoints the WAL alone carries durability, so larger
     /// values trade recovery replay time for run-time throughput.
     pub checkpoint_every: usize,
+    /// Group-commit window of durable sessions, in events: WAL appends
+    /// buffer in the writer's reusable frame buffer and flush (and, under
+    /// [`FsyncPolicy::Always`], sync) when this many events accumulate.
+    /// `1` degenerates to the pre-group-commit write-per-append behaviour.
+    pub group_window_events: u64,
+    /// Group-commit window of durable sessions, in buffered frame bytes:
+    /// the window also flushes when the frame buffer reaches this size, so
+    /// large payloads cannot grow the buffer unboundedly.
+    pub group_window_bytes: u64,
 }
 
 impl Default for EngineConfig {
@@ -136,6 +145,8 @@ impl Default for EngineConfig {
             pipeline_depth: 4,
             fsync: FsyncPolicy::default(),
             checkpoint_every: 1,
+            group_window_events: GroupCommitConfig::default().window_events,
+            group_window_bytes: GroupCommitConfig::default().window_bytes,
         }
     }
 }
@@ -211,6 +222,24 @@ impl EngineConfig {
         self.checkpoint_every = batches.max(1);
         self
     }
+
+    /// Set the group-commit window of durable sessions: the WAL flushes
+    /// (and under [`FsyncPolicy::Always`] syncs) whenever `events` appends
+    /// or `bytes` buffered frame bytes accumulate, whichever comes first
+    /// (both clamped to at least 1).  `(1, _)` restores write-per-append.
+    pub fn group_window(mut self, events: u64, bytes: u64) -> Self {
+        self.group_window_events = events.max(1);
+        self.group_window_bytes = bytes.max(1);
+        self
+    }
+
+    /// The group-commit window as the recovery layer's config type.
+    pub fn group_commit(&self) -> GroupCommitConfig {
+        GroupCommitConfig {
+            window_events: self.group_window_events,
+            window_bytes: self.group_window_bytes,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -227,6 +256,8 @@ mod tests {
         assert_eq!(cfg.pipeline_depth, 4);
         assert_eq!(cfg.fsync, FsyncPolicy::OnSeal);
         assert_eq!(cfg.checkpoint_every, 1);
+        assert_eq!(cfg.group_window_events, 128);
+        assert_eq!(cfg.group_window_bytes, 32 * 1024);
         assert_eq!(cfg.tstream.placement, ChainPlacement::SharedNothing);
         assert!(!cfg.tstream.work_stealing);
     }
@@ -265,6 +296,11 @@ mod tests {
             EngineConfig::default().shards(100_000).num_shards,
             MAX_SHARDS as usize
         );
+        let cfg = EngineConfig::default().group_window(0, 0);
+        assert_eq!((cfg.group_window_events, cfg.group_window_bytes), (1, 1));
+        let cfg = EngineConfig::default().group_window(256, 64 * 1024);
+        assert_eq!(cfg.group_commit().window_events, 256);
+        assert_eq!(cfg.group_commit().window_bytes, 64 * 1024);
     }
 
     #[test]

@@ -30,6 +30,7 @@
 //! behaviour as a differential baseline — both paths execute the same
 //! per-batch step functions, so they must produce identical results.
 
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
@@ -45,6 +46,7 @@ use tstream_stream::metrics::{Breakdown, Component};
 use tstream_stream::partition::EventRouting;
 use tstream_stream::sink::{LatencyStats, Sink};
 use tstream_stream::source::{BatchBuilder, SourceBatch};
+use tstream_txn::exec::{execute_transaction_body, ValueMode};
 use tstream_txn::{Application, EagerScheme, ExecEnv, StateTransaction, TxnBuilder, TxnDescriptor};
 
 use crate::chains::ChainPoolSet;
@@ -153,6 +155,11 @@ pub struct RunReport {
     /// Bytes appended to the write-ahead input log during the run (zero for
     /// non-durable runs) — the storage side of the durability tax.
     pub wal_bytes: u64,
+    /// Punctuation batches that took the conflict-free fast path (TStream
+    /// only): batches whose transactions have pairwise-disjoint read/write
+    /// sets skip decomposition, chain construction and restructuring
+    /// entirely and execute eagerly with per-event rollback.
+    pub fast_path_batches: u64,
 }
 
 impl RunReport {
@@ -188,6 +195,7 @@ pub(crate) struct ExecutorState {
     pub(crate) rejected: u64,
     pub(crate) chain_stats: ChainStats,
     pub(crate) checkpoints: u64,
+    pub(crate) fast_batches: u64,
 }
 
 /// One punctuation-delimited batch as the engine consumes it: events split
@@ -307,6 +315,7 @@ impl<A: Application> RunContext<A> {
         let mut rejected = 0;
         let mut chain_stats = ChainStats::default();
         let mut checkpoints = 0;
+        let mut fast_path_batches = 0;
         let mut sinks = Vec::with_capacity(states.len());
         for s in states {
             breakdown += s.breakdown;
@@ -316,6 +325,7 @@ impl<A: Application> RunContext<A> {
             rejected += s.rejected;
             chain_stats.merge(&s.chain_stats);
             checkpoints += s.checkpoints;
+            fast_path_batches += s.fast_batches;
             sinks.push(s.sink);
         }
         RunReport {
@@ -340,6 +350,7 @@ impl<A: Application> RunContext<A> {
                 Durability::Wal(log) => log.wal_bytes(),
                 _ => 0,
             },
+            fast_path_batches,
         }
     }
 
@@ -377,6 +388,31 @@ impl<A: Application> RunContext<A> {
         self.live_rejected.fetch_add(rejected, Ordering::Relaxed);
     }
 
+    /// Count and publish the outcome deltas of this executor's cached events
+    /// (only meaningful once their commit/abort decisions are final).
+    fn publish_cached_deltas(&self, cached: &[(&Event<A::Payload>, tstream_txn::BlotterHandle)]) {
+        let (mut committed, mut rejected) = (0u64, 0u64);
+        for (_, blotter) in cached {
+            if blotter.is_aborted() {
+                rejected += 1;
+            } else {
+                committed += 1;
+            }
+        }
+        self.publish_deltas(committed, rejected);
+    }
+
+    /// Record one completed event with the sink: replayed batches count but
+    /// are not latency-sampled (their arrival instant is the re-ingestion
+    /// time, not the original arrival).
+    fn sink_emit(sink: &mut Sink, replayed: bool, arrival: Instant) {
+        if replayed {
+            sink.emit_unsampled();
+        } else {
+            sink.emit(arrival);
+        }
+    }
+
     /// One batch of the eager (baseline) paradigm on executor `index`.
     fn eager_step(
         &self,
@@ -405,7 +441,7 @@ impl<A: Application> RunContext<A> {
             let _ = self.app.post_process(&event.payload, &blotter);
             if outcome.is_committed() && !blotter.is_aborted() {
                 state.committed += 1;
-                state.sink.emit(event.arrival);
+                Self::sink_emit(&mut state.sink, batch.replayed, event.arrival);
             } else {
                 state.rejected += 1;
                 state.sink.reject();
@@ -450,6 +486,9 @@ impl<A: Application> RunContext<A> {
         batch: &EngineBatch<A::Payload>,
         state: &mut ExecutorState,
     ) {
+        if batch.conflict_free {
+            return self.tstream_fast_step(index, env, batch, state);
+        }
         let assignment = self.pools.assignment(env.executor);
 
         // ---- Compute mode: pre-process events, decompose and postpone
@@ -542,7 +581,12 @@ impl<A: Application> RunContext<A> {
         // the leader rolls the batch back and replays it serially; the next
         // barrier below keeps everyone else waiting until the authoritative
         // results are in place.
-        if self.abort_log.replay_needed() {
+        //
+        // The flag is captured once here — it is stable between the
+        // processing barrier above and the leader's `clear_batch` below, so
+        // every executor takes the same barrier path.
+        let replay_needed = self.abort_log.replay_needed();
+        if replay_needed {
             let t_access = Instant::now();
             let (leader, waited) = self.barrier.wait();
             state.breakdown.charge(Component::Sync, waited);
@@ -556,6 +600,16 @@ impl<A: Application> RunContext<A> {
                 );
             }
             state.access_time += t_access.elapsed();
+        }
+
+        // Without a serial replay, commit/abort outcomes are already final
+        // (processing finished at the second barrier), so durable sessions
+        // publish their result deltas *before* the recycle barrier and the
+        // leader writes the epoch-stamped checkpoint inside the same round —
+        // the common case pays three barriers per batch, durable or not.
+        let durable = matches!(self.durability, Durability::Wal(_));
+        if durable && !replay_needed {
+            self.publish_cached_deltas(&cached);
         }
 
         // ---- Third barrier, then the leader recycles the chain pools (and
@@ -575,25 +629,18 @@ impl<A: Application> RunContext<A> {
                 }
                 state.breakdown.charge(Component::Others, t.elapsed());
             }
+            if durable && !replay_needed {
+                self.wal_leader_checkpoint(batch, state);
+            }
         }
 
-        // ---- Durable sessions add one more barrier round: commit/abort
-        // outcomes are final for *every* executor only after the barrier
-        // above (the leader's serial abort replay may rewrite them), so each
-        // executor publishes its result deltas now and the leader writes the
-        // epoch-stamped checkpoint once all deltas are in.  Post-processing
-        // below happens concurrently with the leader's disk write, exactly
-        // like the legacy snapshot path.
-        if matches!(self.durability, Durability::Wal(_)) {
-            let (mut committed, mut rejected) = (0u64, 0u64);
-            for (_, blotter) in &cached {
-                if blotter.is_aborted() {
-                    rejected += 1;
-                } else {
-                    committed += 1;
-                }
-            }
-            self.publish_deltas(committed, rejected);
+        // ---- Only a serially replayed batch still needs the extra barrier
+        // round: its outcomes were rewritten by the leader up to the barrier
+        // above, so the deltas can be published (and the checkpoint stamped)
+        // only now.  Post-processing below happens concurrently with the
+        // leader's disk write, exactly like the legacy snapshot path.
+        if durable && replay_needed {
+            self.publish_cached_deltas(&cached);
             let (leader, waited) = self.barrier.wait();
             state.breakdown.charge(Component::Sync, waited);
             if leader {
@@ -610,10 +657,93 @@ impl<A: Application> RunContext<A> {
                 state.sink.reject();
             } else {
                 state.committed += 1;
-                state.sink.emit(event.arrival);
+                Self::sink_emit(&mut state.sink, batch.replayed, event.arrival);
             }
         }
         state.compute_time += t_post.elapsed();
+    }
+
+    /// The conflict-free fast path (taken when ingestion classified the
+    /// batch's transactions as pairwise disjoint, see
+    /// [`batch_is_conflict_free`]): no decomposition, no chains, no
+    /// restructuring, no versioning.  Each executor runs its own events to
+    /// completion with per-event rollback — with disjoint read/write sets
+    /// every interleaving is conflict-equivalent to the timestamp order, so
+    /// this produces exactly the schedule dynamic restructuring would.
+    ///
+    /// Barriers are paid only when durability needs a quiescent point; a
+    /// plain conflict-free batch synchronises zero times.
+    fn tstream_fast_step(
+        &self,
+        index: usize,
+        env: ExecEnv,
+        batch: &EngineBatch<A::Payload>,
+        state: &mut ExecutorState,
+    ) {
+        if index == 0 {
+            state.fast_batches += 1;
+        }
+        let committed_before = state.committed;
+        let rejected_before = state.rejected;
+        let mut access = Duration::ZERO;
+        let t_batch = Instant::now();
+        for event in &batch.per_executor[index] {
+            let (txn, blotter) = build_transaction(self.app.as_ref(), event.ts, &event.payload);
+            if !txn.ops.is_empty() {
+                let t_access = Instant::now();
+                // An `Err` marks the blotter aborted and rolls back this
+                // event's own writes; disjointness keeps it from touching
+                // anything another event read or wrote.
+                let _ = execute_transaction_body(
+                    &txn.ops,
+                    &self.store,
+                    &env,
+                    ValueMode::Committed,
+                    &mut state.breakdown,
+                );
+                access += t_access.elapsed();
+            }
+            let _ = self.app.post_process(&event.payload, &blotter);
+            if blotter.is_aborted() {
+                state.rejected += 1;
+                state.sink.reject();
+            } else {
+                state.committed += 1;
+                Self::sink_emit(&mut state.sink, batch.replayed, event.arrival);
+            }
+        }
+        state.access_time += access;
+        state.compute_time += t_batch.elapsed().saturating_sub(access);
+
+        // Durability is the only reason to synchronise: checkpoints need
+        // every executor's writes (and, for WAL manifests, deltas) in place
+        // before the leader touches the disk.  A plain conflict-free batch
+        // pays no barrier at all.
+        match &self.durability {
+            Durability::None => {}
+            Durability::Snapshot(cp) => {
+                let (leader, waited) = self.barrier.wait();
+                state.breakdown.charge(Component::Sync, waited);
+                if leader {
+                    let t = Instant::now();
+                    if cp.checkpoint(&self.store).is_ok() {
+                        state.checkpoints += 1;
+                    }
+                    state.breakdown.charge(Component::Others, t.elapsed());
+                }
+            }
+            Durability::Wal(_) => {
+                self.publish_deltas(
+                    state.committed - committed_before,
+                    state.rejected - rejected_before,
+                );
+                let (leader, waited) = self.barrier.wait();
+                state.breakdown.charge(Component::Sync, waited);
+                if leader {
+                    self.wal_leader_checkpoint(batch, state);
+                }
+            }
+        }
     }
 }
 
@@ -769,6 +899,11 @@ impl Engine {
             }
         }
         batches.extend(builder.finish());
+        if matches!(scheme, Scheme::TStream) {
+            for batch in &mut batches {
+                batch.conflict_free = batch_is_conflict_free(&batch.descriptors);
+            }
+        }
 
         let started = Instant::now();
         let states: Vec<ExecutorState> = std::thread::scope(|scope| {
@@ -831,6 +966,29 @@ impl Engine {
             }),
         )
     }
+}
+
+/// Routing-time conflict classification: `true` when no state is touched by
+/// two different transactions of the batch (strict pairwise disjointness of
+/// the determined read/write sets).  Such a batch needs no ordering machinery
+/// at all — any execution order is conflict-equivalent to the timestamp
+/// order — so [`Scheme::TStream`] skips dynamic restructuring for it
+/// entirely.  Derived from the routing descriptors alone (feature **F2**:
+/// read/write sets are determined before any state is accessed), so the
+/// classification happens on the ingestion thread, off the executors.
+pub(crate) fn batch_is_conflict_free(descriptors: &[TxnDescriptor]) -> bool {
+    let mut seen: HashSet<tstream_stream::operator::StateRef> =
+        HashSet::with_capacity(descriptors.len());
+    for descriptor in descriptors {
+        // `touched()` dedupes within the transaction: an event reading and
+        // writing its own key stays conflict-free.
+        for state in descriptor.rw_set.touched() {
+            if !seen.insert(state) {
+                return false;
+            }
+        }
+    }
+    !descriptors.is_empty()
 }
 
 /// Build the state transaction for one event (pre-process + state access).

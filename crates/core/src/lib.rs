@@ -87,6 +87,7 @@ pub mod engine;
 pub mod restructure;
 pub mod runtime;
 pub mod session;
+pub mod walwriter;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveIntervalController, IntervalObservation};
 pub use builder::SessionBuilder;

@@ -40,6 +40,8 @@ use std::thread::JoinHandle;
 use crossbeam::channel::{bounded, Sender};
 use parking_lot::{Condvar, Mutex};
 
+use crate::walwriter::{WalWriter, WalWriterHandle};
+
 /// Process-wide count of executor threads ever spawned by any pool.
 static THREADS_SPAWNED: AtomicU64 = AtomicU64::new(0);
 
@@ -163,6 +165,10 @@ pub struct ExecutorPool {
     injected_batches: AtomicU64,
     #[cfg(debug_assertions)]
     delivered: Vec<AtomicU64>,
+    /// The pool's background WAL writer, spawned lazily on the first durable
+    /// session and reused by every durable session afterwards (spawn-once,
+    /// like the executors).  Joined on pool drop.
+    wal_writer: Mutex<Option<WalWriter>>,
 }
 
 impl ExecutorPool {
@@ -199,7 +205,22 @@ impl ExecutorPool {
             injected_batches: AtomicU64::new(0),
             #[cfg(debug_assertions)]
             delivered: (0..executors).map(|_| AtomicU64::new(0)).collect(),
+            wal_writer: Mutex::new(None),
         }
+    }
+
+    /// Handle to the pool's WAL-writer thread, spawning it on first use.
+    /// Every durable session of the engine shares this one thread; the pool
+    /// joins it on drop, so its lifecycle is as audited as the executors'.
+    pub fn wal_writer(&self) -> WalWriterHandle {
+        let mut writer = self.wal_writer.lock();
+        writer.get_or_insert_with(WalWriter::spawn).handle()
+    }
+
+    /// Whether the WAL-writer thread has been spawned (test instrumentation
+    /// for the spawn-once property).
+    pub fn wal_writer_spawned(&self) -> bool {
+        self.wal_writer.lock().is_some()
     }
 
     /// Register a session with the scheduler: it gets a staging queue of
@@ -450,6 +471,26 @@ mod tests {
         drop(pool);
         assert_eq!(after_submits, 3);
         assert_eq!(hits.load(Ordering::SeqCst), 15);
+    }
+
+    #[test]
+    fn the_wal_writer_spawns_once_and_runs_jobs_in_order() {
+        use tstream_recovery::FlushExecutor;
+        let pool = ExecutorPool::new(2, 2);
+        assert!(!pool.wal_writer_spawned(), "spawned lazily, not eagerly");
+        let first = pool.wal_writer();
+        let second = pool.wal_writer();
+        assert!(pool.wal_writer_spawned());
+        assert_eq!(pool.spawned(), 2, "the writer is not an executor");
+        let log: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(Vec::new()));
+        for (handle, tag) in [(&first, 1u32), (&second, 2), (&first, 3)] {
+            let log = log.clone();
+            handle.submit(Box::new(move || log.lock().push(tag)));
+        }
+        drop(first);
+        drop(second);
+        drop(pool); // joins the writer: every submitted job has run
+        assert_eq!(*log.lock(), vec![1, 2, 3], "FIFO submission order");
     }
 
     #[test]

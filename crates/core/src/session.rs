@@ -332,15 +332,24 @@ impl<'e, A: Application> Session<'e, A> {
     pub(crate) fn ingest_logged(&mut self, payload: A::Payload) -> StateResult<()> {
         if let Some(batch) = self.ingest(payload) {
             let events = batch.events();
+            let replayed = batch.replayed;
             let sealed = match &self.durable {
                 Some(parts) => parts.log.seal().map(|_| ()),
                 None => Ok(()),
             };
             self.dispatch(batch);
-            self.observe_batch(events);
+            self.observe_batch(events, replayed);
             sealed?;
         }
         Ok(())
+    }
+
+    /// Mark subsequent ingests as recovery replays (or back to live events);
+    /// replayed batches are excluded from latency sampling and adaptive
+    /// observations.  The builder's durable open toggles this around the WAL
+    /// replay loops.
+    pub(crate) fn set_replay(&mut self, replaying: bool) {
+        self.builder.set_replay(replaying);
     }
 
     /// Stamp and route one event *without* dispatching: the completed batch
@@ -452,7 +461,19 @@ impl<'e, A: Application> Session<'e, A> {
     /// configured, the p99 over the results sunk so far — becomes an
     /// observation, and the suggested interval takes effect for the next
     /// batch.
-    fn observe_batch(&mut self, batch_events: usize) {
+    ///
+    /// Replayed batches are excluded entirely: their throughput reflects
+    /// replay speed, not live ingestion, and feeding it to the controller
+    /// would tune the interval against a workload that no longer exists.
+    /// The measurement window restarts at the next live batch.
+    fn observe_batch(&mut self, batch_events: usize, replayed: bool) {
+        if replayed {
+            if let Some(adaptive) = self.adaptive.as_mut() {
+                adaptive.window_started = None;
+                adaptive.window_events = 0;
+            }
+            return;
+        }
         let interval = self.builder.interval();
         // p99 across the per-executor sinks (only when the controller needs
         // it: the percentile scan is not free).
@@ -502,7 +523,13 @@ impl<'e, A: Application> Session<'e, A> {
     /// poisoned-barrier panics are recorded only as secondary and dropped).
     /// Every job still marks completion, which keeps `flush` finite and the
     /// pool threads alive for the other sessions.
-    fn dispatch(&mut self, batch: EngineBatch<A::Payload>) {
+    fn dispatch(&mut self, mut batch: EngineBatch<A::Payload>) {
+        // Routing-time conflict classification (TStream only): a batch whose
+        // read/write sets are pairwise disjoint takes the restructuring-free
+        // fast path on the executors.
+        if matches!(self.shared.ctx.scheme, Scheme::TStream) {
+            batch.conflict_free = crate::engine::batch_is_conflict_free(&batch.descriptors);
+        }
         let batch = Arc::new(batch);
         let jobs: Vec<_> = (0..self.executors())
             .map(|e| {

@@ -28,14 +28,40 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 use tstream_state::checkpoint::{Checkpoint, CheckpointManifest, Checkpointer};
 use tstream_state::codec::Reader;
 use tstream_state::{StateError, StateResult, StateStore, StoreSnapshot};
 
-use crate::wal::{self, FsyncPolicy, SegmentInfo, SegmentedWal, WalPayload};
+use crate::wal::{self, FsyncPolicy, GroupCommitConfig, SegmentInfo, SegmentedWal, WalPayload};
+
+/// Something that can run a WAL flush job on another thread.
+///
+/// The recovery crate owns the group-commit *protocol* but not the threads:
+/// the engine's executor pool implements this trait with its spawn-once WAL
+/// writer, and tooling that has no runtime simply attaches nothing — the
+/// [`DurableLog`] then flushes windows inline on the appending thread.
+///
+/// Jobs submitted through one executor must run **in submission order, one
+/// at a time**: the log relies on that FIFO ordering as its flush barrier.
+pub trait FlushExecutor: Send + Sync {
+    /// Enqueue `job` to run on the executor's writer thread.
+    fn submit(&self, job: Box<dyn FnOnce() + Send + 'static>);
+}
+
+/// Shared ack state of the group-commit protocol: how many windows were
+/// handed to the flush executor and how many have finished (synced under
+/// [`FsyncPolicy::Always`]).  `error` latches the first write failure so
+/// the appending thread surfaces it on the next append or seal.
+#[derive(Debug, Default)]
+struct GroupProgress {
+    submitted: u64,
+    completed: u64,
+    error: Option<String>,
+}
 
 /// Sub-directory holding checkpoint files.
 pub const CHECKPOINT_SUBDIR: &str = "checkpoints";
@@ -95,6 +121,10 @@ pub struct RecoveryOptions {
     /// Run parameters to stamp into the directory on first use and validate
     /// on every reopen; `None` skips the check (raw-log tooling).
     pub meta: Option<DurableMeta>,
+    /// Group-commit window bounds: appends buffer in memory and the window
+    /// flushes (and under [`FsyncPolicy::Always`] syncs) when either bound
+    /// is reached, or at the latest when the segment seals.
+    pub group: GroupCommitConfig,
 }
 
 impl Default for RecoveryOptions {
@@ -104,6 +134,7 @@ impl Default for RecoveryOptions {
             checkpoint_every: 1,
             retain: 2,
             meta: None,
+            group: GroupCommitConfig::default(),
         }
     }
 }
@@ -218,6 +249,7 @@ impl RecoveryCoordinator {
         // silently truncated).
         let floor = covered_epoch.map_or(0, |c| c + 1);
         let mut wal = SegmentedWal::open(self.root.join(WAL_SUBDIR), self.options.fsync, floor)?;
+        wal.set_group_commit(self.options.group);
         // Finish a truncation the crash interrupted: segments the checkpoint
         // covers are redundant.
         if let Some(epoch) = covered_epoch {
@@ -280,7 +312,7 @@ impl RecoveryCoordinator {
             sealed_segments,
             pending_segment,
             log: DurableLog {
-                wal: Mutex::new(wal),
+                wal: Arc::new(Mutex::new(wal)),
                 checkpointer,
                 base,
                 epoch_base,
@@ -288,6 +320,8 @@ impl RecoveryCoordinator {
                 // Everything below this is sealed on disk: the checkpoint-
                 // covered epochs plus the surviving (dense) sealed segments.
                 sealed_below: AtomicU64::new(epoch_base + sealed_count),
+                executor: None,
+                progress: Arc::new((Mutex::new(GroupProgress::default()), Condvar::new())),
             },
         })
     }
@@ -296,10 +330,13 @@ impl RecoveryCoordinator {
 /// The live durability handle of an engine run.
 ///
 /// Appends/seals come from the ingestion thread; checkpoints and truncation
-/// from the executor leader at the end-of-batch barrier.
-#[derive(Debug)]
+/// from the executor leader at the end-of-batch barrier.  When a
+/// [`FlushExecutor`] is attached, full group-commit windows are written (and
+/// synced, per policy) on its writer thread while the ingestion thread keeps
+/// buffering the next window; at most one window is in flight, and `seal`
+/// drains the pipeline before stamping the batch durable.
 pub struct DurableLog {
-    wal: Mutex<SegmentedWal>,
+    wal: Arc<Mutex<SegmentedWal>>,
     checkpointer: Checkpointer,
     base: RecoveredProgress,
     epoch_base: u64,
@@ -309,6 +346,24 @@ pub struct DurableLog {
     /// for an epoch whose seal *failed* would raise the recovery floor past
     /// an unsealed tail and brick the directory.
     sealed_below: AtomicU64,
+    /// Background writer for full group-commit windows; `None` flushes
+    /// inline on the appending thread.
+    executor: Option<Arc<dyn FlushExecutor>>,
+    /// Submitted/completed window counters plus the latched first error.
+    progress: Arc<(Mutex<GroupProgress>, Condvar)>,
+}
+
+impl std::fmt::Debug for DurableLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableLog")
+            .field("checkpointer", &self.checkpointer)
+            .field("base", &self.base)
+            .field("epoch_base", &self.epoch_base)
+            .field("checkpoint_every", &self.checkpoint_every)
+            .field("sealed_below", &self.sealed_below)
+            .field("has_executor", &self.executor.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl DurableLog {
@@ -331,15 +386,98 @@ impl DurableLog {
         (epoch + 1).is_multiple_of(self.checkpoint_every)
     }
 
+    /// Attach the background writer for full group-commit windows.  Called
+    /// once by the engine before the log is shared; without it, windows
+    /// flush inline on the appending thread (tooling, tests).
+    pub fn attach_group_executor(&mut self, executor: Arc<dyn FlushExecutor>) {
+        self.executor = Some(executor);
+    }
+
     /// Append one event to the active WAL segment (creating it if needed).
+    ///
+    /// The frame is encoded straight into the writer's reusable buffer; if
+    /// that fills the group-commit window, the window is handed to the
+    /// attached [`FlushExecutor`] (or flushed inline when none is attached).
     pub fn append<P: WalPayload>(&self, payload: &P) -> StateResult<()> {
-        let mut buf = Vec::with_capacity(64);
-        payload.encode_wal(&mut buf);
-        self.wal.lock().append(&buf)
+        let mut wal = self.wal.lock();
+        let window_full = wal.append_deferred(|buf| payload.encode_wal(buf))?;
+        if !window_full {
+            return Ok(());
+        }
+        if self.executor.is_none() {
+            return wal.flush_window();
+        }
+        let window = wal.take_window()?;
+        drop(wal);
+        if let Some(window) = window {
+            self.submit_window(window)?;
+        }
+        Ok(())
+    }
+
+    /// Hand one full window to the writer thread, first waiting out the
+    /// previous one (at most one window is in flight — natural backpressure
+    /// when the disk cannot keep up with ingestion).
+    fn submit_window(&self, window: wal::PendingWindow) -> StateResult<()> {
+        let executor = self.executor.as_ref().expect("checked by caller");
+        self.drain_in_flight()?;
+        {
+            let (lock, _) = &*self.progress;
+            lock.lock().submitted += 1;
+        }
+        let wal = Arc::clone(&self.wal);
+        let progress = Arc::clone(&self.progress);
+        executor.submit(Box::new(move || {
+            let failure = match window.commit() {
+                Ok(buf) => {
+                    wal.lock().recycle_window_buffer(buf);
+                    None
+                }
+                Err(e) => {
+                    // The file may hold a torn frame; appending behind it
+                    // would corrupt the tail.
+                    wal.lock().poison();
+                    Some(e.to_string())
+                }
+            };
+            let (lock, cvar) = &*progress;
+            let mut p = lock.lock();
+            if p.error.is_none() {
+                p.error = failure;
+            }
+            p.completed += 1;
+            cvar.notify_all();
+        }));
+        Ok(())
+    }
+
+    /// Wait until every submitted window has committed; surface the first
+    /// writer-thread failure as an I/O error.
+    fn drain_in_flight(&self) -> StateResult<()> {
+        if self.executor.is_none() {
+            return Ok(());
+        }
+        let (lock, cvar) = &*self.progress;
+        let mut p = lock.lock();
+        while p.completed < p.submitted {
+            cvar.wait(&mut p);
+        }
+        if let Some(e) = p.error.as_ref() {
+            return Err(StateError::Io(format!(
+                "WAL group-commit write failed: {e}"
+            )));
+        }
+        Ok(())
     }
 
     /// Seal the active segment at a punctuation boundary; returns its epoch.
+    ///
+    /// Drains the in-flight window first — the seal marker must land behind
+    /// every event frame — then flushes the buffered remainder, syncs, and
+    /// renames (the WAL writer does all three).  Only after the covering
+    /// sync does the batch count as acked-durable.
     pub fn seal(&self) -> StateResult<u64> {
+        self.drain_in_flight()?;
         let epoch = self.wal.lock().seal()?;
         self.sealed_below.fetch_max(epoch + 1, Ordering::Release);
         Ok(epoch)
@@ -389,6 +527,19 @@ impl DurableLog {
     /// The underlying checkpointer (for inspection in tests and tools).
     pub fn checkpointer(&self) -> &Checkpointer {
         &self.checkpointer
+    }
+}
+
+impl Drop for DurableLog {
+    /// Let the in-flight window land before the WAL's own drop flushes the
+    /// buffered remainder behind it — frames must stay in append order even
+    /// on the shutdown path.
+    fn drop(&mut self) {
+        let (lock, cvar) = &*self.progress;
+        let mut p = lock.lock();
+        while p.completed < p.submitted {
+            cvar.wait(&mut p);
+        }
     }
 }
 

@@ -36,9 +36,10 @@ pub mod coordinator;
 pub mod wal;
 
 pub use coordinator::{
-    DurableLog, DurableMeta, RecoveredProgress, RecoveredState, RecoveryCoordinator,
+    DurableLog, DurableMeta, FlushExecutor, RecoveredProgress, RecoveredState, RecoveryCoordinator,
     RecoveryOptions,
 };
 pub use wal::{
-    list_segments, read_segment, DecodedSegment, FsyncPolicy, SegmentInfo, SegmentedWal, WalPayload,
+    list_segments, read_segment, DecodedSegment, FsyncPolicy, GroupCommitConfig, PendingWindow,
+    SegmentInfo, SegmentedWal, WalPayload,
 };

@@ -75,6 +75,60 @@ impl FsyncPolicy {
     }
 }
 
+/// Bounds of one **group-commit window**.
+///
+/// Appended events accumulate in a writer-owned frame buffer; the buffer is
+/// flushed to the segment file (and, under [`FsyncPolicy::Always`], fsynced)
+/// when either bound is reached, so the cost of a `write` syscall — and of a
+/// sync — is amortized over the whole window instead of being paid per
+/// event.  Under `Always` an event is **acked by the group sync that covers
+/// it**: a crash can lose at most the tail of the current (un-synced)
+/// window, which no caller was told is durable.  Sealing always flushes and
+/// (per policy) syncs whatever is buffered, so a sealed batch is never
+/// partial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupCommitConfig {
+    /// Flush when this many events are buffered.
+    pub window_events: u64,
+    /// Flush when the buffered frames reach this many bytes.
+    pub window_bytes: u64,
+}
+
+impl Default for GroupCommitConfig {
+    fn default() -> Self {
+        GroupCommitConfig {
+            window_events: 128,
+            window_bytes: 32 * 1024,
+        }
+    }
+}
+
+/// A full group-commit window handed off for out-of-line writing: the frames
+/// to append, a duplicated handle of the active segment file, and whether
+/// the policy wants the window synced.  Produced by
+/// [`SegmentedWal::take_window`]; consumed by [`PendingWindow::commit`] on
+/// whatever thread performs the I/O (the engine's WAL-writer thread in
+/// production).
+#[derive(Debug)]
+pub struct PendingWindow {
+    frames: Vec<u8>,
+    file: File,
+    sync: bool,
+}
+
+impl PendingWindow {
+    /// Write (and per policy sync) the window.  Returns the drained frame
+    /// buffer so the owner can hand it back via
+    /// [`SegmentedWal::recycle_window_buffer`].
+    pub fn commit(mut self) -> std::io::Result<Vec<u8>> {
+        self.file.write_all(&self.frames)?;
+        if self.sync {
+            self.file.sync_data()?;
+        }
+        Ok(self.frames)
+    }
+}
+
 /// How a payload type serialises itself into (and out of) WAL frames.
 ///
 /// Implementations reuse the primitives of [`tstream_state::codec`]; the
@@ -304,9 +358,19 @@ struct ActiveSegment {
 pub struct SegmentedWal {
     directory: PathBuf,
     fsync: FsyncPolicy,
+    group: GroupCommitConfig,
     active: Option<ActiveSegment>,
     next_epoch: u64,
     bytes_written: u64,
+    /// Reusable frame buffer: appends encode into it in place (no per-event
+    /// allocation, no per-event `write` syscall); it drains to the file once
+    /// per group-commit window and at seal.
+    frame_buf: Vec<u8>,
+    /// Events currently sitting in `frame_buf`.
+    buffered_records: u64,
+    /// Drained window buffer handed back for reuse (ping-pong with
+    /// `frame_buf` when windows are written out-of-line).
+    spare_buf: Option<Vec<u8>>,
     /// Set when a seal failed mid-way: the tail file may carry a partial
     /// seal marker, so appends are refused until the directory is reopened.
     poisoned: bool,
@@ -378,9 +442,13 @@ impl SegmentedWal {
         let mut wal = SegmentedWal {
             directory,
             fsync,
+            group: GroupCommitConfig::default(),
             active: None,
             next_epoch: sealed_max.map_or(first_epoch, |m| (m + 1).max(first_epoch)),
             bytes_written: 0,
+            frame_buf: Vec::new(),
+            buffered_records: 0,
+            spare_buf: None,
             poisoned: false,
         };
         if let Some((epoch, path, scan)) = tail {
@@ -431,9 +499,35 @@ impl SegmentedWal {
         self.bytes_written
     }
 
+    /// Replace the group-commit window bounds (defaults otherwise).
+    pub fn set_group_commit(&mut self, group: GroupCommitConfig) {
+        self.group = group;
+    }
+
+    /// Current group-commit window bounds.
+    pub fn group_commit(&self) -> GroupCommitConfig {
+        self.group
+    }
+
     /// Append one encoded event to the active segment, creating the segment
-    /// if this is the first event since the last seal.
+    /// if this is the first event since the last seal.  The frame lands in
+    /// the reusable in-memory buffer; when the group-commit window fills,
+    /// the buffer is flushed (and under [`FsyncPolicy::Always`] synced)
+    /// inline.
     pub fn append(&mut self, payload: &[u8]) -> StateResult<()> {
+        let full = self.append_deferred(|buf| buf.extend_from_slice(payload))?;
+        if full {
+            self.flush_window()?;
+        }
+        Ok(())
+    }
+
+    /// Buffer one event frame, encoding the payload directly into the frame
+    /// buffer via `encode` (no intermediate allocation).  Returns whether
+    /// the group-commit window is now full; the caller then either calls
+    /// [`SegmentedWal::flush_window`] inline or hands the window to another
+    /// thread via [`SegmentedWal::take_window`].
+    pub fn append_deferred(&mut self, encode: impl FnOnce(&mut Vec<u8>)) -> StateResult<bool> {
         if self.poisoned {
             return Err(StateError::Io(
                 "WAL poisoned by an earlier failed seal; reopen the directory to recover"
@@ -463,22 +557,95 @@ impl SegmentedWal {
             self.next_epoch = epoch + 1;
         }
         let active = self.active.as_mut().expect("just ensured");
-        let mut frame = Vec::with_capacity(5 + payload.len());
-        frame.push(FRAME_EVENT);
-        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        frame.extend_from_slice(payload);
-        active.file.write_all(&frame)?;
+        let buf = &mut self.frame_buf;
+        buf.push(FRAME_EVENT);
+        let len_at = buf.len();
+        buf.extend_from_slice(&[0u8; 4]);
+        encode(buf);
+        let payload_len = buf.len() - len_at - 4;
+        buf[len_at..len_at + 4].copy_from_slice(&(payload_len as u32).to_le_bytes());
         active.records += 1;
-        self.bytes_written += frame.len() as u64;
-        if self.fsync == FsyncPolicy::Always {
-            active.file.sync_data()?;
-        }
-        Ok(())
+        self.buffered_records += 1;
+        self.bytes_written += (5 + payload_len) as u64;
+        Ok(self.buffered_records >= self.group.window_events
+            || self.frame_buf.len() as u64 >= self.group.window_bytes)
     }
 
-    /// Seal the active segment at a punctuation boundary: write the seal
-    /// marker, force it to disk (per policy) and rename the file into its
-    /// sealed name.  Returns the sealed epoch.
+    /// Flush the buffered window to the segment file with one `write`, and
+    /// force it to disk under [`FsyncPolicy::Always`].  A failed flush
+    /// poisons the writer — the file may hold a torn frame, and appending
+    /// behind it would corrupt the tail.
+    pub fn flush_window(&mut self) -> StateResult<()> {
+        if self.frame_buf.is_empty() {
+            return Ok(());
+        }
+        let Some(active) = self.active.as_mut() else {
+            return Ok(());
+        };
+        let outcome = (|| {
+            active.file.write_all(&self.frame_buf)?;
+            if self.fsync == FsyncPolicy::Always {
+                active.file.sync_data()?;
+            }
+            Ok(())
+        })();
+        self.frame_buf.clear();
+        self.buffered_records = 0;
+        if outcome.is_err() {
+            self.poison();
+        }
+        outcome
+    }
+
+    /// Hand the buffered window off for out-of-line writing: the frames move
+    /// out (the spare buffer, if any, slides in so appends keep a warm
+    /// allocation) together with a duplicated file handle.  Returns `None`
+    /// when nothing is buffered.  The caller owns ordering: no other write
+    /// to the segment may happen until [`PendingWindow::commit`] ran.
+    pub fn take_window(&mut self) -> StateResult<Option<PendingWindow>> {
+        if self.frame_buf.is_empty() {
+            return Ok(None);
+        }
+        let Some(active) = self.active.as_ref() else {
+            return Ok(None);
+        };
+        let file = active.file.try_clone()?;
+        let spare = self.spare_buf.take().unwrap_or_default();
+        let frames = std::mem::replace(&mut self.frame_buf, spare);
+        self.buffered_records = 0;
+        Ok(Some(PendingWindow {
+            frames,
+            file,
+            sync: self.fsync == FsyncPolicy::Always,
+        }))
+    }
+
+    /// Hand a drained window buffer back for reuse by the next window.
+    pub fn recycle_window_buffer(&mut self, mut buf: Vec<u8>) {
+        buf.clear();
+        self.spare_buf = Some(buf);
+    }
+
+    /// Poison the writer: the tail file is in an unknown state (torn frame,
+    /// partial seal marker), so appends and seals are refused until the
+    /// directory is reopened and healed.
+    pub fn poison(&mut self) {
+        self.poisoned = true;
+        self.active = None;
+        self.frame_buf.clear();
+        self.buffered_records = 0;
+    }
+
+    /// Seal the active segment at a punctuation boundary: flush the buffered
+    /// window, write the seal marker, force the file to disk (per policy),
+    /// rename it into its sealed name, and fsync the directory so the rename
+    /// itself is durable.  Returns the sealed epoch.
+    ///
+    /// Without the directory sync a crash after `seal` returned could
+    /// resurrect the segment under its unsealed name — losing an epoch the
+    /// caller was told is durable — so it is skipped only under
+    /// [`FsyncPolicy::Never`], mirroring the checkpoint path's file+dir
+    /// fsync.
     ///
     /// A failed seal **poisons** the writer: the segment may hold a partial
     /// or un-renamed seal marker, so further appends (which would interleave
@@ -486,23 +653,40 @@ impl SegmentedWal {
     /// directory is reopened — `open` truncates a torn marker back to the
     /// last complete event and heals a fully written one.
     pub fn seal(&mut self) -> StateResult<u64> {
+        if self.poisoned {
+            return Err(StateError::Io(
+                "WAL poisoned by an earlier failed seal; reopen the directory to recover"
+                    .to_owned(),
+            ));
+        }
         let Some(active) = self.active.as_mut() else {
             return Err(StateError::InvalidDefinition(
                 "sealing a WAL with no active segment".to_owned(),
             ));
         };
-        let mut marker = Vec::with_capacity(9);
-        marker.push(FRAME_SEAL);
-        marker.extend_from_slice(&active.records.to_le_bytes());
+        let mut marker = [0u8; 9];
+        marker[0] = FRAME_SEAL;
+        marker[1..].copy_from_slice(&active.records.to_le_bytes());
+        let directory = &self.directory;
+        let frame_buf = &mut self.frame_buf;
+        let fsync = self.fsync;
         let sealed = (|| {
+            if !frame_buf.is_empty() {
+                active.file.write_all(frame_buf)?;
+            }
             active.file.write_all(&marker)?;
-            if self.fsync != FsyncPolicy::Never {
+            if fsync != FsyncPolicy::Never {
                 active.file.sync_data()?;
             }
-            let sealed_path = self.directory.join(sealed_name(active.epoch));
+            let sealed_path = directory.join(sealed_name(active.epoch));
             fs::rename(&active.path, &sealed_path)?;
+            if fsync != FsyncPolicy::Never {
+                File::open(directory)?.sync_all()?;
+            }
             Ok(active.epoch)
         })();
+        self.frame_buf.clear();
+        self.buffered_records = 0;
         match sealed {
             Ok(epoch) => {
                 self.bytes_written += marker.len() as u64;
@@ -533,6 +717,22 @@ impl SegmentedWal {
             removed += 1;
         }
         Ok(removed)
+    }
+}
+
+impl Drop for SegmentedWal {
+    /// Best-effort flush of a still-buffered window so a clean shutdown
+    /// (process exit without seal) leaves the complete frames on the file
+    /// for tail replay.  No sync: an unsealed tail was never acked as
+    /// durable beyond the policy's per-window guarantee, and erroring in
+    /// drop would mask the original failure.
+    fn drop(&mut self) {
+        if self.poisoned || self.frame_buf.is_empty() {
+            return;
+        }
+        if let Some(active) = self.active.as_mut() {
+            let _ = active.file.write_all(&self.frame_buf);
+        }
     }
 }
 

@@ -44,6 +44,16 @@ impl Sink {
         self.emitted += 1;
     }
 
+    /// Record a successfully processed event *without* a latency sample.
+    ///
+    /// Recovery replay uses this: a replayed event's "arrival" is its
+    /// re-ingestion instant, not the original arrival, so sampling it would
+    /// pollute the live latency distribution (and anything observing it,
+    /// like adaptive punctuation).  The event still counts as emitted.
+    pub fn emit_unsampled(&mut self) {
+        self.emitted += 1;
+    }
+
     /// Record a rejected event (aborted transaction surfaced to the user,
     /// Section IV-C.2 "Handling Transaction Abort").
     pub fn reject(&mut self) {
@@ -173,6 +183,23 @@ mod tests {
         assert_eq!(stats.max(), Some(Duration::from_millis(100)));
         let mean = stats.mean().unwrap();
         assert!(mean > Duration::from_millis(49) && mean < Duration::from_millis(52));
+    }
+
+    #[test]
+    fn unsampled_emissions_count_but_leave_no_latency_trace() {
+        let mut sink = Sink::new();
+        sink.emit_with_latency(Duration::from_millis(3));
+        sink.emit_unsampled();
+        sink.emit_unsampled();
+        assert_eq!(sink.emitted(), 3);
+        assert_eq!(
+            sink.percentile_so_far(99.0),
+            Some(Duration::from_millis(3)),
+            "unsampled events must not perturb the percentile scan"
+        );
+        let stats = Sink::merge([sink]);
+        assert_eq!(stats.emitted(), 3);
+        assert_eq!(stats.samples(), 1);
     }
 
     #[test]

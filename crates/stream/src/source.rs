@@ -31,6 +31,17 @@ pub struct SourceBatch<P, D> {
     /// The punctuation closing this batch: every event of the batch has
     /// `ts < punctuation.ts`, and no later event has a smaller timestamp.
     pub punctuation: Punctuation,
+    /// Whether any event of this batch was re-ingested during recovery
+    /// replay ([`BatchBuilder::set_replay`]).  Replayed events count toward
+    /// throughput but carry re-ingestion arrival instants, so consumers must
+    /// not sample their latency.  Sticky per batch: a mixed tail batch
+    /// (replayed events followed by live ones) is marked replayed as a whole.
+    pub replayed: bool,
+    /// Whether the consumer determined the batch's transactions to be
+    /// pairwise conflict-free (disjoint read/write sets).  `false` until the
+    /// consumer classifies the batch — the builder itself never inspects
+    /// descriptors.
+    pub conflict_free: bool,
 }
 
 impl<P, D> SourceBatch<P, D> {
@@ -63,6 +74,10 @@ pub struct BatchBuilder<P, D> {
     descriptors: Vec<D>,
     in_batch: usize,
     batches_emitted: u64,
+    /// Whether pushes are currently recovery replays ([`Self::set_replay`]).
+    replaying: bool,
+    /// Whether the forming batch holds at least one replayed event.
+    batch_replayed: bool,
 }
 
 impl<P, D> std::fmt::Debug for BatchBuilder<P, D> {
@@ -91,7 +106,17 @@ impl<P, D> BatchBuilder<P, D> {
             descriptors: Vec::with_capacity(interval),
             in_batch: 0,
             batches_emitted: 0,
+            replaying: false,
+            batch_replayed: false,
         }
+    }
+
+    /// Mark subsequent pushes as recovery replays (or back to live events).
+    /// Any batch holding at least one replayed event is emitted with
+    /// [`SourceBatch::replayed`] set, including a mixed tail batch that live
+    /// events later complete.
+    pub fn set_replay(&mut self, replaying: bool) {
+        self.replaying = replaying;
     }
 
     /// Number of executors batches are split over.
@@ -134,6 +159,7 @@ impl<P, D> BatchBuilder<P, D> {
         let (target, descriptor) = (self.router)(&event, self.in_batch);
         self.descriptors.push(descriptor);
         self.per_executor[target % self.executors].push(event);
+        self.batch_replayed |= self.replaying;
         self.in_batch += 1;
         // `>=`, not `==`: a shrinking adaptive interval may undercut an
         // already larger forming batch.
@@ -163,10 +189,13 @@ impl<P, D> BatchBuilder<P, D> {
             std::mem::replace(&mut self.descriptors, Vec::with_capacity(self.interval));
         self.in_batch = 0;
         self.batches_emitted += 1;
+        let replayed = std::mem::take(&mut self.batch_replayed);
         SourceBatch {
             per_executor,
             descriptors,
             punctuation,
+            replayed,
+            conflict_free: false,
         }
     }
 }
@@ -306,6 +335,26 @@ mod tests {
         let total: usize = batch.per_executor.iter().map(Vec::len).sum();
         assert_eq!(total, 3);
         assert_eq!(batch.per_executor.len(), 2);
+    }
+
+    #[test]
+    fn replay_mode_taints_whole_batches_including_the_mixed_tail() {
+        let mut builder = round_robin_builder(1, 2);
+        // Batch 1 forms entirely under replay.
+        builder.set_replay(true);
+        assert!(builder.push(0).is_none());
+        let replayed = builder.push(1).unwrap();
+        assert!(replayed.replayed);
+        assert!(!replayed.conflict_free, "classification is the consumer's");
+        // Batch 2 starts with a replayed tail event, then live pushes land.
+        builder.push(2);
+        builder.set_replay(false);
+        let mixed = builder.push(3).unwrap();
+        assert!(mixed.replayed, "one replayed event taints the whole batch");
+        // Batch 3 is entirely live again.
+        builder.push(4);
+        let live = builder.push(5).unwrap();
+        assert!(!live.replayed);
     }
 
     #[test]

@@ -1,0 +1,93 @@
+#!/usr/bin/env sh
+# Guard the perf trajectory: re-run the quick benchmark sweep and fail if
+# the plain or the durable TStream throughput of any app regressed more
+# than the allowed fraction against the committed BENCH_engine.json.
+#
+# Compared rows (fresh keps must be >= (1 - TOLERANCE) x committed keps):
+#   * plain points:  scheme == TStream, one per app;
+#   * durability:    the default-group-window row per app (the window-1 row
+#     is a reference measurement of the old per-event-sync tax, dominated
+#     by raw fsync latency, and is not guarded).
+#
+# The committed snapshot is regenerated on the same class of host
+# (scripts/bench_snapshot.sh), so a straight keps comparison with a 20 %
+# tolerance absorbs run-to-run noise while still catching a real
+# regression such as losing the group-commit window or re-introducing a
+# per-event barrier round.
+#
+# Usage:
+#   scripts/bench_guard.sh                 # tolerance 20 %
+#   TOLERANCE=0.3 scripts/bench_guard.sh   # custom tolerance
+set -eu
+
+cd "$(dirname "$0")/.."
+
+TOLERANCE="${TOLERANCE:-0.20}"
+COMMITTED="BENCH_engine.json"
+FRESH="${FRESH:-/tmp/bench_guard_fresh.json}"
+
+if [ ! -f "$COMMITTED" ]; then
+    echo "bench_guard: no committed $COMMITTED to compare against" >&2
+    exit 1
+fi
+
+cargo run --release -p tstream-bench --bin bench_snapshot -- --quick --out "$FRESH"
+
+# "plain <app> <keps>" for every TStream point, and "durable <app> <keps>"
+# for every durability row that is not the window-1 reference.  One JSON
+# object per line after splitting on '{' keeps this a plain-awk parse (the
+# snapshot writer emits flat one-line objects; no jq in the container).
+rows() {
+    tr '{' '\n' < "$1" | awk '
+        /"scheme": "TStream"/ && /"keps":/ && !/durable_keps/ {
+            app = ""; keps = ""
+            n = split($0, parts, ",")
+            for (i = 1; i <= n; i++) {
+                if (parts[i] ~ /"app":/)  { gsub(/[^A-Z]/, "", parts[i]); app = parts[i] }
+                if (parts[i] ~ /"keps":/) { gsub(/[^0-9.]/, "", parts[i]); keps = parts[i] }
+            }
+            if (app != "" && keps != "") print "plain", app, keps
+        }
+        /durable_keps/ {
+            app = ""; window = ""; keps = ""
+            n = split($0, parts, ",")
+            for (i = 1; i <= n; i++) {
+                if (parts[i] ~ /"app":/)          { gsub(/[^A-Z]/, "", parts[i]); app = parts[i] }
+                if (parts[i] ~ /"group_window":/) { gsub(/[^0-9]/, "", parts[i]); window = parts[i] }
+                if (parts[i] ~ /"durable_keps":/) { gsub(/[^0-9.]/, "", parts[i]); keps = parts[i] }
+            }
+            if (app != "" && keps != "" && window != "1") print "durable", app, keps
+        }'
+}
+
+rows "$COMMITTED" > /tmp/bench_guard_old.txt
+rows "$FRESH" > /tmp/bench_guard_new.txt
+
+awk -v tol="$TOLERANCE" '
+    FNR == NR { old[$1 "/" $2] = $3; next }
+    { new[$1 "/" $2] = $3 }
+    END {
+        bad = 0
+        checked = 0
+        for (key in old) {
+            if (!(key in new)) {
+                printf "bench_guard: row %s missing from the fresh run\n", key
+                bad = 1
+                continue
+            }
+            checked++
+            floor = old[key] * (1 - tol)
+            verdict = (new[key] + 0 >= floor) ? "ok" : "REGRESSED"
+            printf "%-18s committed %8.2f  fresh %8.2f  floor %8.2f  %s\n", key, old[key], new[key], floor, verdict
+            if (verdict == "REGRESSED") bad = 1
+        }
+        if (checked == 0) {
+            print "bench_guard: no comparable rows found in the committed snapshot"
+            bad = 1
+        }
+        exit bad
+    }' /tmp/bench_guard_old.txt /tmp/bench_guard_new.txt || {
+    echo "bench_guard: FAILED (tolerance $TOLERANCE)" >&2
+    exit 1
+}
+echo "bench_guard: OK (tolerance $TOLERANCE)"

@@ -27,7 +27,10 @@ use tstream_apps::{
     SchemeKind,
 };
 use tstream_core::prelude::*;
-use tstream_recovery::{list_segments, FsyncPolicy, RecoveryCoordinator, WalPayload};
+use tstream_recovery::{
+    list_segments, read_segment, FsyncPolicy, GroupCommitConfig, RecoveryCoordinator, SegmentedWal,
+    WalPayload,
+};
 use tstream_state::StateError;
 
 const INTERVAL: usize = 100;
@@ -455,4 +458,256 @@ fn every_generated_payload_round_trips_through_the_wal_codec() {
     assert_round_trips(&tstream_apps::tp::generate(&spec), |e, out| {
         e.encode_wal(out)
     });
+}
+
+// ---------------------------------------------------------------------------
+// Kill points *inside* the group-commit window.
+//
+// The group-commit ack contract: under `FsyncPolicy::Always` an event is
+// acked-durable only once its covering window (or the seal) has synced, and
+// a sealed batch is acked only once the seal's rename is covered by the
+// directory fsync.  A kill inside the window may lose *buffered, unacked*
+// frames but never a synced window and never a sealed batch; `OnSeal` keeps
+// its batch-level contract unchanged.  The kills below use `mem::forget` so
+// the writer's best-effort drop flush never runs — exactly the state a
+// `kill -9` leaves on disk.
+// ---------------------------------------------------------------------------
+
+fn group_wal(dir: &std::path::Path, policy: FsyncPolicy, window_events: u64) -> SegmentedWal {
+    let mut wal = SegmentedWal::open(dir, policy, 0).unwrap();
+    wal.set_group_commit(GroupCommitConfig {
+        window_events,
+        window_bytes: 1 << 20,
+    });
+    wal
+}
+
+fn encoded<P: WalPayload>(events: &[P]) -> Vec<Vec<u8>> {
+    events
+        .iter()
+        .map(|e| {
+            let mut out = Vec::new();
+            e.encode_wal(&mut out);
+            out
+        })
+        .collect()
+}
+
+#[test]
+fn kill_with_an_unsynced_buffered_tail_keeps_every_synced_window() {
+    // 10 events through a 4-event window under `Always`: windows sync after
+    // events 4 and 8, events 9-10 sit in the in-memory buffer.  Those two
+    // were never acked (their window never synced), so the kill may lose
+    // them — but nothing from the synced windows.
+    let dir = temp_dir("kill-unsynced-tail");
+    fs::create_dir_all(&dir).unwrap();
+    let events = tstream_apps::gs::generate(&WorkloadSpec::default().events(10).seed(0xF1));
+    let mut wal = group_wal(&dir, FsyncPolicy::Always, 4);
+    for event in &events {
+        let full = wal.append_deferred(|buf| event.encode_wal(buf)).unwrap();
+        if full {
+            wal.flush_window().unwrap();
+        }
+    }
+    assert_eq!(wal.pending_records(), 10, "all ten counted pre-kill");
+    std::mem::forget(wal); // kill -9: no drop flush
+
+    let mut healed = group_wal(&dir, FsyncPolicy::Always, 4);
+    assert_eq!(
+        healed.pending_records(),
+        8,
+        "both synced windows survive; the unacked buffered tail is gone"
+    );
+    // The healed tail accepts the retransmitted remainder and seals whole.
+    for event in &events[8..] {
+        let full = healed.append_deferred(|buf| event.encode_wal(buf)).unwrap();
+        if full {
+            healed.flush_window().unwrap();
+        }
+    }
+    let epoch = healed.seal().unwrap();
+    let decoded =
+        read_segment::<tstream_apps::gs::GsEvent>(&dir.join(format!("segment-{epoch:012}.twal")))
+            .unwrap();
+    assert!(decoded.sealed);
+    assert_eq!(
+        encoded(&decoded.events),
+        encoded(&events),
+        "bit-exact replay"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn kill_after_the_window_synced_but_before_seal_replays_in_full() {
+    // Two full 4-event windows, both synced under `Always`, buffer empty —
+    // then the kill lands before any seal.  Every synced frame must replay.
+    let dir = temp_dir("kill-synced-unsealed");
+    fs::create_dir_all(&dir).unwrap();
+    let events = tstream_apps::gs::generate(&WorkloadSpec::default().events(10).seed(0xF2));
+    let mut wal = group_wal(&dir, FsyncPolicy::Always, 4);
+    for event in &events[..8] {
+        let full = wal.append_deferred(|buf| event.encode_wal(buf)).unwrap();
+        if full {
+            wal.flush_window().unwrap();
+        }
+    }
+    std::mem::forget(wal);
+
+    let mut healed = group_wal(&dir, FsyncPolicy::Always, 4);
+    assert_eq!(
+        healed.pending_records(),
+        8,
+        "synced-but-unsealed tail intact"
+    );
+    for event in &events[8..] {
+        let full = healed.append_deferred(|buf| event.encode_wal(buf)).unwrap();
+        if full {
+            healed.flush_window().unwrap();
+        }
+    }
+    let epoch = healed.seal().unwrap();
+    let decoded =
+        read_segment::<tstream_apps::gs::GsEvent>(&dir.join(format!("segment-{epoch:012}.twal")))
+            .unwrap();
+    assert_eq!(encoded(&decoded.events), encoded(&events));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn kill_that_undoes_the_seal_rename_is_healed_without_losing_the_batch() {
+    // The rename is the last durability step of a seal; without the
+    // directory fsync a crash can resurrect the segment under its unsealed
+    // name.  Recovery must re-recognise the embedded seal marker and heal
+    // the rename — the acked batch is never lost.
+    let dir = temp_dir("kill-mid-rename");
+    fs::create_dir_all(&dir).unwrap();
+    let events = tstream_apps::gs::generate(&WorkloadSpec::default().events(6).seed(0xF3));
+    let mut wal = group_wal(&dir, FsyncPolicy::Always, 4);
+    for event in &events {
+        let full = wal.append_deferred(|buf| event.encode_wal(buf)).unwrap();
+        if full {
+            wal.flush_window().unwrap();
+        }
+    }
+    let epoch = wal.seal().unwrap();
+    drop(wal);
+    // Undo the rename: the file carries a valid seal marker but the
+    // directory entry reverted to the open name.
+    let sealed_path = dir.join(format!("segment-{epoch:012}.twal"));
+    let open_path = dir.join(format!("segment-{epoch:012}.twal.open"));
+    fs::rename(&sealed_path, &open_path).unwrap();
+
+    let healed = group_wal(&dir, FsyncPolicy::Always, 4);
+    assert_eq!(healed.pending_records(), 0, "no open tail after healing");
+    assert_eq!(healed.next_epoch(), epoch + 1);
+    drop(healed);
+    let segments = list_segments(&dir).unwrap();
+    assert_eq!(segments.len(), 1);
+    assert!(segments[0].sealed, "the seal rename was replayed");
+    let decoded = read_segment::<tstream_apps::gs::GsEvent>(&sealed_path).unwrap();
+    assert_eq!(
+        encoded(&decoded.events),
+        encoded(&events),
+        "acked batch intact"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn on_seal_kill_inside_the_window_keeps_sealed_batches_unchanged() {
+    // `OnSeal` acks at batch granularity: a sealed epoch must survive any
+    // later kill; unsealed frames carry no ack and may lose the buffered
+    // (unflushed) remainder.
+    let dir = temp_dir("kill-onseal-window");
+    fs::create_dir_all(&dir).unwrap();
+    let events = tstream_apps::gs::generate(&WorkloadSpec::default().events(11).seed(0xF4));
+    let mut wal = group_wal(&dir, FsyncPolicy::OnSeal, 4);
+    for event in &events[..6] {
+        let full = wal.append_deferred(|buf| event.encode_wal(buf)).unwrap();
+        if full {
+            wal.flush_window().unwrap();
+        }
+    }
+    let sealed_epoch = wal.seal().unwrap();
+    // Next batch: one full window flushed (write, no sync under OnSeal),
+    // one event still buffered when the kill lands.
+    for event in &events[6..] {
+        let full = wal.append_deferred(|buf| event.encode_wal(buf)).unwrap();
+        if full {
+            wal.flush_window().unwrap();
+        }
+    }
+    assert_eq!(wal.pending_records(), 5);
+    std::mem::forget(wal);
+
+    let healed = group_wal(&dir, FsyncPolicy::OnSeal, 4);
+    let decoded = read_segment::<tstream_apps::gs::GsEvent>(
+        &dir.join(format!("segment-{sealed_epoch:012}.twal")),
+    )
+    .unwrap();
+    assert!(decoded.sealed);
+    assert_eq!(
+        encoded(&decoded.events),
+        encoded(&events[..6]),
+        "the acked (sealed) batch is byte-identical"
+    );
+    assert_eq!(
+        healed.pending_records(),
+        4,
+        "the flushed window replays; only the single buffered frame is lost"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn replayed_batches_are_excluded_from_latency_stats_but_not_counts() {
+    // Crash after batch 3 of 5 with checkpoints every 2 batches: the
+    // checkpoint at epoch 1 covers 200 events, so recovery genuinely
+    // replays batch 3 (100 events) through the engine before the 200 live
+    // events arrive.  A replayed event's "arrival" is the re-ingestion
+    // instant — sampling it would poison the latency distribution with
+    // replay-speed values — so replayed batches must be counted (emitted)
+    // but never sampled.
+    let dir = temp_dir("replay-latency");
+    let options = options(1, 0xF5);
+    let (partial, _) = run_benchmark_durable(
+        AppKind::Gs,
+        SchemeKind::TStream,
+        &options,
+        &dir,
+        Some(3 * INTERVAL),
+    )
+    .unwrap();
+    assert_eq!(partial.events, (3 * INTERVAL) as u64);
+    assert_eq!(partial.rejected, 0, "GS commits everything");
+    assert_eq!(
+        partial.latency.samples() as u64,
+        partial.committed,
+        "a fresh run samples every committed event"
+    );
+
+    let (report, _) =
+        run_benchmark_durable(AppKind::Gs, SchemeKind::TStream, &options, &dir, None).unwrap();
+    assert_eq!(
+        report.events, EVENTS as u64,
+        "replayed events still counted"
+    );
+    assert_eq!(
+        report.committed, EVENTS as u64,
+        "every event commits exactly once across the crash"
+    );
+    let live = (EVENTS - 3 * INTERVAL) as u64; // events pushed after recovery
+    let replayed = INTERVAL as u64; // batch 3, past the checkpoint floor
+    assert_eq!(
+        report.latency.samples() as u64,
+        live,
+        "replayed batches must leave no latency samples"
+    );
+    assert_eq!(
+        report.latency.emitted(),
+        live + replayed,
+        "replayed events are emitted (counted) even though unsampled"
+    );
+    let _ = fs::remove_dir_all(&dir);
 }
