@@ -1,0 +1,207 @@
+//! Micro-benchmarks of the slot-resolved event path: routing, chain
+//! construction, and temp-version access.
+//!
+//! Routing resolves every `StateRef` of a transaction's determined
+//! read/write set to its record slot once, on the ingestion thread
+//! (overlapped with execution of the previous batch); execution then does a
+//! direct slot access per operation instead of a sharded, `RwLock`-guarded
+//! hash lookup.  These benches isolate the three costs that trade: the
+//! one-time resolution, the per-op execution under each addressing mode,
+//! and the chain/temp-version machinery the resolved slots feed.
+//!
+//! Run `cargo bench -p tstream-bench --bench event_path`; pass `--quick`
+//! (as CI does) for a smaller, smoke-test-sized input set.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tstream_apps::gs::{self, RECORD_TABLE};
+use tstream_apps::workload::WorkloadSpec;
+use tstream_core::ChainPool;
+use tstream_state::{Record, TableId, Value};
+use tstream_txn::{StateTransaction, TxnBuilder, INVALID_SLOT};
+
+/// `--quick` shrinks every input so the whole binary finishes in seconds;
+/// CI runs this as a smoke test, real measurements use the full sizes.
+fn quick() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+fn scaled(full: usize) -> usize {
+    if quick() {
+        (full / 5).max(64)
+    } else {
+        full
+    }
+}
+
+/// Deterministic read-only transactions of `txn_len` distinct keys each,
+/// striding over the key space like a mildly skewed workload would.
+fn read_txns(events: usize, keys: u64, txn_len: u64) -> Vec<StateTransaction> {
+    (0..events)
+        .map(|ts| {
+            let mut txn = TxnBuilder::new(ts as u64);
+            for i in 0..txn_len {
+                txn.read(RECORD_TABLE, (ts as u64 * 7 + i * 131) % keys);
+            }
+            txn.build().0
+        })
+        .collect()
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let keys = scaled(10_000) as u64;
+    let events = scaled(1_000);
+    let store = gs::build_store(&WorkloadSpec::default().keys(keys).seed(0xB0));
+    let table = TableId(RECORD_TABLE);
+
+    let mut group = c.benchmark_group("routing");
+
+    // The one-time routing cost: resolve the whole read/write set of every
+    // transaction against the store index.
+    group.bench_function("resolve_slots_once", |b| {
+        let mut txns = read_txns(events, keys, 10);
+        b.iter(|| {
+            for txn in &mut txns {
+                txn.resolve_slots(|s| {
+                    store
+                        .try_slot_of(TableId(s.table), s.key)
+                        .unwrap_or(INVALID_SLOT)
+                });
+            }
+        })
+    });
+
+    // Per-op execution, unresolved: every access pays the sharded hash
+    // index lookup.
+    group.bench_function("execute_keyed_lookup", |b| {
+        let txns = read_txns(events, keys, 10);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for txn in &txns {
+                for op in &txn.ops {
+                    let record = store.record(table, op.target.key).expect("known key");
+                    acc += record.with_committed(|v| v.approx_size());
+                }
+            }
+            black_box(acc)
+        })
+    });
+
+    // Per-op execution, slot-resolved: direct slot access.
+    group.bench_function("execute_slot_resolved", |b| {
+        let mut txns = read_txns(events, keys, 10);
+        for txn in &mut txns {
+            txn.resolve_slots(|s| {
+                store
+                    .try_slot_of(TableId(s.table), s.key)
+                    .unwrap_or(INVALID_SLOT)
+            });
+        }
+        b.iter(|| {
+            let mut acc = 0usize;
+            for txn in &txns {
+                for op in &txn.ops {
+                    let record = store.record_at(table, op.slot);
+                    acc += record.with_committed(|v| v.approx_size());
+                }
+            }
+            black_box(acc)
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_chain_construction(c: &mut Criterion) {
+    let keys = scaled(2_048) as u64;
+    let events = scaled(1_000);
+    let txns = read_txns(events, keys, 10);
+
+    let mut group = c.benchmark_group("chain_construction");
+    group.sample_size(10);
+
+    // Steady state: chains recycled across batches through the pool's free
+    // list, inserts hitting the in-timestamp-order append fast path.
+    group.bench_function("recycled_pool", |b| {
+        let pool = ChainPool::new();
+        b.iter(|| {
+            for txn in &txns {
+                for op in &txn.ops {
+                    pool.chain_for(op.target).insert(op.clone());
+                }
+            }
+            pool.clear();
+            black_box(pool.free_chains())
+        })
+    });
+
+    // The alternative the recycling avoids: a fresh pool (and fresh chain
+    // allocations) for every batch.
+    group.bench_function("fresh_pool_per_batch", |b| {
+        b.iter(|| {
+            let pool = ChainPool::new();
+            for txn in &txns {
+                for op in &txn.ops {
+                    pool.chain_for(op.target).insert(op.clone());
+                }
+            }
+            black_box(pool.free_chains())
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_temp_version_access(c: &mut Criterion) {
+    let n = scaled(1_024) as u64;
+    let mut group = c.benchmark_group("temp_version_access");
+
+    // The depended-upon chain life cycle: install a temp version per write,
+    // serve timestamp-consistent reads, collapse into the committed value
+    // at the end of the batch.
+    group.bench_function("install_read_collapse", |b| {
+        let record = Record::new(Value::Long(0));
+        b.iter(|| {
+            for ts in 0..n {
+                record.install_version(ts, Value::Long(ts as i64));
+            }
+            let mut acc = 0i64;
+            for ts in 0..n {
+                acc += record.read_visible(ts + 1).as_long().unwrap_or(0);
+            }
+            record.collapse_versions();
+            black_box(acc)
+        })
+    });
+
+    // Committed reads on the conflict-free fast path: cloning the value out
+    // versus borrowing it under the read guard.
+    let payload = Record::new(Value::Str("x".repeat(32).into()));
+    group.bench_function("read_committed_clone", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for _ in 0..n {
+                acc += payload.read_committed().approx_size();
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("with_committed_borrow", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for _ in 0..n {
+                acc += payload.with_committed(|v| v.approx_size());
+            }
+            black_box(acc)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_routing,
+    bench_chain_construction,
+    bench_temp_version_access
+);
+criterion_main!(benches);

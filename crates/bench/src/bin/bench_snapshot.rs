@@ -45,6 +45,21 @@ struct Point {
     compute_share: f64,
 }
 
+/// Per-stage wall-time split of a single-core TStream run — where the
+/// non-compute time goes.  `compute_share` here is the same figure as the
+/// matching throughput point's; the stage columns explain its denominator.
+struct BreakdownPoint {
+    app: &'static str,
+    compute_ms: f64,
+    state_access_ms: f64,
+    useful_ms: f64,
+    sync_ms: f64,
+    lock_ms: f64,
+    rma_ms: f64,
+    others_ms: f64,
+    compute_share: f64,
+}
+
 struct ConcurrencyPoint {
     sessions: usize,
     apps: String,
@@ -241,11 +256,26 @@ fn main() {
     };
 
     let mut points = Vec::new();
+    let mut breakdowns = Vec::new();
     for app in AppKind::ALL {
         for &cores in &cfg.core_sweep() {
             let events = events_for(app, cores, cfg.quick);
             for scheme in SchemeKind::ALL {
                 let report = run_point(app, scheme, cores, events, 500);
+                if cores == 1 && matches!(scheme, SchemeKind::TStream) {
+                    let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+                    breakdowns.push(BreakdownPoint {
+                        app: app.label(),
+                        compute_ms: ms(report.compute_time),
+                        state_access_ms: ms(report.state_access_time),
+                        useful_ms: ms(report.breakdown.useful),
+                        sync_ms: ms(report.breakdown.sync),
+                        lock_ms: ms(report.breakdown.lock),
+                        rma_ms: ms(report.breakdown.rma),
+                        others_ms: ms(report.breakdown.others),
+                        compute_share: report.compute_mode_share(),
+                    });
+                }
                 let ms = |p: f64| {
                     report
                         .latency
@@ -328,6 +358,31 @@ fn main() {
             p.sessions, p.apps, p.events, p.aggregate_keps
         );
         json.push_str(if i + 1 < concurrency.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"breakdown\": [\n");
+    for (i, p) in breakdowns.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"app\": \"{}\", \"scheme\": \"TStream\", \"cores\": 1, \
+             \"compute_ms\": {:.3}, \"state_access_ms\": {:.3}, \"useful_ms\": {:.3}, \
+             \"sync_ms\": {:.3}, \"lock_ms\": {:.3}, \"rma_ms\": {:.3}, \
+             \"others_ms\": {:.3}, \"compute_share\": {:.4}}}",
+            p.app,
+            p.compute_ms,
+            p.state_access_ms,
+            p.useful_ms,
+            p.sync_ms,
+            p.lock_ms,
+            p.rma_ms,
+            p.others_ms,
+            p.compute_share
+        );
+        json.push_str(if i + 1 < breakdowns.len() {
             ",\n"
         } else {
             "\n"

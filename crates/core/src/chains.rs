@@ -36,6 +36,61 @@ use crate::config::ChainPlacement;
 /// unique even if a transaction touches the same state twice.
 pub type ChainKey = (Timestamp, u32);
 
+/// `BuildHasher` for the pool shard maps: an Fx-style multiplicative word
+/// hash.  `StateRef` keys are a pair of machine words on the per-operation
+/// routing hot path, where the default SipHash costs more than the map probe
+/// itself; hash flooding is no concern for keys the applications themselves
+/// generate.
+#[derive(Debug, Default, Clone)]
+struct FxBuildHasher;
+
+impl std::hash::BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher(0)
+    }
+}
+
+#[derive(Debug)]
+struct FxHasher(u64);
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl std::hash::Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+}
+
 /// Sentinel meaning "every operation of this chain has been processed".
 const FULLY_PROCESSED: u64 = u64::MAX;
 
@@ -48,6 +103,9 @@ pub struct OperationChain {
     /// this chain's state — processing then keeps temporary versions so
     /// dependent reads observe timestamp-consistent values.
     depended_upon: AtomicBool,
+    /// Mirror of `!dependencies.is_empty()`, readable without the lock: the
+    /// schedulers test this once per chain on the processing hot path.
+    has_deps: AtomicBool,
     /// States this chain's operations depend on (chain-level dependency
     /// edges, used by the round-based scheduler).
     dependencies: Mutex<Vec<StateRef>>,
@@ -63,6 +121,7 @@ impl OperationChain {
             state,
             ops: ConcurrentSkipList::new(),
             depended_upon: AtomicBool::new(false),
+            has_deps: AtomicBool::new(false),
             dependencies: Mutex::new(Vec::new()),
             processed_upto: AtomicU64::new(0),
         }
@@ -74,9 +133,18 @@ impl OperationChain {
     }
 
     /// Insert a decomposed operation (concurrent, lock-free).
+    ///
+    /// Batch events are decomposed in timestamp order, so in the common case
+    /// this is an O(1) append onto the chain's tail (the skip list's append
+    /// fast path); out-of-order keys — a replay tail interleaving with fresh
+    /// events — fall back to a sorted insertion.
     pub fn insert(&self, op: Operation) {
         let key = (op.ts, op.op_index);
-        self.ops.insert(key, op);
+        let inserted = self.ops.insert(key, op);
+        debug_assert!(
+            inserted,
+            "chain keys (ts, op_index) are unique within a batch"
+        );
     }
 
     /// Number of operations currently in the chain.
@@ -110,6 +178,7 @@ impl OperationChain {
         if !deps.contains(&dep) {
             deps.push(dep);
         }
+        self.has_deps.store(true, Ordering::Release);
     }
 
     /// Distinct states this chain depends on.
@@ -117,9 +186,10 @@ impl OperationChain {
         self.dependencies.lock().clone()
     }
 
-    /// Whether this chain declares any dependency.
+    /// Whether this chain declares any dependency.  Lock-free: the schedulers
+    /// ask this once per chain while routing work.
     pub fn has_dependencies(&self) -> bool {
-        !self.dependencies.lock().is_empty()
+        self.has_deps.load(Ordering::Acquire)
     }
 
     /// Timestamp of the latest *write* operation strictly before `ts`, if
@@ -191,6 +261,7 @@ impl OperationChain {
         self.state = state;
         self.ops.clear();
         *self.depended_upon.get_mut() = false;
+        *self.has_deps.get_mut() = false;
         self.dependencies.get_mut().clear();
         *self.processed_upto.get_mut() = 0;
     }
@@ -206,7 +277,7 @@ impl OperationChain {
 /// last one allocates nothing.
 #[derive(Debug)]
 pub struct ChainPool {
-    shards: Vec<RwLock<HashMap<StateRef, Arc<OperationChain>>>>,
+    shards: Vec<RwLock<HashMap<StateRef, Arc<OperationChain>, FxBuildHasher>>>,
     mask: u64,
     /// Per-batch task list (snapshot of chains) used during processing.
     tasks: Mutex<Vec<Arc<OperationChain>>>,
@@ -233,7 +304,7 @@ impl ChainPool {
     pub fn new() -> Self {
         ChainPool {
             shards: (0..POOL_SHARDS)
-                .map(|_| RwLock::new(HashMap::new()))
+                .map(|_| RwLock::new(HashMap::default()))
                 .collect(),
             mask: (POOL_SHARDS - 1) as u64,
             tasks: Mutex::new(Vec::new()),
@@ -333,6 +404,18 @@ impl ChainPool {
         let tasks = self.tasks.lock();
         let idx = self.next_task.fetch_add(1, Ordering::AcqRel);
         tasks.get(idx).cloned()
+    }
+
+    /// Claim every not-yet-claimed task in one step.  A single-member
+    /// processing group owns the whole list anyway; taking it in one lock
+    /// acquisition avoids one mutex round-trip per chain.
+    pub fn claim_all_remaining(&self) -> Vec<Arc<OperationChain>> {
+        let tasks = self.tasks.lock();
+        let start = self
+            .next_task
+            .swap(tasks.len(), Ordering::AcqRel)
+            .min(tasks.len());
+        tasks[start..].to_vec()
     }
 
     /// Static share of the task list for member `member` of a processing
@@ -590,8 +673,10 @@ mod tests {
             ts,
             op_index,
             target: StateRef::new(table, key),
+            slot: tstream_txn::INVALID_SLOT,
             access: AccessType::Read,
             dependency: None,
+            dep_slot: tstream_txn::INVALID_SLOT,
             func: None,
             blotter: EventBlotter::new(1),
         }

@@ -30,7 +30,6 @@
 //! behaviour as a differential baseline — both paths execute the same
 //! per-batch step functions, so they must produce identical results.
 
-use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
@@ -38,7 +37,7 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 use tstream_recovery::DurableLog;
 use tstream_state::checkpoint::{CheckpointManifest, Checkpointer};
-use tstream_state::{ShardRouter, StateStore, MAX_SHARDS};
+use tstream_state::{ShardRouter, StateStore, TableId, MAX_SHARDS};
 use tstream_stream::barrier::CyclicBarrier;
 use tstream_stream::event::Event;
 use tstream_stream::executor::{ExecutorId, ExecutorLayout};
@@ -280,6 +279,22 @@ impl<A: Application> RunContext<A> {
         self.barrier.poison();
     }
 
+    /// One barrier round, elided for single-executor runs: with one
+    /// executor there is nobody to rendezvous with, every wait would return
+    /// leader immediately, and the `SeqCst` round-trips per batch are pure
+    /// overhead — so the sole executor *is* the leader, with zero waits.
+    /// Poisoning still works: a single-executor run has no surviving
+    /// sibling to unblock.
+    #[inline]
+    fn barrier_wait(&self, state: &mut ExecutorState) -> bool {
+        if self.layout.executors == 1 {
+            return true;
+        }
+        let (leader, waited) = self.barrier.wait();
+        state.breakdown.charge(Component::Sync, waited);
+        leader
+    }
+
     /// Process one batch on executor `index`, advancing its accumulators.
     /// Every executor of the run must call this for every batch, in the same
     /// order — the internal barriers keep them in lockstep, exactly like the
@@ -424,19 +439,16 @@ impl<A: Application> RunContext<A> {
     ) {
         // Enter the batch together; the leader registers the batch with the
         // scheme (counter bookkeeping derived from read/write sets).
-        let (leader, waited) = self.barrier.wait();
-        state.breakdown.charge(Component::Sync, waited);
-        if leader {
+        if self.barrier_wait(state) {
             scheme.prepare_batch(&batch.descriptors);
         }
-        let (_, waited) = self.barrier.wait();
-        state.breakdown.charge(Component::Sync, waited);
+        self.barrier_wait(state);
 
         let committed_before = state.committed;
         let rejected_before = state.rejected;
         let t_batch = Instant::now();
         for event in &batch.per_executor[index] {
-            let (txn, blotter) = build_transaction(self.app.as_ref(), event.ts, &event.payload);
+            let (txn, blotter) = resolved_transaction(self.app.as_ref(), batch, event);
             let outcome = scheme.execute(&txn, &self.store, &env, &mut state.breakdown);
             let _ = self.app.post_process(&event.payload, &blotter);
             if outcome.is_committed() && !blotter.is_aborted() {
@@ -460,9 +472,7 @@ impl<A: Application> RunContext<A> {
         // Leave the batch together; the leader runs end-of-batch work
         // (e.g. MVLK's version garbage collection) and, if durability is
         // enabled, replicates the committed state to disk (Section IV-D).
-        let (leader, waited) = self.barrier.wait();
-        state.breakdown.charge(Component::Sync, waited);
-        if leader {
+        if self.barrier_wait(state) {
             scheme.end_batch(&self.store);
             match &self.durability {
                 Durability::None => {}
@@ -493,24 +503,34 @@ impl<A: Application> RunContext<A> {
 
         // ---- Compute mode: pre-process events, decompose and postpone
         // their transactions, cache the events for post-processing.
-        let (_, waited) = self.barrier.wait();
-        state.breakdown.charge(Component::Sync, waited);
+        self.barrier_wait(state);
 
+        // Remote chain insertions only exist when the NUMA model is on *and*
+        // the layout spans several sockets; on a single socket every insert
+        // is local, so the per-op classification timers (two clock reads per
+        // operation) are skipped and insert time simply stays inside the
+        // compute-mode window it already belongs to.
+        let classify_remote = env.numa.enabled && self.layout.sockets() > 1;
         let t_compute = Instant::now();
         let my_events = &batch.per_executor[index];
         let mut cached: Vec<(&Event<A::Payload>, tstream_txn::BlotterHandle)> =
             Vec::with_capacity(my_events.len());
         for event in my_events {
-            let (txn, blotter) = build_transaction(self.app.as_ref(), event.ts, &event.payload);
+            let (txn, blotter) = resolved_transaction(self.app.as_ref(), batch, event);
             // Dynamic transaction decomposition (Section IV-C.1): one chain
             // insert per operation; chain-level dependency edges are recorded
             // as we go.
             for op in txn.ops {
-                // Cross-pool chain insertions count as remote memory accesses
-                // only when the NUMA model is enabled (they are ordinary local
-                // inserts on a single-socket machine).
-                let remote_insert =
-                    env.numa.enabled && self.pools.is_remote_insert(env.executor, op.target);
+                if !classify_remote {
+                    let chain = self.pools.chain_for(op.target);
+                    if let Some(dep) = op.dependency {
+                        chain.add_dependency(dep);
+                        self.pools.chain_for(dep).mark_depended_upon();
+                    }
+                    chain.insert(op);
+                    continue;
+                }
+                let remote_insert = self.pools.is_remote_insert(env.executor, op.target);
                 let t_insert = Instant::now();
                 let chain = self.pools.chain_for(op.target);
                 if let Some(dep) = op.dependency {
@@ -535,11 +555,14 @@ impl<A: Application> RunContext<A> {
         // ---- TXN_START: first barrier — all executors must have finished
         // registering their postponed transactions before state access
         // begins (Section IV-B.2).
-        let (leader, waited) = self.barrier.wait();
-        state.breakdown.charge(Component::Sync, waited);
-        if leader {
-            for pool in self.pools.pools() {
-                pool.prepare_tasks();
+        if self.barrier_wait(state) {
+            // A single executor processes straight out of the pool shards (see
+            // `RestructureContext::single_executor`); the sorted task list is
+            // only needed to split work between several executors.
+            if self.layout.executors > 1 {
+                for pool in self.pools.pools() {
+                    pool.prepare_tasks();
+                }
             }
             // Record the real shard placement of this batch's chains before
             // processing starts (the pools are recycled at the batch end).
@@ -548,8 +571,7 @@ impl<A: Application> RunContext<A> {
                 *total += count as u64;
             }
         }
-        let (_, waited) = self.barrier.wait();
-        state.breakdown.charge(Component::Sync, waited);
+        self.barrier_wait(state);
 
         // ---- State-access mode: process the operation chains in parallel.
         let t_access = Instant::now();
@@ -559,6 +581,8 @@ impl<A: Application> RunContext<A> {
             env,
             resolution: self.config.tstream.resolution,
             work_stealing: self.config.tstream.work_stealing,
+            classify_remote,
+            single_executor: self.layout.executors == 1,
             abort_log: &self.abort_log,
         };
         let (stats, versioned) =
@@ -568,8 +592,7 @@ impl<A: Application> RunContext<A> {
 
         // ---- Second barrier: post-processing must not start until every
         // postponed state access has been processed (or aborted).
-        let (_, waited) = self.barrier.wait();
-        state.breakdown.charge(Component::Sync, waited);
+        self.barrier_wait(state);
 
         // Fold temporary versions of depended-upon states into the committed
         // values (safe: all processing finished at the barrier above).
@@ -588,9 +611,7 @@ impl<A: Application> RunContext<A> {
         let replay_needed = self.abort_log.replay_needed();
         if replay_needed {
             let t_access = Instant::now();
-            let (leader, waited) = self.barrier.wait();
-            state.breakdown.charge(Component::Sync, waited);
-            if leader {
+            if self.barrier_wait(state) {
                 restructure::replay_batch_serially(
                     &self.store,
                     &self.pools,
@@ -617,9 +638,7 @@ impl<A: Application> RunContext<A> {
         // Section IV-D) while the others post-process; the next batch's
         // compute mode cannot start before the leader reaches the next
         // batch-entry barrier.
-        let (leader, waited) = self.barrier.wait();
-        state.breakdown.charge(Component::Sync, waited);
-        if leader {
+        if self.barrier_wait(state) {
             self.pools.clear_all();
             self.abort_log.clear_batch();
             if let Durability::Snapshot(cp) = &self.durability {
@@ -641,9 +660,7 @@ impl<A: Application> RunContext<A> {
         // leader's disk write, exactly like the legacy snapshot path.
         if durable && replay_needed {
             self.publish_cached_deltas(&cached);
-            let (leader, waited) = self.barrier.wait();
-            state.breakdown.charge(Component::Sync, waited);
-            if leader {
+            if self.barrier_wait(state) {
                 self.wal_leader_checkpoint(batch, state);
             }
         }
@@ -688,7 +705,7 @@ impl<A: Application> RunContext<A> {
         let mut access = Duration::ZERO;
         let t_batch = Instant::now();
         for event in &batch.per_executor[index] {
-            let (txn, blotter) = build_transaction(self.app.as_ref(), event.ts, &event.payload);
+            let (txn, blotter) = resolved_transaction(self.app.as_ref(), batch, event);
             if !txn.ops.is_empty() {
                 let t_access = Instant::now();
                 // An `Err` marks the blotter aborted and rolls back this
@@ -722,9 +739,7 @@ impl<A: Application> RunContext<A> {
         match &self.durability {
             Durability::None => {}
             Durability::Snapshot(cp) => {
-                let (leader, waited) = self.barrier.wait();
-                state.breakdown.charge(Component::Sync, waited);
-                if leader {
+                if self.barrier_wait(state) {
                     let t = Instant::now();
                     if cp.checkpoint(&self.store).is_ok() {
                         state.checkpoints += 1;
@@ -737,9 +752,7 @@ impl<A: Application> RunContext<A> {
                     state.committed - committed_before,
                     state.rejected - rejected_before,
                 );
-                let (leader, waited) = self.barrier.wait();
-                state.breakdown.charge(Component::Sync, waited);
-                if leader {
+                if self.barrier_wait(state) {
                     self.wal_leader_checkpoint(batch, state);
                 }
             }
@@ -891,7 +904,7 @@ impl Engine {
         // stores of the same engine.
         let ctx = RunContext::new(self, app, store, scheme, self.legacy_durability(), None);
         let total_events = payloads.len() as u64;
-        let mut builder = self.batch_builder(app);
+        let mut builder = self.batch_builder(app, store);
         let mut batches: Vec<EngineBatch<A::Payload>> = Vec::new();
         for payload in payloads {
             if let Some(batch) = builder.push(payload) {
@@ -900,8 +913,9 @@ impl Engine {
         }
         batches.extend(builder.finish());
         if matches!(scheme, Scheme::TStream) {
+            let mut scratch = ConflictScratch::default();
             for batch in &mut batches {
-                batch.conflict_free = batch_is_conflict_free(&batch.descriptors);
+                batch.conflict_free = batch_is_conflict_free(&batch.descriptors, &mut scratch);
             }
         }
 
@@ -927,10 +941,18 @@ impl Engine {
 
     /// Build the ingestion-side batch builder for a run over `app`: dense
     /// arrival-time stamping, the engine's routing policy applied per event,
-    /// read/write sets derived once and carried as the batch's descriptors.
+    /// read/write sets derived once and carried as the batch's descriptors —
+    /// with every set entry resolved to its record slot in `store`.
+    ///
+    /// Slot resolution here is the routing half of the slot-resolved fast
+    /// path: it runs on the ingestion thread, overlapped with execution of
+    /// the previous batch, so the per-operation index lookups leave the
+    /// executors' critical path entirely (the determined read/write set —
+    /// feature F2 — is what makes the slots knowable this early).
     pub(crate) fn batch_builder<A: Application>(
         &self,
         app: &Arc<A>,
+        store: &Arc<StateStore>,
     ) -> BatchBuilder<A::Payload, TxnDescriptor> {
         let executors = self.config.executors.max(1);
         let layout = ExecutorLayout::new(executors, self.config.cores_per_socket);
@@ -940,6 +962,7 @@ impl Engine {
             ShardRouter::new(num_shards).expect("clamped shard count is always valid");
         let routing = self.config.event_routing;
         let app = app.clone();
+        let store = store.clone();
         BatchBuilder::new(
             executors,
             interval,
@@ -956,15 +979,77 @@ impl Engine {
                         })
                         .unwrap_or(in_batch % executors),
                 };
+                let mut slots = Vec::with_capacity(rw_set.len());
+                for (state, _) in rw_set.iter() {
+                    slots.push(
+                        store
+                            .try_slot_of(TableId(state.table), state.key)
+                            .unwrap_or(tstream_txn::INVALID_SLOT),
+                    );
+                }
                 (
                     target,
                     TxnDescriptor {
                         ts: event.ts,
                         rw_set,
+                        slots,
                     },
                 )
             }),
         )
+    }
+}
+
+/// Recycled scratch table for [`batch_is_conflict_free`]: an open-addressing
+/// set of `(state hash, owning transaction)` pairs, sized to the batch and
+/// reused across batches so classification allocates nothing in steady
+/// state.
+///
+/// Only the 64-bit state hash is stored, never the state itself: two
+/// *distinct* states colliding on their hash are (very rarely) misread as
+/// the same state, which reports a conflict that is not there — the batch
+/// then merely takes the general restructuring path, which is always
+/// correct.  A real conflict can never be missed, because equal states
+/// always hash equal.
+#[derive(Default)]
+pub(crate) struct ConflictScratch {
+    /// `(state hash, descriptor index + 1)`; `(0, 0)` is the empty slot.
+    slots: Vec<(u64, u32)>,
+}
+
+impl ConflictScratch {
+    fn reset(&mut self, touched: usize) {
+        let wanted = (touched * 2).next_power_of_two().max(64);
+        if self.slots.len() < wanted {
+            self.slots = vec![(0, 0); wanted];
+        } else {
+            self.slots.fill((0, 0));
+        }
+    }
+
+    /// Record `state` as touched by transaction `txn`; returns `false` when
+    /// another transaction already touched it (a conflict).
+    fn insert(&mut self, state: tstream_stream::operator::StateRef, txn: u32) -> bool {
+        // fx-style mix of (table, key) into one 64-bit hash.
+        let mut h = state.key ^ ((state.table as u64) << 32);
+        h = h.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 32;
+        let h = h.max(1); // keep 0 as the empty marker
+        let mask = self.slots.len() - 1;
+        let mut i = (h as usize) & mask;
+        loop {
+            let (slot_hash, slot_txn) = self.slots[i];
+            if slot_hash == 0 {
+                self.slots[i] = (h, txn + 1);
+                return true;
+            }
+            if slot_hash == h {
+                // Same state: fine if it is the same transaction touching it
+                // again (read + write of one key), a conflict otherwise.
+                return slot_txn == txn + 1;
+            }
+            i = (i + 1) & mask;
+        }
     }
 }
 
@@ -976,14 +1061,18 @@ impl Engine {
 /// entirely.  Derived from the routing descriptors alone (feature **F2**:
 /// read/write sets are determined before any state is accessed), so the
 /// classification happens on the ingestion thread, off the executors.
-pub(crate) fn batch_is_conflict_free(descriptors: &[TxnDescriptor]) -> bool {
-    let mut seen: HashSet<tstream_stream::operator::StateRef> =
-        HashSet::with_capacity(descriptors.len());
-    for descriptor in descriptors {
-        // `touched()` dedupes within the transaction: an event reading and
-        // writing its own key stays conflict-free.
-        for state in descriptor.rw_set.touched() {
-            if !seen.insert(state) {
+///
+/// Single pass over the batch's read/write-set entries against a recycled
+/// scratch table: O(ops) total, no per-descriptor sorting or allocation.
+pub(crate) fn batch_is_conflict_free(
+    descriptors: &[TxnDescriptor],
+    scratch: &mut ConflictScratch,
+) -> bool {
+    let touched: usize = descriptors.iter().map(|d| d.rw_set.len()).sum();
+    scratch.reset(touched);
+    for (txn, descriptor) in descriptors.iter().enumerate() {
+        for (state, _) in descriptor.rw_set.iter() {
+            if !scratch.insert(*state, txn as u32) {
                 return false;
             }
         }
@@ -1002,4 +1091,34 @@ fn build_transaction<A: Application>(
         app.state_access(payload, &mut builder);
     }
     builder.build()
+}
+
+/// Build the state transaction for one event and stamp each operation with
+/// the record slots the router resolved at ingestion time (carried by the
+/// batch's descriptors).  Timestamps are dense within a batch, so the
+/// descriptor of an event is found by offset in O(1); a binary search over
+/// the ts-sorted descriptors covers any non-dense tail without assuming
+/// density for correctness.
+fn resolved_transaction<A: Application>(
+    app: &A,
+    batch: &EngineBatch<A::Payload>,
+    event: &Event<A::Payload>,
+) -> (StateTransaction, tstream_txn::BlotterHandle) {
+    let (mut txn, blotter) = build_transaction(app, event.ts, &event.payload);
+    let descriptors = &batch.descriptors;
+    let first_ts = batch.punctuation.ts.wrapping_sub(descriptors.len() as u64);
+    let idx = event.ts.wrapping_sub(first_ts) as usize;
+    let descriptor = match descriptors.get(idx) {
+        Some(d) if d.ts == event.ts => Some(d),
+        _ => descriptors
+            .binary_search_by_key(&event.ts, |d| d.ts)
+            .ok()
+            .map(|i| &descriptors[i]),
+    };
+    if let Some(descriptor) = descriptor {
+        if !descriptor.slots.is_empty() {
+            txn.resolve_slots(|state| descriptor.slot_for(state));
+        }
+    }
+    (txn, blotter)
 }

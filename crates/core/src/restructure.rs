@@ -26,7 +26,6 @@
 //!   leader re-executes the whole batch in timestamp order, which restores
 //!   exact serial-equivalent semantics at the cost the paper acknowledges.
 
-use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -35,8 +34,8 @@ use parking_lot::Mutex;
 use tstream_state::{StateError, StateStore, TableId, Timestamp, Value};
 use tstream_stream::metrics::{Breakdown, Component};
 use tstream_stream::operator::StateRef;
-use tstream_txn::exec::{execute_transaction_body, ValueMode};
-use tstream_txn::{ExecEnv, Operation};
+use tstream_txn::exec::{execute_operation, undo_all, ValueMode};
+use tstream_txn::{ExecEnv, Operation, INVALID_SLOT};
 
 use crate::chains::{ChainPoolSet, OperationChain, ProcessingAssignment};
 use crate::config::DependencyResolution;
@@ -46,6 +45,9 @@ use crate::config::DependencyResolution;
 pub struct UndoRecord {
     /// State that was written.
     pub state: StateRef,
+    /// Record slot of the state ([`INVALID_SLOT`] when the write went
+    /// through the keyed index), so rollback needs no further lookup.
+    pub slot: u32,
     /// Timestamp of the writing transaction.
     pub ts: Timestamp,
     /// Committed value of the state immediately before the write.
@@ -62,6 +64,10 @@ pub struct UndoRecord {
 pub struct BatchAbortLog {
     undo: Mutex<Vec<UndoRecord>>,
     replay_needed: AtomicBool,
+    /// Scratch table of the serial replay's restore pass, recycled across
+    /// batches (replays are leader-only at a quiescent point, so the lock is
+    /// never contended).
+    replay_arena: Mutex<ReplayArena>,
 }
 
 impl BatchAbortLog {
@@ -106,6 +112,86 @@ impl BatchAbortLog {
     }
 }
 
+/// One state's oldest undo record, as tracked by the [`ReplayArena`].
+#[derive(Debug)]
+struct ArenaEntry {
+    state: StateRef,
+    slot: u32,
+    ts: Timestamp,
+    previous: Value,
+}
+
+/// Open-addressing scratch table of the serial replay's restore pass,
+/// recycled across batches (the [`crate::chains::ChainPool`] pattern): maps
+/// each written state to the *oldest* undo record the batch produced for it,
+/// i.e. the committed value the state had before the batch touched it.
+///
+/// The index stores `(state hash, entry index + 1)` pairs and probes
+/// linearly; hash collisions are disambiguated against the actual state in
+/// the dense entry list, so restores are always exact.  In steady state a
+/// replay allocates nothing here.
+#[derive(Debug, Default)]
+struct ReplayArena {
+    index: Vec<(u64, u32)>,
+    entries: Vec<ArenaEntry>,
+}
+
+/// fx-style mix of a state reference into one 64-bit hash (non-zero, so `0`
+/// can mark an empty index slot).
+fn state_hash(state: StateRef) -> u64 {
+    let mut h = state.key ^ ((state.table as u64) << 32);
+    h = h.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^= h >> 32;
+    h.max(1)
+}
+
+impl ReplayArena {
+    /// Size the index for `records` undo records and forget previous
+    /// contents; existing capacity is reused.
+    fn reset(&mut self, records: usize) {
+        let wanted = (records * 2).next_power_of_two().max(64);
+        if self.index.len() < wanted {
+            self.index = vec![(0, 0); wanted];
+        } else {
+            self.index.fill((0, 0));
+        }
+        self.entries.clear();
+    }
+
+    /// Fold one undo record in, keeping the oldest (smallest-timestamp)
+    /// record per state.
+    fn note(&mut self, record: UndoRecord) {
+        let h = state_hash(record.state);
+        let mask = self.index.len() - 1;
+        let mut i = (h as usize) & mask;
+        loop {
+            let (slot_hash, idx) = self.index[i];
+            if slot_hash == 0 {
+                self.index[i] = (h, self.entries.len() as u32 + 1);
+                self.entries.push(ArenaEntry {
+                    state: record.state,
+                    slot: record.slot,
+                    ts: record.ts,
+                    previous: record.previous,
+                });
+                return;
+            }
+            if slot_hash == h {
+                let entry = &mut self.entries[(idx - 1) as usize];
+                if entry.state == record.state {
+                    if record.ts < entry.ts {
+                        entry.ts = record.ts;
+                        entry.slot = record.slot;
+                        entry.previous = record.previous;
+                    }
+                    return;
+                }
+            }
+            i = (i + 1) & mask;
+        }
+    }
+}
+
 /// Statistics returned by one executor's share of chain processing.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ChainStats {
@@ -142,6 +228,16 @@ pub struct RestructureContext<'a> {
     pub resolution: DependencyResolution,
     /// Whether chains are claimed dynamically within a sharing group.
     pub work_stealing: bool,
+    /// Whether per-operation remote/local classification (and the fine
+    /// per-operation timers that come with it) is worth paying for: true only
+    /// when the NUMA model is enabled *and* the layout spans sockets.  When
+    /// false, access time is charged at chain/batch granularity instead of
+    /// two clock reads per operation.
+    pub classify_remote: bool,
+    /// Whether the whole run uses a single executor.  Barriers are elided and
+    /// the batch is processed straight out of the pool shards: no task list,
+    /// no claim locks, and no `Arc` clone for chains without dependencies.
+    pub single_executor: bool,
     /// Per-batch abort bookkeeping (undo records + replay flag).
     pub abort_log: &'a BatchAbortLog,
 }
@@ -162,8 +258,49 @@ pub fn process_assigned(
     let mut versioned = Vec::new();
     let mut undo: Vec<UndoRecord> = Vec::new();
 
+    if ctx.single_executor {
+        // One executor owns every chain: skip the sorted task list entirely
+        // and process straight from a plain snapshot of the pool shards.
+        // The snapshot is taken first (one read lock per pool shard) so no
+        // shard lock is held while operations execute — state access takes
+        // record locks and touches per-event blotters, and nesting those
+        // under a pool-shard guard both risks lock-order inversions and
+        // poisons the lock-order tracker's acquisition graph in test builds.
+        // Chains that neither depend on another chain nor are depended upon
+        // (the overwhelming majority under realistic workloads) are processed
+        // in place with no cursor allocation and no claim lock; the rest are
+        // deferred to the cooperative scheduler, which with one executor can
+        // never stall: the smallest-timestamp unprocessed operation is
+        // always runnable.
+        let t_all = (!ctx.classify_remote).then(Instant::now);
+        let mut deferred: Vec<Arc<OperationChain>> = Vec::new();
+        for chain in pool.snapshot() {
+            if chain.is_depended_upon() || chain.has_dependencies() {
+                deferred.push(chain);
+            } else {
+                process_whole_chain(ctx, &chain, &mut stats, breakdown, &mut undo, false);
+            }
+        }
+        if !deferred.is_empty() {
+            process_cooperatively(ctx, &deferred, &mut stats, breakdown, &mut undo, false);
+            for chain in &deferred {
+                if chain.is_depended_upon() {
+                    versioned.push(chain.clone());
+                }
+            }
+        }
+        if let Some(t) = t_all {
+            breakdown.charge(Component::Useful, t.elapsed());
+        }
+        stats.rounds = 1;
+        ctx.abort_log.append(undo);
+        return (stats, versioned);
+    }
+
     // Claim the chains this executor is responsible for.
-    let my_chains: Vec<Arc<OperationChain>> = if ctx.work_stealing || assignment.group_size <= 1 {
+    let my_chains: Vec<Arc<OperationChain>> = if assignment.group_size <= 1 {
+        pool.claim_all_remaining()
+    } else if ctx.work_stealing {
         std::iter::from_fn(|| pool.claim_next()).collect()
     } else {
         pool.task_slice(assignment.member, assignment.group_size)
@@ -171,7 +308,7 @@ pub fn process_assigned(
 
     match ctx.resolution {
         DependencyResolution::FineGrained => {
-            process_cooperatively(ctx, &my_chains, &mut stats, breakdown, &mut undo);
+            process_cooperatively(ctx, &my_chains, &mut stats, breakdown, &mut undo, true);
             stats.rounds = 1;
         }
         DependencyResolution::Rounds => {
@@ -191,7 +328,7 @@ pub fn process_assigned(
                             .unwrap_or(true)
                     });
                     if ready {
-                        process_whole_chain(ctx, &chain, &mut stats, breakdown, &mut undo);
+                        process_whole_chain(ctx, &chain, &mut stats, breakdown, &mut undo, true);
                         progressed = true;
                     } else {
                         pending.push(chain);
@@ -206,7 +343,7 @@ pub fn process_assigned(
                     // another executor that is itself not finished.  Fall back
                     // to the deadlock-free cooperative scheduler for the rest.
                     let rest = std::mem::take(&mut pending);
-                    process_cooperatively(ctx, &rest, &mut stats, breakdown, &mut undo);
+                    process_cooperatively(ctx, &rest, &mut stats, breakdown, &mut undo, true);
                     break;
                 }
                 std::mem::swap(&mut current, &mut pending);
@@ -224,10 +361,14 @@ pub fn process_assigned(
     (stats, versioned)
 }
 
-/// Cursor over one chain during cooperative processing.
-struct ChainCursor {
-    chain: Arc<OperationChain>,
-    ops: Vec<tstream_txn::Operation>,
+/// Cursor over one chain during cooperative processing.  Operations are
+/// *borrowed* from the chain (whose `Arc` outlives the cursor): chain
+/// contents are frozen between the TXN_START barrier and the end-of-batch
+/// recycle, so no `Operation` (with its `Arc`-heavy function and blotter
+/// handles) needs to be cloned to walk it.
+struct ChainCursor<'a> {
+    chain: &'a OperationChain,
+    ops: Vec<&'a Operation>,
     next: usize,
 }
 
@@ -246,48 +387,78 @@ fn process_cooperatively(
     stats: &mut ChainStats,
     breakdown: &mut Breakdown,
     undo: &mut Vec<UndoRecord>,
+    timed: bool,
 ) {
-    let mut cursors: Vec<ChainCursor> = chains
-        .iter()
-        .map(|chain| ChainCursor {
-            chain: chain.clone(),
-            ops: chain.iter().cloned().collect(),
-            next: 0,
-        })
-        .collect();
-    let mut remaining: usize = cursors.len();
+    // With per-op classification off, charge Useful at chain/burst
+    // granularity instead — unless an enclosing timer already covers us
+    // (`timed == false`, the single-executor path).
+    let coarse = timed && !ctx.classify_remote;
+    // First pass: walk each chain in place.  Only a chain that actually hits
+    // an unsatisfied dependency materialises a cursor (with its op vector)
+    // for the cycling loop below; most chains complete here with zero
+    // allocations.
+    let mut blocked: Vec<ChainCursor<'_>> = Vec::new();
+    'chains: for chain in chains {
+        let versioned_target = chain.is_depended_upon();
+        let t = coarse.then(Instant::now);
+        for (i, op) in chain.iter().enumerate() {
+            if dependency_blocked(ctx, op) {
+                if let Some(t) = t {
+                    breakdown.charge(Component::Useful, t.elapsed());
+                }
+                blocked.push(ChainCursor {
+                    chain,
+                    ops: chain.iter().collect(),
+                    next: i,
+                });
+                continue 'chains;
+            }
+            apply_chain_op(ctx, chain, op, versioned_target, stats, breakdown, undo);
+        }
+        if let Some(t) = t {
+            breakdown.charge(Component::Useful, t.elapsed());
+        }
+        chain.mark_fully_processed();
+        stats.chains += 1;
+    }
+
+    // Cycling loop over the blocked chains: advance each as far as its
+    // dependencies allow, then move on; never block while runnable work
+    // exists.
+    let mut remaining: usize = blocked.len();
     let mut wait_timer: Option<Instant> = None;
     while remaining > 0 {
         let mut progressed = false;
-        for cursor in &mut cursors {
+        for cursor in &mut blocked {
             if cursor.next >= cursor.ops.len() {
                 continue;
             }
             let versioned_target = cursor.chain.is_depended_upon();
+            let t = coarse.then(Instant::now);
+            let burst_start = cursor.next;
             while cursor.next < cursor.ops.len() {
-                let op = &cursor.ops[cursor.next];
+                let op = cursor.ops[cursor.next];
                 // Non-blocking dependency check: every write with a smaller
                 // timestamp in the depended-upon chain must have been applied.
-                if let Some(dep) = op.dependency {
-                    if let Some(dep_chain) = ctx.pools.find_chain(dep) {
-                        if let Some(threshold) = dep_chain.last_write_before(op.ts) {
-                            if dep_chain.processed_upto() <= threshold {
-                                break;
-                            }
-                        }
-                    }
+                if dependency_blocked(ctx, op) {
+                    break;
                 }
-                if op.blotter.is_aborted() {
-                    stats.skipped += 1;
-                } else {
-                    match execute_chain_op(ctx, op, versioned_target, breakdown, undo) {
-                        Ok(()) => stats.ops += 1,
-                        Err(_) => stats.skipped += 1,
-                    }
-                }
-                cursor.chain.advance_processed(op.ts + 1);
+                apply_chain_op(
+                    ctx,
+                    cursor.chain,
+                    op,
+                    versioned_target,
+                    stats,
+                    breakdown,
+                    undo,
+                );
                 cursor.next += 1;
+            }
+            if cursor.next > burst_start {
                 progressed = true;
+            }
+            if let Some(t) = t {
+                breakdown.charge(Component::Useful, t.elapsed());
             }
             if cursor.next >= cursor.ops.len() {
                 cursor.chain.mark_fully_processed();
@@ -310,6 +481,49 @@ fn process_cooperatively(
     }
 }
 
+/// Whether `op` must wait for a write in the chain it depends on: every write
+/// with a smaller timestamp in the depended-upon chain must have been applied
+/// before `op` may read it.
+#[inline]
+fn dependency_blocked(ctx: &RestructureContext<'_>, op: &Operation) -> bool {
+    let Some(dep) = op.dependency else {
+        return false;
+    };
+    let Some(dep_chain) = ctx.pools.find_chain(dep) else {
+        return false;
+    };
+    match dep_chain.last_write_before(op.ts) {
+        Some(threshold) => dep_chain.processed_upto() <= threshold,
+        None => false,
+    }
+}
+
+/// Apply (or skip) one operation of a chain, updating statistics and — for
+/// depended-upon chains only, the only ones whose watermark is ever read —
+/// the processed watermark.
+#[inline]
+fn apply_chain_op(
+    ctx: &RestructureContext<'_>,
+    chain: &OperationChain,
+    op: &Operation,
+    versioned_target: bool,
+    stats: &mut ChainStats,
+    breakdown: &mut Breakdown,
+    undo: &mut Vec<UndoRecord>,
+) {
+    if op.blotter.is_aborted() {
+        stats.skipped += 1;
+    } else {
+        match execute_chain_op(ctx, op, versioned_target, breakdown, undo) {
+            Ok(()) => stats.ops += 1,
+            Err(_) => stats.skipped += 1,
+        }
+    }
+    if versioned_target {
+        chain.advance_processed(op.ts + 1);
+    }
+}
+
 /// Walk one operation chain from the smallest timestamp, applying every
 /// operation; used by the round-based scheduler once the chain's dependencies
 /// are known to be fully processed.
@@ -319,20 +533,15 @@ fn process_whole_chain(
     stats: &mut ChainStats,
     breakdown: &mut Breakdown,
     undo: &mut Vec<UndoRecord>,
+    timed: bool,
 ) {
     let versioned_target = chain.is_depended_upon();
+    let t = (timed && !ctx.classify_remote).then(Instant::now);
     for op in chain.iter() {
-        // Skip operations of transactions that already aborted.
-        if op.blotter.is_aborted() {
-            stats.skipped += 1;
-            chain.advance_processed(op.ts + 1);
-            continue;
-        }
-        match execute_chain_op(ctx, op, versioned_target, breakdown, undo) {
-            Ok(()) => stats.ops += 1,
-            Err(_) => stats.skipped += 1,
-        }
-        chain.advance_processed(op.ts + 1);
+        apply_chain_op(ctx, chain, op, versioned_target, stats, breakdown, undo);
+    }
+    if let Some(t) = t {
+        breakdown.charge(Component::Useful, t.elapsed());
     }
     chain.mark_fully_processed();
     stats.chains += 1;
@@ -350,34 +559,56 @@ fn execute_chain_op(
     breakdown: &mut Breakdown,
     undo: &mut Vec<UndoRecord>,
 ) -> Result<(), StateError> {
-    // Index lookups are charged to Others.
-    let t_index = Instant::now();
-    let record = ctx.store.record(TableId(op.target.table), op.target.key)?;
-    let dep_resolved = match op.dependency {
-        Some(dep) => Some((dep, ctx.store.record(TableId(dep.table), dep.key)?)),
-        None => None,
+    // Slot-resolved operations go straight to their record slot (routing
+    // already paid the index lookup, off the critical path); unresolved ones
+    // pay the keyed lookup here, charged to Others.
+    let classify = ctx.classify_remote;
+    let resolved =
+        op.slot != INVALID_SLOT && (op.dependency.is_none() || op.dep_slot != INVALID_SLOT);
+    let (record, dep_record) = if resolved {
+        (
+            ctx.store.record_at(TableId(op.target.table), op.slot),
+            op.dependency
+                .map(|dep| ctx.store.record_at(TableId(dep.table), op.dep_slot)),
+        )
+    } else {
+        let t_index = classify.then(Instant::now);
+        let record = ctx.store.record(TableId(op.target.table), op.target.key)?;
+        let dep_record = match op.dependency {
+            Some(dep) => Some(ctx.store.record(TableId(dep.table), dep.key)?),
+            None => None,
+        };
+        if let Some(t) = t_index {
+            breakdown.charge(Component::Others, t.elapsed());
+        }
+        (record, dep_record)
     };
-    breakdown.charge(Component::Others, t_index.elapsed());
 
-    let remote =
-        ctx.env.is_remote(op.target.key) || op.dependency.is_some_and(|d| ctx.env.is_remote(d.key));
-    let t_access = Instant::now();
+    // Remote classification (and the fine per-op timers that go with it) is
+    // only meaningful when the layout spans sockets; on a single socket the
+    // caller charges Useful at chain granularity instead.
+    let remote = classify
+        && (ctx.env.is_remote(op.target.key)
+            || op.dependency.is_some_and(|d| ctx.env.is_remote(d.key)));
+    let t_access = classify.then(Instant::now);
     if remote {
         ctx.env.remote_penalty();
     }
 
-    let current = if versioned_target {
-        record.read_visible(op.ts)
-    } else {
-        record.read_committed()
-    };
     // A dependency state is, by construction, depended upon, so its chain is
     // processed with temporary versions; read the value visible at our
     // timestamp (falling back to the committed value when the dependency was
     // not written in this batch at all).
-    let dep_value = dep_resolved.map(|(_, r)| r.read_visible(op.ts));
+    let dep_value = dep_record.map(|r| r.read_visible(op.ts));
 
-    let produced = op.evaluate(&current, dep_value.as_ref());
+    let produced = if versioned_target {
+        let current = record.read_visible(op.ts);
+        op.evaluate(&current, dep_value.as_ref())
+    } else {
+        // No temporary versions on this state: evaluate against the committed
+        // value in place instead of cloning it out of the record.
+        record.with_committed(|current| op.evaluate(current, dep_value.as_ref()))
+    };
     let outcome = match produced {
         Ok(Some(new_value)) => {
             // Record the pre-write committed value so the batch can be rolled
@@ -391,6 +622,7 @@ fn execute_chain_op(
             };
             undo.push(UndoRecord {
                 state: op.target,
+                slot: op.slot,
                 ts: op.ts,
                 previous,
             });
@@ -411,12 +643,14 @@ fn execute_chain_op(
             Err(e)
         }
     };
-    let component = if remote {
-        Component::Rma
-    } else {
-        Component::Useful
-    };
-    breakdown.charge(component, t_access.elapsed());
+    if let Some(t) = t_access {
+        let component = if remote {
+            Component::Rma
+        } else {
+            Component::Useful
+        };
+        breakdown.charge(component, t.elapsed());
+    }
     outcome
 }
 
@@ -427,7 +661,15 @@ fn execute_chain_op(
 pub fn collapse_versioned(store: &StateStore, chains: &[Arc<OperationChain>]) {
     for chain in chains {
         let state = chain.state();
-        if let Ok(record) = store.record(TableId(state.table), state.key) {
+        // Every operation of a chain targets the chain's state, so the first
+        // one carries the state's resolved slot (if routing resolved it).
+        let slot = chain.iter().next().map_or(INVALID_SLOT, |op| op.slot);
+        let record = if slot != INVALID_SLOT {
+            Some(store.record_at(TableId(state.table), slot))
+        } else {
+            store.record(TableId(state.table), state.key).ok()
+        };
+        if let Some(record) = record {
             record.collapse_versions();
         }
     }
@@ -477,47 +719,71 @@ pub fn replay_batch_serially(
 
     // ---- 1. Restore the pre-batch committed values: for every written state
     // the undo record with the smallest timestamp holds the value it had
-    // before the batch touched it.
-    let mut oldest: BTreeMap<StateRef, (Timestamp, Value)> = BTreeMap::new();
-    for record in abort_log.take_undo() {
-        match oldest.get(&record.state) {
-            Some((ts, _)) if *ts <= record.ts => {}
-            _ => {
-                oldest.insert(record.state, (record.ts, record.previous));
-            }
-        }
+    // before the batch touched it.  The fold runs over a slot-keyed
+    // open-addressing arena recycled across batches, and the restore itself
+    // goes through the resolved record slots — no ordered map, no per-state
+    // index lookup.
+    let mut arena = abort_log.replay_arena.lock();
+    let undo = abort_log.take_undo();
+    arena.reset(undo.len());
+    for record in undo {
+        arena.note(record);
     }
-    for (state, (_, previous)) in oldest {
-        if let Ok(record) = store.record(TableId(state.table), state.key) {
+    for entry in arena.entries.drain(..) {
+        let record = if entry.slot != INVALID_SLOT {
+            Some(store.record_at(TableId(entry.state.table), entry.slot))
+        } else {
+            store
+                .record(TableId(entry.state.table), entry.state.key)
+                .ok()
+        };
+        if let Some(record) = record {
             record.discard_versions();
-            record.write_committed(previous);
+            record.write_committed(entry.previous);
             stats.restored_states += 1;
         }
     }
+    drop(arena);
 
-    // ---- 2. Gather the batch's operations back out of the chains and group
-    // them into transactions (unique timestamp per transaction).
-    let mut transactions: BTreeMap<Timestamp, Vec<Operation>> = BTreeMap::new();
-    for pool in pools.pools() {
-        for chain in pool.snapshot() {
-            for op in chain.iter() {
-                transactions.entry(op.ts).or_default().push(op.clone());
-            }
+    // ---- 2. Gather the batch's operations back out of the chains, as
+    // *references*: the chain snapshots keep the `Arc`s alive for the whole
+    // replay, so not a single `Operation` (or its blotter handle) is cloned.
+    // One unstable sort by (ts, op_index) recovers both the serial
+    // transaction order and the issue order within each transaction.
+    let snapshots: Vec<Arc<OperationChain>> = pools
+        .pools()
+        .iter()
+        .flat_map(|pool| pool.snapshot())
+        .collect();
+    let mut ops: Vec<&Operation> = snapshots.iter().flat_map(|chain| chain.iter()).collect();
+    ops.sort_unstable_by_key(|op| (op.ts, op.op_index));
+
+    // ---- 3. Re-execute serially in timestamp order with per-transaction
+    // rollback (the shared eager body, inlined over the borrowed
+    // operations).  The per-operation work is charged to the usual breakdown
+    // components by `execute_operation` itself.
+    let mut start = 0;
+    while start < ops.len() {
+        let ts = ops[start].ts;
+        let mut end = start;
+        while end < ops.len() && ops[end].ts == ts {
+            end += 1;
         }
-    }
-
-    // ---- 3. Re-execute serially in timestamp order.  The per-operation work
-    // is charged to the usual breakdown components by
-    // `execute_transaction_body` itself.
-    for (_, mut ops) in transactions {
-        ops.sort_by_key(|op| op.op_index);
-        let blotter = ops[0].blotter.clone();
+        let txn_ops = &ops[start..end];
+        start = end;
+        let blotter = &txn_ops[0].blotter;
         blotter.reset();
         stats.transactions += 1;
-        if let Err(e) = execute_transaction_body(&ops, store, env, ValueMode::Committed, breakdown)
-        {
-            blotter.mark_aborted(e.to_string());
-            stats.aborted += 1;
+        let mut undo = Vec::with_capacity(txn_ops.len());
+        for op in txn_ops {
+            if let Err(e) =
+                execute_operation(op, store, env, ValueMode::Committed, breakdown, &mut undo)
+            {
+                undo_all(store, &mut undo);
+                blotter.mark_aborted(e.to_string());
+                stats.aborted += 1;
+                break;
+            }
         }
     }
     stats
@@ -566,6 +832,8 @@ mod tests {
             env: ExecEnv::single(),
             resolution,
             work_stealing: false,
+            classify_remote: true,
+            single_executor: false,
             abort_log,
         }
     }
@@ -681,6 +949,8 @@ mod tests {
                                 env: ExecEnv::single(),
                                 resolution,
                                 work_stealing: true,
+                                classify_remote: true,
+                                single_executor: false,
                                 abort_log,
                             };
                             let mut breakdown = Breakdown::new();

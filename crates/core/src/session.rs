@@ -43,7 +43,7 @@ use tstream_txn::{Application, TxnDescriptor};
 
 use crate::adaptive::{AdaptiveConfig, AdaptiveIntervalController, IntervalObservation};
 use crate::engine::{
-    Durability, Engine, EngineBatch, ExecutorState, RunContext, RunReport, Scheme,
+    ConflictScratch, Durability, Engine, EngineBatch, ExecutorState, RunContext, RunReport, Scheme,
 };
 use crate::runtime::{ExecutorPool, SessionToken};
 
@@ -191,6 +191,7 @@ pub struct Session<'e, A: Application> {
     token: SessionToken,
     shared: Arc<SessionShared<A>>,
     builder: BatchBuilder<A::Payload, TxnDescriptor>,
+    conflict_scratch: ConflictScratch,
     started: Option<Instant>,
     pushed: u64,
     jobs_dispatched: u64,
@@ -233,7 +234,8 @@ impl<'e, A: Application> Session<'e, A> {
                     .collect(),
                 completion: Completion::default(),
             }),
-            builder: engine.batch_builder(app),
+            builder: engine.batch_builder(app, store),
+            conflict_scratch: ConflictScratch::default(),
             started: None,
             pushed: 0,
             jobs_dispatched: 0,
@@ -528,7 +530,10 @@ impl<'e, A: Application> Session<'e, A> {
         // read/write sets are pairwise disjoint takes the restructuring-free
         // fast path on the executors.
         if matches!(self.shared.ctx.scheme, Scheme::TStream) {
-            batch.conflict_free = crate::engine::batch_is_conflict_free(&batch.descriptors);
+            batch.conflict_free = crate::engine::batch_is_conflict_free(
+                &batch.descriptors,
+                &mut self.conflict_scratch,
+            );
         }
         let batch = Arc::new(batch);
         let jobs: Vec<_> = (0..self.executors())

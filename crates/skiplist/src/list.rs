@@ -1,6 +1,6 @@
 use std::cell::Cell;
 use std::ptr;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 
 use crate::node::{Head, Node};
 use crate::MAX_HEIGHT;
@@ -21,6 +21,14 @@ pub struct ConcurrentSkipList<K, V> {
     len: AtomicUsize,
     /// Per-list PRNG state used to pick tower heights (SplitMix64).
     height_seed: AtomicU64,
+    /// Best-effort pointer to the largest-key node, enabling an O(1) append
+    /// fast path for the common in-order insertion pattern (batch events
+    /// arrive in timestamp order).  Null when unknown; a stale hint is
+    /// detected by its non-null bottom successor and falls back to the
+    /// ordinary search.  Reset under exclusive access in `clear` /
+    /// `drain_sorted` before any node is freed, so a non-null hint always
+    /// points at a live node.
+    tail_hint: AtomicPtr<Node<K, V>>,
 }
 
 // SAFETY: nodes are heap allocated and only freed under exclusive access; all
@@ -55,6 +63,7 @@ impl<K: Ord, V> ConcurrentSkipList<K, V> {
             head: Head::new(),
             len: AtomicUsize::new(0),
             height_seed: AtomicU64::new(0x9E37_79B9_7F4A_7C15),
+            tail_hint: AtomicPtr::new(ptr::null_mut()),
         }
     }
 
@@ -153,11 +162,64 @@ impl<K: Ord, V> ConcurrentSkipList<K, V> {
         }
     }
 
+    /// Append fast path: when `key` is strictly greater than the current
+    /// tail's key (or the list is empty), publish a height-1 node with a
+    /// single bottom-level CAS — no tower search.  This is the common case
+    /// for operation chains, whose keys arrive in timestamp order within a
+    /// batch.  Declines (`Err`, returning ownership of the pair) when the
+    /// hint is missing/stale, the key is not a strict tail successor, or the
+    /// CAS loses a race; callers then run the ordinary search-based insert.
+    #[inline]
+    fn try_append(&self, key: K, value: V) -> Result<(), (K, V)> {
+        let tail = self.tail_hint.load(Ordering::Acquire);
+        let slot = if tail.is_null() {
+            if self.head.next(0).is_null() {
+                &self.head.next[0]
+            } else {
+                return Err((key, value));
+            }
+        } else {
+            // SAFETY: a non-null hint always points to a live node — the
+            // hint is reset (under exclusive access) before any node is
+            // freed.
+            let tail_ref = unsafe { &*tail };
+            if tail_ref.key < key && tail_ref.next(0).is_null() {
+                &tail_ref.next[0]
+            } else {
+                return Err((key, value));
+            }
+        };
+        let node = Box::into_raw(Node::new(key, value, 1));
+        // The CAS re-checks tail-ness atomically: it only succeeds while the
+        // predecessor's bottom successor is still null, i.e. while it is
+        // still the last node of the (sorted) bottom level.
+        if slot
+            .compare_exchange(ptr::null_mut(), node, Ordering::Release, Ordering::Acquire)
+            .is_ok()
+        {
+            self.tail_hint.store(node, Ordering::Release);
+            self.len.fetch_add(1, Ordering::Release);
+            Ok(())
+        } else {
+            // Lost the race; unpublish our speculative node and fall back.
+            // SAFETY: the node was never linked into the list.
+            let boxed = unsafe { Box::from_raw(node) };
+            Err((boxed.key, boxed.value))
+        }
+    }
+
     /// Insert `key -> value`. Returns `true` if inserted, `false` (dropping
     /// `value`) if the key already exists.
     ///
     /// Lock-free: concurrent inserters retry their CAS on contention.
+    /// In-order insertions (each key larger than every existing key) take an
+    /// O(1) append path; out-of-order keys — e.g. a replay tail interleaving
+    /// with fresh events — use the full tower search.
     pub fn insert(&self, key: K, value: V) -> bool {
+        let (key, value) = match self.try_append(key, value) {
+            Ok(()) => return true,
+            Err(pair) => pair,
+        };
         let height = self.random_height();
         let node = Box::into_raw(Node::new(key, value, height));
         loop {
@@ -188,6 +250,11 @@ impl<K: Ord, V> ConcurrentSkipList<K, V> {
                 continue;
             }
             self.len.fetch_add(1, Ordering::Release);
+            if succs[0].is_null() {
+                // We are the new tail: refresh the append hint so in-order
+                // insertion can resume on the fast path.
+                self.tail_hint.store(node, Ordering::Release);
+            }
             // Link the upper levels; failures re-run the search for fresh
             // predecessors (duplicates are impossible now that the node is in).
             for level in 1..height {
@@ -325,6 +392,9 @@ impl<K: Ord, V> ConcurrentSkipList<K, V> {
     /// Remove every element. Requires exclusive access, so it cannot race
     /// with readers or inserters.
     pub fn clear(&mut self) {
+        // Reset the append hint before any node is freed so it can never
+        // reference a dead node.
+        self.tail_hint.store(ptr::null_mut(), Ordering::Relaxed);
         let mut curr = self.head.next[0].load(Ordering::Relaxed);
         while !curr.is_null() {
             // SAFETY: exclusive access; every published node was allocated
@@ -340,6 +410,7 @@ impl<K: Ord, V> ConcurrentSkipList<K, V> {
 
     /// Drain the list into a sorted `Vec`, leaving it empty.
     pub fn drain_sorted(&mut self) -> Vec<(K, V)> {
+        self.tail_hint.store(ptr::null_mut(), Ordering::Relaxed);
         let mut out = Vec::with_capacity(self.len());
         let mut curr = self.head.next[0].load(Ordering::Relaxed);
         while !curr.is_null() {
@@ -469,6 +540,28 @@ mod tests {
             vec![0, 2, 4, 6, 8]
         );
         assert!(list.is_empty());
+    }
+
+    #[test]
+    fn in_order_appends_then_replay_tail_interleaving() {
+        let list = ConcurrentSkipList::new();
+        // Pure in-order appends: every insert rides the tail fast path.
+        for k in 0..100u64 {
+            assert!(list.insert(k * 2, k));
+        }
+        // Replay-tail style out-of-order inserts land between existing keys
+        // via the general search path.
+        for k in (0..100u64).rev() {
+            assert!(list.insert(k * 2 + 1, k));
+        }
+        // Appending resumes after out-of-order traffic (hint refreshed).
+        assert!(list.insert(1_000u64, 0));
+        assert!(!list.insert(1_000u64, 1), "duplicate tail key rejected");
+        let keys: Vec<u64> = list.iter().map(|(k, _)| *k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+        assert_eq!(list.len(), 201);
     }
 
     #[test]

@@ -209,7 +209,7 @@ pub fn decode_value(reader: &mut Reader<'_>) -> StateResult<Value> {
         0 => Ok(Value::Null),
         1 => Ok(Value::Long(reader.i64()?)),
         2 => Ok(Value::Double(reader.f64()?)),
-        3 => Ok(Value::Str(reader.string()?)),
+        3 => Ok(Value::Str(reader.string()?.into())),
         4 => {
             let len = reader.u32()? as usize;
             let mut set = HashSet::with_capacity(len);
@@ -244,7 +244,7 @@ mod tests {
             Value::Long(i64::MAX),
             Value::Double(3.25),
             Value::Double(f64::MIN_POSITIVE),
-            Value::Str(String::new()),
+            Value::Str("".into()),
             Value::Str("hello tstream".into()),
             Value::Set([1u64, 9, 100_000].into_iter().collect()),
             Value::Set(HashSet::new()),

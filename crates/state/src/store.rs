@@ -128,6 +128,17 @@ impl StateStore {
         self.table(table).get(key)
     }
 
+    /// Resolve `(table, key)` to its record slot without panicking on an
+    /// out-of-range table id: `None` when the table or the key is unknown.
+    /// This is the routing-time side of slot resolution (feature F2): the
+    /// ingestion thread resolves the determined read/write set once, and the
+    /// executors then use [`StateStore::record_at`] per operation.
+    pub fn try_slot_of(&self, table: TableId, key: Key) -> Option<u32> {
+        self.tables
+            .get(table.index())
+            .and_then(|t| t.slot_of(key).ok())
+    }
+
     /// Resolve `(table, slot)` to a record without an index lookup.
     pub fn record_at(&self, table: TableId, slot: u32) -> &Record {
         self.table(table).get_slot(slot)

@@ -2,6 +2,7 @@
 
 use std::collections::HashSet;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::error::{StateError, StateResult};
 
@@ -24,8 +25,11 @@ pub enum Value {
     Long(i64),
     /// 64-bit float (average road speed).
     Double(f64),
-    /// Short owned string (GS payloads).
-    Str(String),
+    /// Short string (GS payloads).  Reference-counted so that cloning a
+    /// value — into an event blotter, a temporary version, or an undo
+    /// record — is a refcount bump instead of a heap allocation; record
+    /// payloads are immutable once constructed, so sharing is safe.
+    Str(Arc<str>),
     /// Set of 64-bit ids (unique vehicles per segment in TP).
     Set(HashSet<u64>),
     /// A pair of longs, used by OB items (price, quantity) so a single record
@@ -143,13 +147,13 @@ impl From<f64> for Value {
 
 impl From<&str> for Value {
     fn from(v: &str) -> Self {
-        Value::Str(v.to_owned())
+        Value::Str(Arc::from(v))
     }
 }
 
 impl From<String> for Value {
     fn from(v: String) -> Self {
-        Value::Str(v)
+        Value::Str(Arc::from(v))
     }
 }
 
@@ -190,7 +194,7 @@ mod tests {
         ids.insert(2);
         ids.insert(3);
         assert_eq!(Value::Set(ids).approx_size(), 32 * 5);
-        assert_eq!(Value::Str("x".repeat(32)).approx_size(), 32);
+        assert_eq!(Value::Str("x".repeat(32).into()).approx_size(), 32);
     }
 
     #[test]

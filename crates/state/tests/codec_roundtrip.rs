@@ -19,8 +19,13 @@ fn value_strategy() -> BoxedStrategy<Value> {
         // equality (and this test's assertions) follow IEEE, so NaN would
         // fail reflexivity rather than the codec.
         (any::<i32>(), 1u32..1_000).prop_map(|(n, d)| Value::Double(n as f64 / d as f64)),
-        proptest::collection::vec(any::<u8>(), 0..40)
-            .prop_map(|bytes| Value::Str(bytes.iter().map(|b| (b % 94 + 32) as char).collect())),
+        proptest::collection::vec(any::<u8>(), 0..40).prop_map(|bytes| Value::Str(
+            bytes
+                .iter()
+                .map(|b| (b % 94 + 32) as char)
+                .collect::<String>()
+                .into()
+        )),
         proptest::collection::hash_set(any::<u64>(), 0..24).prop_map(Value::Set),
         (any::<i64>(), any::<i64>()).prop_map(|(a, b)| Value::Pair(a, b)),
     ]

@@ -13,7 +13,7 @@ use tstream_state::{StateError, StateResult, StateStore, TableId, Value};
 use tstream_stream::metrics::{Breakdown, Component};
 use tstream_stream::operator::StateRef;
 
-use crate::operation::Operation;
+use crate::operation::{Operation, INVALID_SLOT};
 use crate::scheme::ExecEnv;
 use crate::Timestamp;
 
@@ -36,6 +36,10 @@ pub enum ValueMode {
 pub struct UndoEntry {
     /// Which state was written.
     pub target: StateRef,
+    /// Record slot of the written state ([`INVALID_SLOT`] when the write went
+    /// through the keyed index), so rollback and serial replay can restore
+    /// the value without another index lookup.
+    pub slot: u32,
     /// Committed value before the write (only meaningful in
     /// [`ValueMode::Committed`]).
     pub previous: Option<Value>,
@@ -58,14 +62,29 @@ pub fn execute_operation(
     breakdown: &mut Breakdown,
     undo: &mut Vec<UndoEntry>,
 ) -> StateResult<()> {
-    // Index lookups (target + dependency).
-    let t_index = Instant::now();
-    let record = store.record(TableId(op.target.table), op.target.key)?;
-    let dep_record = match op.dependency {
-        Some(dep) => Some(store.record(TableId(dep.table), dep.key)?),
-        None => None,
+    // Resolve the target and dependency records.  Slot-resolved operations
+    // go straight to the record slot — no shard routing, no index lookup,
+    // and no timer to charge, because there is no index work left to
+    // measure.  Unresolved operations pay the keyed lookup, charged to
+    // *Others* as before.
+    let resolved =
+        op.slot != INVALID_SLOT && (op.dependency.is_none() || op.dep_slot != INVALID_SLOT);
+    let (record, dep_record) = if resolved {
+        (
+            store.record_at(TableId(op.target.table), op.slot),
+            op.dependency
+                .map(|dep| store.record_at(TableId(dep.table), op.dep_slot)),
+        )
+    } else {
+        let t_index = Instant::now();
+        let record = store.record(TableId(op.target.table), op.target.key)?;
+        let dep_record = match op.dependency {
+            Some(dep) => Some(store.record(TableId(dep.table), dep.key)?),
+            None => None,
+        };
+        breakdown.charge(Component::Others, t_index.elapsed());
+        (record, dep_record)
     };
-    breakdown.charge(Component::Others, t_index.elapsed());
 
     // The state access itself.
     let remote =
@@ -74,15 +93,21 @@ pub fn execute_operation(
     if remote {
         env.remote_penalty();
     }
-    let current = match mode {
-        ValueMode::Committed => record.read_committed(),
-        ValueMode::Versioned => record.read_visible(op.ts),
-    };
     let dep_value = dep_record.map(|r| match mode {
         ValueMode::Committed => r.read_committed(),
         ValueMode::Versioned => r.read_visible(op.ts),
     });
-    let produced = op.evaluate(&current, dep_value.as_ref());
+    let produced = match mode {
+        // Evaluate against the committed value in place — no clone of the
+        // current value just to read it.
+        ValueMode::Committed => {
+            record.with_committed(|current| op.evaluate(current, dep_value.as_ref()))
+        }
+        ValueMode::Versioned => {
+            let current = record.read_visible(op.ts);
+            op.evaluate(&current, dep_value.as_ref())
+        }
+    };
     let outcome = match produced {
         Ok(Some(new_value)) => {
             match mode {
@@ -90,6 +115,7 @@ pub fn execute_operation(
                     let previous = record.write_committed(new_value);
                     undo.push(UndoEntry {
                         target: op.target,
+                        slot: op.slot,
                         previous: Some(previous),
                         version_ts: None,
                     });
@@ -98,6 +124,7 @@ pub fn execute_operation(
                     record.install_version(op.ts, new_value);
                     undo.push(UndoEntry {
                         target: op.target,
+                        slot: op.slot,
                         previous: None,
                         version_ts: Some(op.ts),
                     });
@@ -120,7 +147,14 @@ pub fn execute_operation(
 /// Roll back previously applied writes, newest first.
 pub fn undo_all(store: &StateStore, undo: &mut Vec<UndoEntry>) {
     while let Some(entry) = undo.pop() {
-        if let Ok(record) = store.record(TableId(entry.target.table), entry.target.key) {
+        let record = if entry.slot != INVALID_SLOT {
+            Some(store.record_at(TableId(entry.target.table), entry.slot))
+        } else {
+            store
+                .record(TableId(entry.target.table), entry.target.key)
+                .ok()
+        };
+        if let Some(record) = record {
             if let Some(previous) = entry.previous {
                 record.write_committed(previous);
             }

@@ -48,7 +48,7 @@ pub mod transaction;
 
 pub use app::{Application, PostAction};
 pub use blotter::{BlotterHandle, EventBlotter};
-pub use operation::{AccessType, OpCtx, OpFunc, Operation};
+pub use operation::{AccessType, OpCtx, OpFunc, Operation, INVALID_SLOT};
 pub use outcome::TxnOutcome;
 pub use scheme::{EagerScheme, ExecEnv, NumaModel, TxnDescriptor};
 pub use transaction::{StateTransaction, TxnBuilder};

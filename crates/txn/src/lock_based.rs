@@ -284,10 +284,7 @@ mod tests {
         scheme.reset();
         assert_eq!(scheme.lock_ahead(), 0);
         // prepare_batch is a no-op but must be callable.
-        scheme.prepare_batch(&[TxnDescriptor {
-            ts: 0,
-            rw_set: ReadWriteSet::new(),
-        }]);
+        scheme.prepare_batch(&[TxnDescriptor::unresolved(0, ReadWriteSet::new())]);
     }
 
     #[test]

@@ -264,7 +264,7 @@ mod tests {
             Ok(Value::Long(ctx.current.as_long()? + delta))
         });
         let set = ReadWriteSet::new().write(StateRef::new(0, key));
-        (b.build().0, TxnDescriptor { ts, rw_set: set })
+        (b.build().0, TxnDescriptor::unresolved(ts, set))
     }
 
     fn run_concurrently(
@@ -336,26 +336,17 @@ mod tests {
             let mut b0 = TxnBuilder::new(0);
             b0.write_value(0, 0, Value::Long(10));
             let (t0, _) = b0.build();
-            let d0 = TxnDescriptor {
-                ts: 0,
-                rw_set: ReadWriteSet::new().write(StateRef::new(0, 0)),
-            };
+            let d0 = TxnDescriptor::unresolved(0, ReadWriteSet::new().write(StateRef::new(0, 0)));
 
             let mut b1 = TxnBuilder::new(1);
             b1.read(0, 0);
             let (t1, blotter1) = b1.build();
-            let d1 = TxnDescriptor {
-                ts: 1,
-                rw_set: ReadWriteSet::new().read(StateRef::new(0, 0)),
-            };
+            let d1 = TxnDescriptor::unresolved(1, ReadWriteSet::new().read(StateRef::new(0, 0)));
 
             let mut b2 = TxnBuilder::new(2);
             b2.write_value(0, 0, Value::Long(20));
             let (t2, _) = b2.build();
-            let d2 = TxnDescriptor {
-                ts: 2,
-                rw_set: ReadWriteSet::new().write(StateRef::new(0, 0)),
-            };
+            let d2 = TxnDescriptor::unresolved(2, ReadWriteSet::new().write(StateRef::new(0, 0)));
 
             scheme.prepare_batch(&[d0, d1, d2]);
             run_concurrently(&scheme, &store, vec![t0, t1, t2], 3);
@@ -380,10 +371,7 @@ mod tests {
             Err(tstream_state::StateError::ConsistencyViolation("no".into()))
         });
         let (t0, blotter0) = b0.build();
-        let d0 = TxnDescriptor {
-            ts: 0,
-            rw_set: ReadWriteSet::new().write(StateRef::new(0, 0)),
-        };
+        let d0 = TxnDescriptor::unresolved(0, ReadWriteSet::new().write(StateRef::new(0, 0)));
         let (t1, d1) = add_txn(1, 0, 5);
         scheme.prepare_batch(&[d0, d1]);
         run_concurrently(&scheme, &store, vec![t0, t1], 2);

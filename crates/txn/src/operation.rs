@@ -54,6 +54,11 @@ pub struct OpCtx<'a> {
 /// consistency violation, which aborts the transaction.
 pub type OpFunc = Arc<dyn Fn(&OpCtx<'_>) -> StateResult<Value> + Send + Sync>;
 
+/// Sentinel for an operation whose target (or dependency) has not been
+/// resolved to a record slot.  Execution falls back to the keyed index
+/// lookup, so an unresolved slot is never wrong — only slower.
+pub const INVALID_SLOT: u32 = u32::MAX;
+
 /// A single decomposed state access.
 #[derive(Clone)]
 pub struct Operation {
@@ -64,12 +69,20 @@ pub struct Operation {
     pub op_index: u32,
     /// Target state.
     pub target: StateRef,
+    /// Record slot of the target state, resolved once at routing time on the
+    /// ingestion thread (the determined read/write set makes this possible —
+    /// feature F2).  [`INVALID_SLOT`] when unresolved; execution then falls
+    /// back to the keyed index lookup.
+    pub slot: u32,
     /// Kind of access.
     pub access: AccessType,
     /// State this operation's function additionally reads (a cross-state
     /// data dependency, e.g. SL's transfer reading the source account while
     /// crediting the destination).
     pub dependency: Option<StateRef>,
+    /// Record slot of the dependency state; [`INVALID_SLOT`] when absent or
+    /// unresolved.
+    pub dep_slot: u32,
     /// New-value function for writes; `None` for plain reads.
     pub func: Option<OpFunc>,
     /// Result carrier of the triggering event.
@@ -145,8 +158,10 @@ mod tests {
             ts: 1,
             op_index: 0,
             target: StateRef::new(0, 5),
+            slot: INVALID_SLOT,
             access: AccessType::Read,
             dependency: None,
+            dep_slot: INVALID_SLOT,
             func: None,
             blotter,
         }
@@ -168,8 +183,10 @@ mod tests {
             ts: 2,
             op_index: 0,
             target: StateRef::new(0, 5),
+            slot: INVALID_SLOT,
             access: AccessType::ReadModify,
             dependency: None,
+            dep_slot: INVALID_SLOT,
             func: Some(Arc::new(|ctx: &OpCtx<'_>| {
                 Ok(Value::Long(ctx.current.as_long()? + 10))
             })),
@@ -187,8 +204,10 @@ mod tests {
             ts: 3,
             op_index: 0,
             target: StateRef::new(1, 7),
+            slot: INVALID_SLOT,
             access: AccessType::Write,
             dependency: Some(StateRef::new(0, 3)),
+            dep_slot: INVALID_SLOT,
             func: Some(Arc::new(|ctx: &OpCtx<'_>| {
                 let src = ctx.dependency.expect("dependency required").as_long()?;
                 if src >= 100 {
@@ -220,8 +239,10 @@ mod tests {
             ts: 1,
             op_index: 0,
             target: StateRef::new(0, 0),
+            slot: INVALID_SLOT,
             access: AccessType::Write,
             dependency: None,
+            dep_slot: INVALID_SLOT,
             func: None,
             blotter: b,
         };

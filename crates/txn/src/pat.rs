@@ -227,7 +227,7 @@ mod tests {
             b.write_value(0, k, Value::Long(ts as i64));
             set = set.write(StateRef::new(0, k));
         }
-        (b.build().0, TxnDescriptor { ts, rw_set: set })
+        (b.build().0, TxnDescriptor::unresolved(ts, set))
     }
 
     #[test]

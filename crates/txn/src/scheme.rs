@@ -7,8 +7,9 @@ use std::time::{Duration, Instant};
 use tstream_state::StateStore;
 use tstream_stream::executor::{ExecutorId, ExecutorLayout};
 use tstream_stream::metrics::Breakdown;
-use tstream_stream::operator::ReadWriteSet;
+use tstream_stream::operator::{ReadWriteSet, StateRef};
 
+use crate::operation::INVALID_SLOT;
 use crate::outcome::TxnOutcome;
 use crate::transaction::StateTransaction;
 use crate::Timestamp;
@@ -21,6 +22,36 @@ pub struct TxnDescriptor {
     pub ts: Timestamp,
     /// Determined read/write set.
     pub rw_set: ReadWriteSet,
+    /// Record slot of each `rw_set` entry (same order), resolved once on the
+    /// ingestion thread while the previous batch executes.
+    /// [`INVALID_SLOT`] marks entries the
+    /// router could not resolve; empty when the batch was built without a
+    /// store (slot resolution is an optimization, never a requirement).
+    pub slots: Vec<u32>,
+}
+
+impl TxnDescriptor {
+    /// A descriptor with no slots resolved.
+    pub fn unresolved(ts: Timestamp, rw_set: ReadWriteSet) -> Self {
+        TxnDescriptor {
+            ts,
+            rw_set,
+            slots: Vec::new(),
+        }
+    }
+
+    /// The resolved record slot of `state`, or
+    /// [`INVALID_SLOT`] when the state is not
+    /// in the read/write set or was not resolved.  Linear scan: transactions
+    /// touch a handful of states, so this beats any hashed lookup.
+    pub fn slot_for(&self, state: StateRef) -> u32 {
+        for (i, (s, _)) in self.rw_set.iter().enumerate() {
+            if *s == state {
+                return self.slots.get(i).copied().unwrap_or(INVALID_SLOT);
+            }
+        }
+        INVALID_SLOT
+    }
 }
 
 /// Model of the multi-socket machine the paper evaluates on.

@@ -196,6 +196,7 @@ impl ToScheme {
                     let previous = record.write_committed(new_value);
                     undo.push(crate::exec::UndoEntry {
                         target: op.target,
+                        slot: op.slot,
                         previous: Some(previous),
                         version_ts: None,
                     });

@@ -6,7 +6,7 @@ use tstream_state::{StateResult, Value};
 use tstream_stream::operator::{AccessMode, ReadWriteSet, StateRef};
 
 use crate::blotter::{BlotterHandle, EventBlotter};
-use crate::operation::{AccessType, OpCtx, OpFunc, Operation};
+use crate::operation::{AccessType, OpCtx, OpFunc, Operation, INVALID_SLOT};
 use crate::Timestamp;
 
 /// The set of state accesses triggered by processing of a single input event
@@ -62,6 +62,20 @@ impl StateTransaction {
             }
         }
         set
+    }
+
+    /// Resolve every operation's target (and dependency) to its record slot
+    /// via `slot_for` — typically backed by the slots the router resolved at
+    /// ingestion time from the determined read/write set.  `slot_for` returns
+    /// [`INVALID_SLOT`] for states it cannot resolve; those operations keep
+    /// the keyed-lookup fallback.
+    pub fn resolve_slots(&mut self, mut slot_for: impl FnMut(StateRef) -> u32) {
+        for op in &mut self.ops {
+            op.slot = slot_for(op.target);
+            if let Some(dep) = op.dependency {
+                op.dep_slot = slot_for(dep);
+            }
+        }
     }
 }
 
@@ -184,8 +198,10 @@ impl TxnBuilder {
                 ts: self.ts,
                 op_index: i as u32,
                 target: p.target,
+                slot: INVALID_SLOT,
                 access: p.access,
                 dependency: p.dependency,
+                dep_slot: INVALID_SLOT,
                 func: p.func,
                 blotter: blotter.clone(),
             })

@@ -3,26 +3,33 @@
 # the plain or the durable TStream throughput of any app regressed more
 # than the allowed fraction against the committed BENCH_engine.json.
 #
-# Compared rows (fresh keps must be >= (1 - TOLERANCE) x committed keps):
-#   * plain points:  scheme == TStream, one per app;
+# Compared rows (fresh value must be >= (1 - TOLERANCE) x committed value):
+#   * plain points:  scheme == TStream, one per app (keps);
 #   * durability:    the default-group-window row per app (the window-1 row
 #     is a reference measurement of the old per-event-sync tax, dominated
-#     by raw fsync latency, and is not guarded).
+#     by raw fsync latency, and is not guarded);
+#   * breakdown:     the per-stage section's compute_share per app — an
+#     overhead regression (slower restructuring at unchanged keps) fails
+#     the build even before it shows up in throughput.
 #
 # The committed snapshot is regenerated on the same class of host
-# (scripts/bench_snapshot.sh), so a straight keps comparison with a 20 %
-# tolerance absorbs run-to-run noise while still catching a real
-# regression such as losing the group-commit window or re-introducing a
-# per-event barrier round.
+# (scripts/bench_snapshot.sh).  Tolerances are sized to the noise actually
+# observed on 1-core shared boxes — plain/share rows swing ~±35 % run to
+# run, and the fsync-bound durable rows more than 2x (disk latency, not
+# code) — while still catching the regressions the guard exists for:
+# losing the group-commit window (~40x), re-introducing a per-event
+# barrier round or keyed lookups on the access path (2-5x).
 #
 # Usage:
-#   scripts/bench_guard.sh                 # tolerance 20 %
-#   TOLERANCE=0.3 scripts/bench_guard.sh   # custom tolerance
+#   scripts/bench_guard.sh                     # plain/share 40 %, durable 60 %
+#   TOLERANCE=0.2 scripts/bench_guard.sh       # custom plain/share tolerance
+#   DURABLE_TOLERANCE=0.4 scripts/bench_guard.sh
 set -eu
 
 cd "$(dirname "$0")/.."
 
-TOLERANCE="${TOLERANCE:-0.20}"
+TOLERANCE="${TOLERANCE:-0.40}"
+DURABLE_TOLERANCE="${DURABLE_TOLERANCE:-0.60}"
 COMMITTED="BENCH_engine.json"
 FRESH="${FRESH:-/tmp/bench_guard_fresh.json}"
 
@@ -57,13 +64,31 @@ rows() {
                 if (parts[i] ~ /"durable_keps":/) { gsub(/[^0-9.]/, "", parts[i]); keps = parts[i] }
             }
             if (app != "" && keps != "" && window != "1") print "durable", app, keps
+        }
+        /"compute_ms":/ && /"compute_share":/ {
+            app = ""; share = ""
+            n = split($0, parts, ",")
+            for (i = 1; i <= n; i++) {
+                if (parts[i] ~ /"app":/)           { gsub(/[^A-Z]/, "", parts[i]); app = parts[i] }
+                if (parts[i] ~ /"compute_share":/) { gsub(/[^0-9.]/, "", parts[i]); share = parts[i] }
+            }
+            if (app != "" && share != "") print "share", app, share
         }'
 }
+
+# The per-stage breakdown section is part of the snapshot contract: a
+# snapshot without it would silently drop every share row from the guard.
+for f in "$COMMITTED" "$FRESH"; do
+    if ! grep -q '"breakdown":' "$f"; then
+        echo "bench_guard: $f has no breakdown section" >&2
+        exit 1
+    fi
+done
 
 rows "$COMMITTED" > /tmp/bench_guard_old.txt
 rows "$FRESH" > /tmp/bench_guard_new.txt
 
-awk -v tol="$TOLERANCE" '
+awk -v tol="$TOLERANCE" -v dtol="$DURABLE_TOLERANCE" '
     FNR == NR { old[$1 "/" $2] = $3; next }
     { new[$1 "/" $2] = $3 }
     END {
@@ -76,7 +101,8 @@ awk -v tol="$TOLERANCE" '
                 continue
             }
             checked++
-            floor = old[key] * (1 - tol)
+            row_tol = (key ~ /^durable\//) ? dtol : tol
+            floor = old[key] * (1 - row_tol)
             verdict = (new[key] + 0 >= floor) ? "ok" : "REGRESSED"
             printf "%-18s committed %8.2f  fresh %8.2f  floor %8.2f  %s\n", key, old[key], new[key], floor, verdict
             if (verdict == "REGRESSED") bad = 1
@@ -87,7 +113,7 @@ awk -v tol="$TOLERANCE" '
         }
         exit bad
     }' /tmp/bench_guard_old.txt /tmp/bench_guard_new.txt || {
-    echo "bench_guard: FAILED (tolerance $TOLERANCE)" >&2
+    echo "bench_guard: FAILED (tolerance $TOLERANCE, durable $DURABLE_TOLERANCE)" >&2
     exit 1
 }
-echo "bench_guard: OK (tolerance $TOLERANCE)"
+echo "bench_guard: OK (tolerance $TOLERANCE, durable $DURABLE_TOLERANCE)"

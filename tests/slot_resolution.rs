@@ -1,0 +1,169 @@
+//! Slot-resolution differential tests.
+//!
+//! Routing resolves every `StateRef` to its record slot once, on the
+//! ingestion thread, and the slot is carried through `Operation` into chain
+//! processing, temp-version maintenance, and serial replay.  A wrong slot
+//! would silently read or write the wrong record, so the whole suite is
+//! differential: slot-resolved TStream (1/2/4 shards, all four apps, plus an
+//! abort-heavy OB mix) must be byte-for-byte snapshot- and count-identical
+//! to the serial `run_offline` No-Lock baseline, which resolves nothing in
+//! advance and simply walks the store in timestamp order.
+//!
+//! The kill-test at the bottom proves that recovery replay re-resolves
+//! slots correctly after a restart: the rebuilt store assigns slots afresh,
+//! and the replayed prefix plus the live remainder must still converge with
+//! the uninterrupted baseline.
+
+use std::fs;
+use std::path::PathBuf;
+
+use tstream_apps::workload::WorkloadSpec;
+use tstream_apps::{
+    run_benchmark_durable, run_benchmark_with_snapshot, AppKind, ExecutionPath, RunOptions,
+    SchemeKind,
+};
+use tstream_core::{EngineConfig, RunReport};
+use tstream_state::StoreSnapshot;
+
+const INTERVAL: usize = 100;
+const EVENTS: usize = 600;
+
+fn spec(shards: u32, seed: u64) -> WorkloadSpec {
+    WorkloadSpec::default()
+        .events(EVENTS)
+        .keys(1_000)
+        .seed(seed)
+        .shards(shards)
+}
+
+fn options(spec: WorkloadSpec, executors: usize) -> RunOptions {
+    RunOptions::new(
+        spec,
+        EngineConfig::with_executors(executors).punctuation(INTERVAL),
+    )
+}
+
+/// The reference: serial No-Lock over the offline path.  One executor,
+/// deliberately — No-Lock has no synchronisation, so only the serial
+/// schedule is deterministic enough to compare byte-for-byte.
+fn no_lock_reference(app: AppKind, workload: WorkloadSpec) -> (RunReport, StoreSnapshot) {
+    run_benchmark_with_snapshot(
+        app,
+        SchemeKind::NoLock,
+        &options(workload, 1),
+        ExecutionPath::Offline,
+    )
+}
+
+fn assert_matches_reference(app: AppKind, workload: WorkloadSpec, shards: u32) {
+    let (reference, reference_snapshot) = no_lock_reference(app, workload);
+    assert_eq!(reference.events, workload.events as u64);
+
+    let (report, snapshot) = run_benchmark_with_snapshot(
+        app,
+        SchemeKind::TStream,
+        &options(workload, shards as usize),
+        ExecutionPath::Pipelined,
+    );
+    let ctx = format!("{} with {shards} shards", app.label());
+    assert_eq!(report.events, reference.events, "events: {ctx}");
+    assert_eq!(report.committed, reference.committed, "committed: {ctx}");
+    assert_eq!(report.rejected, reference.rejected, "rejected: {ctx}");
+    assert_eq!(snapshot, reference_snapshot, "snapshot: {ctx}");
+}
+
+#[test]
+fn gs_matches_the_no_lock_reference_on_every_shard_count() {
+    for shards in [1u32, 2, 4] {
+        assert_matches_reference(AppKind::Gs, spec(shards, 0xA1), shards);
+    }
+}
+
+#[test]
+fn sl_matches_the_no_lock_reference_on_every_shard_count() {
+    for shards in [1u32, 2, 4] {
+        assert_matches_reference(AppKind::Sl, spec(shards, 0xA2), shards);
+    }
+}
+
+#[test]
+fn ob_matches_the_no_lock_reference_on_every_shard_count() {
+    for shards in [1u32, 2, 4] {
+        assert_matches_reference(AppKind::Ob, spec(shards, 0xA3), shards);
+    }
+}
+
+#[test]
+fn tp_matches_the_no_lock_reference_on_every_shard_count() {
+    for shards in [1u32, 2, 4] {
+        assert_matches_reference(AppKind::Tp, spec(shards, 0xA4), shards);
+    }
+}
+
+/// Abort-heavy OB: high skew concentrates the bidding on a few hot items,
+/// so most bids find the asking price already raised and are rejected.
+/// Aborted transactions exercise the undo path over resolved slots — the
+/// temp versions they leave behind must be discarded from exactly the
+/// records they shadowed.
+#[test]
+fn abort_heavy_ob_mix_matches_the_no_lock_reference() {
+    for shards in [1u32, 2, 4] {
+        let workload = spec(shards, 0xA5).keys(64).skew(1.2);
+        let (reference, _) = no_lock_reference(AppKind::Ob, workload);
+        assert!(
+            reference.rejected * 4 >= reference.events,
+            "the mix must actually be abort-heavy: {} rejections out of {}",
+            reference.rejected,
+            reference.events
+        );
+        assert_matches_reference(AppKind::Ob, workload, shards);
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "tstream-slot-resolution-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Kill-test: slots are process-local (they index the live store), so a
+/// restart invalidates every slot resolved before the crash.  Recovery
+/// rebuilds the store, replays the WAL tail through routing — which must
+/// re-resolve every slot against the fresh store — and then takes live
+/// events.  Crashing at every batch boundary in turn, the recovered run
+/// must stay byte-identical to the uninterrupted No-Lock reference.
+#[test]
+fn recovery_replay_re_resolves_slots_after_restart() {
+    let workload = spec(2, 0xA6);
+    let (reference, reference_snapshot) = no_lock_reference(AppKind::Gs, workload);
+
+    let mut options = options(workload, 2);
+    options.engine = options.engine.checkpoint_every(2);
+    let batches = EVENTS.div_ceil(INTERVAL);
+    for boundary in 1..batches {
+        let dir = temp_dir(&format!("boundary-{boundary}"));
+        let (partial, _) = run_benchmark_durable(
+            AppKind::Gs,
+            SchemeKind::TStream,
+            &options,
+            &dir,
+            Some(boundary * INTERVAL),
+        )
+        .expect("durable run");
+        assert_eq!(partial.events, (boundary * INTERVAL) as u64);
+
+        let (report, snapshot) =
+            run_benchmark_durable(AppKind::Gs, SchemeKind::TStream, &options, &dir, None)
+                .expect("recovered run");
+        let ctx = format!("crash after batch {boundary}");
+        assert_eq!(report.events, reference.events, "events: {ctx}");
+        assert_eq!(report.committed, reference.committed, "committed: {ctx}");
+        assert_eq!(report.rejected, reference.rejected, "rejected: {ctx}");
+        assert_eq!(snapshot, reference_snapshot, "snapshot: {ctx}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -214,6 +214,13 @@ mod imp {
             return Some((to, edge));
         }
         for (&via, edge) in out {
+            // A node with no outgoing edges cannot reach `to` (`via == to`
+            // was the direct-edge case above); skipping it keeps this scan
+            // cheap even when `from` has accumulated many edges to
+            // short-lived locks that were never acquired while held.
+            if !g.edges.contains_key(&via) {
+                continue;
+            }
             if reaches(g, via, to, &mut HashSet::from([from])) {
                 return Some((via, edge));
             }
