@@ -262,7 +262,7 @@ pub fn run_benchmark_durable(
     let engine_config = options.engine.shards(options.spec.shards as usize);
     let engine = Engine::new(engine_config);
     let scheme = scheme.build(options.pat_partitions);
-    match app {
+    let result = match app {
         AppKind::Gs => {
             let store = gs::build_store(&options.spec);
             let application = Arc::new(gs::GrepSum {
@@ -321,7 +321,9 @@ pub fn run_benchmark_durable(
             )?;
             Ok((report, StoreSnapshot::capture(&store)))
         }
-    }
+    };
+    maybe_dump_metrics(&engine, app);
+    result
 }
 
 /// Result of one concurrent multi-session run: the per-session reports
@@ -465,7 +467,7 @@ pub fn run_benchmark_with_snapshot(
     let engine_config = options.engine.shards(options.spec.shards as usize);
     let engine = Engine::new(engine_config);
     let scheme = scheme.build(options.pat_partitions);
-    match app {
+    let result = match app {
         AppKind::Gs => {
             let store = gs::build_store(&options.spec);
             let application = Arc::new(gs::GrepSum {
@@ -520,6 +522,21 @@ pub fn run_benchmark_with_snapshot(
             );
             (report, StoreSnapshot::capture(&store))
         }
+    };
+    maybe_dump_metrics(&engine, app);
+    result
+}
+
+/// Dump the engine's full metrics scrape to stderr when `TSTREAM_METRICS`
+/// is set — ad-hoc observability for any figure harness or differential
+/// test without threading a flag through every entry point.
+fn maybe_dump_metrics(engine: &Engine, app: AppKind) {
+    if std::env::var_os("TSTREAM_METRICS").is_some() {
+        eprintln!(
+            "--- metrics ({}) ---\n{}",
+            app.label(),
+            engine.metrics_text()
+        );
     }
 }
 

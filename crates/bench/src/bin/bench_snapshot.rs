@@ -9,7 +9,10 @@
 //! plus the time a cold recovery (`SessionBuilder::recover`) needs to
 //! restore the checkpoint and replay the surviving segments.  It also
 //! records **concurrency rows**: 2 and 4 sessions multiplexed over one
-//! engine (one app per session), with their aggregate throughput.
+//! engine (one app per session), with their aggregate throughput, and an
+//! **observability section**: interleaved best-of-N runs with the metrics
+//! hub on (the default) vs `ObsConfig::disabled()`, pinning what the
+//! always-on instrumentation costs (`bench_guard.sh` caps the mean at 5%).
 //!
 //! ```text
 //! cargo run --release -p tstream-bench --bin bench_snapshot -- --quick
@@ -24,11 +27,11 @@ use std::sync::Arc;
 
 use tstream_apps::workload::WorkloadSpec;
 use tstream_apps::{
-    gs, ob, run_benchmark_concurrent, run_benchmark_durable, sl, tp, AppKind, RunOptions,
-    SchemeKind,
+    gs, ob, run_benchmark, run_benchmark_concurrent, run_benchmark_durable, sl, tp, AppKind,
+    RunOptions, SchemeKind,
 };
 use tstream_bench::{events_for, run_point, HarnessConfig};
-use tstream_core::{Engine, EngineConfig, FsyncPolicy, Scheme, WalPayload};
+use tstream_core::{Engine, EngineConfig, FsyncPolicy, ObsConfig, Scheme, WalPayload};
 use tstream_state::StateStore;
 use tstream_txn::Application;
 
@@ -65,6 +68,17 @@ struct ConcurrencyPoint {
     apps: String,
     events: u64,
     aggregate_keps: f64,
+}
+
+/// Cost of compiled-in instrumentation: the same run with the metrics hub
+/// and flight recorder on (the default) and with `ObsConfig::disabled()`.
+struct ObservabilityPoint {
+    app: &'static str,
+    instrumented_keps: f64,
+    disabled_keps: f64,
+    /// Throughput lost to instrumentation, clamped at zero (on noisy hosts
+    /// the instrumented best-of-N regularly beats the disabled one).
+    overhead: f64,
 }
 
 struct DurabilityPoint {
@@ -208,6 +222,51 @@ fn durability_sweep(quick: bool) -> Vec<DurabilityPoint> {
     points
 }
 
+/// Paired instrumented/disabled TStream runs per app, interleaved and
+/// taken best-of-N, so slow drifts of a shared host (thermal, neighbours)
+/// hit both modes alike and a single noisy run cannot fake an overhead.
+/// The best-of pair approximates each mode's true cost floor; the delta is
+/// what the always-on instrumentation actually costs.
+fn observability_sweep(quick: bool) -> Vec<ObservabilityPoint> {
+    const REPS: usize = 5;
+    let mut points = Vec::new();
+    for app in AppKind::ALL {
+        let events = events_for(app, 1, quick);
+        let mut best = [0.0f64; 2];
+        for _rep in 0..REPS {
+            for (slot, obs) in [(0, ObsConfig::default()), (1, ObsConfig::disabled())] {
+                let spec = WorkloadSpec::default().events(events);
+                let engine = EngineConfig::with_executors(1)
+                    .punctuation(500)
+                    .observability(obs);
+                let options = RunOptions::new(spec, engine);
+                let report = run_benchmark(app, SchemeKind::TStream, &options);
+                best[slot] = best[slot].max(report.throughput_keps());
+            }
+        }
+        let overhead = if best[1] > 0.0 {
+            (1.0 - best[0] / best[1]).max(0.0)
+        } else {
+            0.0
+        };
+        eprintln!(
+            "observability {:<3} instrumented {:>8.1} K/s  disabled {:>8.1} K/s  \
+             overhead {:>5.2}%",
+            app.label(),
+            best[0],
+            best[1],
+            100.0 * overhead
+        );
+        points.push(ObservabilityPoint {
+            app: app.label(),
+            instrumented_keps: best[0],
+            disabled_keps: best[1],
+            overhead,
+        });
+    }
+    points
+}
+
 /// 2- and 4-session concurrent TStream runs over one engine: one app per
 /// session (the first N of GS/SL/OB/TP), each on its own store, multiplexed
 /// over the shared executor pool.
@@ -308,6 +367,7 @@ fn main() {
 
     let durability = durability_sweep(cfg.quick);
     let concurrency = concurrency_sweep(cfg.quick);
+    let observability = observability_sweep(cfg.quick);
 
     let unix_time = SystemTime::now()
         .duration_since(UNIX_EPOCH)
@@ -383,6 +443,22 @@ fn main() {
             p.compute_share
         );
         json.push_str(if i + 1 < breakdowns.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"observability\": [\n");
+    for (i, p) in observability.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"app\": \"{}\", \"scheme\": \"TStream\", \"cores\": 1, \
+             \"instrumented_keps\": {:.2}, \"disabled_keps\": {:.2}, \
+             \"overhead\": {:.4}}}",
+            p.app, p.instrumented_keps, p.disabled_keps, p.overhead
+        );
+        json.push_str(if i + 1 < observability.len() {
             ",\n"
         } else {
             "\n"

@@ -358,7 +358,7 @@ fn open_durable<'e, A: Application>(
     let mut log = recovered.log;
     // Full group-commit windows flush on the engine's spawn-once WAL-writer
     // thread instead of the ingestion thread.
-    log.attach_group_executor(Arc::new(engine.pool().wal_writer()));
+    log.attach_group_executor(Arc::new(engine.pool().wal_writer(engine.obs())));
     let log = Arc::new(log);
     let mut session = Session::open(
         engine,

@@ -1,5 +1,6 @@
 //! Configuration of the TStream engine.
 
+use tstream_obs::ObsConfig;
 use tstream_recovery::{FsyncPolicy, GroupCommitConfig};
 use tstream_state::MAX_SHARDS;
 use tstream_stream::EventRouting;
@@ -130,6 +131,13 @@ pub struct EngineConfig {
     /// the window also flushes when the frame buffer reaches this size, so
     /// large payloads cannot grow the buffer unboundedly.
     pub group_window_bytes: u64,
+    /// Observability: the metrics hub and flight recorder
+    /// ([`tstream_obs::Obs`]) built for every engine.  On by default — the
+    /// hub is lock-free relaxed atomics and the recorder writes to
+    /// fixed-size per-thread rings, so the instrumented engine stays within
+    /// the benchmarked overhead bound.  [`ObsConfig::disabled`] turns every
+    /// recording call into a single branch.
+    pub obs: ObsConfig,
 }
 
 impl Default for EngineConfig {
@@ -147,6 +155,7 @@ impl Default for EngineConfig {
             checkpoint_every: 1,
             group_window_events: GroupCommitConfig::default().window_events,
             group_window_bytes: GroupCommitConfig::default().window_bytes,
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -233,6 +242,13 @@ impl EngineConfig {
         self
     }
 
+    /// Set the observability configuration (use [`ObsConfig::disabled`] to
+    /// turn the metrics hub and flight recorder off).
+    pub fn observability(mut self, obs: ObsConfig) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// The group-commit window as the recovery layer's config type.
     pub fn group_commit(&self) -> GroupCommitConfig {
         GroupCommitConfig {
@@ -258,6 +274,7 @@ mod tests {
         assert_eq!(cfg.checkpoint_every, 1);
         assert_eq!(cfg.group_window_events, 128);
         assert_eq!(cfg.group_window_bytes, 32 * 1024);
+        assert!(cfg.obs.enabled, "observability is on by default");
         assert_eq!(cfg.tstream.placement, ChainPlacement::SharedNothing);
         assert!(!cfg.tstream.work_stealing);
     }
@@ -310,6 +327,15 @@ mod tests {
             .event_routing(EventRouting::ShardAffine);
         assert_eq!(cfg.num_shards, 8);
         assert_eq!(cfg.event_routing, EventRouting::ShardAffine);
+    }
+
+    #[test]
+    fn observability_builder_composes() {
+        let cfg = EngineConfig::with_executors(2).observability(ObsConfig::disabled());
+        assert!(!cfg.obs.enabled);
+        let cfg = EngineConfig::default().observability(ObsConfig::new().flight_capacity(64));
+        assert!(cfg.obs.enabled);
+        assert_eq!(cfg.obs.flight_capacity, 64);
     }
 
     #[test]

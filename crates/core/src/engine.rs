@@ -35,7 +35,8 @@ use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
-use tstream_recovery::DurableLog;
+use tstream_obs::{clock, MetricsSnapshot, Obs, TraceEvent, TraceKind, NO_BATCH};
+use tstream_recovery::{DurableLog, WalStats};
 use tstream_state::checkpoint::{CheckpointManifest, Checkpointer};
 use tstream_state::{ShardRouter, StateStore, TableId, MAX_SHARDS};
 use tstream_stream::barrier::CyclicBarrier;
@@ -183,6 +184,14 @@ impl RunReport {
     }
 }
 
+/// Cumulative WAL counters at the last metrics drain (see
+/// [`RunContext::drain_wal_activity`]).
+#[derive(Default)]
+struct WalSeen {
+    bytes: u64,
+    stats: WalStats,
+}
+
 /// Per-executor accumulators, carried across every batch of a run.
 #[derive(Default)]
 pub(crate) struct ExecutorState {
@@ -216,6 +225,12 @@ pub(crate) struct RunContext<A: Application> {
     shard_chains: Mutex<Vec<u64>>,
     abort_log: BatchAbortLog,
     durability: Durability,
+    /// The engine's observability state: metrics hub, flight recorder and
+    /// post-mortem latch, shared by every run and session of the engine.
+    pub(crate) obs: Arc<Obs>,
+    /// Last WAL statistics drained into the metrics hub, so each drain folds
+    /// only the delta in (the log's own counters are cumulative).
+    wal_seen: Mutex<WalSeen>,
     /// Cumulative progress of this run, published by every executor before
     /// the durable-checkpoint barrier so the leader can stamp manifests with
     /// exact counts (only maintained under [`Durability::Wal`]).
@@ -256,6 +271,8 @@ impl<A: Application> RunContext<A> {
             shard_chains: Mutex::new(vec![0; num_shards as usize]),
             abort_log: BatchAbortLog::new(),
             durability,
+            obs: engine.obs.clone(),
+            wal_seen: Mutex::new(WalSeen::default()),
             live_events: AtomicU64::new(0),
             live_committed: AtomicU64::new(0),
             live_rejected: AtomicU64::new(0),
@@ -286,12 +303,20 @@ impl<A: Application> RunContext<A> {
     /// Poisoning still works: a single-executor run has no surviving
     /// sibling to unblock.
     #[inline]
-    fn barrier_wait(&self, state: &mut ExecutorState) -> bool {
+    fn barrier_wait(&self, index: usize, batch: u64, state: &mut ExecutorState) -> bool {
         if self.layout.executors == 1 {
             return true;
         }
         let (leader, waited) = self.barrier.wait();
         state.breakdown.charge(Component::Sync, waited);
+        self.obs.hub().barrier_wait(waited);
+        self.obs.trace_exec(
+            index,
+            batch,
+            TraceKind::BarrierRound {
+                wait_ns: waited.as_nanos().min(u64::MAX as u128) as u64,
+            },
+        );
         leader
     }
 
@@ -310,6 +335,11 @@ impl<A: Application> RunContext<A> {
             layout: self.layout,
             numa: self.config.numa,
         };
+        if index == 0 {
+            self.obs.hub().batch_executed();
+            self.obs
+                .trace_exec(index, batch.punctuation.seq, TraceKind::BatchInjected);
+        }
         match &self.scheme {
             Scheme::Eager(scheme) => self.eager_step(scheme, index, env, batch, state),
             Scheme::TStream => self.tstream_step(index, env, batch, state),
@@ -362,7 +392,12 @@ impl<A: Application> RunContext<A> {
             per_shard_chains: self.shard_chains.lock().clone(),
             checkpoints,
             wal_bytes: match &self.durability {
-                Durability::Wal(log) => log.wal_bytes(),
+                Durability::Wal(log) => {
+                    // Catch the tail of WAL activity (final seals, offline
+                    // window syncs) that landed after the last leader drain.
+                    self.drain_wal_activity(log);
+                    log.wal_bytes()
+                }
                 _ => 0,
             },
             fast_path_batches,
@@ -381,9 +416,10 @@ impl<A: Application> RunContext<A> {
             .fetch_add(batch.events() as u64, Ordering::Relaxed);
         let epoch = log.epoch_base() + batch.punctuation.seq;
         if !log.should_checkpoint(epoch) {
+            self.drain_wal_activity(log);
             return;
         }
-        let t = Instant::now();
+        let t = clock::now();
         let base = log.base();
         let manifest = CheckpointManifest {
             epoch,
@@ -393,8 +429,46 @@ impl<A: Application> RunContext<A> {
         };
         if log.checkpoint(&self.store, manifest).is_ok() {
             state.checkpoints += 1;
+            self.obs.hub().checkpoint();
+            self.obs
+                .trace_wal(batch.punctuation.seq, TraceKind::Checkpointed { epoch });
         }
+        self.drain_wal_activity(log);
         state.breakdown.charge(Component::Others, t.elapsed());
+    }
+
+    /// Fold the WAL's cumulative counters into the metrics hub as a delta
+    /// since the previous drain.  Called by the leader at durable batch
+    /// boundaries and once more at aggregation, so the hub's durability
+    /// series track the log without the log ever holding an obs handle.
+    fn drain_wal_activity(&self, log: &DurableLog) {
+        if !self.obs.enabled() {
+            return;
+        }
+        let bytes = log.wal_bytes();
+        let stats = log.wal_stats();
+        let mut seen = self.wal_seen.lock();
+        let delta = stats.delta_since(&seen.stats);
+        let bytes_delta = bytes.saturating_sub(seen.bytes);
+        seen.bytes = bytes;
+        seen.stats = stats;
+        drop(seen);
+        self.obs.hub().wal_activity(
+            bytes_delta,
+            delta.windows,
+            delta.fsyncs,
+            delta.fsync_ns,
+            delta.seals,
+            delta.truncated_segments,
+        );
+        if delta.truncated_segments > 0 {
+            self.obs.trace_wal(
+                NO_BATCH,
+                TraceKind::Truncated {
+                    segments: delta.truncated_segments.min(u32::MAX as u64) as u32,
+                },
+            );
+        }
     }
 
     /// Publish one executor's per-batch result deltas for manifest stamping.
@@ -437,16 +511,17 @@ impl<A: Application> RunContext<A> {
         batch: &EngineBatch<A::Payload>,
         state: &mut ExecutorState,
     ) {
+        let seq = batch.punctuation.seq;
         // Enter the batch together; the leader registers the batch with the
         // scheme (counter bookkeeping derived from read/write sets).
-        if self.barrier_wait(state) {
+        if self.barrier_wait(index, seq, state) {
             scheme.prepare_batch(&batch.descriptors);
         }
-        self.barrier_wait(state);
+        self.barrier_wait(index, seq, state);
 
         let committed_before = state.committed;
         let rejected_before = state.rejected;
-        let t_batch = Instant::now();
+        let t_batch = clock::now();
         for event in &batch.per_executor[index] {
             let (txn, blotter) = resolved_transaction(self.app.as_ref(), batch, event);
             let outcome = scheme.execute(&txn, &self.store, &env, &mut state.breakdown);
@@ -460,32 +535,50 @@ impl<A: Application> RunContext<A> {
             }
         }
         state.compute_time += t_batch.elapsed();
+        let (committed, rejected) = (
+            state.committed - committed_before,
+            state.rejected - rejected_before,
+        );
+        self.publish_results(index, seq, committed, rejected);
         // Publish the batch's result deltas before the barrier so the leader
         // can stamp the checkpoint manifest with exact cumulative counts.
         if matches!(self.durability, Durability::Wal(_)) {
-            self.publish_deltas(
-                state.committed - committed_before,
-                state.rejected - rejected_before,
-            );
+            self.publish_deltas(committed, rejected);
         }
 
         // Leave the batch together; the leader runs end-of-batch work
         // (e.g. MVLK's version garbage collection) and, if durability is
         // enabled, replicates the committed state to disk (Section IV-D).
-        if self.barrier_wait(state) {
+        if self.barrier_wait(index, seq, state) {
             scheme.end_batch(&self.store);
             match &self.durability {
                 Durability::None => {}
                 Durability::Snapshot(cp) => {
-                    let t = Instant::now();
+                    let t = clock::now();
                     if cp.checkpoint(&self.store).is_ok() {
                         state.checkpoints += 1;
+                        self.obs.hub().checkpoint();
                     }
                     state.breakdown.charge(Component::Others, t.elapsed());
                 }
                 Durability::Wal(_) => self.wal_leader_checkpoint(batch, state),
             }
         }
+    }
+
+    /// Record one executor's per-batch committed/rejected deltas with the
+    /// metrics hub and the flight recorder.
+    #[inline]
+    fn publish_results(&self, index: usize, batch: u64, committed: u64, rejected: u64) {
+        self.obs.hub().batch_published(committed, rejected);
+        self.obs.trace_exec(
+            index,
+            batch,
+            TraceKind::Published {
+                committed: committed.min(u32::MAX as u64) as u32,
+                rejected: rejected.min(u32::MAX as u64) as u32,
+            },
+        );
     }
 
     /// One batch of TStream's dual-mode scheduling on executor `index`.
@@ -499,11 +592,12 @@ impl<A: Application> RunContext<A> {
         if batch.conflict_free {
             return self.tstream_fast_step(index, env, batch, state);
         }
+        let seq = batch.punctuation.seq;
         let assignment = self.pools.assignment(env.executor);
 
         // ---- Compute mode: pre-process events, decompose and postpone
         // their transactions, cache the events for post-processing.
-        self.barrier_wait(state);
+        self.barrier_wait(index, seq, state);
 
         // Remote chain insertions only exist when the NUMA model is on *and*
         // the layout spans several sockets; on a single socket every insert
@@ -511,7 +605,7 @@ impl<A: Application> RunContext<A> {
         // operation) are skipped and insert time simply stays inside the
         // compute-mode window it already belongs to.
         let classify_remote = env.numa.enabled && self.layout.sockets() > 1;
-        let t_compute = Instant::now();
+        let t_compute = clock::now();
         let my_events = &batch.per_executor[index];
         let mut cached: Vec<(&Event<A::Payload>, tstream_txn::BlotterHandle)> =
             Vec::with_capacity(my_events.len());
@@ -531,7 +625,7 @@ impl<A: Application> RunContext<A> {
                     continue;
                 }
                 let remote_insert = self.pools.is_remote_insert(env.executor, op.target);
-                let t_insert = Instant::now();
+                let t_insert = clock::now();
                 let chain = self.pools.chain_for(op.target);
                 if let Some(dep) = op.dependency {
                     chain.add_dependency(dep);
@@ -555,7 +649,7 @@ impl<A: Application> RunContext<A> {
         // ---- TXN_START: first barrier — all executors must have finished
         // registering their postponed transactions before state access
         // begins (Section IV-B.2).
-        if self.barrier_wait(state) {
+        if self.barrier_wait(index, seq, state) {
             // A single executor processes straight out of the pool shards (see
             // `RestructureContext::single_executor`); the sorted task list is
             // only needed to split work between several executors.
@@ -566,15 +660,26 @@ impl<A: Application> RunContext<A> {
             }
             // Record the real shard placement of this batch's chains before
             // processing starts (the pools are recycled at the batch end).
+            let mut built = 0u64;
             let mut acc = self.shard_chains.lock();
             for (total, count) in acc.iter_mut().zip(self.pools.chains_per_shard()) {
                 *total += count as u64;
+                built += count as u64;
             }
+            drop(acc);
+            self.obs.hub().restructured_batch(built);
+            self.obs.trace_exec(
+                index,
+                seq,
+                TraceKind::Restructured {
+                    chains: built.min(u32::MAX as u64) as u32,
+                },
+            );
         }
-        self.barrier_wait(state);
+        self.barrier_wait(index, seq, state);
 
         // ---- State-access mode: process the operation chains in parallel.
-        let t_access = Instant::now();
+        let t_access = clock::now();
         let ctx = RestructureContext {
             pools: &self.pools,
             store: &self.store,
@@ -592,7 +697,7 @@ impl<A: Application> RunContext<A> {
 
         // ---- Second barrier: post-processing must not start until every
         // postponed state access has been processed (or aborted).
-        self.barrier_wait(state);
+        self.barrier_wait(index, seq, state);
 
         // Fold temporary versions of depended-upon states into the committed
         // values (safe: all processing finished at the barrier above).
@@ -610,14 +715,22 @@ impl<A: Application> RunContext<A> {
         // every executor takes the same barrier path.
         let replay_needed = self.abort_log.replay_needed();
         if replay_needed {
-            let t_access = Instant::now();
-            if self.barrier_wait(state) {
-                restructure::replay_batch_serially(
+            let t_access = clock::now();
+            if self.barrier_wait(index, seq, state) {
+                let replay = restructure::replay_batch_serially(
                     &self.store,
                     &self.pools,
                     &self.abort_log,
                     &env,
                     &mut state.breakdown,
+                );
+                self.obs.hub().aborts_replayed(replay.aborted as u64);
+                self.obs.trace_exec(
+                    index,
+                    seq,
+                    TraceKind::AbortReplay {
+                        aborted: replay.aborted.min(u32::MAX as usize) as u32,
+                    },
                 );
             }
             state.access_time += t_access.elapsed();
@@ -638,13 +751,21 @@ impl<A: Application> RunContext<A> {
         // Section IV-D) while the others post-process; the next batch's
         // compute mode cannot start before the leader reaches the next
         // batch-entry barrier.
-        if self.barrier_wait(state) {
+        if self.barrier_wait(index, seq, state) {
+            let recycled: u64 = self
+                .pools
+                .chains_per_shard()
+                .iter()
+                .map(|&c| c as u64)
+                .sum();
             self.pools.clear_all();
+            self.obs.hub().chains_recycled(recycled);
             self.abort_log.clear_batch();
             if let Durability::Snapshot(cp) = &self.durability {
-                let t = Instant::now();
+                let t = clock::now();
                 if cp.checkpoint(&self.store).is_ok() {
                     state.checkpoints += 1;
+                    self.obs.hub().checkpoint();
                 }
                 state.breakdown.charge(Component::Others, t.elapsed());
             }
@@ -660,13 +781,15 @@ impl<A: Application> RunContext<A> {
         // leader's disk write, exactly like the legacy snapshot path.
         if durable && replay_needed {
             self.publish_cached_deltas(&cached);
-            if self.barrier_wait(state) {
+            if self.barrier_wait(index, seq, state) {
                 self.wal_leader_checkpoint(batch, state);
             }
         }
 
         // ---- Back in compute mode: post-process the cached events.
-        let t_post = Instant::now();
+        let committed_before = state.committed;
+        let rejected_before = state.rejected;
+        let t_post = clock::now();
         for (event, blotter) in cached {
             let _ = self.app.post_process(&event.payload, &blotter);
             if blotter.is_aborted() {
@@ -678,6 +801,12 @@ impl<A: Application> RunContext<A> {
             }
         }
         state.compute_time += t_post.elapsed();
+        self.publish_results(
+            index,
+            seq,
+            state.committed - committed_before,
+            state.rejected - rejected_before,
+        );
     }
 
     /// The conflict-free fast path (taken when ingestion classified the
@@ -697,17 +826,20 @@ impl<A: Application> RunContext<A> {
         batch: &EngineBatch<A::Payload>,
         state: &mut ExecutorState,
     ) {
+        let seq = batch.punctuation.seq;
         if index == 0 {
             state.fast_batches += 1;
+            self.obs.hub().fast_path_batch();
+            self.obs.trace_exec(index, seq, TraceKind::FastPath);
         }
         let committed_before = state.committed;
         let rejected_before = state.rejected;
         let mut access = Duration::ZERO;
-        let t_batch = Instant::now();
+        let t_batch = clock::now();
         for event in &batch.per_executor[index] {
             let (txn, blotter) = resolved_transaction(self.app.as_ref(), batch, event);
             if !txn.ops.is_empty() {
-                let t_access = Instant::now();
+                let t_access = clock::now();
                 // An `Err` marks the blotter aborted and rolls back this
                 // event's own writes; disjointness keeps it from touching
                 // anything another event read or wrote.
@@ -731,6 +863,11 @@ impl<A: Application> RunContext<A> {
         }
         state.access_time += access;
         state.compute_time += t_batch.elapsed().saturating_sub(access);
+        let (committed, rejected) = (
+            state.committed - committed_before,
+            state.rejected - rejected_before,
+        );
+        self.publish_results(index, seq, committed, rejected);
 
         // Durability is the only reason to synchronise: checkpoints need
         // every executor's writes (and, for WAL manifests, deltas) in place
@@ -739,20 +876,18 @@ impl<A: Application> RunContext<A> {
         match &self.durability {
             Durability::None => {}
             Durability::Snapshot(cp) => {
-                if self.barrier_wait(state) {
-                    let t = Instant::now();
+                if self.barrier_wait(index, seq, state) {
+                    let t = clock::now();
                     if cp.checkpoint(&self.store).is_ok() {
                         state.checkpoints += 1;
+                        self.obs.hub().checkpoint();
                     }
                     state.breakdown.charge(Component::Others, t.elapsed());
                 }
             }
             Durability::Wal(_) => {
-                self.publish_deltas(
-                    state.committed - committed_before,
-                    state.rejected - rejected_before,
-                );
-                if self.barrier_wait(state) {
+                self.publish_deltas(committed, rejected);
+                if self.barrier_wait(index, seq, state) {
                     self.wal_leader_checkpoint(batch, state);
                 }
             }
@@ -781,6 +916,9 @@ pub struct Engine {
     /// Keeping the cell itself shared means a clone made *before* the first
     /// run still uses the same pool as the original.
     pool: Arc<OnceLock<ExecutorPool>>,
+    /// The engine's observability state (metrics hub + flight recorder +
+    /// post-mortem latch), shared by clones like the pool.
+    obs: Arc<Obs>,
 }
 
 impl Engine {
@@ -790,6 +928,7 @@ impl Engine {
             config,
             checkpointer: None,
             pool: Arc::new(OnceLock::new()),
+            obs: Arc::new(Obs::new(config.obs, config.executors.max(1))),
         }
     }
 
@@ -809,6 +948,51 @@ impl Engine {
     /// The engine's configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// The engine's observability state, for layers (sessions, the WAL
+    /// writer) that record into it directly.
+    pub(crate) fn obs(&self) -> &Arc<Obs> {
+        &self.obs
+    }
+
+    /// Point-in-time copy of every metric series the engine maintains:
+    /// ingestion, execution, durability, session gauges and the flight
+    /// recorder's own counters.  Cumulative over the engine's lifetime,
+    /// across runs and sessions; all zeros when the engine was built with
+    /// [`tstream_obs::ObsConfig::disabled`].
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.obs.metrics_snapshot()
+    }
+
+    /// The current metrics in Prometheus text exposition format (one
+    /// `# HELP`/`# TYPE`/value stanza per series) — scrape-ready.
+    pub fn metrics_text(&self) -> String {
+        self.obs.metrics_text()
+    }
+
+    /// The current metrics as one flat JSON object (consumed by
+    /// `bench_snapshot`'s observability section).
+    pub fn metrics_json(&self) -> String {
+        self.obs.metrics_json()
+    }
+
+    /// Drain the flight recorder: the last events of every runtime lane
+    /// (executors, ingestion, WAL writer) merged into one chronological
+    /// timeline.
+    pub fn flight_recording(&self) -> Vec<TraceEvent> {
+        self.obs.flight_recording()
+    }
+
+    /// How many post-mortem dumps this engine has emitted (0 or 1: the dump
+    /// fires exactly once, on the first executor panic / barrier poisoning).
+    pub fn post_mortem_count(&self) -> u64 {
+        self.obs.post_mortem_count()
+    }
+
+    /// The stored post-mortem dump, if one fired.
+    pub fn last_post_mortem(&self) -> Option<String> {
+        self.obs.last_post_mortem()
     }
 
     /// The engine's persistent executor pool, spawning it on first use.
@@ -918,8 +1102,20 @@ impl Engine {
                 batch.conflict_free = batch_is_conflict_free(&batch.descriptors, &mut scratch);
             }
         }
+        for batch in &batches {
+            self.obs
+                .hub()
+                .batch_ingested(batch.events() as u64, batch.replayed);
+            self.obs.trace_ingest(
+                batch.punctuation.seq,
+                TraceKind::BatchFormed {
+                    events: batch.events().min(u32::MAX as usize) as u32,
+                    replayed: batch.replayed,
+                },
+            );
+        }
 
-        let started = Instant::now();
+        let started = clock::now();
         let states: Vec<ExecutorState> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..ctx.executors())
                 .map(|e| {

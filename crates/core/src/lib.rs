@@ -101,6 +101,7 @@ pub use runtime::ExecutorPool;
 pub use session::Session;
 #[allow(deprecated)]
 pub use session::StreamSession;
+pub use tstream_obs::{MetricsSnapshot, ObsConfig, TraceEvent, TraceKind};
 pub use tstream_recovery::{FsyncPolicy, WalPayload};
 pub use tstream_stream::partition::EventRouting;
 
@@ -115,6 +116,7 @@ pub mod prelude {
     pub use crate::session::Session;
     #[allow(deprecated)]
     pub use crate::session::StreamSession;
+    pub use tstream_obs::{MetricsSnapshot, ObsConfig, TraceEvent, TraceKind};
     pub use tstream_recovery::{FsyncPolicy, RecoveryCoordinator, WalPayload};
     pub use tstream_state::{
         Checkpoint, CheckpointManifest, Checkpointer, ShardId, ShardRouter, StateStore,

@@ -212,9 +212,12 @@ impl ExecutorPool {
     /// Handle to the pool's WAL-writer thread, spawning it on first use.
     /// Every durable session of the engine shares this one thread; the pool
     /// joins it on drop, so its lifecycle is as audited as the executors'.
-    pub fn wal_writer(&self) -> WalWriterHandle {
+    /// `obs` receives the post-mortem dump should a write job ever panic.
+    pub fn wal_writer(&self, obs: &std::sync::Arc<tstream_obs::Obs>) -> WalWriterHandle {
         let mut writer = self.wal_writer.lock();
-        writer.get_or_insert_with(WalWriter::spawn).handle()
+        writer
+            .get_or_insert_with(|| WalWriter::spawn(obs.clone()))
+            .handle()
     }
 
     /// Whether the WAL-writer thread has been spawned (test instrumentation
@@ -267,10 +270,13 @@ impl ExecutorPool {
     /// Stage one completed batch (`jobs[e]` is executor `e`'s share) for
     /// injection.  Blocks only while **this session's** staging queue is
     /// full — the per-session backpressure; other sessions stage freely in
-    /// the meantime.
-    pub(crate) fn stage(&self, token: SessionToken, jobs: BatchJobs) {
+    /// the meantime.  Returns whether the call hit that backpressure (found
+    /// the staging queue full at least once), so the session can charge the
+    /// wait to its ingestion metrics.
+    pub(crate) fn stage(&self, token: SessionToken, jobs: BatchJobs) -> bool {
         assert_eq!(jobs.len(), self.executors(), "one job per executor");
         let mut jobs = Some(jobs);
+        let mut backpressured = false;
         loop {
             {
                 let mut state = self.scheduler.state.lock();
@@ -284,11 +290,14 @@ impl ExecutorPool {
                 } else if state.injecting {
                     // Someone else is injecting; it will free staging space
                     // (or release the injector role) and signal progress.
+                    backpressured = true;
                     self.scheduler.progress.wait(&mut state);
                     continue;
+                } else {
+                    // Full and nobody injecting — take the injector role
+                    // ourselves below to free space.
+                    backpressured = true;
                 }
-                // else: full and nobody injecting — take the injector role
-                // ourselves below to free space.
             }
             if jobs.is_none() {
                 break;
@@ -296,6 +305,7 @@ impl ExecutorPool {
             self.pump();
         }
         self.pump();
+        backpressured
     }
 
     /// Inject every staged batch of `token`'s session into the executor
@@ -477,9 +487,10 @@ mod tests {
     fn the_wal_writer_spawns_once_and_runs_jobs_in_order() {
         use tstream_recovery::FlushExecutor;
         let pool = ExecutorPool::new(2, 2);
+        let obs = Arc::new(tstream_obs::Obs::new(tstream_obs::ObsConfig::disabled(), 2));
         assert!(!pool.wal_writer_spawned(), "spawned lazily, not eagerly");
-        let first = pool.wal_writer();
-        let second = pool.wal_writer();
+        let first = pool.wal_writer(&obs);
+        let second = pool.wal_writer(&obs);
         assert!(pool.wal_writer_spawned());
         assert_eq!(pool.spawned(), 2, "the writer is not an executor");
         let log: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(Vec::new()));

@@ -36,6 +36,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
+use tstream_obs::{clock, Stopwatch, TraceKind};
 use tstream_recovery::DurableLog;
 use tstream_state::{StateResult, StateStore};
 use tstream_stream::source::BatchBuilder;
@@ -71,6 +72,11 @@ impl Completion {
         state.done += 1;
         drop(state);
         self.cv.notify_all();
+    }
+
+    /// Jobs finished so far (sampled for the staged-depth gauge).
+    fn done(&self) -> u64 {
+        self.state.lock().done
     }
 
     /// Record the first panic (later ones — typically the poisoned-barrier
@@ -224,6 +230,9 @@ impl<'e, A: Application> Session<'e, A> {
         let token = pool.register_session(staging_depth);
         let ctx = RunContext::new(engine, app, store, scheme, durability, options.label);
         let executors = ctx.executors();
+        let hub = engine.obs().hub();
+        hub.session_opened();
+        hub.punctuation_interval(engine.config().punctuation_interval.max(1) as u64);
         Session {
             pool,
             token,
@@ -335,8 +344,16 @@ impl<'e, A: Application> Session<'e, A> {
         if let Some(batch) = self.ingest(payload) {
             let events = batch.events();
             let replayed = batch.replayed;
+            let seq = batch.punctuation.seq;
+            let obs = &self.shared.ctx.obs;
             let sealed = match &self.durable {
-                Some(parts) => parts.log.seal().map(|_| ()),
+                Some(parts) => match parts.log.seal() {
+                    Ok(epoch) => {
+                        obs.trace_wal(seq, TraceKind::Sealed { epoch });
+                        Ok(())
+                    }
+                    Err(e) => Err(e),
+                },
                 None => Ok(()),
             };
             self.dispatch(batch);
@@ -360,10 +377,10 @@ impl<'e, A: Application> Session<'e, A> {
     /// WAL segments without re-appending them.
     pub(crate) fn ingest(&mut self, payload: A::Payload) -> Option<EngineBatch<A::Payload>> {
         if self.started.is_none() {
-            self.started = Some(Instant::now());
+            self.started = Some(clock::now());
         }
         if let Some(adaptive) = self.adaptive.as_mut() {
-            adaptive.window_started.get_or_insert_with(Instant::now);
+            adaptive.window_started.get_or_insert_with(clock::now);
         }
         self.pushed += 1;
         self.builder.push(payload)
@@ -506,10 +523,11 @@ impl<'e, A: Application> Session<'e, A> {
             throughput_keps,
             p99,
         });
-        adaptive.window_started = Some(Instant::now());
+        adaptive.window_started = Some(clock::now());
         adaptive.window_events = 0;
         if next != interval {
             self.builder.set_interval(next);
+            self.shared.ctx.obs.hub().punctuation_interval(next as u64);
         }
     }
 
@@ -535,6 +553,17 @@ impl<'e, A: Application> Session<'e, A> {
                 &mut self.conflict_scratch,
             );
         }
+        let obs = self.shared.ctx.obs.clone();
+        let seq = batch.punctuation.seq;
+        obs.hub()
+            .batch_ingested(batch.events() as u64, batch.replayed);
+        obs.trace_ingest(
+            seq,
+            TraceKind::BatchFormed {
+                events: batch.events().min(u32::MAX as usize) as u32,
+                replayed: batch.replayed,
+            },
+        );
         let batch = Arc::new(batch);
         let jobs: Vec<_> = (0..self.executors())
             .map(|e| {
@@ -546,15 +575,36 @@ impl<'e, A: Application> Session<'e, A> {
                         shared.ctx.step(e, &batch, &mut slot);
                     }));
                     if let Err(payload) = step {
+                        // First panic wins the post-mortem; siblings dying on
+                        // the poisoned barrier are no-ops on the latch.
+                        let obs = &shared.ctx.obs;
+                        obs.trace_exec(e, batch.punctuation.seq, TraceKind::Panicked);
                         shared.completion.record_panic(payload);
                         shared.ctx.poison();
+                        obs.trace_exec(e, batch.punctuation.seq, TraceKind::Poisoned);
+                        obs.post_mortem("executor panicked while processing a session batch");
                     }
                     shared.completion.mark_one();
                 }) as crate::runtime::Job
             })
             .collect();
         self.jobs_dispatched += jobs.len() as u64;
-        self.pool.stage(self.token, jobs);
+        let watch = Stopwatch::start_if(obs.enabled());
+        let blocked = self.pool.stage(self.token, jobs);
+        let wait_ns = if blocked {
+            let waited = watch.elapsed();
+            obs.hub().backpressure_wait(waited);
+            waited.as_nanos().min(u64::MAX as u128) as u64
+        } else {
+            0
+        };
+        obs.trace_ingest(seq, TraceKind::BatchStaged { wait_ns });
+        // Depth of this session's in-flight pipeline after staging, in
+        // batches (dispatched minus retired).
+        let executors = self.executors() as u64;
+        let retired = self.shared.completion.done() / executors;
+        obs.hub()
+            .staged_depth(self.jobs_dispatched / executors - retired);
     }
 }
 
@@ -600,5 +650,6 @@ impl<A: Application> Drop for Session<'_, A> {
         self.pool.drain_staged(self.token);
         let _ = self.shared.completion.wait_for(self.jobs_dispatched);
         self.pool.unregister_session(self.token);
+        self.shared.ctx.obs.hub().session_closed();
     }
 }

@@ -13,10 +13,13 @@
 //! the engine afterwards, and joined when the pool drops.  repolint audits
 //! this file as one of the pool's two allowed spawn sites.
 
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{bounded, Sender};
 
+use tstream_obs::Obs;
 use tstream_recovery::FlushExecutor;
 
 /// One write job: commit a pending group-commit window (or any closure that
@@ -42,14 +45,20 @@ pub(crate) struct WalWriter {
 
 impl WalWriter {
     /// Spawn the writer thread.  Called exactly once per pool (guarded by
-    /// [`crate::runtime::ExecutorPool::wal_writer`]).
-    pub(crate) fn spawn() -> Self {
+    /// [`crate::runtime::ExecutorPool::wal_writer`]).  A panicking write job
+    /// dumps the engine's flight recorder before the panic re-raises and
+    /// kills the thread — a WAL-writer death is exactly the kind of crash
+    /// the post-mortem exists for.
+    pub(crate) fn spawn(obs: Arc<Obs>) -> Self {
         let (tx, rx) = bounded::<WriteJob>(QUEUE_DEPTH);
         let handle = std::thread::Builder::new()
             .name("tstream-wal-writer".to_owned())
             .spawn(move || {
                 for job in rx.iter() {
-                    job();
+                    if let Err(payload) = std::panic::catch_unwind(AssertUnwindSafe(job)) {
+                        obs.post_mortem("WAL writer thread panicked");
+                        std::panic::resume_unwind(payload);
+                    }
                 }
             })
             .expect("spawning the WAL writer thread");

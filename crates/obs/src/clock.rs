@@ -1,0 +1,97 @@
+//! The sanctioned timing facade.
+//!
+//! Runtime crates are forbidden (by `tools/repolint`) from calling
+//! `Instant::now()` directly: ad-hoc timing scattered through the hot path is
+//! impossible to audit for overhead and invisible to the observability layer.
+//! Everything that needs wall-clock readings goes through this module
+//! instead — either a bare [`now`] for arrival stamping, or a [`Stopwatch`]
+//! for interval measurement that can be disabled (skipping the clock read
+//! entirely) when observability is off.
+
+use std::time::{Duration, Instant};
+
+/// Read the monotonic clock.  The single sanctioned `Instant::now()` of the
+/// runtime crates.
+#[inline]
+pub fn now() -> Instant {
+    Instant::now()
+}
+
+/// An interval timer that can be compiled down to a no-op.
+///
+/// `Stopwatch::start()` reads the clock; [`Stopwatch::start_if`]`(false)` and
+/// [`Stopwatch::disabled`] skip the read and report zero elapsed time, so
+/// instrumentation gated on [`crate::ObsConfig::disabled`] pays nothing but a
+/// branch.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Option<Instant>,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    #[inline]
+    pub fn start() -> Self {
+        Stopwatch {
+            started: Some(now()),
+        }
+    }
+
+    /// Start timing only when `enabled`; otherwise the stopwatch is inert
+    /// and reports zero.
+    #[inline]
+    pub fn start_if(enabled: bool) -> Self {
+        Stopwatch {
+            started: enabled.then(now),
+        }
+    }
+
+    /// An inert stopwatch: no clock read, zero elapsed.
+    #[inline]
+    pub fn disabled() -> Self {
+        Stopwatch { started: None }
+    }
+
+    /// Whether this stopwatch actually read the clock.
+    #[inline]
+    pub fn is_running(&self) -> bool {
+        self.started.is_some()
+    }
+
+    /// Elapsed time since `start`; [`Duration::ZERO`] when inert.
+    #[inline]
+    pub fn elapsed(&self) -> Duration {
+        self.started.map(|s| s.elapsed()).unwrap_or(Duration::ZERO)
+    }
+
+    /// Elapsed nanoseconds since `start` (saturating); 0 when inert.
+    #[inline]
+    pub fn elapsed_ns(&self) -> u64 {
+        self.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_stopwatch_measures_time() {
+        let sw = Stopwatch::start();
+        assert!(sw.is_running());
+        let busy: u64 = (0..10_000).sum();
+        assert!(busy > 0);
+        assert!(sw.elapsed() > Duration::ZERO);
+    }
+
+    #[test]
+    fn disabled_stopwatch_reports_zero() {
+        let sw = Stopwatch::disabled();
+        assert!(!sw.is_running());
+        assert_eq!(sw.elapsed(), Duration::ZERO);
+        assert_eq!(sw.elapsed_ns(), 0);
+        let gated = Stopwatch::start_if(false);
+        assert!(!gated.is_running());
+        assert!(Stopwatch::start_if(true).is_running());
+    }
+}

@@ -1,0 +1,433 @@
+//! Log-bucketed histograms with bounded relative error.
+//!
+//! Both histogram flavours share one bucket scheme: values below 32 get an
+//! exact bucket each; every power-of-two range `[2^e, 2^(e+1))` above that is
+//! split into 32 equal sub-buckets (`SUB_BUCKET_BITS = 5`).  A bucket's
+//! representative is its midpoint, so any reported quantile is within
+//! `1 / 64 ≈ 1.6 %` of the true value — good enough for p99.9 latency while
+//! the whole table stays a flat 1920-slot array (≈ 15 KiB) with O(1)
+//! recording and no allocation after construction.
+//!
+//! * [`LatencyHistogram`] — single-writer, mergeable; replaces the
+//!   Vec-of-Durations percentile sampling in the sink.  Tracks exact min,
+//!   max and sum so `percentile(0)`, `percentile(100)`, `max()` and `mean()`
+//!   stay bias-free.
+//! * [`AtomicHistogram`] — multi-writer with relaxed atomics; used by the
+//!   metrics hub for hot-path distributions (barrier waits).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Sub-bucket resolution: 2^5 = 32 sub-buckets per power of two.
+pub const SUB_BUCKET_BITS: u32 = 5;
+const SUB_BUCKETS: usize = 1 << SUB_BUCKET_BITS;
+const LINEAR_LIMIT: u64 = SUB_BUCKETS as u64;
+
+/// Total bucket count covering the full `u64` range: 32 exact buckets plus
+/// 32 sub-buckets for each exponent 5‥63.
+pub const BUCKET_COUNT: usize = SUB_BUCKETS + (64 - SUB_BUCKET_BITS as usize) * SUB_BUCKETS;
+
+/// Bucket index of `v` under the shared log-bucket scheme.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < LINEAR_LIMIT {
+        v as usize
+    } else {
+        let e = 63 - v.leading_zeros();
+        let shift = e - SUB_BUCKET_BITS;
+        SUB_BUCKETS + (shift as usize) * SUB_BUCKETS + ((v >> shift) as usize - SUB_BUCKETS)
+    }
+}
+
+/// Half-open value range `[lo, hi)` covered by bucket `index`.
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    if index < SUB_BUCKETS {
+        (index as u64, index as u64 + 1)
+    } else {
+        let rest = index - SUB_BUCKETS;
+        let shift = (rest / SUB_BUCKETS) as u32;
+        let sub = (rest % SUB_BUCKETS) as u64;
+        let lo = (SUB_BUCKETS as u64 + sub) << shift;
+        (lo, lo.saturating_add(1u64 << shift))
+    }
+}
+
+/// Representative (midpoint) value of bucket `index`; exact for the 32
+/// linear buckets.
+pub fn bucket_mid(index: usize) -> u64 {
+    let (lo, hi) = bucket_bounds(index);
+    lo + (hi - lo) / 2
+}
+
+fn quantile_rank(count: u64, pct: f64) -> u64 {
+    let pct = pct.clamp(0.0, 100.0);
+    ((pct / 100.0) * (count - 1) as f64).round() as u64
+}
+
+/// Compact summary of a histogram at one point in time: totals plus the
+/// quantiles the metrics exposition reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Saturating sum of recorded values (nanoseconds for time series).
+    pub sum: u64,
+    /// Exact maximum recorded value.
+    pub max: u64,
+    /// Median (bucket midpoint).
+    pub p50: u64,
+    /// 99th percentile (bucket midpoint).
+    pub p99: u64,
+    /// 99.9th percentile (bucket midpoint).
+    pub p999: u64,
+}
+
+fn summarize(counts: &[u64], count: u64, sum: u64, max: u64) -> HistogramSummary {
+    let q = |pct: f64| -> u64 {
+        if count == 0 {
+            return 0;
+        }
+        let rank = quantile_rank(count, pct);
+        let mut cum = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            cum += c;
+            if cum > rank {
+                return bucket_mid(i).min(max);
+            }
+        }
+        max
+    };
+    HistogramSummary {
+        count,
+        sum,
+        max,
+        p50: q(50.0),
+        p99: q(99.0),
+        p999: q(99.9),
+    }
+}
+
+/// Single-writer log-bucketed histogram of durations, mergeable across
+/// executor shards.  All values are stored as nanoseconds.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: Box<[u64]>,
+    count: u64,
+    sum_ns: u128,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0u64; BUCKET_COUNT].into_boxed_slice(),
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+
+    /// Record one value in nanoseconds.
+    #[inline]
+    pub fn record_ns(&mut self, ns: u64) {
+        self.counts[bucket_index(ns)] += 1;
+        self.count += 1;
+        self.sum_ns += ns as u128;
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Record one duration.
+    #[inline]
+    pub fn record(&mut self, d: Duration) {
+        self.record_ns(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Fold `other` into `self`.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Exact minimum recorded duration.
+    pub fn min(&self) -> Option<Duration> {
+        (self.count > 0).then(|| Duration::from_nanos(self.min_ns))
+    }
+
+    /// Exact maximum recorded duration.
+    pub fn max(&self) -> Option<Duration> {
+        (self.count > 0).then(|| Duration::from_nanos(self.max_ns))
+    }
+
+    /// Exact mean of all recorded durations.
+    pub fn mean(&self) -> Option<Duration> {
+        (self.count > 0).then(|| Duration::from_nanos((self.sum_ns / self.count as u128) as u64))
+    }
+
+    /// Nearest-rank percentile (`pct` clamped to 0‥100).  The endpoints are
+    /// exact (`percentile(0)` = min, `percentile(100)` = max); interior
+    /// quantiles report the holding bucket's midpoint, within 1.6 % relative
+    /// error.
+    pub fn percentile(&self, pct: f64) -> Option<Duration> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = quantile_rank(self.count, pct);
+        if rank == 0 {
+            return Some(Duration::from_nanos(self.min_ns));
+        }
+        if rank == self.count - 1 {
+            return Some(Duration::from_nanos(self.max_ns));
+        }
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum > rank {
+                let mid = bucket_mid(i).clamp(self.min_ns, self.max_ns);
+                return Some(Duration::from_nanos(mid));
+            }
+        }
+        Some(Duration::from_nanos(self.max_ns))
+    }
+
+    /// Summary (totals + p50/p99/p99.9) of the current contents.
+    pub fn summary(&self) -> HistogramSummary {
+        summarize(
+            &self.counts,
+            self.count,
+            self.sum_ns.min(u64::MAX as u128) as u64,
+            if self.count == 0 { 0 } else { self.max_ns },
+        )
+    }
+}
+
+/// Multi-writer log-bucketed histogram: every update is a relaxed
+/// `fetch_add` / `fetch_max` — no locks, no allocation, safe to hammer from
+/// every executor concurrently.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    counts: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AtomicHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        AtomicHistogram {
+            counts: (0..BUCKET_COUNT).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one value (relaxed ordering throughout).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.counts[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time summary.  Concurrent writers may skew the totals by a
+    /// handful of in-flight updates; quantiles are computed over one
+    /// consistent pass of the bucket array.
+    pub fn summary(&self) -> HistogramSummary {
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = counts.iter().sum();
+        summarize(
+            &counts,
+            count,
+            self.sum.load(Ordering::Relaxed),
+            self.max.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_roundtrips_through_bounds() {
+        for v in [
+            0u64,
+            1,
+            31,
+            32,
+            33,
+            63,
+            64,
+            100,
+            1_000,
+            123_456,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let i = bucket_index(v);
+            assert!(i < BUCKET_COUNT, "index {i} out of range for {v}");
+            let (lo, hi) = bucket_bounds(i);
+            // The very top bucket's upper bound saturates at u64::MAX, so
+            // that bound is inclusive.
+            assert!(
+                lo <= v && (v < hi || hi == u64::MAX),
+                "{v} not in [{lo},{hi})"
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_indices_are_monotone_and_dense_at_the_bottom() {
+        for v in 0..32u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_mid(v as usize), v, "linear buckets are exact");
+        }
+        let mut last = 0;
+        for v in (0..10_000u64).step_by(7) {
+            let i = bucket_index(v);
+            assert!(i >= last);
+            last = i;
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for v in [100u64, 999, 5_000, 77_777, 1_000_000, 123_456_789] {
+            let mid = bucket_mid(bucket_index(v));
+            let err = (mid as f64 - v as f64).abs() / v as f64;
+            assert!(err <= 1.0 / 64.0 + 1e-9, "v={v} mid={mid} err={err}");
+        }
+    }
+
+    #[test]
+    fn percentiles_track_a_uniform_distribution() {
+        let mut h = LatencyHistogram::new();
+        for ms in 1..=1000u64 {
+            h.record(Duration::from_millis(ms));
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.percentile(0.0), Some(Duration::from_millis(1)));
+        assert_eq!(h.percentile(100.0), Some(Duration::from_millis(1000)));
+        assert_eq!(h.max(), Some(Duration::from_millis(1000)));
+        let p50 = h.percentile(50.0).unwrap().as_secs_f64();
+        assert!((p50 - 0.5).abs() / 0.5 < 0.02, "p50={p50}");
+        let p99 = h.percentile(99.0).unwrap().as_secs_f64();
+        assert!((p99 - 0.99).abs() / 0.99 < 0.02, "p99={p99}");
+        let mean = h.mean().unwrap().as_secs_f64();
+        assert!((mean - 0.5005).abs() < 1e-6, "mean is exact, got {mean}");
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut all = LatencyHistogram::new();
+        for i in 0..500u64 {
+            let ns = i * 997 + 13;
+            if i % 2 == 0 {
+                a.record_ns(ns);
+            } else {
+                b.record_ns(ns);
+            }
+            all.record_ns(ns);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+        assert_eq!(a.mean(), all.mean());
+        for pct in [1.0, 25.0, 50.0, 90.0, 99.0] {
+            assert_eq!(a.percentile(pct), all.percentile(pct));
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_none_and_zero_summary() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.summary(), HistogramSummary::default());
+    }
+
+    #[test]
+    fn atomic_histogram_matches_single_writer() {
+        let h = AtomicHistogram::new();
+        let mut reference = LatencyHistogram::new();
+        for i in 1..=2_000u64 {
+            h.record(i * 31);
+            reference.record_ns(i * 31);
+        }
+        let s = h.summary();
+        let r = reference.summary();
+        assert_eq!(s.count, r.count);
+        assert_eq!(s.sum, r.sum);
+        assert_eq!(s.max, r.max);
+        assert_eq!(s.p50, r.p50);
+        assert_eq!(s.p99, r.p99);
+        assert_eq!(s.p999, r.p999);
+    }
+
+    #[test]
+    fn atomic_histogram_is_safe_under_concurrency() {
+        let h = std::sync::Arc::new(AtomicHistogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1_000u64 {
+                        h.record(t * 10_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 4_000);
+        assert_eq!(h.summary().count, 4_000);
+    }
+}

@@ -429,8 +429,10 @@ impl DurableLog {
         let progress = Arc::clone(&self.progress);
         executor.submit(Box::new(move || {
             let failure = match window.commit() {
-                Ok(buf) => {
-                    wal.lock().recycle_window_buffer(buf);
+                Ok((buf, sync_ns)) => {
+                    let mut wal = wal.lock();
+                    wal.recycle_window_buffer(buf);
+                    wal.note_offline_sync(sync_ns);
                     None
                 }
                 Err(e) => {
@@ -517,6 +519,13 @@ impl DurableLog {
     /// Bytes appended to the WAL through this log instance.
     pub fn wal_bytes(&self) -> u64 {
         self.wal.lock().bytes_written()
+    }
+
+    /// Cumulative WAL activity counters (windows, fsyncs, seals,
+    /// truncations).  The engine drains these as deltas into its metrics
+    /// hub at batch boundaries.
+    pub fn wal_stats(&self) -> wal::WalStats {
+        self.wal.lock().stats()
     }
 
     /// Events sitting in the active (unsealed) segment.

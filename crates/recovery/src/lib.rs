@@ -41,5 +41,5 @@ pub use coordinator::{
 };
 pub use wal::{
     list_segments, read_segment, DecodedSegment, FsyncPolicy, GroupCommitConfig, PendingWindow,
-    SegmentInfo, SegmentedWal, WalPayload,
+    SegmentInfo, SegmentedWal, WalPayload, WalStats,
 };

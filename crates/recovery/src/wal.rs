@@ -31,6 +31,7 @@ use std::fs::{self, File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
+use tstream_obs::Stopwatch;
 use tstream_state::codec::Reader;
 use tstream_state::{StateError, StateResult};
 
@@ -103,6 +104,41 @@ impl Default for GroupCommitConfig {
     }
 }
 
+/// Cumulative WAL activity counters.
+///
+/// Accumulated as plain integers under the owner's (`DurableLog`'s) mutex —
+/// the WAL itself never touches atomics or an observability handle — and
+/// drained as deltas into the engine's metrics hub at batch boundaries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Group-commit windows flushed (inline or handed off).
+    pub windows: u64,
+    /// `fsync` (`sync_data`) calls issued.
+    pub fsyncs: u64,
+    /// Nanoseconds spent inside those syncs.
+    pub fsync_ns: u64,
+    /// Segments sealed.
+    pub seals: u64,
+    /// Sealed segments removed by checkpoint truncation.
+    pub truncated_segments: u64,
+}
+
+impl WalStats {
+    /// Field-wise `self - prev` (saturating), for delta draining against a
+    /// cached previous snapshot.
+    pub fn delta_since(&self, prev: &WalStats) -> WalStats {
+        WalStats {
+            windows: self.windows.saturating_sub(prev.windows),
+            fsyncs: self.fsyncs.saturating_sub(prev.fsyncs),
+            fsync_ns: self.fsync_ns.saturating_sub(prev.fsync_ns),
+            seals: self.seals.saturating_sub(prev.seals),
+            truncated_segments: self
+                .truncated_segments
+                .saturating_sub(prev.truncated_segments),
+        }
+    }
+}
+
 /// A full group-commit window handed off for out-of-line writing: the frames
 /// to append, a duplicated handle of the active segment file, and whether
 /// the policy wants the window synced.  Produced by
@@ -118,14 +154,19 @@ pub struct PendingWindow {
 
 impl PendingWindow {
     /// Write (and per policy sync) the window.  Returns the drained frame
-    /// buffer so the owner can hand it back via
-    /// [`SegmentedWal::recycle_window_buffer`].
-    pub fn commit(mut self) -> std::io::Result<Vec<u8>> {
+    /// buffer — so the owner can hand it back via
+    /// [`SegmentedWal::recycle_window_buffer`] — and the nanoseconds spent
+    /// in the sync (`None` when the policy wanted none), which the owner
+    /// feeds back via [`SegmentedWal::note_offline_sync`].
+    pub fn commit(mut self) -> std::io::Result<(Vec<u8>, Option<u64>)> {
         self.file.write_all(&self.frames)?;
+        let mut sync_ns = None;
         if self.sync {
+            let sw = Stopwatch::start();
             self.file.sync_data()?;
+            sync_ns = Some(sw.elapsed_ns());
         }
-        Ok(self.frames)
+        Ok((self.frames, sync_ns))
     }
 }
 
@@ -374,6 +415,8 @@ pub struct SegmentedWal {
     /// Set when a seal failed mid-way: the tail file may carry a partial
     /// seal marker, so appends are refused until the directory is reopened.
     poisoned: bool,
+    /// Cumulative activity counters (see [`WalStats`]).
+    stats: WalStats,
 }
 
 impl std::fmt::Debug for SegmentedWal {
@@ -450,6 +493,7 @@ impl SegmentedWal {
             buffered_records: 0,
             spare_buf: None,
             poisoned: false,
+            stats: WalStats::default(),
         };
         if let Some((epoch, path, scan)) = tail {
             if epoch != wal.next_epoch {
@@ -497,6 +541,20 @@ impl SegmentedWal {
     /// Bytes appended through this writer instance (frames + headers).
     pub fn bytes_written(&self) -> u64 {
         self.bytes_written
+    }
+
+    /// Cumulative activity counters of this writer instance.
+    pub fn stats(&self) -> WalStats {
+        self.stats
+    }
+
+    /// Fold the sync timing of an out-of-line window commit (reported by
+    /// [`PendingWindow::commit`]) back into the counters.
+    pub fn note_offline_sync(&mut self, sync_ns: Option<u64>) {
+        if let Some(ns) = sync_ns {
+            self.stats.fsyncs += 1;
+            self.stats.fsync_ns += ns;
+        }
     }
 
     /// Replace the group-commit window bounds (defaults otherwise).
@@ -582,11 +640,17 @@ impl SegmentedWal {
         let Some(active) = self.active.as_mut() else {
             return Ok(());
         };
+        let stats = &mut self.stats;
+        let fsync = self.fsync;
         let outcome = (|| {
             active.file.write_all(&self.frame_buf)?;
-            if self.fsync == FsyncPolicy::Always {
+            if fsync == FsyncPolicy::Always {
+                let sw = Stopwatch::start();
                 active.file.sync_data()?;
+                stats.fsyncs += 1;
+                stats.fsync_ns += sw.elapsed_ns();
             }
+            stats.windows += 1;
             Ok(())
         })();
         self.frame_buf.clear();
@@ -613,6 +677,7 @@ impl SegmentedWal {
         let spare = self.spare_buf.take().unwrap_or_default();
         let frames = std::mem::replace(&mut self.frame_buf, spare);
         self.buffered_records = 0;
+        self.stats.windows += 1;
         Ok(Some(PendingWindow {
             frames,
             file,
@@ -670,19 +735,28 @@ impl SegmentedWal {
         let directory = &self.directory;
         let frame_buf = &mut self.frame_buf;
         let fsync = self.fsync;
+        let stats = &mut self.stats;
         let sealed = (|| {
             if !frame_buf.is_empty() {
                 active.file.write_all(frame_buf)?;
+                stats.windows += 1;
             }
             active.file.write_all(&marker)?;
             if fsync != FsyncPolicy::Never {
+                let sw = Stopwatch::start();
                 active.file.sync_data()?;
+                stats.fsyncs += 1;
+                stats.fsync_ns += sw.elapsed_ns();
             }
             let sealed_path = directory.join(sealed_name(active.epoch));
             fs::rename(&active.path, &sealed_path)?;
             if fsync != FsyncPolicy::Never {
+                let sw = Stopwatch::start();
                 File::open(directory)?.sync_all()?;
+                stats.fsyncs += 1;
+                stats.fsync_ns += sw.elapsed_ns();
             }
+            stats.seals += 1;
             Ok(active.epoch)
         })();
         self.frame_buf.clear();
@@ -716,6 +790,7 @@ impl SegmentedWal {
             }
             removed += 1;
         }
+        self.stats.truncated_segments += removed as u64;
         Ok(removed)
     }
 }
@@ -1066,6 +1141,34 @@ mod tests {
         assert_eq!(wal.next_epoch(), 1, "healed seal marker counts as sealed");
         let decoded = read_segment::<u64>(&dir.join(sealed_name(0))).unwrap();
         assert_eq!(decoded.events, vec![1]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wal_stats_count_windows_fsyncs_seals_and_truncations() {
+        let dir = temp_dir("stats");
+        let mut wal = SegmentedWal::open(&dir, FsyncPolicy::OnSeal, 0).unwrap();
+        assert_eq!(wal.stats(), WalStats::default());
+        for batch in 0..2u64 {
+            append_u64(&mut wal, batch);
+            wal.seal().unwrap();
+        }
+        let s = wal.stats();
+        assert_eq!(s.seals, 2);
+        assert_eq!(s.windows, 2, "the sealed remainder counts as a window");
+        // OnSeal: one data sync + one directory sync per seal.
+        assert_eq!(s.fsyncs, 4);
+        assert!(s.fsync_ns > 0);
+        assert_eq!(wal.truncate_through(0).unwrap(), 1);
+        assert_eq!(wal.stats().truncated_segments, 1);
+        // Deltas compose against a cached snapshot.
+        let delta = wal.stats().delta_since(&s);
+        assert_eq!(delta.seals, 0);
+        assert_eq!(delta.truncated_segments, 1);
+        // Out-of-line sync feedback folds in.
+        wal.note_offline_sync(Some(1_000));
+        wal.note_offline_sync(None);
+        assert_eq!(wal.stats().fsyncs, 5);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -8,9 +8,10 @@
 //! addition that `wait` reports how long the caller blocked so the *Sync*
 //! component of the time breakdown can be attributed precisely.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
+use tstream_obs::clock;
 
 /// A reusable barrier for a fixed number of participants.
 #[derive(Debug)]
@@ -61,7 +62,7 @@ impl CyclicBarrier {
     /// Panics if the barrier has been [`CyclicBarrier::poison`]ed — a party
     /// died, so waiting for it would block forever.
     pub fn wait(&self) -> (bool, Duration) {
-        let start = Instant::now();
+        let start = clock::now();
         let mut state = self.state.lock();
         assert!(
             !state.poisoned,

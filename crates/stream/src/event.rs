@@ -2,6 +2,8 @@
 
 use std::time::Instant;
 
+use tstream_obs::clock;
+
 /// Event / transaction timestamps.
 ///
 /// Timestamps are dense, monotonically increasing integers assigned by the
@@ -27,7 +29,7 @@ impl<P> Event<P> {
     pub fn new(ts: Timestamp, payload: P) -> Self {
         Event {
             ts,
-            arrival: Instant::now(),
+            arrival: clock::now(),
             payload,
         }
     }

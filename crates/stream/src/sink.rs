@@ -5,13 +5,23 @@
 //! and the time its result is generated.  Each executor records completions
 //! into its own [`Sink`] shard (no shared counters on the hot path); shards
 //! are merged into [`LatencyStats`] when the run finishes.
+//!
+//! Latencies are held in a log-bucketed
+//! [`tstream_obs::LatencyHistogram`] rather than a vector
+//! of raw samples: recording is O(1) without allocation, merging is a
+//! bucket-wise sum, and every sample contributes to the distribution — so
+//! p50/p99/p99.9 are exact to the bucket resolution (≤ 1.6 % relative
+//! error) instead of being biased by sampling, while min, max and mean stay
+//! exact.  Replayed batches are still excluded via [`Sink::emit_unsampled`].
 
 use std::time::{Duration, Instant};
+
+use tstream_obs::LatencyHistogram;
 
 /// Per-executor completion recorder.
 #[derive(Debug, Default)]
 pub struct Sink {
-    latencies: Vec<Duration>,
+    hist: LatencyHistogram,
     emitted: u64,
     rejected: u64,
 }
@@ -22,25 +32,23 @@ impl Sink {
         Self::default()
     }
 
-    /// Creates a sink shard with pre-allocated capacity.
-    pub fn with_capacity(capacity: usize) -> Self {
-        Sink {
-            latencies: Vec::with_capacity(capacity),
-            emitted: 0,
-            rejected: 0,
-        }
+    /// Creates a sink shard.  The histogram's footprint is fixed, so
+    /// `capacity` is only kept for API compatibility with the old
+    /// Vec-of-samples sink.
+    pub fn with_capacity(_capacity: usize) -> Self {
+        Self::default()
     }
 
     /// Record a successfully processed event whose arrival instant is known.
     pub fn emit(&mut self, arrival: Instant) {
-        self.latencies.push(arrival.elapsed());
+        self.hist.record(arrival.elapsed());
         self.emitted += 1;
     }
 
     /// Record a successfully processed event with an explicit latency (used
     /// by tests and by replayed traces).
     pub fn emit_with_latency(&mut self, latency: Duration) {
-        self.latencies.push(latency);
+        self.hist.record(latency);
         self.emitted += 1;
     }
 
@@ -72,32 +80,24 @@ impl Sink {
 
     /// Latency percentile over the samples recorded so far, without
     /// consuming the sink (adaptive punctuation observes this between
-    /// batches).  Sorts a copy of the samples — not free; callers should
-    /// sample it at batch granularity, not per event.
+    /// batches).  A bucket scan — no sort, no copy — so it is cheap enough
+    /// to sample at batch granularity.
     pub fn percentile_so_far(&self, pct: f64) -> Option<Duration> {
-        if self.latencies.is_empty() {
-            return None;
-        }
-        let mut sorted = self.latencies.clone();
-        sorted.sort_unstable();
-        let pct = pct.clamp(0.0, 100.0);
-        let rank = ((pct / 100.0) * (sorted.len() - 1) as f64).round() as usize;
-        Some(sorted[rank])
+        self.hist.percentile(pct)
     }
 
     /// Merge several per-executor shards into aggregate statistics.
     pub fn merge(shards: impl IntoIterator<Item = Sink>) -> LatencyStats {
-        let mut latencies = Vec::new();
+        let mut hist = LatencyHistogram::new();
         let mut emitted = 0;
         let mut rejected = 0;
         for shard in shards {
             emitted += shard.emitted;
             rejected += shard.rejected;
-            latencies.extend(shard.latencies);
+            hist.merge(&shard.hist);
         }
-        latencies.sort_unstable();
         LatencyStats {
-            latencies,
+            hist,
             emitted,
             rejected,
         }
@@ -107,7 +107,7 @@ impl Sink {
 /// Aggregated latency statistics for a run.
 #[derive(Debug, Clone, Default)]
 pub struct LatencyStats {
-    latencies: Vec<Duration>,
+    hist: LatencyHistogram,
     emitted: u64,
     rejected: u64,
 }
@@ -125,31 +125,29 @@ impl LatencyStats {
 
     /// Number of recorded latency samples.
     pub fn samples(&self) -> usize {
-        self.latencies.len()
+        self.hist.count() as usize
     }
 
-    /// Latency percentile in `0.0 ..= 100.0` (e.g. `99.0` for p99).
+    /// Latency percentile in `0.0 ..= 100.0` (e.g. `99.0` for p99).  The
+    /// endpoints are exact; interior quantiles are within the histogram's
+    /// 1.6 % bucket resolution.
     pub fn percentile(&self, pct: f64) -> Option<Duration> {
-        if self.latencies.is_empty() {
-            return None;
-        }
-        let pct = pct.clamp(0.0, 100.0);
-        let rank = ((pct / 100.0) * (self.latencies.len() - 1) as f64).round() as usize;
-        Some(self.latencies[rank])
+        self.hist.percentile(pct)
     }
 
-    /// Arithmetic mean latency.
+    /// Arithmetic mean latency (exact: the histogram tracks the exact sum).
     pub fn mean(&self) -> Option<Duration> {
-        if self.latencies.is_empty() {
-            return None;
-        }
-        let total: Duration = self.latencies.iter().sum();
-        Some(total / self.latencies.len() as u32)
+        self.hist.mean()
     }
 
-    /// Maximum observed latency.
+    /// Maximum observed latency (exact).
     pub fn max(&self) -> Option<Duration> {
-        self.latencies.last().copied()
+        self.hist.max()
+    }
+
+    /// The underlying latency distribution.
+    pub fn histogram(&self) -> &LatencyHistogram {
+        &self.hist
     }
 }
 
@@ -176,11 +174,13 @@ mod tests {
         assert_eq!(stats.emitted(), 100);
         assert_eq!(stats.rejected(), 1);
         assert_eq!(stats.samples(), 100);
+        // Endpoints and max are exact even on the bucketed histogram.
         assert_eq!(stats.percentile(0.0), Some(Duration::from_millis(1)));
         assert_eq!(stats.percentile(100.0), Some(Duration::from_millis(100)));
-        let p99 = stats.percentile(99.0).unwrap();
-        assert!(p99 >= Duration::from_millis(98) && p99 <= Duration::from_millis(100));
         assert_eq!(stats.max(), Some(Duration::from_millis(100)));
+        // Interior quantiles carry the 1.6 % bucket resolution.
+        let p99 = stats.percentile(99.0).unwrap().as_secs_f64();
+        assert!((p99 - 0.099).abs() / 0.099 < 0.02, "p99={p99}");
         let mean = stats.mean().unwrap();
         assert!(mean > Duration::from_millis(49) && mean < Duration::from_millis(52));
     }
@@ -228,5 +228,20 @@ mod tests {
         let stats = Sink::merge([sink]);
         assert_eq!(stats.percentile(150.0), Some(Duration::from_millis(5)));
         assert_eq!(stats.percentile(-3.0), Some(Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn large_distributions_stay_bias_free() {
+        // 100k samples: the old sampled sink would have had to cap or sort
+        // all of these; the histogram keeps every one at fixed memory.
+        let mut sink = Sink::new();
+        for i in 1..=100_000u64 {
+            sink.emit_with_latency(Duration::from_micros(i));
+        }
+        let stats = Sink::merge([sink]);
+        assert_eq!(stats.samples(), 100_000);
+        let p999 = stats.percentile(99.9).unwrap().as_secs_f64();
+        assert!((p999 - 0.0999).abs() / 0.0999 < 0.02, "p99.9={p999}");
+        assert_eq!(stats.max(), Some(Duration::from_micros(100_000)));
     }
 }

@@ -7,8 +7,7 @@
 //! it here keeps the scheme implementations focused on *synchronisation*,
 //! which is what the paper compares.
 
-use std::time::Instant;
-
+use tstream_obs::clock;
 use tstream_state::{StateError, StateResult, StateStore, TableId, Value};
 use tstream_stream::metrics::{Breakdown, Component};
 use tstream_stream::operator::StateRef;
@@ -76,7 +75,7 @@ pub fn execute_operation(
                 .map(|dep| store.record_at(TableId(dep.table), op.dep_slot)),
         )
     } else {
-        let t_index = Instant::now();
+        let t_index = clock::now();
         let record = store.record(TableId(op.target.table), op.target.key)?;
         let dep_record = match op.dependency {
             Some(dep) => Some(store.record(TableId(dep.table), dep.key)?),
@@ -89,7 +88,7 @@ pub fn execute_operation(
     // The state access itself.
     let remote =
         env.is_remote(op.target.key) || op.dependency.is_some_and(|d| env.is_remote(d.key));
-    let t_access = Instant::now();
+    let t_access = clock::now();
     if remote {
         env.remote_penalty();
     }

@@ -2,7 +2,7 @@
 //! execution environment (executor identity and NUMA model) shared by all
 //! schemes.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use tstream_state::StateStore;
 use tstream_stream::executor::{ExecutorId, ExecutorLayout};
@@ -145,7 +145,7 @@ impl ExecEnv {
             return;
         }
         let target = Duration::from_nanos(self.numa.remote_delay_ns);
-        let start = Instant::now();
+        let start = tstream_obs::clock::now();
         while start.elapsed() < target {
             std::hint::spin_loop();
         }
@@ -193,6 +193,7 @@ pub trait EagerScheme: Send + Sync {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Instant;
 
     #[test]
     fn numa_model_presets() {

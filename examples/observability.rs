@@ -1,0 +1,91 @@
+//! Observability quickstart: run a small workload through a streaming
+//! session and scrape the engine's metrics in Prometheus text format.
+//!
+//! Every engine carries a lock-free metrics hub and a per-thread flight
+//! recorder (both on by default, `ObsConfig::disabled()` turns them off).
+//! This example drives two phases — a conflict-free phase that takes the
+//! fast path and a conflict-heavy phase that restructures into operation
+//! chains — then prints:
+//!
+//! 1. the full `metrics_text()` scrape (the CI `obs-smoke` job parses it),
+//! 2. the tail of the merged flight-recorder timeline.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example observability
+//! ```
+
+use std::sync::Arc;
+
+use tstream_core::prelude::*;
+
+/// Every event increments one counter.
+struct Counter;
+
+impl Application for Counter {
+    type Payload = u64;
+
+    fn name(&self) -> &'static str {
+        "counter"
+    }
+
+    fn read_write_set(&self, key: &u64) -> ReadWriteSet {
+        ReadWriteSet::new().write(StateRef::new(0, *key))
+    }
+
+    fn state_access(&self, key: &u64, txn: &mut TxnBuilder) {
+        txn.read_modify(0, *key, None, |ctx| {
+            Ok(Value::Long(ctx.current.as_long()? + 1))
+        });
+    }
+
+    fn post_process(&self, _key: &u64, _blotter: &EventBlotter) -> PostAction {
+        PostAction::Emit
+    }
+}
+
+const KEYS: u64 = 256;
+const INTERVAL: usize = 64;
+
+fn main() {
+    let table = TableBuilder::new("counters")
+        .extend((0..KEYS).map(|k| (k, Value::Long(0))))
+        .build()
+        .unwrap();
+    let store = StateStore::new(vec![table]).unwrap();
+    let app = Arc::new(Counter);
+
+    let engine = Engine::new(EngineConfig::with_executors(4).punctuation(INTERVAL));
+    let mut session = engine
+        .session_builder(&app, &store, &Scheme::TStream)
+        .open()
+        .unwrap();
+
+    // Phase 1: distinct keys per batch — conflict-free, fast path.
+    for key in 0..KEYS {
+        session.push(key).unwrap();
+    }
+    // Phase 2: four hot keys — heavy conflicts, restructured into chains.
+    for i in 0..KEYS {
+        session.push(i % 4).unwrap();
+    }
+    let report = session.report().unwrap();
+    assert_eq!(report.committed, 2 * KEYS);
+
+    // The scrape the obs-smoke CI job parses: every `# TYPE` declared series
+    // followed by its sample line.
+    println!("{}", engine.metrics_text());
+
+    let timeline = engine.flight_recording();
+    eprintln!(
+        "--- last flight-recorder events ({} total) ---",
+        timeline.len()
+    );
+    for event in timeline.iter().rev().take(12).rev() {
+        eprintln!(
+            "t+{:>12} ns  lane {}  batch {:>4}  {:?}",
+            event.t_ns, event.lane, event.batch, event.kind
+        );
+    }
+}

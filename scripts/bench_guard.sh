@@ -10,7 +10,12 @@
 #     by raw fsync latency, and is not guarded);
 #   * breakdown:     the per-stage section's compute_share per app — an
 #     overhead regression (slower restructuring at unchanged keps) fails
-#     the build even before it shows up in throughput.
+#     the build even before it shows up in throughput;
+#   * observability: the fresh snapshot's instrumented-vs-disabled overhead
+#     rows, checked as an absolute ceiling (mean across apps <= 5%), not
+#     against the committed values — the instrumentation must stay close to
+#     free no matter what the baseline says.  The rows are already
+#     noise-hardened (interleaved best-of-N pairs, clamped at zero).
 #
 # The committed snapshot is regenerated on the same class of host
 # (scripts/bench_snapshot.sh).  Tolerances are sized to the noise actually
@@ -30,6 +35,7 @@ cd "$(dirname "$0")/.."
 
 TOLERANCE="${TOLERANCE:-0.40}"
 DURABLE_TOLERANCE="${DURABLE_TOLERANCE:-0.60}"
+OBS_TOLERANCE="${OBS_TOLERANCE:-0.05}"
 COMMITTED="BENCH_engine.json"
 FRESH="${FRESH:-/tmp/bench_guard_fresh.json}"
 
@@ -76,14 +82,47 @@ rows() {
         }'
 }
 
-# The per-stage breakdown section is part of the snapshot contract: a
-# snapshot without it would silently drop every share row from the guard.
+# The per-stage breakdown and observability sections are part of the
+# snapshot contract: a snapshot without them would silently drop their
+# rows from the guard.
 for f in "$COMMITTED" "$FRESH"; do
-    if ! grep -q '"breakdown":' "$f"; then
-        echo "bench_guard: $f has no breakdown section" >&2
-        exit 1
-    fi
+    for section in '"breakdown":' '"observability":'; do
+        if ! grep -q "$section" "$f"; then
+            echo "bench_guard: $f has no $section section" >&2
+            exit 1
+        fi
+    done
 done
+
+# Instrumentation-overhead ceiling: checked on the fresh run alone.
+tr '{' '\n' < "$FRESH" | awk -v tol="$OBS_TOLERANCE" '
+    /"instrumented_keps":/ {
+        app = ""; ov = ""
+        n = split($0, parts, ",")
+        for (i = 1; i <= n; i++) {
+            if (parts[i] ~ /"app":/)      { gsub(/[^A-Z]/, "", parts[i]); app = parts[i] }
+            if (parts[i] ~ /"overhead":/) { gsub(/[^0-9.]/, "", parts[i]); ov = parts[i] }
+        }
+        if (app != "" && ov != "") {
+            printf "obs/%-14s overhead %6.2f%%\n", app, 100 * ov
+            sum += ov; rows++
+        }
+    }
+    END {
+        if (rows == 0) {
+            print "bench_guard: no observability rows in the fresh run"
+            exit 1
+        }
+        mean = sum / rows
+        printf "obs mean overhead %.2f%% (ceiling %.0f%%)\n", 100 * mean, 100 * tol
+        if (mean > tol) {
+            print "bench_guard: instrumentation overhead exceeds the ceiling"
+            exit 1
+        }
+    }' || {
+    echo "bench_guard: FAILED (observability overhead ceiling $OBS_TOLERANCE)" >&2
+    exit 1
+}
 
 rows "$COMMITTED" > /tmp/bench_guard_old.txt
 rows "$FRESH" > /tmp/bench_guard_new.txt

@@ -16,12 +16,15 @@
 //!   `.durable(dir).recover()` mode;
 //! * [`stream`] — events, punctuation barriers, operators, topologies;
 //! * [`skiplist`] — the concurrent skip list backing the state indexes;
+//! * [`obs`] — the observability layer: lock-free metrics hub, flight
+//!   recorder, and the clock facade behind every runtime timestamp;
 //! * [`apps`] — the paper's four benchmark applications (GS, SL, OB, TP).
 
 #![warn(missing_docs)]
 
 pub use tstream_apps as apps;
 pub use tstream_core as core;
+pub use tstream_obs as obs;
 pub use tstream_recovery as recovery;
 pub use tstream_skiplist as skiplist;
 pub use tstream_state as state;

@@ -1,0 +1,336 @@
+//! Observability integration tests.
+//!
+//! The metrics hub and the flight recorder are wired through every runtime
+//! layer; these tests pin the invariants that make their numbers *trustworthy*
+//! rather than merely present: hub counters must agree with the
+//! [`RunReport`](tstream_core::RunReport) totals computed independently by the
+//! sinks, the merged flight timeline must be chronologically ordered, and a
+//! poisoned run must emit its post-mortem dump exactly once no matter how many
+//! executors unwind.
+
+use std::fs;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use tstream_apps::workload::WorkloadSpec;
+use tstream_apps::{ob, sl};
+use tstream_core::prelude::*;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "tstream-observability-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Every event increments one counter — conflict-free whenever the keys
+/// within a punctuation batch are distinct, conflict-heavy when they repeat.
+struct Counter;
+
+impl Application for Counter {
+    type Payload = u64;
+    fn name(&self) -> &'static str {
+        "counter"
+    }
+    fn read_write_set(&self, key: &u64) -> ReadWriteSet {
+        ReadWriteSet::new().write(StateRef::new(0, *key))
+    }
+    fn state_access(&self, key: &u64, txn: &mut TxnBuilder) {
+        txn.read_modify(0, *key, None, |ctx| {
+            Ok(Value::Long(ctx.current.as_long()? + 1))
+        });
+    }
+    fn post_process(&self, _key: &u64, _blotter: &EventBlotter) -> PostAction {
+        PostAction::Emit
+    }
+}
+
+/// Same application, but processing the poisoned key panics on the executor —
+/// the crash the flight recorder's post-mortem dump exists for.
+struct PanickyCounter {
+    poison_key: u64,
+}
+
+impl Application for PanickyCounter {
+    type Payload = u64;
+    fn name(&self) -> &'static str {
+        "panicky-counter"
+    }
+    fn read_write_set(&self, key: &u64) -> ReadWriteSet {
+        ReadWriteSet::new().write(StateRef::new(0, *key))
+    }
+    fn state_access(&self, key: &u64, txn: &mut TxnBuilder) {
+        assert_ne!(*key, self.poison_key, "deliberate test panic");
+        txn.read_modify(0, *key, None, |ctx| {
+            Ok(Value::Long(ctx.current.as_long()? + 1))
+        });
+    }
+    fn post_process(&self, _key: &u64, _blotter: &EventBlotter) -> PostAction {
+        PostAction::Emit
+    }
+}
+
+fn counter_store(keys: u64) -> Arc<StateStore> {
+    let table = TableBuilder::new("counters")
+        .extend((0..keys).map(|k| (k, Value::Long(0))))
+        .build()
+        .unwrap();
+    StateStore::new(vec![table]).unwrap()
+}
+
+/// OB store with scarce inventory so a realistic share of bids is rejected.
+fn scarce_ob_store(keys: u64, qty: i64) -> Arc<StateStore> {
+    let items = TableBuilder::new("items")
+        .extend((0..keys).map(|k| (k, Value::Pair(ob::INITIAL_PRICE, qty))))
+        .build()
+        .unwrap();
+    StateStore::new(vec![items]).unwrap()
+}
+
+#[test]
+fn every_ingested_event_is_accounted_committed_or_rejected() {
+    // Abort-heavy workload: the hub's ingestion counter must equal the sum of
+    // its own commit/reject counters AND the independently aggregated report.
+    let spec = WorkloadSpec::default().events(2_000).keys(16).seed(91);
+    let events = ob::generate(&spec);
+    let app = Arc::new(ob::OnlineBidding);
+    let store = scarce_ob_store(spec.keys, 5);
+    let engine = Engine::new(EngineConfig::with_executors(4).punctuation(250));
+    let report = engine.run(&app, &store, events, &Scheme::TStream);
+    assert!(report.rejected > 0, "workload must actually abort");
+
+    let m = engine.metrics_snapshot();
+    assert_eq!(m.ingest_events, 2_000);
+    assert_eq!(
+        m.ingest_events,
+        m.exec_committed + m.exec_rejected,
+        "events in must equal committed + rejected"
+    );
+    assert_eq!(m.exec_committed, report.committed);
+    assert_eq!(m.exec_rejected, report.rejected);
+    assert_eq!(m.ingest_batches, 2_000 / 250);
+    assert_eq!(m.exec_batches, m.ingest_batches);
+}
+
+#[test]
+fn fast_path_counter_matches_the_report() {
+    // Distinct keys per batch → every batch is conflict-free → fast path.
+    let store = counter_store(256);
+    let engine = Engine::new(EngineConfig::with_executors(4).punctuation(64));
+    let report = engine.run(
+        &Arc::new(Counter),
+        &store,
+        (0..256u64).collect(),
+        &Scheme::TStream,
+    );
+    assert_eq!(
+        report.fast_path_batches, 4,
+        "all four batches conflict-free"
+    );
+
+    let m = engine.metrics_snapshot();
+    assert_eq!(m.exec_fast_path_batches, report.fast_path_batches);
+    assert_eq!(m.exec_batches, 4);
+    assert_eq!(m.exec_restructured_batches, 0);
+
+    // Conflict-heavy keys on a fresh engine: no fast path, chains instead.
+    let store = counter_store(4);
+    let engine = Engine::new(EngineConfig::with_executors(4).punctuation(64));
+    let report = engine.run(
+        &Arc::new(Counter),
+        &store,
+        (0..256u64).map(|i| i % 4).collect(),
+        &Scheme::TStream,
+    );
+    assert_eq!(report.fast_path_batches, 0);
+    let m = engine.metrics_snapshot();
+    assert_eq!(m.exec_fast_path_batches, 0);
+    assert_eq!(m.exec_restructured_batches, 4);
+    assert!(m.exec_chains_built >= 4, "each batch builds chains");
+    assert_eq!(
+        m.exec_chains_recycled, m.exec_chains_built,
+        "every chain arena goes back to its pool"
+    );
+}
+
+#[test]
+fn wal_counters_match_the_durable_report() {
+    let dir = temp_dir("wal");
+    let spec = WorkloadSpec::default().events(1_200).keys(32).seed(92);
+    let events = sl::generate(&spec);
+    let store = sl::build_store(&spec);
+    let app = Arc::new(sl::StreamingLedger);
+    let engine = Engine::new(EngineConfig::with_executors(4).punctuation(200));
+    let mut session = engine
+        .session_builder(&app, &store, &Scheme::TStream)
+        .durable(&dir)
+        .open()
+        .unwrap();
+    for event in events {
+        session.push(event).unwrap();
+    }
+    let report = session.report().unwrap();
+    assert!(report.wal_bytes > 0);
+
+    let m = engine.metrics_snapshot();
+    assert_eq!(
+        m.wal_bytes, report.wal_bytes,
+        "hub WAL bytes must equal the report's"
+    );
+    assert!(
+        m.wal_seals >= m.ingest_batches,
+        "every batch seals a segment"
+    );
+    assert!(m.wal_fsyncs > 0);
+    assert!(m.wal_windows > 0);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn flight_timeline_is_merged_in_chronological_order() {
+    let store = counter_store(64);
+    let engine = Engine::new(EngineConfig::with_executors(4).punctuation(64));
+    let _ = engine.run(
+        &Arc::new(Counter),
+        &store,
+        (0..512u64).map(|i| i % 64).collect(),
+        &Scheme::TStream,
+    );
+
+    let timeline = engine.flight_recording();
+    assert!(!timeline.is_empty());
+    for pair in timeline.windows(2) {
+        assert!(
+            (pair[0].t_ns, pair[0].seq) <= (pair[1].t_ns, pair[1].seq),
+            "timeline must be ordered by (t_ns, seq)"
+        );
+    }
+    // Events from more than one lane made it into the merge.
+    let mut lanes: Vec<u32> = timeline.iter().map(|e| e.lane).collect();
+    lanes.sort_unstable();
+    lanes.dedup();
+    assert!(
+        lanes.len() > 1,
+        "expected executor + ingest lanes, got {lanes:?}"
+    );
+    assert!(
+        timeline
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::FastPath | TraceKind::Restructured { .. })),
+        "scheduling decisions must be traced"
+    );
+}
+
+#[test]
+fn metrics_text_exposes_a_rich_series_catalogue() {
+    let store = counter_store(64);
+    let engine = Engine::new(EngineConfig::with_executors(2).punctuation(64));
+    let _ = engine.run(
+        &Arc::new(Counter),
+        &store,
+        (0..128u64).map(|i| i % 64).collect(),
+        &Scheme::TStream,
+    );
+
+    let text = engine.metrics_text();
+    let series: Vec<&str> = text
+        .lines()
+        .filter(|l| l.starts_with("# TYPE "))
+        .map(|l| l.split_whitespace().nth(2).unwrap())
+        .collect();
+    assert!(
+        series.len() >= 20,
+        "expected at least 20 distinct series, got {}: {series:?}",
+        series.len()
+    );
+    // Every series declared must also be emitted with a numeric value.
+    for name in &series {
+        assert!(
+            text.lines()
+                .any(|l| l.starts_with(name) && !l.starts_with('#')),
+            "{name} declared but never emitted"
+        );
+    }
+    // The JSON dump parses as one flat object with the same ingest total.
+    let json = engine.metrics_json();
+    assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+    assert!(json.contains("\"ingest_events\":128"));
+}
+
+#[test]
+fn disabled_observability_records_nothing() {
+    let store = counter_store(64);
+    let engine = Engine::new(
+        EngineConfig::with_executors(2)
+            .punctuation(64)
+            .observability(ObsConfig::disabled()),
+    );
+    let report = engine.run(
+        &Arc::new(Counter),
+        &store,
+        (0..128u64).map(|i| i % 64).collect(),
+        &Scheme::TStream,
+    );
+    assert_eq!(report.committed, 128, "results unaffected by obs mode");
+    let m = engine.metrics_snapshot();
+    assert_eq!(m.ingest_events, 0);
+    assert_eq!(m.exec_committed, 0);
+    assert!(engine.flight_recording().is_empty());
+}
+
+#[test]
+fn poisoned_run_dumps_the_post_mortem_exactly_once() {
+    // A panicking application poisons the batch barrier: the panicking
+    // executor and every sibling that unwinds on the poisoned barrier all
+    // funnel into the same dump latch, which must fire exactly once.
+    let store = counter_store(64);
+    let engine = Engine::new(EngineConfig::with_executors(4).punctuation(64));
+    let app = Arc::new(PanickyCounter { poison_key: 13 });
+    assert_eq!(engine.post_mortem_count(), 0);
+
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        let mut session = engine
+            .session_builder(&app, &store, &Scheme::TStream)
+            .open()
+            .unwrap();
+        for key in 0..256u64 {
+            session.push(key % 64).unwrap();
+        }
+        session.report().unwrap()
+    }));
+    assert!(caught.is_err(), "the application panic must re-raise");
+
+    assert_eq!(
+        engine.post_mortem_count(),
+        1,
+        "the dump latch must fire exactly once per engine"
+    );
+    let dump = engine.last_post_mortem().expect("a dump was recorded");
+    assert!(
+        dump.contains("executor panicked"),
+        "dump must name the reason: {dump}"
+    );
+    // The recorder captured the crash markers before the dump formatted it.
+    assert!(
+        dump.contains("PANICKED") && dump.contains("POISONED"),
+        "dump must carry the crash trace markers: {dump}"
+    );
+
+    // The engine survives: a healthy session on the same pool still works,
+    // and its panic-free run does not re-arm the dump latch.
+    let healthy = Engine::new(EngineConfig::with_executors(4).punctuation(64));
+    drop(healthy);
+    let store2 = counter_store(64);
+    let report = engine.run(
+        &Arc::new(Counter),
+        &store2,
+        (0..128u64).map(|i| i % 64).collect(),
+        &Scheme::TStream,
+    );
+    assert_eq!(report.committed, 128);
+    assert_eq!(engine.post_mortem_count(), 1, "still exactly one dump");
+}

@@ -20,9 +20,16 @@
 //!    `tools/repolint/vendor.manifest` (FNV-1a 64); drive-by edits to the
 //!    vendored stand-ins fail CI.  Regenerate deliberately with
 //!    `cargo run -p repolint -- --write-vendor-manifest`.
+//! 5. **No ad-hoc `Instant::now()` in runtime crates.**  Every runtime
+//!    timestamp goes through `tstream_obs::clock::now()` (or a
+//!    `Stopwatch`), so timing can be audited, gated on the obs config, and
+//!    stubbed in one place.  The clock facade itself
+//!    (`crates/obs/src/clock.rs`) and the stream crate's throughput clock
+//!    (`crates/stream/src/metrics.rs`) are the two sanctioned call sites.
 //!
-//! Rules 1–3 skip `#[cfg(test)]` blocks and comment lines; integration
-//! tests (`tests/`) are not scanned — tests may spawn raw threads.
+//! Rules 1–3 and 5 skip `#[cfg(test)]` blocks and comment lines;
+//! integration tests (`tests/`) are not scanned — tests may spawn raw
+//! threads and time things however they like.
 
 use std::fmt::Write as _;
 use std::fs;
@@ -175,6 +182,21 @@ fn lint_source_file(root: &Path, path: &Path, violations: &mut Vec<Violation>) {
     // allowed to create OS threads; both are counted and joined by the pool.
     let spawn_allowed = rel == Path::new("crates/core/src/runtime.rs")
         || rel == Path::new("crates/core/src/walwriter.rs");
+    // Rule 5 scope: the crates on the event-processing path.  `apps` and
+    // `bench` are drivers — they time whole runs, which is fine.
+    let runtime_crate = [
+        "crates/core",
+        "crates/stream",
+        "crates/txn",
+        "crates/state",
+        "crates/recovery",
+        "crates/skiplist",
+        "crates/obs",
+    ]
+    .iter()
+    .any(|c| rel.starts_with(c));
+    let clock_allowed = rel == Path::new("crates/obs/src/clock.rs")
+        || rel == Path::new("crates/stream/src/metrics.rs");
     let mut tracker = TestRegionTracker::new();
 
     for (idx, line) in source.lines().enumerate() {
@@ -235,6 +257,19 @@ fn lint_source_file(root: &Path, path: &Path, violations: &mut Vec<Violation>) {
                 message: "std::thread::spawn outside the executor pool's spawn \
                           sites (runtime.rs, walwriter.rs); threads belong to \
                           the executor pool"
+                    .to_string(),
+            });
+        }
+
+        // Rule 5: ad-hoc clock reads on the event-processing path.
+        if runtime_crate && !clock_allowed && line.contains("Instant::now(") {
+            violations.push(Violation {
+                path: rel.clone(),
+                line: lineno,
+                rule: "ad-hoc-clock",
+                message: "Instant::now() in a runtime crate; read the clock \
+                          through tstream_obs::clock::now() (or Stopwatch) so \
+                          runtime timing stays auditable and obs-gated"
                     .to_string(),
             });
         }
