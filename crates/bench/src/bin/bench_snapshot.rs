@@ -32,6 +32,7 @@ use tstream_apps::{
 };
 use tstream_bench::{events_for, run_point, HarnessConfig};
 use tstream_core::{Engine, EngineConfig, FsyncPolicy, ObsConfig, Scheme, WalPayload};
+use tstream_replica::{ChannelTransport, Shipper};
 use tstream_state::StateStore;
 use tstream_txn::Application;
 
@@ -78,6 +79,18 @@ struct ObservabilityPoint {
     disabled_keps: f64,
     /// Throughput lost to instrumentation, clamped at zero (on noisy hosts
     /// the instrumented best-of-N regularly beats the disabled one).
+    overhead: f64,
+}
+
+/// Cost of hot-standby shipping on the primary's ingest path: the same
+/// durable run with a [`Shipper`] attached (segments read back and enqueued
+/// on an in-process transport) and without one.
+struct ReplicationPoint {
+    app: &'static str,
+    shipping_keps: f64,
+    baseline_keps: f64,
+    /// Throughput lost to shipping, clamped at zero (same noise hardening
+    /// as the observability rows).
     overhead: f64,
 }
 
@@ -267,6 +280,129 @@ fn observability_sweep(quick: bool) -> Vec<ObservabilityPoint> {
     points
 }
 
+/// Paired shipping-on/shipping-off durable TStream runs per app,
+/// interleaved and taken best-of-N like the observability sweep.  The
+/// shipping run attaches a [`Shipper`] over an in-process
+/// [`ChannelTransport`] with no standby draining it: that isolates exactly
+/// the primary-side tax — reading each sealed segment back, encoding it
+/// and enqueueing it from the executor leader's epoch hook —
+/// (`bench_guard.sh` caps the mean at 10%).
+fn replication_sweep(quick: bool) -> Vec<ReplicationPoint> {
+    const REPS: usize = 4;
+
+    fn durable_keps<A: Application>(
+        application: A,
+        store: Arc<StateStore>,
+        payloads: Vec<A::Payload>,
+        engine_config: EngineConfig,
+        dir: &Path,
+        ship: bool,
+    ) -> f64
+    where
+        A::Payload: WalPayload,
+    {
+        let _ = std::fs::remove_dir_all(dir);
+        let engine = Engine::new(engine_config);
+        let app = Arc::new(application);
+        let mut session = engine
+            .session_builder(&app, &store, &Scheme::TStream)
+            .durable(dir)
+            .open()
+            .expect("replication benchmark session");
+        let _shipper = if ship {
+            let log = session.log().expect("durable session has a log").clone();
+            Some(
+                Shipper::attach(&log, ChannelTransport::new(), engine.observability())
+                    .expect("attach shipper"),
+            )
+        } else {
+            None
+        };
+        for payload in payloads {
+            session.push(payload).expect("durable push");
+        }
+        let report = session.report().expect("replication benchmark report");
+        report.throughput_keps()
+    }
+
+    let mut points = Vec::new();
+    for app in AppKind::ALL {
+        // 5x the quick-sweep event count: a 2 000-event run finishes in
+        // ~15 ms, where scheduler noise swamps the single-digit systematic
+        // shipping tax; ~20 epochs per run keeps the paired ratio stable.
+        let events = events_for(app, 1, quick) * 5;
+        let spec = WorkloadSpec::default().events(events);
+        let engine = EngineConfig::with_executors(1)
+            .punctuation(500)
+            .checkpoint_every(3);
+        let dir = std::env::temp_dir().join(format!(
+            "tstream-bench-replication-{}-{}",
+            app.label(),
+            std::process::id()
+        ));
+        let mut best = [0.0f64; 2];
+        for _rep in 0..REPS {
+            for (slot, ship) in [(0, true), (1, false)] {
+                let keps = match app {
+                    AppKind::Gs => durable_keps(
+                        gs::GrepSum::default(),
+                        gs::build_store(&spec),
+                        gs::generate(&spec),
+                        engine,
+                        &dir,
+                        ship,
+                    ),
+                    AppKind::Sl => durable_keps(
+                        sl::StreamingLedger,
+                        sl::build_store(&spec),
+                        sl::generate(&spec),
+                        engine,
+                        &dir,
+                        ship,
+                    ),
+                    AppKind::Ob => durable_keps(
+                        ob::OnlineBidding,
+                        ob::build_store(&spec),
+                        ob::generate(&spec),
+                        engine,
+                        &dir,
+                        ship,
+                    ),
+                    AppKind::Tp => durable_keps(
+                        tp::TollProcessing,
+                        tp::build_store(&spec),
+                        tp::generate(&spec),
+                        engine,
+                        &dir,
+                        ship,
+                    ),
+                };
+                best[slot] = best[slot].max(keps);
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        let overhead = if best[1] > 0.0 {
+            (1.0 - best[0] / best[1]).max(0.0)
+        } else {
+            0.0
+        };
+        eprintln!(
+            "replication {:<3} shipping {:>8.1} K/s  baseline {:>8.1} K/s  overhead {:>5.2}%",
+            app.label(),
+            best[0],
+            best[1],
+            100.0 * overhead
+        );
+        points.push(ReplicationPoint {
+            app: app.label(),
+            shipping_keps: best[0],
+            baseline_keps: best[1],
+            overhead,
+        });
+    }
+    points
+}
+
 /// 2- and 4-session concurrent TStream runs over one engine: one app per
 /// session (the first N of GS/SL/OB/TP), each on its own store, multiplexed
 /// over the shared executor pool.
@@ -368,6 +504,7 @@ fn main() {
     let durability = durability_sweep(cfg.quick);
     let concurrency = concurrency_sweep(cfg.quick);
     let observability = observability_sweep(cfg.quick);
+    let replication = replication_sweep(cfg.quick);
 
     let unix_time = SystemTime::now()
         .duration_since(UNIX_EPOCH)
@@ -459,6 +596,22 @@ fn main() {
             p.app, p.instrumented_keps, p.disabled_keps, p.overhead
         );
         json.push_str(if i + 1 < observability.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"replication\": [\n");
+    for (i, p) in replication.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"app\": \"{}\", \"scheme\": \"TStream\", \"cores\": 1, \
+             \"shipping_keps\": {:.2}, \"baseline_keps\": {:.2}, \
+             \"overhead\": {:.4}}}",
+            p.app, p.shipping_keps, p.baseline_keps, p.overhead
+        );
+        json.push_str(if i + 1 < replication.len() {
             ",\n"
         } else {
             "\n"

@@ -15,9 +15,11 @@
 //! | [`backpressure`] | per-session staging queues | bounded staging never overfills and never wedges |
 //! | [`wal`] | `SegmentedWal` seal/poison + `Checkpointer` gating | checkpoints never cover an unsealed epoch; appends refused after seal failure |
 //! | [`groupcommit`] | `DurableLog` group-commit pipeline (`crates/recovery/src/coordinator.rs`) | one window in flight; acks never outrun the covering sync; seal drains before the marker |
+//! | [`ship`] | replication shipping handoff (`crates/replica`) | ack only after durable receipt + apply; truncation clamped to the acked floor; promote drains in-flight epochs |
 
 pub mod backpressure;
 pub mod barrier;
 pub mod groupcommit;
 pub mod injector;
+pub mod ship;
 pub mod wal;

@@ -1,0 +1,206 @@
+//! Model of the replication shipping handoff (`Shipper` /
+//! `StandbyEngine` in `crates/replica`): the primary ships sealed epochs
+//! over a transport, the standby mirrors then applies each one and only
+//! then acknowledges, the primary's checkpoint truncation never outruns
+//! the acknowledged floor (the retention pin), and a promote drains every
+//! in-flight epoch before the standby becomes writable.
+//!
+//! Three invariants, each one careless edit away from a silent
+//! data-loss bug:
+//!
+//! * **ack-after-durable-receipt** — an epoch is acknowledged only after
+//!   the standby has durably mirrored *and* applied it; acking earlier
+//!   lets the primary release retention for state the standby does not
+//!   have yet;
+//! * **no-truncate-before-ack** — checkpoint truncation is clamped to the
+//!   acknowledged floor, so a lagging standby can always resume from the
+//!   primary's directory;
+//! * **promote-drains-inflight** — takeover first applies every shipped
+//!   epoch; promoting earlier would open the new primary's WAL *on top
+//!   of* sealed history it never executed.
+
+use std::sync::Arc;
+
+use crate::sync::{Condvar, Mutex};
+use crate::thread;
+
+/// Which variant of the shipping handoff to model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShipVariant {
+    /// The shipped ordering: mirror, apply, then ack; truncate only below
+    /// the acked floor; promote waits until every shipped epoch applied.
+    Correct,
+    /// Acks an epoch at receipt, before the standby applied it — the
+    /// primary may release retention for an epoch whose effects the
+    /// standby does not have.
+    AckBeforeApply,
+    /// Truncates through the checkpointed epoch without clamping to the
+    /// acked floor — exactly the pre-retention-pin truncation path.
+    TruncateIgnoresAcks,
+    /// Promotes without draining the in-flight queue, leaving shipped
+    /// epochs unapplied behind the new primary's write position.
+    PromoteWithoutDrain,
+}
+
+#[derive(Debug, Default)]
+struct ShipState {
+    /// Epochs the primary has shipped (0..shipped).
+    shipped: u64,
+    /// In-flight epochs, oldest first (the transport).
+    queue: Vec<u64>,
+    /// Epochs durably mirrored on the standby's disk.
+    mirrored: u64,
+    /// Epochs the standby has fully applied.
+    applied: u64,
+    /// Epochs the standby has acknowledged (0..acked).
+    acked: u64,
+    /// Epochs the primary has deleted (0..truncated): the retention
+    /// outcome.
+    truncated: u64,
+    /// Set once the standby promoted to primary.
+    promoted: bool,
+}
+
+/// The model handoff (see [`ShipVariant`]).
+pub struct ModelShipping {
+    variant: ShipVariant,
+    state: Mutex<ShipState>,
+    cv: Condvar,
+}
+
+impl ModelShipping {
+    /// A fresh handoff with nothing shipped.
+    pub fn new(variant: ShipVariant) -> Self {
+        ModelShipping {
+            variant,
+            state: Mutex::new(ShipState::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Primary: seal epoch `epoch` and hand it to the transport.
+    pub fn ship_epoch(&self, epoch: u64) {
+        let mut state = self.state.lock();
+        state.queue.push(epoch);
+        state.shipped += 1;
+        self.cv.notify_all();
+    }
+
+    /// Primary: a checkpoint covering `epoch` became durable; truncate the
+    /// now-redundant segments — clamped to the acknowledged floor, because
+    /// an unacked segment is the standby's only way to catch up.
+    pub fn checkpoint(&self, epoch: u64) {
+        let mut state = self.state.lock();
+        let through = if self.variant == ShipVariant::TruncateIgnoresAcks {
+            // Buggy: the pre-pin path — everything the checkpoint covers
+            // goes, acked or not.
+            epoch + 1
+        } else {
+            (epoch + 1).min(state.acked)
+        };
+        if through > state.truncated {
+            state.truncated = through;
+        }
+        assert!(
+            state.truncated <= state.acked,
+            "truncated a sealed segment the standby has not acknowledged: \
+             a lagging standby can never resume"
+        );
+    }
+
+    /// Standby: receive one epoch from the transport (durable mirror),
+    /// then apply it; ack only after both.
+    pub fn receive_and_apply(&self) {
+        // Mirror: the epoch is durably on the standby's disk.
+        let mut state = self.state.lock();
+        while state.queue.is_empty() {
+            self.cv.wait(&mut state);
+        }
+        state.queue.remove(0);
+        state.mirrored += 1;
+        if self.variant == ShipVariant::AckBeforeApply {
+            // Buggy: acknowledge at receipt — the apply has not run.
+            state.acked += 1;
+        }
+        drop(state);
+        // Apply: replay the epoch through the session path (outside the
+        // receive critical section, as in the real standby).
+        let mut state = self.state.lock();
+        state.applied += 1;
+        if self.variant != ShipVariant::AckBeforeApply {
+            state.acked += 1;
+        }
+        self.cv.notify_all();
+    }
+
+    /// Standby: take over as primary.  Drains the in-flight queue first —
+    /// a shipped-but-unapplied epoch would be sealed on disk behind the
+    /// new primary's write position and silently shadowed.
+    pub fn promote(&self) {
+        let mut state = self.state.lock();
+        if self.variant != ShipVariant::PromoteWithoutDrain {
+            while state.applied < state.shipped {
+                self.cv.wait(&mut state);
+            }
+        }
+        assert!(
+            state.applied == state.shipped && state.queue.is_empty(),
+            "promote left shipped epochs unapplied: the new primary would \
+             shadow sealed history it never executed"
+        );
+        state.promoted = true;
+    }
+
+    /// The retention probe: at any instant, every acknowledged epoch must
+    /// be durably mirrored *and* applied — the ack is what licenses the
+    /// primary to truncate.
+    pub fn probe(&self) {
+        let state = self.state.lock();
+        assert!(
+            state.acked <= state.mirrored && state.acked <= state.applied,
+            "epoch acked before the standby applied it ({} acked, {} \
+             mirrored, {} applied): the primary may release retention the \
+             standby still needs",
+            state.acked,
+            state.mirrored,
+            state.applied
+        );
+    }
+}
+
+/// Scenario: the primary ships two epochs and checkpoints the second, the
+/// standby receives/applies/acks both, and the root thread probes the
+/// retention invariant throughout, then promotes the standby.  Checks,
+/// across every interleaving: acks never precede the apply, truncation
+/// never passes the acked floor, and promote drains the pipeline.
+pub fn shipping_scenario(variant: ShipVariant) {
+    let ship = Arc::new(ModelShipping::new(variant));
+    let standby = {
+        let ship = Arc::clone(&ship);
+        thread::spawn(move || {
+            ship.receive_and_apply();
+            ship.receive_and_apply();
+        })
+    };
+    let primary = {
+        let ship = Arc::clone(&ship);
+        thread::spawn(move || {
+            ship.ship_epoch(0);
+            ship.ship_epoch(1);
+            ship.checkpoint(1);
+        })
+    };
+    // The probe races both threads; every interleaving against the ship,
+    // ack and truncate steps is explored.
+    ship.probe();
+    primary.join();
+    // The primary is gone; takeover races the standby's replay.
+    ship.promote();
+    standby.join();
+    ship.probe();
+    let state = ship.state.lock();
+    assert_eq!(state.applied, 2, "both epochs applied");
+    assert_eq!(state.acked, 2, "both epochs acknowledged");
+    assert!(state.truncated <= 2);
+    assert!(state.promoted);
+}

@@ -14,6 +14,7 @@ use tstream_check::models::barrier::{
 };
 use tstream_check::models::groupcommit::{group_commit_scenario, GroupCommitVariant};
 use tstream_check::models::injector::{handoff_scenario, InjectorVariant};
+use tstream_check::models::ship::{shipping_scenario, ShipVariant};
 use tstream_check::models::wal::{seal_failure_scenario, WalVariant};
 use tstream_check::Model;
 
@@ -233,6 +234,61 @@ fn group_commit_seal_without_drain_buries_frames_behind_the_marker() {
         .expect_err("an undrained seal must let a frame land behind the marker");
     assert!(
         violation.message.contains("behind the marker"),
+        "unexpected violation: {violation}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Replication shipping handoff (crates/replica)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn shipping_handoff_passes_exhaustively() {
+    let report = Model::new()
+        .preemption_bound(2)
+        .check(|| shipping_scenario(ShipVariant::Correct));
+    assert!(report.complete);
+    assert!(report.schedules > 10, "the scenario must actually branch");
+}
+
+#[test]
+fn shipping_ack_before_apply_releases_retention_too_early() {
+    let violation = Model::new()
+        .preemption_bound(2)
+        .try_check(|| shipping_scenario(ShipVariant::AckBeforeApply))
+        .expect_err("a probe racing the early ack must catch it");
+    assert!(
+        violation
+            .message
+            .contains("epoch acked before the standby applied it"),
+        "unexpected violation: {violation}"
+    );
+}
+
+#[test]
+fn shipping_truncation_that_ignores_acks_strands_a_lagging_standby() {
+    let violation = Model::new()
+        .preemption_bound(2)
+        .try_check(|| shipping_scenario(ShipVariant::TruncateIgnoresAcks))
+        .expect_err("an unclamped truncation must be caught while acks lag");
+    assert!(
+        violation
+            .message
+            .contains("truncated a sealed segment the standby has not acknowledged"),
+        "unexpected violation: {violation}"
+    );
+}
+
+#[test]
+fn shipping_promote_without_drain_shadows_sealed_history() {
+    let violation = Model::new()
+        .preemption_bound(2)
+        .try_check(|| shipping_scenario(ShipVariant::PromoteWithoutDrain))
+        .expect_err("an undrained promote must leave shipped epochs unapplied");
+    assert!(
+        violation
+            .message
+            .contains("promote left shipped epochs unapplied"),
         "unexpected violation: {violation}"
     );
 }

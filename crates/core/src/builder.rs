@@ -77,7 +77,7 @@ fn open_durable_dirs() -> &'static Mutex<HashSet<PathBuf>> {
 pub(crate) struct DurableDirGuard(PathBuf);
 
 impl DurableDirGuard {
-    fn acquire(dir: &Path) -> StateResult<Self> {
+    pub(crate) fn acquire(dir: &Path) -> StateResult<Self> {
         // The coordinator has not run yet, so the directory may not exist;
         // create it first so canonicalization (symlink/relative-path
         // normalization) sees the real path.

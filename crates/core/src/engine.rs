@@ -415,6 +415,13 @@ impl<A: Application> RunContext<A> {
         self.live_events
             .fetch_add(batch.events() as u64, Ordering::Relaxed);
         let epoch = log.epoch_base() + batch.punctuation.seq;
+        // Replication hook: when a shipper (or a divergence check) asked for
+        // epoch roots, hash the quiescent store once per batch — for *every*
+        // epoch, not just checkpointed ones — so the standby can cross-check
+        // each applied segment.  Costs nothing when nothing asked.
+        if log.wants_epoch_roots() {
+            log.record_epoch_root(epoch, tstream_state::state_root(&self.store));
+        }
         if !log.should_checkpoint(epoch) {
             self.drain_wal_activity(log);
             return;
@@ -954,6 +961,13 @@ impl Engine {
     /// writer) that record into it directly.
     pub(crate) fn obs(&self) -> &Arc<Obs> {
         &self.obs
+    }
+
+    /// A shared handle to the engine's observability aggregate, for
+    /// out-of-crate layers (the replication shipper and standby) that record
+    /// their own series into this engine's metrics hub.
+    pub fn observability(&self) -> Arc<Obs> {
+        self.obs.clone()
     }
 
     /// Point-in-time copy of every metric series the engine maintains:

@@ -87,6 +87,7 @@ pub mod engine;
 pub mod restructure;
 pub mod runtime;
 pub mod session;
+pub mod standby;
 pub mod walwriter;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveIntervalController, IntervalObservation};
@@ -101,6 +102,7 @@ pub use runtime::ExecutorPool;
 pub use session::Session;
 #[allow(deprecated)]
 pub use session::StreamSession;
+pub use standby::{restore_to_epoch, StandbySession};
 pub use tstream_obs::{MetricsSnapshot, ObsConfig, TraceEvent, TraceKind};
 pub use tstream_recovery::{FsyncPolicy, WalPayload};
 pub use tstream_stream::partition::EventRouting;

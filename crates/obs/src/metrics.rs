@@ -118,6 +118,11 @@ pub struct MetricsHub {
     wal_checkpoints: Counter,
     wal_truncated_segments: Counter,
 
+    // --- replication ---------------------------------------------------
+    replica_shipped_bytes: Counter,
+    replica_divergence_total: Counter,
+    replica_lag_epochs: Gauge,
+
     // --- sessions ------------------------------------------------------
     session_open: Gauge,
     session_staged_depth: Gauge,
@@ -152,6 +157,9 @@ pub struct MetricsSnapshot {
     pub wal_seals: u64,
     pub wal_checkpoints: u64,
     pub wal_truncated_segments: u64,
+    pub replica_shipped_bytes: u64,
+    pub replica_divergence_total: u64,
+    pub replica_lag_epochs: u64,
     pub session_open: u64,
     pub session_staged_depth: u64,
     pub session_punctuation_interval: u64,
@@ -303,6 +311,34 @@ impl MetricsHub {
         }
     }
 
+    // --- replication ---------------------------------------------------
+
+    /// `bytes` of replication payload (segments, checkpoints, metadata)
+    /// were handed to the ship transport.
+    #[inline]
+    pub fn replica_shipped(&self, bytes: u64) {
+        if self.enabled {
+            self.replica_shipped_bytes.add(bytes);
+        }
+    }
+
+    /// Current replication lag in epochs (primary's newest executed epoch
+    /// minus the newest standby-acked epoch).
+    #[inline]
+    pub fn replica_lag(&self, epochs: u64) {
+        if self.enabled {
+            self.replica_lag_epochs.set(epochs);
+        }
+    }
+
+    /// A state-root divergence between primary and standby was detected.
+    #[inline]
+    pub fn replica_divergence(&self) {
+        if self.enabled {
+            self.replica_divergence_total.incr();
+        }
+    }
+
     // --- sessions ------------------------------------------------------
 
     /// A session opened.
@@ -368,6 +404,9 @@ impl MetricsHub {
             wal_seals: self.wal_seals.get(),
             wal_checkpoints: self.wal_checkpoints.get(),
             wal_truncated_segments: self.wal_truncated_segments.get(),
+            replica_shipped_bytes: self.replica_shipped_bytes.get(),
+            replica_divergence_total: self.replica_divergence_total.get(),
+            replica_lag_epochs: self.replica_lag_epochs.get(),
             session_open: self.session_open.get(),
             session_staged_depth: self.session_staged_depth.get(),
             session_punctuation_interval: self.session_punctuation_interval.get(),
@@ -498,6 +537,16 @@ impl MetricsSnapshot {
             self.wal_truncated_segments,
         );
         counter(
+            "tstream_replica_shipped_bytes",
+            "Replication payload bytes handed to the ship transport",
+            self.replica_shipped_bytes,
+        );
+        counter(
+            "tstream_replica_divergence_total",
+            "State-root divergences detected between primary and standby",
+            self.replica_divergence_total,
+        );
+        counter(
             "tstream_obs_trace_events_total",
             "Flight-recorder events recorded",
             self.trace_events,
@@ -517,6 +566,11 @@ impl MetricsSnapshot {
             let _ = writeln!(out, "# TYPE {name} gauge");
             let _ = writeln!(out, "{name} {v}");
         };
+        gauge(
+            "tstream_replica_lag_epochs",
+            "Epochs the standby trails the primary by",
+            self.replica_lag_epochs,
+        );
         gauge(
             "tstream_session_open",
             "Sessions currently open on the engine",
@@ -560,7 +614,9 @@ impl MetricsSnapshot {
                 "\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p99\":{},\"p999\":{}}},",
                 "\"wal_bytes\":{},\"wal_windows\":{},\"wal_fsyncs\":{},",
                 "\"wal_fsync_ns\":{},\"wal_seals\":{},\"wal_checkpoints\":{},",
-                "\"wal_truncated_segments\":{},\"session_open\":{},",
+                "\"wal_truncated_segments\":{},\"replica_shipped_bytes\":{},",
+                "\"replica_divergence_total\":{},\"replica_lag_epochs\":{},",
+                "\"session_open\":{},",
                 "\"session_staged_depth\":{},\"session_punctuation_interval\":{},",
                 "\"trace_events\":{},\"trace_dropped\":{},\"postmortems\":{}}}",
             ),
@@ -592,6 +648,9 @@ impl MetricsSnapshot {
             self.wal_seals,
             self.wal_checkpoints,
             self.wal_truncated_segments,
+            self.replica_shipped_bytes,
+            self.replica_divergence_total,
+            self.replica_lag_epochs,
             self.session_open,
             self.session_staged_depth,
             self.session_punctuation_interval,
@@ -620,6 +679,10 @@ mod tests {
         hub.barrier_wait(Duration::from_micros(5));
         hub.wal_activity(1024, 2, 1, 500, 1, 0);
         hub.checkpoint();
+        hub.replica_shipped(2048);
+        hub.replica_shipped(100);
+        hub.replica_lag(3);
+        hub.replica_divergence();
         hub.session_opened();
         hub.staged_depth(4);
         hub.punctuation_interval(64);
@@ -635,6 +698,9 @@ mod tests {
         assert_eq!(s.exec_barrier_wait.count, 1);
         assert_eq!(s.wal_bytes, 1024);
         assert_eq!(s.wal_checkpoints, 1);
+        assert_eq!(s.replica_shipped_bytes, 2148);
+        assert_eq!(s.replica_lag_epochs, 3);
+        assert_eq!(s.replica_divergence_total, 1);
         assert_eq!(s.session_open, 1);
         assert_eq!(s.session_staged_depth, 4);
         hub.session_closed();
@@ -650,6 +716,9 @@ mod tests {
         hub.batch_executed();
         hub.barrier_wait(Duration::from_micros(5));
         hub.wal_activity(1024, 2, 1, 500, 1, 0);
+        hub.replica_shipped(2048);
+        hub.replica_lag(3);
+        hub.replica_divergence();
         hub.session_opened();
         assert_eq!(hub.snapshot(), MetricsSnapshot::default());
     }
@@ -671,6 +740,9 @@ mod tests {
         );
         assert!(text.contains("tstream_ingest_events_total 10"));
         assert!(text.contains("# TYPE tstream_session_open gauge"));
+        assert!(text.contains("tstream_replica_shipped_bytes 0"));
+        assert!(text.contains("tstream_replica_divergence_total 0"));
+        assert!(text.contains("# TYPE tstream_replica_lag_epochs gauge"));
         assert!(text.contains("# TYPE tstream_exec_barrier_wait_ns summary"));
     }
 
@@ -683,5 +755,8 @@ mod tests {
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(json.contains("\"ingest_events\":5"));
         assert!(json.contains("\"exec_barrier_wait_ns\":{"));
+        assert!(json.contains("\"replica_shipped_bytes\":0"));
+        assert!(json.contains("\"replica_lag_epochs\":0"));
+        assert!(json.contains("\"replica_divergence_total\":0"));
     }
 }

@@ -25,10 +25,11 @@
 //! active segment, so ingestion is only ever blocked for the file-remove
 //! window.
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
 
 use parking_lot::{Condvar, Mutex};
 
@@ -50,6 +51,67 @@ use crate::wal::{self, FsyncPolicy, GroupCommitConfig, SegmentInfo, SegmentedWal
 pub trait FlushExecutor: Send + Sync {
     /// Enqueue `job` to run on the executor's writer thread.
     fn submit(&self, job: Box<dyn FnOnce() + Send + 'static>);
+}
+
+/// Observer of the durable artifacts a [`DurableLog`] produces, the shipping
+/// side of hot-standby replication.
+///
+/// The log calls these hooks synchronously on the thread that produced the
+/// artifact — no thread is spawned here.  [`ShipSink::segment_executed`]
+/// fires from [`DurableLog::record_epoch_root`], i.e. at the end-of-batch
+/// barrier *after* the epoch's batch executed: the segment is sealed on disk
+/// and the leader's state root is known, which is exactly what a standby
+/// needs to replay and cross-check the epoch.
+/// [`ShipSink::checkpoint_written`] fires from [`DurableLog::checkpoint`]
+/// after the checkpoint file is durably renamed and *before* covered
+/// segments are truncated.
+///
+/// Implementations must be quick and must not call back into the log beyond
+/// the pin API — they run under the engine's batch barrier.
+pub trait ShipSink: Send + Sync {
+    /// Epoch `epoch` executed: its sealed segment lives at `path`, and the
+    /// leader computed `root` over the quiescent store (when epoch roots are
+    /// enabled — attaching a shipper enables them).
+    fn segment_executed(&self, epoch: u64, path: &Path, root: Option<u64>);
+
+    /// A checkpoint covering `epoch` was durably written to `path`.
+    fn checkpoint_written(&self, epoch: u64, path: &Path);
+}
+
+/// A registered retention pin: while it exists, [`DurableLog::checkpoint`]
+/// will not truncate any sealed segment with epoch `>= floor` — the holder
+/// (a shipper that has not been acked yet, or a point-in-time-recovery
+/// floor) still needs those files.
+///
+/// Obtained from [`DurableLog::pin_retention`]; advance the floor with
+/// [`DurableLog::advance_pin`] as the consumer catches up and release it
+/// with [`DurableLog::release_pin`].  Pins are process-local state: they
+/// protect a *live* lagging consumer, not one that outlives a crash.
+#[derive(Debug)]
+pub struct RetentionPin {
+    id: u64,
+}
+
+/// What [`RecoveryCoordinator::recover_to`] found for a target epoch: the
+/// restore base and the sealed segments whose replay reproduces the state
+/// exactly as of the end of that epoch.
+///
+/// Purely descriptive — producing it does not mutate the durability
+/// directory, so historical states can be materialized over and over from
+/// one directory (each onto a fresh store).
+#[derive(Debug)]
+pub struct PointInTime {
+    /// The target epoch.
+    pub epoch: u64,
+    /// Snapshot of the newest checkpoint at or before the target epoch, to
+    /// restore before replay; `None` when replay starts from the empty
+    /// (initial) store state.
+    pub snapshot: Option<StoreSnapshot>,
+    /// Progress counters covered by `snapshot` (zero when it is `None`).
+    pub base: RecoveredProgress,
+    /// Sealed segments to replay after the restore, ascending and dense,
+    /// ending exactly at `epoch`.
+    pub sealed_segments: Vec<SegmentInfo>,
 }
 
 /// Shared ack state of the group-commit protocol: how many windows were
@@ -311,18 +373,142 @@ impl RecoveryCoordinator {
             snapshot,
             sealed_segments,
             pending_segment,
-            log: DurableLog {
-                wal: Arc::new(Mutex::new(wal)),
+            // Everything below `epoch_base + sealed_count` is sealed on
+            // disk: the checkpoint-covered epochs plus the surviving (dense)
+            // sealed segments.
+            log: DurableLog::assemble(
+                wal,
                 checkpointer,
                 base,
                 epoch_base,
-                checkpoint_every: self.options.checkpoint_every.max(1),
-                // Everything below this is sealed on disk: the checkpoint-
-                // covered epochs plus the surviving (dense) sealed segments.
-                sealed_below: AtomicU64::new(epoch_base + sealed_count),
-                executor: None,
-                progress: Arc::new((Mutex::new(GroupProgress::default()), Condvar::new())),
-            },
+                self.options.checkpoint_every,
+                epoch_base + sealed_count,
+            ),
+        })
+    }
+
+    /// Open the directory for **standby takeover**: position a [`DurableLog`]
+    /// *after* the last sealed segment without replaying anything.
+    ///
+    /// A promoting standby has already replayed every mirrored segment
+    /// through its live session, so the normal [`RecoveryCoordinator::open`]
+    /// contract (restore + replay) would double-apply.  This opens the same
+    /// directory write-only: epoch numbering resumes right after the newest
+    /// sealed segment, and `base` carries the cumulative progress the
+    /// standby's replay already counted (so recovered reports stay identical
+    /// to an uninterrupted run).
+    ///
+    /// Refuses a directory holding an unsealed tail segment — a standby only
+    /// mirrors sealed history, so a tail means this directory belonged to a
+    /// live primary, not a mirror.
+    pub fn open_for_takeover(&self, base: RecoveredProgress) -> StateResult<DurableLog> {
+        if let Some(expected) = self.options.meta {
+            self.stamp_or_validate_meta(expected)?;
+        }
+        let checkpointer = Checkpointer::new(
+            self.root.join(CHECKPOINT_SUBDIR),
+            self.options.retain.max(1),
+        )?;
+        let covered: Option<u64> = checkpointer
+            .latest_checkpoint()?
+            .and_then(|cp| cp.manifest.map(|m| m.epoch));
+        let floor = covered.map_or(0, |c| c + 1);
+        let mut wal = SegmentedWal::open(self.root.join(WAL_SUBDIR), self.options.fsync, floor)?;
+        wal.set_group_commit(self.options.group);
+        let mut expected = floor;
+        for info in wal::list_segments(wal.directory())? {
+            if covered.is_some_and(|c| info.epoch <= c) {
+                continue;
+            }
+            if !info.sealed {
+                return Err(StateError::InvalidDefinition(format!(
+                    "takeover refuses the unsealed tail segment (epoch {}): a standby \
+                     mirrors sealed history only",
+                    info.epoch
+                )));
+            }
+            if info.epoch != expected {
+                return Err(StateError::Corrupted(format!(
+                    "WAL epoch gap: expected segment {expected}, found {}",
+                    info.epoch
+                )));
+            }
+            expected += 1;
+        }
+        let next = wal.next_epoch().max(floor);
+        Ok(DurableLog::assemble(
+            wal,
+            checkpointer,
+            base,
+            next,
+            self.options.checkpoint_every,
+            next,
+        ))
+    }
+
+    /// Point-in-time recovery: describe how to reproduce the state exactly
+    /// as of the end of `epoch` — the newest checkpoint at or before it plus
+    /// the sealed segments `(checkpoint, epoch]`, dense and ending exactly
+    /// at `epoch`.
+    ///
+    /// Read-only: nothing in the directory is stamped, healed or truncated,
+    /// so any number of historical epochs can be materialized from one
+    /// directory.  Fails when the target's segment exists only as an
+    /// unsealed tail (the epoch never became durable) or when retention has
+    /// already truncated part of the needed history — which is what
+    /// [`DurableLog::pin_retention`] exists to prevent.
+    pub fn recover_to(&self, epoch: u64) -> StateResult<PointInTime> {
+        let checkpointer = Checkpointer::new(
+            self.root.join(CHECKPOINT_SUBDIR),
+            self.options.retain.max(1),
+        )?;
+        let found = checkpointer.checkpoint_at_or_before(epoch)?;
+        let (snapshot, manifest) = match found {
+            None => (None, None),
+            Some(Checkpoint { manifest, snapshot }) => (Some(snapshot), manifest),
+        };
+        let covered: Option<u64> = manifest.map(|m| m.epoch);
+        let base = manifest.map_or(RecoveredProgress::default(), |m| RecoveredProgress {
+            events: m.events,
+            committed: m.committed,
+            rejected: m.rejected,
+        });
+
+        let mut sealed_segments = Vec::new();
+        let mut expected = covered.map_or(0, |c| c + 1);
+        for info in wal::list_segments(&self.root.join(WAL_SUBDIR))? {
+            if covered.is_some_and(|c| info.epoch <= c) || info.epoch > epoch {
+                continue;
+            }
+            if !info.sealed {
+                return Err(StateError::InvalidDefinition(format!(
+                    "recover_to({epoch}): epoch {} exists only as an unsealed tail; \
+                     point-in-time recovery replays durable (sealed) history only",
+                    info.epoch
+                )));
+            }
+            if info.epoch != expected {
+                return Err(StateError::Corrupted(format!(
+                    "recover_to({epoch}): WAL epoch gap — expected segment {expected}, \
+                     found {} (was the history truncated without a retention pin?)",
+                    info.epoch
+                )));
+            }
+            expected += 1;
+            sealed_segments.push(info);
+        }
+        if covered != Some(epoch) && expected != epoch + 1 {
+            return Err(StateError::InvalidDefinition(format!(
+                "recover_to({epoch}): durable history ends at epoch {}; the target epoch \
+                 was never sealed (or its segments were truncated without a pin)",
+                expected.saturating_sub(1)
+            )));
+        }
+        Ok(PointInTime {
+            epoch,
+            snapshot,
+            base,
+            sealed_segments,
         })
     }
 }
@@ -351,6 +537,21 @@ pub struct DurableLog {
     executor: Option<Arc<dyn FlushExecutor>>,
     /// Submitted/completed window counters plus the latched first error.
     progress: Arc<(Mutex<GroupProgress>, Condvar)>,
+    /// Retention pins: pin id → lowest epoch that holder still needs.  The
+    /// effective truncation ceiling is the minimum over all pins.
+    pins: Mutex<BTreeMap<u64, u64>>,
+    /// Next pin id.
+    next_pin: AtomicU64,
+    /// Whether the executor leader should compute a per-epoch state root at
+    /// the end-of-batch barrier (replication / divergence detection).
+    record_roots: AtomicBool,
+    /// Per-epoch state roots recorded so far.
+    roots: Mutex<BTreeMap<u64, u64>>,
+    /// The attached shipping sink, if any.  Held weakly: the shipper owns
+    /// an `Arc` of this log (to verify roots and advance its retention
+    /// pin), so a strong reference back would leak both — and with them
+    /// the log's group-commit executor handle, wedging engine shutdown.
+    shipper: Mutex<Option<Weak<dyn ShipSink>>>,
 }
 
 impl std::fmt::Debug for DurableLog {
@@ -367,6 +568,34 @@ impl std::fmt::Debug for DurableLog {
 }
 
 impl DurableLog {
+    /// Assemble a log over an opened WAL + checkpointer (shared by
+    /// [`RecoveryCoordinator::open`] and
+    /// [`RecoveryCoordinator::open_for_takeover`]).
+    fn assemble(
+        wal: SegmentedWal,
+        checkpointer: Checkpointer,
+        base: RecoveredProgress,
+        epoch_base: u64,
+        checkpoint_every: u64,
+        sealed_below: u64,
+    ) -> Self {
+        DurableLog {
+            wal: Arc::new(Mutex::new(wal)),
+            checkpointer,
+            base,
+            epoch_base,
+            checkpoint_every: checkpoint_every.max(1),
+            sealed_below: AtomicU64::new(sealed_below),
+            executor: None,
+            progress: Arc::new((Mutex::new(GroupProgress::default()), Condvar::new())),
+            pins: Mutex::new(BTreeMap::new()),
+            next_pin: AtomicU64::new(0),
+            record_roots: AtomicBool::new(false),
+            roots: Mutex::new(BTreeMap::new()),
+            shipper: Mutex::new(None),
+        }
+    }
+
     /// Progress already covered by the restored checkpoint (zero on a fresh
     /// directory).
     pub fn base(&self) -> RecoveredProgress {
@@ -511,9 +740,117 @@ impl DurableLog {
             manifest: Some(manifest),
             snapshot: StoreSnapshot::capture(store),
         })?;
-        // Only after the checkpoint is durably renamed may its segments go.
-        self.wal.lock().truncate_through(epoch)?;
+        if let Some(sink) = self.attached_shipper() {
+            sink.checkpoint_written(epoch, &path);
+        }
+        // Only after the checkpoint is durably renamed may its segments go —
+        // and never a segment a retention pin still needs: a pinned floor of
+        // `f` keeps epochs `>= f` on disk however far checkpoints advance.
+        let through = match self.retention_floor() {
+            None => Some(epoch),
+            Some(0) => None,
+            Some(floor) => Some(epoch.min(floor - 1)),
+        };
+        if let Some(through) = through {
+            self.wal.lock().truncate_through(through)?;
+        }
         Ok(path)
+    }
+
+    /// Register a retention pin at `floor`: sealed segments with epoch
+    /// `>= floor` survive checkpoint truncation until the pin is advanced
+    /// past them or released.
+    pub fn pin_retention(&self, floor: u64) -> RetentionPin {
+        let id = self.next_pin.fetch_add(1, Ordering::Relaxed);
+        self.pins.lock().insert(id, floor);
+        RetentionPin { id }
+    }
+
+    /// Raise a pin's floor (the consumer caught up through `floor - 1`).
+    /// Floors only move forward; a lower value is ignored.
+    pub fn advance_pin(&self, pin: &RetentionPin, floor: u64) {
+        let mut pins = self.pins.lock();
+        if let Some(current) = pins.get_mut(&pin.id) {
+            *current = (*current).max(floor);
+        }
+    }
+
+    /// Release a pin; its segments become truncatable at the next
+    /// checkpoint.
+    pub fn release_pin(&self, pin: RetentionPin) {
+        self.pins.lock().remove(&pin.id);
+    }
+
+    /// The effective retention floor: the minimum over all registered pins
+    /// (`None` when nothing is pinned and truncation is unrestricted).
+    pub fn retention_floor(&self) -> Option<u64> {
+        self.pins.lock().values().min().copied()
+    }
+
+    /// Ask the executor leader to compute a deterministic state root at
+    /// every end-of-batch barrier (see [`DurableLog::record_epoch_root`]).
+    /// Off by default — root hashing walks the whole store, and runs without
+    /// a standby should not pay for it.  Attaching a shipper enables this.
+    pub fn enable_epoch_roots(&self) {
+        self.record_roots.store(true, Ordering::Release);
+    }
+
+    /// Whether per-epoch state roots should be computed.
+    pub fn wants_epoch_roots(&self) -> bool {
+        self.record_roots.load(Ordering::Acquire)
+    }
+
+    /// Record the leader's state root for `epoch` and notify the attached
+    /// shipper that the epoch's sealed segment is ready to ship.
+    ///
+    /// Called by the executor leader at the end-of-batch barrier, after the
+    /// epoch's batch fully executed (store quiescent, segment sealed).
+    pub fn record_epoch_root(&self, epoch: u64, root: u64) {
+        self.roots.lock().insert(epoch, root);
+        if let Some(sink) = self.attached_shipper() {
+            sink.segment_executed(epoch, &self.sealed_segment_path(epoch), Some(root));
+        }
+    }
+
+    /// The recorded state root of `epoch`, if the leader computed one.
+    pub fn epoch_root(&self, epoch: u64) -> Option<u64> {
+        self.roots.lock().get(&epoch).copied()
+    }
+
+    /// All recorded `(epoch, root)` pairs, ascending by epoch.
+    pub fn epoch_roots(&self) -> Vec<(u64, u64)> {
+        self.roots.lock().iter().map(|(&e, &r)| (e, r)).collect()
+    }
+
+    /// Attach the shipping sink and enable epoch roots.  The sink is called
+    /// synchronously from [`DurableLog::record_epoch_root`] (executor
+    /// leader) and [`DurableLog::checkpoint`] (same thread); it should hold
+    /// a retention pin for everything it has not shipped-and-acked yet.
+    pub fn attach_shipper(&self, sink: &Arc<dyn ShipSink>) {
+        *self.shipper.lock() = Some(Arc::downgrade(sink));
+        self.enable_epoch_roots();
+    }
+
+    /// The live attached sink, dropping the registration once the shipper
+    /// is gone.
+    fn attached_shipper(&self) -> Option<Arc<dyn ShipSink>> {
+        let mut slot = self.shipper.lock();
+        let sink = slot.as_ref().and_then(Weak::upgrade);
+        if sink.is_none() {
+            *slot = None;
+        }
+        sink
+    }
+
+    /// Directory the WAL segments live in.
+    pub fn wal_directory(&self) -> PathBuf {
+        self.wal.lock().directory().to_path_buf()
+    }
+
+    /// Path the sealed segment of `epoch` lives at (whether or not it still
+    /// exists — truncation may have removed it).
+    pub fn sealed_segment_path(&self, epoch: u64) -> PathBuf {
+        self.wal_directory().join(wal::sealed_segment_name(epoch))
     }
 
     /// Bytes appended to the WAL through this log instance.
@@ -782,6 +1119,260 @@ mod tests {
             );
             let _ = fs::remove_dir_all(&dir);
         }
+    }
+
+    fn manifest(epoch: u64, events: u64) -> CheckpointManifest {
+        CheckpointManifest {
+            epoch,
+            events,
+            committed: events,
+            rejected: 0,
+        }
+    }
+
+    fn sealed_epochs(dir: &Path) -> Vec<u64> {
+        wal::list_segments(&dir.join(WAL_SUBDIR))
+            .unwrap()
+            .iter()
+            .filter(|s| s.sealed)
+            .map(|s| s.epoch)
+            .collect()
+    }
+
+    #[test]
+    fn retention_pin_keeps_unshipped_segments_across_checkpoints() {
+        // Regression for the lagging-consumer data loss: without a pin,
+        // checkpointing epoch 2 deletes segments 0..=2 even though a standby
+        // has shipped nothing yet.
+        let dir = temp_dir("pin");
+        let store = sample_store();
+        let state = RecoveryCoordinator::new(&dir).open().unwrap();
+        let log = state.log;
+        let pin = log.pin_retention(0);
+        for epoch in 0..4u64 {
+            append_event(&log, epoch);
+            log.seal().unwrap();
+        }
+        log.checkpoint(&store, manifest(2, 3)).unwrap();
+        assert_eq!(
+            sealed_epochs(&dir),
+            vec![0, 1, 2, 3],
+            "pinned segments must survive checkpoint truncation"
+        );
+
+        // The consumer catches up through epoch 1: 0 and 1 become
+        // truncatable, 2 and beyond stay.
+        log.advance_pin(&pin, 2);
+        log.checkpoint(&store, manifest(3, 4)).unwrap();
+        assert_eq!(sealed_epochs(&dir), vec![2, 3]);
+
+        // Releasing the pin restores unconditional truncation.
+        log.release_pin(pin);
+        append_event(&log, 9);
+        log.seal().unwrap();
+        log.checkpoint(&store, manifest(4, 5)).unwrap();
+        assert!(sealed_epochs(&dir).is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retention_floor_is_the_minimum_over_pins() {
+        let dir = temp_dir("pin-floor");
+        let state = RecoveryCoordinator::new(&dir).open().unwrap();
+        let log = state.log;
+        assert_eq!(log.retention_floor(), None);
+        let a = log.pin_retention(5);
+        let b = log.pin_retention(2);
+        assert_eq!(log.retention_floor(), Some(2));
+        log.advance_pin(&b, 7);
+        assert_eq!(log.retention_floor(), Some(5));
+        log.advance_pin(&b, 3); // floors never move backwards
+        assert_eq!(log.retention_floor(), Some(5));
+        log.release_pin(a);
+        assert_eq!(log.retention_floor(), Some(7));
+        log.release_pin(b);
+        assert_eq!(log.retention_floor(), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn epoch_roots_are_recorded_only_when_enabled() {
+        let dir = temp_dir("roots");
+        let state = RecoveryCoordinator::new(&dir).open().unwrap();
+        let log = state.log;
+        assert!(!log.wants_epoch_roots());
+        log.enable_epoch_roots();
+        log.record_epoch_root(0, 11);
+        log.record_epoch_root(1, 22);
+        assert_eq!(log.epoch_root(1), Some(22));
+        assert_eq!(log.epoch_roots(), vec![(0, 11), (1, 22)]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recover_to_selects_checkpoint_and_segment_range() {
+        let dir = temp_dir("pitr");
+        let store = sample_store();
+        let state = RecoveryCoordinator::new(&dir).open().unwrap();
+        let log = state.log;
+        let pin = log.pin_retention(0); // keep full history for PITR
+        for epoch in 0..5u64 {
+            append_event(&log, epoch);
+            log.seal().unwrap();
+            if epoch == 2 {
+                log.checkpoint(&store, manifest(2, 3)).unwrap();
+            }
+        }
+        // Target before the checkpoint: replay everything from scratch.
+        let pit = RecoveryCoordinator::new(&dir).recover_to(1).unwrap();
+        assert!(pit.snapshot.is_none());
+        assert_eq!(
+            pit.sealed_segments
+                .iter()
+                .map(|s| s.epoch)
+                .collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+        // Target exactly at the checkpoint: restore only, no replay.
+        let pit = RecoveryCoordinator::new(&dir).recover_to(2).unwrap();
+        assert!(pit.snapshot.is_some());
+        assert_eq!(pit.base.events, 3);
+        assert!(pit.sealed_segments.is_empty());
+        // Target past the checkpoint: restore + replay (2, 4].
+        let pit = RecoveryCoordinator::new(&dir).recover_to(4).unwrap();
+        assert_eq!(
+            pit.sealed_segments
+                .iter()
+                .map(|s| s.epoch)
+                .collect::<Vec<_>>(),
+            vec![3, 4]
+        );
+        // Target beyond durable history is refused.
+        assert!(matches!(
+            RecoveryCoordinator::new(&dir).recover_to(5),
+            Err(StateError::InvalidDefinition(_))
+        ));
+        log.release_pin(pin);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recover_to_refuses_an_unsealed_target() {
+        let dir = temp_dir("pitr-tail");
+        {
+            let state = RecoveryCoordinator::new(&dir).open().unwrap();
+            append_event(&state.log, 1);
+            state.log.seal().unwrap();
+            append_event(&state.log, 2); // epoch 1 exists only as a tail
+        }
+        match RecoveryCoordinator::new(&dir).recover_to(1) {
+            Err(StateError::InvalidDefinition(msg)) => {
+                assert!(msg.contains("unsealed tail"), "{msg}");
+            }
+            other => panic!("expected InvalidDefinition, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recover_to_fails_when_history_was_truncated_without_a_pin() {
+        let dir = temp_dir("pitr-truncated");
+        let store = sample_store();
+        {
+            let state = RecoveryCoordinator::new(&dir).open().unwrap();
+            for epoch in 0..4u64 {
+                append_event(&state.log, epoch);
+                state.log.seal().unwrap();
+            }
+            // No pin: checkpointing epoch 2 truncates segments 0..=2.
+            state.log.checkpoint(&store, manifest(2, 3)).unwrap();
+        }
+        // Epoch 1 predates the only surviving checkpoint: unrecoverable.
+        assert!(RecoveryCoordinator::new(&dir).recover_to(1).is_err());
+        // Epoch 3 is still fine (checkpoint at 2 + segment 3).
+        let pit = RecoveryCoordinator::new(&dir).recover_to(3).unwrap();
+        assert_eq!(pit.sealed_segments.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn takeover_positions_after_the_last_sealed_segment() {
+        let dir = temp_dir("takeover");
+        {
+            let state = RecoveryCoordinator::new(&dir).open().unwrap();
+            for epoch in 0..3u64 {
+                append_event(&state.log, epoch);
+                state.log.seal().unwrap();
+            }
+        }
+        let base = RecoveredProgress {
+            events: 3,
+            committed: 3,
+            rejected: 0,
+        };
+        let log = RecoveryCoordinator::new(&dir)
+            .open_for_takeover(base)
+            .unwrap();
+        assert_eq!(log.epoch_base(), 3);
+        assert_eq!(log.base(), base);
+        append_event(&log, 9);
+        assert_eq!(log.seal().unwrap(), 3, "writes resume at the next epoch");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn takeover_refuses_an_unsealed_tail() {
+        let dir = temp_dir("takeover-tail");
+        {
+            let state = RecoveryCoordinator::new(&dir).open().unwrap();
+            append_event(&state.log, 1);
+            state.log.seal().unwrap();
+            append_event(&state.log, 2); // tail never sealed
+        }
+        assert!(matches!(
+            RecoveryCoordinator::new(&dir).open_for_takeover(RecoveredProgress::default()),
+            Err(StateError::InvalidDefinition(_))
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shipper_hooks_fire_on_execution_and_checkpoint() {
+        #[derive(Default)]
+        struct Spy {
+            segments: Mutex<Vec<(u64, Option<u64>, bool)>>,
+            checkpoints: Mutex<Vec<u64>>,
+        }
+        impl ShipSink for Spy {
+            fn segment_executed(&self, epoch: u64, path: &Path, root: Option<u64>) {
+                self.segments.lock().push((epoch, root, path.exists()));
+            }
+            fn checkpoint_written(&self, epoch: u64, path: &Path) {
+                assert!(path.exists());
+                self.checkpoints.lock().push(epoch);
+            }
+        }
+
+        let dir = temp_dir("ship-hooks");
+        let store = sample_store();
+        let state = RecoveryCoordinator::new(&dir).open().unwrap();
+        let log = state.log;
+        let spy = Arc::new(Spy::default());
+        log.attach_shipper(&(spy.clone() as Arc<dyn ShipSink>));
+        assert!(log.wants_epoch_roots(), "attaching a shipper enables roots");
+        for epoch in 0..2u64 {
+            append_event(&log, epoch);
+            log.seal().unwrap();
+            log.record_epoch_root(epoch, 100 + epoch);
+        }
+        log.checkpoint(&store, manifest(1, 2)).unwrap();
+        assert_eq!(
+            *spy.segments.lock(),
+            vec![(0, Some(100), true), (1, Some(101), true)],
+            "segments are announced sealed-on-disk with their roots"
+        );
+        assert_eq!(*spy.checkpoints.lock(), vec![1]);
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

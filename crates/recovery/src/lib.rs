@@ -36,10 +36,10 @@ pub mod coordinator;
 pub mod wal;
 
 pub use coordinator::{
-    DurableLog, DurableMeta, FlushExecutor, RecoveredProgress, RecoveredState, RecoveryCoordinator,
-    RecoveryOptions,
+    DurableLog, DurableMeta, FlushExecutor, PointInTime, RecoveredProgress, RecoveredState,
+    RecoveryCoordinator, RecoveryOptions, RetentionPin, ShipSink,
 };
 pub use wal::{
-    list_segments, read_segment, DecodedSegment, FsyncPolicy, GroupCommitConfig, PendingWindow,
-    SegmentInfo, SegmentedWal, WalPayload, WalStats,
+    list_segments, read_segment, sealed_segment_name, DecodedSegment, FsyncPolicy,
+    GroupCommitConfig, PendingWindow, SegmentInfo, SegmentedWal, WalPayload, WalStats,
 };

@@ -210,6 +210,15 @@ fn sealed_name(epoch: u64) -> String {
     format!("segment-{epoch:012}.{SEGMENT_EXTENSION}")
 }
 
+/// File name a sealed segment of `epoch` carries (`segment-<epoch>.twal`).
+///
+/// Exposed so shipping and mirroring code can address a sealed segment — or
+/// write a received one under its canonical name — without reimplementing
+/// the layout.
+pub fn sealed_segment_name(epoch: u64) -> String {
+    sealed_name(epoch)
+}
+
 fn open_name(epoch: u64) -> String {
     format!("{}{OPEN_SUFFIX}", sealed_name(epoch))
 }

@@ -1,0 +1,50 @@
+//! # tstream-replica
+//!
+//! Hot-standby replication for the TStream engine: a segment-shipping
+//! pipeline that streams the primary's durable artifacts — sealed WAL
+//! segments, epoch-stamped checkpoints and the durability meta file — to a
+//! continuously-replaying standby, plus takeover and divergence
+//! detection.
+//!
+//! The design leans on the same invariant the durability layer already
+//! exploits (paper §IV-D): the punctuation boundary is a quiescent point.
+//! One sealed segment is one executed batch (epoch), so replication is
+//! *physical shipping + logical replay*: the standby mirrors the exact
+//! bytes into its own durability directory and re-executes them through
+//! the normal session path, staying at most one epoch behind.  Because
+//! both sides quiesce at every epoch, a deterministic, order-independent
+//! state root ([`tstream_state::state_root`]) is comparable per epoch —
+//! divergence is detected the moment it happens and names the epoch.
+//!
+//! ```text
+//!   primary                                  standby
+//!   ───────                                  ───────
+//!   Session(durable) ── seal epoch e ──┐
+//!   DurableLog ⟶ ShipSink (Shipper)    │ ShipItem::Segment{e, root}
+//!        │ retention pin ≥ unacked     ├───── transport ─────▶ StandbyEngine
+//!        ◀──────── ShipAck{e, root'} ──┘        mirror → replay → compare
+//!                                               │
+//!                                               └─ promote() ⇒ new primary
+//! ```
+//!
+//! * [`ship::Shipper`] — primary side: hooks the durable log's ship sink,
+//!   streams segments/checkpoints, drains acks, and holds a retention pin
+//!   so no unacked segment is ever truncated;
+//! * [`standby::StandbyEngine`] — standby side: mirrors, replays,
+//!   acknowledges after durable receipt *and* execution, poisons itself on
+//!   divergence, and promotes into a live durable session;
+//! * [`transport`] — the pluggable wire: in-process
+//!   [`transport::ChannelTransport`] and spool-directory
+//!   [`transport::DirTransport`];
+//! * point-in-time recovery over the mirrored (never-truncated) directory
+//!   comes from [`tstream_core::standby::restore_to_epoch`].
+
+#![warn(missing_docs)]
+
+pub mod ship;
+pub mod standby;
+pub mod transport;
+
+pub use ship::Shipper;
+pub use standby::StandbyEngine;
+pub use transport::{ChannelTransport, DirTransport, ShipAck, ShipItem, ShipTransport};

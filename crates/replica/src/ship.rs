@@ -1,0 +1,297 @@
+//! The primary-side shipper: streams the durable log's artifacts to a
+//! standby and holds the retention pin that keeps unacked segments on
+//! disk.
+//!
+//! [`Shipper::attach`] hooks into the [`DurableLog`]'s
+//! [`tstream_recovery::ShipSink`]: the executor leader fires
+//! `segment_executed` once per epoch — after the batch executed, so the
+//! segment is sealed *and* the state root is known — and
+//! `checkpoint_written` after each durable checkpoint.  The shipper reads
+//! the artifact bytes and enqueues them on the [`ShipTransport`];
+//! acknowledgements drain opportunistically on every ship (and on demand
+//! via [`Shipper::pump_acks`]) and advance the retention pin, releasing
+//! segments for truncation only once the standby has durably mirrored
+//! *and* executed them.
+//!
+//! ## The ack / retention contract
+//!
+//! * the standby acks epoch `e` only after durable receipt and execution;
+//! * the primary never truncates a sealed segment above the pin floor,
+//!   and the floor only advances to `e + 1` on a verified ack of `e`;
+//! * so a lagging (or dead) standby can always resume from the primary's
+//!   directory — no shipped-but-unacked epoch is ever lost.
+//!
+//! Divergence: every ack carries the standby's post-apply state root.  The
+//! primary compares it against its own recorded root for that epoch; a
+//! mismatch increments `tstream_replica_divergence_total` and poisons the
+//! shipper — [`Shipper::pump_acks`] reports the first divergent epoch by
+//! name and shipping stops rather than propagate a forked history.
+
+use std::fs;
+use std::path::Path;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use tstream_obs::Obs;
+use tstream_recovery::{list_segments, DurableLog, RetentionPin, ShipSink};
+
+use tstream_state::{StateError, StateResult};
+
+use crate::transport::{ShipItem, ShipTransport};
+
+/// Mutable shipper state, behind one mutex: the sink fires from the
+/// executor leader while `pump_acks` may be called from the ingestion
+/// thread.
+#[derive(Debug, Default)]
+struct ShipperState {
+    /// Highest epoch shipped, if any.
+    shipped_through: Option<u64>,
+    /// Highest epoch verified-acked, if any.
+    acked_through: Option<u64>,
+    /// First epoch whose ack root diverged from the primary's.
+    divergence: Option<u64>,
+    /// First transport/filesystem error hit inside the sink (the sink
+    /// cannot return errors to the engine, so it is surfaced here).
+    error: Option<StateError>,
+}
+
+/// Primary-side shipping pipeline over one [`DurableLog`].
+///
+/// Create with [`Shipper::attach`]; drop order does not matter — the
+/// retention pin is released when the shipper drops, returning truncation
+/// to the normal checkpoint cadence.
+pub struct Shipper {
+    log: Arc<DurableLog>,
+    transport: Arc<dyn ShipTransport>,
+    obs: Arc<Obs>,
+    /// Keeps every epoch `>=` floor on disk until the standby acks it;
+    /// released (returning truncation to the checkpoint cadence) when the
+    /// shipper drops.
+    pin: Option<RetentionPin>,
+    state: Mutex<ShipperState>,
+}
+
+impl std::fmt::Debug for Shipper {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.lock();
+        f.debug_struct("Shipper")
+            .field("shipped_through", &state.shipped_through)
+            .field("acked_through", &state.acked_through)
+            .field("divergence", &state.divergence)
+            .finish()
+    }
+}
+
+impl Shipper {
+    /// Attach a shipper to `log`, catching up and then streaming.
+    ///
+    /// Catch-up ships the durability meta file plus every sealed segment
+    /// currently on disk (with no root to compare — roots start recording
+    /// now), then [`DurableLog::attach_shipper`] wires the sink so every
+    /// subsequently executed epoch ships with its recorded root.  The
+    /// retention pin is taken *before* catch-up at floor 0, so no segment
+    /// can be truncated between listing and shipping.
+    ///
+    /// # Errors
+    ///
+    /// [`StateError::InvalidDefinition`] when the log's history no longer
+    /// starts at its first on-disk segment's epoch — i.e. a checkpoint
+    /// already truncated segments the standby would need.  Attach the
+    /// shipper before the primary's first checkpoint (or seed the standby
+    /// from a copy of the primary's directory first).  Transport and
+    /// filesystem errors pass through.
+    pub fn attach(
+        log: &Arc<DurableLog>,
+        transport: Arc<dyn ShipTransport>,
+        obs: Arc<Obs>,
+    ) -> StateResult<Arc<Shipper>> {
+        let pin = log.pin_retention(0);
+        let wal_dir = log.wal_directory();
+        let root_dir = wal_dir
+            .parent()
+            .map(Path::to_path_buf)
+            .unwrap_or_else(|| wal_dir.clone());
+
+        // A from-scratch standby replays every epoch from 0, so the
+        // primary's sealed history must still reach back to 0 — i.e. no
+        // checkpoint has truncated it yet (`epoch_base` is the first epoch
+        // not covered by a checkpoint at open time).
+        if log.epoch_base() != 0 {
+            return Err(StateError::InvalidDefinition(format!(
+                "cannot attach shipper: a checkpoint already covers epochs below {}; \
+                 attach before the primary's first checkpoint, or seed the standby from \
+                 a copy of the primary's directory",
+                log.epoch_base()
+            )));
+        }
+        let sealed: Vec<_> = list_segments(&wal_dir)?
+            .into_iter()
+            .filter(|info| info.sealed)
+            .collect();
+
+        let meta_path = root_dir.join(tstream_recovery::coordinator::META_FILE);
+        if meta_path.exists() {
+            transport.send(ShipItem::Meta {
+                bytes: fs::read(&meta_path)?,
+            })?;
+        }
+
+        let shipper = Arc::new(Shipper {
+            log: log.clone(),
+            transport,
+            obs,
+            pin: Some(pin),
+            state: Mutex::new(ShipperState::default()),
+        });
+        for info in &sealed {
+            shipper.ship_segment(info.epoch, &info.path, log.epoch_root(info.epoch))?;
+        }
+        log.attach_shipper(&(shipper.clone() as Arc<dyn ShipSink>));
+        Ok(shipper)
+    }
+
+    /// Highest epoch shipped so far.
+    pub fn shipped_through(&self) -> Option<u64> {
+        self.state.lock().shipped_through
+    }
+
+    /// Highest epoch the standby has verified-acked so far.
+    pub fn acked_through(&self) -> Option<u64> {
+        self.state.lock().acked_through
+    }
+
+    /// First epoch whose standby root diverged from the primary's, if any.
+    pub fn divergence(&self) -> Option<u64> {
+        self.state.lock().divergence
+    }
+
+    /// Shipped-but-unacked epochs: how far behind the standby's
+    /// acknowledgements are.  Also exported as the
+    /// `tstream_replica_lag_epochs` gauge.
+    pub fn lag_epochs(&self) -> u64 {
+        let state = self.state.lock();
+        Self::lag_of(&state)
+    }
+
+    fn lag_of(state: &ShipperState) -> u64 {
+        let shipped = state.shipped_through.map_or(0, |e| e + 1);
+        let acked = state.acked_through.map_or(0, |e| e + 1);
+        shipped.saturating_sub(acked)
+    }
+
+    /// Drain pending acknowledgements, advance the retention pin, and
+    /// surface any error the fire-and-forget sink stored.
+    ///
+    /// # Errors
+    ///
+    /// [`StateError::Corrupted`] naming the first divergent epoch when a
+    /// standby root mismatched; otherwise the first transport/filesystem
+    /// error the sink hit.
+    pub fn pump_acks(&self) -> StateResult<()> {
+        let mut state = self.state.lock();
+        self.drain_acks(&mut state);
+        if let Some(epoch) = state.divergence {
+            return Err(StateError::Corrupted(format!(
+                "standby state diverged from the primary at epoch {epoch}: the shipped \
+                 root does not match the standby's post-apply root"
+            )));
+        }
+        match &state.error {
+            Some(error) => Err(error.clone()),
+            None => Ok(()),
+        }
+    }
+
+    /// Drain and verify acks under the state lock.
+    fn drain_acks(&self, state: &mut ShipperState) {
+        loop {
+            let ack = match self.transport.recv_ack() {
+                Ok(Some(ack)) => ack,
+                Ok(None) => break,
+                Err(error) => {
+                    state.error.get_or_insert(error);
+                    break;
+                }
+            };
+            let verified = match self.log.epoch_root(ack.epoch) {
+                // Catch-up segments shipped before root recording: trust
+                // the standby's own verdict.
+                None => ack.ok,
+                Some(expected) => ack.ok && expected == ack.root,
+            };
+            if verified {
+                let through = state.acked_through.map_or(ack.epoch, |a| a.max(ack.epoch));
+                state.acked_through = Some(through);
+                // Everything at or below the ack is durably applied on the
+                // standby; release it for truncation.
+                if let Some(pin) = &self.pin {
+                    self.log.advance_pin(pin, through + 1);
+                }
+            } else if state.divergence.is_none() {
+                state.divergence = Some(ack.epoch);
+                self.obs.hub().replica_divergence();
+            }
+        }
+        self.obs.hub().replica_lag(Self::lag_of(state));
+    }
+
+    /// Ship one sealed segment and update counters; used by both catch-up
+    /// and the live sink path.
+    fn ship_segment(&self, epoch: u64, path: &Path, root: Option<u64>) -> StateResult<()> {
+        let bytes = fs::read(path)?;
+        let len = bytes.len() as u64;
+        self.transport
+            .send(ShipItem::Segment { epoch, root, bytes })?;
+        self.obs.hub().replica_shipped(len);
+        let mut state = self.state.lock();
+        state.shipped_through = Some(state.shipped_through.map_or(epoch, |s| s.max(epoch)));
+        self.drain_acks(&mut state);
+        Ok(())
+    }
+}
+
+impl Drop for Shipper {
+    fn drop(&mut self) {
+        // Unpin retention: with the shipper gone, nothing resumes from
+        // these segments, and leaving the pin would hold the WAL on disk
+        // forever.
+        if let Some(pin) = self.pin.take() {
+            self.log.release_pin(pin);
+        }
+    }
+}
+
+impl ShipSink for Shipper {
+    fn segment_executed(&self, epoch: u64, path: &Path, root: Option<u64>) {
+        // Already poisoned or errored: stop shipping a forked history.
+        if self.state.lock().divergence.is_some() {
+            return;
+        }
+        if let Err(error) = self.ship_segment(epoch, path, root) {
+            self.state.lock().error.get_or_insert(error);
+        }
+    }
+
+    fn checkpoint_written(&self, _epoch: u64, path: &Path) {
+        let result = (|| -> StateResult<()> {
+            let bytes = fs::read(path)?;
+            let name = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .map(str::to_string)
+                .ok_or_else(|| {
+                    StateError::InvalidDefinition(format!(
+                        "checkpoint path {} has no usable file name",
+                        path.display()
+                    ))
+                })?;
+            let len = bytes.len() as u64;
+            self.transport.send(ShipItem::Checkpoint { name, bytes })?;
+            self.obs.hub().replica_shipped(len);
+            Ok(())
+        })();
+        if let Err(error) = result {
+            self.state.lock().error.get_or_insert(error);
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! The standby side: mirror shipped artifacts into a local durability
+//! directory, replay each segment through the engine, detect divergence,
+//! and take over on demand.
+//!
+//! [`StandbyEngine::follow`] opens a continuously-replaying
+//! [`StandbySession`] over a mirror directory; every
+//! [`StandbyEngine::pump`] call drains the transport — metadata and
+//! checkpoints are mirrored byte-for-byte, segments are mirrored *then*
+//! executed (one segment, one punctuation batch), and each applied epoch
+//! is acknowledged with the standby's own state root.  Because the ack is
+//! sent only after the segment is durably on the standby's disk and fully
+//! executed, the primary may safely release its retention pin through the
+//! acked epoch.
+//!
+//! The mirror directory is a first-class durability directory: after a
+//! primary loss, [`StandbyEngine::promote`] turns the standby into a live
+//! durable session writing to that same directory, and
+//! [`tstream_core::standby::restore_to_epoch`] materializes any historic
+//! epoch from it (the mirror never truncates, so the whole shipped range
+//! stays replayable).
+//!
+//! Divergence: when a shipped segment carries the primary's state root,
+//! the standby compares its own post-apply root.  A mismatch increments
+//! `tstream_replica_divergence_total`, nacks the epoch, **poisons** the
+//! engine — every later call fails naming the divergent epoch — and
+//! refuses takeover: promoting a forked replica would silently rewrite
+//! history.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use tstream_core::standby::StandbySession;
+use tstream_core::{Engine, Scheme, Session};
+use tstream_obs::Obs;
+use tstream_recovery::coordinator::{CHECKPOINT_SUBDIR, META_FILE, WAL_SUBDIR};
+use tstream_recovery::{read_segment, sealed_segment_name, WalPayload};
+use tstream_state::{StateError, StateResult, StateStore};
+use tstream_txn::Application;
+
+use crate::transport::{ShipAck, ShipItem, ShipTransport};
+
+/// Write `bytes` to `path` atomically (write-to-temp, rename-into-place)
+/// so a crash mid-mirror never leaves a half-written durability artifact.
+fn write_atomic(path: &Path, bytes: &[u8]) -> StateResult<()> {
+    let tmp = path.with_extension("mirror-tmp");
+    fs::write(&tmp, bytes)?;
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// A standby node: mirrors a primary's shipped durability artifacts and
+/// replays them continuously, at most one epoch behind the shipping
+/// stream.
+pub struct StandbyEngine<'e, A: Application> {
+    transport: Arc<dyn ShipTransport>,
+    dir: PathBuf,
+    session: StandbySession<'e, A>,
+    obs: Arc<Obs>,
+    poisoned: Option<u64>,
+}
+
+impl<'e, A: Application> std::fmt::Debug for StandbyEngine<'e, A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StandbyEngine")
+            .field("dir", &self.dir)
+            .field("next_epoch", &self.session.next_epoch())
+            .field("poisoned", &self.poisoned)
+            .finish()
+    }
+}
+
+impl<'e, A: Application> StandbyEngine<'e, A> {
+    /// Start following a primary: shipped artifacts are mirrored into
+    /// `dir` (created if absent) and replayed over `engine` × `app` ×
+    /// `store` × `scheme` — which must match the primary's run exactly
+    /// (same application, schema, shard count and punctuation interval;
+    /// the mirrored meta file enforces the interval at takeover).
+    pub fn follow(
+        engine: &'e Engine,
+        app: &Arc<A>,
+        store: &Arc<StateStore>,
+        scheme: &Scheme,
+        dir: impl AsRef<Path>,
+        transport: Arc<dyn ShipTransport>,
+    ) -> StateResult<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(dir.join(WAL_SUBDIR))?;
+        fs::create_dir_all(dir.join(CHECKPOINT_SUBDIR))?;
+        Ok(StandbyEngine {
+            transport,
+            dir,
+            session: StandbySession::open(engine, app, store, scheme),
+            obs: engine.observability(),
+            poisoned: None,
+        })
+    }
+
+    /// The mirror durability directory.
+    pub fn directory(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Epoch the next shipped segment must carry.
+    pub fn next_epoch(&self) -> u64 {
+        self.session.next_epoch()
+    }
+
+    /// Highest epoch applied so far, if any.
+    pub fn applied_through(&self) -> Option<u64> {
+        self.session.next_epoch().checked_sub(1)
+    }
+
+    /// The standby's current state root (see [`tstream_state::state_root`]).
+    pub fn state_root(&self) -> u64 {
+        self.session.state_root()
+    }
+
+    /// The divergent epoch, when divergence poisoned this standby.
+    pub fn poisoned(&self) -> Option<u64> {
+        self.poisoned
+    }
+
+    fn poison_error(epoch: u64) -> StateError {
+        StateError::Corrupted(format!(
+            "standby is poisoned: its state diverged from the primary at epoch {epoch}"
+        ))
+    }
+
+    /// Drain every pending shipped item: mirror it, and for segments —
+    /// apply and acknowledge.  Returns the number of segments applied by
+    /// this call.  The standby stays ≤ 1 epoch behind by construction:
+    /// each shipped epoch is fully executed before the next is received.
+    ///
+    /// # Errors
+    ///
+    /// * the poison error naming the divergent epoch, on and after a
+    ///   root mismatch;
+    /// * [`StateError::InvalidDefinition`] when the shipping stream skips
+    ///   or repeats an epoch;
+    /// * any transport, filesystem or decode error.
+    pub fn pump(&mut self) -> StateResult<usize>
+    where
+        A::Payload: WalPayload,
+    {
+        if let Some(epoch) = self.poisoned {
+            return Err(Self::poison_error(epoch));
+        }
+        let mut applied = 0;
+        while let Some(item) = self.transport.recv()? {
+            match item {
+                ShipItem::Meta { bytes } => {
+                    write_atomic(&self.dir.join(META_FILE), &bytes)?;
+                }
+                ShipItem::Checkpoint { name, bytes } => {
+                    // The name crosses the transport: refuse anything that
+                    // could escape the checkpoints directory.
+                    if name.contains(['/', '\\']) || name.contains("..") {
+                        return Err(StateError::Corrupted(format!(
+                            "shipped checkpoint name {name:?} is not a plain file name"
+                        )));
+                    }
+                    write_atomic(&self.dir.join(CHECKPOINT_SUBDIR).join(name), &bytes)?;
+                }
+                ShipItem::Segment { epoch, root, bytes } => {
+                    self.apply_shipped_segment(epoch, root, &bytes)?;
+                    applied += 1;
+                }
+            }
+        }
+        Ok(applied)
+    }
+
+    /// Mirror one shipped segment, execute it, verify the root and ack.
+    fn apply_shipped_segment(
+        &mut self,
+        epoch: u64,
+        primary_root: Option<u64>,
+        bytes: &[u8],
+    ) -> StateResult<()>
+    where
+        A::Payload: WalPayload,
+    {
+        let path = self.dir.join(WAL_SUBDIR).join(sealed_segment_name(epoch));
+        write_atomic(&path, bytes)?;
+        // Decode from the mirrored file, not the in-flight bytes: what we
+        // execute is exactly what a later recovery of this directory will
+        // replay.
+        let events = read_segment::<A::Payload>(&path)?.events;
+        self.session.apply_segment(epoch, events)?;
+        let standby_root = self.session.state_root();
+        let ok = primary_root.is_none_or(|expected| expected == standby_root);
+        self.transport.send_ack(ShipAck {
+            epoch,
+            root: standby_root,
+            ok,
+        })?;
+        if !ok {
+            self.obs.hub().replica_divergence();
+            self.poisoned = Some(epoch);
+            return Err(Self::poison_error(epoch));
+        }
+        Ok(())
+    }
+
+    /// Take over as primary: drain any in-flight shipped items, then turn
+    /// the replay session into a live durable [`Session`] writing to the
+    /// mirror directory, positioned at the epoch after the last applied
+    /// segment.  The returned session's reports are cumulative across the
+    /// replayed history — identical to an uninterrupted primary.
+    ///
+    /// # Errors
+    ///
+    /// The poison error when the standby diverged (a forked replica must
+    /// not take over), plus anything [`StandbyEngine::pump`] or
+    /// [`StandbySession::promote`] can return.
+    pub fn promote(mut self) -> StateResult<Session<'e, A>>
+    where
+        A::Payload: WalPayload,
+    {
+        // Promote drains in-flight items first: an epoch shipped but not
+        // yet applied would otherwise be sealed on disk *behind* the new
+        // primary's write position and silently shadowed.
+        self.pump()?;
+        self.session.promote(&self.dir)
+    }
+}

@@ -1,0 +1,552 @@
+//! Pluggable shipping transports: how segments, checkpoints and acks move
+//! between a primary and its standby.
+//!
+//! The replication pipeline is transport-agnostic — [`ShipTransport`] is a
+//! pair of unidirectional queues (items primary → standby, acks standby →
+//! primary) with durable-receipt semantics left to the implementation.
+//! Two implementations ship with the crate:
+//!
+//! * [`ChannelTransport`] — in-process queues for same-process
+//!   primary/standby pairs (tests, embedded deployments);
+//! * [`DirTransport`] — a spool directory of atomically-renamed files, the
+//!   lowest-tech durable transport: the two sides only need a shared
+//!   filesystem (or anything that syncs a directory), and every item
+//!   survives a crash of either side.
+//!
+//! Items and acks use a small length-prefixed binary codec (magic
+//! `TSHIP1`) so `DirTransport` files are self-describing.
+
+use std::collections::VecDeque;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use tstream_state::{StateError, StateResult};
+
+/// Magic prefix of every encoded [`ShipItem`] / [`ShipAck`].
+const MAGIC: &[u8; 6] = b"TSHIP1";
+
+const TAG_META: u8 = 1;
+const TAG_SEGMENT: u8 = 2;
+const TAG_CHECKPOINT: u8 = 3;
+const TAG_ACK: u8 = 4;
+
+/// One unit shipped from the primary to the standby.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShipItem {
+    /// The primary's durability metadata file (`meta.tmeta`): pins the
+    /// punctuation interval so the standby's mirror directory is a valid
+    /// durability directory for takeover.
+    Meta {
+        /// Raw file bytes.
+        bytes: Vec<u8>,
+    },
+    /// One sealed WAL segment — exactly one punctuation batch (epoch).
+    Segment {
+        /// Durable epoch the segment covers.
+        epoch: u64,
+        /// The primary's state root *after* executing this epoch, when the
+        /// primary recorded one (`None` for segments shipped during
+        /// catch-up, before root recording was enabled).  The standby
+        /// compares its own root against this for divergence detection.
+        root: Option<u64>,
+        /// Raw segment file bytes.
+        bytes: Vec<u8>,
+    },
+    /// One epoch-stamped checkpoint file, mirrored so the standby's
+    /// directory supports point-in-time recovery on its own.
+    Checkpoint {
+        /// File name inside the `checkpoints/` subdirectory.
+        name: String,
+        /// Raw checkpoint file bytes.
+        bytes: Vec<u8>,
+    },
+}
+
+/// The standby's acknowledgement of one applied segment: sent only after
+/// the segment is durably mirrored *and* fully executed, so an acked epoch
+/// never needs reshipping — the primary may release its retention pin
+/// through it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShipAck {
+    /// Epoch the standby applied.
+    pub epoch: u64,
+    /// The standby's state root after applying the epoch.
+    pub root: u64,
+    /// Whether the standby's root matched the primary's (always `true`
+    /// when the shipped segment carried no root to compare against).
+    pub ok: bool,
+}
+
+/// A bidirectional shipping channel between one primary and one standby.
+///
+/// `send`/`recv` carry [`ShipItem`]s primary → standby; `send_ack`/
+/// `recv_ack` carry [`ShipAck`]s standby → primary.  Both receive sides
+/// are non-blocking (`Ok(None)` when nothing is pending) so either side
+/// can pump opportunistically.  Implementations must preserve order per
+/// direction.
+pub trait ShipTransport: Send + Sync {
+    /// Enqueue one item for the standby.
+    fn send(&self, item: ShipItem) -> StateResult<()>;
+    /// Dequeue the next item, if any.
+    fn recv(&self) -> StateResult<Option<ShipItem>>;
+    /// Enqueue one acknowledgement for the primary.
+    fn send_ack(&self, ack: ShipAck) -> StateResult<()>;
+    /// Dequeue the next acknowledgement, if any.
+    fn recv_ack(&self) -> StateResult<Option<ShipAck>>;
+}
+
+// --- codec ---------------------------------------------------------------
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+/// Encode one item with the `TSHIP1` header.
+pub fn encode_item(item: &ShipItem) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    match item {
+        ShipItem::Meta { bytes } => {
+            out.push(TAG_META);
+            put_bytes(&mut out, bytes);
+        }
+        ShipItem::Segment { epoch, root, bytes } => {
+            out.push(TAG_SEGMENT);
+            out.extend_from_slice(&epoch.to_le_bytes());
+            out.push(u8::from(root.is_some()));
+            out.extend_from_slice(&root.unwrap_or(0).to_le_bytes());
+            put_bytes(&mut out, bytes);
+        }
+        ShipItem::Checkpoint { name, bytes } => {
+            out.push(TAG_CHECKPOINT);
+            put_bytes(&mut out, name.as_bytes());
+            put_bytes(&mut out, bytes);
+        }
+    }
+    out
+}
+
+/// Encode one acknowledgement with the `TSHIP1` header.
+pub fn encode_ack(ack: &ShipAck) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.push(TAG_ACK);
+    out.extend_from_slice(&ack.epoch.to_le_bytes());
+    out.extend_from_slice(&ack.root.to_le_bytes());
+    out.push(u8::from(ack.ok));
+    out
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> StateResult<&'a [u8]> {
+        let end = self.at.checked_add(n).filter(|&e| e <= self.bytes.len());
+        let Some(end) = end else {
+            return Err(StateError::Corrupted(
+                "shipped item is truncated".to_string(),
+            ));
+        };
+        let slice = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> StateResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u64(&mut self) -> StateResult<u64> {
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(self.take(8)?);
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    fn bytes(&mut self) -> StateResult<Vec<u8>> {
+        let mut buf = [0u8; 4];
+        buf.copy_from_slice(self.take(4)?);
+        let len = u32::from_le_bytes(buf) as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+}
+
+fn open_cursor(bytes: &[u8]) -> StateResult<Cursor<'_>> {
+    let mut cursor = Cursor { bytes, at: 0 };
+    if cursor.take(MAGIC.len())? != MAGIC {
+        return Err(StateError::Corrupted(
+            "shipped item has a bad magic header (not TSHIP1)".to_string(),
+        ));
+    }
+    Ok(cursor)
+}
+
+/// Decode one item previously produced by [`encode_item`].
+pub fn decode_item(bytes: &[u8]) -> StateResult<ShipItem> {
+    let mut cursor = open_cursor(bytes)?;
+    match cursor.u8()? {
+        TAG_META => Ok(ShipItem::Meta {
+            bytes: cursor.bytes()?,
+        }),
+        TAG_SEGMENT => {
+            let epoch = cursor.u64()?;
+            let has_root = cursor.u8()? != 0;
+            let root = cursor.u64()?;
+            Ok(ShipItem::Segment {
+                epoch,
+                root: has_root.then_some(root),
+                bytes: cursor.bytes()?,
+            })
+        }
+        TAG_CHECKPOINT => {
+            let name = String::from_utf8(cursor.bytes()?).map_err(|_| {
+                StateError::Corrupted("shipped checkpoint name is not UTF-8".to_string())
+            })?;
+            Ok(ShipItem::Checkpoint {
+                name,
+                bytes: cursor.bytes()?,
+            })
+        }
+        tag => Err(StateError::Corrupted(format!(
+            "shipped item has unknown tag {tag}"
+        ))),
+    }
+}
+
+/// Decode one acknowledgement previously produced by [`encode_ack`].
+pub fn decode_ack(bytes: &[u8]) -> StateResult<ShipAck> {
+    let mut cursor = open_cursor(bytes)?;
+    match cursor.u8()? {
+        TAG_ACK => Ok(ShipAck {
+            epoch: cursor.u64()?,
+            root: cursor.u64()?,
+            ok: cursor.u8()? != 0,
+        }),
+        tag => Err(StateError::Corrupted(format!(
+            "shipped ack has unknown tag {tag}"
+        ))),
+    }
+}
+
+// --- in-process transport ------------------------------------------------
+
+/// In-process transport: two mutex-protected queues shared by both sides.
+///
+/// Share one `Arc<ChannelTransport>` between the primary's shipper and the
+/// standby engine.  Round-trips through the binary codec anyway, so the
+/// wire format stays exercised even in tests.
+#[derive(Default)]
+pub struct ChannelTransport {
+    items: Mutex<VecDeque<Vec<u8>>>,
+    acks: Mutex<VecDeque<Vec<u8>>>,
+}
+
+impl ChannelTransport {
+    /// A fresh, empty channel ready to share between both sides.
+    pub fn new() -> Arc<Self> {
+        Arc::new(ChannelTransport::default())
+    }
+}
+
+impl std::fmt::Debug for ChannelTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChannelTransport")
+            .field("pending_items", &self.items.lock().len())
+            .field("pending_acks", &self.acks.lock().len())
+            .finish()
+    }
+}
+
+impl ShipTransport for ChannelTransport {
+    fn send(&self, item: ShipItem) -> StateResult<()> {
+        self.items.lock().push_back(encode_item(&item));
+        Ok(())
+    }
+
+    fn recv(&self) -> StateResult<Option<ShipItem>> {
+        match self.items.lock().pop_front() {
+            Some(bytes) => decode_item(&bytes).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    fn send_ack(&self, ack: ShipAck) -> StateResult<()> {
+        self.acks.lock().push_back(encode_ack(&ack));
+        Ok(())
+    }
+
+    fn recv_ack(&self) -> StateResult<Option<ShipAck>> {
+        match self.acks.lock().pop_front() {
+            Some(bytes) => decode_ack(&bytes).map(Some),
+            None => Ok(None),
+        }
+    }
+}
+
+// --- spool-directory transport -------------------------------------------
+
+/// Spool-directory transport: every item/ack is one atomically-renamed
+/// file, consumed lowest-sequence-first and deleted after a successful
+/// decode.
+///
+/// `item-{seq:012}.ship` files flow primary → standby and
+/// `ack-{seq:012}.ship` files flow back; the rename-into-place makes each
+/// file appear complete or not at all, and deletion-after-decode makes
+/// delivery at-least-once across crashes of either side (re-decoding an
+/// already-applied segment is rejected by the standby's epoch cursor, not
+/// by the transport).  Both sides may open the same directory
+/// independently — sequence counters resume from the files present.
+#[derive(Debug)]
+pub struct DirTransport {
+    dir: PathBuf,
+    next_item: AtomicU64,
+    next_ack: AtomicU64,
+}
+
+const ITEM_PREFIX: &str = "item-";
+const ACK_PREFIX: &str = "ack-";
+const SPOOL_SUFFIX: &str = ".ship";
+
+fn spool_name(prefix: &str, seq: u64) -> String {
+    format!("{prefix}{seq:012}{SPOOL_SUFFIX}")
+}
+
+fn parse_spool_name(name: &str, prefix: &str) -> Option<u64> {
+    let digits = name.strip_prefix(prefix)?.strip_suffix(SPOOL_SUFFIX)?;
+    (digits.len() == 12 && digits.bytes().all(|b| b.is_ascii_digit()))
+        .then(|| digits.parse().ok())
+        .flatten()
+}
+
+impl DirTransport {
+    /// Open (creating if absent) a spool directory.  Sequence counters
+    /// resume after the highest file already present, so reopening after a
+    /// crash never reuses a sequence number.
+    pub fn open(dir: impl AsRef<Path>) -> StateResult<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let mut max_item = None::<u64>;
+        let mut max_ack = None::<u64>;
+        for entry in fs::read_dir(&dir)? {
+            let path = entry?.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            if let Some(seq) = parse_spool_name(name, ITEM_PREFIX) {
+                max_item = Some(max_item.map_or(seq, |m| m.max(seq)));
+            } else if let Some(seq) = parse_spool_name(name, ACK_PREFIX) {
+                max_ack = Some(max_ack.map_or(seq, |m| m.max(seq)));
+            }
+        }
+        Ok(DirTransport {
+            dir,
+            next_item: AtomicU64::new(max_item.map_or(0, |m| m + 1)),
+            next_ack: AtomicU64::new(max_ack.map_or(0, |m| m + 1)),
+        })
+    }
+
+    fn write_spool(&self, name: &str, bytes: &[u8]) -> StateResult<()> {
+        let tmp = self.dir.join(format!("{name}.tmp"));
+        let path = self.dir.join(name);
+        fs::write(&tmp, bytes)?;
+        fs::rename(&tmp, &path)?;
+        Ok(())
+    }
+
+    /// Read, decode and delete the lowest-sequence spool file with
+    /// `prefix`, if any.
+    fn take_spool(&self, prefix: &str) -> StateResult<Option<Vec<u8>>> {
+        let mut lowest: Option<(u64, PathBuf)> = None;
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            if let Some(seq) = parse_spool_name(name, prefix) {
+                if lowest.as_ref().is_none_or(|(low, _)| seq < *low) {
+                    lowest = Some((seq, path));
+                }
+            }
+        }
+        let Some((_, path)) = lowest else {
+            return Ok(None);
+        };
+        let bytes = fs::read(&path)?;
+        fs::remove_file(&path)?;
+        Ok(Some(bytes))
+    }
+}
+
+impl ShipTransport for DirTransport {
+    fn send(&self, item: ShipItem) -> StateResult<()> {
+        let seq = self.next_item.fetch_add(1, Ordering::Relaxed);
+        self.write_spool(&spool_name(ITEM_PREFIX, seq), &encode_item(&item))
+    }
+
+    fn recv(&self) -> StateResult<Option<ShipItem>> {
+        match self.take_spool(ITEM_PREFIX)? {
+            Some(bytes) => decode_item(&bytes).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    fn send_ack(&self, ack: ShipAck) -> StateResult<()> {
+        let seq = self.next_ack.fetch_add(1, Ordering::Relaxed);
+        self.write_spool(&spool_name(ACK_PREFIX, seq), &encode_ack(&ack))
+    }
+
+    fn recv_ack(&self) -> StateResult<Option<ShipAck>> {
+        match self.take_spool(ACK_PREFIX)? {
+            Some(bytes) => decode_ack(&bytes).map(Some),
+            None => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_items() -> Vec<ShipItem> {
+        vec![
+            ShipItem::Meta {
+                bytes: b"TMETA1xx".to_vec(),
+            },
+            ShipItem::Segment {
+                epoch: 7,
+                root: Some(0xdead_beef_cafe_f00d),
+                bytes: vec![1, 2, 3, 4],
+            },
+            ShipItem::Segment {
+                epoch: 8,
+                root: None,
+                bytes: vec![],
+            },
+            ShipItem::Checkpoint {
+                name: "checkpoint-000000000003.tsnap".to_string(),
+                bytes: vec![9; 64],
+            },
+        ]
+    }
+
+    #[test]
+    fn items_and_acks_round_trip_through_the_codec() {
+        for item in sample_items() {
+            assert_eq!(decode_item(&encode_item(&item)).unwrap(), item);
+        }
+        for ack in [
+            ShipAck {
+                epoch: 0,
+                root: 0,
+                ok: true,
+            },
+            ShipAck {
+                epoch: u64::MAX,
+                root: 42,
+                ok: false,
+            },
+        ] {
+            assert_eq!(decode_ack(&encode_ack(&ack)).unwrap(), ack);
+        }
+    }
+
+    #[test]
+    fn decoder_rejects_bad_magic_and_truncation() {
+        assert!(decode_item(b"NOTSHIP").is_err());
+        let mut encoded = encode_item(&ShipItem::Segment {
+            epoch: 1,
+            root: Some(2),
+            bytes: vec![1, 2, 3],
+        });
+        encoded.truncate(encoded.len() - 2);
+        assert!(decode_item(&encoded).is_err());
+    }
+
+    #[test]
+    fn channel_transport_preserves_order_both_ways() {
+        let transport = ChannelTransport::new();
+        for item in sample_items() {
+            transport.send(item).unwrap();
+        }
+        for expected in sample_items() {
+            assert_eq!(transport.recv().unwrap(), Some(expected));
+        }
+        assert_eq!(transport.recv().unwrap(), None);
+
+        transport
+            .send_ack(ShipAck {
+                epoch: 3,
+                root: 9,
+                ok: true,
+            })
+            .unwrap();
+        assert_eq!(
+            transport.recv_ack().unwrap(),
+            Some(ShipAck {
+                epoch: 3,
+                root: 9,
+                ok: true,
+            })
+        );
+        assert_eq!(transport.recv_ack().unwrap(), None);
+    }
+
+    #[test]
+    fn dir_transport_spools_in_order_and_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!(
+            "tstream-ship-spool-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+
+        let sender = DirTransport::open(&dir).unwrap();
+        for item in sample_items() {
+            sender.send(item).unwrap();
+        }
+        // The receiving side opens the same directory independently — and a
+        // crashed-and-reopened sender must continue the sequence, not reuse
+        // it.
+        let receiver = DirTransport::open(&dir).unwrap();
+        assert_eq!(receiver.recv().unwrap(), Some(sample_items()[0].clone()));
+        let reopened_sender = DirTransport::open(&dir).unwrap();
+        reopened_sender
+            .send(ShipItem::Meta {
+                bytes: b"late".to_vec(),
+            })
+            .unwrap();
+        for expected in sample_items().into_iter().skip(1) {
+            assert_eq!(receiver.recv().unwrap(), Some(expected));
+        }
+        assert_eq!(
+            receiver.recv().unwrap(),
+            Some(ShipItem::Meta {
+                bytes: b"late".to_vec(),
+            })
+        );
+        assert_eq!(receiver.recv().unwrap(), None);
+
+        receiver
+            .send_ack(ShipAck {
+                epoch: 0,
+                root: 1,
+                ok: true,
+            })
+            .unwrap();
+        assert_eq!(
+            sender.recv_ack().unwrap(),
+            Some(ShipAck {
+                epoch: 0,
+                root: 1,
+                ok: true,
+            })
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,282 @@
+//! End-to-end replication pipeline tests over an in-process transport:
+//! follow, promote, and divergence detection.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use tstream_core::prelude::*;
+use tstream_replica::{ChannelTransport, Shipper, StandbyEngine};
+use tstream_state::codec::Reader;
+use tstream_state::{state_root, StateResult};
+
+const INTERVAL: usize = 8;
+const KEYS: u64 = 16;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "tstream-replica-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One event: increment the counter at `key`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Key(u64);
+
+impl WalPayload for Key {
+    fn encode_wal(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.0.to_le_bytes());
+    }
+    fn decode_wal(reader: &mut Reader<'_>) -> StateResult<Self> {
+        Ok(Key(reader.u64()?))
+    }
+}
+
+struct Counter;
+
+impl Application for Counter {
+    type Payload = Key;
+    fn name(&self) -> &'static str {
+        "replica-counter"
+    }
+    fn read_write_set(&self, key: &Key) -> ReadWriteSet {
+        ReadWriteSet::new().write(StateRef::new(0, key.0))
+    }
+    fn state_access(&self, key: &Key, txn: &mut TxnBuilder) {
+        txn.read_modify(0, key.0, None, |ctx| {
+            Ok(Value::Long(ctx.current.as_long()? + 1))
+        });
+    }
+    fn post_process(&self, _key: &Key, _blotter: &EventBlotter) -> PostAction {
+        PostAction::Emit
+    }
+}
+
+fn counter_store() -> Arc<StateStore> {
+    let table = TableBuilder::new("counters")
+        .extend((0..KEYS).map(|k| (k, Value::Long(0))))
+        .build()
+        .unwrap();
+    StateStore::new(vec![table]).unwrap()
+}
+
+fn engine() -> Engine {
+    Engine::new(
+        EngineConfig::with_executors(2)
+            .punctuation(INTERVAL)
+            .checkpoint_every(2),
+    )
+}
+
+fn input(events: usize) -> impl Iterator<Item = Key> {
+    (0..events as u64).map(|i| Key(i % KEYS))
+}
+
+#[test]
+fn standby_follows_the_primary_and_roots_match_every_epoch() {
+    let primary_dir = temp_dir("follow-primary");
+    let standby_dir = temp_dir("follow-standby");
+    let transport = ChannelTransport::new();
+
+    let primary_engine = engine();
+    let primary_store = counter_store();
+    let app = Arc::new(Counter);
+    let mut session = primary_engine
+        .session_builder(&app, &primary_store, &Scheme::TStream)
+        .durable(&primary_dir)
+        .open()
+        .unwrap();
+    let log = session.log().expect("durable session has a log").clone();
+    let shipper = Shipper::attach(&log, transport.clone(), primary_engine.observability()).unwrap();
+
+    let standby_engine_handle = engine();
+    let standby_store = counter_store();
+    let mut standby = StandbyEngine::follow(
+        &standby_engine_handle,
+        &app,
+        &standby_store,
+        &Scheme::TStream,
+        &standby_dir,
+        transport,
+    )
+    .unwrap();
+
+    for (i, key) in input(5 * INTERVAL).enumerate() {
+        session.push(key).unwrap();
+        if i % INTERVAL == INTERVAL - 1 {
+            session.flush().unwrap();
+            standby.pump().unwrap();
+            // The standby replays each shipped segment as it arrives: it
+            // stays at most one epoch behind the primary's sealed history.
+            assert_eq!(standby.next_epoch(), (i + 1) as u64 / INTERVAL as u64);
+            assert_eq!(state_root(&standby_store), state_root(&primary_store));
+        }
+    }
+    shipper.pump_acks().unwrap();
+    assert_eq!(shipper.shipped_through(), Some(4));
+    assert_eq!(shipper.acked_through(), Some(4));
+    assert_eq!(shipper.lag_epochs(), 0);
+    assert_eq!(shipper.divergence(), None);
+    assert_eq!(standby.applied_through(), Some(4));
+    assert_eq!(standby.poisoned(), None);
+
+    // The replication series are live on the primary's hub.
+    let text = primary_engine.metrics_text();
+    assert!(text.contains("tstream_replica_shipped_bytes"), "{text}");
+    assert!(text.contains("tstream_replica_lag_epochs 0"), "{text}");
+    let report = session.report().unwrap();
+    assert_eq!(report.committed, 5 * INTERVAL as u64);
+
+    let _ = fs::remove_dir_all(&primary_dir);
+    let _ = fs::remove_dir_all(&standby_dir);
+}
+
+#[test]
+fn promoted_standby_continues_the_run_byte_identically() {
+    const TOTAL: usize = 5 * INTERVAL;
+    const BEFORE_KILL: usize = 2 * INTERVAL;
+
+    // Baseline: the same input, uninterrupted, no replication.
+    let baseline_engine = engine();
+    let baseline_store = counter_store();
+    let app = Arc::new(Counter);
+    let mut baseline = baseline_engine
+        .session_builder(&app, &baseline_store, &Scheme::TStream)
+        .open()
+        .unwrap();
+    for key in input(TOTAL) {
+        baseline.push(key).unwrap();
+    }
+    let baseline_report = baseline.report().unwrap();
+
+    let primary_dir = temp_dir("promote-primary");
+    let standby_dir = temp_dir("promote-standby");
+    let transport = ChannelTransport::new();
+
+    let standby_engine_handle = engine();
+    let standby_store = counter_store();
+    let mut standby = StandbyEngine::follow(
+        &standby_engine_handle,
+        &app,
+        &standby_store,
+        &Scheme::TStream,
+        &standby_dir,
+        transport.clone(),
+    )
+    .unwrap();
+
+    {
+        let primary_engine = engine();
+        let primary_store = counter_store();
+        let mut session = primary_engine
+            .session_builder(&app, &primary_store, &Scheme::TStream)
+            .durable(&primary_dir)
+            .open()
+            .unwrap();
+        let log = session.log().unwrap().clone();
+        let _shipper =
+            Shipper::attach(&log, transport.clone(), primary_engine.observability()).unwrap();
+        for key in input(BEFORE_KILL) {
+            session.push(key).unwrap();
+        }
+        session.flush().unwrap();
+        // Primary dies here: the session drops without ever seeing the
+        // rest of the input.
+    }
+
+    standby.pump().unwrap();
+    assert_eq!(standby.next_epoch(), (BEFORE_KILL / INTERVAL) as u64);
+    let mut promoted = standby.promote().unwrap();
+    for key in input(TOTAL).skip(BEFORE_KILL) {
+        promoted.push(key).unwrap();
+    }
+    let report = promoted.report().unwrap();
+    assert_eq!(state_root(&standby_store), state_root(&baseline_store));
+    assert_eq!(report.events, baseline_report.events);
+    assert_eq!(report.committed, baseline_report.committed);
+    assert_eq!(report.rejected, baseline_report.rejected);
+
+    let _ = fs::remove_dir_all(&primary_dir);
+    let _ = fs::remove_dir_all(&standby_dir);
+}
+
+#[test]
+fn a_flipped_standby_record_is_detected_and_names_the_epoch() {
+    let primary_dir = temp_dir("diverge-primary");
+    let standby_dir = temp_dir("diverge-standby");
+    let transport = ChannelTransport::new();
+
+    let primary_engine = engine();
+    let primary_store = counter_store();
+    let app = Arc::new(Counter);
+    let mut session = primary_engine
+        .session_builder(&app, &primary_store, &Scheme::TStream)
+        .durable(&primary_dir)
+        .open()
+        .unwrap();
+    let log = session.log().unwrap().clone();
+    let shipper = Shipper::attach(&log, transport.clone(), primary_engine.observability()).unwrap();
+
+    let standby_engine_handle = engine();
+    let standby_store = counter_store();
+    let mut standby = StandbyEngine::follow(
+        &standby_engine_handle,
+        &app,
+        &standby_store,
+        &Scheme::TStream,
+        &standby_dir,
+        transport,
+    )
+    .unwrap();
+
+    // Epoch 0 replicates cleanly.
+    for key in input(INTERVAL) {
+        session.push(key).unwrap();
+    }
+    session.flush().unwrap();
+    standby.pump().unwrap();
+    assert_eq!(standby.poisoned(), None);
+
+    // Flip one record on the standby, out of band.
+    {
+        let mut vandal = standby_engine_handle
+            .session_builder(&app, &standby_store, &Scheme::TStream)
+            .open()
+            .unwrap();
+        vandal.push(Key(0)).unwrap();
+        let _ = vandal.report().unwrap();
+    }
+
+    // The next shipped epoch exposes the fork: the standby's post-apply
+    // root no longer matches the primary's, the error names the epoch, and
+    // the standby is poisoned — including against takeover.
+    for key in input(INTERVAL) {
+        session.push(key).unwrap();
+    }
+    session.flush().unwrap();
+    let error = standby.pump().unwrap_err();
+    assert!(error.to_string().contains("epoch 1"), "{error}");
+    assert_eq!(standby.poisoned(), Some(1));
+    let again = standby.pump().unwrap_err();
+    assert!(again.to_string().contains("epoch 1"), "{again}");
+
+    // The nack reaches the primary: its shipper reports the divergence and
+    // the counter is exported.
+    let error = shipper.pump_acks().unwrap_err();
+    assert!(error.to_string().contains("epoch 1"), "{error}");
+    assert_eq!(shipper.divergence(), Some(1));
+    assert!(primary_engine
+        .metrics_json()
+        .contains("\"replica_divergence_total\":1"));
+
+    let error = standby.promote().unwrap_err();
+    assert!(error.to_string().contains("epoch 1"), "{error}");
+
+    drop(session);
+    let _ = fs::remove_dir_all(&primary_dir);
+    let _ = fs::remove_dir_all(&standby_dir);
+}

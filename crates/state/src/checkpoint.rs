@@ -433,6 +433,24 @@ impl Checkpointer {
         }
     }
 
+    /// Load the newest checkpoint whose manifest covers an epoch `<= epoch`
+    /// — the restore base of a point-in-time recovery.
+    ///
+    /// Scans newest-first and stops at the first qualifying file, so the
+    /// common case (recovering near the present) decodes one checkpoint.
+    /// Manifest-less (version-1) files never qualify: without an epoch they
+    /// cannot anchor a point-in-time restore.
+    pub fn checkpoint_at_or_before(&self, epoch: u64) -> StateResult<Option<Checkpoint>> {
+        for (_, path) in Self::existing_sequences(&self.directory)?.iter().rev() {
+            let bytes = fs::read(path)?;
+            let checkpoint = Checkpoint::decode(&bytes)?;
+            if checkpoint.manifest.is_some_and(|m| m.epoch <= epoch) {
+                return Ok(Some(checkpoint));
+            }
+        }
+        Ok(None)
+    }
+
     /// Convenience: restore the most recent checkpoint onto `store`.
     ///
     /// Returns `true` if a checkpoint was found and applied.

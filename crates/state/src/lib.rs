@@ -42,6 +42,7 @@ pub mod index;
 pub mod lock;
 pub mod partition;
 pub mod record;
+pub mod root;
 pub mod shard;
 pub mod store;
 pub mod table;
@@ -51,6 +52,7 @@ pub mod version;
 pub use checkpoint::{Checkpoint, CheckpointManifest, Checkpointer, StoreSnapshot, TableSnapshot};
 pub use error::{StateError, StateResult};
 pub use record::Record;
+pub use root::state_root;
 pub use shard::{ShardId, ShardRouter, MAX_SHARDS};
 pub use store::{StateStore, TableId};
 pub use table::{Table, TableBuilder};

@@ -1,0 +1,181 @@
+//! Hot-standby failover demonstration: a durable primary ships its sealed
+//! history through a spool directory while a standby in **this** process
+//! replays it; the primary is then **killed mid-run** (it aborts itself,
+//! which to the spool is indistinguishable from `kill -9`), the standby
+//! promotes and finishes the stream, and the result must be byte-identical
+//! to a run that never failed over.
+//!
+//! This is the process-level counterpart of the in-process boundary sweep
+//! in `tests/replication.rs`: here the primary really dies with batches in
+//! flight and an unsealed WAL tail on disk; everything it sealed and
+//! shipped survives, everything past the last shipped epoch is re-sent by
+//! the client — the standard at-the-boundary failover contract.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example hot_standby
+//! ```
+//!
+//! (The `--primary <dir> <spool>` invocation is internal — the driver
+//! spawns it.)
+
+use std::process::Command;
+use std::sync::Arc;
+
+use tstream_apps::sl;
+use tstream_apps::workload::WorkloadSpec;
+use tstream_core::prelude::*;
+use tstream_replica::{DirTransport, Shipper, StandbyEngine};
+
+const EVENTS: usize = 4_000;
+const INTERVAL: usize = 250;
+const CRASH_AFTER_BATCHES: u64 = 6;
+
+fn spec() -> WorkloadSpec {
+    WorkloadSpec::default()
+        .events(EVENTS)
+        .keys(2_000)
+        .seed(0xC2)
+}
+
+fn engine_config() -> EngineConfig {
+    EngineConfig::with_executors(2)
+        .punctuation(INTERVAL)
+        .checkpoint_every(3)
+}
+
+/// Child mode: ingest durably, shipping every sealed epoch into the spool,
+/// then die abruptly after N batches.
+fn primary(dir: &str, spool: &str) -> ! {
+    let spec = spec();
+    let events = sl::generate(&spec);
+    let store = sl::build_store(&spec);
+    let app = Arc::new(sl::StreamingLedger);
+    let engine = Engine::new(engine_config());
+    let mut session = engine
+        .session_builder(&app, &store, &Scheme::TStream)
+        .durable(dir)
+        .label("primary")
+        .open()
+        .expect("open durable session");
+    let log = session.log().expect("durable session has a log").clone();
+    let transport = Arc::new(DirTransport::open(spool).expect("open spool"));
+    let _shipper =
+        Shipper::attach(&log, transport, engine.observability()).expect("attach shipper");
+    for event in events {
+        session.push(event).expect("durable push");
+        if session.batches_dispatched() >= CRASH_AFTER_BATCHES {
+            // Simulated power cut: no flush, no orderly shutdown — the
+            // process vanishes with batches in flight.  The spool keeps
+            // whatever was sealed, executed and shipped before the cut.
+            eprintln!(
+                "primary  : aborting after {} batches ({} events ingested)",
+                session.batches_dispatched(),
+                session.ingested()
+            );
+            std::process::abort();
+        }
+    }
+    unreachable!("the primary must crash before draining the input");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--primary") {
+        primary(
+            args.get(i + 1).expect("--primary needs a directory"),
+            args.get(i + 2).expect("--primary needs a spool directory"),
+        );
+    }
+
+    let pid = std::process::id();
+    let primary_dir = std::env::temp_dir().join(format!("tstream-hot-standby-primary-{pid}"));
+    let standby_dir = std::env::temp_dir().join(format!("tstream-hot-standby-standby-{pid}"));
+    let spool_dir = std::env::temp_dir().join(format!("tstream-hot-standby-spool-{pid}"));
+    for dir in [&primary_dir, &standby_dir, &spool_dir] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    let spec = spec();
+    let events = sl::generate(&spec);
+    let app = Arc::new(sl::StreamingLedger);
+
+    // ---- Baseline: the uninterrupted run this demo must reproduce.
+    let baseline_store = sl::build_store(&spec);
+    let baseline = Engine::new(engine_config()).run_offline(
+        &app,
+        &baseline_store,
+        events.clone(),
+        &Scheme::TStream,
+    );
+    println!(
+        "baseline : {} events, {} committed, {} rejected",
+        baseline.events, baseline.committed, baseline.rejected
+    );
+
+    // ---- Phase 1: run the primary in a child process and let it die.
+    let exe = std::env::current_exe().expect("own executable path");
+    let status = Command::new(&exe)
+        .arg("--primary")
+        .arg(&primary_dir)
+        .arg(&spool_dir)
+        .status()
+        .expect("spawn primary process");
+    assert!(
+        !status.success(),
+        "the primary must die abnormally, got {status:?}"
+    );
+    println!("primary  : killed mid-run ({status})");
+
+    // ---- Phase 2: the standby drains the spool, replays, and takes over.
+    let store = sl::build_store(&spec);
+    let engine = Engine::new(engine_config());
+    let transport = Arc::new(DirTransport::open(&spool_dir).expect("open spool"));
+    let mut standby = StandbyEngine::follow(
+        &engine,
+        &app,
+        &store,
+        &Scheme::TStream,
+        &standby_dir,
+        transport,
+    )
+    .expect("standby follows the spool");
+    let applied = standby.pump().expect("standby pump");
+    let resumed_from = standby.next_epoch() as usize * INTERVAL;
+    println!(
+        "standby  : mirrored + replayed {applied} shipped items ({} epochs), promoting",
+        standby.next_epoch()
+    );
+    let mut session = standby.promote().expect("standby promotes");
+
+    // Everything past the last shipped epoch was never acknowledged, so the
+    // client re-sends it — exactly the recovery resume contract.
+    for event in events.into_iter().skip(resumed_from) {
+        session.push(event).expect("durable push after takeover");
+    }
+    let report = session.report().expect("final report");
+
+    // ---- Verify exactly-once: counts and state match the baseline.
+    assert_eq!(report.events, baseline.events, "event counts must match");
+    assert_eq!(
+        report.committed, baseline.committed,
+        "commit counts must match"
+    );
+    assert_eq!(
+        report.rejected, baseline.rejected,
+        "abort counts must match"
+    );
+    assert_eq!(
+        StoreSnapshot::capture(&store),
+        StoreSnapshot::capture(&baseline_store),
+        "promoted state must be byte-identical"
+    );
+    println!(
+        "promoted : {} events, {} committed, {} rejected, {} checkpoints",
+        report.events, report.committed, report.rejected, report.checkpoints
+    );
+    println!("failover differential holds: promoted standby == uninterrupted run");
+    for dir in [&primary_dir, &standby_dir, &spool_dir] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -15,7 +15,10 @@
 #     rows, checked as an absolute ceiling (mean across apps <= 5%), not
 #     against the committed values — the instrumentation must stay close to
 #     free no matter what the baseline says.  The rows are already
-#     noise-hardened (interleaved best-of-N pairs, clamped at zero).
+#     noise-hardened (interleaved best-of-N pairs, clamped at zero);
+#   * replication:   the shipping-on-vs-off overhead rows, same absolute-
+#     ceiling treatment (mean across apps <= 10%) — attaching a hot-standby
+#     shipper must never tax the primary's ingest path by more than that.
 #
 # The committed snapshot is regenerated on the same class of host
 # (scripts/bench_snapshot.sh).  Tolerances are sized to the noise actually
@@ -36,6 +39,7 @@ cd "$(dirname "$0")/.."
 TOLERANCE="${TOLERANCE:-0.40}"
 DURABLE_TOLERANCE="${DURABLE_TOLERANCE:-0.60}"
 OBS_TOLERANCE="${OBS_TOLERANCE:-0.05}"
+REPLICATION_TOLERANCE="${REPLICATION_TOLERANCE:-0.10}"
 COMMITTED="BENCH_engine.json"
 FRESH="${FRESH:-/tmp/bench_guard_fresh.json}"
 
@@ -86,7 +90,7 @@ rows() {
 # snapshot contract: a snapshot without them would silently drop their
 # rows from the guard.
 for f in "$COMMITTED" "$FRESH"; do
-    for section in '"breakdown":' '"observability":'; do
+    for section in '"breakdown":' '"observability":' '"replication":'; do
         if ! grep -q "$section" "$f"; then
             echo "bench_guard: $f has no $section section" >&2
             exit 1
@@ -121,6 +125,36 @@ tr '{' '\n' < "$FRESH" | awk -v tol="$OBS_TOLERANCE" '
         }
     }' || {
     echo "bench_guard: FAILED (observability overhead ceiling $OBS_TOLERANCE)" >&2
+    exit 1
+}
+
+# Replication-shipping ceiling: same shape, fresh run alone.
+tr '{' '\n' < "$FRESH" | awk -v tol="$REPLICATION_TOLERANCE" '
+    /"shipping_keps":/ {
+        app = ""; ov = ""
+        n = split($0, parts, ",")
+        for (i = 1; i <= n; i++) {
+            if (parts[i] ~ /"app":/)      { gsub(/[^A-Z]/, "", parts[i]); app = parts[i] }
+            if (parts[i] ~ /"overhead":/) { gsub(/[^0-9.]/, "", parts[i]); ov = parts[i] }
+        }
+        if (app != "" && ov != "") {
+            printf "replication/%-6s overhead %6.2f%%\n", app, 100 * ov
+            sum += ov; rows++
+        }
+    }
+    END {
+        if (rows == 0) {
+            print "bench_guard: no replication rows in the fresh run"
+            exit 1
+        }
+        mean = sum / rows
+        printf "replication mean overhead %.2f%% (ceiling %.0f%%)\n", 100 * mean, 100 * tol
+        if (mean > tol) {
+            print "bench_guard: replication shipping overhead exceeds the ceiling"
+            exit 1
+        }
+    }' || {
+    echo "bench_guard: FAILED (replication overhead ceiling $REPLICATION_TOLERANCE)" >&2
     exit 1
 }
 

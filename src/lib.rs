@@ -14,6 +14,9 @@
 //! * [`recovery`] — the crash-recovery subsystem: segmented write-ahead
 //!   input log and the coordinator behind the session builder's
 //!   `.durable(dir).recover()` mode;
+//! * [`replica`] — hot-standby replication: segment shipping from a
+//!   primary's durable log to a continuously-replaying standby, takeover
+//!   (`promote`) and per-epoch divergence detection;
 //! * [`stream`] — events, punctuation barriers, operators, topologies;
 //! * [`skiplist`] — the concurrent skip list backing the state indexes;
 //! * [`obs`] — the observability layer: lock-free metrics hub, flight
@@ -26,6 +29,7 @@ pub use tstream_apps as apps;
 pub use tstream_core as core;
 pub use tstream_obs as obs;
 pub use tstream_recovery as recovery;
+pub use tstream_replica as replica;
 pub use tstream_skiplist as skiplist;
 pub use tstream_state as state;
 pub use tstream_stream as stream;

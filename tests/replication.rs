@@ -1,0 +1,428 @@
+//! Hot-standby failover and point-in-time-recovery differentials.
+//!
+//! The replication contract mirrors the crash-recovery one
+//! (`tests/recovery.rs`), with the standby taking the place of the
+//! restarted process: for every app (GS/SL/OB/TP) and shard count {1, 4},
+//! the primary is killed at *every* punctuation-batch boundary in turn;
+//! the standby — which has been continuously replaying shipped segments —
+//! promotes and finishes the stream, and the result must be
+//! **byte-identical** to an uninterrupted offline run of the same input.
+//!
+//! On top of failover: `recover_to(e)` must reproduce the primary's state
+//! root for *every* intermediate epoch from the standby's mirrored (and
+//! never truncated) directory, unacked segments must survive the primary's
+//! checkpoint truncation, and an out-of-band write on the standby must be
+//! detected as divergence that names the forked epoch.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use tstream_apps::workload::WorkloadSpec;
+use tstream_apps::{gs, ob, sl, tp};
+use tstream_core::prelude::*;
+use tstream_core::restore_to_epoch;
+use tstream_recovery::{list_segments, WalPayload};
+use tstream_replica::{ChannelTransport, Shipper, StandbyEngine};
+use tstream_state::state_root;
+
+const INTERVAL: usize = 100;
+const EVENTS: usize = 500;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "tstream-replication-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn spec(shards: u32, seed: u64) -> WorkloadSpec {
+    WorkloadSpec::default()
+        .events(EVENTS)
+        .keys(1_000)
+        .seed(seed)
+        .shards(shards)
+}
+
+fn config(shards: u32) -> EngineConfig {
+    EngineConfig::with_executors(2)
+        .punctuation(INTERVAL)
+        .checkpoint_every(2)
+        .shards(shards as usize)
+}
+
+/// Kill the primary at every batch boundary; the promoted standby must
+/// finish the stream byte-identically to an uninterrupted offline run.
+fn failover_at_every_boundary<A, F>(
+    app: Arc<A>,
+    build_store: F,
+    payloads: Vec<A::Payload>,
+    shards: u32,
+    tag: &str,
+) where
+    A: Application,
+    A::Payload: WalPayload,
+    F: Fn() -> Arc<StateStore>,
+{
+    let baseline_engine = Engine::new(config(shards));
+    let baseline_store = build_store();
+    let baseline =
+        baseline_engine.run_offline(&app, &baseline_store, payloads.clone(), &Scheme::TStream);
+    let baseline_snapshot = StoreSnapshot::capture(&baseline_store);
+    assert_eq!(baseline.events, EVENTS as u64);
+
+    let batches = EVENTS.div_ceil(INTERVAL);
+    for boundary in 1..batches {
+        let primary_dir = temp_dir(&format!("{tag}-primary-{shards}-{boundary}"));
+        let standby_dir = temp_dir(&format!("{tag}-standby-{shards}-{boundary}"));
+        let transport = ChannelTransport::new();
+
+        let standby_engine_handle = Engine::new(config(shards));
+        let standby_store = build_store();
+        let mut standby = StandbyEngine::follow(
+            &standby_engine_handle,
+            &app,
+            &standby_store,
+            &Scheme::TStream,
+            &standby_dir,
+            transport.clone(),
+        )
+        .expect("standby follows");
+
+        {
+            // Phase 1: the primary ships everything it seals, then dies at
+            // the boundary (everything process-local drops; only its
+            // directory and the shipped items survive).
+            let primary_engine = Engine::new(config(shards));
+            let primary_store = build_store();
+            let mut session = primary_engine
+                .session_builder(&app, &primary_store, &Scheme::TStream)
+                .durable(&primary_dir)
+                .open()
+                .expect("durable primary");
+            let log = session.log().expect("durable session has a log").clone();
+            let _shipper = Shipper::attach(&log, transport.clone(), primary_engine.observability())
+                .expect("shipper attaches");
+            for payload in payloads.iter().take(boundary * INTERVAL).cloned() {
+                session.push(payload).expect("primary push");
+            }
+            session.flush().expect("primary flush");
+        }
+
+        // Phase 2: the standby drains the pipeline, takes over and finishes
+        // the stream.
+        standby.pump().expect("standby pump");
+        assert_eq!(standby.next_epoch(), boundary as u64);
+        let mut promoted = standby.promote().expect("standby promotes");
+        for payload in payloads.iter().skip(boundary * INTERVAL).cloned() {
+            promoted.push(payload).expect("promoted push");
+        }
+        let report = promoted.report().expect("promoted report");
+
+        let ctx = format!("{tag} shards={shards} primary killed after batch {boundary}");
+        assert_eq!(report.events, baseline.events, "events: {ctx}");
+        assert_eq!(report.committed, baseline.committed, "committed: {ctx}");
+        assert_eq!(report.rejected, baseline.rejected, "rejected: {ctx}");
+        assert_eq!(
+            StoreSnapshot::capture(&standby_store),
+            baseline_snapshot,
+            "snapshot: {ctx}"
+        );
+        let _ = fs::remove_dir_all(&primary_dir);
+        let _ = fs::remove_dir_all(&standby_dir);
+    }
+}
+
+#[test]
+fn gs_failover_is_byte_identical_at_every_boundary() {
+    for shards in [1u32, 4] {
+        let spec = spec(shards, 0xB1);
+        failover_at_every_boundary(
+            Arc::new(gs::GrepSum::default()),
+            || gs::build_store(&spec),
+            gs::generate(&spec),
+            shards,
+            "gs",
+        );
+    }
+}
+
+#[test]
+fn sl_failover_is_byte_identical_at_every_boundary() {
+    for shards in [1u32, 4] {
+        let spec = spec(shards, 0xB2);
+        failover_at_every_boundary(
+            Arc::new(sl::StreamingLedger),
+            || sl::build_store(&spec),
+            sl::generate(&spec),
+            shards,
+            "sl",
+        );
+    }
+}
+
+#[test]
+fn ob_failover_is_byte_identical_at_every_boundary() {
+    for shards in [1u32, 4] {
+        let spec = spec(shards, 0xB3);
+        failover_at_every_boundary(
+            Arc::new(ob::OnlineBidding),
+            || ob::build_store(&spec),
+            ob::generate(&spec),
+            shards,
+            "ob",
+        );
+    }
+}
+
+#[test]
+fn tp_failover_is_byte_identical_at_every_boundary() {
+    for shards in [1u32, 4] {
+        let spec = spec(shards, 0xB4);
+        failover_at_every_boundary(
+            Arc::new(tp::TollProcessing),
+            || tp::build_store(&spec),
+            tp::generate(&spec),
+            shards,
+            "tp",
+        );
+    }
+}
+
+#[test]
+fn recover_to_reproduces_every_intermediate_epoch_root() {
+    // The standby's directory is a mirror that truncation never touches, so
+    // every epoch of history stays materializable: `restore_to_epoch(e)`
+    // must land exactly on the root the primary had at the end of epoch e.
+    let spec = spec(1, 0xB5);
+    let app = Arc::new(sl::StreamingLedger);
+    let primary_dir = temp_dir("pit-primary");
+    let standby_dir = temp_dir("pit-standby");
+    let transport = ChannelTransport::new();
+
+    let primary_engine = Engine::new(config(1));
+    let primary_store = sl::build_store(&spec);
+    let mut session = primary_engine
+        .session_builder(&app, &primary_store, &Scheme::TStream)
+        .durable(&primary_dir)
+        .open()
+        .unwrap();
+    let log = session.log().unwrap().clone();
+    let _shipper =
+        Shipper::attach(&log, transport.clone(), primary_engine.observability()).unwrap();
+
+    let standby_engine_handle = Engine::new(config(1));
+    let standby_store = sl::build_store(&spec);
+    let mut standby = StandbyEngine::follow(
+        &standby_engine_handle,
+        &app,
+        &standby_store,
+        &Scheme::TStream,
+        &standby_dir,
+        transport,
+    )
+    .unwrap();
+
+    // Record the primary's root at every epoch boundary while the standby
+    // follows along.
+    let mut roots = Vec::new();
+    for (i, event) in sl::generate(&spec).into_iter().enumerate() {
+        session.push(event).unwrap();
+        if (i + 1) % INTERVAL == 0 {
+            session.flush().unwrap();
+            standby.pump().unwrap();
+            roots.push(state_root(&primary_store));
+            assert_eq!(state_root(&standby_store), *roots.last().unwrap());
+        }
+    }
+    let _ = session.report().unwrap();
+    assert_eq!(roots.len(), EVENTS / INTERVAL);
+
+    // Every intermediate epoch is reproducible from the mirror — including
+    // the ones an ordinary recovery would have skipped past via the newest
+    // checkpoint.
+    for (epoch, expected) in roots.iter().enumerate() {
+        let engine = Engine::new(config(1));
+        let store = sl::build_store(&spec);
+        let report = restore_to_epoch(
+            &engine,
+            &app,
+            &store,
+            &Scheme::TStream,
+            &standby_dir,
+            epoch as u64,
+        )
+        .expect("point-in-time restore");
+        assert_eq!(
+            state_root(&store),
+            *expected,
+            "recover_to({epoch}) must reproduce the primary's epoch-{epoch} root"
+        );
+        assert_eq!(report.events, ((epoch + 1) * INTERVAL) as u64);
+    }
+
+    let _ = fs::remove_dir_all(&primary_dir);
+    let _ = fs::remove_dir_all(&standby_dir);
+}
+
+#[test]
+fn unacked_segments_survive_truncation_and_lag_is_exported() {
+    // A standby that stops pumping leaves every shipped epoch unacked: the
+    // retention pin must hold those segments through the primary's
+    // checkpoint truncation, and the lag gauge must say how far behind the
+    // acks are.  Once the standby catches up, truncation resumes.
+    let spec = spec(1, 0xB6);
+    let app = Arc::new(gs::GrepSum::default());
+    let primary_dir = temp_dir("retention-primary");
+    let standby_dir = temp_dir("retention-standby");
+    let transport = ChannelTransport::new();
+
+    let primary_engine = Engine::new(config(1));
+    let primary_store = gs::build_store(&spec);
+    let mut session = primary_engine
+        .session_builder(&app, &primary_store, &Scheme::TStream)
+        .durable(&primary_dir)
+        .open()
+        .unwrap();
+    let log = session.log().unwrap().clone();
+    let shipper = Shipper::attach(&log, transport.clone(), primary_engine.observability()).unwrap();
+
+    let standby_engine_handle = Engine::new(config(1));
+    let standby_store = gs::build_store(&spec);
+    let mut standby = StandbyEngine::follow(
+        &standby_engine_handle,
+        &app,
+        &standby_store,
+        &Scheme::TStream,
+        &standby_dir,
+        transport,
+    )
+    .unwrap();
+
+    let events = gs::generate(&spec);
+    // Three epochs shipped, none acked (the standby never pumps): the
+    // checkpoint at epoch 1 must not truncate anything.
+    for event in events.iter().take(3 * INTERVAL).cloned() {
+        session.push(event).unwrap();
+    }
+    session.flush().unwrap();
+    shipper.pump_acks().unwrap();
+    assert_eq!(shipper.shipped_through(), Some(2));
+    assert_eq!(shipper.acked_through(), None);
+    assert_eq!(shipper.lag_epochs(), 3);
+    assert!(
+        primary_engine
+            .metrics_text()
+            .contains("tstream_replica_lag_epochs 3"),
+        "{}",
+        primary_engine.metrics_text()
+    );
+    let epochs: Vec<u64> = list_segments(&primary_dir.join("wal"))
+        .unwrap()
+        .iter()
+        .filter(|s| s.sealed)
+        .map(|s| s.epoch)
+        .collect();
+    assert_eq!(
+        epochs,
+        vec![0, 1, 2],
+        "the pin must hold every unacked segment through the epoch-1 checkpoint"
+    );
+
+    // The standby catches up; acks release the pin and the next checkpoint
+    // (epoch 3) truncates the acked history.
+    standby.pump().unwrap();
+    shipper.pump_acks().unwrap();
+    assert_eq!(shipper.acked_through(), Some(2));
+    assert_eq!(shipper.lag_epochs(), 0);
+    for event in events.iter().skip(3 * INTERVAL).take(INTERVAL).cloned() {
+        session.push(event).unwrap();
+    }
+    session.flush().unwrap();
+    let epochs: Vec<u64> = list_segments(&primary_dir.join("wal"))
+        .unwrap()
+        .iter()
+        .filter(|s| s.sealed)
+        .map(|s| s.epoch)
+        .collect();
+    assert_eq!(epochs, vec![3], "acked history truncates normally again");
+
+    let _ = fs::remove_dir_all(&primary_dir);
+    let _ = fs::remove_dir_all(&standby_dir);
+}
+
+#[test]
+fn an_out_of_band_standby_write_is_reported_as_divergence_by_epoch() {
+    // Same detection contract as the unit-level pipeline test, but through
+    // a real application: a write that bypasses replication forks the
+    // standby, and the very next shipped epoch names the fork point on both
+    // sides and refuses takeover.  SL deliberately — its transfers
+    // accumulate, so one replayed-out-of-band event genuinely forks the
+    // state (GS writes are idempotent and would mask the vandalism).
+    let spec = spec(1, 0xB7);
+    let app = Arc::new(sl::StreamingLedger);
+    let primary_dir = temp_dir("diverge-primary");
+    let standby_dir = temp_dir("diverge-standby");
+    let transport = ChannelTransport::new();
+
+    let primary_engine = Engine::new(config(1));
+    let primary_store = sl::build_store(&spec);
+    let mut session = primary_engine
+        .session_builder(&app, &primary_store, &Scheme::TStream)
+        .durable(&primary_dir)
+        .open()
+        .unwrap();
+    let log = session.log().unwrap().clone();
+    let shipper = Shipper::attach(&log, transport.clone(), primary_engine.observability()).unwrap();
+
+    let standby_engine_handle = Engine::new(config(1));
+    let standby_store = sl::build_store(&spec);
+    let mut standby = StandbyEngine::follow(
+        &standby_engine_handle,
+        &app,
+        &standby_store,
+        &Scheme::TStream,
+        &standby_dir,
+        transport,
+    )
+    .unwrap();
+
+    let events = sl::generate(&spec);
+    for event in events.iter().take(INTERVAL).cloned() {
+        session.push(event).unwrap();
+    }
+    session.flush().unwrap();
+    standby.pump().unwrap();
+    assert_eq!(standby.poisoned(), None);
+
+    // The out-of-band write: one event applied to the standby's store
+    // without going through replication.
+    {
+        let mut vandal = standby_engine_handle
+            .session_builder(&app, &standby_store, &Scheme::TStream)
+            .open()
+            .unwrap();
+        vandal.push(events[0].clone()).unwrap();
+        let _ = vandal.report().unwrap();
+    }
+
+    for event in events.iter().skip(INTERVAL).take(INTERVAL).cloned() {
+        session.push(event).unwrap();
+    }
+    session.flush().unwrap();
+    let error = standby.pump().unwrap_err();
+    assert!(error.to_string().contains("epoch 1"), "{error}");
+    assert_eq!(standby.poisoned(), Some(1));
+    let error = shipper.pump_acks().unwrap_err();
+    assert!(error.to_string().contains("epoch 1"), "{error}");
+    assert_eq!(shipper.divergence(), Some(1));
+    let error = standby.promote().unwrap_err();
+    assert!(error.to_string().contains("epoch 1"), "{error}");
+
+    drop(session);
+    let _ = fs::remove_dir_all(&primary_dir);
+    let _ = fs::remove_dir_all(&standby_dir);
+}
